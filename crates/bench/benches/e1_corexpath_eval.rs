@@ -1,0 +1,47 @@
+//! Criterion bench for E1: Core XPath GKP evaluator vs naive relational
+//! evaluator across tree sizes and workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twx_bench::experiments::e1_core_eval::queries;
+use twx_bench::Workload;
+use twx_corexpath::{eval_path_image, eval_path_rel};
+use twx_xtree::generate::random_tree;
+use twx_xtree::{Alphabet, NodeSet};
+
+fn bench_e1(c: &mut Criterion) {
+    let mut ab = Alphabet::from_names(["p0", "p1", "p2"]);
+    let qs = queries(&mut ab);
+    let mut rng = StdRng::seed_from_u64(11);
+
+    let mut group = c.benchmark_group("e1/gkp");
+    group.sample_size(20);
+    for wl in Workload::ALL {
+        for n in [1_000usize, 10_000] {
+            let t = random_tree(wl.shape(), n, 3, &mut rng);
+            let ctx = NodeSet::singleton(t.len(), t.root());
+            let (name, q) = &qs[2]; // the filtered query is the richest
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/{}", wl.name(), name), n),
+                &n,
+                |b, _| b.iter(|| eval_path_image(&t, q, &ctx)),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e1/naive");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        let t = random_tree(Workload::Document.shape(), n, 3, &mut rng);
+        let (name, q) = &qs[2];
+        group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, _| {
+            b.iter(|| eval_path_rel(&t, q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for E2: Regular XPath(W) product evaluator vs matrix
+//! baseline, plus the query-size sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twx_bench::experiments::e2_regxpath_eval::{queries, sized_query};
+use twx_bench::Workload;
+use twx_regxpath::eval::Compiled;
+use twx_regxpath::eval_naive::eval_rel_naive;
+use twx_xtree::generate::random_tree;
+use twx_xtree::{Alphabet, NodeSet};
+
+fn bench_e2(c: &mut Criterion) {
+    let mut ab = Alphabet::from_names(["p0", "p1"]);
+    let qs = queries(&mut ab);
+    let mut rng = StdRng::seed_from_u64(22);
+
+    let mut group = c.benchmark_group("e2/product");
+    group.sample_size(20);
+    for (name, q) in &qs {
+        let compiled = Compiled::new(q);
+        let t = random_tree(Workload::Document.shape(), 10_000, 2, &mut rng);
+        let ctx = NodeSet::singleton(t.len(), t.root());
+        group.bench_function(BenchmarkId::new(*name, 10_000), |b| {
+            b.iter(|| compiled.image(&t, &ctx))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e2/naive");
+    group.sample_size(10);
+    let t = random_tree(Workload::Document.shape(), 200, 2, &mut rng);
+    let (name, q) = &qs[0];
+    group.bench_function(BenchmarkId::new(*name, 200), |b| {
+        b.iter(|| eval_rel_naive(&t, q))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("e2/query-size-sweep");
+    group.sample_size(15);
+    let t = random_tree(Workload::Document.shape(), 5_000, 2, &mut rng);
+    let ctx = NodeSet::singleton(t.len(), t.root());
+    for k in [1usize, 8, 32] {
+        let q = sized_query(k);
+        let compiled = Compiled::new(&q);
+        group.bench_with_input(BenchmarkId::new("size", q.size()), &k, |b, _| {
+            b.iter(|| compiled.image(&t, &ctx))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

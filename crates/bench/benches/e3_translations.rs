@@ -1,0 +1,63 @@
+//! Criterion bench for E3: translation times across the triangle
+//! (Thompson, Kleene raw + simplification, logic direction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twx_core::{ntwa_to_rpath, rpath_to_formula, rpath_to_ntwa};
+use twx_regxpath::generate::{random_rpath, RGenConfig};
+use twx_twa::generate::{random_ntwa, TGenConfig};
+
+fn bench_e3(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(33);
+    let cfg = RGenConfig::default();
+
+    let mut group = c.benchmark_group("e3/thompson");
+    group.sample_size(30);
+    for depth in [3usize, 5] {
+        let exprs: Vec<_> = (0..10).map(|_| random_rpath(&cfg, depth, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                for e in &exprs {
+                    std::hint::black_box(rpath_to_ntwa(e));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e3/kleene");
+    group.sample_size(10);
+    for states in [3u32, 5] {
+        let tcfg = TGenConfig {
+            states,
+            transitions: (states * 2) as usize,
+            depth: 0,
+            ..TGenConfig::default()
+        };
+        let autos: Vec<_> = (0..5).map(|_| random_ntwa(&tcfg, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("states", states), &states, |b, _| {
+            b.iter(|| {
+                for a in &autos {
+                    std::hint::black_box(ntwa_to_rpath(a));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e3/to-logic");
+    group.sample_size(30);
+    let exprs: Vec<_> = (0..20).map(|_| random_rpath(&cfg, 4, &mut rng)).collect();
+    group.bench_function("depth-4", |b| {
+        b.iter(|| {
+            for e in &exprs {
+                std::hint::black_box(rpath_to_formula(e, 0, 1, 2));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for E5: FO(MTC) model checking vs direct evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twx_core::rpath_to_formula;
+use twx_fotc::eval::eval_binary;
+use twx_regxpath::parser::parse_rpath;
+use twx_xtree::generate::{random_tree, Shape};
+use twx_xtree::Alphabet;
+
+fn bench_e5(c: &mut Criterion) {
+    let mut ab = Alphabet::from_names(["p0", "p1"]);
+    let p = parse_rpath("(down[p0])*", &mut ab).unwrap();
+    let f = rpath_to_formula(&p, 0, 1, 2);
+    let mut rng = StdRng::seed_from_u64(55);
+
+    let mut group = c.benchmark_group("e5");
+    group.sample_size(10);
+    for n in [16usize, 48] {
+        let t = random_tree(Shape::Recursive, n, 2, &mut rng);
+        group.bench_with_input(BenchmarkId::new("xpath-full-rel", n), &n, |b, _| {
+            b.iter(|| twx_regxpath::eval_rel(&t, &p))
+        });
+        group.bench_with_input(BenchmarkId::new("fotc-model-check", n), &n, |b, _| {
+            b.iter(|| eval_binary(&t, &f, 0, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for E6: exact automata-based satisfiability vs
+//! bounded-model search, over the fixed formula set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twx_bench::experiments::e6_satisfiability::formulas;
+use twx_core::decide::node_sat_bounded;
+use twx_core::from_core::core_node_to_regular;
+use twx_corexpath::parser::parse_node_expr;
+use twx_treeauto::xpath_compile::satisfiable;
+use twx_xtree::Alphabet;
+
+fn bench_e6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6");
+    group.sample_size(15);
+    for (name, src, _) in formulas() {
+        if name.starts_with("deep") {
+            continue; // the 2.9s exact instance belongs to the harness, not the bench loop
+        }
+        let mut ab = Alphabet::from_names(["p0", "p1"]);
+        let f = parse_node_expr(src, &mut ab).unwrap();
+        let rf = core_node_to_regular(&f);
+        group.bench_function(BenchmarkId::new("exact", name), |b| {
+            b.iter(|| satisfiable(&f, 2).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("bounded", name), |b| {
+            b.iter(|| node_sat_bounded(&rf, 4, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for E7: determinization and complementation costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twx_treeauto::examples::{even_a, true_circuits};
+
+fn bench_e7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7");
+    group.sample_size(10);
+    for (name, auto) in [("even-a", even_a()), ("true-circuits", true_circuits())] {
+        group.bench_function(BenchmarkId::new("determinize", name), |b| {
+            b.iter(|| auto.determinize())
+        });
+        group.bench_function(BenchmarkId::new("complement", name), |b| {
+            b.iter(|| auto.complement())
+        });
+        group.bench_function(BenchmarkId::new("self-product", name), |b| {
+            b.iter(|| auto.intersect(&auto))
+        });
+        group.bench_function(BenchmarkId::new("emptiness", name), |b| {
+            b.iter(|| auto.is_empty())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! The experiment harness: regenerates every table of `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release -p twx-bench --bin harness            # full run
+//! cargo run --release -p twx-bench --bin harness -- --quick # smaller sizes
+//! cargo run --release -p twx-bench --bin harness -- e3 e4   # selected
+//! ```
+
+use twx_bench::experiments;
+use twx_bench::Table;
+
+type Runner = fn(bool) -> Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let runners: [(&str, Runner); 8] = [
+        ("e1", experiments::e1_core_eval::run),
+        ("e2", experiments::e2_regxpath_eval::run),
+        ("e3", experiments::e3_translations::run),
+        ("e4", experiments::e4_triangle::run),
+        ("e5", experiments::e5_logic_cost::run),
+        ("e6", experiments::e6_satisfiability::run),
+        ("e7", experiments::e7_closure::run),
+        ("e8", experiments::e8_separation::run),
+    ];
+
+    println!(
+        "treewalk experiment harness ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+    for (id, run) in runners {
+        if !selected.is_empty() && !selected.contains(&id) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let table = run(quick);
+        println!("{}", table.render());
+        println!("  [{id} completed in {:.2?}]\n", t0.elapsed());
+    }
+}

@@ -1,0 +1,94 @@
+//! E1 — Core XPath evaluation scaling.
+//!
+//! The Gottlob–Koch–Pichler linear-time evaluator against the naive
+//! `n × n` relational evaluator, across tree sizes and workload families.
+//! Expected shape: GKP grows linearly with `n` and wins by orders of
+//! magnitude as soon as trees leave cache scale; the naive evaluator is
+//! cubic (matrix closure) and only feasible on small trees.
+
+use crate::experiments::time_us;
+use crate::table::{fmt_micros, Table};
+use crate::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twx_corexpath::ast::PathExpr;
+use twx_corexpath::parser::parse_path_expr;
+use twx_corexpath::{eval_path_image, eval_path_rel};
+use twx_xtree::generate::random_tree;
+use twx_xtree::{Alphabet, NodeSet};
+
+/// The fixed query mix (one per structural feature).
+pub fn queries(ab: &mut Alphabet) -> Vec<(&'static str, PathExpr)> {
+    [
+        ("child-chain", "down/down/down"),
+        ("descendants", "down+[p0]"),
+        ("filtered", "down[<down[p1]>]/down+"),
+        ("siblings", "down+/right+[p0]"),
+        ("updown", "down+[<up/up>]/up"),
+    ]
+    .into_iter()
+    .map(|(name, src)| (name, parse_path_expr(src, ab).expect("query parses")))
+    .collect()
+}
+
+/// Runs E1 and renders its table.
+pub fn run(quick: bool) -> Table {
+    let sizes: &[usize] = if quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000]
+    };
+    let naive_cap = if quick { 300 } else { 1_000 };
+    let mut ab = Alphabet::from_names(["p0", "p1", "p2"]);
+    let qs = queries(&mut ab);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let mut table = Table::new(
+        "E1: Core XPath evaluation — GKP linear vs naive relational",
+        &["workload", "nodes", "query", "gkp", "naive", "speedup"],
+    );
+    for wl in Workload::ALL {
+        for &n in sizes {
+            let t = random_tree(wl.shape(), n, 3, &mut rng);
+            let ctx = NodeSet::singleton(t.len(), t.root());
+            for (name, q) in &qs {
+                let (ans, gkp_us) = time_us(|| eval_path_image(&t, q, &ctx));
+                let (naive_us, speedup) = if n <= naive_cap {
+                    let (rel, us) = time_us(|| eval_path_rel(&t, q));
+                    // same answers, as a safety net
+                    assert_eq!(rel.image(&ctx), ans, "evaluators disagree on {name}");
+                    (fmt_micros(us), format!("{:.0}x", us / gkp_us.max(0.01)))
+                } else {
+                    ("-".into(), "-".into())
+                };
+                table.row(vec![
+                    wl.name().into(),
+                    n.to_string(),
+                    (*name).into(),
+                    fmt_micros(gkp_us),
+                    naive_us,
+                    speedup,
+                ]);
+            }
+        }
+    }
+    table.note(format!(
+        "naive evaluator capped at {naive_cap} nodes (cubic matrix closure)"
+    ));
+    table.note("expected shape: GKP linear in n; naive wins never");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_full_table() {
+        let t = run(true);
+        // 3 workloads × 2 sizes × 5 queries
+        assert_eq!(t.rows.len(), 30);
+        // all naive-checked rows agreed (the run would have panicked)
+        assert!(t.render().contains("E1"));
+    }
+}

@@ -1,0 +1,97 @@
+//! E6 — satisfiability decision procedures.
+//!
+//! The **exact** automata-based procedure for the downward fragment
+//! (compile to a deterministic bottom-up automaton, decide emptiness,
+//! extract a witness) against **bounded-model search** (enumerate all
+//! trees up to a size bound). Expected shape: the exact procedure pays an
+//! automaton-construction cost that grows with formula size (EXPTIME
+//! worst case) but then decides instantly and definitively; bounded search
+//! is cheap per tree but its cost explodes with the bound and it cannot
+//! certify unsatisfiability.
+
+use crate::experiments::time_us;
+use crate::table::{fmt_micros, Table};
+use twx_core::decide::node_sat_bounded;
+use twx_core::from_core::core_node_to_regular;
+use twx_corexpath::parser::parse_node_expr;
+use twx_treeauto::xpath_compile::{compile_node_expr, satisfiable, AcceptAt};
+use twx_xtree::Alphabet;
+
+/// The benchmark formula set: increasing size, mixed sat/unsat.
+pub fn formulas() -> Vec<(&'static str, &'static str, bool)> {
+    vec![
+        ("tiny-sat", "<down[p1]>", true),
+        ("tiny-unsat", "p0 and p1", false),
+        ("leaf-unsat", "leaf and <down>", false),
+        ("mid-sat", "<down+[p0 and <down[p1]>]> and !p1", true),
+        (
+            "mid-unsat",
+            "<down[p0]> and !<down+[p0]>",
+            false,
+        ),
+        (
+            "deep-sat",
+            "<down[<down[<down[p0 and leaf]>]>]> and p1",
+            true,
+        ),
+        (
+            "deep-unsat",
+            "<down+[p0 and !p0]> or (p0 and p1 and true)",
+            false,
+        ),
+    ]
+}
+
+/// Runs E6 and renders its table.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E6: satisfiability — exact automata procedure vs bounded-model search",
+        &["formula", "sat?", "exact", "automaton states", "bounded search", "agree"],
+    );
+    let bound = if quick { 4 } else { 5 };
+    for (name, src, expect_sat) in formulas() {
+        let mut ab = Alphabet::from_names(["p0", "p1"]);
+        let f = parse_node_expr(src, &mut ab).unwrap();
+        let (exact, exact_us) = time_us(|| satisfiable(&f, 2).unwrap());
+        let auto = compile_node_expr(&f, 2, AcceptAt::SomeNode).unwrap();
+        let rf = core_node_to_regular(&f);
+        let (bounded, bounded_us) = time_us(|| node_sat_bounded(&rf, bound, 2));
+        assert_eq!(
+            exact.is_some(),
+            expect_sat,
+            "exact verdict wrong for {name}"
+        );
+        // bounded search may miss models larger than the bound, but must
+        // never find one when the exact procedure says unsat
+        let agree = if exact.is_some() {
+            bounded.is_some()
+        } else {
+            bounded.is_none()
+        };
+        table.row(vec![
+            name.into(),
+            if expect_sat { "sat" } else { "unsat" }.into(),
+            fmt_micros(exact_us),
+            auto.n_states.to_string(),
+            fmt_micros(bounded_us),
+            if agree { "yes" } else { "BOUND TOO SMALL" }.into(),
+        ]);
+    }
+    table.note(format!("bounded search enumerates all trees with ≤ {bound} nodes over 2 labels"));
+    table.note("exact procedure also certifies unsatisfiability; bounded search cannot");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_match_expectations() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), formulas().len());
+        for row in &t.rows {
+            assert_eq!(row[5], "yes", "disagreement in {}", row[0]);
+        }
+    }
+}

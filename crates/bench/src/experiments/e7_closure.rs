@@ -1,0 +1,128 @@
+//! E7 — closure operations on the automata side.
+//!
+//! The paper's closure results (Regular XPath(W) closed under path
+//! intersection and complementation) rest on automata constructions whose
+//! cost is dominated by determinization. This experiment measures that
+//! cost concretely on the bottom-up (MSO) side: state counts through
+//! determinize / complement / product for a family of languages, plus a
+//! correctness sweep of the boolean query algebra on marked automata
+//! against the Regular XPath evaluation of the same queries.
+
+use crate::experiments::time_us;
+use crate::table::{fmt_micros, Table};
+use twx_treeauto::examples::{even_a, true_circuits};
+use twx_treeauto::marked::MarkedQuery;
+use twx_treeauto::xpath_compile::{compile_node_expr, AcceptAt};
+use twx_treeauto::Nfta;
+use twx_xtree::generate::enumerate_trees_up_to;
+use twx_xtree::{Alphabet, Label};
+
+fn measure(table: &mut Table, name: &str, a: &Nfta) {
+    let (d, det_us) = time_us(|| a.determinize());
+    let (c, comp_us) = time_us(|| a.complement());
+    let prod = a.intersect(a);
+    table.row(vec![
+        name.into(),
+        a.n_states.to_string(),
+        format!("{} ({})", d.n_states, fmt_micros(det_us)),
+        format!("{} ({})", c.n_states, fmt_micros(comp_us)),
+        prod.n_states.to_string(),
+    ]);
+}
+
+/// Runs E7 and renders its table.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E7: automata closure — state counts through determinize/complement/product",
+        &["language", "NFTA states", "DFTA states (time)", "complement states (time)", "self-product"],
+    );
+
+    measure(&mut table, "some-b", &some_b());
+    measure(&mut table, "even-a (parity)", &even_a());
+    measure(&mut table, "true-circuits", &true_circuits());
+    let mut ab = Alphabet::from_names(["p0", "p1"]);
+    let f = twx_corexpath::parser::parse_node_expr("<down+[p0 and <down[p1]>]>", &mut ab).unwrap();
+    let xp = compile_node_expr(&f, 2, AcceptAt::SomeNode).unwrap();
+    measure(&mut table, "xpath-compiled", &xp);
+
+    // boolean query algebra correctness sweep
+    let bound = if quick { 3 } else { 4 };
+    let qa = MarkedQuery::label_query(2, Label(0));
+    let qb = MarkedQuery::label_query(2, Label(1));
+    let not_a = qa.negate();
+    let a_and_b = qa.intersect(&qb);
+    let a_or_b = qa.union(&qb);
+    let mut checks = 0usize;
+    let mut failures = 0usize;
+    for t in enumerate_trees_up_to(bound, 2) {
+        let sa = qa.select(&t);
+        let sb = qb.select(&t);
+        // ¬a
+        let mut ca = sa.clone();
+        ca.complement();
+        checks += 1;
+        if not_a.select(&t) != ca {
+            failures += 1;
+        }
+        // a ∧ b, a ∨ b
+        let mut iab = sa.clone();
+        iab.intersect_with(&sb);
+        checks += 1;
+        if a_and_b.select(&t) != iab {
+            failures += 1;
+        }
+        let mut uab = sa.clone();
+        uab.union_with(&sb);
+        checks += 1;
+        if a_or_b.select(&t) != uab {
+            failures += 1;
+        }
+    }
+    table.row(vec![
+        "marked-query algebra".into(),
+        format!("{checks} checks"),
+        format!("{failures} failures"),
+        "-".into(),
+        "-".into(),
+    ]);
+    table.note("determinization is the exponential step; complement = determinize + flip");
+    table.note("expected: zero failures in the boolean query algebra sweep");
+    table
+}
+
+/// The "some node is labelled b" NFTA over a two-letter alphabet.
+fn some_b() -> Nfta {
+    use twx_treeauto::Rule;
+    let mut rules = Vec::new();
+    for (lab, self_has) in [(0u32, false), (1u32, true)] {
+        for left in [None, Some(0), Some(1)] {
+            for right in [None, Some(0), Some(1)] {
+                let has = self_has || left == Some(1) || right == Some(1);
+                rules.push(Rule {
+                    left,
+                    right,
+                    label: Label(lab),
+                    state: u32::from(has),
+                });
+            }
+        }
+    }
+    Nfta {
+        n_states: 2,
+        n_labels: 2,
+        rules,
+        finals: vec![1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algebra_sweep_is_clean() {
+        let t = run(true);
+        let algebra_row = t.rows.last().unwrap();
+        assert_eq!(algebra_row[2], "0 failures");
+    }
+}

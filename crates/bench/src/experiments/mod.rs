@@ -1,0 +1,35 @@
+//! The experiment programme (one module per experiment; see
+//! `EXPERIMENTS.md` for the index).
+
+pub mod e1_core_eval;
+pub mod e2_regxpath_eval;
+pub mod e3_translations;
+pub mod e4_triangle;
+pub mod e5_logic_cost;
+pub mod e6_satisfiability;
+pub mod e7_closure;
+pub mod e8_separation;
+
+use crate::Table;
+
+/// Runs every experiment and returns the tables in order. `quick` shrinks
+/// instance sizes for CI-speed runs.
+pub fn run_all(quick: bool) -> Vec<Table> {
+    vec![
+        e1_core_eval::run(quick),
+        e2_regxpath_eval::run(quick),
+        e3_translations::run(quick),
+        e4_triangle::run(quick),
+        e5_logic_cost::run(quick),
+        e6_satisfiability::run(quick),
+        e7_closure::run(quick),
+        e8_separation::run(quick),
+    ]
+}
+
+/// Times a closure, returning (result, microseconds).
+pub(crate) fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64() * 1e6)
+}

@@ -1,0 +1,59 @@
+//! # twx-bench — the experiment harness
+//!
+//! The paper is pure theory — it has no tables or figures — so, per the
+//! substitution recorded in `DESIGN.md`, this crate defines and runs the
+//! synthetic experimental programme E1–E8 of `EXPERIMENTS.md`:
+//!
+//! * E1/E2 — evaluation-complexity measurements (linear/product evaluators
+//!   vs naive relational baselines);
+//! * E3 — translation blow-ups across the equivalence triangle;
+//! * E4 — exhaustive validation of the triangle (the main theorem);
+//! * E5 — cost of the logic encoding vs direct query evaluation;
+//! * E6 — exact vs bounded satisfiability decision procedures;
+//! * E7 — automata closure operations (determinization/complement blowup);
+//! * E8 — the MSO separation targets (regular languages vs bounded search
+//!   over Regular XPath(W) candidates).
+//!
+//! Each experiment is a function returning a [`Table`]; the `harness`
+//! binary prints them all, and the criterion benches under `benches/`
+//! re-measure the timing-sensitive ones with statistical rigour.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Workload description shared by several experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Document-like XML trees (bounded depth, Zipf labels).
+    Document,
+    /// Deep, narrow trees.
+    Deep,
+    /// Shallow, wide trees.
+    Wide,
+}
+
+impl Workload {
+    /// All workloads.
+    pub const ALL: [Workload; 3] = [Workload::Document, Workload::Deep, Workload::Wide];
+
+    /// The generator shape for this workload.
+    pub fn shape(self) -> twx_xtree::generate::Shape {
+        use twx_xtree::generate::Shape;
+        match self {
+            Workload::Document => Shape::DocumentLike,
+            Workload::Deep => Shape::Deep(2),
+            Workload::Wide => Shape::Wide,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Document => "document",
+            Workload::Deep => "deep",
+            Workload::Wide => "wide",
+        }
+    }
+}

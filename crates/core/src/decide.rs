@@ -1,0 +1,222 @@
+//! Decision procedures for query equivalence, containment and
+//! satisfiability.
+//!
+//! Two regimes, as laid out in `DESIGN.md`:
+//!
+//! * **exact** decisions for the downward Core XPath fragment, delegated
+//!   to the tree-automata compilation of `twx-treeauto` (EXPTIME
+//!   worst-case, complete);
+//! * **bounded-domain** decisions for full Regular XPath(W): exhaustive
+//!   check over all trees up to a size bound (plus random trees), with a
+//!   counterexample tree on the negative side. Complete only up to the
+//!   bound — but equivalence of *tree* queries of modal character has the
+//!   small-model flavour that makes modest bounds remarkably effective in
+//!   practice, and every verdict is accompanied by the evidence.
+
+use twx_regxpath::{RNode, RPath};
+use twx_xtree::generate::enumerate_trees_up_to;
+use twx_xtree::{NodeId, Tree};
+
+/// The outcome of a bounded-domain equivalence check.
+#[derive(Debug, Clone)]
+pub enum BoundedVerdict {
+    /// No difference found on any tree within the bound.
+    EquivalentUpTo {
+        /// The exhaustive bound that was checked.
+        nodes: usize,
+    },
+    /// A tree (and, for path queries, a witness pair) where the two
+    /// queries differ.
+    Inequivalent {
+        /// The counterexample tree.
+        tree: Tree,
+        /// A pair in the symmetric difference (for path queries) or a
+        /// node in it (for node queries, stored as `(v, v)`).
+        witness: (NodeId, NodeId),
+    },
+}
+
+impl BoundedVerdict {
+    /// Whether the verdict is (bounded) equivalence.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, BoundedVerdict::EquivalentUpTo { .. })
+    }
+}
+
+/// Checks equivalence of two path expressions on every tree with at most
+/// `max_nodes` nodes over `labels` labels.
+pub fn path_equiv_bounded(
+    p: &RPath,
+    q: &RPath,
+    max_nodes: usize,
+    labels: usize,
+) -> BoundedVerdict {
+    for t in enumerate_trees_up_to(max_nodes, labels) {
+        let rp = twx_regxpath::eval_rel(&t, p);
+        let rq = twx_regxpath::eval_rel(&t, q);
+        if rp != rq {
+            // find a differing pair
+            for a in t.nodes() {
+                for b in t.nodes() {
+                    if rp.get(a, b) != rq.get(a, b) {
+                        return BoundedVerdict::Inequivalent {
+                            tree: t,
+                            witness: (a, b),
+                        };
+                    }
+                }
+            }
+            unreachable!("relations differ but no differing pair found");
+        }
+    }
+    BoundedVerdict::EquivalentUpTo { nodes: max_nodes }
+}
+
+/// Checks equivalence of two node expressions on every tree with at most
+/// `max_nodes` nodes over `labels` labels.
+pub fn node_equiv_bounded(
+    f: &RNode,
+    g: &RNode,
+    max_nodes: usize,
+    labels: usize,
+) -> BoundedVerdict {
+    for t in enumerate_trees_up_to(max_nodes, labels) {
+        let sf = twx_regxpath::eval_node(&t, f);
+        let sg = twx_regxpath::eval_node(&t, g);
+        if sf != sg {
+            let v = t
+                .nodes()
+                .find(|&v| sf.contains(v) != sg.contains(v))
+                .expect("sets differ");
+            return BoundedVerdict::Inequivalent {
+                tree: t,
+                witness: (v, v),
+            };
+        }
+    }
+    BoundedVerdict::EquivalentUpTo { nodes: max_nodes }
+}
+
+/// Bounded satisfiability of a node expression: searches for a tree with
+/// a node satisfying `f`.
+pub fn node_sat_bounded(f: &RNode, max_nodes: usize, labels: usize) -> Option<Tree> {
+    enumerate_trees_up_to(max_nodes, labels)
+        .into_iter()
+        .find(|t| !twx_regxpath::eval_node(t, f).is_empty())
+}
+
+/// Bounded containment `f ⊨ g` (at every node of every tree within the
+/// bound); returns a countermodel otherwise.
+pub fn node_contained_bounded(
+    f: &RNode,
+    g: &RNode,
+    max_nodes: usize,
+    labels: usize,
+) -> Option<Tree> {
+    node_sat_bounded(&f.clone().and(g.clone().not()), max_nodes, labels)
+}
+
+/// Exact satisfiability for downward-fragment Core XPath (re-exported
+/// convenience over `twx-treeauto`).
+pub use twx_treeauto::xpath_compile::{
+    contains as downward_contains, equivalent as downward_equivalent,
+    satisfiable as downward_satisfiable,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twx_regxpath::ast::Axis;
+    use twx_xtree::Label;
+
+    #[test]
+    fn quiz_equivalences_from_the_talk() {
+        // ↓/↓⁺ ≡ ↓⁺/↓ ≡ ↓⁺/↓⁺ (as relations: depth difference ≥ 2)
+        let d = || RPath::Axis(Axis::Down);
+        let p1 = d().seq(d().plus());
+        let p2 = d().plus().seq(d());
+        let p3 = d().plus().seq(d().plus());
+        assert!(path_equiv_bounded(&p1, &p2, 5, 2).is_equivalent());
+        assert!(path_equiv_bounded(&p1, &p3, 5, 2).is_equivalent());
+        // but ↓ ≢ ↓/↓
+        let v = path_equiv_bounded(&d(), &d().seq(d()), 4, 1);
+        assert!(!v.is_equivalent());
+        if let BoundedVerdict::Inequivalent { tree, witness } = v {
+            // the minimal countermodel is the 2-chain with pair (root, child)
+            assert_eq!(tree.len(), 2);
+            assert_eq!(witness, (NodeId(0), NodeId(1)));
+        }
+    }
+
+    #[test]
+    fn filtered_quiz_inequivalence() {
+        // with filters the variants differ: ↓[p]/↓⁺ vs ↓⁺[p]/↓ test the
+        // label at different depths
+        let p = RNode::Label(Label(0));
+        let e1 = RPath::Axis(Axis::Down).filter(p.clone()).seq(RPath::Axis(Axis::Down).plus());
+        let e2 = RPath::Axis(Axis::Down).plus().filter(p).seq(RPath::Axis(Axis::Down));
+        let v = path_equiv_bounded(&e1, &e2, 4, 2);
+        assert!(!v.is_equivalent());
+    }
+
+    #[test]
+    fn node_equivalence_and_sat() {
+        let has_child = RNode::some(RPath::Axis(Axis::Down));
+        let has_desc = RNode::some(RPath::Axis(Axis::Down).plus());
+        assert!(node_equiv_bounded(&has_child, &has_desc, 4, 2).is_equivalent());
+        let unsat = RNode::Label(Label(0)).and(RNode::Label(Label(0)).not());
+        assert!(node_sat_bounded(&unsat, 4, 2).is_none());
+        let sat = RNode::Label(Label(1)).and(RNode::leaf());
+        let w = node_sat_bounded(&sat, 3, 2).unwrap();
+        assert!(!twx_regxpath::eval_node(&w, &sat).is_empty());
+    }
+
+    #[test]
+    fn within_distinguishes() {
+        // ⟨↑⟩ vs W⟨↑⟩: inequivalent (within cuts the parent off)
+        let f = RNode::some(RPath::Axis(Axis::Up));
+        let v = node_equiv_bounded(&f, &f.clone().within(), 3, 1);
+        assert!(!v.is_equivalent());
+        if let BoundedVerdict::Inequivalent { tree, .. } = v {
+            assert_eq!(tree.len(), 2); // minimal countermodel: a 2-chain
+        }
+    }
+
+    #[test]
+    fn containment_with_countermodel() {
+        let f = RNode::some(RPath::Axis(Axis::Down));
+        let g = RNode::some(RPath::Axis(Axis::Down).filter(RNode::Label(Label(0))));
+        // f ⊭ g over 2 labels: a child may be labelled otherwise
+        let cm = node_contained_bounded(&f, &g, 3, 2).expect("countermodel");
+        let sf = twx_regxpath::eval_node(&cm, &f);
+        let sg = twx_regxpath::eval_node(&cm, &g);
+        assert!(sf.iter().any(|v| !sg.contains(v)));
+        // g ⊨ f always
+        assert!(node_contained_bounded(&g, &f, 4, 2).is_none());
+    }
+
+    #[test]
+    fn exact_and_bounded_agree_on_downward_fragment() {
+        use twx_corexpath::parser::parse_node_expr;
+        use twx_xtree::Alphabet;
+        let mut ab = Alphabet::from_names(["a0", "a1"]);
+        let pairs = [
+            ("<down>", "<down+>", true),
+            ("<down[a1]>", "<down+[a1]>", false),
+            ("a0", "!a1", true), // unique labelling over 2 labels!
+        ];
+        for (fs, gs, _expected) in pairs {
+            let f = parse_node_expr(fs, &mut ab).unwrap();
+            let g = parse_node_expr(gs, &mut ab).unwrap();
+            let exact = downward_equivalent(&f, &g, 2).unwrap();
+            let bounded = node_equiv_bounded(
+                &crate::from_core::core_node_to_regular(&f),
+                &crate::from_core::core_node_to_regular(&g),
+                4,
+                2,
+            )
+            .is_equivalent();
+            assert_eq!(exact, bounded, "{fs} vs {gs}");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Differential-testing harness: the empirical backbone of the
+//! equivalence theorem (experiment E4).
+//!
+//! Given a query in any of the three formalisms, [`TriQuery`] carries its
+//! images under the implemented translations; [`check_tri`] evaluates all
+//! of them on a tree corpus and reports the first disagreement.
+//! `twx-core`'s tests and the E4 harness both drive these functions; a
+//! translation bug anywhere in the triangle surfaces as a counterexample
+//! tree here.
+
+use crate::from_fotc::binary_to_rpath;
+use crate::to_fotc::rpath_to_formula;
+use crate::to_regxpath::ntwa_to_rpath;
+use crate::to_twa::rpath_to_ntwa;
+use twx_fotc::ast::Formula;
+use twx_fotc::eval::eval_binary;
+use twx_regxpath::RPath;
+use twx_twa::machine::Ntwa;
+use twx_xtree::generate::{enumerate_trees_up_to, random_tree, Shape};
+use twx_xtree::Tree;
+
+/// A binary query rendered in all three formalisms.
+#[derive(Debug)]
+pub struct TriQuery {
+    /// The Regular XPath(W) form.
+    pub xpath: RPath,
+    /// The FO(MTC) form with free variables `(0, 1)`.
+    pub logic: Formula,
+    /// The nested tree walking automaton form.
+    pub automaton: Ntwa,
+    /// Regular XPath recovered from the automaton (Kleene direction).
+    pub xpath_back: RPath,
+    /// Regular XPath recovered from the logic (guarded fragment), when the
+    /// formula lands in it.
+    pub xpath_from_logic: Option<RPath>,
+}
+
+impl TriQuery {
+    /// Builds all renditions from a Regular XPath(W) expression.
+    pub fn from_xpath(p: &RPath) -> TriQuery {
+        let logic = rpath_to_formula(p, 0, 1, 2);
+        let automaton = rpath_to_ntwa(p);
+        let xpath_back = ntwa_to_rpath(&automaton);
+        let xpath_from_logic = binary_to_rpath(&logic, 0, 1).ok();
+        TriQuery {
+            xpath: p.clone(),
+            logic,
+            automaton,
+            xpath_back,
+            xpath_from_logic,
+        }
+    }
+}
+
+/// A disagreement found by [`check_tri`].
+#[derive(Debug)]
+pub struct Mismatch {
+    /// Which pair of renditions disagreed.
+    pub what: &'static str,
+    /// The offending tree.
+    pub tree: Tree,
+}
+
+/// Evaluates every rendition of `q` on every tree of `corpus`; returns the
+/// first disagreement, or `None` if the triangle commutes on the corpus.
+pub fn check_tri<'a, I: IntoIterator<Item = &'a Tree>>(q: &TriQuery, corpus: I) -> Option<Mismatch> {
+    for t in corpus {
+        let reference = twx_regxpath::eval_rel(t, &q.xpath);
+        if eval_binary(t, &q.logic, 0, 1) != reference {
+            return Some(Mismatch {
+                what: "xpath vs FO(MTC)",
+                tree: t.clone(),
+            });
+        }
+        if twx_twa::eval::eval_rel(t, &q.automaton) != reference {
+            return Some(Mismatch {
+                what: "xpath vs NTWA",
+                tree: t.clone(),
+            });
+        }
+        if twx_regxpath::eval_rel(t, &q.xpath_back) != reference {
+            return Some(Mismatch {
+                what: "xpath vs Kleene(Thompson(xpath))",
+                tree: t.clone(),
+            });
+        }
+        if let Some(back) = &q.xpath_from_logic {
+            if twx_regxpath::eval_rel(t, back) != reference {
+                return Some(Mismatch {
+                    what: "xpath vs guarded-FO round trip",
+                    tree: t.clone(),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// The standard corpus: every tree with at most `exhaustive_n` nodes over
+/// `labels` labels, plus `random_n` random trees of each workload family.
+pub fn standard_corpus(exhaustive_n: usize, labels: usize, random_n: usize, seed: u64) -> Vec<Tree> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut corpus = enumerate_trees_up_to(exhaustive_n, labels);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for shape in [
+        Shape::Recursive,
+        Shape::Deep(2),
+        Shape::Bounded(3),
+        Shape::Wide,
+        Shape::DocumentLike,
+    ] {
+        for i in 0..random_n {
+            corpus.push(random_tree(shape, 3 + (i % 10), labels, &mut rng));
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use twx_regxpath::generate::{random_rpath, RGenConfig};
+
+    /// E4 in miniature: the triangle commutes for a fuzzed corpus of
+    /// queries on the standard tree corpus.
+    #[test]
+    fn triangle_commutes() {
+        let corpus = standard_corpus(4, 2, 2, 7);
+        let mut rng = StdRng::seed_from_u64(2026);
+        let cfg = RGenConfig::default();
+        for _ in 0..10 {
+            let p = random_rpath(&cfg, 3, &mut rng);
+            let q = TriQuery::from_xpath(&p);
+            if let Some(m) = check_tri(&q, &corpus) {
+                panic!("triangle broken ({}) for {p:?} on {:?}", m.what, m.tree);
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_shape() {
+        let corpus = standard_corpus(3, 2, 1, 1);
+        // 2 + 4 + 16 exhaustive + 5 random
+        assert_eq!(corpus.len(), 2 + 4 + 16 + 5);
+        for t in &corpus {
+            assert!(t.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn w_free_queries_land_in_guarded_fragment() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = RGenConfig {
+            within: false,
+            ..RGenConfig::default()
+        };
+        for _ in 0..20 {
+            let p = random_rpath(&cfg, 3, &mut rng);
+            let q = TriQuery::from_xpath(&p);
+            assert!(
+                q.xpath_from_logic.is_some(),
+                "W-free image fell outside the guarded fragment: {p:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # twx-core — the equivalence triangle
+//!
+//! The paper's contribution: *effective* translations establishing
+//!
+//! ```text
+//!    Regular XPath(W)  ≡  FO(MTC)  ≡  nested tree walking automata
+//! ```
+//!
+//! over finite sibling-ordered labelled trees, plus the deciders and the
+//! differential-testing harness that machine-check every translation on
+//! exhaustive bounded tree domains.
+//!
+//! | module | direction | status |
+//! |---|---|---|
+//! | [`from_core`] | Core XPath → Regular XPath | total, exact |
+//! | [`to_core`] | Regular XPath → Core XPath | partial (Core fragment), exact |
+//! | [`to_fotc`] | Regular XPath(W) → FO(MTC) | total, exact |
+//! | [`from_fotc`] | FO(MTC) → Regular XPath(W) | guarded fragment (see below) |
+//! | [`to_twa`] | Regular XPath(W) → NTWA | total, exact (Thompson) |
+//! | [`to_regxpath`] | NTWA → Regular XPath(W) | total, exact (Kleene) |
+//!
+//! The hard direction FO(MTC) → NTWA of the paper rests on a
+//! super-exponential complementation construction; as recorded in
+//! `DESIGN.md`, this reproduction implements the *guarded fragment*
+//! constructively ([`from_fotc`]) and validates the full equivalence
+//! statement empirically: for both encodings of each random query the
+//! evaluators agree on every tree of the bounded domains ([`diff`]).
+//!
+//! [`decide`] hosts equivalence/containment/satisfiability decision
+//! procedures: exact automata-based decisions for the downward fragment
+//! (via `twx-treeauto`) and bounded-domain decisions with counterexample
+//! extraction for full Regular XPath(W).
+
+pub mod decide;
+pub mod diff;
+pub mod from_core;
+pub mod from_fotc;
+pub mod to_core;
+pub mod to_fotc;
+pub mod to_regxpath;
+pub mod to_twa;
+
+pub use from_core::{core_node_to_regular, core_path_to_regular};
+pub use from_fotc::{binary_to_rpath, unary_to_rnode};
+pub use to_core::{is_core_expressible, lower_rnode, lower_rpath};
+pub use to_fotc::{rnode_to_formula, rpath_to_formula};
+pub use to_regxpath::{ntwa_to_rpath, ntwa_to_rpath_raw};
+pub use to_twa::{rnode_to_ntwa, rpath_to_ntwa};

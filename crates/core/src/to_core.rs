@@ -1,0 +1,160 @@
+//! The partial inverse of the Core XPath embedding: recognising when a
+//! Regular XPath(W) expression lies in the Core fragment.
+//!
+//! Regular XPath strictly extends Core XPath — `(↓/→)*` and `W` have no
+//! Core counterpart — but many expressions produced by the Kleene
+//! translation or by hand *are* Core-expressible: stars that apply to a
+//! single axis (`s*`, recognised also in the unfolded forms `s/s*` and
+//! `s*/s`) become `. ∪ s⁺` / `s⁺`. This module lowers such expressions
+//! back, which matters in practice because the Core evaluator is the
+//! fastest of the stack and the axiomatic rewriter only speaks Core.
+//!
+//! `lower_rpath ∘ core_path_to_regular = id` up to the `s⁺ = s/s*`
+//! unfolding (tested below as semantic equality plus success-rate
+//! assertions).
+
+use twx_corexpath::ast::{NodeExpr, PathExpr};
+use twx_regxpath::{RNode, RPath};
+
+/// Error: the expression uses features outside Core XPath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotCore(pub String);
+
+impl std::fmt::Display for NotCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "not Core-expressible: {}", self.0)
+    }
+}
+
+impl std::error::Error for NotCore {}
+
+fn reject<T>(why: impl Into<String>) -> Result<T, NotCore> {
+    Err(NotCore(why.into()))
+}
+
+/// Lowers a Regular XPath path expression to Core XPath when possible.
+pub fn lower_rpath(p: &RPath) -> Result<PathExpr, NotCore> {
+    match p {
+        RPath::Axis(a) => Ok(PathExpr::axis(*a)),
+        RPath::Eps => Ok(PathExpr::Slf),
+        RPath::Test(f) => Ok(PathExpr::Slf.filter(lower_rnode(f)?)),
+        RPath::Seq(a, b) => {
+            // recognise s/s* and s*/s as s⁺ before generic lowering
+            if let (RPath::Axis(x), RPath::Star(inner)) = (&**a, &**b) {
+                if **inner == RPath::Axis(*x) {
+                    return Ok(PathExpr::plus(*x));
+                }
+            }
+            if let (RPath::Star(inner), RPath::Axis(x)) = (&**a, &**b) {
+                if **inner == RPath::Axis(*x) {
+                    return Ok(PathExpr::plus(*x));
+                }
+            }
+            Ok(lower_rpath(a)?.seq(lower_rpath(b)?))
+        }
+        RPath::Union(a, b) => Ok(lower_rpath(a)?.union(lower_rpath(b)?)),
+        RPath::Star(inner) => match &**inner {
+            // s* = . ∪ s⁺
+            RPath::Axis(a) => Ok(PathExpr::Slf.union(PathExpr::plus(*a))),
+            other => reject(format!("star over a non-axis expression: {other:?}")),
+        },
+        RPath::Filter(a, f) => Ok(lower_rpath(a)?.filter(lower_rnode(f)?)),
+    }
+}
+
+/// Lowers a Regular XPath node expression to Core XPath when possible.
+pub fn lower_rnode(f: &RNode) -> Result<NodeExpr, NotCore> {
+    match f {
+        RNode::True => Ok(NodeExpr::True),
+        RNode::Label(l) => Ok(NodeExpr::Label(*l)),
+        RNode::Some(a) => Ok(NodeExpr::some(lower_rpath(a)?)),
+        RNode::Not(g) => Ok(lower_rnode(g)?.not()),
+        RNode::And(g, h) => Ok(lower_rnode(g)?.and(lower_rnode(h)?)),
+        RNode::Or(g, h) => Ok(lower_rnode(g)?.or(lower_rnode(h)?)),
+        RNode::Within(_) => reject("the W operator has no Core XPath counterpart"),
+    }
+}
+
+/// Whether a path expression lies in the Core fragment.
+pub fn is_core_expressible(p: &RPath) -> bool {
+    lower_rpath(p).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_core::core_path_to_regular;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use twx_corexpath::generate::{random_path_expr, GenConfig};
+    use twx_regxpath::ast::Axis;
+    use twx_xtree::generate::enumerate_trees_up_to;
+
+    /// Round trip from the Core side: embed, lower, compare semantics.
+    #[test]
+    fn roundtrip_from_core() {
+        let trees = enumerate_trees_up_to(4, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = GenConfig {
+            labels: 2,
+            ..GenConfig::default()
+        };
+        for _ in 0..40 {
+            let core = random_path_expr(&cfg, 4, &mut rng);
+            let reg = core_path_to_regular(&core);
+            let back = lower_rpath(&reg)
+                .unwrap_or_else(|e| panic!("embedding image not lowered: {e} for {core:?}"));
+            for t in &trees {
+                assert_eq!(
+                    twx_corexpath::eval_path_rel(t, &core),
+                    twx_corexpath::eval_path_rel(t, &back),
+                    "lowering changed semantics of {core:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recognises_plus_patterns() {
+        let d = || RPath::Axis(Axis::Down);
+        // s/s* and s*/s both lower to s⁺
+        assert_eq!(
+            lower_rpath(&d().seq(d().star())).unwrap(),
+            PathExpr::plus(Axis::Down)
+        );
+        assert_eq!(
+            lower_rpath(&d().star().seq(d())).unwrap(),
+            PathExpr::plus(Axis::Down)
+        );
+        // bare s* lowers to . ∪ s⁺
+        assert_eq!(
+            lower_rpath(&d().star()).unwrap(),
+            PathExpr::Slf.union(PathExpr::plus(Axis::Down))
+        );
+    }
+
+    #[test]
+    fn rejects_proper_regular_features() {
+        let d = || RPath::Axis(Axis::Down);
+        let r = || RPath::Axis(Axis::Right);
+        assert!(!is_core_expressible(&d().seq(r()).star()));
+        assert!(lower_rnode(&RNode::True.within()).is_err());
+        let e = lower_rpath(&d().seq(r()).star()).unwrap_err();
+        assert!(e.to_string().contains("star over a non-axis"));
+    }
+
+    #[test]
+    fn lowered_queries_run_on_the_fast_evaluator() {
+        // end to end: a Regular XPath query that happens to be Core gets
+        // the GKP evaluator — and both evaluators agree
+        let mut ab = twx_xtree::Alphabet::from_names(["a", "b"]);
+        let reg = twx_regxpath::parse_rpath("down/down*[a]/right", &mut ab).unwrap();
+        let core = lower_rpath(&reg).unwrap();
+        for t in enumerate_trees_up_to(5, 2) {
+            assert_eq!(
+                twx_regxpath::eval_rel(&t, &reg),
+                twx_corexpath::eval_path_rel(&t, &core),
+            );
+        }
+    }
+}

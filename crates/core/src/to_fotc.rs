@@ -1,0 +1,223 @@
+//! Regular XPath(W) → FO(MTC): the easy inclusion of the paper's
+//! equivalence, implemented in full.
+//!
+//! * A path expression `A` becomes a formula `TR_A(x, y)` with two free
+//!   variables defining `[[A]]`;
+//! * a node expression `φ` becomes `TR_φ(x)` with one free variable;
+//! * `A*` becomes the monadic transitive closure
+//!   `[TC_{u,v} TR_A(u, v)](x, y)`;
+//! * `W φ` becomes the **relativisation** of `TR_φ` to the subtree of `x`:
+//!   every quantifier is restricted to descendants-or-self of `x`, and
+//!   every `TC` step is restricted at both ends — the logical trick that
+//!   the `within` operator mirrors.
+//!
+//! The translation is linear except for relativisation (which multiplies
+//! by the quantifier count). Exactness is machine-checked on bounded
+//! domains by this module's tests (and E4/E5).
+
+use twx_fotc::ast::{Formula, Var};
+use twx_regxpath::ast::Axis;
+use twx_regxpath::{RNode, RPath};
+
+/// A fresh-variable allocator.
+struct Fresh {
+    next: Var,
+}
+
+impl Fresh {
+    fn var(&mut self) -> Var {
+        let v = self.next;
+        self.next += 1;
+        v
+    }
+}
+
+/// Translates a path expression into a formula with free variables
+/// `(x, y)` defining its relation. Bound variables are allocated from
+/// `first_fresh` upwards; pass a value greater than any variable you care
+/// about (callers usually pass `2` with `x = 0`, `y = 1`).
+/// ```
+/// use twx_core::rpath_to_formula;
+/// use twx_regxpath::{ast::Axis, RPath};
+///
+/// // ↓* becomes a monadic transitive closure
+/// let f = rpath_to_formula(&RPath::Axis(Axis::Down).star(), 0, 1, 2);
+/// assert_eq!(f.tc_depth(), 1);
+/// ```
+pub fn rpath_to_formula(p: &RPath, x: Var, y: Var, first_fresh: Var) -> Formula {
+    let mut fresh = Fresh { next: first_fresh };
+    tr_path(p, x, y, &mut fresh)
+}
+
+/// Translates a node expression into a formula with free variable `x`.
+pub fn rnode_to_formula(f: &RNode, x: Var, first_fresh: Var) -> Formula {
+    let mut fresh = Fresh { next: first_fresh };
+    tr_node(f, x, &mut fresh)
+}
+
+fn tr_path(p: &RPath, x: Var, y: Var, fresh: &mut Fresh) -> Formula {
+    match p {
+        RPath::Axis(Axis::Down) => Formula::Child(x, y),
+        RPath::Axis(Axis::Up) => Formula::Child(y, x),
+        RPath::Axis(Axis::Right) => Formula::NextSib(x, y),
+        RPath::Axis(Axis::Left) => Formula::NextSib(y, x),
+        RPath::Eps => Formula::Eq(x, y),
+        RPath::Test(f) => Formula::Eq(x, y).and(tr_node(f, x, fresh)),
+        RPath::Seq(a, b) => {
+            let z = fresh.var();
+            let fa = tr_path(a, x, z, fresh);
+            let fb = tr_path(b, z, y, fresh);
+            fa.and(fb).exists(z)
+        }
+        RPath::Union(a, b) => tr_path(a, x, y, fresh).or(tr_path(b, x, y, fresh)),
+        RPath::Star(a) => {
+            let u = fresh.var();
+            let v = fresh.var();
+            let step = tr_path(a, u, v, fresh);
+            step.tc(u, v, x, y)
+        }
+        RPath::Filter(a, f) => tr_path(a, x, y, fresh).and(tr_node(f, y, fresh)),
+    }
+}
+
+fn tr_node(f: &RNode, x: Var, fresh: &mut Fresh) -> Formula {
+    match f {
+        RNode::True => Formula::Eq(x, x),
+        RNode::Label(l) => Formula::Label(*l, x),
+        RNode::Some(a) => {
+            let y = fresh.var();
+            tr_path(a, x, y, fresh).exists(y)
+        }
+        RNode::Not(g) => tr_node(g, x, fresh).not(),
+        RNode::And(g, h) => tr_node(g, x, fresh).and(tr_node(h, x, fresh)),
+        RNode::Or(g, h) => tr_node(g, x, fresh).or(tr_node(h, x, fresh)),
+        RNode::Within(g) => {
+            let inner = tr_node(g, x, fresh);
+            relativize(&inner, x, fresh)
+        }
+    }
+}
+
+/// Restricts `f` to the subtree of `root`: quantifiers range over
+/// descendants-or-self of `root`, and `TC` steps stay inside the subtree.
+///
+/// Atomic relations need no rewriting: when both endpoints lie in the
+/// subtree, `child` and `nextsib` agree with their restrictions (the
+/// extracted subtree keeps exactly the edges between its nodes).
+fn relativize(f: &Formula, root: Var, fresh: &mut Fresh) -> Formula {
+    match f {
+        Formula::Label(..) | Formula::Eq(..) | Formula::Child(..) | Formula::NextSib(..) => {
+            f.clone()
+        }
+        Formula::Not(g) => relativize(g, root, fresh).not(),
+        Formula::And(g, h) => relativize(g, root, fresh).and(relativize(h, root, fresh)),
+        Formula::Or(g, h) => relativize(g, root, fresh).or(relativize(h, root, fresh)),
+        Formula::Exists(v, g) => {
+            let body = relativize(g, root, fresh);
+            in_subtree(root, *v, fresh).and(body).exists(*v)
+        }
+        Formula::Forall(v, g) => {
+            let body = relativize(g, root, fresh);
+            in_subtree(root, *v, fresh).implies(body).forall(*v)
+        }
+        Formula::Tc { x, y, phi, from, to } => {
+            let step = relativize(phi, root, fresh);
+            let bounded = in_subtree(root, *x, fresh)
+                .and(in_subtree(root, *y, fresh))
+                .and(step);
+            bounded.tc(*x, *y, *from, *to)
+        }
+    }
+}
+
+/// `descendant-or-self(root, v)` via TC of `child`.
+fn in_subtree(root: Var, v: Var, fresh: &mut Fresh) -> Formula {
+    let a = fresh.var();
+    let b = fresh.var();
+    Formula::Child(a, b).tc(a, b, root, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use twx_fotc::eval::{eval_binary, eval_unary};
+    use twx_regxpath::generate::{random_rnode, random_rpath, RGenConfig};
+    use twx_xtree::generate::{enumerate_trees_up_to, random_tree, Shape};
+
+    /// Theorem (Regular XPath(W) ⊆ FO(MTC)): the translated formula
+    /// defines exactly the same relation/set — exhaustively on trees ≤ 4
+    /// nodes, fuzzed over expressions.
+    #[test]
+    fn translation_preserves_semantics() {
+        let trees = enumerate_trees_up_to(4, 2);
+        let mut rng = StdRng::seed_from_u64(2008);
+        let cfg = RGenConfig::default();
+        for _ in 0..25 {
+            let p = random_rpath(&cfg, 3, &mut rng);
+            let fp = rpath_to_formula(&p, 0, 1, 2);
+            let f = random_rnode(&cfg, 3, &mut rng);
+            let ff = rnode_to_formula(&f, 0, 1);
+            for t in &trees {
+                assert_eq!(
+                    twx_regxpath::eval_rel(t, &p),
+                    eval_binary(t, &fp, 0, 1),
+                    "path mismatch: {p:?} on {t:?}"
+                );
+                assert_eq!(
+                    twx_regxpath::eval_node(t, &f),
+                    eval_unary(t, &ff, 0),
+                    "node mismatch: {f:?} on {t:?}"
+                );
+            }
+        }
+    }
+
+    /// `W` specifically, on deeper random trees (the relativisation is the
+    /// delicate clause).
+    #[test]
+    fn within_relativisation_is_exact() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let cfg = RGenConfig::default();
+        for round in 0..20 {
+            let f = random_rnode(&cfg, 3, &mut rng).within();
+            let ff = rnode_to_formula(&f, 0, 1);
+            let t = random_tree(Shape::Recursive, 2 + round % 7, 2, &mut rng);
+            assert_eq!(
+                twx_regxpath::eval_node(&t, &f),
+                eval_unary(&t, &ff, 0),
+                "within mismatch: {f:?} on {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn star_becomes_tc() {
+        let p = RPath::Axis(Axis::Down).star();
+        let f = rpath_to_formula(&p, 0, 1, 2);
+        assert_eq!(f.tc_depth(), 1);
+        assert_eq!(
+            f.free_vars().into_iter().collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn translation_has_expected_free_vars() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = RGenConfig::default();
+        for _ in 0..50 {
+            let p = random_rpath(&cfg, 4, &mut rng);
+            let f = rpath_to_formula(&p, 0, 1, 2);
+            for v in f.free_vars() {
+                assert!(v < 2, "leaked variable x{v} in translation of {p:?}");
+            }
+            let g = random_rnode(&cfg, 4, &mut rng);
+            let fg = rnode_to_formula(&g, 0, 1);
+            for v in fg.free_vars() {
+                assert!(v < 1, "leaked variable x{v} in translation of {g:?}");
+            }
+        }
+    }
+}

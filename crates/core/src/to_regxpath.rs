@@ -1,0 +1,276 @@
+//! Nested tree walking automata → Regular XPath(W) (Kleene direction).
+//!
+//! A walking automaton is an NFA over the move alphabet, so Kleene's
+//! state-elimination algorithm applies verbatim once each transition is
+//! rendered as a path expression:
+//!
+//! * moves: `Stay → ε`, `Up → up`, `AnyChild → down`,
+//!   `FirstChild → down/?(¬⟨left⟩)`, `LastChild → down/?(¬⟨right⟩)`,
+//!   `NextSib → right`, `PrevSib → left`;
+//! * local guard atoms become node tests (`root = ¬⟨up⟩` etc.);
+//! * a **global** nested invocation of sub-automaton `B` becomes
+//!   `⟨tr(B)⟩` (recursively translating `B`), a **subtree-scoped** one
+//!   becomes `W ⟨tr(B)⟩` — this is where the `W` operator is *necessary*:
+//!   without it the subtree test of a nested automaton has no XPath
+//!   counterpart, which is exactly the paper's motivation for
+//!   Regular XPath(W) over plain Regular XPath.
+//!
+//! State elimination is worst-case exponential in the number of states
+//! (measured in experiment E3); the output is post-simplified.
+
+use twx_regxpath::ast::Axis;
+use twx_regxpath::simplify::simplify_rpath;
+use twx_regxpath::{RNode, RPath};
+use twx_twa::machine::{Move, Ntwa, Scope, TestAtom};
+
+/// Renders a move as a path expression.
+fn move_expr(mv: Move) -> RPath {
+    match mv {
+        Move::Stay => RPath::Eps,
+        Move::Up => RPath::Axis(Axis::Up),
+        Move::AnyChild => RPath::Axis(Axis::Down),
+        Move::FirstChild => RPath::Axis(Axis::Down)
+            .seq(RPath::test(RNode::some(RPath::Axis(Axis::Left)).not())),
+        Move::LastChild => RPath::Axis(Axis::Down)
+            .seq(RPath::test(RNode::some(RPath::Axis(Axis::Right)).not())),
+        Move::NextSib => RPath::Axis(Axis::Right),
+        Move::PrevSib => RPath::Axis(Axis::Left),
+    }
+}
+
+/// Renders one guard atom as a node expression.
+fn atom_expr(atom: &TestAtom, subs: &[Ntwa]) -> RNode {
+    match atom {
+        TestAtom::Label(l) => RNode::Label(*l),
+        TestAtom::NotLabel(l) => RNode::Label(*l).not(),
+        TestAtom::Root(true) => RNode::root(),
+        TestAtom::Root(false) => RNode::some(RPath::Axis(Axis::Up)),
+        TestAtom::Leaf(true) => RNode::leaf(),
+        TestAtom::Leaf(false) => RNode::some(RPath::Axis(Axis::Down)),
+        TestAtom::First(true) => RNode::some(RPath::Axis(Axis::Left)).not(),
+        TestAtom::First(false) => RNode::some(RPath::Axis(Axis::Left)),
+        TestAtom::Last(true) => RNode::some(RPath::Axis(Axis::Right)).not(),
+        TestAtom::Last(false) => RNode::some(RPath::Axis(Axis::Right)),
+        TestAtom::Nested {
+            automaton,
+            negated,
+            scope,
+        } => {
+            let sub = ntwa_to_rpath_raw(&subs[*automaton as usize]);
+            let invoked = match scope {
+                Scope::Global => RNode::some(sub),
+                Scope::Subtree => RNode::some(sub).within(),
+            };
+            if *negated {
+                invoked.not()
+            } else {
+                invoked
+            }
+        }
+    }
+}
+
+/// Renders a whole guard (conjunction of atoms) as a node expression.
+fn guard_expr(guard: &[TestAtom], subs: &[Ntwa]) -> RNode {
+    guard
+        .iter()
+        .map(|a| atom_expr(a, subs))
+        .reduce(|acc, g| acc.and(g))
+        .unwrap_or(RNode::True)
+}
+
+/// Translates an NTWA to a Regular XPath(W) path expression with the same
+/// relation, **without** final simplification (useful to measure the raw
+/// Kleene blow-up in E3).
+pub fn ntwa_to_rpath_raw(a: &Ntwa) -> RPath {
+    // generalised-NFA matrix over n+2 states: n original plus fresh
+    // start (index n) and end (index n+1)
+    let n = a.top.n_states as usize;
+    let start = n;
+    let end = n + 1;
+    let mut m: Vec<Vec<Option<RPath>>> = vec![vec![None; n + 2]; n + 2];
+
+    let add = |m: &mut Vec<Vec<Option<RPath>>>, i: usize, j: usize, e: RPath| {
+        m[i][j] = Some(match m[i][j].take() {
+            Some(old) => old.union(e),
+            None => e,
+        });
+    };
+
+    for tr in &a.top.transitions {
+        let g = guard_expr(&tr.guard, &a.subs);
+        let e = if matches!(g, RNode::True) {
+            move_expr(tr.mv)
+        } else {
+            RPath::test(g).seq(move_expr(tr.mv))
+        };
+        add(&mut m, tr.from as usize, tr.to as usize, e);
+    }
+    add(&mut m, start, a.top.initial as usize, RPath::Eps);
+    for &q in &a.top.accepting {
+        add(&mut m, q as usize, end, RPath::Eps);
+    }
+
+    // eliminate original states one by one
+    for k in 0..n {
+        let self_loop = m[k][k].take();
+        let star: Option<RPath> = self_loop.map(|e| e.star());
+        // collect incoming and outgoing edges of k
+        let preds: Vec<(usize, RPath)> = (0..n + 2)
+            .filter(|&i| i != k)
+            .filter_map(|i| m[i][k].clone().map(|e| (i, e)))
+            .collect();
+        let succs: Vec<(usize, RPath)> = (0..n + 2)
+            .filter(|&j| j != k)
+            .filter_map(|j| m[k][j].clone().map(|e| (j, e)))
+            .collect();
+        for (i, ein) in &preds {
+            for (j, eout) in &succs {
+                let mut path = ein.clone();
+                if let Some(s) = &star {
+                    path = path.seq(s.clone());
+                }
+                path = path.seq(eout.clone());
+                add(&mut m, *i, *j, path);
+            }
+        }
+        for row in m.iter_mut() {
+            row[k] = None;
+        }
+        for cell in m[k].iter_mut() {
+            *cell = None;
+        }
+    }
+
+    m[start][end]
+        .take()
+        .unwrap_or_else(|| RPath::test(RNode::fals()))
+}
+
+/// Translates an NTWA to a simplified Regular XPath(W) path expression
+/// with the same relation.
+///
+/// ```
+/// use twx_core::ntwa_to_rpath;
+/// use twx_twa::machine::{Move, Ntwa, Twa};
+/// use twx_regxpath::{ast::Axis, RPath};
+///
+/// // a one-state loop on AnyChild is ↓* … up to simplification
+/// let walker = Ntwa::flat(Twa {
+///     n_states: 1,
+///     initial: 0,
+///     accepting: vec![0],
+///     transitions: vec![twx_twa::machine::Transition {
+///         from: 0, guard: vec![], mv: Move::AnyChild, to: 0,
+///     }],
+/// });
+/// assert_eq!(ntwa_to_rpath(&walker), RPath::Axis(Axis::Down).star());
+/// ```
+pub fn ntwa_to_rpath(a: &Ntwa) -> RPath {
+    simplify_rpath(&ntwa_to_rpath_raw(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_twa::rpath_to_ntwa;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use twx_regxpath::generate::{random_rpath, RGenConfig};
+    use twx_twa::eval::eval_rel;
+    use twx_twa::generate::{random_ntwa, TGenConfig};
+    use twx_twa::machine::{Transition, Twa};
+    use twx_xtree::generate::{enumerate_trees_up_to, random_tree, Shape};
+
+    /// Theorem (NTWA ⊆ Regular XPath(W)), machine-checked on random
+    /// automata: the Kleene translation yields the same relation.
+    #[test]
+    fn kleene_translation_preserves_relations() {
+        let trees = enumerate_trees_up_to(4, 2);
+        let mut rng = StdRng::seed_from_u64(1968);
+        let cfg = TGenConfig {
+            states: 3,
+            transitions: 5,
+            ..TGenConfig::default()
+        };
+        for _ in 0..20 {
+            let a = random_ntwa(&cfg, &mut rng);
+            let p = ntwa_to_rpath(&a);
+            for t in &trees {
+                assert_eq!(
+                    eval_rel(t, &a),
+                    twx_regxpath::eval_rel(t, &p),
+                    "mismatch for {a:?} → {p:?} on {t:?}"
+                );
+            }
+        }
+    }
+
+    /// Round trip: expression → automaton → expression stays equivalent.
+    #[test]
+    fn roundtrip_through_automata() {
+        let trees = enumerate_trees_up_to(4, 2);
+        let mut rng = StdRng::seed_from_u64(314);
+        let cfg = RGenConfig::default();
+        for round in 0..15 {
+            let p = random_rpath(&cfg, 3, &mut rng);
+            let a = rpath_to_ntwa(&p);
+            let back = ntwa_to_rpath(&a);
+            let extra = random_tree(Shape::Recursive, 3 + round % 6, 2, &mut rng);
+            for t in trees.iter().chain(std::iter::once(&extra)) {
+                assert_eq!(
+                    twx_regxpath::eval_rel(t, &p),
+                    twx_regxpath::eval_rel(t, &back),
+                    "roundtrip broke {p:?} → {back:?} on {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_moves_translate_cleanly() {
+        for (mv, expect) in [
+            (Move::Stay, RPath::Eps),
+            (Move::Up, RPath::Axis(Axis::Up)),
+            (Move::AnyChild, RPath::Axis(Axis::Down)),
+            (Move::NextSib, RPath::Axis(Axis::Right)),
+            (Move::PrevSib, RPath::Axis(Axis::Left)),
+        ] {
+            let a = Ntwa::flat(Twa::single_move(vec![], mv));
+            assert_eq!(ntwa_to_rpath(&a), expect, "{mv:?}");
+        }
+    }
+
+    #[test]
+    fn dead_automaton_translates_to_empty() {
+        let a = Ntwa::flat(Twa {
+            n_states: 2,
+            initial: 0,
+            accepting: vec![1],
+            transitions: vec![],
+        });
+        let p = ntwa_to_rpath(&a);
+        assert!(twx_regxpath::simplify::is_empty_path(&p), "{p:?}");
+    }
+
+    #[test]
+    fn first_child_move_roundtrip() {
+        let a = Ntwa::flat(Twa {
+            n_states: 2,
+            initial: 0,
+            accepting: vec![1],
+            transitions: vec![Transition {
+                from: 0,
+                guard: vec![],
+                mv: Move::FirstChild,
+                to: 1,
+            }],
+        });
+        let p = ntwa_to_rpath(&a);
+        let t = twx_xtree::parse::parse_sexp("(a b c)").unwrap().tree;
+        let rel = twx_regxpath::eval_rel(&t, &p);
+        assert!(rel.get(twx_xtree::NodeId(0), twx_xtree::NodeId(1)));
+        assert!(!rel.get(twx_xtree::NodeId(0), twx_xtree::NodeId(2)));
+        assert_eq!(rel.count(), 1);
+    }
+}

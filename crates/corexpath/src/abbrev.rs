@@ -1,0 +1,325 @@
+//! The abbreviated XPath surface syntax, compiled into Core XPath.
+//!
+//! The familiar W3C notation is sugar over the logical core:
+//!
+//! ```text
+//! /a/b          root, then a-child, then b-child
+//! //a           any a-descendant (of the root when absolute)
+//! a/b           from the context node
+//! .             context node     ..          parent
+//! *             any label        a[b]        filter: has a b-child
+//! a[.//b]       nested relative paths in filters
+//! a | b         union
+//! ```
+//!
+//! Compilation targets (`PathExpr`, `NodeExpr`) are ordinary Core XPath;
+//! an *absolute* path (leading `/` or `//`) is anchored by navigating to
+//! the root first (`.[¬⟨↑⟩] ∪ ↑⁺[¬⟨↑⟩]`, i.e. "self-or-ancestor that has
+//! no parent"), so the result is still a binary relation usable from any
+//! context node.
+
+use crate::ast::{Axis, NodeExpr, PathExpr};
+use crate::parser::SyntaxError;
+use twx_xtree::Alphabet;
+
+fn err<T>(offset: usize, message: impl Into<String>) -> Result<T, SyntaxError> {
+    Err(SyntaxError {
+        offset,
+        message: message.into(),
+    })
+}
+
+/// The path expression navigating from anywhere to the root:
+/// `.[root] ∪ ↑⁺[root]`.
+pub fn to_root() -> PathExpr {
+    PathExpr::Slf
+        .filter(NodeExpr::root())
+        .union(PathExpr::plus(Axis::Up).filter(NodeExpr::root()))
+}
+
+/// Parses an abbreviated XPath expression into a Core XPath path
+/// expression (a binary relation from the context node).
+pub fn parse_abbrev(input: &str, alphabet: &mut Alphabet) -> Result<PathExpr, SyntaxError> {
+    let mut p = AbbrevParser {
+        input: input.as_bytes(),
+        pos: 0,
+        alphabet,
+    };
+    let e = p.union_expr()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return err(p.pos, "trailing input");
+    }
+    Ok(e)
+}
+
+struct AbbrevParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    alphabet: &'a mut Alphabet,
+}
+
+impl AbbrevParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&mut self) -> Result<String, SyntaxError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.input.get(self.pos).is_some_and(|&c| {
+            c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'@' | b'=')
+        }) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return err(start, "expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn union_expr(&mut self) -> Result<PathExpr, SyntaxError> {
+        let mut e = self.path()?;
+        while self.eat(b'|') {
+            e = e.union(self.path()?);
+        }
+        Ok(e)
+    }
+
+    /// `path ::= ('/' | '//')? step (('/' | '//') step)*`
+    fn path(&mut self) -> Result<PathExpr, SyntaxError> {
+        let mut e: Option<PathExpr> = None;
+        // leading anchor
+        if self.eat(b'/') {
+            let anchor = to_root();
+            if self.eat(b'/') {
+                // `//a` = root, descend-or-self, step
+                e = Some(anchor.seq(PathExpr::star(Axis::Down)));
+            } else {
+                e = Some(anchor);
+            }
+            // bare "/" selects the root itself
+            if self.peek().is_none() || self.peek() == Some(b'|') || self.peek() == Some(b']') {
+                return Ok(e.expect("anchored"));
+            }
+        }
+        loop {
+            let step = self.step()?;
+            e = Some(match e {
+                None => step,
+                Some(prev) => prev.seq(step),
+            });
+            self.skip_ws();
+            if self.eat(b'/') {
+                if self.eat(b'/') {
+                    // `a//b` = a, descend-or-self, b
+                    e = Some(e.take().expect("nonempty").seq(PathExpr::star(Axis::Down)));
+                }
+                continue;
+            }
+            return Ok(e.expect("nonempty"));
+        }
+    }
+
+    /// `step ::= '.' | '..' | '*' | NAME, each followed by '[' pred ']'*`
+    fn step(&mut self) -> Result<PathExpr, SyntaxError> {
+        let mut e = match self.peek() {
+            Some(b'.') => {
+                self.pos += 1;
+                if self.eat(b'.') {
+                    PathExpr::axis(Axis::Up)
+                } else {
+                    PathExpr::Slf
+                }
+            }
+            Some(b'*') => {
+                self.pos += 1;
+                PathExpr::axis(Axis::Down)
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.union_expr()?;
+                if !self.eat(b')') {
+                    return err(self.pos, "expected ')'");
+                }
+                inner
+            }
+            _ => {
+                let n = self.name()?;
+                let l = self.alphabet.intern(&n);
+                PathExpr::axis(Axis::Down).filter(NodeExpr::Label(l))
+            }
+        };
+        while self.eat(b'[') {
+            let pred = self.predicate()?;
+            if !self.eat(b']') {
+                return err(self.pos, "expected ']'");
+            }
+            e = e.filter(pred);
+        }
+        Ok(e)
+    }
+
+    /// A predicate is a relative path (existential) or a name test.
+    fn predicate(&mut self) -> Result<NodeExpr, SyntaxError> {
+        if self.peek() == Some(b'!') {
+            self.pos += 1;
+            return Ok(self.predicate()?.not());
+        }
+        // a relative abbreviated path, interpreted existentially
+        let p = self.rel_pred_path()?;
+        Ok(NodeExpr::some(p))
+    }
+
+    /// Relative path inside a predicate: `a/b`, `.//a`, `..`, etc.
+    fn rel_pred_path(&mut self) -> Result<PathExpr, SyntaxError> {
+        let mut e: Option<PathExpr> = None;
+        if self.eat(b'/') {
+            let anchor = to_root();
+            if self.eat(b'/') {
+                e = Some(anchor.seq(PathExpr::star(Axis::Down)));
+            } else {
+                e = Some(anchor);
+            }
+        }
+        loop {
+            let step = self.step()?;
+            e = Some(match e {
+                None => step,
+                Some(prev) => prev.seq(step),
+            });
+            if self.eat(b'/') {
+                if self.eat(b'/') {
+                    e = Some(e.take().expect("nonempty").seq(PathExpr::star(Axis::Down)));
+                }
+                continue;
+            }
+            return Ok(e.expect("nonempty"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_path_image, query};
+    use twx_xtree::parse::parse_xml;
+    use twx_xtree::NodeSet;
+
+    fn doc() -> twx_xtree::Document {
+        parse_xml(
+            "<catalog>\
+               <book><title/><chapter><section/></chapter></book>\
+               <book><chapter><section/><section/></chapter></book>\
+               <journal><title/></journal>\
+             </catalog>",
+        )
+        .unwrap()
+    }
+
+    fn names(doc: &twx_xtree::Document, s: &NodeSet) -> Vec<String> {
+        s.iter().map(|v| doc.label_name(v).to_owned()).collect()
+    }
+
+    #[test]
+    fn absolute_paths() {
+        let mut d = doc();
+        let p = parse_abbrev("/book/chapter", &mut d.alphabet).unwrap();
+        // absolute: same answer from any context node
+        for v in [d.tree.root(), twx_xtree::NodeId(3)] {
+            let ans = query(&d.tree, &p, v);
+            assert_eq!(names(&d, &ans), ["chapter", "chapter"]);
+        }
+    }
+
+    #[test]
+    fn descendant_abbreviation() {
+        let mut d = doc();
+        let p = parse_abbrev("//section", &mut d.alphabet).unwrap();
+        let ans = query(&d.tree, &p, twx_xtree::NodeId(5));
+        assert_eq!(ans.count(), 3);
+        let p = parse_abbrev("/book//section", &mut d.alphabet).unwrap();
+        let ans = query(&d.tree, &p, d.tree.root());
+        assert_eq!(ans.count(), 3);
+    }
+
+    #[test]
+    fn predicates() {
+        let mut d = doc();
+        // books that have a title
+        let p = parse_abbrev("/book[title]", &mut d.alphabet).unwrap();
+        let ans = query(&d.tree, &p, d.tree.root());
+        assert_eq!(ans.count(), 1);
+        // books without a title
+        let p = parse_abbrev("/book[!title]", &mut d.alphabet).unwrap();
+        let ans = query(&d.tree, &p, d.tree.root());
+        assert_eq!(ans.count(), 1);
+        // nested relative predicate with //
+        let p = parse_abbrev("/book[chapter//section]/title", &mut d.alphabet).unwrap();
+        let ans = query(&d.tree, &p, d.tree.root());
+        assert_eq!(ans.count(), 1);
+    }
+
+    #[test]
+    fn dots_and_stars() {
+        let mut d = doc();
+        let p = parse_abbrev("book/..", &mut d.alphabet).unwrap();
+        let ans = query(&d.tree, &p, d.tree.root());
+        assert_eq!(names(&d, &ans), ["catalog"]);
+        let p = parse_abbrev("*/*", &mut d.alphabet).unwrap();
+        let ans = query(&d.tree, &p, d.tree.root());
+        assert_eq!(ans.count(), 4); // title, chapter, chapter, title
+        let p = parse_abbrev("./book", &mut d.alphabet).unwrap();
+        assert_eq!(query(&d.tree, &p, d.tree.root()).count(), 2);
+    }
+
+    #[test]
+    fn union_and_groups() {
+        let mut d = doc();
+        let p = parse_abbrev("/book/title | /journal/title", &mut d.alphabet).unwrap();
+        assert_eq!(query(&d.tree, &p, d.tree.root()).count(), 2);
+        let p = parse_abbrev("(book | journal)/title", &mut d.alphabet).unwrap();
+        assert_eq!(query(&d.tree, &p, d.tree.root()).count(), 2);
+    }
+
+    #[test]
+    fn bare_root() {
+        let mut d = doc();
+        let p = parse_abbrev("/", &mut d.alphabet).unwrap();
+        let from_leaf = eval_path_image(
+            &d.tree,
+            &p,
+            &NodeSet::singleton(d.tree.len(), twx_xtree::NodeId(3)),
+        );
+        assert_eq!(from_leaf.to_vec(), vec![d.tree.root()]);
+    }
+
+    #[test]
+    fn errors() {
+        let mut d = doc();
+        assert!(parse_abbrev("", &mut d.alphabet).is_err());
+        assert!(parse_abbrev("book[", &mut d.alphabet).is_err());
+        assert!(parse_abbrev("book]", &mut d.alphabet).is_err());
+        assert!(parse_abbrev("(book", &mut d.alphabet).is_err());
+    }
+}

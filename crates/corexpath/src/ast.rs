@@ -1,0 +1,262 @@
+//! The two-sorted Core XPath abstract syntax.
+
+use std::fmt;
+use twx_xtree::Label;
+
+/// The four primitive axes: child (↓), parent (↑), previous sibling (←),
+/// next sibling (→).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Axis {
+    /// `↓` — child.
+    Down,
+    /// `↑` — parent.
+    Up,
+    /// `←` — previous sibling.
+    Left,
+    /// `→` — next sibling.
+    Right,
+}
+
+impl Axis {
+    /// The converse axis (↓↔↑, ←↔→).
+    pub fn inverse(self) -> Axis {
+        match self {
+            Axis::Down => Axis::Up,
+            Axis::Up => Axis::Down,
+            Axis::Left => Axis::Right,
+            Axis::Right => Axis::Left,
+        }
+    }
+
+    /// All four axes.
+    pub const ALL: [Axis; 4] = [Axis::Down, Axis::Up, Axis::Left, Axis::Right];
+}
+
+/// A step: a primitive axis or its strict transitive closure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Step {
+    /// The underlying primitive axis.
+    pub axis: Axis,
+    /// Whether this is the transitive closure `s⁺`.
+    pub closure: bool,
+}
+
+impl Step {
+    /// A primitive step.
+    pub fn axis(axis: Axis) -> Step {
+        Step {
+            axis,
+            closure: false,
+        }
+    }
+
+    /// The transitive-closure step `s⁺`.
+    pub fn closure(axis: Axis) -> Step {
+        Step {
+            axis,
+            closure: true,
+        }
+    }
+
+    /// The converse step.
+    pub fn inverse(self) -> Step {
+        Step {
+            axis: self.axis.inverse(),
+            closure: self.closure,
+        }
+    }
+}
+
+/// A Core XPath path expression, denoting a binary relation on nodes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum PathExpr {
+    /// A step `a` (axis or its transitive closure).
+    Step(Step),
+    /// `.` — the identity relation (self).
+    Slf,
+    /// `A/B` — relational composition.
+    Seq(Box<PathExpr>, Box<PathExpr>),
+    /// `A ∪ B` — union.
+    Union(Box<PathExpr>, Box<PathExpr>),
+    /// `A[φ]` — codomain filter: `{(x,y) ∈ A | y ⊨ φ}`.
+    Filter(Box<PathExpr>, Box<NodeExpr>),
+}
+
+/// A Core XPath node expression, denoting a set of nodes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum NodeExpr {
+    /// `⊤` — true at every node.
+    True,
+    /// A label test `p`.
+    Label(Label),
+    /// `⟨A⟩` — some `A`-path starts here (domain of the relation).
+    Some(Box<PathExpr>),
+    /// `¬φ`.
+    Not(Box<NodeExpr>),
+    /// `φ ∧ ψ`.
+    And(Box<NodeExpr>, Box<NodeExpr>),
+    /// `φ ∨ ψ`.
+    Or(Box<NodeExpr>, Box<NodeExpr>),
+}
+
+impl PathExpr {
+    /// A primitive axis step.
+    pub fn axis(a: Axis) -> PathExpr {
+        PathExpr::Step(Step::axis(a))
+    }
+
+    /// A transitive-closure step `a⁺`.
+    pub fn plus(a: Axis) -> PathExpr {
+        PathExpr::Step(Step::closure(a))
+    }
+
+    /// The reflexive closure `a*` as syntactic sugar: `. ∪ a⁺`.
+    pub fn star(a: Axis) -> PathExpr {
+        PathExpr::Slf.union(PathExpr::plus(a))
+    }
+
+    /// `self/other`.
+    pub fn seq(self, other: PathExpr) -> PathExpr {
+        PathExpr::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: PathExpr) -> PathExpr {
+        PathExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self[φ]`.
+    pub fn filter(self, phi: NodeExpr) -> PathExpr {
+        PathExpr::Filter(Box::new(self), Box::new(phi))
+    }
+
+    /// Syntactic size (number of AST nodes, both sorts).
+    pub fn size(&self) -> usize {
+        match self {
+            PathExpr::Step(_) | PathExpr::Slf => 1,
+            PathExpr::Seq(a, b) | PathExpr::Union(a, b) => 1 + a.size() + b.size(),
+            PathExpr::Filter(a, phi) => 1 + a.size() + phi.size(),
+        }
+    }
+
+    /// Maximum nesting depth of filters (`[...]`).
+    pub fn filter_depth(&self) -> usize {
+        match self {
+            PathExpr::Step(_) | PathExpr::Slf => 0,
+            PathExpr::Seq(a, b) | PathExpr::Union(a, b) => a.filter_depth().max(b.filter_depth()),
+            PathExpr::Filter(a, phi) => a.filter_depth().max(1 + phi.filter_depth()),
+        }
+    }
+}
+
+impl NodeExpr {
+    /// `⊥` as sugar: `¬⊤`.
+    pub fn fals() -> NodeExpr {
+        NodeExpr::Not(Box::new(NodeExpr::True))
+    }
+
+    /// `⟨A⟩`.
+    pub fn some(a: PathExpr) -> NodeExpr {
+        NodeExpr::Some(Box::new(a))
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> NodeExpr {
+        NodeExpr::Not(Box::new(self))
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: NodeExpr) -> NodeExpr {
+        NodeExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: NodeExpr) -> NodeExpr {
+        NodeExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `root` as sugar: `¬⟨↑⟩`.
+    pub fn root() -> NodeExpr {
+        NodeExpr::some(PathExpr::axis(Axis::Up)).not()
+    }
+
+    /// `leaf` as sugar: `¬⟨↓⟩`.
+    pub fn leaf() -> NodeExpr {
+        NodeExpr::some(PathExpr::axis(Axis::Down)).not()
+    }
+
+    /// Syntactic size (number of AST nodes, both sorts).
+    pub fn size(&self) -> usize {
+        match self {
+            NodeExpr::True | NodeExpr::Label(_) => 1,
+            NodeExpr::Some(a) => 1 + a.size(),
+            NodeExpr::Not(f) => 1 + f.size(),
+            NodeExpr::And(f, g) | NodeExpr::Or(f, g) => 1 + f.size() + g.size(),
+        }
+    }
+
+    /// Maximum nesting depth of filters inside this node expression.
+    pub fn filter_depth(&self) -> usize {
+        match self {
+            NodeExpr::True | NodeExpr::Label(_) => 0,
+            NodeExpr::Some(a) => a.filter_depth(),
+            NodeExpr::Not(f) => f.filter_depth(),
+            NodeExpr::And(f, g) | NodeExpr::Or(f, g) => f.filter_depth().max(g.filter_depth()),
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Axis::Down => "down",
+            Axis::Up => "up",
+            Axis::Left => "left",
+            Axis::Right => "right",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_is_involution() {
+        for a in Axis::ALL {
+            assert_eq!(a.inverse().inverse(), a);
+        }
+        assert_eq!(Axis::Down.inverse(), Axis::Up);
+        assert_eq!(Axis::Left.inverse(), Axis::Right);
+        assert_eq!(Step::closure(Axis::Down).inverse(), Step::closure(Axis::Up));
+    }
+
+    #[test]
+    fn sizes() {
+        let e = PathExpr::axis(Axis::Down)
+            .filter(NodeExpr::Label(Label(0)))
+            .seq(PathExpr::plus(Axis::Right));
+        assert_eq!(e.size(), 5);
+        assert_eq!(e.filter_depth(), 1);
+        let nested = PathExpr::axis(Axis::Down).filter(NodeExpr::some(
+            PathExpr::axis(Axis::Down).filter(NodeExpr::True),
+        ));
+        assert_eq!(nested.filter_depth(), 2);
+    }
+
+    #[test]
+    fn sugar() {
+        assert_eq!(
+            NodeExpr::root(),
+            NodeExpr::Not(Box::new(NodeExpr::Some(Box::new(PathExpr::Step(
+                Step::axis(Axis::Up)
+            )))))
+        );
+        assert_eq!(
+            PathExpr::star(Axis::Down),
+            PathExpr::Slf.union(PathExpr::plus(Axis::Down))
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Derived XPath axes, defined inside Core XPath.
+//!
+//! The W3C axis set beyond the four primitives is definable: each builder
+//! returns a plain [`PathExpr`] whose relation is the derived axis, and
+//! the tests verify it against the direct navigational computation in
+//! `twx-xtree::traverse`.
+
+use crate::ast::{Axis, NodeExpr, PathExpr};
+
+/// `descendant-or-self` — `. ∪ ↓⁺`.
+pub fn descendant_or_self() -> PathExpr {
+    PathExpr::star(Axis::Down)
+}
+
+/// `ancestor-or-self` — `. ∪ ↑⁺`.
+pub fn ancestor_or_self() -> PathExpr {
+    PathExpr::star(Axis::Up)
+}
+
+/// The `following` axis: everything strictly after the context node in
+/// document order that is not a descendant — `↑*/→⁺/↓*`.
+pub fn following() -> PathExpr {
+    ancestor_or_self()
+        .seq(PathExpr::plus(Axis::Right))
+        .seq(descendant_or_self())
+}
+
+/// The `preceding` axis: everything strictly before the context node in
+/// document order that is not an ancestor — `↑*/←⁺/↓*`.
+pub fn preceding() -> PathExpr {
+    ancestor_or_self()
+        .seq(PathExpr::plus(Axis::Left))
+        .seq(descendant_or_self())
+}
+
+/// Strict document order (`<<` in XPath 2.0 terms): `↓⁺ ∪ following`.
+pub fn document_order() -> PathExpr {
+    PathExpr::plus(Axis::Down).union(following())
+}
+
+/// The total relation on a tree: `↑*/↓*` (through any common ancestor).
+pub fn anywhere() -> PathExpr {
+    ancestor_or_self().seq(descendant_or_self())
+}
+
+/// `self-or-sibling`: children of the parent, or self at the root —
+/// `. ∪ ←⁺ ∪ →⁺`.
+pub fn self_or_sibling() -> PathExpr {
+    PathExpr::Slf
+        .union(PathExpr::plus(Axis::Left))
+        .union(PathExpr::plus(Axis::Right))
+}
+
+/// Navigate to the root from anywhere: `(. ∪ ↑⁺)[¬⟨↑⟩]`.
+pub fn to_root() -> PathExpr {
+    ancestor_or_self().filter(NodeExpr::root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval_naive::eval_path_rel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use twx_xtree::generate::{random_tree, Shape};
+    use twx_xtree::traverse;
+
+    #[test]
+    fn derived_axes_match_navigation() {
+        let mut rng = StdRng::seed_from_u64(2005);
+        for round in 0..12 {
+            let t = random_tree(Shape::Recursive, 2 + round, 2, &mut rng);
+            let fol = eval_path_rel(&t, &following());
+            let pre = eval_path_rel(&t, &preceding());
+            let doc = eval_path_rel(&t, &document_order());
+            let any = eval_path_rel(&t, &anywhere());
+            let root = eval_path_rel(&t, &to_root());
+            for v in t.nodes() {
+                let fol_expect: Vec<_> = traverse::following(&t, v).collect();
+                let fol_got: Vec<_> = t.nodes().filter(|&u| fol.get(v, u)).collect();
+                assert_eq!(fol_got, fol_expect, "following({v:?})");
+                let pre_expect: Vec<_> = traverse::preceding(&t, v).collect();
+                let pre_got: Vec<_> = t.nodes().filter(|&u| pre.get(v, u)).collect();
+                assert_eq!(pre_got, pre_expect, "preceding({v:?})");
+                for u in t.nodes() {
+                    assert_eq!(doc.get(v, u), v.0 < u.0, "doc order ({v:?},{u:?})");
+                    assert!(any.get(v, u), "anywhere misses ({v:?},{u:?})");
+                }
+                assert_eq!(
+                    t.nodes().filter(|&u| root.get(v, u)).collect::<Vec<_>>(),
+                    vec![t.root()],
+                    "to_root({v:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_axis() {
+        let t = twx_xtree::parse::parse_sexp("(a (b d e) (c f))").unwrap().tree;
+        let sib = eval_path_rel(&t, &self_or_sibling());
+        use twx_xtree::NodeId;
+        assert!(sib.get(NodeId(1), NodeId(4)));
+        assert!(sib.get(NodeId(4), NodeId(1)));
+        assert!(sib.get(NodeId(0), NodeId(0)));
+        assert!(!sib.get(NodeId(2), NodeId(5)));
+    }
+}

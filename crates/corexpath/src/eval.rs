@@ -1,0 +1,302 @@
+//! Linear-time set-at-a-time evaluation (Gottlob–Koch–Pichler style).
+//!
+//! Every axis image/preimage of a node set is computed in a single O(|T|)
+//! pass (transitive axes use the preorder-range and link-chasing tricks
+//! documented on [`step_image`]), so evaluating a query costs
+//! `O(|Q| · |T|)` — the bound that motivated the isolation of Core XPath.
+
+use crate::ast::{Axis, NodeExpr, PathExpr, Step};
+use twx_xtree::{NodeId, NodeSet, Tree};
+
+/// The image of `s` under one step: `{ y | ∃x ∈ s. (x,y) ∈ [[step]] }`.
+///
+/// Single O(|T|) pass per step:
+/// * `↓`: `y` qualifies iff `parent(y) ∈ s`;
+/// * `↓⁺`: top-down propagation along parent links (ids are preorder, so a
+///   forward scan sees parents before children);
+/// * `↑`: `y` qualifies iff some child of `y` is in `s` — equivalently
+///   `y = parent(x)` for `x ∈ s`;
+/// * `↑⁺`: `y` has a descendant in `s` iff the prefix count of `s` over the
+///   preorder range `(y, subtree_end(y))` is positive;
+/// * `→` / `→⁺`: forward scan along `prev_sibling` links;
+/// * `←` / `←⁺`: backward scan along `next_sibling` links.
+pub fn step_image(t: &Tree, step: Step, s: &NodeSet) -> NodeSet {
+    let n = t.len();
+    debug_assert_eq!(s.universe(), n);
+    let mut out = NodeSet::empty(n);
+    match (step.axis, step.closure) {
+        (Axis::Down, false) => {
+            for y in t.nodes() {
+                if let Some(p) = t.parent(y) {
+                    if s.contains(p) {
+                        out.insert(y);
+                    }
+                }
+            }
+        }
+        (Axis::Down, true) => {
+            // y ∈ out iff some strict ancestor of y ∈ s
+            for y in t.nodes() {
+                if let Some(p) = t.parent(y) {
+                    if s.contains(p) || out.contains(p) {
+                        out.insert(y);
+                    }
+                }
+            }
+        }
+        (Axis::Up, false) => {
+            for x in s.iter() {
+                if let Some(p) = t.parent(x) {
+                    out.insert(p);
+                }
+            }
+        }
+        (Axis::Up, true) => {
+            // y ∈ out iff subtree(y) \ {y} intersects s: prefix sums
+            let mut prefix = vec![0u32; n + 1];
+            for i in 0..n {
+                prefix[i + 1] = prefix[i] + u32::from(s.contains(NodeId(i as u32)));
+            }
+            for y in t.nodes() {
+                let lo = y.0 as usize + 1;
+                let hi = t.subtree_end(y) as usize;
+                if prefix[hi] > prefix[lo] {
+                    out.insert(y);
+                }
+            }
+        }
+        (Axis::Right, false) => {
+            for x in s.iter() {
+                if let Some(r) = t.next_sibling(x) {
+                    out.insert(r);
+                }
+            }
+        }
+        (Axis::Right, true) => {
+            // forward scan: prev-sibling ids are smaller (preorder)
+            for y in t.nodes() {
+                if let Some(l) = t.prev_sibling(y) {
+                    if s.contains(l) || out.contains(l) {
+                        out.insert(y);
+                    }
+                }
+            }
+        }
+        (Axis::Left, false) => {
+            for x in s.iter() {
+                if let Some(l) = t.prev_sibling(x) {
+                    out.insert(l);
+                }
+            }
+        }
+        (Axis::Left, true) => {
+            // backward scan: next-sibling ids are larger (preorder)
+            for i in (0..n as u32).rev() {
+                let y = NodeId(i);
+                if let Some(r) = t.next_sibling(y) {
+                    if s.contains(r) || out.contains(r) {
+                        out.insert(y);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The preimage of `s` under a step: the image under the converse step.
+pub fn step_preimage(t: &Tree, step: Step, s: &NodeSet) -> NodeSet {
+    step_image(t, step.inverse(), s)
+}
+
+/// Forward image of a context set under a path expression:
+/// `{ y | ∃x ∈ ctx. (x,y) ∈ [[path]] }`.
+pub fn eval_path_image(t: &Tree, path: &PathExpr, ctx: &NodeSet) -> NodeSet {
+    match path {
+        PathExpr::Step(st) => step_image(t, *st, ctx),
+        PathExpr::Slf => ctx.clone(),
+        PathExpr::Seq(a, b) => {
+            let mid = eval_path_image(t, a, ctx);
+            eval_path_image(t, b, &mid)
+        }
+        PathExpr::Union(a, b) => {
+            let mut l = eval_path_image(t, a, ctx);
+            l.union_with(&eval_path_image(t, b, ctx));
+            l
+        }
+        PathExpr::Filter(a, phi) => {
+            let mut img = eval_path_image(t, a, ctx);
+            img.intersect_with(&eval_node(t, phi));
+            img
+        }
+    }
+}
+
+/// Backward image: `{ x | ∃y ∈ targets. (x,y) ∈ [[path]] }`.
+pub fn eval_path_preimage(t: &Tree, path: &PathExpr, targets: &NodeSet) -> NodeSet {
+    match path {
+        PathExpr::Step(st) => step_preimage(t, *st, targets),
+        PathExpr::Slf => targets.clone(),
+        PathExpr::Seq(a, b) => {
+            let mid = eval_path_preimage(t, b, targets);
+            eval_path_preimage(t, a, &mid)
+        }
+        PathExpr::Union(a, b) => {
+            let mut l = eval_path_preimage(t, a, targets);
+            l.union_with(&eval_path_preimage(t, b, targets));
+            l
+        }
+        PathExpr::Filter(a, phi) => {
+            let mut tg = targets.clone();
+            tg.intersect_with(&eval_node(t, phi));
+            eval_path_preimage(t, a, &tg)
+        }
+    }
+}
+
+/// Evaluates a node expression to the set of nodes where it holds.
+pub fn eval_node(t: &Tree, phi: &NodeExpr) -> NodeSet {
+    let n = t.len();
+    match phi {
+        NodeExpr::True => NodeSet::full(n),
+        NodeExpr::Label(l) => {
+            let mut s = NodeSet::empty(n);
+            for v in t.nodes() {
+                if t.label(v) == *l {
+                    s.insert(v);
+                }
+            }
+            s
+        }
+        NodeExpr::Some(a) => eval_path_preimage(t, a, &NodeSet::full(n)),
+        NodeExpr::Not(f) => {
+            let mut s = eval_node(t, f);
+            s.complement();
+            s
+        }
+        NodeExpr::And(f, g) => {
+            let mut s = eval_node(t, f);
+            s.intersect_with(&eval_node(t, g));
+            s
+        }
+        NodeExpr::Or(f, g) => {
+            let mut s = eval_node(t, f);
+            s.union_with(&eval_node(t, g));
+            s
+        }
+    }
+}
+
+/// Answers a path query from a single context node (the common API for
+/// document querying): the set of nodes reachable from `ctx`.
+///
+/// ```
+/// use twx_corexpath::{parse_path_expr, query};
+/// use twx_xtree::parse::parse_sexp;
+///
+/// let doc = parse_sexp("(a (b c) c)").unwrap();
+/// let mut ab = doc.alphabet.clone();
+/// let p = parse_path_expr("down+[c]", &mut ab).unwrap();
+/// assert_eq!(query(&doc.tree, &p, doc.tree.root()).count(), 2);
+/// ```
+pub fn query(t: &Tree, path: &PathExpr, ctx: NodeId) -> NodeSet {
+    eval_path_image(t, path, &NodeSet::singleton(t.len(), ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Axis, NodeExpr, PathExpr};
+    use twx_xtree::parse::parse_sexp;
+    use twx_xtree::Label;
+
+    /// (a (b (d) (e)) (c (f)))  — ids: a=0 b=1 d=2 e=3 c=4 f=5
+    fn sample() -> Tree {
+        parse_sexp("(a (b d e) (c f))").unwrap().tree
+    }
+
+    fn ids(s: &NodeSet) -> Vec<u32> {
+        s.iter().map(|v| v.0).collect()
+    }
+
+    #[test]
+    fn step_images() {
+        let t = sample();
+        let root = NodeSet::singleton(6, NodeId(0));
+        assert_eq!(ids(&step_image(&t, Step::axis(Axis::Down), &root)), [1, 4]);
+        assert_eq!(
+            ids(&step_image(&t, Step::closure(Axis::Down), &root)),
+            [1, 2, 3, 4, 5]
+        );
+        let d = NodeSet::singleton(6, NodeId(2));
+        assert_eq!(ids(&step_image(&t, Step::axis(Axis::Up), &d)), [1]);
+        assert_eq!(ids(&step_image(&t, Step::closure(Axis::Up), &d)), [0, 1]);
+        assert_eq!(ids(&step_image(&t, Step::axis(Axis::Right), &d)), [3]);
+        let e = NodeSet::singleton(6, NodeId(3));
+        assert_eq!(ids(&step_image(&t, Step::axis(Axis::Left), &e)), [2]);
+        assert_eq!(ids(&step_image(&t, Step::closure(Axis::Left), &e)), [2]);
+        let b = NodeSet::singleton(6, NodeId(1));
+        assert_eq!(ids(&step_image(&t, Step::closure(Axis::Right), &b)), [4]);
+    }
+
+    #[test]
+    fn path_queries() {
+        let t = sample();
+        // ↓/↓ from root = grandchildren
+        let p = PathExpr::axis(Axis::Down).seq(PathExpr::axis(Axis::Down));
+        assert_eq!(ids(&query(&t, &p, NodeId(0))), [2, 3, 5]);
+        // ↓[b]/↓ from root = children of b
+        let p = PathExpr::axis(Axis::Down)
+            .filter(NodeExpr::Label(Label(1)))
+            .seq(PathExpr::axis(Axis::Down));
+        assert_eq!(ids(&query(&t, &p, NodeId(0))), [2, 3]);
+        // union
+        let p = PathExpr::axis(Axis::Down).union(PathExpr::plus(Axis::Down));
+        assert_eq!(ids(&query(&t, &p, NodeId(1))), [2, 3]);
+    }
+
+    #[test]
+    fn node_expressions() {
+        let t = sample();
+        // leaf = ¬⟨↓⟩
+        assert_eq!(ids(&eval_node(&t, &NodeExpr::leaf())), [2, 3, 5]);
+        // root = ¬⟨↑⟩
+        assert_eq!(ids(&eval_node(&t, &NodeExpr::root())), [0]);
+        // ⟨→⟩ — has a next sibling
+        let phi = NodeExpr::some(PathExpr::axis(Axis::Right));
+        assert_eq!(ids(&eval_node(&t, &phi)), [1, 2]);
+        // label e ∧ leaf (labels interned in document order: e = Label(3))
+        let phi = NodeExpr::Label(Label(3)).and(NodeExpr::leaf());
+        assert_eq!(ids(&eval_node(&t, &phi)), [3]);
+        // ⊤ and ⊥
+        assert_eq!(eval_node(&t, &NodeExpr::True).count(), 6);
+        assert_eq!(eval_node(&t, &NodeExpr::fals()).count(), 0);
+    }
+
+    #[test]
+    fn preimage_matches_domain_semantics() {
+        let t = sample();
+        // ⟨↓[f-label]⟩ = nodes with an f-child = {c}
+        let phi = NodeExpr::some(PathExpr::axis(Axis::Down).filter(NodeExpr::Label(Label(5))));
+        assert_eq!(ids(&eval_node(&t, &phi)), [4]);
+        // preimage of {e} under ↓⁺ = ancestors of e
+        let pre = eval_path_preimage(
+            &t,
+            &PathExpr::plus(Axis::Down),
+            &NodeSet::singleton(6, NodeId(3)),
+        );
+        assert_eq!(ids(&pre), [0, 1]);
+    }
+
+    #[test]
+    fn filter_applies_to_codomain() {
+        let t = sample();
+        // ↓⁺[leaf] from root
+        let p = PathExpr::plus(Axis::Down).filter(NodeExpr::leaf());
+        assert_eq!(ids(&query(&t, &p, NodeId(0))), [2, 3, 5]);
+        // preimage of full set under ↓⁺[b]: nodes with a b-descendant
+        let p = PathExpr::plus(Axis::Down).filter(NodeExpr::Label(Label(1)));
+        let pre = eval_path_preimage(&t, &p, &NodeSet::full(6));
+        assert_eq!(ids(&pre), [0]);
+    }
+}

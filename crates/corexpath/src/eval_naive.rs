@@ -1,0 +1,165 @@
+//! Naive relational evaluation: materialise the full binary relation of a
+//! path expression as an `n × n` bit matrix.
+//!
+//! `O(|Q| · n³/64)` — the textbook semantics executed literally, used as a
+//! differential-testing oracle for the linear evaluator and as the baseline
+//! in experiment E1.
+
+use crate::ast::{Axis, NodeExpr, PathExpr, Step};
+use twx_xtree::{BitMatrix, NodeSet, Tree};
+
+/// The relation of a primitive axis as a bit matrix.
+pub fn axis_matrix(t: &Tree, axis: Axis) -> BitMatrix {
+    let n = t.len();
+    let mut m = BitMatrix::empty(n);
+    for v in t.nodes() {
+        match axis {
+            Axis::Down => {
+                if let Some(p) = t.parent(v) {
+                    m.set(p, v);
+                }
+            }
+            Axis::Up => {
+                if let Some(p) = t.parent(v) {
+                    m.set(v, p);
+                }
+            }
+            Axis::Right => {
+                if let Some(s) = t.next_sibling(v) {
+                    m.set(v, s);
+                }
+            }
+            Axis::Left => {
+                if let Some(s) = t.prev_sibling(v) {
+                    m.set(v, s);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// The relation of a step (axis or its strict transitive closure).
+pub fn step_matrix(t: &Tree, step: Step) -> BitMatrix {
+    let m = axis_matrix(t, step.axis);
+    if step.closure {
+        m.plus()
+    } else {
+        m
+    }
+}
+
+/// Materialises `[[path]]` as a bit matrix.
+pub fn eval_path_rel(t: &Tree, path: &PathExpr) -> BitMatrix {
+    match path {
+        PathExpr::Step(s) => step_matrix(t, *s),
+        PathExpr::Slf => BitMatrix::identity(t.len()),
+        PathExpr::Seq(a, b) => eval_path_rel(t, a).compose(&eval_path_rel(t, b)),
+        PathExpr::Union(a, b) => {
+            let mut m = eval_path_rel(t, a);
+            m.union_with(&eval_path_rel(t, b));
+            m
+        }
+        PathExpr::Filter(a, phi) => {
+            let mut m = eval_path_rel(t, a);
+            m.filter_codomain(&eval_node_naive(t, phi));
+            m
+        }
+    }
+}
+
+/// Evaluates a node expression through the relational semantics
+/// (`[[⟨A⟩]] = domain of [[A]]`).
+pub fn eval_node_naive(t: &Tree, phi: &NodeExpr) -> NodeSet {
+    let n = t.len();
+    match phi {
+        NodeExpr::True => NodeSet::full(n),
+        NodeExpr::Label(l) => {
+            NodeSet::from_iter(n, t.nodes().filter(|&v| t.label(v) == *l))
+        }
+        NodeExpr::Some(a) => eval_path_rel(t, a).domain(),
+        NodeExpr::Not(f) => {
+            let mut s = eval_node_naive(t, f);
+            s.complement();
+            s
+        }
+        NodeExpr::And(f, g) => {
+            let mut s = eval_node_naive(t, f);
+            s.intersect_with(&eval_node_naive(t, g));
+            s
+        }
+        NodeExpr::Or(f, g) => {
+            let mut s = eval_node_naive(t, f);
+            s.union_with(&eval_node_naive(t, g));
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_node, eval_path_image};
+    use twx_xtree::parse::parse_sexp;
+    use twx_xtree::NodeId;
+
+    fn sample() -> Tree {
+        parse_sexp("(a (b d e) (c f))").unwrap().tree
+    }
+
+    #[test]
+    fn axis_matrices() {
+        let t = sample();
+        let down = axis_matrix(&t, Axis::Down);
+        assert!(down.get(NodeId(0), NodeId(1)));
+        assert!(down.get(NodeId(1), NodeId(2)));
+        assert!(!down.get(NodeId(0), NodeId(2)));
+        assert_eq!(down.count(), 5);
+        let up = axis_matrix(&t, Axis::Up);
+        assert_eq!(up, down.transpose());
+        let right = axis_matrix(&t, Axis::Right);
+        assert!(right.get(NodeId(1), NodeId(4)));
+        assert!(right.get(NodeId(2), NodeId(3)));
+        assert_eq!(right.count(), 2);
+        assert_eq!(axis_matrix(&t, Axis::Left), right.transpose());
+    }
+
+    #[test]
+    fn closure_matrix() {
+        let t = sample();
+        let descplus = step_matrix(&t, Step::closure(Axis::Down));
+        assert!(descplus.get(NodeId(0), NodeId(5)));
+        assert!(!descplus.get(NodeId(0), NodeId(0)));
+        assert_eq!(descplus.count(), 5 + 3); // edges + (0,2),(0,3),(0,5)
+    }
+
+    /// The two evaluators must agree on a pile of expressions — the central
+    /// differential test backing E1.
+    #[test]
+    fn agrees_with_linear_evaluator() {
+        use crate::generate::{random_node_expr, random_path_expr, GenConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use twx_xtree::generate::{random_tree, Shape};
+
+        let mut rng = StdRng::seed_from_u64(2008);
+        let cfg = GenConfig::default();
+        for round in 0..60 {
+            let t = random_tree(Shape::Recursive, 1 + (round % 14), 3, &mut rng);
+            let n = t.len();
+            let p = random_path_expr(&cfg, 4, &mut rng);
+            let rel = eval_path_rel(&t, &p);
+            for v in t.nodes() {
+                let fast = eval_path_image(&t, &p, &NodeSet::singleton(n, v));
+                let slow = rel.image(&NodeSet::singleton(n, v));
+                assert_eq!(fast, slow, "path {p:?} from {v:?} on tree {t:?}");
+            }
+            let f = random_node_expr(&cfg, 4, &mut rng);
+            assert_eq!(
+                eval_node(&t, &f),
+                eval_node_naive(&t, &f),
+                "node expr {f:?} on {t:?}"
+            );
+        }
+    }
+}

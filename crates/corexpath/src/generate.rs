@@ -1,0 +1,109 @@
+//! Random expression generators (fuzzing + differential tests + benches).
+
+use crate::ast::{Axis, NodeExpr, PathExpr, Step};
+use rand::Rng;
+use twx_xtree::Label;
+
+/// Configuration for random expression generation.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Axes allowed to appear (fragments restrict this).
+    pub axes: Vec<Axis>,
+    /// Whether transitive-closure steps `s⁺` may appear.
+    pub closures: bool,
+    /// Number of labels to draw label tests from.
+    pub labels: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            axes: Axis::ALL.to_vec(),
+            closures: true,
+            labels: 3,
+        }
+    }
+}
+
+impl GenConfig {
+    /// A single-axis fragment configuration.
+    pub fn single_axis(axis: Axis, closure: bool, labels: usize) -> Self {
+        GenConfig {
+            axes: vec![axis],
+            closures: closure,
+            labels,
+        }
+    }
+}
+
+fn random_step<R: Rng>(cfg: &GenConfig, rng: &mut R) -> Step {
+    let axis = cfg.axes[rng.gen_range(0..cfg.axes.len())];
+    let closure = cfg.closures && rng.gen_bool(0.4);
+    Step { axis, closure }
+}
+
+/// Generates a random path expression with recursion budget `depth`.
+pub fn random_path_expr<R: Rng>(cfg: &GenConfig, depth: usize, rng: &mut R) -> PathExpr {
+    if depth == 0 {
+        return if rng.gen_bool(0.15) {
+            PathExpr::Slf
+        } else {
+            PathExpr::Step(random_step(cfg, rng))
+        };
+    }
+    match rng.gen_range(0..8) {
+        0 | 1 => PathExpr::Step(random_step(cfg, rng)),
+        2 => PathExpr::Slf,
+        3 | 4 => random_path_expr(cfg, depth - 1, rng).seq(random_path_expr(cfg, depth - 1, rng)),
+        5 => random_path_expr(cfg, depth - 1, rng).union(random_path_expr(cfg, depth - 1, rng)),
+        _ => random_path_expr(cfg, depth - 1, rng).filter(random_node_expr(cfg, depth - 1, rng)),
+    }
+}
+
+/// Generates a random node expression with recursion budget `depth`.
+pub fn random_node_expr<R: Rng>(cfg: &GenConfig, depth: usize, rng: &mut R) -> NodeExpr {
+    if depth == 0 {
+        return match rng.gen_range(0..3) {
+            0 => NodeExpr::True,
+            _ => NodeExpr::Label(Label(rng.gen_range(0..cfg.labels) as u32)),
+        };
+    }
+    match rng.gen_range(0..8) {
+        0 => NodeExpr::True,
+        1 | 2 => NodeExpr::Label(Label(rng.gen_range(0..cfg.labels) as u32)),
+        3 | 4 => NodeExpr::some(random_path_expr(cfg, depth - 1, rng)),
+        5 => random_node_expr(cfg, depth - 1, rng).not(),
+        6 => random_node_expr(cfg, depth - 1, rng).and(random_node_expr(cfg, depth - 1, rng)),
+        _ => random_node_expr(cfg, depth - 1, rng).or(random_node_expr(cfg, depth - 1, rng)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::axes_of_path;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_axis_restriction() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = GenConfig::single_axis(Axis::Down, true, 2);
+        for _ in 0..50 {
+            let p = random_path_expr(&cfg, 5, &mut rng);
+            for (axis, _) in axes_of_path(&p) {
+                assert_eq!(axis, Axis::Down);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_atomic() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = GenConfig::default();
+        for _ in 0..20 {
+            let p = random_path_expr(&cfg, 0, &mut rng);
+            assert!(p.size() == 1, "{p:?}");
+        }
+    }
+}

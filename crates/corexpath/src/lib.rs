@@ -1,0 +1,49 @@
+//! # twx-corexpath — Core XPath 1.0
+//!
+//! The navigational core of XPath 1.0 as isolated by Gottlob, Koch and
+//! Pichler (2002), in the notation of the logical literature. Two sorts of
+//! expressions over sibling-ordered labelled trees:
+//!
+//! ```text
+//! s      ::=  ↓ | ↑ | ← | →                        (primitive axes)
+//! a      ::=  s | s⁺                               (steps)
+//! pexpr  ::=  a | . | pexpr/pexpr | pexpr ∪ pexpr | pexpr[nexpr]
+//! nexpr  ::=  p | ⟨pexpr⟩ | ¬nexpr | nexpr ∧ nexpr | nexpr ∨ nexpr | ⊤
+//! ```
+//!
+//! Path expressions denote binary relations over nodes, node expressions
+//! denote node sets. This crate provides:
+//!
+//! * the two-sorted AST ([`ast`]) with surface parser ([`parser`]) and
+//!   pretty printer ([`print`]);
+//! * the **linear-time evaluator** ([`eval`]) in the style of
+//!   Gottlob–Koch–Pichler: `O(|Q| · |T|)` set-at-a-time evaluation using
+//!   per-axis image/preimage passes;
+//! * a naive `O(|Q| · |T|³)` relational evaluator ([`eval_naive`]) used as a
+//!   differential-testing baseline and in the E1 experiment;
+//! * the axiomatic rewrite engine ([`rewrite`]) implementing directed
+//!   instances of the idempotent-semiring, predicate and node axioms — each
+//!   rule machine-verified sound on bounded tree domains by this crate's
+//!   tests (the "soundness problem" for optimizer rule sets);
+//! * axis-fragment analysis ([`fragment`]) for the single-axis and
+//!   restricted-axis sublanguages whose equivalence problems have known
+//!   complexity (coNP / PSPACE / EXPTIME);
+//! * random expression generators for fuzzing ([`generate`]).
+
+pub mod abbrev;
+pub mod ast;
+pub mod axioms;
+pub mod derived;
+pub mod eval;
+pub mod eval_naive;
+pub mod fragment;
+pub mod generate;
+pub mod parser;
+pub mod print;
+pub mod rewrite;
+
+pub use ast::{Axis, NodeExpr, PathExpr, Step};
+pub use eval::{eval_node, eval_path_image, eval_path_preimage, query};
+pub use eval_naive::{eval_node_naive, eval_path_rel};
+pub use abbrev::parse_abbrev;
+pub use parser::{parse_node_expr, parse_path_expr};

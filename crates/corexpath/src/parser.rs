@@ -1,0 +1,432 @@
+//! Surface syntax for Core XPath.
+//!
+//! ```text
+//! path  ::=  union
+//! union ::=  seq ( '|' seq )*
+//! seq   ::=  post ( '/' post )*
+//! post  ::=  atom ( '[' node ']' )*
+//! atom  ::=  'down' | 'up' | 'left' | 'right'      (optionally '+')
+//!         |  '.' | '(' path ')'
+//!
+//! node  ::=  disj
+//! disj  ::=  conj ( 'or' conj )*
+//! conj  ::=  unary ( 'and' unary )*
+//! unary ::=  '!' unary | 'not' '(' node ')'
+//!         |  '<' path '>' | 'true' | 'false' | 'root' | 'leaf'
+//!         |  LABEL | '(' node ')'
+//! ```
+//!
+//! `root` and `leaf` expand to `!<up>` and `!<down>`. Identifiers that are
+//! not keywords are label tests (interned into the supplied alphabet).
+
+use crate::ast::{Axis, NodeExpr, PathExpr, Step};
+use std::fmt;
+use twx_xtree::Alphabet;
+
+/// A syntax error with character position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    /// Byte offset of the offending token.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Slash,
+    Pipe,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    LAngle,
+    RAngle,
+    Bang,
+    Dot,
+    Plus,
+    Eof,
+}
+
+struct Lexer<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<(usize, Tok), SyntaxError> {
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        let Some(&c) = self.input.get(self.pos) else {
+            return Ok((start, Tok::Eof));
+        };
+        self.pos += 1;
+        let tok = match c {
+            b'/' => Tok::Slash,
+            b'|' => Tok::Pipe,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'<' => Tok::LAngle,
+            b'>' => Tok::RAngle,
+            b'!' => Tok::Bang,
+            b'.' => Tok::Dot,
+            b'+' => Tok::Plus,
+            c if c.is_ascii_alphanumeric() || c == b'_' || c == b'@' => {
+                while self
+                    .input
+                    .get(self.pos)
+                    .is_some_and(|&c| c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'@' | b'='))
+                {
+                    self.pos += 1;
+                }
+                Tok::Ident(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+            }
+            c => {
+                return Err(SyntaxError {
+                    offset: start,
+                    message: format!("unexpected character '{}'", c as char),
+                })
+            }
+        };
+        Ok((start, tok))
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    tok: Tok,
+    tok_pos: usize,
+    alphabet: &'a mut Alphabet,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, alphabet: &'a mut Alphabet) -> Result<Self, SyntaxError> {
+        let mut lexer = Lexer::new(input);
+        let (tok_pos, tok) = lexer.next_tok()?;
+        Ok(Parser {
+            lexer,
+            tok,
+            tok_pos,
+            alphabet,
+        })
+    }
+
+    fn bump(&mut self) -> Result<(), SyntaxError> {
+        let (p, t) = self.lexer.next_tok()?;
+        self.tok = t;
+        self.tok_pos = p;
+        Ok(())
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), SyntaxError> {
+        if self.tok == t {
+            self.bump()
+        } else {
+            Err(self.err(format!("expected {t:?}, found {:?}", self.tok)))
+        }
+    }
+
+    fn err(&self, message: String) -> SyntaxError {
+        SyntaxError {
+            offset: self.tok_pos,
+            message,
+        }
+    }
+
+    // ---- path grammar ----
+
+    fn path(&mut self) -> Result<PathExpr, SyntaxError> {
+        let mut e = self.seq()?;
+        while self.tok == Tok::Pipe {
+            self.bump()?;
+            e = e.union(self.seq()?);
+        }
+        Ok(e)
+    }
+
+    fn seq(&mut self) -> Result<PathExpr, SyntaxError> {
+        let mut e = self.postfix()?;
+        while self.tok == Tok::Slash {
+            self.bump()?;
+            e = e.seq(self.postfix()?);
+        }
+        Ok(e)
+    }
+
+    fn postfix(&mut self) -> Result<PathExpr, SyntaxError> {
+        let mut e = self.path_atom()?;
+        while self.tok == Tok::LBracket {
+            self.bump()?;
+            let phi = self.node()?;
+            self.expect(Tok::RBracket)?;
+            e = e.filter(phi);
+        }
+        Ok(e)
+    }
+
+    fn path_atom(&mut self) -> Result<PathExpr, SyntaxError> {
+        match self.tok.clone() {
+            Tok::Dot => {
+                self.bump()?;
+                Ok(PathExpr::Slf)
+            }
+            Tok::LParen => {
+                self.bump()?;
+                let e = self.path()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                let axis = match name.as_str() {
+                    "down" | "child" => Axis::Down,
+                    "up" | "parent" => Axis::Up,
+                    "left" | "preceding-sibling" => Axis::Left,
+                    "right" | "following-sibling" => Axis::Right,
+                    other => {
+                        return Err(self.err(format!(
+                            "expected an axis (down/up/left/right), found '{other}'"
+                        )))
+                    }
+                };
+                self.bump()?;
+                let closure = if self.tok == Tok::Plus {
+                    self.bump()?;
+                    true
+                } else {
+                    false
+                };
+                Ok(PathExpr::Step(Step { axis, closure }))
+            }
+            t => Err(self.err(format!("expected a path expression, found {t:?}"))),
+        }
+    }
+
+    // ---- node grammar ----
+
+    fn node(&mut self) -> Result<NodeExpr, SyntaxError> {
+        let mut e = self.conj()?;
+        while self.tok == Tok::Ident("or".into()) {
+            self.bump()?;
+            e = e.or(self.conj()?);
+        }
+        Ok(e)
+    }
+
+    fn conj(&mut self) -> Result<NodeExpr, SyntaxError> {
+        let mut e = self.unary()?;
+        while self.tok == Tok::Ident("and".into()) {
+            self.bump()?;
+            e = e.and(self.unary()?);
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<NodeExpr, SyntaxError> {
+        match self.tok.clone() {
+            Tok::Bang => {
+                self.bump()?;
+                Ok(self.unary()?.not())
+            }
+            Tok::LAngle => {
+                self.bump()?;
+                let p = self.path()?;
+                self.expect(Tok::RAngle)?;
+                Ok(NodeExpr::some(p))
+            }
+            Tok::LParen => {
+                self.bump()?;
+                let e = self.node()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => match name.as_str() {
+                "true" => {
+                    self.bump()?;
+                    Ok(NodeExpr::True)
+                }
+                "false" => {
+                    self.bump()?;
+                    Ok(NodeExpr::fals())
+                }
+                "root" => {
+                    self.bump()?;
+                    Ok(NodeExpr::root())
+                }
+                "leaf" => {
+                    self.bump()?;
+                    Ok(NodeExpr::leaf())
+                }
+                "not" => {
+                    self.bump()?;
+                    self.expect(Tok::LParen)?;
+                    let e = self.node()?;
+                    self.expect(Tok::RParen)?;
+                    Ok(e.not())
+                }
+                "and" | "or" => Err(self.err(format!("'{name}' is a reserved word"))),
+                _ => {
+                    let l = self.alphabet.intern(&name);
+                    self.bump()?;
+                    Ok(NodeExpr::Label(l))
+                }
+            },
+            t => Err(self.err(format!("expected a node expression, found {t:?}"))),
+        }
+    }
+}
+
+/// Parses a path expression, interning label tests into `alphabet`.
+pub fn parse_path_expr(input: &str, alphabet: &mut Alphabet) -> Result<PathExpr, SyntaxError> {
+    let mut p = Parser::new(input, alphabet)?;
+    let e = p.path()?;
+    if p.tok != Tok::Eof {
+        return Err(p.err(format!("trailing input: {:?}", p.tok)));
+    }
+    Ok(e)
+}
+
+/// Parses a node expression, interning label tests into `alphabet`.
+pub fn parse_node_expr(input: &str, alphabet: &mut Alphabet) -> Result<NodeExpr, SyntaxError> {
+    let mut p = Parser::new(input, alphabet)?;
+    let e = p.node()?;
+    if p.tok != Tok::Eof {
+        return Err(p.err(format!("trailing input: {:?}", p.tok)));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Axis, PathExpr};
+
+    #[test]
+    fn parses_steps_and_composition() {
+        let mut ab = Alphabet::new();
+        let p = parse_path_expr("down/right+", &mut ab).unwrap();
+        assert_eq!(
+            p,
+            PathExpr::axis(Axis::Down).seq(PathExpr::plus(Axis::Right))
+        );
+    }
+
+    #[test]
+    fn precedence_union_binds_loosest() {
+        let mut ab = Alphabet::new();
+        let p = parse_path_expr("down/up | left", &mut ab).unwrap();
+        assert_eq!(
+            p,
+            PathExpr::axis(Axis::Down)
+                .seq(PathExpr::axis(Axis::Up))
+                .union(PathExpr::axis(Axis::Left))
+        );
+    }
+
+    #[test]
+    fn filters_and_labels() {
+        let mut ab = Alphabet::new();
+        let p = parse_path_expr("down[b]/down", &mut ab).unwrap();
+        let b = ab.lookup("b").unwrap();
+        assert_eq!(
+            p,
+            PathExpr::axis(Axis::Down)
+                .filter(crate::NodeExpr::Label(b))
+                .seq(PathExpr::axis(Axis::Down))
+        );
+    }
+
+    #[test]
+    fn node_expressions() {
+        let mut ab = Alphabet::new();
+        let f = parse_node_expr("!a and <down+[b]> or true", &mut ab).unwrap();
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        use crate::NodeExpr as N;
+        assert_eq!(
+            f,
+            N::Label(a)
+                .not()
+                .and(N::some(PathExpr::plus(Axis::Down).filter(N::Label(b))))
+                .or(N::True)
+        );
+    }
+
+    #[test]
+    fn sugar_keywords() {
+        let mut ab = Alphabet::new();
+        assert_eq!(
+            parse_node_expr("root", &mut ab).unwrap(),
+            crate::NodeExpr::root()
+        );
+        assert_eq!(
+            parse_node_expr("leaf", &mut ab).unwrap(),
+            crate::NodeExpr::leaf()
+        );
+        assert_eq!(
+            parse_node_expr("not(x)", &mut ab).unwrap(),
+            parse_node_expr("!x", &mut ab).unwrap()
+        );
+        assert_eq!(
+            parse_node_expr("false", &mut ab).unwrap(),
+            crate::NodeExpr::fals()
+        );
+    }
+
+    #[test]
+    fn xpath_axis_aliases() {
+        let mut ab = Alphabet::new();
+        assert_eq!(
+            parse_path_expr("child/parent", &mut ab).unwrap(),
+            parse_path_expr("down/up", &mut ab).unwrap()
+        );
+        assert_eq!(
+            parse_path_expr("following-sibling+", &mut ab).unwrap(),
+            parse_path_expr("right+", &mut ab).unwrap()
+        );
+    }
+
+    #[test]
+    fn nested_filters_and_parens() {
+        let mut ab = Alphabet::new();
+        let p = parse_path_expr("(down | up)[<down[a]>]/.", &mut ab).unwrap();
+        assert_eq!(p.filter_depth(), 2);
+        assert_eq!(p.size(), 10);
+    }
+
+    #[test]
+    fn errors() {
+        let mut ab = Alphabet::new();
+        assert!(parse_path_expr("", &mut ab).is_err());
+        assert!(parse_path_expr("down/", &mut ab).is_err());
+        assert!(parse_path_expr("down[", &mut ab).is_err());
+        assert!(parse_path_expr("foo", &mut ab).is_err());
+        assert!(parse_path_expr("down down", &mut ab).is_err());
+        assert!(parse_node_expr("<down", &mut ab).is_err());
+        assert!(parse_node_expr("and", &mut ab).is_err());
+        assert!(parse_path_expr("down$", &mut ab).is_err());
+    }
+}

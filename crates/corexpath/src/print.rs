@@ -1,0 +1,173 @@
+//! Pretty printing, inverse to the parser: `parse(print(e)) == e`.
+
+use crate::ast::{Axis, NodeExpr, PathExpr, Step};
+use std::fmt::Write;
+use twx_xtree::Alphabet;
+
+/// Renders a path expression in the surface syntax of
+/// [`parse_path_expr`](crate::parser::parse_path_expr).
+pub fn path_to_string(p: &PathExpr, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    write_path(p, alphabet, 0, &mut out);
+    out
+}
+
+/// Renders a node expression in the surface syntax of
+/// [`parse_node_expr`](crate::parser::parse_node_expr).
+pub fn node_to_string(f: &NodeExpr, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    write_node(f, alphabet, 0, &mut out);
+    out
+}
+
+fn axis_name(a: Axis) -> &'static str {
+    match a {
+        Axis::Down => "down",
+        Axis::Up => "up",
+        Axis::Left => "left",
+        Axis::Right => "right",
+    }
+}
+
+/// Path precedence: 0 = union, 1 = seq, 2 = postfix/atom.
+fn write_path(p: &PathExpr, ab: &Alphabet, prec: u8, out: &mut String) {
+    match p {
+        PathExpr::Step(Step { axis, closure }) => {
+            out.push_str(axis_name(*axis));
+            if *closure {
+                out.push('+');
+            }
+        }
+        PathExpr::Slf => out.push('.'),
+        PathExpr::Union(a, b) => {
+            let parens = prec > 0;
+            if parens {
+                out.push('(');
+            }
+            write_path(a, ab, 0, out);
+            out.push_str(" | ");
+            write_path(b, ab, 1, out);
+            if parens {
+                out.push(')');
+            }
+        }
+        PathExpr::Seq(a, b) => {
+            let parens = prec > 1;
+            if parens {
+                out.push('(');
+            }
+            write_path(a, ab, 1, out);
+            out.push('/');
+            write_path(b, ab, 2, out);
+            if parens {
+                out.push(')');
+            }
+        }
+        PathExpr::Filter(a, phi) => {
+            // postfix: the filtered expression must be atomic-or-postfix
+            write_path(a, ab, 2, out);
+            out.push('[');
+            write_node(phi, ab, 0, out);
+            out.push(']');
+        }
+    }
+}
+
+/// Node precedence: 0 = or, 1 = and, 2 = unary/atom.
+fn write_node(f: &NodeExpr, ab: &Alphabet, prec: u8, out: &mut String) {
+    match f {
+        NodeExpr::True => out.push_str("true"),
+        NodeExpr::Label(l) => {
+            let _ = write!(out, "{}", ab.name(*l));
+        }
+        NodeExpr::Some(a) => {
+            out.push('<');
+            write_path(a, ab, 0, out);
+            out.push('>');
+        }
+        NodeExpr::Not(g) => {
+            out.push('!');
+            write_node(g, ab, 2, out);
+        }
+        NodeExpr::And(g, h) => {
+            let parens = prec > 1;
+            if parens {
+                out.push('(');
+            }
+            write_node(g, ab, 1, out);
+            out.push_str(" and ");
+            write_node(h, ab, 2, out);
+            if parens {
+                out.push(')');
+            }
+        }
+        NodeExpr::Or(g, h) => {
+            let parens = prec > 0;
+            if parens {
+                out.push('(');
+            }
+            write_node(g, ab, 0, out);
+            out.push_str(" or ");
+            write_node(h, ab, 1, out);
+            if parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_node_expr, random_path_expr, GenConfig};
+    use crate::parser::{parse_node_expr, parse_path_expr};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simple_forms() {
+        let mut ab = Alphabet::new();
+        let p = parse_path_expr("down[b]/right+ | .", &mut ab).unwrap();
+        assert_eq!(path_to_string(&p, &ab), "down[b]/right+ | .");
+        let f = parse_node_expr("!a and (b or true)", &mut ab).unwrap();
+        assert_eq!(node_to_string(&f, &ab), "!a and (b or true)");
+    }
+
+    #[test]
+    fn parenthesization_preserves_shape() {
+        let mut ab = Alphabet::new();
+        // (a|b)/c needs parens; a|(b/c) does not
+        let p1 = parse_path_expr("(down | up)/left", &mut ab).unwrap();
+        let p2 = parse_path_expr("down | up/left", &mut ab).unwrap();
+        assert_ne!(p1, p2);
+        let s1 = path_to_string(&p1, &ab);
+        let s2 = path_to_string(&p2, &ab);
+        assert_eq!(parse_path_expr(&s1, &mut ab).unwrap(), p1);
+        assert_eq!(parse_path_expr(&s2, &mut ab).unwrap(), p2);
+    }
+
+    /// print→parse roundtrip over a fuzzed corpus (the printer/parser pair
+    /// is the substrate for all textual tooling, so this must be exact).
+    #[test]
+    fn roundtrip_fuzz() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let cfg = GenConfig::default();
+        let mut ab = Alphabet::new();
+        // pre-intern generator labels l0..l2 with names matching nothing
+        for i in 0..cfg.labels {
+            ab.intern(&format!("p{i}"));
+        }
+        for _ in 0..300 {
+            let p = random_path_expr(&cfg, 5, &mut rng);
+            let s = path_to_string(&p, &ab);
+            let back = parse_path_expr(&s, &mut ab)
+                .unwrap_or_else(|e| panic!("reparse failed for '{s}': {e}"));
+            assert_eq!(back, p, "roundtrip failed: {s}");
+            let f = random_node_expr(&cfg, 5, &mut rng);
+            let s = node_to_string(&f, &ab);
+            let back = parse_node_expr(&s, &mut ab)
+                .unwrap_or_else(|e| panic!("reparse failed for '{s}': {e}"));
+            assert_eq!(back, f, "roundtrip failed: {s}");
+        }
+    }
+}

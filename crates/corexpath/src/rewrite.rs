@@ -1,0 +1,379 @@
+//! Axiomatic rewriting.
+//!
+//! Directed instances of the equational axioms for Core XPath — the
+//! idempotent-semiring axioms (ISAx), predicate axioms (PrAx) and node
+//! axioms (NdAx) of the complete axiomatisations in the literature — used
+//! as a size-non-increasing simplifier. Every rule is an *oriented valid
+//! equivalence*; this crate's tests machine-check soundness of each rule on
+//! exhaustive bounded tree domains (the "soundness problem" a query
+//! optimizer faces: fake equivalences are not easy to spot by hand).
+//!
+//! The rewriter normalises:
+//! * `./A → A`, `A/. → A` (ISAx5: `.` is the composition unit);
+//! * associativity of `/` and `∪` to right spines (ISAx1/ISAx4);
+//! * commutativity + idempotence of `∪`: sort and deduplicate (ISAx2/3);
+//! * `A[⊤] → A` (PrAx4 direction), `A[φ][ψ] → A[φ∧ψ]` (PrAx2 direction);
+//! * `(A/B)[φ] → A/(B[φ])` (PrAx3);
+//! * units/absorption and double negation in the boolean sort (NdAx1);
+//! * `⟨.⟩ → ⊤` and `⟨.[φ]⟩ → φ` (NdAx4); the valid distribution laws
+//!   `⟨A ∪ B⟩ = ⟨A⟩ ∨ ⟨B⟩` and `⟨A/B⟩ = ⟨A[⟨B⟩]⟩` are *not* applied —
+//!   they grow the expression, and the rewriter is size-non-increasing;
+//! * subexpressions with syntactically empty denotation (filters by `⊥`)
+//!   are absorbed in unions.
+
+use crate::ast::{NodeExpr, PathExpr};
+
+/// Whether a node expression is syntactically `⊥` (false at every node in
+/// every tree, recognisable without semantic reasoning).
+pub fn is_false(f: &NodeExpr) -> bool {
+    match f {
+        NodeExpr::Not(g) => is_true(g),
+        NodeExpr::And(g, h) => is_false(g) || is_false(h),
+        NodeExpr::Or(g, h) => is_false(g) && is_false(h),
+        NodeExpr::Some(p) => is_empty_path(p),
+        _ => false,
+    }
+}
+
+/// Whether a node expression is syntactically `⊤`.
+pub fn is_true(f: &NodeExpr) -> bool {
+    match f {
+        NodeExpr::True => true,
+        NodeExpr::Not(g) => is_false(g),
+        NodeExpr::And(g, h) => is_true(g) && is_true(h),
+        NodeExpr::Or(g, h) => is_true(g) || is_true(h),
+        _ => false,
+    }
+}
+
+/// Whether a path expression denotes the empty relation on every tree,
+/// recognisable syntactically.
+pub fn is_empty_path(p: &PathExpr) -> bool {
+    match p {
+        PathExpr::Step(_) | PathExpr::Slf => false,
+        PathExpr::Seq(a, b) => is_empty_path(a) || is_empty_path(b),
+        PathExpr::Union(a, b) => is_empty_path(a) && is_empty_path(b),
+        PathExpr::Filter(a, phi) => is_empty_path(a) || is_false(phi),
+    }
+}
+
+/// Simplifies a path expression by rewriting to fixpoint (bottom-up).
+pub fn simplify_path(p: &PathExpr) -> PathExpr {
+    let mut cur = p.clone();
+    loop {
+        let next = simplify_path_once(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+/// Simplifies a node expression by rewriting to fixpoint (bottom-up).
+pub fn simplify_node(f: &NodeExpr) -> NodeExpr {
+    let mut cur = f.clone();
+    loop {
+        let next = simplify_node_once(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+fn simplify_path_once(p: &PathExpr) -> PathExpr {
+    match p {
+        PathExpr::Step(_) | PathExpr::Slf => p.clone(),
+        PathExpr::Seq(a, b) => {
+            let a = simplify_path_once(a);
+            let b = simplify_path_once(b);
+            match (a, b) {
+                // ISAx5: ./A = A, A/. = A
+                (PathExpr::Slf, b) => b,
+                (a, PathExpr::Slf) => a,
+                // ISAx4: reassociate to the right
+                (PathExpr::Seq(x, y), b) => x.seq(y.seq(b)),
+                (a, b) => a.seq(b),
+            }
+        }
+        PathExpr::Union(_, _) => {
+            // flatten, simplify members, drop empties, sort, dedupe (ISAx1-3)
+            let mut members = Vec::new();
+            flatten_union(p, &mut members);
+            let mut simplified: Vec<PathExpr> = members
+                .into_iter()
+                .map(|m| simplify_path_once(&m))
+                .filter(|m| !is_empty_path(m))
+                .collect();
+            simplified.sort();
+            simplified.dedup();
+            match simplified.len() {
+                0 => {
+                    // all branches empty: keep a canonical empty expression
+                    PathExpr::Slf.filter(NodeExpr::fals())
+                }
+                _ => {
+                    let mut it = simplified.into_iter().rev();
+                    let last = it.next().expect("nonempty");
+                    it.fold(last, |acc, m| m.union(acc))
+                }
+            }
+        }
+        PathExpr::Filter(a, phi) => {
+            let a = simplify_path_once(a);
+            let phi = simplify_node_once(phi);
+            if is_true(&phi) {
+                // PrAx4 direction: A[⊤] = A
+                return a;
+            }
+            match a {
+                // PrAx2 direction: A[φ][ψ] = A[φ ∧ ψ]
+                PathExpr::Filter(inner, psi) => inner.filter(psi.and(phi)),
+                // PrAx3: (A/B)[φ] = A/(B[φ])
+                PathExpr::Seq(x, y) => x.seq(y.filter(phi)),
+                a => a.filter(phi),
+            }
+        }
+    }
+}
+
+fn flatten_union(p: &PathExpr, out: &mut Vec<PathExpr>) {
+    match p {
+        PathExpr::Union(a, b) => {
+            flatten_union(a, out);
+            flatten_union(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+fn simplify_node_once(f: &NodeExpr) -> NodeExpr {
+    match f {
+        NodeExpr::True | NodeExpr::Label(_) => f.clone(),
+        NodeExpr::Some(a) => {
+            let a = simplify_path_once(a);
+            match a {
+                // ⟨.⟩ = ⊤
+                PathExpr::Slf => NodeExpr::True,
+                // ⟨.[φ]⟩ = φ (NdAx4)
+                PathExpr::Filter(x, phi) if *x == PathExpr::Slf => *phi,
+                a if is_empty_path(&a) => NodeExpr::fals(),
+                a => NodeExpr::some(a),
+            }
+        }
+        NodeExpr::Not(g) => {
+            let g = simplify_node_once(g);
+            match g {
+                // double negation
+                NodeExpr::Not(h) => *h,
+                g if is_false(&g) => NodeExpr::True,
+                g => g.not(),
+            }
+        }
+        NodeExpr::And(_, _) => {
+            let mut members = Vec::new();
+            flatten_and(f, &mut members);
+            let simplified: Vec<NodeExpr> = members
+                .into_iter()
+                .map(|m| simplify_node_once(&m))
+                .filter(|m| !is_true(m))
+                .collect();
+            if simplified.iter().any(is_false) {
+                return NodeExpr::fals();
+            }
+            let mut simplified = simplified;
+            simplified.sort();
+            simplified.dedup();
+            // contradiction φ ∧ ¬φ
+            for m in &simplified {
+                if simplified.contains(&m.clone().not()) {
+                    return NodeExpr::fals();
+                }
+            }
+            match simplified.len() {
+                0 => NodeExpr::True,
+                _ => {
+                    let mut it = simplified.into_iter().rev();
+                    let last = it.next().expect("nonempty");
+                    it.fold(last, |acc, m| m.and(acc))
+                }
+            }
+        }
+        NodeExpr::Or(_, _) => {
+            let mut members = Vec::new();
+            flatten_or(f, &mut members);
+            let simplified: Vec<NodeExpr> = members
+                .into_iter()
+                .map(|m| simplify_node_once(&m))
+                .filter(|m| !is_false(m))
+                .collect();
+            if simplified.iter().any(is_true) {
+                return NodeExpr::True;
+            }
+            let mut simplified = simplified;
+            simplified.sort();
+            simplified.dedup();
+            // tautology φ ∨ ¬φ
+            for m in &simplified {
+                if simplified.contains(&m.clone().not()) {
+                    return NodeExpr::True;
+                }
+            }
+            match simplified.len() {
+                0 => NodeExpr::fals(),
+                _ => {
+                    let mut it = simplified.into_iter().rev();
+                    let last = it.next().expect("nonempty");
+                    it.fold(last, |acc, m| m.or(acc))
+                }
+            }
+        }
+    }
+}
+
+fn flatten_and(f: &NodeExpr, out: &mut Vec<NodeExpr>) {
+    match f {
+        NodeExpr::And(g, h) => {
+            flatten_and(g, out);
+            flatten_and(h, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+fn flatten_or(f: &NodeExpr, out: &mut Vec<NodeExpr>) {
+    match f {
+        NodeExpr::Or(g, h) => {
+            flatten_or(g, out);
+            flatten_or(h, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Axis;
+    use crate::eval::{eval_node, eval_path_image};
+    use crate::generate::{random_node_expr, random_path_expr, GenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use twx_xtree::generate::enumerate_trees_up_to;
+    use twx_xtree::{Label, NodeSet};
+
+    #[test]
+    fn unit_laws() {
+        let a = PathExpr::axis(Axis::Down);
+        assert_eq!(simplify_path(&PathExpr::Slf.seq(a.clone())), a);
+        assert_eq!(simplify_path(&a.clone().seq(PathExpr::Slf)), a);
+        assert_eq!(simplify_path(&a.clone().filter(NodeExpr::True)), a);
+        assert_eq!(simplify_path(&a.clone().union(a.clone())), a);
+    }
+
+    #[test]
+    fn filter_fusion_and_pushdown() {
+        let a = PathExpr::axis(Axis::Down);
+        let p = NodeExpr::Label(Label(0));
+        let q = NodeExpr::Label(Label(1));
+        // A[p][q] → A[p ∧ q]
+        assert_eq!(
+            simplify_path(&a.clone().filter(p.clone()).filter(q.clone())),
+            a.clone().filter(p.clone().and(q.clone()))
+        );
+        // (A/B)[p] → A/(B[p])
+        let b = PathExpr::axis(Axis::Right);
+        assert_eq!(
+            simplify_path(&a.clone().seq(b.clone()).filter(p.clone())),
+            a.seq(b.filter(p))
+        );
+    }
+
+    #[test]
+    fn boolean_laws() {
+        let p = NodeExpr::Label(Label(0));
+        assert_eq!(simplify_node(&p.clone().not().not()), p);
+        assert_eq!(simplify_node(&p.clone().and(NodeExpr::True)), p);
+        assert_eq!(simplify_node(&p.clone().or(NodeExpr::fals())), p);
+        assert_eq!(simplify_node(&p.clone().and(p.clone().not())), NodeExpr::fals());
+        assert_eq!(simplify_node(&p.clone().or(p.clone().not())), NodeExpr::True);
+        assert_eq!(
+            simplify_node(&NodeExpr::some(PathExpr::Slf)),
+            NodeExpr::True
+        );
+    }
+
+    #[test]
+    fn empty_paths_absorbed() {
+        let a = PathExpr::axis(Axis::Down);
+        let dead = PathExpr::axis(Axis::Up).filter(NodeExpr::fals());
+        assert!(is_empty_path(&dead));
+        assert_eq!(simplify_path(&a.clone().union(dead.clone())), a);
+        assert!(is_false(&NodeExpr::some(dead)));
+    }
+
+    #[test]
+    fn diamond_laws() {
+        // ⟨A ∪ A⟩ = ⟨A⟩ (dedupe happens at the path level, under the ⟨·⟩)
+        let a = PathExpr::axis(Axis::Down);
+        let f = NodeExpr::some(a.clone().union(a.clone()));
+        assert_eq!(simplify_node(&f), NodeExpr::some(a));
+        // ⟨.[φ]⟩ = φ
+        let phi = NodeExpr::Label(Label(1));
+        assert_eq!(
+            simplify_node(&NodeExpr::some(PathExpr::Slf.filter(phi.clone()))),
+            phi
+        );
+    }
+
+    /// Soundness of the whole rule system: `simplify(e) ≡ e` on every tree
+    /// with ≤ 5 nodes over 2 labels, for a fuzzed corpus of expressions —
+    /// precisely the check a query optimizer's rewrite rules need.
+    #[test]
+    fn rewriting_is_sound_on_bounded_domains() {
+        let trees = enumerate_trees_up_to(5, 2);
+        let mut rng = StdRng::seed_from_u64(77);
+        let cfg = GenConfig {
+            labels: 2,
+            ..GenConfig::default()
+        };
+        for _ in 0..40 {
+            let p = random_path_expr(&cfg, 4, &mut rng);
+            let sp = simplify_path(&p);
+            assert!(sp.size() <= p.size(), "simplify grew {p:?} to {sp:?}");
+            let f = random_node_expr(&cfg, 4, &mut rng);
+            let sf = simplify_node(&f);
+            for t in &trees {
+                for v in t.nodes() {
+                    let ctx = NodeSet::singleton(t.len(), v);
+                    assert_eq!(
+                        eval_path_image(t, &p, &ctx),
+                        eval_path_image(t, &sp, &ctx),
+                        "unsound path rewrite: {p:?} → {sp:?} on {t:?}"
+                    );
+                }
+                assert_eq!(
+                    eval_node(t, &f),
+                    eval_node(t, &sf),
+                    "unsound node rewrite: {f:?} → {sf:?}"
+                );
+            }
+        }
+    }
+
+    /// `↓/↓⁺`, `↓⁺/↓` and `↓⁺/↓⁺` happen to be semantically equivalent
+    /// (all mean "descend at least two levels"); the rewriter is sound but
+    /// deliberately incomplete and keeps them syntactically distinct — it
+    /// must not conflate arbitrary expressions without a validity proof.
+    #[test]
+    fn does_not_conflate_quiz_expressions() {
+        let dd = PathExpr::axis(Axis::Down).seq(PathExpr::plus(Axis::Down));
+        let pd = PathExpr::plus(Axis::Down).seq(PathExpr::axis(Axis::Down));
+        let pp = PathExpr::plus(Axis::Down).seq(PathExpr::plus(Axis::Down));
+        let s: std::collections::HashSet<_> =
+            [simplify_path(&dd), simplify_path(&pd), simplify_path(&pp)]
+                .into_iter()
+                .collect();
+        assert_eq!(s.len(), 3);
+    }
+}

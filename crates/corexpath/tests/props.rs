@@ -1,0 +1,159 @@
+//! Property-based tests for Core XPath: parser/printer inversion,
+//! evaluator agreement, rewrite soundness, semantic laws.
+
+use proptest::prelude::*;
+use twx_corexpath::ast::{Axis, NodeExpr, PathExpr, Step};
+use twx_corexpath::eval::{eval_node, eval_path_image, eval_path_preimage};
+use twx_corexpath::eval_naive::{eval_node_naive, eval_path_rel};
+use twx_corexpath::parser::{parse_node_expr, parse_path_expr};
+use twx_corexpath::print::{node_to_string, path_to_string};
+use twx_corexpath::rewrite::{simplify_node, simplify_path};
+use twx_xtree::generate::from_parent_vec;
+use twx_xtree::{Alphabet, Label, NodeSet, Tree};
+
+fn arb_axis() -> impl Strategy<Value = Axis> {
+    prop_oneof![
+        Just(Axis::Down),
+        Just(Axis::Up),
+        Just(Axis::Left),
+        Just(Axis::Right),
+    ]
+}
+
+fn arb_path() -> impl Strategy<Value = PathExpr> {
+    let leaf = prop_oneof![
+        (arb_axis(), any::<bool>()).prop_map(|(axis, closure)| PathExpr::Step(Step { axis, closure })),
+        Just(PathExpr::Slf),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.seq(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), arb_node_from(inner)).prop_map(|(a, f)| a.filter(f)),
+        ]
+    })
+}
+
+fn arb_node_from(paths: impl Strategy<Value = PathExpr> + Clone + 'static) -> BoxedStrategy<NodeExpr> {
+    let leaf = prop_oneof![
+        Just(NodeExpr::True),
+        (0u32..3).prop_map(|l| NodeExpr::Label(Label(l))),
+    ];
+    leaf.prop_recursive(3, 16, 2, move |inner| {
+        prop_oneof![
+            paths.clone().prop_map(NodeExpr::some),
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.and(g)),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.or(g)),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_node() -> impl Strategy<Value = NodeExpr> {
+    arb_node_from(arb_path().boxed())
+}
+
+fn arb_tree(max_n: usize) -> impl Strategy<Value = Tree> {
+    (1..=max_n).prop_flat_map(|n| {
+        let parents = (1..n).map(|i| 0..i as u32).collect::<Vec<_>>().prop_map(|mut ps| {
+            ps.insert(0, 0);
+            ps
+        });
+        let labels = proptest::collection::vec(0u32..3, n);
+        (parents, labels).prop_map(|(ps, ls)| {
+            let ls: Vec<Label> = ls.into_iter().map(Label).collect();
+            from_parent_vec(&ps, &ls)
+        })
+    })
+}
+
+fn test_alphabet() -> Alphabet {
+    Alphabet::from_names(["l0", "l1", "l2"])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print ∘ parse = id on path expressions.
+    #[test]
+    fn path_print_parse_roundtrip(p in arb_path()) {
+        let mut ab = test_alphabet();
+        let s = path_to_string(&p, &ab);
+        let back = parse_path_expr(&s, &mut ab).expect("reparse");
+        prop_assert_eq!(back, p, "via '{}'", s);
+    }
+
+    /// print ∘ parse = id on node expressions.
+    #[test]
+    fn node_print_parse_roundtrip(f in arb_node()) {
+        let mut ab = test_alphabet();
+        let s = node_to_string(&f, &ab);
+        let back = parse_node_expr(&s, &mut ab).expect("reparse");
+        prop_assert_eq!(back, f, "via '{}'", s);
+    }
+
+    /// The linear evaluator agrees with the relational semantics, for
+    /// images and preimages from every singleton context.
+    #[test]
+    fn evaluators_agree(p in arb_path(), t in arb_tree(10)) {
+        let rel = eval_path_rel(&t, &p);
+        let relt = rel.transpose();
+        for v in t.nodes() {
+            let ctx = NodeSet::singleton(t.len(), v);
+            prop_assert_eq!(eval_path_image(&t, &p, &ctx), rel.image(&ctx));
+            prop_assert_eq!(eval_path_preimage(&t, &p, &ctx), relt.image(&ctx));
+        }
+    }
+
+    /// Node evaluators agree.
+    #[test]
+    fn node_evaluators_agree(f in arb_node(), t in arb_tree(10)) {
+        prop_assert_eq!(eval_node(&t, &f), eval_node_naive(&t, &f));
+    }
+
+    /// Rewriting never grows expressions and never changes semantics.
+    #[test]
+    fn simplify_sound_and_nonincreasing(p in arb_path(), t in arb_tree(8)) {
+        let sp = simplify_path(&p);
+        prop_assert!(sp.size() <= p.size());
+        prop_assert_eq!(eval_path_rel(&t, &p), eval_path_rel(&t, &sp));
+    }
+
+    /// Same for node expressions.
+    #[test]
+    fn simplify_node_sound(f in arb_node(), t in arb_tree(8)) {
+        let sf = simplify_node(&f);
+        prop_assert!(sf.size() <= f.size());
+        prop_assert_eq!(eval_node(&t, &f), eval_node(&t, &sf));
+    }
+
+    /// Semantic law: the image under `A/B` equals composing images.
+    #[test]
+    fn composition_law(a in arb_path(), b in arb_path(), t in arb_tree(8)) {
+        let seq = a.clone().seq(b.clone());
+        for v in t.nodes() {
+            let ctx = NodeSet::singleton(t.len(), v);
+            let via_seq = eval_path_image(&t, &seq, &ctx);
+            let mid = eval_path_image(&t, &a, &ctx);
+            let via_steps = eval_path_image(&t, &b, &mid);
+            prop_assert_eq!(via_seq, via_steps);
+        }
+    }
+
+    /// Semantic law: ⟨A⟩ is the domain of [[A]].
+    #[test]
+    fn diamond_is_domain(a in arb_path(), t in arb_tree(8)) {
+        let dom = eval_path_rel(&t, &a).domain();
+        prop_assert_eq!(eval_node(&t, &NodeExpr::some(a)), dom);
+    }
+
+    /// Semantic law: steps and their inverses are converse relations.
+    #[test]
+    fn step_inverse_is_converse(axis in arb_axis(), closure in any::<bool>(), t in arb_tree(10)) {
+        let step = Step { axis, closure };
+        let fwd = eval_path_rel(&t, &PathExpr::Step(step));
+        let bwd = eval_path_rel(&t, &PathExpr::Step(step.inverse()));
+        prop_assert_eq!(fwd.transpose(), bwd);
+    }
+}

@@ -1,0 +1,212 @@
+//! FO(MTC) abstract syntax.
+
+use std::collections::BTreeSet;
+use twx_xtree::Label;
+
+/// A first-order variable (a small integer name).
+pub type Var = u32;
+
+/// An FO(MTC) formula over the tree signature.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// `P_a(x)` — node `x` carries label `a`.
+    Label(Label, Var),
+    /// `x = y`.
+    Eq(Var, Var),
+    /// `child(x, y)` — `y` is a child of `x`.
+    Child(Var, Var),
+    /// `nextsib(x, y)` — `y` is the next sibling of `x`.
+    NextSib(Var, Var),
+    /// `¬φ`.
+    Not(Box<Formula>),
+    /// `φ ∧ ψ`.
+    And(Box<Formula>, Box<Formula>),
+    /// `φ ∨ ψ`.
+    Or(Box<Formula>, Box<Formula>),
+    /// `∃x. φ`.
+    Exists(Var, Box<Formula>),
+    /// `∀x. φ`.
+    Forall(Var, Box<Formula>),
+    /// `[TC_{x,y} φ](u, v)` — `(u, v)` is in the reflexive-transitive
+    /// closure of `{(a, b) | φ[x ↦ a, y ↦ b]}`. Free variables of `φ` other
+    /// than `x, y` are parameters.
+    Tc {
+        /// The closed variable pair: source.
+        x: Var,
+        /// The closed variable pair: target.
+        y: Var,
+        /// The binary step formula.
+        phi: Box<Formula>,
+        /// Applied-to source term.
+        from: Var,
+        /// Applied-to target term.
+        to: Var,
+    },
+}
+
+impl Formula {
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `self → other` as sugar.
+    pub fn implies(self, other: Formula) -> Formula {
+        self.not().or(other)
+    }
+
+    /// `∃x. self`.
+    pub fn exists(self, x: Var) -> Formula {
+        Formula::Exists(x, Box::new(self))
+    }
+
+    /// `∀x. self`.
+    pub fn forall(self, x: Var) -> Formula {
+        Formula::Forall(x, Box::new(self))
+    }
+
+    /// `[TC_{x,y} self](from, to)`.
+    pub fn tc(self, x: Var, y: Var, from: Var, to: Var) -> Formula {
+        Formula::Tc {
+            x,
+            y,
+            phi: Box::new(self),
+            from,
+            to,
+        }
+    }
+
+    /// `descendant-or-self(u, v)` as sugar: `[TC_{x,y} child(x,y)](u,v)`.
+    pub fn descendant_or_self(u: Var, v: Var, scratch_x: Var, scratch_y: Var) -> Formula {
+        Formula::Child(scratch_x, scratch_y).tc(scratch_x, scratch_y, u, v)
+    }
+
+    /// `root(x)` as sugar: `¬∃z. child(z, x)`.
+    pub fn root(x: Var, scratch: Var) -> Formula {
+        Formula::Child(scratch, x).exists(scratch).not()
+    }
+
+    /// `leaf(x)` as sugar: `¬∃z. child(x, z)`.
+    pub fn leaf(x: Var, scratch: Var) -> Formula {
+        Formula::Child(x, scratch).exists(scratch).not()
+    }
+
+    /// The set of free variables.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut out);
+        out
+    }
+
+    fn collect_free(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::Label(_, x) => {
+                out.insert(*x);
+            }
+            Formula::Eq(x, y) | Formula::Child(x, y) | Formula::NextSib(x, y) => {
+                out.insert(*x);
+                out.insert(*y);
+            }
+            Formula::Not(f) => f.collect_free(out),
+            Formula::And(f, g) | Formula::Or(f, g) => {
+                f.collect_free(out);
+                g.collect_free(out);
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                let mut inner = BTreeSet::new();
+                f.collect_free(&mut inner);
+                inner.remove(v);
+                out.extend(inner);
+            }
+            Formula::Tc { x, y, phi, from, to } => {
+                let mut inner = BTreeSet::new();
+                phi.collect_free(&mut inner);
+                inner.remove(x);
+                inner.remove(y);
+                out.extend(inner);
+                out.insert(*from);
+                out.insert(*to);
+            }
+        }
+    }
+
+    /// Syntactic size (number of AST nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Label(..) | Formula::Eq(..) | Formula::Child(..) | Formula::NextSib(..) => 1,
+            Formula::Not(f) | Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.size(),
+            Formula::And(f, g) | Formula::Or(f, g) => 1 + f.size() + g.size(),
+            Formula::Tc { phi, .. } => 1 + phi.size(),
+        }
+    }
+
+    /// Maximum nesting depth of `TC` operators.
+    pub fn tc_depth(&self) -> usize {
+        match self {
+            Formula::Label(..) | Formula::Eq(..) | Formula::Child(..) | Formula::NextSib(..) => 0,
+            Formula::Not(f) | Formula::Exists(_, f) | Formula::Forall(_, f) => f.tc_depth(),
+            Formula::And(f, g) | Formula::Or(f, g) => f.tc_depth().max(g.tc_depth()),
+            Formula::Tc { phi, .. } => 1 + phi.tc_depth(),
+        }
+    }
+
+    /// The largest variable name occurring (bound or free), for allocating
+    /// fresh variables.
+    pub fn max_var(&self) -> Var {
+        match self {
+            Formula::Label(_, x) => *x,
+            Formula::Eq(x, y) | Formula::Child(x, y) | Formula::NextSib(x, y) => (*x).max(*y),
+            Formula::Not(f) => f.max_var(),
+            Formula::And(f, g) | Formula::Or(f, g) => f.max_var().max(g.max_var()),
+            Formula::Exists(v, f) | Formula::Forall(v, f) => (*v).max(f.max_var()),
+            Formula::Tc { x, y, phi, from, to } => {
+                (*x).max(*y).max(*from).max(*to).max(phi.max_var())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars_respect_binders() {
+        // ∃1. child(0,1) ∧ P_a(2)
+        let f = Formula::Child(0, 1)
+            .exists(1)
+            .and(Formula::Label(Label(0), 2));
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), [0, 2]);
+    }
+
+    #[test]
+    fn tc_binds_its_pair_but_not_endpoints() {
+        // [TC_{0,1} child(0,1) ∧ P(2)](3, 4)
+        let f = Formula::Child(0, 1)
+            .and(Formula::Label(Label(0), 2))
+            .tc(0, 1, 3, 4);
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), [2, 3, 4]);
+        assert_eq!(f.tc_depth(), 1);
+        assert_eq!(f.max_var(), 4);
+    }
+
+    #[test]
+    fn sugar_builders() {
+        let d = Formula::descendant_or_self(0, 1, 8, 9);
+        assert_eq!(d.free_vars().into_iter().collect::<Vec<_>>(), [0, 1]);
+        let r = Formula::root(0, 9);
+        assert_eq!(r.free_vars().into_iter().collect::<Vec<_>>(), [0]);
+        assert_eq!(Formula::leaf(3, 9).free_vars().into_iter().collect::<Vec<_>>(), [3]);
+    }
+}

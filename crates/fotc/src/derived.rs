@@ -1,0 +1,202 @@
+//! A library of derived tree relations in FO(MTC).
+//!
+//! The standard derived vocabulary of the tree signature, each built from
+//! the atomic relations and `TC` — and each verified against the direct
+//! (navigational) computation by this module's tests. These are the
+//! building blocks the guarded-fragment translation and the examples use.
+
+use crate::ast::{Formula, Var};
+
+/// Allocates the scratch variables these builders need above `base`.
+fn scratch(base: Var, k: Var) -> Var {
+    base + k
+}
+
+/// `descendant(u, v)`: strict descendant, via `∃z. child(u,z) ∧ z ⟶* v`.
+pub fn descendant(u: Var, v: Var, fresh: Var) -> Formula {
+    let z = scratch(fresh, 0);
+    let a = scratch(fresh, 1);
+    let b = scratch(fresh, 2);
+    Formula::Child(u, z)
+        .and(Formula::Child(a, b).tc(a, b, z, v))
+        .exists(z)
+}
+
+/// `ancestor(u, v)`: strict ancestor (converse of descendant).
+pub fn ancestor(u: Var, v: Var, fresh: Var) -> Formula {
+    descendant(v, u, fresh)
+}
+
+/// `sibling(u, v)`: same parent, possibly equal.
+pub fn sibling(u: Var, v: Var, fresh: Var) -> Formula {
+    let p = scratch(fresh, 0);
+    Formula::Child(p, u).and(Formula::Child(p, v)).exists(p)
+}
+
+/// `before_sibling(u, v)`: `v` is a strictly later sibling of `u`
+/// (`nextsib⁺`).
+pub fn before_sibling(u: Var, v: Var, fresh: Var) -> Formula {
+    let z = scratch(fresh, 0);
+    let a = scratch(fresh, 1);
+    let b = scratch(fresh, 2);
+    // ∃z. nextsib(u,z) ∧ z ⟶* v along nextsib
+    Formula::NextSib(u, z)
+        .and(Formula::NextSib(a, b).tc(a, b, z, v))
+        .exists(z)
+}
+
+/// `document_order(u, v)`: `u` strictly precedes `v` in document
+/// (preorder) order — `v` is a descendant of `u`, or some
+/// ancestor-or-self of `u` has a later sibling that is an
+/// ancestor-or-self of `v`.
+pub fn document_order(u: Var, v: Var, fresh: Var) -> Formula {
+    let x = scratch(fresh, 0);
+    let y = scratch(fresh, 1);
+    let desc = descendant(u, v, fresh + 2);
+    // ∃x ∃y. aos(x, u) ∧ before_sibling(x, y) ∧ aos(y, v)
+    let aos_xu = {
+        let a = scratch(fresh, 5);
+        let b = scratch(fresh, 6);
+        Formula::Child(a, b).tc(a, b, x, u)
+    };
+    let aos_yv = {
+        let a = scratch(fresh, 7);
+        let b = scratch(fresh, 8);
+        Formula::Child(a, b).tc(a, b, y, v)
+    };
+    let hop = aos_xu
+        .and(before_sibling(x, y, fresh + 9))
+        .and(aos_yv)
+        .exists(y)
+        .exists(x);
+    desc.or(hop)
+}
+
+/// `first_child(u, v)`: `v` is the first child of `u`.
+pub fn first_child(u: Var, v: Var, fresh: Var) -> Formula {
+    let z = scratch(fresh, 0);
+    Formula::Child(u, v).and(Formula::NextSib(z, v).exists(z).not())
+}
+
+/// `last_child(u, v)`: `v` is the last child of `u`.
+pub fn last_child(u: Var, v: Var, fresh: Var) -> Formula {
+    let z = scratch(fresh, 0);
+    Formula::Child(u, v).and(Formula::NextSib(v, z).exists(z).not())
+}
+
+/// `same_depth(u, v)`: via TC of the "one level apart in lockstep"
+/// relation — a genuinely MTC-style definition: the closure of
+/// `{((a,b) step): both move one parent up}` cannot be expressed with one
+/// TC over pairs, so we use the equivalent: `u` and `v` have the same
+/// distance to the root, characterised recursively — here implemented as
+/// the symmetric zig-zag `TC` over `parent × parent` encoded through
+/// document order is *not* FO(MTC)-expressible uniformly with one binary
+/// TC; instead `same_depth` is provided only as the conjunction test
+/// "neither is an ancestor of the other and their parents have the same
+/// depth" unrolled to a fixed bound — so this helper is **bounded**:
+/// correct for trees of depth ≤ `k`.
+pub fn same_depth_bounded(u: Var, v: Var, k: u32, fresh: Var) -> Formula {
+    // depth 0: both roots
+    let both_roots = Formula::root(u, fresh).and(Formula::root(v, fresh + 1));
+    if k == 0 {
+        return both_roots;
+    }
+    // or parents at same depth (recursively)
+    let pu = fresh + 2;
+    let pv = fresh + 3;
+    let rec = Formula::Child(pu, u)
+        .and(Formula::Child(pv, v))
+        .and(same_depth_bounded(pu, pv, k - 1, fresh + 4))
+        .exists(pv)
+        .exists(pu);
+    both_roots.or(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_binary;
+    use twx_xtree::generate::{random_tree, Shape};
+    use twx_xtree::{NodeId, Tree};
+
+    fn sample() -> Tree {
+        twx_xtree::parse::parse_sexp("(a (b d e) (c f))").unwrap().tree
+    }
+
+    #[test]
+    fn descendant_matches_navigation() {
+        let t = sample();
+        let rel = eval_binary(&t, &descendant(0, 1, 2), 0, 1);
+        for x in t.nodes() {
+            for y in t.nodes() {
+                assert_eq!(rel.get(x, y), t.is_ancestor(x, y), "({x:?},{y:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_and_order() {
+        let t = sample();
+        let sib = eval_binary(&t, &sibling(0, 1, 2), 0, 1);
+        assert!(sib.get(NodeId(1), NodeId(4)));
+        assert!(sib.get(NodeId(1), NodeId(1)));
+        assert!(!sib.get(NodeId(0), NodeId(0))); // root has no parent
+        assert!(!sib.get(NodeId(2), NodeId(5)));
+        let before = eval_binary(&t, &before_sibling(0, 1, 2), 0, 1);
+        assert!(before.get(NodeId(1), NodeId(4)));
+        assert!(!before.get(NodeId(4), NodeId(1)));
+        assert!(!before.get(NodeId(1), NodeId(1)));
+    }
+
+    #[test]
+    fn document_order_is_id_order() {
+        // with preorder ids, document order is exactly id order
+        let t = sample();
+        let rel = eval_binary(&t, &document_order(0, 1, 2), 0, 1);
+        for x in t.nodes() {
+            for y in t.nodes() {
+                assert_eq!(rel.get(x, y), x.0 < y.0, "({x:?},{y:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn document_order_on_random_trees() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..5 {
+            let t = random_tree(Shape::Recursive, 9, 2, &mut rng);
+            let rel = eval_binary(&t, &document_order(0, 1, 2), 0, 1);
+            for x in t.nodes() {
+                for y in t.nodes() {
+                    assert_eq!(rel.get(x, y), x.0 < y.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_last_children() {
+        let t = sample();
+        let first = eval_binary(&t, &first_child(0, 1, 2), 0, 1);
+        assert!(first.get(NodeId(0), NodeId(1)));
+        assert!(!first.get(NodeId(0), NodeId(4)));
+        assert!(first.get(NodeId(1), NodeId(2)));
+        let last = eval_binary(&t, &last_child(0, 1, 2), 0, 1);
+        assert!(last.get(NodeId(0), NodeId(4)));
+        assert!(!last.get(NodeId(0), NodeId(1)));
+        assert!(last.get(NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn same_depth_within_bound() {
+        let t = sample();
+        let rel = eval_binary(&t, &same_depth_bounded(0, 1, 4, 2), 0, 1);
+        for x in t.nodes() {
+            for y in t.nodes() {
+                assert_eq!(rel.get(x, y), t.depth(x) == t.depth(y), "({x:?},{y:?})");
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Model checking FO(MTC) over trees.
+//!
+//! Direct recursive evaluation with an explicit assignment; quantifiers
+//! iterate over all nodes (`O(n^k)` in quantifier rank `k` — FO(MTC) model
+//! checking is PSPACE-complete in combined complexity, so this evaluator is
+//! meant for small-to-medium trees and is the semantic oracle for the
+//! translations). `TC` runs a breadth-first search whose edge relation is
+//! decided by recursive evaluation on demand.
+
+use crate::ast::{Formula, Var};
+use twx_xtree::{BitMatrix, NodeId, NodeSet, Tree};
+
+/// A variable assignment (dense, indexed by variable name).
+#[derive(Clone, Debug, Default)]
+pub struct Assignment {
+    slots: Vec<Option<NodeId>>,
+}
+
+impl Assignment {
+    /// An empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the value of `v`.
+    ///
+    /// # Panics
+    /// If `v` is unassigned (a free variable not provided by the caller) —
+    /// that is an API misuse, not a semantic condition.
+    pub fn get(&self, v: Var) -> NodeId {
+        self.slots
+            .get(v as usize)
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("unassigned variable x{v}"))
+    }
+
+    /// Sets `v := n`, returning the previous value.
+    pub fn set(&mut self, v: Var, n: NodeId) -> Option<NodeId> {
+        if self.slots.len() <= v as usize {
+            self.slots.resize(v as usize + 1, None);
+        }
+        self.slots[v as usize].replace(n)
+    }
+
+    /// Restores `v` to a previous value (possibly unassigned).
+    pub fn restore(&mut self, v: Var, old: Option<NodeId>) {
+        if let Some(slot) = self.slots.get_mut(v as usize) {
+            *slot = old;
+        }
+    }
+}
+
+/// Evaluates `phi` on `t` under `env`.
+pub fn eval(t: &Tree, phi: &Formula, env: &mut Assignment) -> bool {
+    match phi {
+        Formula::Label(l, x) => t.label(env.get(*x)) == *l,
+        Formula::Eq(x, y) => env.get(*x) == env.get(*y),
+        Formula::Child(x, y) => t.parent(env.get(*y)) == Some(env.get(*x)),
+        Formula::NextSib(x, y) => t.next_sibling(env.get(*x)) == Some(env.get(*y)),
+        Formula::Not(f) => !eval(t, f, env),
+        Formula::And(f, g) => eval(t, f, env) && eval(t, g, env),
+        Formula::Or(f, g) => eval(t, f, env) || eval(t, g, env),
+        Formula::Exists(v, f) => t.nodes().any(|n| {
+            let old = env.set(*v, n);
+            let r = eval(t, f, env);
+            env.restore(*v, old);
+            r
+        }),
+        Formula::Forall(v, f) => t.nodes().all(|n| {
+            let old = env.set(*v, n);
+            let r = eval(t, f, env);
+            env.restore(*v, old);
+            r
+        }),
+        Formula::Tc { x, y, phi, from, to } => {
+            let src = env.get(*from);
+            let dst = env.get(*to);
+            if src == dst {
+                return true; // reflexive closure
+            }
+            // BFS from src over the φ-relation, edges decided on demand
+            let n = t.len();
+            let mut seen = NodeSet::singleton(n, src);
+            let mut frontier = vec![src];
+            while let Some(a) = frontier.pop() {
+                for b in t.nodes() {
+                    if seen.contains(b) {
+                        continue;
+                    }
+                    let oldx = env.set(*x, a);
+                    let oldy = env.set(*y, b);
+                    let step = eval(t, phi, env);
+                    env.restore(*y, oldy);
+                    env.restore(*x, oldx);
+                    if step {
+                        if b == dst {
+                            return true;
+                        }
+                        seen.insert(b);
+                        frontier.push(b);
+                    }
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Evaluates a sentence (no free variables).
+///
+/// # Panics
+/// If `phi` has free variables.
+pub fn eval_sentence(t: &Tree, phi: &Formula) -> bool {
+    assert!(
+        phi.free_vars().is_empty(),
+        "eval_sentence on open formula with free vars {:?}",
+        phi.free_vars()
+    );
+    eval(t, phi, &mut Assignment::new())
+}
+
+/// Evaluates a formula with one free variable `x` to the set of witnesses.
+pub fn eval_unary(t: &Tree, phi: &Formula, x: Var) -> NodeSet {
+    let mut env = Assignment::new();
+    let mut out = NodeSet::empty(t.len());
+    for n in t.nodes() {
+        env.set(x, n);
+        if eval(t, phi, &mut env) {
+            out.insert(n);
+        }
+    }
+    out
+}
+
+/// Evaluates a formula with two free variables `(x, y)` to the relation it
+/// defines.
+pub fn eval_binary(t: &Tree, phi: &Formula, x: Var, y: Var) -> BitMatrix {
+    let mut env = Assignment::new();
+    let mut out = BitMatrix::empty(t.len());
+    for a in t.nodes() {
+        env.set(x, a);
+        for b in t.nodes() {
+            env.set(y, b);
+            if eval(t, phi, &mut env) {
+                out.set(a, b);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twx_xtree::parse::parse_sexp;
+    use twx_xtree::Label;
+
+    /// (a (b d e) (c f))  — ids: a=0 b=1 d=2 e=3 c=4 f=5
+    fn sample() -> Tree {
+        parse_sexp("(a (b d e) (c f))").unwrap().tree
+    }
+
+    fn ids(s: &NodeSet) -> Vec<u32> {
+        s.iter().map(|v| v.0).collect()
+    }
+
+    #[test]
+    fn atomic_relations() {
+        let t = sample();
+        let child = eval_binary(&t, &Formula::Child(0, 1), 0, 1);
+        assert!(child.get(NodeId(0), NodeId(1)));
+        assert!(child.get(NodeId(1), NodeId(2)));
+        assert!(!child.get(NodeId(0), NodeId(2)));
+        assert_eq!(child.count(), 5);
+        let sib = eval_binary(&t, &Formula::NextSib(0, 1), 0, 1);
+        assert!(sib.get(NodeId(1), NodeId(4)));
+        assert!(sib.get(NodeId(2), NodeId(3)));
+        assert_eq!(sib.count(), 2);
+    }
+
+    #[test]
+    fn quantifiers() {
+        let t = sample();
+        // leaves: ¬∃1. child(0, 1)
+        assert_eq!(ids(&eval_unary(&t, &Formula::leaf(0, 1), 0)), [2, 3, 5]);
+        // root
+        assert_eq!(ids(&eval_unary(&t, &Formula::root(0, 1), 0)), [0]);
+        // sentence: every node has at most... there is exactly one root
+        let two_roots = Formula::root(0, 2)
+            .and(Formula::root(1, 2))
+            .and(Formula::Eq(0, 1).not())
+            .exists(1)
+            .exists(0);
+        assert!(!eval_sentence(&t, &two_roots));
+    }
+
+    #[test]
+    fn tc_is_reflexive_transitive() {
+        let t = sample();
+        let desc = eval_binary(&t, &Formula::descendant_or_self(0, 1, 8, 9), 0, 1);
+        for v in t.nodes() {
+            assert!(desc.get(v, v));
+        }
+        assert!(desc.get(NodeId(0), NodeId(5)));
+        assert!(desc.get(NodeId(1), NodeId(3)));
+        assert!(!desc.get(NodeId(1), NodeId(5)));
+        assert!(!desc.get(NodeId(5), NodeId(0)));
+        assert_eq!(desc.count(), 6 + 5 + 3); // refl + child + depth-2 pairs
+    }
+
+    #[test]
+    fn tc_with_parameters() {
+        let t = sample();
+        // closure of "child with the same label as node z" — with z := a
+        // node labelled 'a', only steps into 'a'-labelled children count.
+        // Our sample has distinct labels, so the closure is the diagonal.
+        let step = Formula::Child(0, 1).and(Formula::Label(Label(0), 1));
+        let rel = eval_binary(&t, &step.tc(0, 1, 2, 3), 2, 3);
+        assert_eq!(rel.count(), 6); // only reflexive pairs
+    }
+
+    #[test]
+    fn tc_guarded_walk() {
+        // (a (a (a b)))  labels: a=0..., b
+        let t = parse_sexp("(a (a (a b)))").unwrap().tree;
+        let a = Label(0);
+        // reachability by a-labelled child steps
+        let step = Formula::Child(0, 1).and(Formula::Label(a, 1));
+        let rel = eval_binary(&t, &step.tc(0, 1, 2, 3), 2, 3);
+        assert!(rel.get(NodeId(0), NodeId(2)));
+        assert!(!rel.get(NodeId(0), NodeId(3))); // b-node not reachable
+    }
+
+    #[test]
+    #[should_panic(expected = "unassigned variable")]
+    fn unassigned_variable_panics() {
+        let t = sample();
+        eval(&t, &Formula::Eq(0, 1), &mut Assignment::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "open formula")]
+    fn eval_sentence_rejects_open() {
+        let t = sample();
+        eval_sentence(&t, &Formula::Eq(0, 1));
+    }
+}

@@ -1,0 +1,131 @@
+//! Random FO(MTC) formula generators (used by differential tests of the
+//! FO ↔ XPath translations).
+
+use crate::ast::{Formula, Var};
+use rand::Rng;
+use twx_xtree::Label;
+
+/// Configuration for random formula generation.
+#[derive(Clone, Debug)]
+pub struct FGenConfig {
+    /// Number of labels for atomic label tests.
+    pub labels: usize,
+    /// Whether quantifiers may appear.
+    pub quantifiers: bool,
+    /// Whether TC may appear.
+    pub tc: bool,
+}
+
+impl Default for FGenConfig {
+    fn default() -> Self {
+        FGenConfig {
+            labels: 2,
+            quantifiers: true,
+            tc: true,
+        }
+    }
+}
+
+/// Generates a random formula whose free variables are drawn from
+/// `free` (bound variables are allocated above `next_var`).
+pub fn random_formula<R: Rng>(
+    cfg: &FGenConfig,
+    depth: usize,
+    free: &[Var],
+    next_var: Var,
+    rng: &mut R,
+) -> Formula {
+    let pick = |rng: &mut R| free[rng.gen_range(0..free.len())];
+    if depth == 0 || free.is_empty() {
+        // need at least one variable in scope for an atom; callers always
+        // provide one
+        let x = pick(rng);
+        let y = pick(rng);
+        return match rng.gen_range(0..4) {
+            0 => Formula::Label(Label(rng.gen_range(0..cfg.labels) as u32), x),
+            1 => Formula::Eq(x, y),
+            2 => Formula::Child(x, y),
+            _ => Formula::NextSib(x, y),
+        };
+    }
+    let choice = rng.gen_range(0..10);
+    match choice {
+        0 | 1 => {
+            let x = pick(rng);
+            Formula::Label(Label(rng.gen_range(0..cfg.labels) as u32), x)
+        }
+        2 => Formula::Child(pick(rng), pick(rng)),
+        3 => random_formula(cfg, depth - 1, free, next_var, rng).not(),
+        4 => random_formula(cfg, depth - 1, free, next_var, rng)
+            .and(random_formula(cfg, depth - 1, free, next_var, rng)),
+        5 => random_formula(cfg, depth - 1, free, next_var, rng)
+            .or(random_formula(cfg, depth - 1, free, next_var, rng)),
+        6 | 7 if cfg.quantifiers => {
+            let v = next_var;
+            let mut scope: Vec<Var> = free.to_vec();
+            scope.push(v);
+            let body = random_formula(cfg, depth - 1, &scope, next_var + 1, rng);
+            if choice == 6 {
+                body.exists(v)
+            } else {
+                body.forall(v)
+            }
+        }
+        8 | 9 if cfg.tc => {
+            let x = next_var;
+            let y = next_var + 1;
+            let mut scope: Vec<Var> = free.to_vec();
+            scope.push(x);
+            scope.push(y);
+            let step = random_formula(cfg, depth - 1, &scope, next_var + 2, rng);
+            step.tc(x, y, pick(rng), pick(rng))
+        }
+        _ => Formula::NextSib(pick(rng), pick(rng)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn free_vars_stay_in_scope() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = FGenConfig::default();
+        for _ in 0..100 {
+            let f = random_formula(&cfg, 4, &[0, 1], 2, &mut rng);
+            for v in f.free_vars() {
+                assert!(v < 2, "leaked bound variable x{v} in {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flags_respected() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let cfg = FGenConfig {
+            tc: false,
+            quantifiers: false,
+            ..FGenConfig::default()
+        };
+        for _ in 0..100 {
+            let f = random_formula(&cfg, 5, &[0], 1, &mut rng);
+            assert_eq!(f.tc_depth(), 0, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn generated_formulas_evaluate() {
+        use crate::eval::eval_unary;
+        use twx_xtree::generate::{random_tree, Shape};
+        let mut rng = StdRng::seed_from_u64(13);
+        let cfg = FGenConfig::default();
+        for round in 0..20 {
+            let t = random_tree(Shape::Recursive, 1 + round % 6, 2, &mut rng);
+            let f = random_formula(&cfg, 3, &[0], 1, &mut rng);
+            let _ = eval_unary(&t, &f, 0);
+        }
+    }
+}

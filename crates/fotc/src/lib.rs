@@ -1,0 +1,32 @@
+//! # twx-fotc — first-order logic with monadic transitive closure over trees
+//!
+//! The logical yardstick of the paper: FO(MTC), first-order logic over the
+//! signature `{ child(x,y), nextsib(x,y), P_a(x) (a ∈ Σ), x = y }` of
+//! sibling-ordered labelled trees, extended with the *monadic* transitive
+//! closure operator
+//!
+//! ```text
+//! [TC_{x,y} φ(x, y, z̄)](u, v)
+//! ```
+//!
+//! which holds when `(u, v)` is in the **reflexive-transitive** closure of
+//! the binary relation `{(a, b) | φ(a, b, z̄)}` (parameters `z̄` held
+//! fixed). "Monadic" means the closed relation is binary (closure of pairs,
+//! not of longer tuples); over trees this logic is denoted FO* in the paper
+//! and shown equal to Regular XPath(W) and to nested tree walking automata,
+//! and strictly weaker than MSO.
+//!
+//! This crate provides the syntax ([`ast`]), a model checker with on-demand
+//! TC search ([`eval`]), a printer ([`print`]), and formula generators
+//! ([`generate`]). The translations connecting FO(MTC) to the other two
+//! formalisms live in `twx-core`.
+
+pub mod ast;
+pub mod derived;
+pub mod eval;
+pub mod generate;
+pub mod nnf;
+pub mod print;
+
+pub use ast::{Formula, Var};
+pub use eval::{eval_binary, eval_sentence, eval_unary, Assignment};

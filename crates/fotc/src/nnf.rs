@@ -1,0 +1,153 @@
+//! Negation normal form for FO(MTC).
+//!
+//! Pushes negations to the atoms (¬∃ → ∀¬, ¬∀ → ∃¬, De Morgan). `TC` is
+//! *not* dualised — FO(MTC) is not known to admit a polynomial negation
+//! normal form through TC (this asymmetry is one face of the difficulty
+//! of the paper's FO(MTC) → NTWA direction) — so negated TC atoms remain
+//! as `¬[TC …]` leaves; [`is_nnf`] treats them as literals.
+
+use crate::ast::Formula;
+
+/// Converts `f` to negation normal form.
+pub fn to_nnf(f: &Formula) -> Formula {
+    nnf(f, false)
+}
+
+fn nnf(f: &Formula, negated: bool) -> Formula {
+    match f {
+        Formula::Label(..) | Formula::Eq(..) | Formula::Child(..) | Formula::NextSib(..) => {
+            if negated {
+                f.clone().not()
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Not(g) => nnf(g, !negated),
+        Formula::And(g, h) => {
+            if negated {
+                nnf(g, true).or(nnf(h, true))
+            } else {
+                nnf(g, false).and(nnf(h, false))
+            }
+        }
+        Formula::Or(g, h) => {
+            if negated {
+                nnf(g, true).and(nnf(h, true))
+            } else {
+                nnf(g, false).or(nnf(h, false))
+            }
+        }
+        Formula::Exists(v, g) => {
+            if negated {
+                nnf(g, true).forall(*v)
+            } else {
+                nnf(g, false).exists(*v)
+            }
+        }
+        Formula::Forall(v, g) => {
+            if negated {
+                nnf(g, true).exists(*v)
+            } else {
+                nnf(g, false).forall(*v)
+            }
+        }
+        Formula::Tc { x, y, phi, from, to } => {
+            // normalise inside the TC step, keep the (possibly negated)
+            // TC itself as a literal
+            let inner = nnf(phi, false).tc(*x, *y, *from, *to);
+            if negated {
+                inner.not()
+            } else {
+                inner
+            }
+        }
+    }
+}
+
+/// Whether `f` is in negation normal form (negations only on atoms and
+/// TC literals).
+pub fn is_nnf(f: &Formula) -> bool {
+    match f {
+        Formula::Label(..) | Formula::Eq(..) | Formula::Child(..) | Formula::NextSib(..) => true,
+        Formula::Not(g) => matches!(
+            **g,
+            Formula::Label(..)
+                | Formula::Eq(..)
+                | Formula::Child(..)
+                | Formula::NextSib(..)
+                | Formula::Tc { .. }
+        ) && if let Formula::Tc { phi, .. } = &**g {
+            is_nnf(phi)
+        } else {
+            true
+        },
+        Formula::And(g, h) | Formula::Or(g, h) => is_nnf(g) && is_nnf(h),
+        Formula::Exists(_, g) | Formula::Forall(_, g) => is_nnf(g),
+        Formula::Tc { phi, .. } => is_nnf(phi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_unary;
+    use crate::generate::{random_formula, FGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use twx_xtree::generate::{random_tree, Shape};
+
+    #[test]
+    fn classic_dualities() {
+        // ¬∃x. child(0,x) → ∀x. ¬child(0,x)
+        let f = Formula::Child(0, 1).exists(1).not();
+        let n = to_nnf(&f);
+        assert_eq!(n, Formula::Child(0, 1).not().forall(1));
+        assert!(is_nnf(&n));
+        // double negation vanishes
+        assert_eq!(to_nnf(&Formula::Eq(0, 0).not().not()), Formula::Eq(0, 0));
+        // De Morgan
+        let f = Formula::Eq(0, 0).and(Formula::Child(0, 0)).not();
+        assert_eq!(
+            to_nnf(&f),
+            Formula::Eq(0, 0).not().or(Formula::Child(0, 0).not())
+        );
+    }
+
+    #[test]
+    fn negated_tc_stays_literal() {
+        let tc = Formula::Child(2, 3).tc(2, 3, 0, 1);
+        let f = tc.clone().not().not().not();
+        let n = to_nnf(&f);
+        assert_eq!(n, tc.not());
+        assert!(is_nnf(&n));
+    }
+
+    /// NNF preserves semantics (fuzzed over formulas and trees).
+    #[test]
+    fn nnf_preserves_semantics() {
+        let mut rng = StdRng::seed_from_u64(88);
+        let cfg = FGenConfig::default();
+        for round in 0..40 {
+            let f = random_formula(&cfg, 3, &[0], 1, &mut rng);
+            let n = to_nnf(&f);
+            assert!(is_nnf(&n), "not NNF: {n:?}");
+            let t = random_tree(Shape::Recursive, 1 + round % 7, 2, &mut rng);
+            assert_eq!(
+                eval_unary(&t, &f, 0),
+                eval_unary(&t, &n, 0),
+                "semantics changed for {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_at_most_doubles() {
+        let mut rng = StdRng::seed_from_u64(89);
+        let cfg = FGenConfig::default();
+        for _ in 0..60 {
+            let f = random_formula(&cfg, 4, &[0, 1], 2, &mut rng);
+            let n = to_nnf(&f);
+            assert!(n.size() <= 2 * f.size(), "{} vs {}", n.size(), f.size());
+        }
+    }
+}

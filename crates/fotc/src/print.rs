@@ -1,0 +1,114 @@
+//! Formula pretty printing (for documentation, examples and debugging; the
+//! FO side of the workspace is constructed programmatically or by
+//! translation, so there is no parser).
+
+use crate::ast::Formula;
+use std::fmt::Write;
+use twx_xtree::Alphabet;
+
+/// Renders a formula in a conventional mathematical ASCII notation.
+pub fn formula_to_string(f: &Formula, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    write_formula(f, alphabet, 0, &mut out);
+    out
+}
+
+/// Precedence: 0 = or, 1 = and, 2 = unary/atom.
+fn write_formula(f: &Formula, ab: &Alphabet, prec: u8, out: &mut String) {
+    match f {
+        Formula::Label(l, x) => {
+            let _ = write!(out, "P_{}(x{})", ab.name(*l), x);
+        }
+        Formula::Eq(x, y) => {
+            let _ = write!(out, "x{x} = x{y}");
+        }
+        Formula::Child(x, y) => {
+            let _ = write!(out, "child(x{x}, x{y})");
+        }
+        Formula::NextSib(x, y) => {
+            let _ = write!(out, "nextsib(x{x}, x{y})");
+        }
+        Formula::Not(g) => {
+            out.push('~');
+            let needs_parens = matches!(
+                **g,
+                Formula::Eq(..)
+                    | Formula::And(..)
+                    | Formula::Or(..)
+                    | Formula::Exists(..)
+                    | Formula::Forall(..)
+            );
+            if needs_parens {
+                out.push('(');
+                write_formula(g, ab, 0, out);
+                out.push(')');
+            } else {
+                write_formula(g, ab, 2, out);
+            }
+        }
+        Formula::And(g, h) => {
+            let parens = prec > 1;
+            if parens {
+                out.push('(');
+            }
+            write_formula(g, ab, 1, out);
+            out.push_str(" & ");
+            write_formula(h, ab, 2, out);
+            if parens {
+                out.push(')');
+            }
+        }
+        Formula::Or(g, h) => {
+            let parens = prec > 0;
+            if parens {
+                out.push('(');
+            }
+            write_formula(g, ab, 0, out);
+            out.push_str(" | ");
+            write_formula(h, ab, 1, out);
+            if parens {
+                out.push(')');
+            }
+        }
+        Formula::Exists(v, g) => {
+            let _ = write!(out, "exists x{v}. ");
+            write_formula(g, ab, 2, out);
+        }
+        Formula::Forall(v, g) => {
+            let _ = write!(out, "forall x{v}. ");
+            write_formula(g, ab, 2, out);
+        }
+        Formula::Tc { x, y, phi, from, to } => {
+            let _ = write!(out, "[TC_{{x{x},x{y}}} ");
+            write_formula(phi, ab, 0, out);
+            let _ = write!(out, "](x{from}, x{to})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twx_xtree::Label;
+
+    #[test]
+    fn renders_structure() {
+        let ab = Alphabet::from_names(["a"]);
+        let f = Formula::Child(0, 1)
+            .and(Formula::Label(Label(0), 1))
+            .tc(0, 1, 2, 3)
+            .or(Formula::Eq(2, 3).not());
+        let s = formula_to_string(&f, &ab);
+        assert_eq!(
+            s,
+            "[TC_{x0,x1} child(x0, x1) & P_a(x1)](x2, x3) | ~(x2 = x3)"
+        );
+    }
+
+    #[test]
+    fn quantifier_rendering() {
+        let ab = Alphabet::new();
+        let f = Formula::Child(1, 0).exists(1).not();
+        assert_eq!(formula_to_string(&f, &ab), "~(exists x1. child(x1, x0))");
+    }
+}

@@ -1,0 +1,208 @@
+//! Regular XPath(W) abstract syntax.
+
+use twx_xtree::Label;
+
+pub use twx_corexpath::ast::Axis;
+
+/// A Regular XPath(W) path expression (binary relation on nodes).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum RPath {
+    /// A single primitive axis step.
+    Axis(Axis),
+    /// `ε` — the identity relation.
+    Eps,
+    /// `?φ` — the diagonal test `{(x,x) | x ⊨ φ}`.
+    Test(Box<RNode>),
+    /// `A/B` — composition.
+    Seq(Box<RPath>, Box<RPath>),
+    /// `A ∪ B` — union.
+    Union(Box<RPath>, Box<RPath>),
+    /// `A*` — reflexive-transitive closure (of an **arbitrary** path
+    /// expression; this is what "Regular" adds to Core XPath).
+    Star(Box<RPath>),
+    /// `A[φ]` — codomain filter (expressible as `A/?φ`, kept primitive for
+    /// round-tripping with Core XPath).
+    Filter(Box<RPath>, Box<RNode>),
+}
+
+/// A Regular XPath(W) node expression (set of nodes).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum RNode {
+    /// `⊤`.
+    True,
+    /// Label test.
+    Label(Label),
+    /// `⟨A⟩` — an `A`-path starts here.
+    Some(Box<RPath>),
+    /// `¬φ`.
+    Not(Box<RNode>),
+    /// `φ ∧ ψ`.
+    And(Box<RNode>, Box<RNode>),
+    /// `φ ∨ ψ`.
+    Or(Box<RNode>, Box<RNode>),
+    /// `W φ` — subtree relativisation: `φ` holds here *within the subtree
+    /// rooted here*.
+    Within(Box<RNode>),
+}
+
+impl RPath {
+    /// `self/other`.
+    pub fn seq(self, other: RPath) -> RPath {
+        RPath::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: RPath) -> RPath {
+        RPath::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self*`.
+    pub fn star(self) -> RPath {
+        RPath::Star(Box::new(self))
+    }
+
+    /// `self⁺` as sugar: `self/self*`.
+    pub fn plus(self) -> RPath {
+        self.clone().seq(self.star())
+    }
+
+    /// `self[φ]`.
+    pub fn filter(self, phi: RNode) -> RPath {
+        RPath::Filter(Box::new(self), Box::new(phi))
+    }
+
+    /// `?φ`.
+    pub fn test(phi: RNode) -> RPath {
+        RPath::Test(Box::new(phi))
+    }
+
+    /// Syntactic size (AST nodes of both sorts).
+    pub fn size(&self) -> usize {
+        match self {
+            RPath::Axis(_) | RPath::Eps => 1,
+            RPath::Test(f) => 1 + f.size(),
+            RPath::Seq(a, b) | RPath::Union(a, b) => 1 + a.size() + b.size(),
+            RPath::Star(a) => 1 + a.size(),
+            RPath::Filter(a, f) => 1 + a.size() + f.size(),
+        }
+    }
+
+    /// Star height (nesting depth of `*`).
+    pub fn star_height(&self) -> usize {
+        match self {
+            RPath::Axis(_) | RPath::Eps => 0,
+            RPath::Test(f) => f.star_height(),
+            RPath::Seq(a, b) | RPath::Union(a, b) => a.star_height().max(b.star_height()),
+            RPath::Star(a) => 1 + a.star_height(),
+            RPath::Filter(a, f) => a.star_height().max(f.star_height()),
+        }
+    }
+
+    /// Whether the `W` operator occurs anywhere in this expression.
+    pub fn uses_within(&self) -> bool {
+        match self {
+            RPath::Axis(_) | RPath::Eps => false,
+            RPath::Test(f) => f.uses_within(),
+            RPath::Seq(a, b) | RPath::Union(a, b) => a.uses_within() || b.uses_within(),
+            RPath::Star(a) => a.uses_within(),
+            RPath::Filter(a, f) => a.uses_within() || f.uses_within(),
+        }
+    }
+}
+
+impl RNode {
+    /// `⊥` as sugar.
+    pub fn fals() -> RNode {
+        RNode::Not(Box::new(RNode::True))
+    }
+
+    /// `⟨A⟩`.
+    pub fn some(a: RPath) -> RNode {
+        RNode::Some(Box::new(a))
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> RNode {
+        RNode::Not(Box::new(self))
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: RNode) -> RNode {
+        RNode::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: RNode) -> RNode {
+        RNode::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `W self`.
+    pub fn within(self) -> RNode {
+        RNode::Within(Box::new(self))
+    }
+
+    /// `root` sugar: `¬⟨↑⟩`.
+    pub fn root() -> RNode {
+        RNode::some(RPath::Axis(Axis::Up)).not()
+    }
+
+    /// `leaf` sugar: `¬⟨↓⟩`.
+    pub fn leaf() -> RNode {
+        RNode::some(RPath::Axis(Axis::Down)).not()
+    }
+
+    /// Syntactic size.
+    pub fn size(&self) -> usize {
+        match self {
+            RNode::True | RNode::Label(_) => 1,
+            RNode::Some(a) => 1 + a.size(),
+            RNode::Not(f) | RNode::Within(f) => 1 + f.size(),
+            RNode::And(f, g) | RNode::Or(f, g) => 1 + f.size() + g.size(),
+        }
+    }
+
+    /// Star height.
+    pub fn star_height(&self) -> usize {
+        match self {
+            RNode::True | RNode::Label(_) => 0,
+            RNode::Some(a) => a.star_height(),
+            RNode::Not(f) | RNode::Within(f) => f.star_height(),
+            RNode::And(f, g) | RNode::Or(f, g) => f.star_height().max(g.star_height()),
+        }
+    }
+
+    /// Whether `W` occurs.
+    pub fn uses_within(&self) -> bool {
+        match self {
+            RNode::True | RNode::Label(_) => false,
+            RNode::Some(a) => a.uses_within(),
+            RNode::Within(_) => true,
+            RNode::Not(f) => f.uses_within(),
+            RNode::And(f, g) | RNode::Or(f, g) => f.uses_within() || g.uses_within(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_desugars_to_seq_star() {
+        let a = RPath::Axis(Axis::Down);
+        assert_eq!(a.clone().plus(), a.clone().seq(a.star()));
+    }
+
+    #[test]
+    fn metrics() {
+        let e = RPath::Axis(Axis::Down)
+            .star()
+            .seq(RPath::test(RNode::some(RPath::Axis(Axis::Right).star())));
+        assert_eq!(e.star_height(), 1);
+        assert_eq!(e.size(), 7);
+        assert!(!e.uses_within());
+        let w = RPath::test(RNode::True.within());
+        assert!(w.uses_within());
+    }
+}

@@ -1,0 +1,380 @@
+//! Product-graph evaluation of Regular XPath(W).
+//!
+//! The image of a context set under a path expression is computed by
+//! breadth-first reachability in the product of the tree and the compiled
+//! NFA: product states are pairs `(node, nfa-state)`, axis transitions move
+//! in the tree, test transitions are self-loops guarded by the (pre-
+//! computed) node set of the test. Cost `O(|T| · |A|)` per context set —
+//! the polynomial evaluation bound of the paper.
+//!
+//! `W φ` is evaluated by the subtree-extraction semantics (`φ` on the
+//! subtree rooted at each node), which is `O(n · depth)` subtree work; the
+//! relational baseline in [`eval_naive`](crate::eval_naive) shares the same
+//! `W` strategy so differential tests exercise the product machinery.
+
+use crate::ast::{Axis, RNode, RPath};
+use crate::nfa::{compile, MoveLabel, PathNfa};
+use twx_xtree::{BitMatrix, NodeId, NodeSet, Tree};
+
+/// A path expression compiled for repeated evaluation.
+///
+/// ```
+/// use twx_regxpath::eval::Compiled;
+/// use twx_regxpath::parser::parse_rpath;
+/// use twx_xtree::{parse::parse_sexp, NodeSet};
+///
+/// let doc = parse_sexp("(a (b c) b)").unwrap();
+/// let mut ab = doc.alphabet.clone();
+/// let q = Compiled::new(&parse_rpath("down*[b]", &mut ab).unwrap());
+/// let ctx = NodeSet::singleton(doc.tree.len(), doc.tree.root());
+/// assert_eq!(q.image(&doc.tree, &ctx).count(), 2); // both b nodes
+/// ```
+pub struct Compiled {
+    pnfa: PathNfa,
+    fwd: Vec<Vec<(MoveLabel, u32)>>,
+    bwd: Vec<Vec<(MoveLabel, u32)>>,
+}
+
+impl Compiled {
+    /// Compiles `path` once; reuse across trees and context sets.
+    pub fn new(path: &RPath) -> Compiled {
+        let pnfa = compile(path);
+        let fwd = pnfa.nfa.forward_adj();
+        let bwd = pnfa.nfa.backward_adj();
+        Compiled { pnfa, fwd, bwd }
+    }
+
+    /// Number of NFA states.
+    pub fn n_states(&self) -> u32 {
+        self.pnfa.nfa.n_states
+    }
+
+    fn test_sets(&self, t: &Tree) -> Vec<NodeSet> {
+        self.pnfa.tests.iter().map(|f| eval_node(t, f)).collect()
+    }
+
+    /// Forward image of `ctx` under the compiled path on tree `t`.
+    pub fn image(&self, t: &Tree, ctx: &NodeSet) -> NodeSet {
+        let tests = self.test_sets(t);
+        self.image_with_tests(t, ctx, &tests)
+    }
+
+    fn image_with_tests(&self, t: &Tree, ctx: &NodeSet, tests: &[NodeSet]) -> NodeSet {
+        let n = t.len();
+        let m = self.pnfa.nfa.n_states as usize;
+        let mut visited = vec![false; n * m];
+        let mut work: Vec<(u32, u32)> = Vec::new();
+        let start = self.pnfa.nfa.start;
+        for v in ctx.iter() {
+            let idx = v.index() * m + start as usize;
+            if !visited[idx] {
+                visited[idx] = true;
+                work.push((v.0, start));
+            }
+        }
+        let mut out = NodeSet::empty(n);
+        let accept = self.pnfa.nfa.accept;
+        while let Some((v, q)) = work.pop() {
+            if q == accept {
+                out.insert(NodeId(v));
+            }
+            for &(label, q2) in &self.fwd[q as usize] {
+                match label {
+                    MoveLabel::Eps => push(&mut visited, &mut work, m, v, q2),
+                    MoveLabel::Test(i) => {
+                        if tests[i as usize].contains(NodeId(v)) {
+                            push(&mut visited, &mut work, m, v, q2);
+                        }
+                    }
+                    MoveLabel::Axis(a) => {
+                        for_each_move(t, NodeId(v), a, |u| {
+                            push(&mut visited, &mut work, m, u.0, q2)
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward image of `targets`: the set of nodes from which some node
+    /// in `targets` is reachable by the path.
+    pub fn preimage(&self, t: &Tree, targets: &NodeSet) -> NodeSet {
+        let tests = self.test_sets(t);
+        self.preimage_with_tests(t, targets, &tests)
+    }
+
+    fn preimage_with_tests(&self, t: &Tree, targets: &NodeSet, tests: &[NodeSet]) -> NodeSet {
+        let n = t.len();
+        let m = self.pnfa.nfa.n_states as usize;
+        let mut visited = vec![false; n * m];
+        let mut work: Vec<(u32, u32)> = Vec::new();
+        let accept = self.pnfa.nfa.accept;
+        for v in targets.iter() {
+            let idx = v.index() * m + accept as usize;
+            if !visited[idx] {
+                visited[idx] = true;
+                work.push((v.0, accept));
+            }
+        }
+        let mut out = NodeSet::empty(n);
+        let start = self.pnfa.nfa.start;
+        while let Some((v, q)) = work.pop() {
+            if q == start {
+                out.insert(NodeId(v));
+            }
+            // traverse transitions backwards: an edge p -label-> q means the
+            // walk was at (u, p) with u -label-> v in the tree
+            for &(label, p) in &self.bwd[q as usize] {
+                match label {
+                    MoveLabel::Eps => push(&mut visited, &mut work, m, v, p),
+                    MoveLabel::Test(i) => {
+                        if tests[i as usize].contains(NodeId(v)) {
+                            push(&mut visited, &mut work, m, v, p);
+                        }
+                    }
+                    MoveLabel::Axis(a) => {
+                        // predecessors of v under axis a = successors under a⁻¹
+                        for_each_move(t, NodeId(v), a.inverse(), |u| {
+                            push(&mut visited, &mut work, m, u.0, p)
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The set of nodes at which `⟨path⟩` holds (the domain of the
+    /// relation): backward reachability from every accepting configuration.
+    pub fn domain(&self, t: &Tree) -> NodeSet {
+        self.preimage(t, &NodeSet::full(t.len()))
+    }
+
+    /// Materialises the full relation (`n` forward searches).
+    pub fn relation(&self, t: &Tree) -> BitMatrix {
+        let n = t.len();
+        let tests = self.test_sets(t);
+        let mut out = BitMatrix::empty(n);
+        for v in t.nodes() {
+            let img = self.image_with_tests(t, &NodeSet::singleton(n, v), &tests);
+            for u in img.iter() {
+                out.set(v, u);
+            }
+        }
+        out
+    }
+}
+
+#[inline]
+fn push(visited: &mut [bool], work: &mut Vec<(u32, u32)>, m: usize, v: u32, q: u32) {
+    let idx = v as usize * m + q as usize;
+    if !visited[idx] {
+        visited[idx] = true;
+        work.push((v, q));
+    }
+}
+
+/// Applies `f` to every node reachable from `v` by one primitive move.
+#[inline]
+fn for_each_move<F: FnMut(NodeId)>(t: &Tree, v: NodeId, a: Axis, mut f: F) {
+    match a {
+        Axis::Down => {
+            let mut c = t.first_child(v);
+            while let Some(u) = c {
+                f(u);
+                c = t.next_sibling(u);
+            }
+        }
+        Axis::Up => {
+            if let Some(p) = t.parent(v) {
+                f(p);
+            }
+        }
+        Axis::Left => {
+            if let Some(p) = t.prev_sibling(v) {
+                f(p);
+            }
+        }
+        Axis::Right => {
+            if let Some(s) = t.next_sibling(v) {
+                f(s);
+            }
+        }
+    }
+}
+
+/// Evaluates a node expression to the set of nodes where it holds.
+pub fn eval_node(t: &Tree, phi: &RNode) -> NodeSet {
+    let n = t.len();
+    match phi {
+        RNode::True => NodeSet::full(n),
+        RNode::Label(l) => NodeSet::from_iter(n, t.nodes().filter(|&v| t.label(v) == *l)),
+        RNode::Some(a) => Compiled::new(a).domain(t),
+        RNode::Not(f) => {
+            let mut s = eval_node(t, f);
+            s.complement();
+            s
+        }
+        RNode::And(f, g) => {
+            let mut s = eval_node(t, f);
+            s.intersect_with(&eval_node(t, g));
+            s
+        }
+        RNode::Or(f, g) => {
+            let mut s = eval_node(t, f);
+            s.union_with(&eval_node(t, g));
+            s
+        }
+        RNode::Within(f) => {
+            // Wφ at v  ⇔  φ at the root of subtree(v)
+            let mut s = NodeSet::empty(n);
+            for v in t.nodes() {
+                let sub = t.subtree(v);
+                if eval_node(&sub, f).contains(sub.root()) {
+                    s.insert(v);
+                }
+            }
+            s
+        }
+    }
+}
+
+/// Forward image of `ctx` under `path` (compiles, then evaluates).
+pub fn eval_image(t: &Tree, path: &RPath, ctx: &NodeSet) -> NodeSet {
+    Compiled::new(path).image(t, ctx)
+}
+
+/// Backward image of `targets` under `path`.
+pub fn eval_preimage(t: &Tree, path: &RPath, targets: &NodeSet) -> NodeSet {
+    Compiled::new(path).preimage(t, targets)
+}
+
+/// Materialises the full relation of `path` on `t`.
+pub fn eval_rel(t: &Tree, path: &RPath) -> BitMatrix {
+    Compiled::new(path).relation(t)
+}
+
+/// The nodes reachable from a single context node.
+pub fn query(t: &Tree, path: &RPath, ctx: NodeId) -> NodeSet {
+    eval_image(t, path, &NodeSet::singleton(t.len(), ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twx_xtree::parse::parse_sexp;
+    use twx_xtree::Label;
+
+    /// (a (b d e) (c f))  — ids: a=0 b=1 d=2 e=3 c=4 f=5
+    fn sample() -> Tree {
+        parse_sexp("(a (b d e) (c f))").unwrap().tree
+    }
+
+    fn ids(s: &NodeSet) -> Vec<u32> {
+        s.iter().map(|v| v.0).collect()
+    }
+
+    #[test]
+    fn star_reaches_descendants() {
+        let t = sample();
+        let p = RPath::Axis(Axis::Down).star();
+        assert_eq!(ids(&query(&t, &p, NodeId(0))), [0, 1, 2, 3, 4, 5]);
+        let p = RPath::Axis(Axis::Down).plus();
+        assert_eq!(ids(&query(&t, &p, NodeId(1))), [2, 3]);
+    }
+
+    #[test]
+    fn mixed_axis_star() {
+        let t = sample();
+        // (↑ ∪ ↓)* from any node reaches the whole tree
+        let p = RPath::Axis(Axis::Up).union(RPath::Axis(Axis::Down)).star();
+        assert_eq!(ids(&query(&t, &p, NodeId(3))).len(), 6);
+    }
+
+    #[test]
+    fn guarded_star() {
+        let t = sample();
+        // (↓[¬f-label])* from root: avoid walking onto f
+        let guard = RNode::Label(Label(5)).not();
+        let p = RPath::Axis(Axis::Down).filter(guard).star();
+        assert_eq!(ids(&query(&t, &p, NodeId(0))), [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tests_are_diagonals() {
+        let t = sample();
+        // ?b-label from b stays at b, from elsewhere nothing
+        let p = RPath::test(RNode::Label(Label(1)));
+        assert_eq!(ids(&query(&t, &p, NodeId(1))), [1]);
+        assert_eq!(ids(&query(&t, &p, NodeId(0))), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn preimage_inverts_image() {
+        let t = sample();
+        let p = RPath::Axis(Axis::Down).plus().seq(RPath::Axis(Axis::Right));
+        let rel = eval_rel(&t, &p);
+        for v in t.nodes() {
+            let pre = eval_preimage(&t, &p, &NodeSet::singleton(6, v));
+            let expect: Vec<u32> = t
+                .nodes()
+                .filter(|&x| rel.get(x, v))
+                .map(|x| x.0)
+                .collect();
+            assert_eq!(ids(&pre), expect, "preimage of {v:?}");
+        }
+    }
+
+    #[test]
+    fn domain_is_some_semantics() {
+        let t = sample();
+        // ⟨↓/↓⟩ — has a grandchild
+        let p = RPath::Axis(Axis::Down).seq(RPath::Axis(Axis::Down));
+        assert_eq!(ids(&eval_node(&t, &RNode::some(p))), [0]);
+    }
+
+    #[test]
+    fn within_restricts_to_subtree() {
+        let t = sample();
+        // ⟨↑⟩ holds everywhere except the root...
+        let has_parent = RNode::some(RPath::Axis(Axis::Up));
+        assert_eq!(ids(&eval_node(&t, &has_parent)), [1, 2, 3, 4, 5]);
+        // ...but W⟨↑⟩ holds nowhere: each node is the root of its subtree
+        assert_eq!(
+            ids(&eval_node(&t, &has_parent.clone().within())),
+            Vec::<u32>::new()
+        );
+        // W⟨↓⁺[d-label]⟩: the subtree below contains a d — true at a and b
+        let has_d = RNode::some(RPath::Axis(Axis::Down).plus().filter(RNode::Label(Label(2))));
+        assert_eq!(ids(&eval_node(&t, &has_d.clone().within())), [0, 1]);
+        // without W it is the same here (descendants stay in the subtree)
+        assert_eq!(ids(&eval_node(&t, &has_d)), [0, 1]);
+    }
+
+    #[test]
+    fn within_vs_global_difference() {
+        // W distinguishes: "some ancestor-or-self has label a, then a b
+        // sibling to the right" style conditions escape subtrees.
+        let t = parse_sexp("(r (a x) (b y))").unwrap().tree;
+        // φ = ⟨↑/↓[b-label]⟩: parent has a b-child — true at a(1), b(3)...
+        // within the subtree of each node, the parent does not exist.
+        let b_label = RNode::Label(Label(3)); // labels: r=0,a=1,x=2,b=3,y=4
+        let phi = RNode::some(
+            RPath::Axis(Axis::Up).seq(RPath::Axis(Axis::Down).filter(b_label)),
+        );
+        let global = eval_node(&t, &phi);
+        assert_eq!(ids(&global), [1, 3]);
+        let within = eval_node(&t, &phi.within());
+        assert_eq!(ids(&within), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn compiled_reuse_across_trees() {
+        let c = Compiled::new(&RPath::Axis(Axis::Down).star());
+        let t1 = sample();
+        let t2 = parse_sexp("(a (a (a)))").unwrap().tree;
+        assert_eq!(c.image(&t1, &NodeSet::singleton(6, NodeId(0))).count(), 6);
+        assert_eq!(c.image(&t2, &NodeSet::singleton(3, NodeId(0))).count(), 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Naive relational evaluation of Regular XPath(W).
+//!
+//! Executes the denotational semantics literally with `n × n` bit matrices;
+//! `Star` uses matrix closure (`O(n³ log n / 64)`). Baseline for E2 and the
+//! differential-testing oracle for the product evaluator.
+
+use crate::ast::{RNode, RPath};
+use twx_corexpath::eval_naive::axis_matrix;
+use twx_xtree::{BitMatrix, NodeSet, Tree};
+
+/// Materialises `[[path]]` by structural recursion over the semantics.
+pub fn eval_rel_naive(t: &Tree, path: &RPath) -> BitMatrix {
+    match path {
+        RPath::Axis(a) => axis_matrix(t, *a),
+        RPath::Eps => BitMatrix::identity(t.len()),
+        RPath::Test(f) => BitMatrix::diagonal(&eval_node_naive(t, f)),
+        RPath::Seq(a, b) => eval_rel_naive(t, a).compose(&eval_rel_naive(t, b)),
+        RPath::Union(a, b) => {
+            let mut m = eval_rel_naive(t, a);
+            m.union_with(&eval_rel_naive(t, b));
+            m
+        }
+        RPath::Star(a) => eval_rel_naive(t, a).star(),
+        RPath::Filter(a, f) => {
+            let mut m = eval_rel_naive(t, a);
+            m.filter_codomain(&eval_node_naive(t, f));
+            m
+        }
+    }
+}
+
+/// Evaluates a node expression through the relational semantics.
+pub fn eval_node_naive(t: &Tree, phi: &RNode) -> NodeSet {
+    let n = t.len();
+    match phi {
+        RNode::True => NodeSet::full(n),
+        RNode::Label(l) => NodeSet::from_iter(n, t.nodes().filter(|&v| t.label(v) == *l)),
+        RNode::Some(a) => eval_rel_naive(t, a).domain(),
+        RNode::Not(f) => {
+            let mut s = eval_node_naive(t, f);
+            s.complement();
+            s
+        }
+        RNode::And(f, g) => {
+            let mut s = eval_node_naive(t, f);
+            s.intersect_with(&eval_node_naive(t, g));
+            s
+        }
+        RNode::Or(f, g) => {
+            let mut s = eval_node_naive(t, f);
+            s.union_with(&eval_node_naive(t, g));
+            s
+        }
+        RNode::Within(f) => {
+            let mut s = NodeSet::empty(n);
+            for v in t.nodes() {
+                let sub = t.subtree(v);
+                if eval_node_naive(&sub, f).contains(sub.root()) {
+                    s.insert(v);
+                }
+            }
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Axis;
+    use crate::eval::{eval_node, eval_rel};
+    use crate::generate::{random_rnode, random_rpath, RGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use twx_xtree::generate::{random_tree, Shape};
+    use twx_xtree::parse::parse_sexp;
+
+    #[test]
+    fn star_is_reflexive_transitive() {
+        let t = parse_sexp("(a (b c) d)").unwrap().tree;
+        let m = eval_rel_naive(&t, &RPath::Axis(Axis::Down).star());
+        for v in t.nodes() {
+            assert!(m.get(v, v));
+        }
+        assert!(m.get(twx_xtree::NodeId(0), twx_xtree::NodeId(2)));
+        assert!(!m.get(twx_xtree::NodeId(2), twx_xtree::NodeId(0)));
+    }
+
+    /// Differential test: product evaluator vs relational semantics over a
+    /// fuzzed corpus of expressions and trees (the E2 correctness oracle).
+    #[test]
+    fn product_evaluator_agrees_with_relational_semantics() {
+        let mut rng = StdRng::seed_from_u64(2010);
+        let cfg = RGenConfig::default();
+        for round in 0..50 {
+            let t = random_tree(Shape::Recursive, 1 + (round % 12), 2, &mut rng);
+            let p = random_rpath(&cfg, 4, &mut rng);
+            assert_eq!(
+                eval_rel(&t, &p),
+                eval_rel_naive(&t, &p),
+                "path {p:?} on {t:?}"
+            );
+            let f = random_rnode(&cfg, 4, &mut rng);
+            assert_eq!(
+                eval_node(&t, &f),
+                eval_node_naive(&t, &f),
+                "node expr {f:?} on {t:?}"
+            );
+        }
+    }
+
+    /// `W` differential test with deeper trees (subtree extraction paths).
+    #[test]
+    fn within_agrees_between_evaluators() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let cfg = RGenConfig {
+            within: true,
+            ..RGenConfig::default()
+        };
+        for round in 0..30 {
+            let t = random_tree(Shape::Deep(2), 2 + (round % 10), 2, &mut rng);
+            let f = random_rnode(&cfg, 3, &mut rng).within();
+            assert_eq!(eval_node(&t, &f), eval_node_naive(&t, &f), "{f:?} on {t:?}");
+        }
+    }
+}

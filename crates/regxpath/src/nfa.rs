@@ -1,0 +1,217 @@
+//! Compilation of path expressions to NFAs over the *move alphabet*.
+//!
+//! A Regular XPath path expression is a regular expression whose letters
+//! are primitive tree moves `{↓, ↑, ←, →}` and node tests `?φ`. Compiling
+//! it Thompson-style yields an NFA whose runs, interpreted over a tree, are
+//! exactly the walks the expression denotes — the word-shaped view of tree
+//! walking that also underlies the translation to tree walking automata.
+
+use crate::ast::{Axis, RNode, RPath};
+
+/// A transition label of a path NFA.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MoveLabel {
+    /// Silent transition.
+    Eps,
+    /// A primitive tree move.
+    Axis(Axis),
+    /// A node test; the index refers to [`PathNfa::tests`].
+    Test(u32),
+}
+
+/// A nondeterministic finite automaton with a single start and a single
+/// accepting state (Thompson normal form).
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    /// Number of states (`0..n_states`).
+    pub n_states: u32,
+    /// The initial state.
+    pub start: u32,
+    /// The unique accepting state.
+    pub accept: u32,
+    /// Transition triples.
+    pub transitions: Vec<(u32, MoveLabel, u32)>,
+}
+
+impl Nfa {
+    /// Outgoing adjacency lists, indexed by state.
+    pub fn forward_adj(&self) -> Vec<Vec<(MoveLabel, u32)>> {
+        let mut adj = vec![Vec::new(); self.n_states as usize];
+        for &(p, l, q) in &self.transitions {
+            adj[p as usize].push((l, q));
+        }
+        adj
+    }
+
+    /// Incoming adjacency lists, indexed by state.
+    pub fn backward_adj(&self) -> Vec<Vec<(MoveLabel, u32)>> {
+        let mut adj = vec![Vec::new(); self.n_states as usize];
+        for &(p, l, q) in &self.transitions {
+            adj[q as usize].push((l, p));
+        }
+        adj
+    }
+}
+
+/// A compiled path expression: the NFA plus the interned node tests its
+/// `Test` labels refer to.
+#[derive(Clone, Debug)]
+pub struct PathNfa {
+    /// The automaton over the move alphabet.
+    pub nfa: Nfa,
+    /// Node tests referenced by `MoveLabel::Test` indices.
+    pub tests: Vec<RNode>,
+}
+
+/// Compiles a path expression to Thompson normal form.
+///
+/// States are linear in the size of the expression; each `Filter`/`Test`
+/// contributes one interned test (the nested node expression is *not*
+/// inlined into the automaton — it is the "nested" part of a nested tree
+/// walking automaton).
+pub fn compile(path: &RPath) -> PathNfa {
+    let mut b = Builder {
+        next: 0,
+        transitions: Vec::new(),
+        tests: Vec::new(),
+    };
+    let (s, f) = b.go(path);
+    PathNfa {
+        nfa: Nfa {
+            n_states: b.next,
+            start: s,
+            accept: f,
+            transitions: b.transitions,
+        },
+        tests: b.tests,
+    }
+}
+
+struct Builder {
+    next: u32,
+    transitions: Vec<(u32, MoveLabel, u32)>,
+    tests: Vec<RNode>,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> u32 {
+        let s = self.next;
+        self.next += 1;
+        s
+    }
+
+    fn edge(&mut self, p: u32, l: MoveLabel, q: u32) {
+        self.transitions.push((p, l, q));
+    }
+
+    fn intern_test(&mut self, f: &RNode) -> u32 {
+        if let Some(i) = self.tests.iter().position(|g| g == f) {
+            return i as u32;
+        }
+        self.tests.push(f.clone());
+        (self.tests.len() - 1) as u32
+    }
+
+    fn go(&mut self, path: &RPath) -> (u32, u32) {
+        match path {
+            RPath::Axis(a) => {
+                let s = self.fresh();
+                let f = self.fresh();
+                self.edge(s, MoveLabel::Axis(*a), f);
+                (s, f)
+            }
+            RPath::Eps => {
+                let s = self.fresh();
+                let f = self.fresh();
+                self.edge(s, MoveLabel::Eps, f);
+                (s, f)
+            }
+            RPath::Test(phi) => {
+                let s = self.fresh();
+                let f = self.fresh();
+                let i = self.intern_test(phi);
+                self.edge(s, MoveLabel::Test(i), f);
+                (s, f)
+            }
+            RPath::Seq(a, b) => {
+                let (sa, fa) = self.go(a);
+                let (sb, fb) = self.go(b);
+                self.edge(fa, MoveLabel::Eps, sb);
+                (sa, fb)
+            }
+            RPath::Union(a, b) => {
+                let s = self.fresh();
+                let f = self.fresh();
+                let (sa, fa) = self.go(a);
+                let (sb, fb) = self.go(b);
+                self.edge(s, MoveLabel::Eps, sa);
+                self.edge(s, MoveLabel::Eps, sb);
+                self.edge(fa, MoveLabel::Eps, f);
+                self.edge(fb, MoveLabel::Eps, f);
+                (s, f)
+            }
+            RPath::Star(a) => {
+                let s = self.fresh();
+                let f = self.fresh();
+                let (sa, fa) = self.go(a);
+                self.edge(s, MoveLabel::Eps, f);
+                self.edge(s, MoveLabel::Eps, sa);
+                self.edge(fa, MoveLabel::Eps, sa);
+                self.edge(fa, MoveLabel::Eps, f);
+                (s, f)
+            }
+            RPath::Filter(a, phi) => {
+                let (sa, fa) = self.go(a);
+                let f = self.fresh();
+                let i = self.intern_test(phi);
+                self.edge(fa, MoveLabel::Test(i), f);
+                (sa, f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{RNode, RPath};
+
+    #[test]
+    fn state_count_is_linear() {
+        let mut e = RPath::Axis(Axis::Down);
+        for _ in 0..10 {
+            e = e.clone().seq(e.clone().star().union(RPath::Eps));
+        }
+        let c = compile(&e);
+        assert!(c.nfa.n_states as usize <= 2 * e.size());
+    }
+
+    #[test]
+    fn tests_are_interned_once() {
+        let phi = RNode::Label(twx_xtree::Label(0));
+        let e = RPath::Axis(Axis::Down)
+            .filter(phi.clone())
+            .seq(RPath::Axis(Axis::Up).filter(phi.clone()))
+            .union(RPath::test(phi));
+        let c = compile(&e);
+        assert_eq!(c.tests.len(), 1);
+    }
+
+    #[test]
+    fn thompson_shape() {
+        let c = compile(&RPath::Axis(Axis::Down).star());
+        // star of a single axis: 4 states, 1 axis edge, 4 eps edges
+        assert_eq!(c.nfa.n_states, 4);
+        let axis_edges = c
+            .nfa
+            .transitions
+            .iter()
+            .filter(|(_, l, _)| matches!(l, MoveLabel::Axis(_)))
+            .count();
+        assert_eq!(axis_edges, 1);
+        let fwd = c.nfa.forward_adj();
+        assert_eq!(fwd.iter().map(|v| v.len()).sum::<usize>(), c.nfa.transitions.len());
+        let bwd = c.nfa.backward_adj();
+        assert_eq!(bwd.iter().map(|v| v.len()).sum::<usize>(), c.nfa.transitions.len());
+    }
+}

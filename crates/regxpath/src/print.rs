@@ -1,0 +1,175 @@
+//! Pretty printing for Regular XPath(W): `parse(print(e)) == e`.
+//!
+//! The `+` sugar is parse-only (printed as `A/A*`), everything else
+//! round-trips syntactically.
+
+use crate::ast::{Axis, RNode, RPath};
+use std::fmt::Write;
+use twx_xtree::Alphabet;
+
+/// Renders a path expression.
+pub fn rpath_to_string(p: &RPath, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    write_path(p, alphabet, 0, &mut out);
+    out
+}
+
+/// Renders a node expression.
+pub fn rnode_to_string(f: &RNode, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    write_node(f, alphabet, 0, &mut out);
+    out
+}
+
+fn axis_name(a: Axis) -> &'static str {
+    match a {
+        Axis::Down => "down",
+        Axis::Up => "up",
+        Axis::Left => "left",
+        Axis::Right => "right",
+    }
+}
+
+/// Precedence: 0 = union, 1 = seq, 2 = postfix, 3 = atom.
+fn write_path(p: &RPath, ab: &Alphabet, prec: u8, out: &mut String) {
+    match p {
+        RPath::Axis(a) => out.push_str(axis_name(*a)),
+        RPath::Eps => out.push('.'),
+        RPath::Test(f) => {
+            out.push_str("?(");
+            write_node(f, ab, 0, out);
+            out.push(')');
+        }
+        RPath::Union(a, b) => {
+            let parens = prec > 0;
+            if parens {
+                out.push('(');
+            }
+            write_path(a, ab, 0, out);
+            out.push_str(" | ");
+            write_path(b, ab, 1, out);
+            if parens {
+                out.push(')');
+            }
+        }
+        RPath::Seq(a, b) => {
+            let parens = prec > 1;
+            if parens {
+                out.push('(');
+            }
+            write_path(a, ab, 1, out);
+            out.push('/');
+            write_path(b, ab, 2, out);
+            if parens {
+                out.push(')');
+            }
+        }
+        RPath::Star(a) => {
+            write_path(a, ab, 3, out);
+            out.push('*');
+        }
+        RPath::Filter(a, f) => {
+            write_path(a, ab, 2, out);
+            out.push('[');
+            write_node(f, ab, 0, out);
+            out.push(']');
+        }
+    }
+}
+
+/// Node precedence: 0 = or, 1 = and, 2 = unary/atom.
+fn write_node(f: &RNode, ab: &Alphabet, prec: u8, out: &mut String) {
+    match f {
+        RNode::True => out.push_str("true"),
+        RNode::Label(l) => {
+            let _ = write!(out, "{}", ab.name(*l));
+        }
+        RNode::Some(a) => {
+            out.push('<');
+            write_path(a, ab, 0, out);
+            out.push('>');
+        }
+        RNode::Not(g) => {
+            out.push('!');
+            write_node(g, ab, 2, out);
+        }
+        RNode::Within(g) => {
+            out.push_str("W(");
+            write_node(g, ab, 0, out);
+            out.push(')');
+        }
+        RNode::And(g, h) => {
+            let parens = prec > 1;
+            if parens {
+                out.push('(');
+            }
+            write_node(g, ab, 1, out);
+            out.push_str(" and ");
+            write_node(h, ab, 2, out);
+            if parens {
+                out.push(')');
+            }
+        }
+        RNode::Or(g, h) => {
+            let parens = prec > 0;
+            if parens {
+                out.push('(');
+            }
+            write_node(g, ab, 0, out);
+            out.push_str(" or ");
+            write_node(h, ab, 1, out);
+            if parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_rnode, random_rpath, RGenConfig};
+    use crate::parser::{parse_rnode, parse_rpath};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn examples() {
+        let mut ab = Alphabet::new();
+        let p = parse_rpath("(down | up)*[a]/?(b)", &mut ab).unwrap();
+        assert_eq!(rpath_to_string(&p, &ab), "(down | up)*[a]/?(b)");
+        let f = parse_rnode("W(!a and <down*>)", &mut ab).unwrap();
+        assert_eq!(rnode_to_string(&f, &ab), "W(!a and <down*>)");
+    }
+
+    #[test]
+    fn star_of_composite_parenthesized() {
+        let mut ab = Alphabet::new();
+        let p = RPath::Axis(Axis::Down).seq(RPath::Axis(Axis::Up)).star();
+        let s = rpath_to_string(&p, &ab);
+        assert_eq!(s, "(down/up)*");
+        assert_eq!(parse_rpath(&s, &mut ab).unwrap(), p);
+    }
+
+    #[test]
+    fn roundtrip_fuzz() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let cfg = RGenConfig::default();
+        let mut ab = Alphabet::new();
+        for i in 0..cfg.labels {
+            ab.intern(&format!("p{i}"));
+        }
+        for _ in 0..300 {
+            let p = random_rpath(&cfg, 5, &mut rng);
+            let s = rpath_to_string(&p, &ab);
+            let back = parse_rpath(&s, &mut ab)
+                .unwrap_or_else(|e| panic!("reparse failed for '{s}': {e}"));
+            assert_eq!(back, p, "roundtrip failed: {s}");
+            let f = random_rnode(&cfg, 5, &mut rng);
+            let s = rnode_to_string(&f, &ab);
+            let back = parse_rnode(&s, &mut ab)
+                .unwrap_or_else(|e| panic!("reparse failed for '{s}': {e}"));
+            assert_eq!(back, f, "roundtrip failed: {s}");
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Size-non-increasing simplification for Regular XPath(W).
+//!
+//! Used heavily by the Kleene (NTWA → Regular XPath) translation in
+//! `twx-core`, whose raw output contains many `ε` units, duplicated union
+//! branches and trivial stars. All rules are oriented valid equivalences;
+//! soundness is machine-checked on bounded domains by the tests.
+
+use crate::ast::{RNode, RPath};
+
+/// Whether a path expression denotes the empty relation on every tree
+/// (recognisable syntactically).
+pub fn is_empty_path(p: &RPath) -> bool {
+    match p {
+        RPath::Axis(_) | RPath::Eps => false,
+        RPath::Test(f) => is_false(f),
+        RPath::Seq(a, b) => is_empty_path(a) || is_empty_path(b),
+        RPath::Union(a, b) => is_empty_path(a) && is_empty_path(b),
+        RPath::Star(_) => false, // ε ⊆ A*
+        RPath::Filter(a, f) => is_empty_path(a) || is_false(f),
+    }
+}
+
+/// Whether a node expression is syntactically `⊥`.
+pub fn is_false(f: &RNode) -> bool {
+    match f {
+        RNode::Not(g) => is_true(g),
+        RNode::And(g, h) => is_false(g) || is_false(h),
+        RNode::Or(g, h) => is_false(g) && is_false(h),
+        RNode::Some(p) => is_empty_path(p),
+        RNode::Within(g) => is_false(g),
+        _ => false,
+    }
+}
+
+/// Whether a node expression is syntactically `⊤`.
+pub fn is_true(f: &RNode) -> bool {
+    match f {
+        RNode::True => true,
+        RNode::Not(g) => is_false(g),
+        RNode::And(g, h) => is_true(g) && is_true(h),
+        RNode::Or(g, h) => is_true(g) || is_true(h),
+        RNode::Within(g) => is_true(g),
+        _ => false,
+    }
+}
+
+/// Simplifies a path expression to a rewriting fixpoint.
+pub fn simplify_rpath(p: &RPath) -> RPath {
+    let mut cur = p.clone();
+    loop {
+        let next = simp_path(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+/// Simplifies a node expression to a rewriting fixpoint.
+pub fn simplify_rnode(f: &RNode) -> RNode {
+    let mut cur = f.clone();
+    loop {
+        let next = simp_node(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+fn simp_path(p: &RPath) -> RPath {
+    match p {
+        RPath::Axis(_) | RPath::Eps => p.clone(),
+        RPath::Test(f) => {
+            let f = simp_node(f);
+            if is_true(&f) {
+                RPath::Eps
+            } else {
+                RPath::test(f)
+            }
+        }
+        RPath::Seq(a, b) => {
+            let a = simp_path(a);
+            let b = simp_path(b);
+            if is_empty_path(&a) || is_empty_path(&b) {
+                return RPath::test(RNode::fals());
+            }
+            match (a, b) {
+                (RPath::Eps, b) => b,
+                (a, RPath::Eps) => a,
+                // A*/A* = A*
+                (RPath::Star(x), RPath::Star(y)) if x == y => RPath::Star(x),
+                (RPath::Seq(x, y), b) => x.seq(y.seq(b)),
+                (a, b) => a.seq(b),
+            }
+        }
+        RPath::Union(_, _) => {
+            let mut members = Vec::new();
+            flatten_union(p, &mut members);
+            let mut simplified: Vec<RPath> = members
+                .iter()
+                .map(simp_path)
+                .filter(|m| !is_empty_path(m))
+                .collect();
+            simplified.sort();
+            simplified.dedup();
+            // ε ∪ A* = A*
+            if simplified.len() > 1
+                && simplified.iter().any(|m| matches!(m, RPath::Star(_)))
+            {
+                simplified.retain(|m| *m != RPath::Eps);
+            }
+            match simplified.len() {
+                0 => RPath::test(RNode::fals()),
+                _ => {
+                    let mut it = simplified.into_iter().rev();
+                    let last = it.next().expect("nonempty");
+                    it.fold(last, |acc, m| m.union(acc))
+                }
+            }
+        }
+        RPath::Star(a) => {
+            let a = simp_path(a);
+            match a {
+                // ε* = ε, (A*)* = A*, ∅* = ε
+                RPath::Eps => RPath::Eps,
+                RPath::Star(x) => RPath::Star(x),
+                a if is_empty_path(&a) => RPath::Eps,
+                // (ε ∪ A)* = A*
+                RPath::Union(x, y) if *x == RPath::Eps => y.star(),
+                RPath::Union(x, y) if *y == RPath::Eps => x.star(),
+                // (?φ)* = ε  (a test iterated is either taken once or not)
+                RPath::Test(_) => RPath::Eps,
+                a => a.star(),
+            }
+        }
+        RPath::Filter(a, f) => {
+            let a = simp_path(a);
+            let f = simp_node(f);
+            if is_true(&f) {
+                return a;
+            }
+            if is_false(&f) || is_empty_path(&a) {
+                return RPath::test(RNode::fals());
+            }
+            match a {
+                RPath::Eps => RPath::test(f),
+                RPath::Filter(inner, g) => inner.filter(g.and(f)),
+                RPath::Seq(x, y) => x.seq(y.filter(f)),
+                a => a.filter(f),
+            }
+        }
+    }
+}
+
+fn flatten_union(p: &RPath, out: &mut Vec<RPath>) {
+    match p {
+        RPath::Union(a, b) => {
+            flatten_union(a, out);
+            flatten_union(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+fn simp_node(f: &RNode) -> RNode {
+    match f {
+        RNode::True | RNode::Label(_) => f.clone(),
+        RNode::Some(a) => {
+            let a = simp_path(a);
+            match a {
+                RPath::Eps => RNode::True,
+                RPath::Star(_) => RNode::True, // ε ⊆ A*: always some path
+                RPath::Test(g) => *g,
+                a if is_empty_path(&a) => RNode::fals(),
+                a => RNode::some(a),
+            }
+        }
+        RNode::Not(g) => {
+            let g = simp_node(g);
+            match g {
+                RNode::Not(h) => *h,
+                g if is_false(&g) => RNode::True,
+                g => g.not(),
+            }
+        }
+        RNode::Within(g) => {
+            let g = simp_node(g);
+            match g {
+                // W of a purely boolean/label formula is the formula itself
+                RNode::True => RNode::True,
+                RNode::Label(l) => RNode::Label(l),
+                g if is_false(&g) => RNode::fals(),
+                // W(Wφ) = Wφ
+                RNode::Within(h) => RNode::Within(h),
+                g => g.within(),
+            }
+        }
+        RNode::And(g, h) => {
+            let g = simp_node(g);
+            let h = simp_node(h);
+            if is_false(&g) || is_false(&h) {
+                return RNode::fals();
+            }
+            if is_true(&g) {
+                return h;
+            }
+            if is_true(&h) {
+                return g;
+            }
+            if g == h {
+                return g;
+            }
+            g.and(h)
+        }
+        RNode::Or(g, h) => {
+            let g = simp_node(g);
+            let h = simp_node(h);
+            if is_true(&g) || is_true(&h) {
+                return RNode::True;
+            }
+            if is_false(&g) {
+                return h;
+            }
+            if is_false(&h) {
+                return g;
+            }
+            if g == h {
+                return g;
+            }
+            g.or(h)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Axis;
+    use crate::eval::{eval_node, eval_rel};
+    use crate::generate::{random_rnode, random_rpath, RGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use twx_xtree::generate::enumerate_trees_up_to;
+
+    #[test]
+    fn unit_and_star_laws() {
+        let d = RPath::Axis(Axis::Down);
+        assert_eq!(simplify_rpath(&RPath::Eps.seq(d.clone())), d);
+        assert_eq!(simplify_rpath(&RPath::Eps.star()), RPath::Eps);
+        assert_eq!(
+            simplify_rpath(&d.clone().star().star()),
+            d.clone().star()
+        );
+        assert_eq!(
+            simplify_rpath(&RPath::Eps.union(d.clone()).star()),
+            d.clone().star()
+        );
+        assert_eq!(
+            simplify_rpath(&d.clone().union(d.clone())),
+            d.clone()
+        );
+        assert_eq!(
+            simplify_rpath(&RPath::test(RNode::True).seq(d.clone())),
+            d
+        );
+    }
+
+    #[test]
+    fn some_star_is_true() {
+        let d = RPath::Axis(Axis::Down);
+        assert_eq!(simplify_rnode(&RNode::some(d.star())), RNode::True);
+    }
+
+    #[test]
+    fn within_of_boolean_collapses() {
+        assert_eq!(simplify_rnode(&RNode::True.within()), RNode::True);
+        assert_eq!(
+            simplify_rnode(&RNode::True.within().within()),
+            RNode::True
+        );
+        let l = RNode::Label(twx_xtree::Label(0));
+        assert_eq!(simplify_rnode(&l.clone().within()), l);
+    }
+
+    /// Soundness of every rule on bounded domains, fuzzed.
+    #[test]
+    fn simplification_is_sound() {
+        let trees = enumerate_trees_up_to(4, 2);
+        let mut rng = StdRng::seed_from_u64(404);
+        let cfg = RGenConfig::default();
+        for _ in 0..40 {
+            let p = random_rpath(&cfg, 4, &mut rng);
+            let sp = simplify_rpath(&p);
+            let f = random_rnode(&cfg, 4, &mut rng);
+            let sf = simplify_rnode(&f);
+            for t in &trees {
+                assert_eq!(
+                    eval_rel(t, &p),
+                    eval_rel(t, &sp),
+                    "unsound path rewrite {p:?} → {sp:?}"
+                );
+                assert_eq!(
+                    eval_node(t, &f),
+                    eval_node(t, &sf),
+                    "unsound node rewrite {f:?} → {sf:?}"
+                );
+            }
+        }
+    }
+}

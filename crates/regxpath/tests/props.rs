@@ -1,0 +1,159 @@
+//! Property-based tests for Regular XPath(W): Kleene-algebra laws,
+//! evaluator agreement, printer inversion, simplifier soundness.
+
+use proptest::prelude::*;
+use twx_regxpath::ast::{Axis, RNode, RPath};
+use twx_regxpath::eval::{eval_node, eval_rel};
+use twx_regxpath::eval_naive::{eval_node_naive, eval_rel_naive};
+use twx_regxpath::parser::{parse_rnode, parse_rpath};
+use twx_regxpath::print::{rnode_to_string, rpath_to_string};
+use twx_regxpath::simplify::{simplify_rnode, simplify_rpath};
+use twx_xtree::generate::from_parent_vec;
+use twx_xtree::{Alphabet, Label, Tree};
+
+fn arb_axis() -> impl Strategy<Value = Axis> {
+    prop_oneof![
+        Just(Axis::Down),
+        Just(Axis::Up),
+        Just(Axis::Left),
+        Just(Axis::Right),
+    ]
+}
+
+fn arb_rpath() -> impl Strategy<Value = RPath> {
+    let leaf = prop_oneof![
+        arb_axis().prop_map(RPath::Axis),
+        Just(RPath::Eps),
+        (0u32..2).prop_map(|l| RPath::test(RNode::Label(Label(l)))),
+    ];
+    leaf.prop_recursive(4, 20, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.seq(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            inner.clone().prop_map(|a| a.star()),
+            (inner.clone(), arb_rnode_from(inner)).prop_map(|(a, f)| a.filter(f)),
+        ]
+    })
+}
+
+fn arb_rnode_from(paths: impl Strategy<Value = RPath> + Clone + 'static) -> BoxedStrategy<RNode> {
+    let leaf = prop_oneof![
+        Just(RNode::True),
+        (0u32..2).prop_map(|l| RNode::Label(Label(l))),
+    ];
+    leaf.prop_recursive(3, 12, 2, move |inner| {
+        prop_oneof![
+            paths.clone().prop_map(RNode::some),
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.and(g)),
+            inner.clone().prop_map(|f| f.within()),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_rnode() -> impl Strategy<Value = RNode> {
+    arb_rnode_from(arb_rpath().boxed())
+}
+
+fn arb_tree(max_n: usize) -> impl Strategy<Value = Tree> {
+    (1..=max_n).prop_flat_map(|n| {
+        let parents = (1..n).map(|i| 0..i as u32).collect::<Vec<_>>().prop_map(|mut ps| {
+            ps.insert(0, 0);
+            ps
+        });
+        let labels = proptest::collection::vec(0u32..2, n);
+        (parents, labels).prop_map(|(ps, ls)| {
+            let ls: Vec<Label> = ls.into_iter().map(Label).collect();
+            from_parent_vec(&ps, &ls)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// print ∘ parse = id.
+    #[test]
+    fn rpath_print_parse_roundtrip(p in arb_rpath()) {
+        let mut ab = Alphabet::from_names(["l0", "l1"]);
+        let s = rpath_to_string(&p, &ab);
+        prop_assert_eq!(parse_rpath(&s, &mut ab).expect("reparse"), p, "via '{}'", s);
+    }
+
+    #[test]
+    fn rnode_print_parse_roundtrip(f in arb_rnode()) {
+        let mut ab = Alphabet::from_names(["l0", "l1"]);
+        let s = rnode_to_string(&f, &ab);
+        prop_assert_eq!(parse_rnode(&s, &mut ab).expect("reparse"), f, "via '{}'", s);
+    }
+
+    /// Product evaluator ≡ relational semantics.
+    #[test]
+    fn evaluators_agree(p in arb_rpath(), t in arb_tree(8)) {
+        prop_assert_eq!(eval_rel(&t, &p), eval_rel_naive(&t, &p));
+    }
+
+    #[test]
+    fn node_evaluators_agree(f in arb_rnode(), t in arb_tree(7)) {
+        prop_assert_eq!(eval_node(&t, &f), eval_node_naive(&t, &f));
+    }
+
+    /// Simplification is sound and size-non-increasing.
+    #[test]
+    fn simplify_sound(p in arb_rpath(), t in arb_tree(7)) {
+        let sp = simplify_rpath(&p);
+        prop_assert!(sp.size() <= p.size(), "{:?} grew to {:?}", p, sp);
+        prop_assert_eq!(eval_rel(&t, &p), eval_rel(&t, &sp));
+    }
+
+    #[test]
+    fn simplify_node_sound(f in arb_rnode(), t in arb_tree(6)) {
+        let sf = simplify_rnode(&f);
+        prop_assert!(sf.size() <= f.size());
+        prop_assert_eq!(eval_node(&t, &f), eval_node(&t, &sf));
+    }
+
+    /// Kleene-algebra laws, checked semantically:
+    /// A* = ε ∪ A/A*, (A ∪ B)* = (A*/B*)*, A*/A* = A*.
+    #[test]
+    fn kleene_laws(a in arb_rpath(), b in arb_rpath(), t in arb_tree(6)) {
+        let star = eval_rel(&t, &a.clone().star());
+        // unfolding
+        let unfold = eval_rel(&t, &RPath::Eps.union(a.clone().seq(a.clone().star())));
+        prop_assert_eq!(&star, &unfold);
+        // denesting
+        let lhs = eval_rel(&t, &a.clone().union(b.clone()).star());
+        let rhs = eval_rel(&t, &a.clone().star().seq(b.clone().star()).star());
+        prop_assert_eq!(lhs, rhs);
+        // idempotence of star composition
+        let ss = eval_rel(&t, &a.clone().star().seq(a.clone().star()));
+        prop_assert_eq!(ss, star);
+    }
+
+    /// W is monotone with respect to subtree restriction: `W φ` at `v`
+    /// equals `φ` at the root of the extracted subtree.
+    #[test]
+    fn within_definition(f in arb_rnode(), t in arb_tree(7)) {
+        let wf = eval_node(&t, &f.clone().within());
+        for v in t.nodes() {
+            let sub = t.subtree(v);
+            let direct = eval_node(&sub, &f).contains(sub.root());
+            prop_assert_eq!(wf.contains(v), direct, "at {:?}", v);
+        }
+    }
+
+    /// The domain of a filter is bounded by the domain of its base.
+    #[test]
+    fn filter_shrinks_relation(a in arb_rpath(), f in arb_rnode(), t in arb_tree(7)) {
+        let base = eval_rel(&t, &a);
+        let filtered = eval_rel(&t, &a.clone().filter(f));
+        for x in t.nodes() {
+            for y in t.nodes() {
+                if filtered.get(x, y) {
+                    prop_assert!(base.get(x, y));
+                }
+            }
+        }
+    }
+}

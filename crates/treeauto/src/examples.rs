@@ -1,0 +1,171 @@
+//! Example regular tree languages used by the experiments.
+//!
+//! These are the "hard side" of the paper's separation theorem
+//! (FO(MTC) ⊊ MSO): regular languages of the boolean-circuit-evaluation
+//! kind that power the known tree-walking lower-bound arguments
+//! (Bojańczyk–Colcombet). All are trivially regular — each is a small
+//! NFTA here — while their tree-walking definability is the delicate
+//! question. Experiment E8 uses them as targets for bounded search.
+
+use crate::nfta::{Nfta, Rule};
+use twx_xtree::Label;
+
+/// Alphabet for circuit trees: `and = 0`, `or = 1`, `one = 2`, `zero = 3`.
+pub const CIRCUIT_LABELS: u32 = 4;
+
+/// The language of **true boolean circuits**: trees whose internal nodes
+/// are labelled `and`/`or`, leaves `one`/`zero`, and which evaluate to
+/// true (AND over children, OR over children; a childless `and`/`or` node
+/// counts as true/false respectively, matching the empty conjunction/
+/// disjunction conventions).
+///
+/// This evaluation language is the core of the circuit-value arguments in
+/// tree-walking lower bounds: a walking automaton must re-explore subtrees
+/// to evaluate a circuit, while a bottom-up automaton does it in one pass.
+pub fn true_circuits() -> Nfta {
+    // Chain states carry (value of this node, all-true-so-far of the chain,
+    // some-true-so-far of the chain), because the FCNS right spine is the
+    // parent's child list:
+    //   state = 4 flags packed: v ∈ {0,1}, conj ∈ {0,1}, disj ∈ {0,1}
+    let pack = |v: bool, conj: bool, disj: bool| -> u32 {
+        u32::from(v) | (u32::from(conj) << 1) | (u32::from(disj) << 2)
+    };
+    let mut rules = Vec::new();
+    let states: Vec<(bool, bool, bool)> = (0..8)
+        .map(|i| (i & 1 != 0, i & 2 != 0, i & 4 != 0))
+        .collect();
+    // leaves: one/zero with no children; chain info starts at this node
+    for (lab, v) in [(2u32, true), (3u32, false)] {
+        for right in std::iter::once(None).chain(states.iter().map(|&(rv, rc, rd)| {
+            Some((rv, rc, rd))
+        })) {
+            let (conj, disj) = match right {
+                None => (v, v),
+                Some((_, rc, rd)) => (v && rc, v || rd),
+            };
+            rules.push(Rule {
+                left: None,
+                right: right.map(|(rv, rc, rd)| pack(rv, rc, rd)),
+                label: Label(lab),
+                state: pack(v, conj, disj),
+            });
+        }
+    }
+    // internal nodes: and/or over the child chain (= left child's chain)
+    for (lab, is_and) in [(0u32, true), (1u32, false)] {
+        for left in std::iter::once(None).chain(states.iter().copied().map(Some)) {
+            let v = match left {
+                None => is_and, // empty conjunction true, empty disjunction false
+                Some((_, lc, ld)) => {
+                    if is_and {
+                        lc
+                    } else {
+                        ld
+                    }
+                }
+            };
+            for right in std::iter::once(None).chain(states.iter().copied().map(Some)) {
+                let (conj, disj) = match right {
+                    None => (v, v),
+                    Some((_, rc, rd)) => (v && rc, v || rd),
+                };
+                rules.push(Rule {
+                    left: left.map(|(lv, lc, ld)| pack(lv, lc, ld)),
+                    right: right.map(|(rv, rc, rd)| pack(rv, rc, rd)),
+                    label: Label(lab),
+                    state: pack(v, conj, disj),
+                });
+            }
+        }
+    }
+    let finals = (0..8).filter(|i| i & 1 != 0).collect();
+    Nfta {
+        n_states: 8,
+        n_labels: CIRCUIT_LABELS,
+        rules,
+        finals,
+    }
+}
+
+/// The language of trees with an **even number** of `a`-labelled nodes
+/// (over a 2-letter alphabet `a = 0`, `b = 1`). Regular with two states.
+/// Despite its counting flavour this language IS tree-walking
+/// recognisable — `twx-twa::dfs::dfs_parity` exhibits the four-state DFS
+/// walker — so it is *not* a separation witness; it serves as the control
+/// language in experiment E8 (naive random search fails on it even though
+/// a definition exists).
+pub fn even_a() -> Nfta {
+    // state = parity of a's in (this subtree + right chain subtrees)
+    let mut rules = Vec::new();
+    for lab in 0..2u32 {
+        let here = u32::from(lab == 0);
+        for left in [None, Some(0), Some(1)] {
+            for right in [None, Some(0), Some(1)] {
+                let parity = (here + left.unwrap_or(0) + right.unwrap_or(0)) % 2;
+                rules.push(Rule {
+                    left,
+                    right,
+                    label: Label(lab),
+                    state: parity,
+                });
+            }
+        }
+    }
+    Nfta {
+        n_states: 2,
+        n_labels: 2,
+        rules,
+        finals: vec![0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twx_xtree::parse::parse_sexp_with;
+    use twx_xtree::{Alphabet, Tree};
+
+    fn circuit(s: &str) -> Tree {
+        let mut ab = Alphabet::from_names(["and", "or", "one", "zero"]);
+        parse_sexp_with(s, &mut ab).unwrap()
+    }
+
+    #[test]
+    fn circuit_evaluation() {
+        let auto = true_circuits();
+        assert!(auto.validate().is_ok());
+        assert!(auto.accepts(&circuit("(one)")));
+        assert!(!auto.accepts(&circuit("(zero)")));
+        assert!(auto.accepts(&circuit("(and one one)")));
+        assert!(!auto.accepts(&circuit("(and one zero)")));
+        assert!(auto.accepts(&circuit("(or zero one)")));
+        assert!(!auto.accepts(&circuit("(or zero zero)")));
+        assert!(auto.accepts(&circuit("(and (or zero one) (and one one))")));
+        assert!(!auto.accepts(&circuit("(and (or zero zero) one)")));
+        // nesting depth 3
+        assert!(auto.accepts(&circuit("(or (and (or zero one) one) zero)")));
+        // empty gates
+        assert!(auto.accepts(&circuit("(and)")));
+        assert!(!auto.accepts(&circuit("(or)")));
+    }
+
+    #[test]
+    fn even_a_counts() {
+        let auto = even_a();
+        let mut ab = Alphabet::from_names(["a", "b"]);
+        let mut t = |s: &str| parse_sexp_with(s, &mut ab).unwrap();
+        assert!(!auto.accepts(&t("(a)")));
+        assert!(auto.accepts(&t("(b)")));
+        assert!(auto.accepts(&t("(a a)")));
+        assert!(!auto.accepts(&t("(a b)")));
+        assert!(auto.accepts(&t("(b (a b) a)")));
+        assert!(!auto.accepts(&t("(a (a b) a)")));
+    }
+
+    #[test]
+    fn circuit_language_nonempty_with_witness() {
+        let auto = true_circuits();
+        let w = auto.tree_emptiness_witness().unwrap();
+        assert!(auto.accepts(&w));
+    }
+}

@@ -1,0 +1,35 @@
+//! # twx-treeauto — bottom-up tree automata on FCNS binary encodings
+//!
+//! The regular-language (equivalently, MSO-definable) yardstick against
+//! which the paper measures its three equivalent formalisms: by the
+//! Thatcher–Wright theorem, a set of sibling-ordered trees is MSO-definable
+//! iff the set of first-child/next-sibling encodings is accepted by a
+//! bottom-up nondeterministic finite tree automaton (NFTA) on binary
+//! trees. The paper's separation theorem states FO(MTC) ⊊ MSO, i.e. some
+//! regular tree languages are not definable by any nested tree walking
+//! automaton.
+//!
+//! Provided:
+//!
+//! * [`nfta`]: NFTAs over binary (FCNS) trees — membership, emptiness with
+//!   a **minimal witness tree**, union, intersection (product), subset
+//!   determinization, completion, complementation, and language-inclusion
+//!   checking;
+//! * [`marked`]: automata over marked alphabets `Σ × {0,1}` for unary
+//!   (node-selecting) queries, with helpers to mark a tree at a node;
+//! * [`xpath_compile`]: a **decision procedure** — the downward fragment of
+//!   Core XPath (axes `↓`, `↓⁺`) compiles to a deterministic bottom-up
+//!   automaton via subformula-type states, so satisfiability, validity and
+//!   containment of that fragment are decided exactly (EXPTIME worst case,
+//!   per the literature);
+//! * [`examples`]: regular tree languages used in the experiments,
+//!   including boolean-circuit evaluation languages of the kind used in
+//!   TWA/branching separation arguments.
+
+pub mod examples;
+pub mod marked;
+pub mod nfta;
+pub mod reduce;
+pub mod xpath_compile;
+
+pub use nfta::{Nfta, Rule};

@@ -1,0 +1,180 @@
+//! Marked-alphabet automata for node-selecting (unary) queries.
+//!
+//! A unary query `T ↦ {selected nodes}` is *regular* iff the language of
+//! marked trees `{(T, v) | v selected}` over `Σ × {0,1}` is regular — the
+//! standard device for comparing node-selecting query languages with MSO.
+//! A marked label `(a, m)` is encoded as the label index `2·a + m`.
+
+use crate::nfta::Nfta;
+use twx_xtree::{Label, NodeId, NodeSet, Tree, TreeBuilder};
+
+/// Encodes `(label, mark)` into the doubled alphabet.
+pub fn mark_label(l: Label, marked: bool) -> Label {
+    Label(l.0 * 2 + u32::from(marked))
+}
+
+/// Decodes a doubled-alphabet label.
+pub fn unmark_label(l: Label) -> (Label, bool) {
+    (Label(l.0 / 2), l.0 % 2 == 1)
+}
+
+/// Produces the copy of `t` over `Σ × {0,1}` with exactly `v` marked.
+pub fn mark_tree(t: &Tree, v: NodeId) -> Tree {
+    let mut b = TreeBuilder::with_capacity(t.len());
+    fn rec(t: &Tree, u: NodeId, v: NodeId, b: &mut TreeBuilder) {
+        b.open(mark_label(t.label(u), u == v));
+        let mut c = t.first_child(u);
+        while let Some(w) = c {
+            rec(t, w, v, b);
+            c = t.next_sibling(w);
+        }
+        b.close();
+    }
+    rec(t, t.root(), v, &mut b);
+    b.finish()
+}
+
+/// A node-selecting query given as an automaton over the marked alphabet:
+/// it selects `v` in `T` iff it accepts `mark(T, v)`.
+#[derive(Clone, Debug)]
+pub struct MarkedQuery {
+    /// The automaton over `Σ × {0,1}` (so `n_labels` is even).
+    pub auto: Nfta,
+}
+
+impl MarkedQuery {
+    /// Evaluates the query on `t` (one automaton run per node; the marked
+    /// formalism trades evaluation speed for closure properties).
+    pub fn select(&self, t: &Tree) -> NodeSet {
+        let mut out = NodeSet::empty(t.len());
+        for v in t.nodes() {
+            if self.auto.accepts(&mark_tree(t, v)) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// Query complement (selects exactly the non-selected nodes).
+    pub fn negate(&self) -> MarkedQuery {
+        MarkedQuery {
+            auto: self.auto.complement(),
+        }
+    }
+
+    /// Query intersection.
+    pub fn intersect(&self, other: &MarkedQuery) -> MarkedQuery {
+        MarkedQuery {
+            auto: self.auto.intersect(&other.auto),
+        }
+    }
+
+    /// Query union.
+    pub fn union(&self, other: &MarkedQuery) -> MarkedQuery {
+        MarkedQuery {
+            auto: self.auto.union(&other.auto),
+        }
+    }
+
+    /// The query selecting every node carrying the given (unmarked) label.
+    pub fn label_query(n_labels: u32, l: Label) -> MarkedQuery {
+        // run over marked alphabet: state 0 = subtree with no mark,
+        // state 1 = subtree whose mark sits on an l-labelled node.
+        let mut rules = Vec::new();
+        for lab in 0..n_labels {
+            for m in [false, true] {
+                for left in [None, Some(0), Some(1)] {
+                    for right in [None, Some(0), Some(1)] {
+                        let marks =
+                            u32::from(m) + u32::from(left == Some(1)) + u32::from(right == Some(1));
+                        if marks > 1 {
+                            continue; // at most one mark in a valid marking
+                        }
+                        let good_here = m && Label(lab) == l;
+                        let state = u32::from(good_here || left == Some(1) || right == Some(1));
+                        if m && !good_here {
+                            continue; // mark on a wrong label: reject branch
+                        }
+                        rules.push(crate::nfta::Rule {
+                            left,
+                            right,
+                            label: mark_label(Label(lab), m),
+                            state,
+                        });
+                    }
+                }
+            }
+        }
+        MarkedQuery {
+            auto: Nfta {
+                n_states: 2,
+                n_labels: n_labels * 2,
+                rules,
+                finals: vec![1],
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twx_xtree::parse::parse_sexp;
+
+    #[test]
+    fn mark_roundtrip() {
+        assert_eq!(unmark_label(mark_label(Label(3), true)), (Label(3), true));
+        assert_eq!(unmark_label(mark_label(Label(0), false)), (Label(0), false));
+    }
+
+    #[test]
+    fn mark_tree_marks_one_node() {
+        let t = parse_sexp("(a (b c) d)").unwrap().tree;
+        let m = mark_tree(&t, NodeId(2));
+        assert_eq!(m.len(), t.len());
+        let marked: Vec<NodeId> = m
+            .nodes()
+            .filter(|&v| unmark_label(m.label(v)).1)
+            .collect();
+        assert_eq!(marked, vec![NodeId(2)]);
+        // structure preserved
+        assert_eq!(m.parent(NodeId(2)), t.parent(NodeId(2)));
+    }
+
+    #[test]
+    fn label_query_selects_labels() {
+        // alphabet a=0, b=1
+        let mut ab = twx_xtree::Alphabet::from_names(["a", "b"]);
+        let t = twx_xtree::parse::parse_sexp_with("(a (b a) b)", &mut ab).unwrap();
+        let q = MarkedQuery::label_query(2, Label(1));
+        let sel = q.select(&t);
+        let expect: Vec<u32> = t
+            .nodes()
+            .filter(|&v| t.label(v) == Label(1))
+            .map(|v| v.0)
+            .collect();
+        assert_eq!(sel.iter().map(|v| v.0).collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn negation_flips_selection() {
+        let mut ab = twx_xtree::Alphabet::from_names(["a", "b"]);
+        let t = twx_xtree::parse::parse_sexp_with("(a b a)", &mut ab).unwrap();
+        let q = MarkedQuery::label_query(2, Label(0));
+        let nq = q.negate();
+        let sel = q.select(&t);
+        let mut nsel = nq.select(&t);
+        nsel.complement();
+        assert_eq!(sel, nsel);
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let mut ab = twx_xtree::Alphabet::from_names(["a", "b"]);
+        let t = twx_xtree::parse::parse_sexp_with("(a (b a) b)", &mut ab).unwrap();
+        let qa = MarkedQuery::label_query(2, Label(0));
+        let qb = MarkedQuery::label_query(2, Label(1));
+        assert_eq!(qa.intersect(&qb).select(&t).count(), 0);
+        assert_eq!(qa.union(&qb).select(&t).count(), t.len());
+    }
+}

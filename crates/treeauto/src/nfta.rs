@@ -1,0 +1,563 @@
+//! Bottom-up nondeterministic finite tree automata on binary (FCNS) trees.
+//!
+//! A rule `(l, r, a) → q` fires at a node labelled `a` whose left subtree
+//! evaluated to `l` and right subtree to `r`, where `None` matches an
+//! *absent* child. A binary tree is accepted when the root can evaluate to
+//! a final state; an unranked tree is accepted when its FCNS encoding is
+//! (its root always has an absent right child).
+
+use std::collections::HashMap;
+use twx_xtree::fcns::BinTree;
+use twx_xtree::{Label, Tree, TreeBuilder};
+
+/// A transition rule `(left, right, label) → state`; `None` matches an
+/// absent child.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Rule {
+    /// State of the left (first-child) subtree, `None` if absent.
+    pub left: Option<u32>,
+    /// State of the right (next-sibling) subtree, `None` if absent.
+    pub right: Option<u32>,
+    /// The node label.
+    pub label: Label,
+    /// The resulting state.
+    pub state: u32,
+}
+
+/// A bottom-up nondeterministic finite tree automaton.
+///
+/// ```
+/// use twx_treeauto::Nfta;
+/// use twx_xtree::parse::parse_sexp;
+///
+/// let universal = Nfta::universal(2);
+/// let doc = parse_sexp("(a0 a1 a0)").unwrap();
+/// assert!(universal.accepts(&doc.tree));
+/// assert!(Nfta::empty_language(2).is_empty());
+/// assert!(!universal.complement().accepts(&doc.tree));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Nfta {
+    /// Number of states.
+    pub n_states: u32,
+    /// Number of labels in the alphabet (labels are `0..n_labels`).
+    pub n_labels: u32,
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// Final (accepting-at-root) states.
+    pub finals: Vec<u32>,
+}
+
+impl Nfta {
+    /// Checks indices are in range.
+    pub fn validate(&self) -> Result<(), String> {
+        for &q in &self.finals {
+            if q >= self.n_states {
+                return Err(format!("final state {q} out of range"));
+            }
+        }
+        for (i, r) in self.rules.iter().enumerate() {
+            if r.state >= self.n_states
+                || r.left.is_some_and(|l| l >= self.n_states)
+                || r.right.is_some_and(|x| x >= self.n_states)
+            {
+                return Err(format!("rule {i} has out-of-range state"));
+            }
+            if r.label.0 >= self.n_labels {
+                return Err(format!("rule {i} has out-of-range label"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The set of states each node of `bt` can evaluate to (bottom-up run).
+    pub fn run(&self, bt: &BinTree) -> Vec<Vec<u32>> {
+        let mut states: Vec<Vec<u32>> = vec![Vec::new(); bt.len()];
+        // index rules by label for speed
+        let mut by_label: Vec<Vec<&Rule>> = vec![Vec::new(); self.n_labels as usize];
+        for r in &self.rules {
+            by_label[r.label.index()].push(r);
+        }
+        for v in bt.postorder() {
+            let l = bt.left(v);
+            let r = bt.right(v);
+            let mut here = Vec::new();
+            let lbl = bt.label(v);
+            if lbl.0 >= self.n_labels {
+                continue; // label outside alphabet: no rule fires
+            }
+            for rule in &by_label[lbl.index()] {
+                let left_ok = match (rule.left, l) {
+                    (None, None) => true,
+                    (Some(q), Some(c)) => states[c.index()].contains(&q),
+                    _ => false,
+                };
+                if !left_ok {
+                    continue;
+                }
+                let right_ok = match (rule.right, r) {
+                    (None, None) => true,
+                    (Some(q), Some(c)) => states[c.index()].contains(&q),
+                    _ => false,
+                };
+                if right_ok && !here.contains(&rule.state) {
+                    here.push(rule.state);
+                }
+            }
+            states[v.index()] = here;
+        }
+        states
+    }
+
+    /// Whether the automaton accepts the binary tree.
+    pub fn accepts_bin(&self, bt: &BinTree) -> bool {
+        let states = self.run(bt);
+        states[bt.root().index()]
+            .iter()
+            .any(|q| self.finals.contains(q))
+    }
+
+    /// Whether the automaton accepts the FCNS encoding of an unranked tree.
+    pub fn accepts(&self, t: &Tree) -> bool {
+        self.accepts_bin(&BinTree::encode(t))
+    }
+
+    /// The set of states reachable by *some* binary tree, with, for each, a
+    /// witness rule chain for reconstruction.
+    fn reachable(&self) -> (Vec<bool>, Vec<Option<usize>>) {
+        let mut reach = vec![false; self.n_states as usize];
+        // witness[q] = index of a rule deriving q from reachable children
+        let mut witness: Vec<Option<usize>> = vec![None; self.n_states as usize];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (i, r) in self.rules.iter().enumerate() {
+                if reach[r.state as usize] {
+                    continue;
+                }
+                let lok = r.left.is_none_or(|q| reach[q as usize]);
+                let rok = r.right.is_none_or(|q| reach[q as usize]);
+                if lok && rok {
+                    reach[r.state as usize] = true;
+                    witness[r.state as usize] = Some(i);
+                    changed = true;
+                }
+            }
+        }
+        (reach, witness)
+    }
+
+    /// Emptiness over **unranked trees**: is there a tree whose FCNS
+    /// encoding is accepted? Returns a witness tree if nonempty.
+    ///
+    /// The root of an encoding has an absent right child, so the final
+    /// state must be derivable by a rule with `right: None`.
+    pub fn tree_emptiness_witness(&self) -> Option<Tree> {
+        let (reach, witness) = self.reachable();
+        for r in &self.rules {
+            if r.right.is_none()
+                && self.finals.contains(&r.state)
+                && r.left.is_none_or(|q| reach[q as usize])
+            {
+                // reconstruct: this rule derives the root
+                let mut b = TreeBuilder::new();
+                self.build_witness_node(r, &witness, &mut b);
+                return Some(b.finish());
+            }
+        }
+        None
+    }
+
+    /// Whether the unranked-tree language is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree_emptiness_witness().is_none()
+    }
+
+    /// Emits the unranked-tree node corresponding to a derivation of
+    /// `rule`, then its following siblings from the right chain.
+    fn build_witness_node(&self, rule: &Rule, witness: &[Option<usize>], b: &mut TreeBuilder) {
+        b.open(rule.label);
+        if let Some(lq) = rule.left {
+            let lr = witness[lq as usize].expect("reachable state lacks witness");
+            self.build_witness_chain(&self.rules[lr], witness, b);
+        }
+        b.close();
+    }
+
+    /// Emits a node and then continues along the right (sibling) chain.
+    fn build_witness_chain(&self, rule: &Rule, witness: &[Option<usize>], b: &mut TreeBuilder) {
+        b.open(rule.label);
+        if let Some(lq) = rule.left {
+            let lr = witness[lq as usize].expect("reachable state lacks witness");
+            self.build_witness_chain(&self.rules[lr], witness, b);
+        }
+        b.close();
+        if let Some(rq) = rule.right {
+            let rr = witness[rq as usize].expect("reachable state lacks witness");
+            self.build_witness_chain(&self.rules[rr], witness, b);
+        }
+    }
+
+    /// Language union (disjoint sum of state spaces).
+    pub fn union(&self, other: &Nfta) -> Nfta {
+        assert_eq!(self.n_labels, other.n_labels);
+        let off = self.n_states;
+        let mut rules = self.rules.clone();
+        rules.extend(other.rules.iter().map(|r| Rule {
+            left: r.left.map(|q| q + off),
+            right: r.right.map(|q| q + off),
+            label: r.label,
+            state: r.state + off,
+        }));
+        let mut finals = self.finals.clone();
+        finals.extend(other.finals.iter().map(|&q| q + off));
+        Nfta {
+            n_states: self.n_states + other.n_states,
+            n_labels: self.n_labels,
+            rules,
+            finals,
+        }
+    }
+
+    /// Language intersection (product construction).
+    pub fn intersect(&self, other: &Nfta) -> Nfta {
+        assert_eq!(self.n_labels, other.n_labels);
+        let pair = |a: u32, b: u32| a * other.n_states + b;
+        let mut rules = Vec::new();
+        for r1 in &self.rules {
+            for r2 in &other.rules {
+                if r1.label != r2.label {
+                    continue;
+                }
+                let left = match (r1.left, r2.left) {
+                    (None, None) => None,
+                    (Some(a), Some(b)) => Some(pair(a, b)),
+                    _ => continue,
+                };
+                let right = match (r1.right, r2.right) {
+                    (None, None) => None,
+                    (Some(a), Some(b)) => Some(pair(a, b)),
+                    _ => continue,
+                };
+                rules.push(Rule {
+                    left,
+                    right,
+                    label: r1.label,
+                    state: pair(r1.state, r2.state),
+                });
+            }
+        }
+        let mut finals = Vec::new();
+        for &f1 in &self.finals {
+            for &f2 in &other.finals {
+                finals.push(pair(f1, f2));
+            }
+        }
+        Nfta {
+            n_states: self.n_states * other.n_states,
+            n_labels: self.n_labels,
+            rules,
+            finals,
+        }
+    }
+
+    /// Subset-construction determinization, producing a **complete**
+    /// deterministic automaton (the empty subset is materialised as a sink,
+    /// so complementation is a finals flip).
+    pub fn determinize(&self) -> Nfta {
+        let mut sets: Vec<Vec<u32>> = Vec::new();
+        let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut rules: Vec<Rule> = Vec::new();
+        let mut intern = |s: Vec<u32>, sets: &mut Vec<Vec<u32>>| -> (u32, bool) {
+            if let Some(&i) = index.get(&s) {
+                return (i, false);
+            }
+            let i = sets.len() as u32;
+            index.insert(s.clone(), i);
+            sets.push(s);
+            (i, true)
+        };
+
+        // successor set for a (left?, right?, label) combination
+        let target = |l: Option<&[u32]>, r: Option<&[u32]>, label: Label, rules_src: &[Rule]| {
+            let mut out: Vec<u32> = Vec::new();
+            for rule in rules_src {
+                if rule.label != label {
+                    continue;
+                }
+                let lok = match (rule.left, l) {
+                    (None, None) => true,
+                    (Some(q), Some(s)) => s.contains(&q),
+                    _ => false,
+                };
+                let rok = match (rule.right, r) {
+                    (None, None) => true,
+                    (Some(q), Some(s)) => s.contains(&q),
+                    _ => false,
+                };
+                if lok && rok && !out.contains(&rule.state) {
+                    out.push(rule.state);
+                }
+            }
+            out.sort_unstable();
+            out
+        };
+
+        // fixpoint: combine all discovered sets (and ⊥) under all labels
+        let mut frontier = true;
+        while frontier {
+            frontier = false;
+            let snapshot = sets.clone();
+            let mut options: Vec<Option<usize>> = vec![None];
+            options.extend((0..snapshot.len()).map(Some));
+            for &lo in &options {
+                for &ro in &options {
+                    for lab in 0..self.n_labels {
+                        let l = lo.map(|i| snapshot[i].as_slice());
+                        let r = ro.map(|i| snapshot[i].as_slice());
+                        let tgt = target(l, r, Label(lab), &self.rules);
+                        let (ti, new) = intern(tgt, &mut sets);
+                        if new {
+                            frontier = true;
+                        }
+                        let rule = Rule {
+                            left: lo.map(|i| i as u32),
+                            right: ro.map(|i| i as u32),
+                            label: Label(lab),
+                            state: ti,
+                        };
+                        if !rules.contains(&rule) {
+                            rules.push(rule);
+                        }
+                    }
+                }
+            }
+        }
+        let finals = sets
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.iter().any(|q| self.finals.contains(q)))
+            .map(|(i, _)| i as u32)
+            .collect();
+        Nfta {
+            n_states: sets.len() as u32,
+            n_labels: self.n_labels,
+            rules,
+            finals,
+        }
+    }
+
+    /// Language complement over unranked trees (determinize + flip finals).
+    pub fn complement(&self) -> Nfta {
+        let mut d = self.determinize();
+        let old: Vec<u32> = d.finals.clone();
+        d.finals = (0..d.n_states).filter(|q| !old.contains(q)).collect();
+        d
+    }
+
+    /// Language inclusion `L(self) ⊆ L(other)` over unranked trees.
+    pub fn included_in(&self, other: &Nfta) -> bool {
+        self.intersect(&other.complement()).is_empty()
+    }
+
+    /// Language equivalence over unranked trees.
+    pub fn equivalent(&self, other: &Nfta) -> bool {
+        self.included_in(other) && other.included_in(self)
+    }
+
+    /// The automaton accepting **all** trees over the alphabet.
+    pub fn universal(n_labels: u32) -> Nfta {
+        let mut rules = Vec::new();
+        for lab in 0..n_labels {
+            for left in [None, Some(0)] {
+                for right in [None, Some(0)] {
+                    rules.push(Rule {
+                        left,
+                        right,
+                        label: Label(lab),
+                        state: 0,
+                    });
+                }
+            }
+        }
+        Nfta {
+            n_states: 1,
+            n_labels,
+            rules,
+            finals: vec![0],
+        }
+    }
+
+    /// The automaton accepting **no** tree.
+    pub fn empty_language(n_labels: u32) -> Nfta {
+        Nfta {
+            n_states: 1,
+            n_labels,
+            rules: Vec::new(),
+            finals: vec![0],
+        }
+    }
+
+    /// The automaton accepting trees whose root is labelled `l`.
+    pub fn root_label(n_labels: u32, l: Label) -> Nfta {
+        // state 0 = anything, state 1 = root labelled l
+        let mut rules = Vec::new();
+        for lab in 0..n_labels {
+            for left in [None, Some(0)] {
+                for right in [None, Some(0)] {
+                    rules.push(Rule {
+                        left,
+                        right,
+                        label: Label(lab),
+                        state: 0,
+                    });
+                }
+            }
+        }
+        for left in [None, Some(0)] {
+            rules.push(Rule {
+                left,
+                right: None,
+                label: l,
+                state: 1,
+            });
+        }
+        Nfta {
+            n_states: 2,
+            n_labels,
+            rules,
+            finals: vec![1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twx_xtree::generate::enumerate_trees_up_to;
+    use twx_xtree::parse::parse_sexp;
+    use twx_xtree::Alphabet;
+
+    fn tree(s: &str) -> Tree {
+        // use a shared alphabet convention: a=0, b=1
+        let mut ab = Alphabet::from_names(["a", "b"]);
+        twx_xtree::parse::parse_sexp_with(s, &mut ab).unwrap()
+    }
+
+    /// Language: "some node is labelled b" over Σ = {a, b}.
+    fn some_b() -> Nfta {
+        // state 0 = no b seen, state 1 = b seen somewhere
+        let mut rules = Vec::new();
+        for (lab, self_has) in [(0u32, false), (1u32, true)] {
+            for left in [None, Some(0), Some(1)] {
+                for right in [None, Some(0), Some(1)] {
+                    let has = self_has
+                        || left == Some(1)
+                        || right == Some(1);
+                    rules.push(Rule {
+                        left,
+                        right,
+                        label: Label(lab),
+                        state: u32::from(has),
+                    });
+                }
+            }
+        }
+        Nfta {
+            n_states: 2,
+            n_labels: 2,
+            rules,
+            finals: vec![1],
+        }
+    }
+
+    #[test]
+    fn membership() {
+        let a = some_b();
+        assert!(a.validate().is_ok());
+        assert!(!a.accepts(&tree("(a (a a) a)")));
+        assert!(a.accepts(&tree("(a (a b) a)")));
+        assert!(a.accepts(&tree("(b)")));
+        assert!(a.accepts(&tree("(a a b)")));
+    }
+
+    #[test]
+    fn emptiness_and_witness() {
+        let a = some_b();
+        let w = a.tree_emptiness_witness().expect("nonempty");
+        assert!(a.accepts(&w), "witness not accepted");
+        assert!(!a.is_empty());
+        assert!(Nfta::empty_language(2).is_empty());
+        assert!(!Nfta::universal(2).is_empty());
+        let u = Nfta::universal(2);
+        let w = u.tree_emptiness_witness().unwrap();
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn union_intersection() {
+        let a = some_b();
+        let root_a = Nfta::root_label(2, Label(0));
+        assert!(root_a.accepts(&tree("(a b)")));
+        assert!(!root_a.accepts(&tree("(b a)")));
+        let both = a.intersect(&root_a);
+        assert!(both.accepts(&tree("(a b)")));
+        assert!(!both.accepts(&tree("(b a)"))); // has b but root not a
+        assert!(!both.accepts(&tree("(a a)"))); // root a but no b
+        let either = a.union(&root_a);
+        assert!(either.accepts(&tree("(b a)")));
+        assert!(either.accepts(&tree("(a a)")));
+        assert!(either.accepts(&tree("(b)")));
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let a = some_b();
+        let d = a.determinize();
+        assert!(d.validate().is_ok());
+        for t in enumerate_trees_up_to(4, 2) {
+            assert_eq!(a.accepts(&t), d.accepts(&t), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn complement_on_bounded_domain() {
+        let a = some_b();
+        let c = a.complement();
+        for t in enumerate_trees_up_to(4, 2) {
+            assert_eq!(a.accepts(&t), !c.accepts(&t), "{t:?}");
+        }
+        // complement of "some b" = "all a": nonempty
+        assert!(!c.is_empty());
+        let w = c.tree_emptiness_witness().unwrap();
+        assert!(w.nodes().all(|v| w.label(v) == Label(0)));
+    }
+
+    #[test]
+    fn inclusion_and_equivalence() {
+        let a = some_b();
+        let root_a = Nfta::root_label(2, Label(0));
+        let both = a.intersect(&root_a);
+        assert!(both.included_in(&a));
+        assert!(both.included_in(&root_a));
+        assert!(!a.included_in(&root_a));
+        assert!(a.equivalent(&a.determinize()));
+        assert!(!a.equivalent(&root_a));
+        assert!(Nfta::empty_language(2).included_in(&a));
+        assert!(a.included_in(&Nfta::universal(2)));
+    }
+
+    #[test]
+    fn labels_outside_alphabet_reject() {
+        let a = some_b();
+        let mut ab = Alphabet::from_names(["a", "b", "c"]);
+        let t = twx_xtree::parse::parse_sexp_with("(c)", &mut ab).unwrap();
+        assert!(!a.accepts(&t));
+    }
+
+    #[test]
+    fn parse_helper_sanity() {
+        let doc = parse_sexp("(a b)").unwrap();
+        assert_eq!(doc.tree.len(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! State-space reduction for bottom-up tree automata.
+//!
+//! Determinization (and the XPath type-automaton construction) produce
+//! automata with unreachable and dead states. [`trim`] removes both:
+//!
+//! * a state is **reachable** if some binary tree evaluates to it;
+//! * a state is **live** if some context takes it to acceptance at a tree
+//!   root (computed by backwards closure over the rules, remembering that
+//!   the root of an FCNS encoding has no right child).
+//!
+//! Trimming preserves the language exactly (checked by the tests on
+//! bounded domains) and typically shrinks E6/E7 automata substantially.
+
+use crate::nfta::{Nfta, Rule};
+
+/// Removes unreachable and dead states, remapping the survivors densely.
+pub fn trim(a: &Nfta) -> Nfta {
+    let n = a.n_states as usize;
+    // reachability (bottom-up)
+    let mut reach = vec![false; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for r in &a.rules {
+            if reach[r.state as usize] {
+                continue;
+            }
+            let lok = r.left.is_none_or(|q| reach[q as usize]);
+            let rok = r.right.is_none_or(|q| reach[q as usize]);
+            if lok && rok {
+                reach[r.state as usize] = true;
+                changed = true;
+            }
+        }
+    }
+    // liveness (top-down): finals reached via right-absent root rules are
+    // live as roots; a state is live if it occurs in a rule whose result
+    // is live and whose sibling slots are reachable.
+    let mut live = vec![false; n];
+    for r in &a.rules {
+        if r.right.is_none()
+            && a.finals.contains(&r.state)
+            && r.left.is_none_or(|q| reach[q as usize])
+        {
+            live[r.state as usize] = true;
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for r in &a.rules {
+            if !live[r.state as usize] {
+                continue;
+            }
+            let lok = r.left.is_none_or(|q| reach[q as usize]);
+            let rok = r.right.is_none_or(|q| reach[q as usize]);
+            if !(lok && rok) {
+                continue;
+            }
+            for q in [r.left, r.right].into_iter().flatten() {
+                if !live[q as usize] {
+                    live[q as usize] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+    // keep states that are both reachable and live
+    let keep: Vec<bool> = (0..n).map(|q| reach[q] && live[q]).collect();
+    let mut remap = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for q in 0..n {
+        if keep[q] {
+            remap[q] = next;
+            next += 1;
+        }
+    }
+    let rules: Vec<Rule> = a
+        .rules
+        .iter()
+        .filter(|r| {
+            keep[r.state as usize]
+                && r.left.is_none_or(|q| keep[q as usize])
+                && r.right.is_none_or(|q| keep[q as usize])
+        })
+        .map(|r| Rule {
+            left: r.left.map(|q| remap[q as usize]),
+            right: r.right.map(|q| remap[q as usize]),
+            label: r.label,
+            state: remap[r.state as usize],
+        })
+        .collect();
+    let finals: Vec<u32> = a
+        .finals
+        .iter()
+        .filter(|&&q| keep[q as usize])
+        .map(|&q| remap[q as usize])
+        .collect();
+    Nfta {
+        n_states: next,
+        n_labels: a.n_labels,
+        rules,
+        finals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath_compile::{compile_node_expr, AcceptAt};
+    use twx_corexpath::parser::parse_node_expr;
+    use twx_xtree::generate::enumerate_trees_up_to;
+    use twx_xtree::{Alphabet, Label};
+
+    #[test]
+    fn trim_preserves_language() {
+        let mut ab = Alphabet::from_names(["p0", "p1"]);
+        let formulas = ["<down[p1]>", "<down+[p0 and <down[p1]>]>", "p0 and !p0"];
+        for fs in formulas {
+            let f = parse_node_expr(fs, &mut ab).unwrap();
+            let auto = compile_node_expr(&f, 2, AcceptAt::SomeNode).unwrap();
+            let trimmed = trim(&auto);
+            assert!(trimmed.validate().is_ok());
+            assert!(trimmed.n_states <= auto.n_states);
+            for t in enumerate_trees_up_to(5, 2) {
+                assert_eq!(auto.accepts(&t), trimmed.accepts(&t), "{fs} on {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trim_shrinks_padded_automata() {
+        // pad an automaton with garbage states
+        let mut auto = Nfta::root_label(2, Label(0));
+        auto.n_states += 5; // unreachable states
+        auto.rules.push(Rule {
+            left: Some(6),
+            right: None,
+            label: Label(0),
+            state: 5,
+        }); // dead chain
+        let trimmed = trim(&auto);
+        assert_eq!(trimmed.n_states, 2);
+        for t in enumerate_trees_up_to(4, 2) {
+            assert_eq!(auto.accepts(&t), trimmed.accepts(&t));
+        }
+    }
+
+    #[test]
+    fn empty_language_trims_to_nothing() {
+        let trimmed = trim(&Nfta::empty_language(2));
+        assert_eq!(trimmed.n_states, 0);
+        assert!(trimmed.is_empty());
+    }
+
+    #[test]
+    fn trim_after_determinize() {
+        let mut ab = Alphabet::from_names(["p0", "p1"]);
+        let f = parse_node_expr("<down[p0]> or <down[p1]>", &mut ab).unwrap();
+        let auto = compile_node_expr(&f, 2, AcceptAt::Root).unwrap();
+        let det = auto.determinize();
+        let trimmed = trim(&det);
+        assert!(trimmed.n_states <= det.n_states);
+        for t in enumerate_trees_up_to(4, 2) {
+            assert_eq!(det.accepts(&t), trimmed.accepts(&t));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Graphviz DOT export of nested tree walking automata (debugging and
+//! documentation figures; sub-automata render as clustered subgraphs).
+
+use crate::machine::{Move, Ntwa, Scope, TestAtom};
+use std::fmt::Write;
+use twx_xtree::Alphabet;
+
+fn move_name(mv: Move) -> &'static str {
+    match mv {
+        Move::Stay => "stay",
+        Move::Up => "up",
+        Move::AnyChild => "child",
+        Move::FirstChild => "first-child",
+        Move::LastChild => "last-child",
+        Move::NextSib => "next-sib",
+        Move::PrevSib => "prev-sib",
+    }
+}
+
+fn atom_text(atom: &TestAtom, ab: &Alphabet) -> String {
+    match atom {
+        TestAtom::Label(l) => ab.name(*l).to_string(),
+        TestAtom::NotLabel(l) => format!("!{}", ab.name(*l)),
+        TestAtom::Root(b) => format!("{}root", if *b { "" } else { "!" }),
+        TestAtom::Leaf(b) => format!("{}leaf", if *b { "" } else { "!" }),
+        TestAtom::First(b) => format!("{}first", if *b { "" } else { "!" }),
+        TestAtom::Last(b) => format!("{}last", if *b { "" } else { "!" }),
+        TestAtom::Nested {
+            automaton,
+            negated,
+            scope,
+        } => format!(
+            "{}{}[{}]",
+            if *negated { "!" } else { "" },
+            match scope {
+                Scope::Global => "call",
+                Scope::Subtree => "callW",
+            },
+            automaton
+        ),
+    }
+}
+
+/// Renders the automaton (and its sub-automata, recursively) as DOT.
+pub fn to_dot(a: &Ntwa, alphabet: &Alphabet) -> String {
+    let mut out = String::from("digraph ntwa {\n  rankdir=LR;\n");
+    render(a, alphabet, "t", &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn render(a: &Ntwa, ab: &Alphabet, prefix: &str, out: &mut String) {
+    for q in 0..a.top.n_states {
+        let shape = if a.top.is_accepting(q) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  {prefix}_{q} [label=\"{q}\", shape={shape}];");
+    }
+    let _ = writeln!(
+        out,
+        "  {prefix}_start [shape=point]; {prefix}_start -> {prefix}_{};",
+        a.top.initial
+    );
+    for tr in &a.top.transitions {
+        let guard = tr
+            .guard
+            .iter()
+            .map(|g| atom_text(g, ab))
+            .collect::<Vec<_>>()
+            .join(" & ");
+        let label = if guard.is_empty() {
+            move_name(tr.mv).to_string()
+        } else {
+            format!("{guard} / {}", move_name(tr.mv))
+        };
+        let _ = writeln!(
+            out,
+            "  {prefix}_{} -> {prefix}_{} [label=\"{label}\"];",
+            tr.from, tr.to
+        );
+    }
+    for (i, sub) in a.subs.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{prefix}_{i} {{ label=\"sub {i}\";");
+        render(sub, ab, &format!("{prefix}s{i}"), out);
+        let _ = writeln!(out, "  }}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::dfs_parity;
+    use crate::machine::{Ntwa, Twa};
+
+    #[test]
+    fn renders_parity_walker() {
+        let ab = Alphabet::from_names(["a", "b"]);
+        let dot = to_dot(&dfs_parity(twx_xtree::Label(0)), &ab);
+        assert!(dot.starts_with("digraph ntwa"));
+        assert!(dot.contains("doublecircle")); // accepting state
+        assert!(dot.contains("first-child"));
+        assert!(dot.contains("a & !leaf") || dot.contains("!leaf & a"));
+    }
+
+    #[test]
+    fn renders_nested_clusters() {
+        let ab = Alphabet::from_names(["a"]);
+        let sub = Ntwa::flat(Twa::single_move(vec![], crate::machine::Move::Up));
+        let a = Ntwa {
+            top: Twa::single_move(
+                vec![TestAtom::Nested {
+                    automaton: 0,
+                    negated: true,
+                    scope: Scope::Subtree,
+                }],
+                crate::machine::Move::Stay,
+            ),
+            subs: vec![sub],
+        };
+        let dot = to_dot(&a, &ab);
+        assert!(dot.contains("subgraph cluster_t_0"));
+        assert!(dot.contains("!callW[0]"));
+    }
+}

@@ -1,0 +1,385 @@
+//! Evaluating nested tree walking automata.
+//!
+//! Reachability in the configuration graph `(node, state)`, with nested
+//! invocations resolved bottom-up: before running the top-level automaton,
+//! the acceptance set of each sub-automaton (the nodes from which it has an
+//! accepting run) is computed recursively and guards become per-node
+//! predicates. Cost `O(|T| · |A| · depth)` overall.
+
+use crate::machine::{Ntwa, Scope, TestAtom, Transition};
+use twx_xtree::{BitMatrix, NodeId, NodeSet, Tree};
+
+/// Precomputed per-transition guard sets for one tree.
+struct GuardSets {
+    /// For each transition, the set of nodes at which its guard holds.
+    sets: Vec<NodeSet>,
+}
+
+fn guard_sets(t: &Tree, a: &Ntwa) -> GuardSets {
+    let n = t.len();
+    // evaluate sub-automata acceptance sets bottom-up; global scope walks
+    // the whole tree, subtree scope runs on each extracted subtree
+    let needs_global: Vec<bool> = (0..a.subs.len())
+        .map(|i| uses_scope(a, i as u32, Scope::Global))
+        .collect();
+    let needs_subtree: Vec<bool> = (0..a.subs.len())
+        .map(|i| uses_scope(a, i as u32, Scope::Subtree))
+        .collect();
+    let sub_accepts: Vec<NodeSet> = a
+        .subs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if needs_global[i] {
+                accepts_from(t, s)
+            } else {
+                NodeSet::empty(n)
+            }
+        })
+        .collect();
+    let sub_accepts_subtree: Vec<NodeSet> = a
+        .subs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut out = NodeSet::empty(n);
+            if needs_subtree[i] {
+                for v in t.nodes() {
+                    let sub = t.subtree(v);
+                    if accepts_from(&sub, s).contains(sub.root()) {
+                        out.insert(v);
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+    let sets = a
+        .top
+        .transitions
+        .iter()
+        .map(|tr| {
+            let mut s = NodeSet::full(n);
+            for atom in &tr.guard {
+                match atom {
+                    TestAtom::Nested {
+                        automaton,
+                        negated,
+                        scope,
+                    } => {
+                        let mut acc = match scope {
+                            Scope::Global => sub_accepts[*automaton as usize].clone(),
+                            Scope::Subtree => sub_accepts_subtree[*automaton as usize].clone(),
+                        };
+                        if *negated {
+                            acc.complement();
+                        }
+                        s.intersect_with(&acc);
+                    }
+                    local => {
+                        let mut loc = NodeSet::empty(n);
+                        for v in t.nodes() {
+                            if local.eval_local(t, v) {
+                                loc.insert(v);
+                            }
+                        }
+                        s.intersect_with(&loc);
+                    }
+                }
+            }
+            s
+        })
+        .collect();
+    GuardSets { sets }
+}
+
+/// Whether sub-automaton `idx` is invoked with the given scope anywhere in
+/// the top-level transition table.
+fn uses_scope(a: &Ntwa, idx: u32, scope: Scope) -> bool {
+    a.top.transitions.iter().any(|tr| {
+        tr.guard.iter().any(|atom| {
+            matches!(atom, TestAtom::Nested { automaton, scope: s, .. }
+                if *automaton == idx && *s == scope)
+        })
+    })
+}
+
+#[inline]
+fn push(visited: &mut [bool], work: &mut Vec<(u32, u32)>, m: usize, v: u32, q: u32) {
+    let idx = v as usize * m + q as usize;
+    if !visited[idx] {
+        visited[idx] = true;
+        work.push((v, q));
+    }
+}
+
+fn forward_adj(a: &Ntwa) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); a.top.n_states as usize];
+    for (i, tr) in a.top.transitions.iter().enumerate() {
+        adj[tr.from as usize].push(i);
+    }
+    adj
+}
+
+fn backward_adj(a: &Ntwa) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); a.top.n_states as usize];
+    for (i, tr) in a.top.transitions.iter().enumerate() {
+        adj[tr.to as usize].push(i);
+    }
+    adj
+}
+
+/// The forward image of `ctx`: all nodes where an accepting state can be
+/// reached by a run started (in the initial state) at some node of `ctx`.
+pub fn eval_image(t: &Tree, a: &Ntwa, ctx: &NodeSet) -> NodeSet {
+    let n = t.len();
+    let m = a.top.n_states as usize;
+    let guards = guard_sets(t, a);
+    let adj = forward_adj(a);
+    let mut visited = vec![false; n * m];
+    let mut work = Vec::new();
+    for v in ctx.iter() {
+        push(&mut visited, &mut work, m, v.0, a.top.initial);
+    }
+    let mut out = NodeSet::empty(n);
+    while let Some((v, q)) = work.pop() {
+        if a.top.is_accepting(q) {
+            out.insert(NodeId(v));
+        }
+        for &ti in &adj[q as usize] {
+            let tr: &Transition = &a.top.transitions[ti];
+            if guards.sets[ti].contains(NodeId(v)) {
+                tr.mv
+                    .apply(t, NodeId(v), |u| push(&mut visited, &mut work, m, u.0, tr.to));
+            }
+        }
+    }
+    out
+}
+
+/// The backward image of `targets`: all nodes from which a run can reach an
+/// accepting state at some node of `targets`.
+pub fn eval_preimage(t: &Tree, a: &Ntwa, targets: &NodeSet) -> NodeSet {
+    let n = t.len();
+    let m = a.top.n_states as usize;
+    let guards = guard_sets(t, a);
+    let adj = backward_adj(a);
+    let mut visited = vec![false; n * m];
+    let mut work = Vec::new();
+    for v in targets.iter() {
+        for &q in &a.top.accepting {
+            push(&mut visited, &mut work, m, v.0, q);
+        }
+    }
+    let mut out = NodeSet::empty(n);
+    while let Some((v, q)) = work.pop() {
+        if q == a.top.initial {
+            out.insert(NodeId(v));
+        }
+        for &ti in &adj[q as usize] {
+            let tr: &Transition = &a.top.transitions[ti];
+            // the run was at (u, tr.from) with guard holding at u and
+            // mv(u) ∋ v
+            tr.mv.apply_reverse(t, NodeId(v), |u| {
+                if guards.sets[ti].contains(u) {
+                    push(&mut visited, &mut work, m, u.0, tr.from);
+                }
+            });
+        }
+    }
+    out
+}
+
+/// The acceptance set: the nodes from which the automaton has an accepting
+/// run (the semantics of a nested invocation, and of `⟨A⟩`).
+pub fn accepts_from(t: &Tree, a: &Ntwa) -> NodeSet {
+    eval_preimage(t, a, &NodeSet::full(t.len()))
+}
+
+/// Materialises the binary relation `{(x, y) | run from (x, init) halts
+/// accepting at (y, acc)}`.
+pub fn eval_rel(t: &Tree, a: &Ntwa) -> BitMatrix {
+    let n = t.len();
+    let mut out = BitMatrix::empty(n);
+    // share guard computation across all start nodes
+    let m = a.top.n_states as usize;
+    let guards = guard_sets(t, a);
+    let adj = forward_adj(a);
+    let mut visited = vec![false; n * m];
+    let mut work: Vec<(u32, u32)> = Vec::new();
+    for start in t.nodes() {
+        visited.iter_mut().for_each(|b| *b = false);
+        work.clear();
+        push(&mut visited, &mut work, m, start.0, a.top.initial);
+        while let Some((v, q)) = work.pop() {
+            if a.top.is_accepting(q) {
+                out.set(start, NodeId(v));
+            }
+            for &ti in &adj[q as usize] {
+                let tr = &a.top.transitions[ti];
+                if guards.sets[ti].contains(NodeId(v)) {
+                    tr.mv
+                        .apply(t, NodeId(v), |u| push(&mut visited, &mut work, m, u.0, tr.to));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Move, Scope, Transition, Twa};
+    use twx_xtree::parse::parse_sexp;
+    use twx_xtree::Label;
+
+    fn ids(s: &NodeSet) -> Vec<u32> {
+        s.iter().map(|v| v.0).collect()
+    }
+
+    /// (a (b d e) (c f))  — ids: a=0 b=1 d=2 e=3 c=4 f=5
+    fn sample() -> Tree {
+        parse_sexp("(a (b d e) (c f))").unwrap().tree
+    }
+
+    /// A depth-first "walk to every descendant" automaton: loop on AnyChild.
+    fn descend() -> Ntwa {
+        Ntwa::flat(Twa {
+            n_states: 1,
+            initial: 0,
+            accepting: vec![0],
+            transitions: vec![Transition {
+                from: 0,
+                guard: vec![],
+                mv: Move::AnyChild,
+                to: 0,
+            }],
+        })
+    }
+
+    #[test]
+    fn descend_reaches_subtree() {
+        let t = sample();
+        let rel = eval_rel(&t, &descend());
+        assert!(rel.get(NodeId(0), NodeId(5)));
+        assert!(rel.get(NodeId(1), NodeId(3)));
+        assert!(!rel.get(NodeId(1), NodeId(4)));
+        assert!(rel.get(NodeId(2), NodeId(2))); // reflexive: initial accepting
+        let img = eval_image(&t, &descend(), &NodeSet::singleton(6, NodeId(1)));
+        assert_eq!(ids(&img), [1, 2, 3]);
+        let pre = eval_preimage(&t, &descend(), &NodeSet::singleton(6, NodeId(3)));
+        assert_eq!(ids(&pre), [0, 1, 3]);
+    }
+
+    #[test]
+    fn guarded_walk() {
+        let t = sample();
+        // walk down but never onto label c (Label(4) in this interning)
+        let a = Ntwa::flat(Twa {
+            n_states: 1,
+            initial: 0,
+            accepting: vec![0],
+            transitions: vec![Transition {
+                from: 0,
+                guard: vec![TestAtom::NotLabel(Label(4))],
+                mv: Move::AnyChild,
+                to: 0,
+            }],
+        });
+        let img = eval_image(&t, &a, &NodeSet::singleton(6, NodeId(0)));
+        // guard is tested at the *source* node; from a we can still step to
+        // c, but from c (labelled c) we cannot move on to f... the guard on
+        // the source blocks nothing here except walking onward from c.
+        assert_eq!(ids(&img), [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn first_child_chain() {
+        let t = sample();
+        // repeatedly take first children
+        let a = Ntwa::flat(Twa {
+            n_states: 1,
+            initial: 0,
+            accepting: vec![0],
+            transitions: vec![Transition {
+                from: 0,
+                guard: vec![],
+                mv: Move::FirstChild,
+                to: 0,
+            }],
+        });
+        let img = eval_image(&t, &a, &NodeSet::singleton(6, NodeId(0)));
+        assert_eq!(ids(&img), [0, 1, 2]);
+    }
+
+    #[test]
+    fn nested_negated_invocation() {
+        let t = sample();
+        // sub-automaton: "some descendant is labelled d" (= Label(2))
+        let has_d = Ntwa::flat(Twa {
+            n_states: 2,
+            initial: 0,
+            accepting: vec![1],
+            transitions: vec![
+                Transition {
+                    from: 0,
+                    guard: vec![],
+                    mv: Move::AnyChild,
+                    to: 0,
+                },
+                Transition {
+                    from: 0,
+                    guard: vec![TestAtom::Label(Label(2))],
+                    mv: Move::Stay,
+                    to: 1,
+                },
+            ],
+        });
+        assert_eq!(ids(&accepts_from(&t, &has_d)), [0, 1, 2]);
+        // top: move to any child, then accept only where the subtree does
+        // NOT contain a d (nested invocation, negated, tested on arrival)
+        let top = Ntwa {
+            top: Twa {
+                n_states: 3,
+                initial: 0,
+                accepting: vec![2],
+                transitions: vec![
+                    Transition {
+                        from: 0,
+                        guard: vec![],
+                        mv: Move::AnyChild,
+                        to: 1,
+                    },
+                    Transition {
+                        from: 1,
+                        guard: vec![TestAtom::Nested {
+                            automaton: 0,
+                            negated: true,
+                            scope: Scope::Global,
+                        }],
+                        mv: Move::Stay,
+                        to: 2,
+                    },
+                ],
+            },
+            subs: vec![has_d],
+        };
+        assert_eq!(top.depth(), 1);
+        let img = eval_image(&t, &top, &NodeSet::singleton(6, NodeId(0)));
+        // children of a: b (subtree contains d) and c (does not)
+        assert_eq!(ids(&img), [4]);
+    }
+
+    #[test]
+    fn rel_matches_image_per_row() {
+        let t = sample();
+        let a = descend();
+        let rel = eval_rel(&t, &a);
+        for v in t.nodes() {
+            let img = eval_image(&t, &a, &NodeSet::singleton(6, v));
+            let row: Vec<u32> = t.nodes().filter(|&u| rel.get(v, u)).map(|u| u.0).collect();
+            assert_eq!(ids(&img), row);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Random NTWA generation (fuzzing the Kleene translation and the
+//! evaluators).
+
+use crate::machine::{Move, Ntwa, Scope, TestAtom, Transition, Twa};
+use rand::Rng;
+use twx_xtree::Label;
+
+/// Configuration for random automaton generation.
+#[derive(Clone, Debug)]
+pub struct TGenConfig {
+    /// Number of states of the top-level automaton.
+    pub states: u32,
+    /// Number of transitions.
+    pub transitions: usize,
+    /// Number of labels for guard atoms.
+    pub labels: usize,
+    /// Maximum nesting depth (0 = flat).
+    pub depth: usize,
+    /// Probability that a transition carries a nested invocation (when
+    /// depth permits).
+    pub nested_prob: f64,
+}
+
+impl Default for TGenConfig {
+    fn default() -> Self {
+        TGenConfig {
+            states: 4,
+            transitions: 8,
+            labels: 2,
+            depth: 1,
+            nested_prob: 0.3,
+        }
+    }
+}
+
+fn random_move<R: Rng>(rng: &mut R) -> Move {
+    Move::ALL[rng.gen_range(0..Move::ALL.len())]
+}
+
+fn random_local_atom<R: Rng>(cfg: &TGenConfig, rng: &mut R) -> TestAtom {
+    match rng.gen_range(0..6) {
+        0 => TestAtom::Label(Label(rng.gen_range(0..cfg.labels) as u32)),
+        1 => TestAtom::NotLabel(Label(rng.gen_range(0..cfg.labels) as u32)),
+        2 => TestAtom::Root(rng.gen_bool(0.5)),
+        3 => TestAtom::Leaf(rng.gen_bool(0.5)),
+        4 => TestAtom::First(rng.gen_bool(0.5)),
+        _ => TestAtom::Last(rng.gen_bool(0.5)),
+    }
+}
+
+/// Generates a random NTWA with nesting depth at most `cfg.depth`.
+pub fn random_ntwa<R: Rng>(cfg: &TGenConfig, rng: &mut R) -> Ntwa {
+    let mut subs: Vec<Ntwa> = Vec::new();
+    let mut transitions = Vec::with_capacity(cfg.transitions);
+    for _ in 0..cfg.transitions {
+        let mut guard = Vec::new();
+        if rng.gen_bool(0.6) {
+            guard.push(random_local_atom(cfg, rng));
+        }
+        if cfg.depth > 0 && rng.gen_bool(cfg.nested_prob) {
+            // create or reuse a sub-automaton
+            let idx = if !subs.is_empty() && rng.gen_bool(0.5) {
+                rng.gen_range(0..subs.len())
+            } else {
+                let sub_cfg = TGenConfig {
+                    states: (cfg.states / 2).max(2),
+                    transitions: (cfg.transitions / 2).max(2),
+                    depth: cfg.depth - 1,
+                    ..cfg.clone()
+                };
+                subs.push(random_ntwa(&sub_cfg, rng));
+                subs.len() - 1
+            };
+            guard.push(TestAtom::Nested {
+                automaton: idx as u32,
+                negated: rng.gen_bool(0.5),
+                scope: if rng.gen_bool(0.5) {
+                    Scope::Global
+                } else {
+                    Scope::Subtree
+                },
+            });
+        }
+        transitions.push(Transition {
+            from: rng.gen_range(0..cfg.states),
+            guard,
+            mv: random_move(rng),
+            to: rng.gen_range(0..cfg.states),
+        });
+    }
+    let initial = rng.gen_range(0..cfg.states);
+    let mut accepting = vec![rng.gen_range(0..cfg.states)];
+    if rng.gen_bool(0.3) {
+        accepting.push(rng.gen_range(0..cfg.states));
+        accepting.sort_unstable();
+        accepting.dedup();
+    }
+    Ntwa {
+        top: Twa {
+            n_states: cfg.states,
+            initial,
+            accepting,
+            transitions,
+        },
+        subs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_rel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use twx_xtree::generate::{random_tree, Shape};
+
+    #[test]
+    fn generated_automata_are_valid_and_run() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let cfg = TGenConfig::default();
+        for round in 0..40 {
+            let a = random_ntwa(&cfg, &mut rng);
+            a.validate().expect("generated automaton invalid");
+            assert!(a.depth() <= cfg.depth);
+            let t = random_tree(Shape::Recursive, 1 + round % 8, cfg.labels, &mut rng);
+            let _ = eval_rel(&t, &a);
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_flat() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let cfg = TGenConfig {
+            depth: 0,
+            ..TGenConfig::default()
+        };
+        for _ in 0..20 {
+            let a = random_ntwa(&cfg, &mut rng);
+            assert_eq!(a.depth(), 0);
+            assert!(a.subs.is_empty());
+        }
+    }
+}

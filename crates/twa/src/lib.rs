@@ -1,0 +1,37 @@
+//! # twx-twa — (nested) tree walking automata
+//!
+//! The machine model of the paper. A **tree walking automaton** (TWA) is a
+//! finite automaton that walks a tree one node at a time: a configuration
+//! is a pair `(node, state)`, and transitions are guarded by local node
+//! tests (label, root?, leaf?, first-/last-sibling?) and move along one of
+//! the primitive directions (stay, up, to a child, to a sibling).
+//!
+//! A **nested** TWA (NTWA) may additionally guard transitions with
+//! *invocations of sub-automata*: the atom `Nested { automaton, negated }`
+//! holds at node `v` iff the named sub-automaton has (resp. has no)
+//! accepting run started at `v`. Nesting is well-founded (sub-automata of
+//! depth `k` invoke only automata of depth `< k`), which is what makes
+//! negated invocation well-defined.
+//!
+//! **Formalisation note** (recorded in `DESIGN.md`): the paper's nested
+//! tests serve to evaluate XPath filters `[φ]` and `⟨A⟩`-guards; we
+//! formalise an invocation as "the sub-automaton, started at the current
+//! node, reaches an accepting state somewhere in the tree", which is the
+//! exact semantics of `⟨A⟩` and makes both directions of the
+//! XPath ↔ NTWA equivalence effective (Thompson one way, Kleene state
+//! elimination the other — both in `twx-core`).
+//!
+//! An NTWA denotes a binary relation (start node, halt node) like an XPath
+//! path expression; [`eval`] computes images, preimages, acceptance sets
+//! and full relations by reachability in the configuration graph, with
+//! sub-automata evaluated bottom-up.
+
+pub mod dfs;
+pub mod dot;
+pub mod eval;
+pub mod generate;
+pub mod machine;
+pub mod ops;
+
+pub use eval::{accepts_from, eval_image, eval_preimage, eval_rel};
+pub use machine::{Move, Ntwa, Scope, TestAtom, Transition, Twa};

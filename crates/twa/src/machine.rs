@@ -1,0 +1,483 @@
+//! The automaton data model.
+
+use twx_xtree::{Label, NodeId, Tree};
+
+/// A walking move.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Move {
+    /// Stay at the current node (an ε-move when the guard is empty).
+    Stay,
+    /// Move to the parent.
+    Up,
+    /// Move to some child (nondeterministic over all children).
+    AnyChild,
+    /// Move to the first (leftmost) child.
+    FirstChild,
+    /// Move to the last (rightmost) child.
+    LastChild,
+    /// Move to the next sibling.
+    NextSib,
+    /// Move to the previous sibling.
+    PrevSib,
+}
+
+impl Move {
+    /// All seven moves.
+    pub const ALL: [Move; 7] = [
+        Move::Stay,
+        Move::Up,
+        Move::AnyChild,
+        Move::FirstChild,
+        Move::LastChild,
+        Move::NextSib,
+        Move::PrevSib,
+    ];
+
+    /// Applies the move at `v`, yielding each possible destination.
+    pub fn apply<F: FnMut(NodeId)>(self, t: &Tree, v: NodeId, mut f: F) {
+        match self {
+            Move::Stay => f(v),
+            Move::Up => {
+                if let Some(p) = t.parent(v) {
+                    f(p);
+                }
+            }
+            Move::AnyChild => {
+                let mut c = t.first_child(v);
+                while let Some(u) = c {
+                    f(u);
+                    c = t.next_sibling(u);
+                }
+            }
+            Move::FirstChild => {
+                if let Some(c) = t.first_child(v) {
+                    f(c);
+                }
+            }
+            Move::LastChild => {
+                if let Some(c) = t.last_child(v) {
+                    f(c);
+                }
+            }
+            Move::NextSib => {
+                if let Some(s) = t.next_sibling(v) {
+                    f(s);
+                }
+            }
+            Move::PrevSib => {
+                if let Some(s) = t.prev_sibling(v) {
+                    f(s);
+                }
+            }
+        }
+    }
+
+    /// Applies the move backwards: yields each `u` such that the move taken
+    /// at `u` can land on `v`.
+    pub fn apply_reverse<F: FnMut(NodeId)>(self, t: &Tree, v: NodeId, mut f: F) {
+        match self {
+            Move::Stay => f(v),
+            Move::Up => {
+                // u is any child of v
+                let mut c = t.first_child(v);
+                while let Some(u) = c {
+                    f(u);
+                    c = t.next_sibling(u);
+                }
+            }
+            Move::AnyChild => {
+                if let Some(p) = t.parent(v) {
+                    f(p);
+                }
+            }
+            Move::FirstChild => {
+                if t.is_first_sibling(v) {
+                    if let Some(p) = t.parent(v) {
+                        f(p);
+                    }
+                }
+            }
+            Move::LastChild => {
+                if t.is_last_sibling(v) {
+                    if let Some(p) = t.parent(v) {
+                        f(p);
+                    }
+                }
+            }
+            Move::NextSib => {
+                if let Some(s) = t.prev_sibling(v) {
+                    f(s);
+                }
+            }
+            Move::PrevSib => {
+                if let Some(s) = t.next_sibling(v) {
+                    f(s);
+                }
+            }
+        }
+    }
+}
+
+/// The scope of a nested invocation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Scope {
+    /// The sub-automaton walks the whole tree (implements XPath `⟨A⟩`
+    /// guards with arbitrary axes).
+    Global,
+    /// The sub-automaton walks only the subtree rooted at the current node
+    /// (the paper's subtree test; implements the `W` operator).
+    Subtree,
+}
+
+/// An atom of a transition guard. A guard is a conjunction of atoms.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TestAtom {
+    /// The node carries this label.
+    Label(Label),
+    /// The node does not carry this label.
+    NotLabel(Label),
+    /// The node is the root / is not the root.
+    Root(bool),
+    /// The node is a leaf / is not a leaf.
+    Leaf(bool),
+    /// The node is a first sibling / is not.
+    First(bool),
+    /// The node is a last sibling / is not.
+    Last(bool),
+    /// Invocation of a nested sub-automaton (index into [`Ntwa::subs`]):
+    /// holds iff the sub-automaton, started here, has an accepting run
+    /// (negated if `negated`). `scope` selects whether the run may roam
+    /// the whole tree or is confined to the current node's subtree.
+    Nested {
+        /// Index of the sub-automaton.
+        automaton: u32,
+        /// Whether the invocation is negated.
+        negated: bool,
+        /// Whether the invoked run walks the whole tree or only the
+        /// current subtree.
+        scope: Scope,
+    },
+}
+
+impl TestAtom {
+    /// Evaluates a *local* atom at `v`.
+    ///
+    /// # Panics
+    /// On a `Nested` atom — those are resolved by the evaluator against
+    /// precomputed acceptance sets.
+    pub fn eval_local(&self, t: &Tree, v: NodeId) -> bool {
+        match self {
+            TestAtom::Label(l) => t.label(v) == *l,
+            TestAtom::NotLabel(l) => t.label(v) != *l,
+            TestAtom::Root(b) => t.is_root(v) == *b,
+            TestAtom::Leaf(b) => t.is_leaf(v) == *b,
+            TestAtom::First(b) => t.is_first_sibling(v) == *b,
+            TestAtom::Last(b) => t.is_last_sibling(v) == *b,
+            TestAtom::Nested { .. } => panic!("nested atom evaluated locally"),
+        }
+    }
+}
+
+/// A guarded transition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transition {
+    /// Source state.
+    pub from: u32,
+    /// Conjunction of guard atoms (empty = unconditionally enabled).
+    pub guard: Vec<TestAtom>,
+    /// The move performed.
+    pub mv: Move,
+    /// Target state.
+    pub to: u32,
+}
+
+/// A (flat) tree walking automaton.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Twa {
+    /// Number of states.
+    pub n_states: u32,
+    /// Initial state.
+    pub initial: u32,
+    /// Accepting states.
+    pub accepting: Vec<u32>,
+    /// The transition table.
+    pub transitions: Vec<Transition>,
+}
+
+impl Twa {
+    /// A two-state automaton performing a single guarded move.
+    pub fn single_move(guard: Vec<TestAtom>, mv: Move) -> Twa {
+        Twa {
+            n_states: 2,
+            initial: 0,
+            accepting: vec![1],
+            transitions: vec![Transition {
+                from: 0,
+                guard,
+                mv,
+                to: 1,
+            }],
+        }
+    }
+
+    /// Whether `q` is accepting.
+    pub fn is_accepting(&self, q: u32) -> bool {
+        self.accepting.contains(&q)
+    }
+
+    /// Checks internal consistency (state indices in range).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initial >= self.n_states {
+            return Err("initial state out of range".into());
+        }
+        for &q in &self.accepting {
+            if q >= self.n_states {
+                return Err(format!("accepting state {q} out of range"));
+            }
+        }
+        for (i, tr) in self.transitions.iter().enumerate() {
+            if tr.from >= self.n_states || tr.to >= self.n_states {
+                return Err(format!("transition {i} has out-of-range state"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A nested tree walking automaton: a top-level TWA plus the sub-automata
+/// its `Nested` guard atoms refer to (each itself an NTWA of strictly
+/// smaller nesting depth).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ntwa {
+    /// The top-level walking automaton.
+    pub top: Twa,
+    /// Sub-automata referenced by `TestAtom::Nested { automaton, .. }`.
+    pub subs: Vec<Ntwa>,
+}
+
+impl Ntwa {
+    /// Wraps a flat TWA (no nesting).
+    pub fn flat(top: Twa) -> Ntwa {
+        Ntwa {
+            top,
+            subs: Vec::new(),
+        }
+    }
+
+    /// Nesting depth (a flat automaton has depth 0).
+    pub fn depth(&self) -> usize {
+        self.subs.iter().map(|s| 1 + s.depth()).max().unwrap_or(0)
+    }
+
+    /// Total number of states including all sub-automata (the size measure
+    /// used in the translation-blow-up experiment E3).
+    pub fn total_states(&self) -> usize {
+        self.top.n_states as usize + self.subs.iter().map(Ntwa::total_states).sum::<usize>()
+    }
+
+    /// Total number of transitions including sub-automata.
+    pub fn total_transitions(&self) -> usize {
+        self.top.transitions.len() + self.subs.iter().map(Ntwa::total_transitions).sum::<usize>()
+    }
+
+    /// Checks consistency, including that nested references are in range.
+    pub fn validate(&self) -> Result<(), String> {
+        self.top.validate()?;
+        for tr in &self.top.transitions {
+            for atom in &tr.guard {
+                if let TestAtom::Nested { automaton, .. } = atom {
+                    if *automaton as usize >= self.subs.len() {
+                        return Err(format!("nested reference {automaton} out of range"));
+                    }
+                }
+            }
+        }
+        for s in &self.subs {
+            s.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Whether the automaton is syntactically deterministic: no state has
+    /// two transitions whose guards can be satisfied simultaneously
+    /// (conservative check: guards are deemed compatible unless they
+    /// contain directly contradicting local atoms).
+    pub fn is_deterministic(&self) -> bool {
+        for q in 0..self.top.n_states {
+            let outs: Vec<&Transition> =
+                self.top.transitions.iter().filter(|t| t.from == q).collect();
+            for i in 0..outs.len() {
+                for j in i + 1..outs.len() {
+                    if guards_compatible(&outs[i].guard, &outs[j].guard) {
+                        return false;
+                    }
+                }
+            }
+        }
+        self.subs.iter().all(Ntwa::is_deterministic)
+    }
+}
+
+/// Conservative guard-compatibility: `false` only when the two guards
+/// contain directly contradicting atoms.
+fn guards_compatible(a: &[TestAtom], b: &[TestAtom]) -> bool {
+    for x in a {
+        for y in b {
+            let contradicts = match (x, y) {
+                (TestAtom::Label(l), TestAtom::NotLabel(m)) if l == m => true,
+                (TestAtom::NotLabel(l), TestAtom::Label(m)) if l == m => true,
+                (TestAtom::Label(l), TestAtom::Label(m)) if l != m => true,
+                (TestAtom::Root(p), TestAtom::Root(q)) if p != q => true,
+                (TestAtom::Leaf(p), TestAtom::Leaf(q)) if p != q => true,
+                (TestAtom::First(p), TestAtom::First(q)) if p != q => true,
+                (TestAtom::Last(p), TestAtom::Last(q)) if p != q => true,
+                (
+                    TestAtom::Nested {
+                        automaton: i,
+                        negated: p,
+                        scope: si,
+                    },
+                    TestAtom::Nested {
+                        automaton: j,
+                        negated: q,
+                        scope: sj,
+                    },
+                ) if i == j && si == sj && p != q => true,
+                _ => false,
+            };
+            if contradicts {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twx_xtree::parse::parse_sexp;
+
+    #[test]
+    fn moves_and_reverses_are_converse() {
+        let t = parse_sexp("(a (b d e) (c f))").unwrap().tree;
+        for mv in Move::ALL {
+            for v in t.nodes() {
+                let mut forward = Vec::new();
+                mv.apply(&t, v, |u| forward.push(u));
+                for u in forward {
+                    let mut back = Vec::new();
+                    mv.apply_reverse(&t, u, |w| back.push(w));
+                    assert!(back.contains(&v), "{mv:?}: {v:?}->{u:?} not reversed");
+                }
+                // and conversely
+                let mut back = Vec::new();
+                mv.apply_reverse(&t, v, |w| back.push(w));
+                for w in back {
+                    let mut fwd = Vec::new();
+                    mv.apply(&t, w, |u| fwd.push(u));
+                    assert!(fwd.contains(&v), "{mv:?}: reverse {v:?}->{w:?} bogus");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_atoms() {
+        let t = parse_sexp("(a (b d e) (c f))").unwrap().tree;
+        let b = NodeId(1);
+        assert!(TestAtom::Label(Label(1)).eval_local(&t, b));
+        assert!(TestAtom::NotLabel(Label(0)).eval_local(&t, b));
+        assert!(TestAtom::Root(false).eval_local(&t, b));
+        assert!(TestAtom::Root(true).eval_local(&t, NodeId(0)));
+        assert!(TestAtom::Leaf(true).eval_local(&t, NodeId(2)));
+        assert!(TestAtom::First(true).eval_local(&t, NodeId(2)));
+        assert!(TestAtom::Last(false).eval_local(&t, NodeId(2)));
+        assert!(TestAtom::Last(true).eval_local(&t, NodeId(3)));
+    }
+
+    #[test]
+    fn validation() {
+        let mut a = Twa::single_move(vec![], Move::Up);
+        assert!(a.validate().is_ok());
+        a.accepting = vec![7];
+        assert!(a.validate().is_err());
+        let n = Ntwa {
+            top: Twa::single_move(
+                vec![TestAtom::Nested {
+                    automaton: 0,
+                    negated: false,
+                    scope: Scope::Global,
+                }],
+                Move::Stay,
+            ),
+            subs: vec![],
+        };
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn determinism_check() {
+        let det = Ntwa::flat(Twa {
+            n_states: 2,
+            initial: 0,
+            accepting: vec![1],
+            transitions: vec![
+                Transition {
+                    from: 0,
+                    guard: vec![TestAtom::Leaf(true)],
+                    mv: Move::Stay,
+                    to: 1,
+                },
+                Transition {
+                    from: 0,
+                    guard: vec![TestAtom::Leaf(false)],
+                    mv: Move::FirstChild,
+                    to: 0,
+                },
+            ],
+        });
+        assert!(det.is_deterministic());
+        let nondet = Ntwa::flat(Twa {
+            n_states: 2,
+            initial: 0,
+            accepting: vec![1],
+            transitions: vec![
+                Transition {
+                    from: 0,
+                    guard: vec![],
+                    mv: Move::Stay,
+                    to: 1,
+                },
+                Transition {
+                    from: 0,
+                    guard: vec![],
+                    mv: Move::Up,
+                    to: 1,
+                },
+            ],
+        });
+        assert!(!nondet.is_deterministic());
+    }
+
+    #[test]
+    fn depth_and_sizes() {
+        let leafy = Ntwa::flat(Twa::single_move(vec![TestAtom::Leaf(true)], Move::Stay));
+        let outer = Ntwa {
+            top: Twa::single_move(
+                vec![TestAtom::Nested {
+                    automaton: 0,
+                    negated: true,
+                    scope: Scope::Global,
+                }],
+                Move::AnyChild,
+            ),
+            subs: vec![leafy.clone()],
+        };
+        assert_eq!(leafy.depth(), 0);
+        assert_eq!(outer.depth(), 1);
+        assert_eq!(outer.total_states(), 4);
+        assert_eq!(outer.total_transitions(), 2);
+        assert!(outer.validate().is_ok());
+    }
+}

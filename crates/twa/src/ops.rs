@@ -1,0 +1,232 @@
+//! Closure constructions on nested tree walking automata.
+//!
+//! NTWAs (as binary-relation recognisers) are closed under union,
+//! composition and iteration by direct product-free constructions — the
+//! automata-side counterparts of `∪`, `/` and `*` used by the Kleene and
+//! Thompson translations in `twx-core`.
+
+use crate::machine::{Move, Ntwa, TestAtom, Transition, Twa};
+
+/// Relabels states of `b` by `offset` and remaps its nested references by
+/// `sub_offset`.
+fn shift(b: &Twa, offset: u32, sub_offset: u32) -> Vec<Transition> {
+    b.transitions
+        .iter()
+        .map(|tr| Transition {
+            from: tr.from + offset,
+            to: tr.to + offset,
+            mv: tr.mv,
+            guard: tr
+                .guard
+                .iter()
+                .map(|a| match a {
+                    TestAtom::Nested {
+                        automaton,
+                        negated,
+                        scope,
+                    } => TestAtom::Nested {
+                        automaton: automaton + sub_offset,
+                        negated: *negated,
+                        scope: *scope,
+                    },
+                    other => other.clone(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// `[[union(a, b)]] = [[a]] ∪ [[b]]`.
+pub fn union(a: &Ntwa, b: &Ntwa) -> Ntwa {
+    // states: 0 = new initial, then a's states, then b's states, then final
+    let oa = 1;
+    let ob = 1 + a.top.n_states;
+    let fin = 1 + a.top.n_states + b.top.n_states;
+    let sub_ob = a.subs.len() as u32;
+    let mut transitions = vec![
+        Transition {
+            from: 0,
+            guard: vec![],
+            mv: Move::Stay,
+            to: a.top.initial + oa,
+        },
+        Transition {
+            from: 0,
+            guard: vec![],
+            mv: Move::Stay,
+            to: b.top.initial + ob,
+        },
+    ];
+    transitions.extend(shift(&a.top, oa, 0));
+    transitions.extend(shift(&b.top, ob, sub_ob));
+    for &q in &a.top.accepting {
+        transitions.push(Transition {
+            from: q + oa,
+            guard: vec![],
+            mv: Move::Stay,
+            to: fin,
+        });
+    }
+    for &q in &b.top.accepting {
+        transitions.push(Transition {
+            from: q + ob,
+            guard: vec![],
+            mv: Move::Stay,
+            to: fin,
+        });
+    }
+    let mut subs = a.subs.clone();
+    subs.extend(b.subs.iter().cloned());
+    Ntwa {
+        top: Twa {
+            n_states: fin + 1,
+            initial: 0,
+            accepting: vec![fin],
+            transitions,
+        },
+        subs,
+    }
+}
+
+/// `[[concat(a, b)]] = [[a]] ; [[b]]` (relational composition: run `a`,
+/// then from its halt node run `b`).
+pub fn concat(a: &Ntwa, b: &Ntwa) -> Ntwa {
+    let oa = 0;
+    let ob = a.top.n_states;
+    let sub_ob = a.subs.len() as u32;
+    let mut transitions = shift(&a.top, oa, 0);
+    transitions.extend(shift(&b.top, ob, sub_ob));
+    for &q in &a.top.accepting {
+        transitions.push(Transition {
+            from: q + oa,
+            guard: vec![],
+            mv: Move::Stay,
+            to: b.top.initial + ob,
+        });
+    }
+    let mut subs = a.subs.clone();
+    subs.extend(b.subs.iter().cloned());
+    Ntwa {
+        top: Twa {
+            n_states: a.top.n_states + b.top.n_states,
+            initial: a.top.initial,
+            accepting: b.top.accepting.iter().map(|&q| q + ob).collect(),
+            transitions,
+        },
+        subs,
+    }
+}
+
+/// `[[star(a)]] = [[a]]*` (reflexive-transitive closure).
+pub fn star(a: &Ntwa) -> Ntwa {
+    // fresh initial-and-accepting state s; s →ε init; accepting →ε s
+    let s = a.top.n_states;
+    let mut transitions = shift(&a.top, 0, 0);
+    transitions.push(Transition {
+        from: s,
+        guard: vec![],
+        mv: Move::Stay,
+        to: a.top.initial,
+    });
+    for &q in &a.top.accepting {
+        transitions.push(Transition {
+            from: q,
+            guard: vec![],
+            mv: Move::Stay,
+            to: s,
+        });
+    }
+    Ntwa {
+        top: Twa {
+            n_states: s + 1,
+            initial: s,
+            accepting: vec![s],
+            transitions,
+        },
+        subs: a.subs.clone(),
+    }
+}
+
+/// The automaton of the identity relation guarded by a conjunction of
+/// atoms (the `?φ` diagonal for local φ).
+pub fn test(guard: Vec<TestAtom>) -> Ntwa {
+    Ntwa::flat(Twa::single_move(guard, Move::Stay))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_rel;
+    use crate::machine::Scope;
+    use twx_xtree::parse::parse_sexp;
+    use twx_xtree::Label;
+
+    fn step(mv: Move) -> Ntwa {
+        Ntwa::flat(Twa::single_move(vec![], mv))
+    }
+
+    #[test]
+    fn union_is_relation_union() {
+        let t = parse_sexp("(a (b d e) (c f))").unwrap().tree;
+        let u = union(&step(Move::AnyChild), &step(Move::Up));
+        let rel = eval_rel(&t, &u);
+        let mut expect = eval_rel(&t, &step(Move::AnyChild));
+        expect.union_with(&eval_rel(&t, &step(Move::Up)));
+        assert_eq!(rel, expect);
+        assert!(u.validate().is_ok());
+    }
+
+    #[test]
+    fn concat_is_composition() {
+        let t = parse_sexp("(a (b d e) (c f))").unwrap().tree;
+        let c = concat(&step(Move::AnyChild), &step(Move::NextSib));
+        let rel = eval_rel(&t, &c);
+        let expect = eval_rel(&t, &step(Move::AnyChild)).compose(&eval_rel(&t, &step(Move::NextSib)));
+        assert_eq!(rel, expect);
+    }
+
+    #[test]
+    fn star_is_closure() {
+        let t = parse_sexp("(a (b d e) (c f))").unwrap().tree;
+        let s = star(&step(Move::AnyChild));
+        let rel = eval_rel(&t, &s);
+        let expect = eval_rel(&t, &step(Move::AnyChild)).star();
+        assert_eq!(rel, expect);
+    }
+
+    #[test]
+    fn nested_subs_survive_combination() {
+        let leafy = test(vec![TestAtom::Leaf(true)]);
+        let nested = Ntwa {
+            top: Twa::single_move(
+                vec![TestAtom::Nested {
+                    automaton: 0,
+                    negated: false,
+                    scope: Scope::Global,
+                }],
+                Move::AnyChild,
+            ),
+            subs: vec![leafy.clone()],
+        };
+        let u = union(&nested, &nested);
+        assert!(u.validate().is_ok());
+        assert_eq!(u.subs.len(), 2);
+        let c = concat(&nested, &nested);
+        assert!(c.validate().is_ok());
+        let t = parse_sexp("(a (b d) c)").unwrap().tree;
+        // nested guard "a leafy run exists from here" is trivially true
+        // (Stay on a leaf test... only at leaves) — just exercise evaluation
+        let _ = eval_rel(&t, &u);
+        let _ = eval_rel(&t, &c);
+        let _ = eval_rel(&t, &star(&nested));
+    }
+
+    #[test]
+    fn test_construction_is_diagonal() {
+        let t = parse_sexp("(a b c)").unwrap().tree;
+        let d = test(vec![TestAtom::Label(Label(0))]);
+        let rel = eval_rel(&t, &d);
+        assert_eq!(rel.count(), 1);
+        assert!(rel.get(twx_xtree::NodeId(0), twx_xtree::NodeId(0)));
+    }
+}

@@ -1,0 +1,155 @@
+//! Label interning.
+//!
+//! Queries and trees share a numeric label space so that evaluators never
+//! compare strings. An [`Alphabet`] maps label names to dense [`Label`]
+//! indices; it is an explicit value (not a global) so tests and tools can
+//! keep several independent spaces.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned node label: a dense index into an [`Alphabet`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// A label interner: a bijection between label names and dense indices.
+///
+/// ```
+/// use twx_xtree::Alphabet;
+/// let mut ab = Alphabet::new();
+/// let a = ab.intern("a");
+/// assert_eq!(ab.intern("a"), a);
+/// assert_eq!(ab.name(a), "a");
+/// assert_eq!(ab.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: HashMap<String, Label>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet containing `k` generic labels `a0..a{k-1}`
+    /// (handy for generators and enumeration).
+    pub fn generic(k: usize) -> Self {
+        let mut ab = Self::new();
+        for i in 0..k {
+            ab.intern(&format!("a{i}"));
+        }
+        ab
+    }
+
+    /// Creates an alphabet from a list of names (in order).
+    pub fn from_names<I: IntoIterator<Item = S>, S: AsRef<str>>(names: I) -> Self {
+        let mut ab = Self::new();
+        for n in names {
+            ab.intern(n.as_ref());
+        }
+        ab
+    }
+
+    /// Interns `name`, returning its label (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.index.get(name) {
+            return l;
+        }
+        let l = Label(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), l);
+        l
+    }
+
+    /// Looks up a name without interning.
+    pub fn lookup(&self, name: &str) -> Option<Label> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of a label.
+    ///
+    /// # Panics
+    /// If the label was not produced by this alphabet.
+    pub fn name(&self, l: Label) -> &str {
+        &self.names[l.index()]
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all labels in index order.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        (0..self.names.len() as u32).map(Label)
+    }
+
+    /// Iterates over `(label, name)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("talk");
+        let b = ab.intern("speaker");
+        assert_ne!(a, b);
+        assert_eq!(ab.intern("talk"), a);
+        assert_eq!(ab.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut ab = Alphabet::new();
+        assert_eq!(ab.lookup("x"), None);
+        let x = ab.intern("x");
+        assert_eq!(ab.lookup("x"), Some(x));
+    }
+
+    #[test]
+    fn generic_names() {
+        let ab = Alphabet::generic(3);
+        assert_eq!(ab.len(), 3);
+        assert_eq!(ab.name(Label(0)), "a0");
+        assert_eq!(ab.name(Label(2)), "a2");
+    }
+
+    #[test]
+    fn from_names_keeps_order() {
+        let ab = Alphabet::from_names(["p", "q", "r"]);
+        assert_eq!(ab.lookup("q"), Some(Label(1)));
+        let collected: Vec<_> = ab.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(collected, ["p", "q", "r"]);
+    }
+}

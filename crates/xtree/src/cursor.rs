@@ -1,0 +1,180 @@
+//! An ergonomic navigation cursor.
+//!
+//! [`Cursor`] wraps a tree position and exposes chainable, fallible moves
+//! — the hand-written counterpart of what tree walking automata do, handy
+//! in examples and tests, and a readable way to express manual walks.
+
+use crate::alphabet::Label;
+use crate::tree::{NodeId, Tree};
+
+/// A position in a tree with chainable navigation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cursor<'a> {
+    tree: &'a Tree,
+    node: NodeId,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the root.
+    pub fn root(tree: &'a Tree) -> Cursor<'a> {
+        Cursor {
+            tree,
+            node: tree.root(),
+        }
+    }
+
+    /// A cursor at a specific node.
+    pub fn at(tree: &'a Tree, node: NodeId) -> Cursor<'a> {
+        Cursor { tree, node }
+    }
+
+    /// The current node.
+    pub fn node(self) -> NodeId {
+        self.node
+    }
+
+    /// The current node's label.
+    pub fn label(self) -> Label {
+        self.tree.label(self.node)
+    }
+
+    /// The underlying tree.
+    pub fn tree(self) -> &'a Tree {
+        self.tree
+    }
+
+    fn go(self, target: Option<NodeId>) -> Option<Cursor<'a>> {
+        target.map(|node| Cursor {
+            tree: self.tree,
+            node,
+        })
+    }
+
+    /// To the parent.
+    pub fn up(self) -> Option<Cursor<'a>> {
+        self.go(self.tree.parent(self.node))
+    }
+
+    /// To the first child.
+    pub fn first_child(self) -> Option<Cursor<'a>> {
+        self.go(self.tree.first_child(self.node))
+    }
+
+    /// To the last child.
+    pub fn last_child(self) -> Option<Cursor<'a>> {
+        self.go(self.tree.last_child(self.node))
+    }
+
+    /// To the next sibling.
+    pub fn next_sibling(self) -> Option<Cursor<'a>> {
+        self.go(self.tree.next_sibling(self.node))
+    }
+
+    /// To the previous sibling.
+    pub fn prev_sibling(self) -> Option<Cursor<'a>> {
+        self.go(self.tree.prev_sibling(self.node))
+    }
+
+    /// To the `i`-th child (0-based), if it exists.
+    pub fn child(self, i: usize) -> Option<Cursor<'a>> {
+        let mut c = self.first_child()?;
+        for _ in 0..i {
+            c = c.next_sibling()?;
+        }
+        Some(c)
+    }
+
+    /// To the next node in document order (preorder successor).
+    pub fn next_preorder(self) -> Option<Cursor<'a>> {
+        let next = self.node.0 + 1;
+        (next < self.tree.len() as u32).then_some(Cursor {
+            tree: self.tree,
+            node: NodeId(next),
+        })
+    }
+
+    /// Follows the first child whose label is `l`.
+    pub fn child_labelled(self, l: Label) -> Option<Cursor<'a>> {
+        let mut c = self.first_child();
+        while let Some(cur) = c {
+            if cur.label() == l {
+                return Some(cur);
+            }
+            c = cur.next_sibling();
+        }
+        None
+    }
+
+    /// Whether the cursor is at a leaf.
+    pub fn is_leaf(self) -> bool {
+        self.tree.is_leaf(self.node)
+    }
+
+    /// Whether the cursor is at the root.
+    pub fn is_root(self) -> bool {
+        self.tree.is_root(self.node)
+    }
+
+    /// Walks a label path (`child_labelled` repeatedly).
+    pub fn descend_path(self, labels: &[Label]) -> Option<Cursor<'a>> {
+        labels
+            .iter()
+            .try_fold(self, |c, &l| c.child_labelled(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_sexp;
+
+    #[test]
+    fn chained_navigation() {
+        let doc = parse_sexp("(a (b d e) (c f))").unwrap();
+        let t = &doc.tree;
+        // a=0 b=1 d=2 e=3 c=4 f=5
+        let c = Cursor::root(t);
+        assert!(c.is_root());
+        assert_eq!(c.first_child().unwrap().node(), NodeId(1));
+        assert_eq!(
+            c.first_child()
+                .and_then(Cursor::next_sibling)
+                .and_then(Cursor::first_child)
+                .unwrap()
+                .node(),
+            NodeId(5)
+        );
+        assert_eq!(c.last_child().unwrap().node(), NodeId(4));
+        assert_eq!(c.child(1).unwrap().node(), NodeId(4));
+        assert!(c.child(2).is_none());
+        assert!(c.up().is_none());
+        assert_eq!(
+            Cursor::at(t, NodeId(5)).up().and_then(Cursor::up).unwrap().node(),
+            NodeId(0)
+        );
+    }
+
+    #[test]
+    fn labelled_descent() {
+        let mut ab = crate::Alphabet::new();
+        let t = crate::parse::parse_sexp_with("(lib (shelf (book)) (desk))", &mut ab).unwrap();
+        let shelf = ab.lookup("shelf").unwrap();
+        let book = ab.lookup("book").unwrap();
+        let c = Cursor::root(&t).descend_path(&[shelf, book]).unwrap();
+        assert_eq!(ab.name(c.label()), "book");
+        assert!(c.is_leaf());
+        assert!(Cursor::root(&t).descend_path(&[book]).is_none());
+    }
+
+    #[test]
+    fn preorder_walk_covers_tree() {
+        let doc = parse_sexp("(a (b d e) (c f))").unwrap();
+        let mut c = Some(Cursor::root(&doc.tree));
+        let mut count = 0;
+        while let Some(cur) = c {
+            count += 1;
+            c = cur.next_preorder();
+        }
+        assert_eq!(count, doc.tree.len());
+    }
+}

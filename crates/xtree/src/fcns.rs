@@ -1,0 +1,200 @@
+//! First-child/next-sibling (FCNS) binary encoding.
+//!
+//! The classical bijection between unranked ordered forests and binary
+//! trees: in the encoding, the *left* child of a node is its first child in
+//! the unranked tree and the *right* child is its next sibling. Regular
+//! (MSO-definable) unranked tree languages are exactly the languages whose
+//! FCNS encodings are regular binary tree languages, so the bottom-up
+//! automata of `twx-treeauto` run on [`BinTree`]s.
+
+use crate::alphabet::Label;
+use crate::builder::TreeBuilder;
+use crate::tree::{NodeId, Tree};
+
+const NONE: u32 = u32::MAX;
+
+/// A binary tree: each node has an optional left and right child.
+///
+/// Node ids coincide with the source [`Tree`]'s ids when produced by
+/// [`BinTree::encode`] (the encoding is a relabelling of edges, not of
+/// nodes), which lets automata results be read back directly as node sets
+/// of the unranked tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinTree {
+    labels: Vec<Label>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    root: u32,
+}
+
+impl BinTree {
+    /// Encodes an unranked tree: `left = first child`, `right = next
+    /// sibling`. Node ids are preserved.
+    pub fn encode(t: &Tree) -> BinTree {
+        let n = t.len();
+        let mut left = vec![NONE; n];
+        let mut right = vec![NONE; n];
+        let mut labels = Vec::with_capacity(n);
+        for v in t.nodes() {
+            labels.push(t.label(v));
+            if let Some(c) = t.first_child(v) {
+                left[v.index()] = c.0;
+            }
+            if let Some(s) = t.next_sibling(v) {
+                right[v.index()] = s.0;
+            }
+        }
+        BinTree {
+            labels,
+            left,
+            right,
+            root: 0,
+        }
+    }
+
+    /// Decodes back to an unranked tree.
+    ///
+    /// # Panics
+    /// If the root has a right child (which would encode a forest, not a
+    /// tree).
+    pub fn decode(&self) -> Tree {
+        assert_eq!(
+            self.right[self.root as usize], NONE,
+            "root has a next sibling: this encodes a forest"
+        );
+        let mut b = TreeBuilder::with_capacity(self.labels.len());
+        self.decode_rec(self.root, &mut b);
+        b.finish()
+    }
+
+    fn decode_rec(&self, v: u32, b: &mut TreeBuilder) {
+        b.open(self.labels[v as usize]);
+        if self.left[v as usize] != NONE {
+            let mut c = self.left[v as usize];
+            loop {
+                self.decode_rec(c, b);
+                c = self.right[c as usize];
+                if c == NONE {
+                    break;
+                }
+            }
+        }
+        b.close();
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the tree has no nodes (never true for encodings).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        NodeId(self.root)
+    }
+
+    /// The label of `v`.
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// Left (first-child) successor.
+    pub fn left(&self, v: NodeId) -> Option<NodeId> {
+        let r = self.left[v.index()];
+        (r != NONE).then_some(NodeId(r))
+    }
+
+    /// Right (next-sibling) successor.
+    pub fn right(&self, v: NodeId) -> Option<NodeId> {
+        let r = self.right[v.index()];
+        (r != NONE).then_some(NodeId(r))
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.labels.len() as u32).map(NodeId)
+    }
+
+    /// A postorder traversal of the binary tree (left, right, node) —
+    /// the evaluation order of bottom-up automata.
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack = vec![(self.root, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                out.push(NodeId(v));
+                continue;
+            }
+            stack.push((v, true));
+            if self.right[v as usize] != NONE {
+                stack.push((self.right[v as usize], false));
+            }
+            if self.left[v as usize] != NONE {
+                stack.push((self.left[v as usize], false));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_sexp;
+
+    #[test]
+    fn encode_links() {
+        let doc = parse_sexp("(a (b d e) c)").unwrap();
+        let bt = BinTree::encode(&doc.tree);
+        // a=0 b=1 d=2 e=3 c=4
+        assert_eq!(bt.left(NodeId(0)), Some(NodeId(1)));
+        assert_eq!(bt.right(NodeId(0)), None);
+        assert_eq!(bt.left(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(bt.right(NodeId(1)), Some(NodeId(4)));
+        assert_eq!(bt.right(NodeId(2)), Some(NodeId(3)));
+        assert_eq!(bt.left(NodeId(2)), None);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for s in ["x", "(a b)", "(a (b d e) c)", "(a (a (a (a))))", "(r a b c d e)"] {
+            let doc = parse_sexp(s).unwrap();
+            let bt = BinTree::encode(&doc.tree);
+            let back = bt.decode();
+            assert_eq!(back, doc.tree, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn postorder_visits_all_once() {
+        let doc = parse_sexp("(a (b d e) (c f))").unwrap();
+        let bt = BinTree::encode(&doc.tree);
+        let po = bt.postorder();
+        assert_eq!(po.len(), bt.len());
+        let mut seen = vec![false; bt.len()];
+        for v in &po {
+            assert!(!seen[v.index()]);
+            seen[v.index()] = true;
+        }
+        // children (in the binary sense) come before parents
+        let pos: Vec<usize> = {
+            let mut p = vec![0; bt.len()];
+            for (i, v) in po.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for v in bt.nodes() {
+            if let Some(l) = bt.left(v) {
+                assert!(pos[l.index()] < pos[v.index()]);
+            }
+            if let Some(r) = bt.right(v) {
+                assert!(pos[r.index()] < pos[v.index()]);
+            }
+        }
+    }
+}

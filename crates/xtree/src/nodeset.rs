@@ -1,0 +1,612 @@
+//! Dense bitsets over node ids and bit-matrix binary relations.
+//!
+//! Every evaluator in the workspace manipulates node sets and node relations
+//! of a fixed, known universe size (the tree); dense bit representations
+//! make the set algebra word-parallel and allocation-free in the hot loops.
+
+use crate::tree::NodeId;
+use std::fmt;
+
+const WORD: usize = 64;
+
+#[inline]
+fn words_for(n: usize) -> usize {
+    n.div_ceil(WORD)
+}
+
+/// A set of nodes of a tree with `universe` nodes, as a bitset.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct NodeSet {
+    bits: Vec<u64>,
+    universe: usize,
+}
+
+impl NodeSet {
+    /// The empty set over a universe of `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        NodeSet {
+            bits: vec![0; words_for(n)],
+            universe: n,
+        }
+    }
+
+    /// The full set over a universe of `n` nodes.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::empty(n);
+        for w in &mut s.bits {
+            *w = !0;
+        }
+        s.trim();
+        s
+    }
+
+    /// A singleton set.
+    pub fn singleton(n: usize, v: NodeId) -> Self {
+        let mut s = Self::empty(n);
+        s.insert(v);
+        s
+    }
+
+    /// Builds a set from an iterator of nodes.
+    pub fn from_iter<I: IntoIterator<Item = NodeId>>(n: usize, it: I) -> Self {
+        let mut s = Self::empty(n);
+        for v in it {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// The universe size this set ranges over.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Clears excess bits beyond the universe.
+    #[inline]
+    fn trim(&mut self) {
+        let rem = self.universe % WORD;
+        if rem != 0 {
+            if let Some(last) = self.bits.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Inserts `v`; returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let i = v.index();
+        debug_assert!(i < self.universe);
+        let w = &mut self.bits[i / WORD];
+        let mask = 1u64 << (i % WORD);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Removes `v`; returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let i = v.index();
+        let w = &mut self.bits[i / WORD];
+        let mask = 1u64 << (i % WORD);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        let i = v.index();
+        i < self.universe && self.bits[i / WORD] & (1u64 << (i % WORD)) != 0
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in &mut self.bits {
+            *w = 0;
+        }
+    }
+
+    /// In-place union. Panics if universes differ.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.universe, other.universe);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection. Panics if universes differ.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.universe, other.universe);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`). Panics if universes differ.
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.universe, other.universe);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place complement w.r.t. the universe.
+    pub fn complement(&mut self) {
+        for w in &mut self.bits {
+            *w = !*w;
+        }
+        self.trim();
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        assert_eq!(self.universe, other.universe);
+        self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether the sets intersect.
+    pub fn intersects(&self, other: &NodeSet) -> bool {
+        assert_eq!(self.universe, other.universe);
+        self.bits.iter().zip(&other.bits).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over members in increasing id order.
+    pub fn iter(&self) -> SetIter<'_> {
+        SetIter {
+            bits: &self.bits,
+            word_idx: 0,
+            current: self.bits.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The smallest member, if any.
+    pub fn first(&self) -> Option<NodeId> {
+        self.iter().next()
+    }
+
+    /// Collects into a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the members of a [`NodeSet`].
+pub struct SetIter<'a> {
+    bits: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.bits.len() {
+                return None;
+            }
+            self.current = self.bits[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(NodeId((self.word_idx * WORD + bit) as u32))
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = SetIter<'a>;
+    fn into_iter(self) -> SetIter<'a> {
+        self.iter()
+    }
+}
+
+/// A binary relation over the nodes of a tree, as an n×n bit matrix
+/// (row-major; row `i` is the image of node `i`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    bits: Vec<u64>,
+    n: usize,
+    row_words: usize,
+}
+
+impl BitMatrix {
+    /// The empty relation on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        let row_words = words_for(n);
+        BitMatrix {
+            bits: vec![0; row_words * n],
+            n,
+            row_words,
+        }
+    }
+
+    /// The identity relation on `n` nodes.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::empty(n);
+        for i in 0..n {
+            m.set(NodeId(i as u32), NodeId(i as u32));
+        }
+        m
+    }
+
+    /// The full relation on `n` nodes.
+    pub fn full(n: usize) -> Self {
+        let mut m = Self::empty(n);
+        for w in &mut m.bits {
+            *w = !0;
+        }
+        m.trim();
+        m
+    }
+
+    fn trim(&mut self) {
+        let rem = self.n % WORD;
+        if rem == 0 {
+            return;
+        }
+        let mask = (1u64 << rem) - 1;
+        for i in 0..self.n {
+            self.bits[i * self.row_words + self.row_words - 1] &= mask;
+        }
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: NodeId, y: NodeId) {
+        let (i, j) = (x.index(), y.index());
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.row_words + j / WORD] |= 1u64 << (j % WORD);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn get(&self, x: NodeId, y: NodeId) -> bool {
+        let (i, j) = (x.index(), y.index());
+        i < self.n && j < self.n && self.bits[i * self.row_words + j / WORD] & (1u64 << (j % WORD)) != 0
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.row_words..(i + 1) * self.row_words]
+    }
+
+    /// Number of pairs in the relation.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitMatrix) {
+        assert_eq!(self.n, other.n);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitMatrix) {
+        assert_eq!(self.n, other.n);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    /// In-place complement (w.r.t. the full n×n relation).
+    pub fn complement(&mut self) {
+        for w in &mut self.bits {
+            *w = !*w;
+        }
+        self.trim();
+    }
+
+    /// Relational composition `self ; other`: `(x, z)` iff `∃y. self(x,y) ∧
+    /// other(y,z)`. O(n³/64) via row-wise unions.
+    pub fn compose(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.n, other.n);
+        let mut out = BitMatrix::empty(self.n);
+        for i in 0..self.n {
+            let dst_start = i * self.row_words;
+            for j in SetBitsIter::new(self.row(i)) {
+                let src = other.row(j);
+                let dst = &mut out.bits[dst_start..dst_start + self.row_words];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d |= s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Reflexive-transitive closure, computed by repeated squaring on top of
+    /// `self ∪ id` (O(n³/64 · log n)).
+    pub fn star(&self) -> BitMatrix {
+        let mut r = self.clone();
+        r.union_with(&BitMatrix::identity(self.n));
+        loop {
+            let r2 = r.compose(&r);
+            let mut merged = r.clone();
+            merged.union_with(&r2);
+            if merged == r {
+                return r;
+            }
+            r = merged;
+        }
+    }
+
+    /// Strict transitive closure: `self ; self*`.
+    pub fn plus(&self) -> BitMatrix {
+        self.compose(&self.star())
+    }
+
+    /// Converse relation (transpose).
+    pub fn transpose(&self) -> BitMatrix {
+        let mut out = BitMatrix::empty(self.n);
+        for i in 0..self.n {
+            for j in SetBitsIter::new(self.row(i)) {
+                out.set(NodeId(j as u32), NodeId(i as u32));
+            }
+        }
+        out
+    }
+
+    /// The image of a node set: `{ y | ∃x ∈ s. (x, y) ∈ self }`.
+    pub fn image(&self, s: &NodeSet) -> NodeSet {
+        assert_eq!(self.n, s.universe());
+        let mut out = NodeSet::empty(self.n);
+        for x in s.iter() {
+            let src = self.row(x.index());
+            for (d, s) in out.bits.iter_mut().zip(src) {
+                *d |= s;
+            }
+        }
+        out
+    }
+
+    /// The domain of the relation: `{ x | ∃y. (x, y) ∈ self }`.
+    pub fn domain(&self) -> NodeSet {
+        let mut out = NodeSet::empty(self.n);
+        for i in 0..self.n {
+            if self.row(i).iter().any(|&w| w != 0) {
+                out.insert(NodeId(i as u32));
+            }
+        }
+        out
+    }
+
+    /// The codomain (range) of the relation.
+    pub fn codomain(&self) -> NodeSet {
+        let mut out = NodeSet::empty(self.n);
+        for i in 0..self.n {
+            for (d, s) in out.bits.iter_mut().zip(self.row(i)) {
+                *d |= s;
+            }
+        }
+        out
+    }
+
+    /// Restricts the codomain: keeps `(x, y)` only when `y ∈ s`
+    /// (the semantics of an XPath filter `A[φ]` given `[[φ]] = s`).
+    pub fn filter_codomain(&mut self, s: &NodeSet) {
+        assert_eq!(self.n, s.universe());
+        for i in 0..self.n {
+            let row = &mut self.bits[i * self.row_words..(i + 1) * self.row_words];
+            for (d, m) in row.iter_mut().zip(&s.bits) {
+                *d &= m;
+            }
+        }
+    }
+
+    /// Restricts the domain: keeps `(x, y)` only when `x ∈ s`.
+    pub fn filter_domain(&mut self, s: &NodeSet) {
+        assert_eq!(self.n, s.universe());
+        for i in 0..self.n {
+            if !s.contains(NodeId(i as u32)) {
+                let row = &mut self.bits[i * self.row_words..(i + 1) * self.row_words];
+                for d in row.iter_mut() {
+                    *d = 0;
+                }
+            }
+        }
+    }
+
+    /// Builds the diagonal relation `{(x, x) | x ∈ s}` (the `?φ` test).
+    pub fn diagonal(s: &NodeSet) -> BitMatrix {
+        let mut m = BitMatrix::empty(s.universe());
+        for x in s.iter() {
+            m.set(x, x);
+        }
+        m
+    }
+
+    /// Iterates over all pairs in the relation.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            SetBitsIter::new(self.row(i)).map(move |j| (NodeId(i as u32), NodeId(j as u32)))
+        })
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.pairs()).finish()
+    }
+}
+
+/// Iterator over set bit positions of a word slice.
+struct SetBitsIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> SetBitsIter<'a> {
+    fn new(words: &'a [u64]) -> Self {
+        SetBitsIter {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Iterator for SetBitsIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn set_basics() {
+        let mut s = NodeSet::empty(100);
+        assert!(s.is_empty());
+        assert!(s.insert(nid(3)));
+        assert!(!s.insert(nid(3)));
+        assert!(s.insert(nid(99)));
+        assert!(s.contains(nid(3)));
+        assert!(!s.contains(nid(4)));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.to_vec(), vec![nid(3), nid(99)]);
+        assert!(s.remove(nid(3)));
+        assert!(!s.remove(nid(3)));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let n = 70;
+        let a = NodeSet::from_iter(n, [nid(1), nid(2), nid(65)]);
+        let b = NodeSet::from_iter(n, [nid(2), nid(3)]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 4);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![nid(2)]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![nid(1), nid(65)]);
+        let mut c = a.clone();
+        c.complement();
+        assert_eq!(c.count(), n - 3);
+        assert!(i.is_subset(&a));
+        assert!(a.intersects(&b));
+        assert!(!i.intersects(&d));
+    }
+
+    #[test]
+    fn full_trims_excess_bits() {
+        let s = NodeSet::full(65);
+        assert_eq!(s.count(), 65);
+        let mut e = NodeSet::empty(65);
+        e.complement();
+        assert_eq!(e, s);
+    }
+
+    #[test]
+    fn matrix_compose_star() {
+        // chain relation 0->1->2->3 on 4 nodes
+        let mut m = BitMatrix::empty(4);
+        for i in 0..3 {
+            m.set(nid(i), nid(i + 1));
+        }
+        let m2 = m.compose(&m);
+        assert!(m2.get(nid(0), nid(2)));
+        assert!(!m2.get(nid(0), nid(1)));
+        let s = m.star();
+        assert!(s.get(nid(0), nid(0)));
+        assert!(s.get(nid(0), nid(3)));
+        assert!(!s.get(nid(3), nid(0)));
+        let p = m.plus();
+        assert!(!p.get(nid(0), nid(0)));
+        assert!(p.get(nid(0), nid(3)));
+        assert_eq!(p.count(), 6);
+    }
+
+    #[test]
+    fn matrix_image_domain() {
+        let mut m = BitMatrix::empty(5);
+        m.set(nid(0), nid(2));
+        m.set(nid(0), nid(3));
+        m.set(nid(1), nid(4));
+        let img = m.image(&NodeSet::singleton(5, nid(0)));
+        assert_eq!(img.to_vec(), vec![nid(2), nid(3)]);
+        assert_eq!(m.domain().to_vec(), vec![nid(0), nid(1)]);
+        assert_eq!(m.codomain().to_vec(), vec![nid(2), nid(3), nid(4)]);
+        let t = m.transpose();
+        assert!(t.get(nid(2), nid(0)));
+        assert_eq!(t.count(), 3);
+    }
+
+    #[test]
+    fn matrix_filters_and_diag() {
+        let mut m = BitMatrix::full(4);
+        let s = NodeSet::from_iter(4, [nid(1), nid(2)]);
+        m.filter_codomain(&s);
+        assert_eq!(m.count(), 8);
+        m.filter_domain(&s);
+        assert_eq!(m.count(), 4);
+        let d = BitMatrix::diagonal(&s);
+        assert!(d.get(nid(1), nid(1)));
+        assert!(!d.get(nid(1), nid(2)));
+        assert_eq!(d.count(), 2);
+    }
+
+    #[test]
+    fn matrix_complement_trims() {
+        let mut m = BitMatrix::empty(65);
+        m.complement();
+        assert_eq!(m.count(), 65 * 65);
+    }
+}

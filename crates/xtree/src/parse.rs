@@ -1,0 +1,405 @@
+//! Parsers: a well-formed subset of XML, and s-expressions.
+//!
+//! The XML subset covers what the paper's data model can see: element
+//! structure. Text content is skipped ("we are too blind to see actual text
+//! content"); attributes are either skipped or, with
+//! [`XmlOptions::attributes_as_children`], rendered as extra children
+//! labelled `@name=value` — the slide deck's "attribute-value pairs are a
+//! special kind of children" convention.
+
+use crate::alphabet::Alphabet;
+use crate::builder::TreeBuilder;
+use crate::tree::{Document, Tree};
+use std::fmt;
+
+/// A parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(offset: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        offset,
+        message: message.into(),
+    })
+}
+
+/// Options for the XML parser.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XmlOptions {
+    /// Render each attribute `name="value"` as a leaf child labelled
+    /// `@name=value`, prepended before the element children.
+    pub attributes_as_children: bool,
+}
+
+/// Parses an XML document into a [`Document`] with a fresh alphabet.
+pub fn parse_xml(input: &str) -> Result<Document, ParseError> {
+    let mut alphabet = Alphabet::new();
+    let tree = parse_xml_with(input, &mut alphabet, XmlOptions::default())?;
+    Ok(Document::new(tree, alphabet))
+}
+
+/// Parses an XML document, interning labels into an existing alphabet.
+pub fn parse_xml_with(
+    input: &str,
+    alphabet: &mut Alphabet,
+    options: XmlOptions,
+) -> Result<Tree, ParseError> {
+    XmlParser {
+        input: input.as_bytes(),
+        pos: 0,
+        alphabet,
+        options,
+    }
+    .parse()
+}
+
+struct XmlParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    alphabet: &'a mut Alphabet,
+    options: XmlOptions,
+}
+
+impl XmlParser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips text, comments, processing instructions and doctype between
+    /// elements.
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            // text content (skipped)
+            while self.peek().is_some_and(|c| c != b'<') {
+                self.pos += 1;
+            }
+            if self.starts_with("<!--") {
+                match find(self.input, self.pos + 4, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return err(self.pos, "unterminated comment"),
+                }
+            } else if self.starts_with("<?") {
+                match find(self.input, self.pos + 2, b"?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return err(self.pos, "unterminated processing instruction"),
+                }
+            } else if self.starts_with("<!") {
+                match find(self.input, self.pos + 2, b">") {
+                    Some(end) => self.pos = end + 1,
+                    None => return err(self.pos, "unterminated declaration"),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return err(start, "expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn parse(mut self) -> Result<Tree, ParseError> {
+        let mut builder = TreeBuilder::new();
+        self.skip_misc()?;
+        if self.peek() != Some(b'<') {
+            return err(self.pos, "expected root element");
+        }
+        self.element(&mut builder)?;
+        self.skip_misc()?;
+        if self.pos != self.input.len() {
+            return err(self.pos, "trailing content after root element");
+        }
+        Ok(builder.finish())
+    }
+
+    fn element(&mut self, builder: &mut TreeBuilder) -> Result<(), ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        self.pos += 1;
+        let name = self.name()?;
+        let label = self.alphabet.intern(&name);
+        builder.open(label);
+
+        // attributes
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') => break,
+                Some(_) => {
+                    let attr = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return err(self.pos, "expected '=' in attribute");
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return err(self.pos, "expected quoted attribute value"),
+                    };
+                    self.pos += 1;
+                    let vstart = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return err(self.pos, "unterminated attribute value");
+                    }
+                    let value =
+                        String::from_utf8_lossy(&self.input[vstart..self.pos]).into_owned();
+                    self.pos += 1;
+                    if self.options.attributes_as_children {
+                        let l = self.alphabet.intern(&format!("@{attr}={value}"));
+                        builder.leaf(l);
+                    }
+                }
+                None => return err(self.pos, "unexpected end of input in tag"),
+            }
+        }
+
+        if self.peek() == Some(b'/') {
+            // self-closing
+            self.pos += 1;
+            if self.peek() != Some(b'>') {
+                return err(self.pos, "expected '>' after '/'");
+            }
+            self.pos += 1;
+            builder.close();
+            return Ok(());
+        }
+        debug_assert_eq!(self.peek(), Some(b'>'));
+        self.pos += 1;
+
+        // children
+        loop {
+            self.skip_misc()?;
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != name {
+                    return err(
+                        self.pos,
+                        format!("mismatched closing tag: expected </{name}>, got </{close}>"),
+                    );
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return err(self.pos, "expected '>' in closing tag");
+                }
+                self.pos += 1;
+                builder.close();
+                return Ok(());
+            }
+            if self.peek() == Some(b'<') {
+                self.element(builder)?;
+            } else {
+                return err(self.pos, format!("unterminated element <{name}>"));
+            }
+        }
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from > haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| i + from)
+}
+
+/// Parses an s-expression tree: `(label child child ...)`, where a bare
+/// `label` abbreviates a leaf `(label)`.
+pub fn parse_sexp(input: &str) -> Result<Document, ParseError> {
+    let mut alphabet = Alphabet::new();
+    let tree = parse_sexp_with(input, &mut alphabet)?;
+    Ok(Document::new(tree, alphabet))
+}
+
+/// Parses an s-expression tree, interning labels into an existing alphabet.
+pub fn parse_sexp_with(input: &str, alphabet: &mut Alphabet) -> Result<Tree, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut builder = TreeBuilder::new();
+    sexp_node(bytes, &mut pos, alphabet, &mut builder)?;
+    skip_sexp_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return err(pos, "trailing content after tree");
+    }
+    Ok(builder.finish())
+}
+
+fn skip_sexp_ws(bytes: &[u8], pos: &mut usize) {
+    while bytes
+        .get(*pos)
+        .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))
+    {
+        *pos += 1;
+    }
+}
+
+fn sexp_atom(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    let start = *pos;
+    while bytes
+        .get(*pos)
+        .is_some_and(|c| !matches!(c, b'(' | b')' | b' ' | b'\t' | b'\r' | b'\n'))
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return err(start, "expected a label");
+    }
+    Ok(String::from_utf8_lossy(&bytes[start..*pos]).into_owned())
+}
+
+fn sexp_node(
+    bytes: &[u8],
+    pos: &mut usize,
+    alphabet: &mut Alphabet,
+    builder: &mut TreeBuilder,
+) -> Result<(), ParseError> {
+    skip_sexp_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'(') => {
+            *pos += 1;
+            skip_sexp_ws(bytes, pos);
+            let name = sexp_atom(bytes, pos)?;
+            let label = alphabet.intern(&name);
+            builder.open(label);
+            loop {
+                skip_sexp_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b')') => {
+                        *pos += 1;
+                        builder.close();
+                        return Ok(());
+                    }
+                    Some(_) => sexp_node(bytes, pos, alphabet, builder)?,
+                    None => return err(*pos, "unterminated '('"),
+                }
+            }
+        }
+        Some(_) => {
+            let name = sexp_atom(bytes, pos)?;
+            let label = alphabet.intern(&name);
+            builder.leaf(label);
+            Ok(())
+        }
+        None => err(*pos, "expected a tree"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::children;
+
+    #[test]
+    fn xml_example_document() {
+        // The slide deck's example document.
+        let doc = parse_xml(
+            r#"<?xml version="1.0" encoding="UTF-8"?>
+            <talk date="15-Dec-2010">
+              <speaker uni="Leicester">T. Litak</speaker>
+              <title><i>XPath</i> from a Logical Point of View</title>
+              <location><i>ATT LT3</i><b>Leicester</b></location>
+            </talk>"#,
+        )
+        .unwrap();
+        let t = &doc.tree;
+        assert_eq!(t.len(), 7);
+        assert_eq!(doc.label_name(t.root()), "talk");
+        let kids: Vec<_> = children(t, t.root()).map(|v| doc.label_name(v)).collect();
+        assert_eq!(kids, ["speaker", "title", "location"]);
+    }
+
+    #[test]
+    fn xml_attributes_as_children() {
+        let mut ab = Alphabet::new();
+        let t = parse_xml_with(
+            r#"<talk date="now"><speaker uni="X"/></talk>"#,
+            &mut ab,
+            XmlOptions {
+                attributes_as_children: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(t.len(), 4);
+        let names: Vec<_> = t.nodes().map(|v| ab.name(t.label(v))).collect();
+        assert_eq!(names, ["talk", "@date=now", "speaker", "@uni=X"]);
+    }
+
+    #[test]
+    fn xml_self_closing_and_comments() {
+        let doc = parse_xml("<!-- hi --><a><b/><!-- there --><c/></a>").unwrap();
+        assert_eq!(doc.tree.len(), 3);
+    }
+
+    #[test]
+    fn xml_errors() {
+        assert!(parse_xml("<a><b></a>").is_err());
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("<a></a><b></b>").is_err());
+        assert!(parse_xml("").is_err());
+        assert!(parse_xml("<a x=></a>").is_err());
+        assert!(parse_xml("<!-- unterminated").is_err());
+    }
+
+    #[test]
+    fn sexp_round() {
+        let doc = parse_sexp("(a (b d e) c)").unwrap();
+        let t = &doc.tree;
+        assert_eq!(t.len(), 5);
+        assert_eq!(doc.label_name(t.root()), "a");
+        let kids: Vec<_> = children(t, t.root()).map(|v| doc.label_name(v)).collect();
+        assert_eq!(kids, ["b", "c"]);
+    }
+
+    #[test]
+    fn sexp_bare_leaf() {
+        let doc = parse_sexp("  x  ").unwrap();
+        assert_eq!(doc.tree.len(), 1);
+        assert_eq!(doc.label_name(doc.tree.root()), "x");
+    }
+
+    #[test]
+    fn sexp_errors() {
+        assert!(parse_sexp("(a (b)").is_err());
+        assert!(parse_sexp("(a) (b)").is_err());
+        assert!(parse_sexp("()").is_err());
+        assert!(parse_sexp("").is_err());
+    }
+}

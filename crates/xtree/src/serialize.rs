@@ -1,0 +1,118 @@
+//! Serializers: XML, s-expressions, Graphviz DOT.
+
+use crate::alphabet::Alphabet;
+use crate::tree::{NodeId, Tree};
+use std::fmt::Write;
+
+/// Serializes `t` as XML (no text content; empty elements self-close).
+pub fn to_xml(t: &Tree, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    xml_node(t, alphabet, t.root(), &mut out);
+    out
+}
+
+fn xml_node(t: &Tree, ab: &Alphabet, v: NodeId, out: &mut String) {
+    let name = ab.name(t.label(v));
+    if t.is_leaf(v) {
+        let _ = write!(out, "<{name}/>");
+        return;
+    }
+    let _ = write!(out, "<{name}>");
+    let mut c = t.first_child(v);
+    while let Some(u) = c {
+        xml_node(t, ab, u, out);
+        c = t.next_sibling(u);
+    }
+    let _ = write!(out, "</{name}>");
+}
+
+/// Serializes `t` as an s-expression: `(label child ...)`; leaves print bare.
+pub fn to_sexp(t: &Tree, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    sexp_node(t, alphabet, t.root(), &mut out, true);
+    out
+}
+
+fn sexp_node(t: &Tree, ab: &Alphabet, v: NodeId, out: &mut String, is_root: bool) {
+    let name = ab.name(t.label(v));
+    if t.is_leaf(v) && !is_root {
+        out.push_str(name);
+        return;
+    }
+    let _ = write!(out, "({name}");
+    let mut c = t.first_child(v);
+    while let Some(u) = c {
+        out.push(' ');
+        sexp_node(t, ab, u, out, false);
+        c = t.next_sibling(u);
+    }
+    out.push(')');
+}
+
+/// Serializes `t` as a Graphviz DOT digraph (child edges solid, next-sibling
+/// edges dashed), for debugging and documentation figures.
+pub fn to_dot(t: &Tree, alphabet: &Alphabet) -> String {
+    let mut out = String::from("digraph tree {\n  node [shape=circle];\n");
+    for v in t.nodes() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            v.0,
+            alphabet.name(t.label(v))
+        );
+    }
+    for v in t.nodes() {
+        if let Some(c) = t.first_child(v) {
+            let _ = writeln!(out, "  n{} -> n{};", v.0, c.0);
+            let mut s = t.next_sibling(c);
+            let mut prev = c;
+            while let Some(u) = s {
+                let _ = writeln!(out, "  n{} -> n{};", v.0, u.0);
+                let _ = writeln!(out, "  n{} -> n{} [style=dashed, constraint=false];", prev.0, u.0);
+                prev = u;
+                s = t.next_sibling(u);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_sexp, parse_xml};
+
+    #[test]
+    fn xml_roundtrip() {
+        let doc = parse_xml("<a><b><d/><e/></b><c/></a>").unwrap();
+        let xml = to_xml(&doc.tree, &doc.alphabet);
+        assert_eq!(xml, "<a><b><d/><e/></b><c/></a>");
+        let doc2 = parse_xml(&xml).unwrap();
+        assert_eq!(doc2.tree, doc.tree);
+    }
+
+    #[test]
+    fn sexp_roundtrip() {
+        let doc = parse_sexp("(a (b d e) c)").unwrap();
+        let s = to_sexp(&doc.tree, &doc.alphabet);
+        assert_eq!(s, "(a (b d e) c)");
+        let doc2 = parse_sexp(&s).unwrap();
+        assert_eq!(doc2.tree, doc.tree);
+    }
+
+    #[test]
+    fn singleton_sexp() {
+        let doc = parse_sexp("x").unwrap();
+        assert_eq!(to_sexp(&doc.tree, &doc.alphabet), "(x)");
+    }
+
+    #[test]
+    fn dot_mentions_all_nodes() {
+        let doc = parse_sexp("(a b c)").unwrap();
+        let dot = to_dot(&doc.tree, &doc.alphabet);
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n0 -> n2"));
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Traversal iterators covering all XPath axes.
+//!
+//! Every iterator is allocation-free except [`postorder`], which keeps an
+//! explicit stack. Document-order invariants: [`descendants`] and
+//! [`preorder`] yield ids in increasing order; [`ancestors`] in decreasing
+//! order.
+
+use crate::tree::{NodeId, Tree};
+
+/// Iterates over the children of `v`, left to right (the `↓` axis image).
+pub fn children(t: &Tree, v: NodeId) -> ChildIter<'_> {
+    ChildIter {
+        tree: t,
+        next: t.first_child(v),
+    }
+}
+
+/// Iterator over children, left to right.
+pub struct ChildIter<'a> {
+    tree: &'a Tree,
+    next: Option<NodeId>,
+}
+
+impl Iterator for ChildIter<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let v = self.next?;
+        self.next = self.tree.next_sibling(v);
+        Some(v)
+    }
+}
+
+/// Iterates over the children of `v`, right to left.
+pub fn children_rev(t: &Tree, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+    let mut next = t.last_child(v);
+    std::iter::from_fn(move || {
+        let v = next?;
+        next = t.prev_sibling(v);
+        Some(v)
+    })
+}
+
+/// Iterates over the strict ancestors of `v`, nearest first (`↑⁺`).
+pub fn ancestors(t: &Tree, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+    let mut next = t.parent(v);
+    std::iter::from_fn(move || {
+        let v = next?;
+        next = t.parent(v);
+        Some(v)
+    })
+}
+
+/// Iterates over `v` followed by its strict ancestors (`↑*`).
+pub fn ancestors_or_self(t: &Tree, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+    std::iter::once(v).chain(ancestors(t, v))
+}
+
+/// Iterates over the strict descendants of `v` in document order (`↓⁺`).
+///
+/// Exploits the preorder-id invariant: the subtree of `v` is the contiguous
+/// id range `v+1 .. subtree_end(v)`.
+pub fn descendants(t: &Tree, v: NodeId) -> impl Iterator<Item = NodeId> {
+    (v.0 + 1..t.subtree_end(v)).map(NodeId)
+}
+
+/// Iterates over `v` and its descendants in document order (`↓*`).
+pub fn descendants_or_self(t: &Tree, v: NodeId) -> impl Iterator<Item = NodeId> {
+    (v.0..t.subtree_end(v)).map(NodeId)
+}
+
+/// Iterates over the following siblings of `v`, nearest first (`→⁺`).
+pub fn following_siblings(t: &Tree, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+    let mut next = t.next_sibling(v);
+    std::iter::from_fn(move || {
+        let v = next?;
+        next = t.next_sibling(v);
+        Some(v)
+    })
+}
+
+/// Iterates over the preceding siblings of `v`, nearest first (`←⁺`).
+pub fn preceding_siblings(t: &Tree, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+    let mut next = t.prev_sibling(v);
+    std::iter::from_fn(move || {
+        let v = next?;
+        next = t.prev_sibling(v);
+        Some(v)
+    })
+}
+
+/// All nodes in document (pre-)order. With preorder ids this is just the
+/// id range.
+pub fn preorder(t: &Tree) -> impl Iterator<Item = NodeId> {
+    t.nodes()
+}
+
+/// All nodes in postorder (children before parents, siblings left to right).
+pub fn postorder(t: &Tree) -> Postorder<'_> {
+    Postorder {
+        tree: t,
+        stack: vec![(t.root(), false)],
+    }
+}
+
+/// Iterator produced by [`postorder`].
+pub struct Postorder<'a> {
+    tree: &'a Tree,
+    stack: Vec<(NodeId, bool)>,
+}
+
+impl Iterator for Postorder<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        while let Some((v, expanded)) = self.stack.pop() {
+            if expanded {
+                return Some(v);
+            }
+            self.stack.push((v, true));
+            // push children reversed so the leftmost is processed first
+            let mut c = self.tree.last_child(v);
+            while let Some(u) = c {
+                self.stack.push((u, false));
+                c = self.tree.prev_sibling(u);
+            }
+        }
+        None
+    }
+}
+
+/// The XPath `following` axis: nodes strictly after `v` in document order
+/// that are not descendants of `v`.
+pub fn following(t: &Tree, v: NodeId) -> impl Iterator<Item = NodeId> {
+    (t.subtree_end(v)..t.len() as u32).map(NodeId)
+}
+
+/// The XPath `preceding` axis: nodes strictly before `v` in document order
+/// that are not ancestors of `v`.
+pub fn preceding<'a>(t: &'a Tree, v: NodeId) -> impl Iterator<Item = NodeId> + 'a {
+    (0..v.0).map(NodeId).filter(move |&u| !t.is_ancestor(u, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Label;
+    use crate::builder::TreeBuilder;
+
+    /// (a (b (d) (e)) (c (f)))  — ids: a=0 b=1 d=2 e=3 c=4 f=5
+    fn sample() -> Tree {
+        let mut b = TreeBuilder::new();
+        b.open(Label(0));
+        b.open(Label(1));
+        b.leaf(Label(3));
+        b.leaf(Label(4));
+        b.close();
+        b.open(Label(2));
+        b.leaf(Label(5));
+        b.close();
+        b.close();
+        b.finish()
+    }
+
+    fn ids<I: Iterator<Item = NodeId>>(it: I) -> Vec<u32> {
+        it.map(|v| v.0).collect()
+    }
+
+    #[test]
+    fn children_both_directions() {
+        let t = sample();
+        assert_eq!(ids(children(&t, NodeId(0))), vec![1, 4]);
+        assert_eq!(ids(children_rev(&t, NodeId(0))), vec![4, 1]);
+        assert_eq!(ids(children(&t, NodeId(2))), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn ancestor_axes() {
+        let t = sample();
+        assert_eq!(ids(ancestors(&t, NodeId(5))), vec![4, 0]);
+        assert_eq!(ids(ancestors_or_self(&t, NodeId(5))), vec![5, 4, 0]);
+        assert_eq!(ids(ancestors(&t, NodeId(0))), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn descendant_axes() {
+        let t = sample();
+        assert_eq!(ids(descendants(&t, NodeId(0))), vec![1, 2, 3, 4, 5]);
+        assert_eq!(ids(descendants(&t, NodeId(1))), vec![2, 3]);
+        assert_eq!(ids(descendants_or_self(&t, NodeId(4))), vec![4, 5]);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let t = sample();
+        assert_eq!(ids(following_siblings(&t, NodeId(1))), vec![4]);
+        assert_eq!(ids(preceding_siblings(&t, NodeId(4))), vec![1]);
+        assert_eq!(ids(following_siblings(&t, NodeId(4))), Vec::<u32>::new());
+        assert_eq!(ids(following_siblings(&t, NodeId(2))), vec![3]);
+    }
+
+    #[test]
+    fn orders() {
+        let t = sample();
+        assert_eq!(ids(preorder(&t)), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(ids(postorder(&t)), vec![2, 3, 1, 5, 4, 0]);
+    }
+
+    #[test]
+    fn document_axes() {
+        let t = sample();
+        assert_eq!(ids(following(&t, NodeId(1))), vec![4, 5]);
+        assert_eq!(ids(following(&t, NodeId(3))), vec![4, 5]);
+        assert_eq!(ids(preceding(&t, NodeId(4))), vec![1, 2, 3]);
+        assert_eq!(ids(preceding(&t, NodeId(5))), vec![1, 2, 3]);
+        assert_eq!(ids(preceding(&t, NodeId(2))), vec![]);
+    }
+}

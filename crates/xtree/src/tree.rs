@@ -1,0 +1,448 @@
+//! Arena representation of sibling-ordered labelled trees.
+//!
+//! Node ids are dense `u32` indices assigned in **document order**
+//! (preorder): the root is node 0, and every node's id is smaller than the
+//! ids of all nodes in its subtree and of all its following siblings'
+//! subtrees. Several evaluators rely on this invariant (documented on
+//! [`Tree`]); [`Tree::validate`] checks it.
+
+use crate::alphabet::{Alphabet, Label};
+use std::fmt;
+
+/// A node identifier: a dense index into the tree arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+const NONE: u32 = u32::MAX;
+
+#[inline]
+fn opt(raw: u32) -> Option<NodeId> {
+    if raw == NONE {
+        None
+    } else {
+        Some(NodeId(raw))
+    }
+}
+
+/// A finite sibling-ordered labelled tree.
+///
+/// Invariants:
+/// * non-empty: there is always a root, node `0`;
+/// * node ids are assigned in preorder (document order);
+/// * the five link arrays are mutually consistent.
+///
+/// Links are stored struct-of-arrays for cache locality; all navigation
+/// accessors are O(1).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Tree {
+    labels: Vec<Label>,
+    parent: Vec<u32>,
+    first_child: Vec<u32>,
+    last_child: Vec<u32>,
+    next_sib: Vec<u32>,
+    prev_sib: Vec<u32>,
+    /// depth[v] = number of edges from the root (root has depth 0).
+    depth: Vec<u32>,
+}
+
+impl Tree {
+    /// Creates a single-node tree.
+    pub fn leaf(label: Label) -> Self {
+        Tree {
+            labels: vec![label],
+            parent: vec![NONE],
+            first_child: vec![NONE],
+            last_child: vec![NONE],
+            next_sib: vec![NONE],
+            prev_sib: vec![NONE],
+            depth: vec![0],
+        }
+    }
+
+    pub(crate) fn from_parts(
+        labels: Vec<Label>,
+        parent: Vec<u32>,
+        first_child: Vec<u32>,
+        last_child: Vec<u32>,
+        next_sib: Vec<u32>,
+        prev_sib: Vec<u32>,
+        depth: Vec<u32>,
+    ) -> Self {
+        let t = Tree {
+            labels,
+            parent,
+            first_child,
+            last_child,
+            next_sib,
+            prev_sib,
+            depth,
+        };
+        debug_assert!(t.validate().is_ok(), "inconsistent tree arena");
+        t
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Trees are never empty, but the method exists for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root node (always id 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The label of `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// The parent of `v`, if any.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        opt(self.parent[v.index()])
+    }
+
+    /// The first (leftmost) child of `v`, if any.
+    #[inline]
+    pub fn first_child(&self, v: NodeId) -> Option<NodeId> {
+        opt(self.first_child[v.index()])
+    }
+
+    /// The last (rightmost) child of `v`, if any.
+    #[inline]
+    pub fn last_child(&self, v: NodeId) -> Option<NodeId> {
+        opt(self.last_child[v.index()])
+    }
+
+    /// The next sibling of `v` (the `→` axis), if any.
+    #[inline]
+    pub fn next_sibling(&self, v: NodeId) -> Option<NodeId> {
+        opt(self.next_sib[v.index()])
+    }
+
+    /// The previous sibling of `v` (the `←` axis), if any.
+    #[inline]
+    pub fn prev_sibling(&self, v: NodeId) -> Option<NodeId> {
+        opt(self.prev_sib[v.index()])
+    }
+
+    /// Depth of `v` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// Whether `v` is the root.
+    #[inline]
+    pub fn is_root(&self, v: NodeId) -> bool {
+        self.parent[v.index()] == NONE
+    }
+
+    /// Whether `v` has no children.
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.first_child[v.index()] == NONE
+    }
+
+    /// Whether `v` is a first child (or the root).
+    #[inline]
+    pub fn is_first_sibling(&self, v: NodeId) -> bool {
+        self.prev_sib[v.index()] == NONE
+    }
+
+    /// Whether `v` is a last child (or the root).
+    #[inline]
+    pub fn is_last_sibling(&self, v: NodeId) -> bool {
+        self.next_sib[v.index()] == NONE
+    }
+
+    /// Iterates over all nodes in document order.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u32).map(NodeId)
+    }
+
+    /// Number of children of `v` (O(#children)).
+    pub fn arity(&self, v: NodeId) -> usize {
+        let mut n = 0;
+        let mut c = self.first_child(v);
+        while let Some(u) = c {
+            n += 1;
+            c = self.next_sibling(u);
+        }
+        n
+    }
+
+    /// The maximum id in the subtree rooted at `v` **plus one**; because ids
+    /// are preorder, the subtree of `v` is exactly `v.0 .. subtree_end(v)`.
+    pub fn subtree_end(&self, v: NodeId) -> u32 {
+        // Walk up from v until a node with a next sibling is found; the
+        // subtree ends right before that sibling, or at len() at the root.
+        let mut u = v;
+        loop {
+            if let Some(s) = self.next_sibling(u) {
+                return s.0;
+            }
+            match self.parent(u) {
+                Some(p) => u = p,
+                None => return self.len() as u32,
+            }
+        }
+    }
+
+    /// Whether `anc` is an ancestor of `v` (strict) — O(depth).
+    pub fn is_ancestor(&self, anc: NodeId, v: NodeId) -> bool {
+        let mut u = self.parent(v);
+        while let Some(w) = u {
+            if w == anc {
+                return true;
+            }
+            u = self.parent(w);
+        }
+        false
+    }
+
+    /// Extracts the subtree rooted at `v` as a fresh tree (node ids are
+    /// renumbered in preorder). Used by the `W` (within) operator.
+    pub fn subtree(&self, v: NodeId) -> Tree {
+        let start = v.0;
+        let end = self.subtree_end(v);
+        let n = (end - start) as usize;
+        let remap = |raw: u32| -> u32 {
+            if raw == NONE || raw < start || raw >= end {
+                NONE
+            } else {
+                raw - start
+            }
+        };
+        let mut labels = Vec::with_capacity(n);
+        let mut parent = Vec::with_capacity(n);
+        let mut first_child = Vec::with_capacity(n);
+        let mut last_child = Vec::with_capacity(n);
+        let mut next_sib = Vec::with_capacity(n);
+        let mut prev_sib = Vec::with_capacity(n);
+        let mut depth = Vec::with_capacity(n);
+        let base_depth = self.depth[v.index()];
+        for i in start..end {
+            let i = i as usize;
+            labels.push(self.labels[i]);
+            parent.push(remap(self.parent[i]));
+            first_child.push(remap(self.first_child[i]));
+            last_child.push(remap(self.last_child[i]));
+            // Siblings of v itself are outside the subtree; remap handles it.
+            next_sib.push(remap(self.next_sib[i]));
+            prev_sib.push(remap(self.prev_sib[i]));
+            depth.push(self.depth[i] - base_depth);
+        }
+        Tree::from_parts(labels, parent, first_child, last_child, next_sib, prev_sib, depth)
+    }
+
+    /// Checks all arena invariants; returns a description of the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.len();
+        if n == 0 {
+            return Err("empty tree".into());
+        }
+        let arrays = [
+            ("parent", &self.parent),
+            ("first_child", &self.first_child),
+            ("last_child", &self.last_child),
+            ("next_sib", &self.next_sib),
+            ("prev_sib", &self.prev_sib),
+        ];
+        for (name, arr) in arrays {
+            if arr.len() != n {
+                return Err(format!("{name} length {} != {n}", arr.len()));
+            }
+            for (i, &x) in arr.iter().enumerate() {
+                if x != NONE && x as usize >= n {
+                    return Err(format!("{name}[{i}] = {x} out of range"));
+                }
+            }
+        }
+        if self.depth.len() != n {
+            return Err("depth length mismatch".into());
+        }
+        if self.parent[0] != NONE {
+            return Err("node 0 is not a root".into());
+        }
+        for i in 1..n {
+            if self.parent[i] == NONE {
+                return Err(format!("node {i} has no parent (forest?)"));
+            }
+        }
+        for v in self.nodes() {
+            let i = v.index();
+            // preorder: parent < child, prev_sib < node < next_sib
+            if let Some(p) = self.parent(v) {
+                if p.0 >= v.0 {
+                    return Err(format!("parent {p:?} >= child {v:?} (not preorder)"));
+                }
+                if self.depth[i] != self.depth[p.index()] + 1 {
+                    return Err(format!("depth[{v:?}] inconsistent"));
+                }
+            } else if self.depth[i] != 0 {
+                return Err("root depth != 0".into());
+            }
+            if let Some(c) = self.first_child(v) {
+                if self.parent(c) != Some(v) {
+                    return Err(format!("first_child link broken at {v:?}"));
+                }
+                if c.0 != v.0 + 1 {
+                    return Err(format!("first child of {v:?} is not v+1 (not preorder)"));
+                }
+                if self.prev_sibling(c).is_some() {
+                    return Err(format!("first child {c:?} has a prev sibling"));
+                }
+            }
+            if let Some(c) = self.last_child(v) {
+                if self.parent(c) != Some(v) {
+                    return Err(format!("last_child link broken at {v:?}"));
+                }
+                if self.next_sibling(c).is_some() {
+                    return Err(format!("last child {c:?} has a next sibling"));
+                }
+            }
+            if self.first_child(v).is_some() != self.last_child(v).is_some() {
+                return Err(format!("first/last child mismatch at {v:?}"));
+            }
+            if let Some(s) = self.next_sibling(v) {
+                if self.prev_sibling(s) != Some(v) {
+                    return Err(format!("sibling links broken at {v:?}"));
+                }
+                if self.parent(s) != self.parent(v) {
+                    return Err(format!("siblings {v:?},{s:?} have different parents"));
+                }
+                if s.0 != self.subtree_end(v) {
+                    return Err(format!("next sibling of {v:?} is not subtree_end (not preorder)"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tree({} nodes)", self.len())
+    }
+}
+
+/// A tree bundled with the alphabet its labels were interned in —
+/// the convenient unit for parsing and printing documents.
+#[derive(Clone, Debug)]
+pub struct Document {
+    /// The tree structure.
+    pub tree: Tree,
+    /// The label space of `tree` (and of queries run against it).
+    pub alphabet: Alphabet,
+}
+
+impl Document {
+    /// Bundles a tree with its alphabet.
+    pub fn new(tree: Tree, alphabet: Alphabet) -> Self {
+        Document { tree, alphabet }
+    }
+
+    /// The name of the label of `v`.
+    pub fn label_name(&self, v: NodeId) -> &str {
+        self.alphabet.name(self.tree.label(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+
+    fn sample() -> Tree {
+        // (a (b (d) (e)) (c))
+        let mut b = TreeBuilder::new();
+        b.open(Label(0));
+        b.open(Label(1));
+        b.open(Label(3));
+        b.close();
+        b.open(Label(4));
+        b.close();
+        b.close();
+        b.open(Label(2));
+        b.close();
+        b.close();
+        b.finish()
+    }
+
+    #[test]
+    fn navigation() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        let root = t.root();
+        assert!(t.is_root(root));
+        let b = t.first_child(root).unwrap();
+        assert_eq!(t.label(b), Label(1));
+        let c = t.next_sibling(b).unwrap();
+        assert_eq!(t.label(c), Label(2));
+        assert_eq!(t.last_child(root), Some(c));
+        assert_eq!(t.prev_sibling(c), Some(b));
+        assert!(t.is_leaf(c));
+        assert!(t.is_last_sibling(c));
+        assert!(t.is_first_sibling(b));
+        let d = t.first_child(b).unwrap();
+        assert_eq!(t.depth(d), 2);
+        assert!(t.is_ancestor(root, d));
+        assert!(t.is_ancestor(b, d));
+        assert!(!t.is_ancestor(c, d));
+        assert!(!t.is_ancestor(d, d));
+    }
+
+    #[test]
+    fn subtree_ranges() {
+        let t = sample();
+        let b = t.first_child(t.root()).unwrap();
+        assert_eq!(t.subtree_end(b), 4);
+        assert_eq!(t.subtree_end(t.root()), 5);
+        let sub = t.subtree(b);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.label(sub.root()), Label(1));
+        assert!(sub.validate().is_ok());
+        assert_eq!(sub.arity(sub.root()), 2);
+    }
+
+    #[test]
+    fn arity_counts_children() {
+        let t = sample();
+        assert_eq!(t.arity(t.root()), 2);
+        let b = t.first_child(t.root()).unwrap();
+        assert_eq!(t.arity(b), 2);
+        let c = t.last_child(t.root()).unwrap();
+        assert_eq!(t.arity(c), 0);
+    }
+
+    #[test]
+    fn validate_accepts_leaf() {
+        assert!(Tree::leaf(Label(7)).validate().is_ok());
+    }
+}

@@ -1,0 +1,73 @@
+//! Axis fragments and the complexity landscape.
+//!
+//! The literature classifies the query-equivalence problem of
+//! `CoreXPath(A)` by the axis set `A` (coNP / PSPACE / EXPTIME). This
+//! example classifies concrete queries, shows the derived axes
+//! (`following`, document order) defined inside the language, and uses
+//! the abbreviated W3C surface syntax end to end.
+//!
+//! ```sh
+//! cargo run --example fragments_and_complexity
+//! ```
+
+use treewalk::corexpath::abbrev::parse_abbrev;
+use treewalk::corexpath::derived;
+use treewalk::corexpath::fragment::{axes_of_path, classify};
+use treewalk::corexpath::parser::parse_path_expr;
+use treewalk::corexpath::print::path_to_string;
+use treewalk::xtree::parse::parse_xml;
+
+fn main() {
+    let mut doc = parse_xml(
+        "<library><shelf><book/><book/></shelf><shelf><book/></shelf></library>",
+    )
+    .unwrap();
+
+    println!("== fragment classification ==");
+    let queries = [
+        "down/down[book]",
+        "down+",
+        "down/down+[book]",
+        "up+/right",
+        "down/right+",
+        "down+ | right+ | left+",
+    ];
+    for q in queries {
+        let p = parse_path_expr(q, &mut doc.alphabet).unwrap();
+        let axes = axes_of_path(&p);
+        let complexity = classify(&axes);
+        println!("  {q:<28} axes {axes:?}  equivalence: {complexity:?}");
+    }
+
+    println!("\n== derived axes, defined inside the language ==");
+    for (name, p) in [
+        ("following", derived::following()),
+        ("preceding", derived::preceding()),
+        ("document-order", derived::document_order()),
+        ("to-root", derived::to_root()),
+    ] {
+        println!("  {name:<16} = {}", path_to_string(&p, &doc.alphabet));
+    }
+
+    // document order from the second book: everything after it
+    let books = parse_abbrev("//book", &mut doc.alphabet).unwrap();
+    let all_books = treewalk::corexpath::query(&doc.tree, &books, doc.tree.root());
+    let second = all_books.to_vec()[1];
+    let after = treewalk::corexpath::query(&doc.tree, &derived::following(), second);
+    println!(
+        "\nnodes following book #{} in document order: {:?}",
+        second.0,
+        after.to_vec()
+    );
+
+    println!("\n== abbreviated W3C syntax compiles to the logical core ==");
+    for q in ["/shelf/book", "//book", "/shelf[book]/..", "shelf/*"] {
+        let p = parse_abbrev(q, &mut doc.alphabet).unwrap();
+        let ans = treewalk::corexpath::query(&doc.tree, &p, doc.tree.root());
+        println!(
+            "  {q:<18} -> {:<55} answers {:?}",
+            path_to_string(&p, &doc.alphabet),
+            ans.to_vec()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: parse an XML document, run Core XPath and Regular XPath(W)
+//! queries against it, and print the answers.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use treewalk::corexpath::parser::parse_path_expr;
+use treewalk::corexpath::{eval_node, query};
+use treewalk::regxpath::parser::{parse_rnode, parse_rpath};
+use treewalk::xtree::parse::parse_xml;
+use treewalk::xtree::serialize::to_sexp;
+
+fn main() {
+    // The example document of the talk that surveys the paper's area.
+    let xml = r#"<?xml version="1.0" encoding="UTF-8"?>
+      <talk date="15-Dec-2010">
+        <speaker uni="Leicester">T. Litak</speaker>
+        <title><i>XPath</i> from a Logical Point of View</title>
+        <location><i>ATT LT3</i><b>Leicester</b></location>
+      </talk>"#;
+
+    let mut doc = parse_xml(xml).expect("well-formed XML");
+    println!("document: {}", to_sexp(&doc.tree, &doc.alphabet));
+    println!("nodes: {}\n", doc.tree.len());
+
+    // --- Core XPath ------------------------------------------------------
+    // children of the root that have an <i> child: down[<down[i]>]
+    let p = parse_path_expr("down[<down[i]>]", &mut doc.alphabet).expect("query parses");
+    let answer = query(&doc.tree, &p, doc.tree.root());
+    println!("down[<down[i]>] from the root:");
+    for v in answer.iter() {
+        println!("  node {} ({})", v.0, doc.label_name(v));
+    }
+
+    // node expression: leaves
+    let f = treewalk::corexpath::parse_node_expr("leaf", &mut doc.alphabet).unwrap();
+    let leaves = eval_node(&doc.tree, &f);
+    println!("\nleaves: {:?}", leaves.to_vec());
+
+    // --- Regular XPath(W) -------------------------------------------------
+    // Kleene star over arbitrary paths: walk down any number of levels,
+    // then require a <b>-labelled node within the current subtree.
+    let rp = parse_rpath("down*[W(<down*[b]>)]", &mut doc.alphabet).unwrap();
+    let answer = treewalk::regxpath::query(&doc.tree, &rp, doc.tree.root());
+    println!("\ndown*[W(<down*[b]>)] from the root:");
+    for v in answer.iter() {
+        println!("  node {} ({})", v.0, doc.label_name(v));
+    }
+
+    // the W operator in action: ⟨up⟩ vs W(⟨up⟩)
+    let has_parent = parse_rnode("<up>", &mut doc.alphabet).unwrap();
+    let within = parse_rnode("W(<up>)", &mut doc.alphabet).unwrap();
+    println!(
+        "\n<up> holds at {} node(s); W(<up>) at {} (every node is the root of its own subtree)",
+        treewalk::regxpath::eval_node(&doc.tree, &has_parent).count(),
+        treewalk::regxpath::eval_node(&doc.tree, &within).count(),
+    );
+}

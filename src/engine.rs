@@ -1,0 +1,160 @@
+//! A document-level query engine over the three equivalent back ends.
+//!
+//! [`Engine`] parses Regular XPath(W) queries and evaluates them through a
+//! selectable [`Backend`] — the NFA-product evaluator, the nested tree
+//! walking automaton, or the FO(MTC) model checker. Because the paper's
+//! translations are exact, all back ends return identical answers; the
+//! engine exists so downstream code can pick the cost profile it wants
+//! (and so the equivalence is a one-liner to demonstrate).
+
+use std::fmt;
+use twx_core::{rpath_to_formula, rpath_to_ntwa};
+use twx_regxpath::parser::parse_rpath;
+use twx_regxpath::RPath;
+use twx_xtree::{Document, NodeId, NodeSet};
+
+/// Which evaluation pipeline to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The NFA × tree product evaluator (`twx-regxpath`) — the fast path.
+    #[default]
+    Product,
+    /// Compile to a nested tree walking automaton and run it (`twx-twa`).
+    Automaton,
+    /// Translate to FO(MTC) and model-check (`twx-fotc`) — the slow,
+    /// declarative reference.
+    Logic,
+}
+
+/// An error from [`Engine::query`].
+#[derive(Debug)]
+pub enum EngineError {
+    /// The query text did not parse.
+    Syntax(twx_regxpath::parser::SyntaxError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Syntax(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A compiled query, reusable across context nodes and documents sharing
+/// the alphabet.
+pub struct Prepared {
+    path: RPath,
+    backend: Backend,
+}
+
+impl Prepared {
+    /// Evaluates from a single context node.
+    pub fn eval(&self, doc: &Document, ctx: NodeId) -> NodeSet {
+        let t = &doc.tree;
+        let ctx_set = NodeSet::singleton(t.len(), ctx);
+        match self.backend {
+            Backend::Product => twx_regxpath::eval_image(t, &self.path, &ctx_set),
+            Backend::Automaton => {
+                let auto = rpath_to_ntwa(&self.path);
+                twx_twa::eval_image(t, &auto, &ctx_set)
+            }
+            Backend::Logic => {
+                let f = rpath_to_formula(&self.path, 0, 1, 2);
+                twx_fotc::eval_binary(t, &f, 0, 1).image(&ctx_set)
+            }
+        }
+    }
+
+    /// The parsed query.
+    pub fn path(&self) -> &RPath {
+        &self.path
+    }
+}
+
+/// The query engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Engine {
+    backend: Backend,
+}
+
+impl Engine {
+    /// An engine with the default (product) back end.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Selects a back end.
+    pub fn with_backend(backend: Backend) -> Engine {
+        Engine { backend }
+    }
+
+    /// Parses a query against the document's alphabet.
+    pub fn prepare(&self, doc: &mut Document, query: &str) -> Result<Prepared, EngineError> {
+        let path = parse_rpath(query, &mut doc.alphabet).map_err(EngineError::Syntax)?;
+        Ok(Prepared {
+            path,
+            backend: self.backend,
+        })
+    }
+
+    /// Parses and evaluates in one step from `ctx`.
+    pub fn query(
+        &self,
+        doc: &mut Document,
+        query: &str,
+        ctx: NodeId,
+    ) -> Result<NodeSet, EngineError> {
+        let prepared = self.prepare(doc, query)?;
+        Ok(prepared.eval(doc, ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twx_xtree::parse::parse_xml;
+
+    fn doc() -> Document {
+        parse_xml("<a><b><c/></b><c><b/></c></a>").unwrap()
+    }
+
+    #[test]
+    fn backends_agree() {
+        let queries = ["down*[c]", "(down[b] | right)*", "down[<?(true)/down>]"];
+        for q in queries {
+            let mut answers = Vec::new();
+            for backend in [Backend::Product, Backend::Automaton, Backend::Logic] {
+                let mut d = doc();
+                let engine = Engine::with_backend(backend);
+                let root = d.tree.root();
+                answers.push(engine.query(&mut d, q, root).unwrap());
+            }
+            assert_eq!(answers[0], answers[1], "{q}: product vs automaton");
+            assert_eq!(answers[0], answers[2], "{q}: product vs logic");
+        }
+    }
+
+    #[test]
+    fn prepared_queries_are_reusable() {
+        let mut d = doc();
+        let engine = Engine::new();
+        let p = engine.prepare(&mut d, "down+[b]").unwrap();
+        let from_root = p.eval(&d, d.tree.root());
+        assert_eq!(from_root.count(), 2);
+        let from_c = p.eval(&d, twx_xtree::NodeId(3));
+        assert_eq!(from_c.count(), 1);
+        assert_eq!(p.path().size(), 6); // (down/down*)[b] after plus-desugaring
+    }
+
+    #[test]
+    fn syntax_errors_surface() {
+        let mut d = doc();
+        let root = d.tree.root();
+        let e = Engine::new().query(&mut d, "down[[", root);
+        assert!(matches!(e, Err(EngineError::Syntax(_))));
+        assert!(e.unwrap_err().to_string().contains("syntax error"));
+    }
+}

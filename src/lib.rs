@@ -1,0 +1,24 @@
+//! # treewalk — XPath, transitive closure logic, and nested tree walking automata
+//!
+//! Facade crate re-exporting the whole workspace: a from-scratch
+//! reproduction of ten Cate & Segoufin (PODS 2008 / JACM 2010).
+//!
+//! * [`xtree`] — sibling-ordered labelled trees (the XML data model);
+//! * [`corexpath`] — Core XPath 1.0 with a linear-time evaluator;
+//! * [`regxpath`] — Regular XPath(W): transitive closure + `within`;
+//! * [`fotc`] — first-order logic with monadic transitive closure;
+//! * [`twa`] — (nested) tree walking automata;
+//! * [`treeauto`] — bottom-up tree automata (the MSO/regular yardstick);
+//! * [`core`] — the effective equivalence triangle between the three
+//!   formalisms, plus deciders and differential-testing harnesses.
+
+pub mod engine;
+
+pub use engine::{Backend, Engine};
+pub use twx_core as core;
+pub use twx_corexpath as corexpath;
+pub use twx_fotc as fotc;
+pub use twx_regxpath as regxpath;
+pub use twx_treeauto as treeauto;
+pub use twx_twa as twa;
+pub use twx_xtree as xtree;
