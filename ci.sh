@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, both feature configurations, the
+# full test suite, and a harness smoke run whose JSON export must parse.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+say() { printf '\n== %s ==\n' "$*"; }
+
+say "cargo fmt --check"
+cargo fmt --all -- --check
+
+say "cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+say "release build (default features)"
+cargo build --release --workspace
+
+say "release build (instrumentation disabled)"
+cargo build --release --no-default-features
+
+say "test suite"
+cargo test -q --workspace
+
+say "harness smoke run"
+out="$(mktemp -t bench_harness.XXXXXX.json)"
+trap 'rm -f "$out"' EXIT
+cargo run --release -p twx-bench --bin harness -- --quick --json "$out" > /dev/null
+python3 - "$out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "twx-bench/1", doc.get("schema")
+assert doc["obs_enabled"] is True
+assert len(doc["experiments"]) == 8, len(doc["experiments"])
+assert len(doc["quickstart_profiles"]) == 3
+for p in doc["quickstart_profiles"]:
+    assert p["result_count"] == 2, p
+print("BENCH_HARNESS.json: schema ok,", len(doc["experiments"]), "experiments,",
+      len(doc["quickstart_profiles"]), "profiles")
+EOF
+
+say "all checks passed"

@@ -1,25 +1,82 @@
-//! The experiment harness: regenerates every table of `EXPERIMENTS.md`.
+//! The experiment harness: regenerates every table of `EXPERIMENTS.md`
+//! and writes a machine-readable `BENCH_HARNESS.json`.
 //!
 //! ```sh
-//! cargo run --release -p twx-bench --bin harness            # full run
-//! cargo run --release -p twx-bench --bin harness -- --quick # smaller sizes
-//! cargo run --release -p twx-bench --bin harness -- e3 e4   # selected
+//! cargo run --release -p twx-bench --bin harness              # full run
+//! cargo run --release -p twx-bench --bin harness -- --quick   # smaller sizes
+//! cargo run --release -p twx-bench --bin harness -- e3 e4     # selected
+//! cargo run --release -p twx-bench --bin harness -- --seed 7  # reseed
+//! cargo run --release -p twx-bench --bin harness -- --json out.json
 //! ```
+//!
+//! The JSON export carries every table (title/headers/rows/notes), the
+//! run configuration, and the EXPLAIN profiles of the quickstart query
+//! on all three engine backends.
 
-use twx_bench::experiments;
-use twx_bench::Table;
+use treewalk::{Backend, Engine};
+use twx_bench::{experiments, RunCfg, Table};
+use twx_obs::json::Json;
+use twx_xtree::parse::parse_xml;
 
-type Runner = fn(bool) -> Table;
+type Runner = fn(&RunCfg) -> Table;
+
+struct Args {
+    cfg: RunCfg,
+    json_path: String,
+    selected: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut cfg = RunCfg::default();
+    let mut json_path = "BENCH_HARNESS.json".to_string();
+    let mut selected = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cfg.quick = true,
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| die("--seed needs a value"));
+                cfg.seed = v.parse().unwrap_or_else(|_| die("--seed must be a u64"));
+            }
+            "--json" => {
+                json_path = it.next().unwrap_or_else(|| die("--json needs a path"));
+            }
+            other if other.starts_with("--") => die(&format!("unknown flag {other}")),
+            other => selected.push(other.to_string()),
+        }
+    }
+    Args {
+        cfg,
+        json_path,
+        selected,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("harness: {msg}");
+    eprintln!("usage: harness [--quick] [--seed <u64>] [--json <path>] [e1 .. e8]");
+    std::process::exit(2)
+}
+
+/// EXPLAIN the quickstart query on each backend; the three profiles land
+/// in the JSON export so runs can be compared structurally.
+fn quickstart_profiles() -> Vec<Json> {
+    const QUERY: &str = "down*[c]";
+    let mut out = Vec::new();
+    for backend in [Backend::Product, Backend::Automaton, Backend::Logic] {
+        let mut doc = parse_xml("<a><b><c/></b><c><b/></c></a>").expect("quickstart doc");
+        let root = doc.tree.root();
+        let profile = Engine::with_backend(backend)
+            .explain(&mut doc, QUERY, root)
+            .expect("quickstart query");
+        println!("{profile}");
+        out.push(profile.to_json());
+    }
+    out
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-
+    let args = parse_args();
     let runners: [(&str, Runner); 8] = [
         ("e1", experiments::e1_core_eval::run),
         ("e2", experiments::e2_regxpath_eval::run),
@@ -31,17 +88,48 @@ fn main() {
         ("e8", experiments::e8_separation::run),
     ];
 
+    for sel in &args.selected {
+        if !runners.iter().any(|(id, _)| id == sel) {
+            die(&format!("unknown experiment id {sel}"));
+        }
+    }
+
     println!(
-        "treewalk experiment harness ({} mode)\n",
-        if quick { "quick" } else { "full" }
+        "treewalk experiment harness ({} mode, seed {})\n",
+        if args.cfg.quick { "quick" } else { "full" },
+        args.cfg.seed,
     );
+
+    let mut exported = Vec::new();
     for (id, run) in runners {
-        if !selected.is_empty() && !selected.contains(&id) {
+        if !args.selected.is_empty() && !args.selected.iter().any(|s| s == id) {
             continue;
         }
         let t0 = std::time::Instant::now();
-        let table = run(quick);
+        let table = run(&args.cfg);
+        let elapsed_us = t0.elapsed().as_secs_f64() * 1e6;
         println!("{}", table.render());
         println!("  [{id} completed in {:.2?}]\n", t0.elapsed());
+        exported.push(
+            Json::obj()
+                .field("id", id)
+                .field("elapsed_us", elapsed_us)
+                .field("table", table.to_json()),
+        );
     }
+
+    let profiles = quickstart_profiles();
+    let doc = Json::obj()
+        .field("schema", "twx-bench/1")
+        .field("mode", if args.cfg.quick { "quick" } else { "full" })
+        .field("seed", args.cfg.seed)
+        .field("obs_enabled", twx_obs::ENABLED)
+        .field("experiments", Json::Arr(exported))
+        .field("quickstart_profiles", Json::Arr(profiles));
+    let rendered = doc.render();
+    // the export must always be machine-readable: re-parse before writing
+    twx_obs::json::parse(&rendered).expect("harness JSON round-trips");
+    std::fs::write(&args.json_path, &rendered)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", args.json_path)));
+    println!("wrote {}", args.json_path);
 }

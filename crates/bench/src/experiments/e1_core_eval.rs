@@ -8,13 +8,12 @@
 
 use crate::experiments::time_us;
 use crate::table::{fmt_micros, Table};
-use crate::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::{RunCfg, Workload};
 use twx_corexpath::ast::PathExpr;
 use twx_corexpath::parser::parse_path_expr;
 use twx_corexpath::{eval_path_image, eval_path_rel};
 use twx_xtree::generate::random_tree;
+use twx_xtree::rng::SplitMix64 as StdRng;
 use twx_xtree::{Alphabet, NodeSet};
 
 /// The fixed query mix (one per structural feature).
@@ -32,16 +31,16 @@ pub fn queries(ab: &mut Alphabet) -> Vec<(&'static str, PathExpr)> {
 }
 
 /// Runs E1 and renders its table.
-pub fn run(quick: bool) -> Table {
-    let sizes: &[usize] = if quick {
+pub fn run(cfg: &RunCfg) -> Table {
+    let sizes: &[usize] = if cfg.quick {
         &[100, 1_000]
     } else {
         &[100, 1_000, 10_000, 100_000]
     };
-    let naive_cap = if quick { 300 } else { 1_000 };
+    let naive_cap = if cfg.quick { 300 } else { 1_000 };
     let mut ab = Alphabet::from_names(["p0", "p1", "p2"]);
     let qs = queries(&mut ab);
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed_for(1));
 
     let mut table = Table::new(
         "E1: Core XPath evaluation — GKP linear vs naive relational",
@@ -85,7 +84,7 @@ mod tests {
 
     #[test]
     fn quick_run_produces_full_table() {
-        let t = run(true);
+        let t = run(&RunCfg::quick());
         // 3 workloads × 2 sizes × 5 queries
         assert_eq!(t.rows.len(), 30);
         // all naive-checked rows agreed (the run would have panicked)

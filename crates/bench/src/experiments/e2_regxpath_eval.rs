@@ -6,15 +6,14 @@
 
 use crate::experiments::time_us;
 use crate::table::{fmt_micros, Table};
-use crate::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::{RunCfg, Workload};
 use twx_regxpath::ast::{Axis, RPath};
 use twx_regxpath::eval::Compiled;
 use twx_regxpath::eval_naive::eval_rel_naive;
 use twx_regxpath::parser::parse_rpath;
 use twx_regxpath::RNode;
 use twx_xtree::generate::random_tree;
+use twx_xtree::rng::SplitMix64 as StdRng;
 use twx_xtree::{Alphabet, NodeSet};
 
 /// The fixed query mix exercising star, mixed axes, tests and W.
@@ -52,16 +51,16 @@ pub fn sized_query(k: usize) -> RPath {
 }
 
 /// Runs E2 and renders its table.
-pub fn run(quick: bool) -> Table {
-    let sizes: &[usize] = if quick {
+pub fn run(cfg: &RunCfg) -> Table {
+    let sizes: &[usize] = if cfg.quick {
         &[100, 1_000]
     } else {
         &[100, 1_000, 10_000]
     };
-    let naive_cap = if quick { 150 } else { 400 };
+    let naive_cap = if cfg.quick { 150 } else { 400 };
     let mut ab = Alphabet::from_names(["p0", "p1"]);
     let qs = queries(&mut ab);
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = StdRng::seed_from_u64(cfg.seed_for(2));
 
     let mut table = Table::new(
         "E2: Regular XPath(W) evaluation — product evaluator vs matrix-star baseline",
@@ -94,7 +93,12 @@ pub fn run(quick: bool) -> Table {
     }
 
     // query-size sweep at fixed tree size
-    let t = random_tree(Workload::Document.shape(), if quick { 2_000 } else { 20_000 }, 2, &mut rng);
+    let t = random_tree(
+        Workload::Document.shape(),
+        if cfg.quick { 2_000 } else { 20_000 },
+        2,
+        &mut rng,
+    );
     let ctx = NodeSet::singleton(t.len(), t.root());
     for k in [1usize, 4, 16, 64] {
         let q = sized_query(k);
@@ -120,7 +124,7 @@ mod tests {
 
     #[test]
     fn quick_run_produces_table() {
-        let t = run(true);
+        let t = run(&RunCfg::quick());
         assert_eq!(t.rows.len(), 3 * 2 * 5 + 4);
     }
 

@@ -9,21 +9,34 @@
 //!   except under `W`-nesting.
 
 use crate::table::Table;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::RunCfg;
 use twx_core::{ntwa_to_rpath, ntwa_to_rpath_raw, rpath_to_formula, rpath_to_ntwa};
+use twx_obs::{self as obs, Counter};
 use twx_regxpath::generate::{random_rpath, RGenConfig};
 use twx_regxpath::simplify::simplify_rpath;
 use twx_twa::generate::{random_ntwa, TGenConfig};
+use twx_xtree::rng::SplitMix64 as StdRng;
 
 /// Runs E3 and renders its table.
-pub fn run(quick: bool) -> Table {
+///
+/// The `obs avg` column is the same size average derived from the
+/// translation counters (`compiled_ntwa_states` / `compiled_formula_size`)
+/// rather than from the returned artifact — a cross-check that the
+/// instrumentation in `twx-core` accounts for every state it builds.
+pub fn run(run_cfg: &RunCfg) -> Table {
     let mut table = Table::new(
         "E3: translation blow-ups (sizes, averaged over random instances)",
-        &["direction", "input size", "samples", "avg output", "max output"],
+        &[
+            "direction",
+            "input size",
+            "samples",
+            "avg output",
+            "max output",
+            "obs avg",
+        ],
     );
-    let mut rng = StdRng::seed_from_u64(3);
-    let samples = if quick { 10 } else { 40 };
+    let mut rng = StdRng::seed_from_u64(run_cfg.seed_for(3));
+    let samples = if run_cfg.quick { 10 } else { 40 };
 
     // Thompson: expression size → automaton states
     let cfg = RGenConfig::default();
@@ -31,6 +44,7 @@ pub fn run(quick: bool) -> Table {
         let mut tot_in = 0usize;
         let mut tot_out = 0usize;
         let mut max_out = 0usize;
+        let before = obs::snapshot();
         for _ in 0..samples {
             let p = random_rpath(&cfg, depth, &mut rng);
             let a = rpath_to_ntwa(&p);
@@ -38,12 +52,14 @@ pub fn run(quick: bool) -> Table {
             tot_out += a.total_states();
             max_out = max_out.max(a.total_states());
         }
+        let counted = obs::delta_since(&before).get(Counter::CompiledNtwaStates);
         table.row(vec![
             "xpath→NTWA (states)".into(),
             format!("~{}", tot_in / samples),
             samples.to_string(),
             format!("{:.1}", tot_out as f64 / samples as f64),
             max_out.to_string(),
+            format!("{:.1}", counted as f64 / samples as f64),
         ]);
     }
 
@@ -52,7 +68,7 @@ pub fn run(quick: bool) -> Table {
         let cfg = TGenConfig {
             states,
             transitions: (states * 2) as usize,
-            depth: if quick { 0 } else { 1 },
+            depth: if run_cfg.quick { 0 } else { 1 },
             ..TGenConfig::default()
         };
         let mut tot_raw = 0usize;
@@ -72,12 +88,14 @@ pub fn run(quick: bool) -> Table {
             samples.to_string(),
             format!("{:.0}", tot_raw as f64 / samples as f64),
             max_raw.to_string(),
+            "-".into(),
         ]);
         table.row(vec![
             "NTWA→xpath simplified".into(),
             format!("{states} states"),
             samples.to_string(),
             format!("{:.0}", tot_simpl as f64 / samples as f64),
+            "-".into(),
             "-".into(),
         ]);
     }
@@ -87,6 +105,7 @@ pub fn run(quick: bool) -> Table {
         let mut tot_in = 0usize;
         let mut tot_out = 0usize;
         let mut max_out = 0usize;
+        let before = obs::snapshot();
         for _ in 0..samples {
             let p = random_rpath(&cfg, depth, &mut rng);
             let f = rpath_to_formula(&p, 0, 1, 2);
@@ -94,18 +113,22 @@ pub fn run(quick: bool) -> Table {
             tot_out += f.size();
             max_out = max_out.max(f.size());
         }
+        let counted = obs::delta_since(&before).get(Counter::CompiledFormulaSize);
         table.row(vec![
             "xpath→FO(MTC) (size)".into(),
             format!("~{}", tot_in / samples),
             samples.to_string(),
             format!("{:.1}", tot_out as f64 / samples as f64),
             max_out.to_string(),
+            format!("{:.1}", counted as f64 / samples as f64),
         ]);
     }
 
     // the roundtrip sanity note
     let _ = ntwa_to_rpath(&rpath_to_ntwa(&random_rpath(&cfg, 3, &mut rng)));
-    table.note("Thompson stays within 2·|expr| states; Kleene raw output grows exponentially in states");
+    table.note(
+        "Thompson stays within 2·|expr| states; Kleene raw output grows exponentially in states",
+    );
     table.note("simplification recovers 1-2 orders of magnitude on Kleene output");
     table
 }
@@ -116,7 +139,7 @@ mod tests {
 
     #[test]
     fn quick_run_produces_table() {
-        let t = run(true);
+        let t = run(&RunCfg::quick());
         assert_eq!(t.rows.len(), 4 + 10 + 3);
     }
 }

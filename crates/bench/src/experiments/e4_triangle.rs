@@ -10,20 +10,39 @@
 //! of the theorem).
 
 use crate::table::Table;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::RunCfg;
 use twx_core::diff::{check_tri, standard_corpus, TriQuery};
+use twx_obs::{self as obs, Counter};
 use twx_regxpath::generate::{random_rpath, RGenConfig};
+use twx_xtree::rng::SplitMix64 as StdRng;
 
 /// Runs E4 and renders its table.
-pub fn run(quick: bool) -> Table {
+///
+/// The last two columns report, per query class, the total compiled
+/// artifact volume the validation built (from the `compiled_ntwa_states`
+/// and `compiled_formula_size` counters) — a measure of how much
+/// translation machinery each class exercises.
+pub fn run(cfg: &RunCfg) -> Table {
     let mut table = Table::new(
         "E4: equivalence-triangle validation (differential testing)",
-        &["query class", "queries", "trees", "checks", "mismatches"],
+        &[
+            "query class",
+            "queries",
+            "trees",
+            "checks",
+            "mismatches",
+            "ntwa states",
+            "formula size",
+        ],
     );
-    let corpus = standard_corpus(if quick { 3 } else { 4 }, 2, if quick { 2 } else { 5 }, 4);
-    let n_queries = if quick { 6 } else { 25 };
-    let mut rng = StdRng::seed_from_u64(4);
+    let corpus = standard_corpus(
+        if cfg.quick { 3 } else { 4 },
+        2,
+        if cfg.quick { 2 } else { 5 },
+        4,
+    );
+    let n_queries = if cfg.quick { 6 } else { 25 };
+    let mut rng = StdRng::seed_from_u64(cfg.seed_for(4));
 
     let classes: [(&str, RGenConfig); 3] = [
         (
@@ -44,11 +63,12 @@ pub fn run(quick: bool) -> Table {
         ("regular + W", RGenConfig::default()),
     ];
 
-    for (name, cfg) in classes {
+    for (name, gen_cfg) in classes {
         let mut mismatches = 0usize;
         let mut checks = 0usize;
+        let before = obs::snapshot();
         for _ in 0..n_queries {
-            let p = random_rpath(&cfg, 3, &mut rng);
+            let p = random_rpath(&gen_cfg, 3, &mut rng);
             let q = TriQuery::from_xpath(&p);
             let renditions = 3 + usize::from(q.xpath_from_logic.is_some());
             checks += corpus.len() * renditions;
@@ -56,12 +76,15 @@ pub fn run(quick: bool) -> Table {
                 mismatches += 1;
             }
         }
+        let built = obs::delta_since(&before);
         table.row(vec![
             name.into(),
             n_queries.to_string(),
             corpus.len().to_string(),
             checks.to_string(),
             mismatches.to_string(),
+            built.get(Counter::CompiledNtwaStates).to_string(),
+            built.get(Counter::CompiledFormulaSize).to_string(),
         ]);
     }
     table.note("expected: zero mismatches in every class");
@@ -74,7 +97,7 @@ mod tests {
 
     #[test]
     fn no_mismatches_in_quick_run() {
-        let t = run(true);
+        let t = run(&RunCfg::quick());
         for row in &t.rows {
             assert_eq!(row[4], "0", "mismatches in class {}", row[0]);
         }

@@ -10,21 +10,25 @@
 
 use crate::experiments::time_us;
 use crate::table::{fmt_micros, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::RunCfg;
 use twx_core::rpath_to_formula;
 use twx_fotc::eval::eval_binary;
 use twx_regxpath::parser::parse_rpath;
 use twx_xtree::generate::{random_tree, Shape};
+use twx_xtree::rng::SplitMix64 as StdRng;
 use twx_xtree::Alphabet;
 
 /// Runs E5 and renders its table.
-pub fn run(quick: bool) -> Table {
+pub fn run(cfg: &RunCfg) -> Table {
     let mut table = Table::new(
         "E5: FO(MTC) model checking vs direct Regular XPath evaluation",
         &["query", "nodes", "xpath (full rel)", "FO(MTC)", "ratio"],
     );
-    let sizes: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
+    let sizes: &[usize] = if cfg.quick {
+        &[8, 16]
+    } else {
+        &[8, 16, 32, 64]
+    };
     let mut ab = Alphabet::from_names(["p0", "p1"]);
     let queries = [
         ("child", "down"),
@@ -32,7 +36,7 @@ pub fn run(quick: bool) -> Table {
         ("guarded", "(down[p0])*"),
         ("zigzag", "(down | right)*[p1]"),
     ];
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = StdRng::seed_from_u64(cfg.seed_for(5));
     for (name, src) in queries {
         let p = parse_rpath(src, &mut ab).unwrap();
         let f = rpath_to_formula(&p, 0, 1, 2);
@@ -60,7 +64,7 @@ mod tests {
 
     #[test]
     fn quick_run_produces_table() {
-        let t = run(true);
+        let t = run(&RunCfg::quick());
         assert_eq!(t.rows.len(), 4 * 2);
     }
 }

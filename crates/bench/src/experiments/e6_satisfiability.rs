@@ -11,6 +11,7 @@
 
 use crate::experiments::time_us;
 use crate::table::{fmt_micros, Table};
+use crate::RunCfg;
 use twx_core::decide::node_sat_bounded;
 use twx_core::from_core::core_node_to_regular;
 use twx_corexpath::parser::parse_node_expr;
@@ -24,11 +25,7 @@ pub fn formulas() -> Vec<(&'static str, &'static str, bool)> {
         ("tiny-unsat", "p0 and p1", false),
         ("leaf-unsat", "leaf and <down>", false),
         ("mid-sat", "<down+[p0 and <down[p1]>]> and !p1", true),
-        (
-            "mid-unsat",
-            "<down[p0]> and !<down+[p0]>",
-            false,
-        ),
+        ("mid-unsat", "<down[p0]> and !<down+[p0]>", false),
         (
             "deep-sat",
             "<down[<down[<down[p0 and leaf]>]>]> and p1",
@@ -43,12 +40,19 @@ pub fn formulas() -> Vec<(&'static str, &'static str, bool)> {
 }
 
 /// Runs E6 and renders its table.
-pub fn run(quick: bool) -> Table {
+pub fn run(cfg: &RunCfg) -> Table {
     let mut table = Table::new(
         "E6: satisfiability — exact automata procedure vs bounded-model search",
-        &["formula", "sat?", "exact", "automaton states", "bounded search", "agree"],
+        &[
+            "formula",
+            "sat?",
+            "exact",
+            "automaton states",
+            "bounded search",
+            "agree",
+        ],
     );
-    let bound = if quick { 4 } else { 5 };
+    let bound = if cfg.quick { 4 } else { 5 };
     for (name, src, expect_sat) in formulas() {
         let mut ab = Alphabet::from_names(["p0", "p1"]);
         let f = parse_node_expr(src, &mut ab).unwrap();
@@ -77,7 +81,9 @@ pub fn run(quick: bool) -> Table {
             if agree { "yes" } else { "BOUND TOO SMALL" }.into(),
         ]);
     }
-    table.note(format!("bounded search enumerates all trees with ≤ {bound} nodes over 2 labels"));
+    table.note(format!(
+        "bounded search enumerates all trees with ≤ {bound} nodes over 2 labels"
+    ));
     table.note("exact procedure also certifies unsatisfiability; bounded search cannot");
     table
 }
@@ -88,7 +94,7 @@ mod tests {
 
     #[test]
     fn verdicts_match_expectations() {
-        let t = run(true);
+        let t = run(&RunCfg::quick());
         assert_eq!(t.rows.len(), formulas().len());
         for row in &t.rows {
             assert_eq!(row[5], "yes", "disagreement in {}", row[0]);

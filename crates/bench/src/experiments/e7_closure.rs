@@ -10,6 +10,7 @@
 
 use crate::experiments::time_us;
 use crate::table::{fmt_micros, Table};
+use crate::RunCfg;
 use twx_treeauto::examples::{even_a, true_circuits};
 use twx_treeauto::marked::MarkedQuery;
 use twx_treeauto::xpath_compile::{compile_node_expr, AcceptAt};
@@ -31,10 +32,16 @@ fn measure(table: &mut Table, name: &str, a: &Nfta) {
 }
 
 /// Runs E7 and renders its table.
-pub fn run(quick: bool) -> Table {
+pub fn run(cfg: &RunCfg) -> Table {
     let mut table = Table::new(
         "E7: automata closure — state counts through determinize/complement/product",
-        &["language", "NFTA states", "DFTA states (time)", "complement states (time)", "self-product"],
+        &[
+            "language",
+            "NFTA states",
+            "DFTA states (time)",
+            "complement states (time)",
+            "self-product",
+        ],
     );
 
     measure(&mut table, "some-b", &some_b());
@@ -46,7 +53,7 @@ pub fn run(quick: bool) -> Table {
     measure(&mut table, "xpath-compiled", &xp);
 
     // boolean query algebra correctness sweep
-    let bound = if quick { 3 } else { 4 };
+    let bound = if cfg.quick { 3 } else { 4 };
     let qa = MarkedQuery::label_query(2, Label(0));
     let qb = MarkedQuery::label_query(2, Label(1));
     let not_a = qa.negate();
@@ -121,7 +128,7 @@ mod tests {
 
     #[test]
     fn algebra_sweep_is_clean() {
-        let t = run(true);
+        let t = run(&RunCfg::quick());
         let algebra_row = t.rows.last().unwrap();
         assert_eq!(algebra_row[2], "0 failures");
     }

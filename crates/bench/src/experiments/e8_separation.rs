@@ -22,8 +22,7 @@
 //!   a genuine walking definition of a counting language.
 
 use crate::table::Table;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::RunCfg;
 use twx_core::ntwa_to_rpath;
 use twx_regxpath::generate::{random_rnode, RGenConfig};
 use twx_treeauto::examples::{even_a, true_circuits, CIRCUIT_LABELS};
@@ -31,31 +30,36 @@ use twx_treeauto::Nfta;
 use twx_twa::dfs::dfs_parity;
 use twx_twa::eval::accepts_from;
 use twx_xtree::generate::enumerate_trees_up_to;
+use twx_xtree::rng::SplitMix64 as StdRng;
 use twx_xtree::{Label, Tree};
 
 /// How many corpus trees a candidate root-query classifies correctly.
 fn agreement(lang: &Nfta, candidate: &twx_regxpath::RNode, corpus: &[Tree]) -> usize {
     corpus
         .iter()
-        .filter(|t| {
-            lang.accepts(t) == twx_regxpath::eval_node(t, candidate).contains(t.root())
-        })
+        .filter(|t| lang.accepts(t) == twx_regxpath::eval_node(t, candidate).contains(t.root()))
         .count()
 }
 
 /// Runs E8 and renders its table.
-pub fn run(quick: bool) -> Table {
+pub fn run(cfg: &RunCfg) -> Table {
     let mut table = Table::new(
         "E8: MSO separation — random search vs the known constructions",
-        &["row", "corpus trees", "candidates", "best agreement", "exact"],
+        &[
+            "row",
+            "corpus trees",
+            "candidates",
+            "best agreement",
+            "exact",
+        ],
     );
-    let n_candidates = if quick { 200 } else { 2_000 };
-    let mut rng = StdRng::seed_from_u64(8);
+    let n_candidates = if cfg.quick { 200 } else { 2_000 };
+    let mut rng = StdRng::seed_from_u64(cfg.seed_for(8));
 
     // separation target: circuits
     {
         let lang = true_circuits();
-        let corpus = enumerate_trees_up_to(if quick { 3 } else { 4 }, CIRCUIT_LABELS as usize);
+        let corpus = enumerate_trees_up_to(if cfg.quick { 3 } else { 4 }, CIRCUIT_LABELS as usize);
         let cfg = RGenConfig {
             labels: CIRCUIT_LABELS as usize,
             ..RGenConfig::default()
@@ -80,7 +84,7 @@ pub fn run(quick: bool) -> Table {
     }
 
     // control: parity, by search (expected to fail too)...
-    let parity_corpus = enumerate_trees_up_to(if quick { 4 } else { 5 }, 2);
+    let parity_corpus = enumerate_trees_up_to(if cfg.quick { 4 } else { 5 }, 2);
     {
         let lang = even_a();
         let cfg = RGenConfig {
@@ -119,7 +123,12 @@ pub fn run(quick: bool) -> Table {
             parity_corpus.len().to_string(),
             "1 (constructed)".into(),
             format!("{walker_hits}/{}", parity_corpus.len()),
-            if walker_hits == parity_corpus.len() { "1" } else { "0" }.into(),
+            if walker_hits == parity_corpus.len() {
+                "1"
+            } else {
+                "0"
+            }
+            .into(),
         ]);
         let expr = ntwa_to_rpath(&walker);
         // evaluate the Kleene-translated expression as a root query: the
@@ -137,12 +146,19 @@ pub fn run(quick: bool) -> Table {
             parity_corpus.len().to_string(),
             format!("size {}", expr.size()),
             format!("{expr_hits}/{}", parity_corpus.len()),
-            if expr_hits == parity_corpus.len() { "1" } else { "0" }.into(),
+            if expr_hits == parity_corpus.len() {
+                "1"
+            } else {
+                "0"
+            }
+            .into(),
         ]);
     }
 
     table.note("search rows: zero exact matches — search evidence only; the separation is the paper's theorem");
-    table.note("control rows: parity IS walking-definable (DFS tour), so search failure ≠ undefinability");
+    table.note(
+        "control rows: parity IS walking-definable (DFS tour), so search failure ≠ undefinability",
+    );
     table
 }
 
@@ -152,7 +168,7 @@ mod tests {
 
     #[test]
     fn search_fails_but_construction_succeeds() {
-        let t = run(true);
+        let t = run(&RunCfg::quick());
         // search rows find nothing
         assert_eq!(t.rows[0][4], "0");
         assert_eq!(t.rows[1][4], "0");

@@ -10,20 +10,19 @@ pub mod e6_satisfiability;
 pub mod e7_closure;
 pub mod e8_separation;
 
-use crate::Table;
+use crate::{RunCfg, Table};
 
-/// Runs every experiment and returns the tables in order. `quick` shrinks
-/// instance sizes for CI-speed runs.
-pub fn run_all(quick: bool) -> Vec<Table> {
+/// Runs every experiment and returns the tables in order.
+pub fn run_all(cfg: &RunCfg) -> Vec<Table> {
     vec![
-        e1_core_eval::run(quick),
-        e2_regxpath_eval::run(quick),
-        e3_translations::run(quick),
-        e4_triangle::run(quick),
-        e5_logic_cost::run(quick),
-        e6_satisfiability::run(quick),
-        e7_closure::run(quick),
-        e8_separation::run(quick),
+        e1_core_eval::run(cfg),
+        e2_regxpath_eval::run(cfg),
+        e3_translations::run(cfg),
+        e4_triangle::run(cfg),
+        e5_logic_cost::run(cfg),
+        e6_satisfiability::run(cfg),
+        e7_closure::run(cfg),
+        e8_separation::run(cfg),
     ]
 }
 

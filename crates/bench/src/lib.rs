@@ -14,14 +14,40 @@
 //! * E8 — the MSO separation targets (regular languages vs bounded search
 //!   over Regular XPath(W) candidates).
 //!
-//! Each experiment is a function returning a [`Table`]; the `harness`
-//! binary prints them all, and the criterion benches under `benches/`
-//! re-measure the timing-sensitive ones with statistical rigour.
+//! Each experiment is a function `fn(&RunCfg) -> Table`; the `harness`
+//! binary prints them all and exports every table plus per-backend
+//! EXPLAIN profiles to `BENCH_HARNESS.json`. Runs are fully seeded
+//! (`--seed`), so any table is reproducible bit-for-bit.
 
 pub mod experiments;
 pub mod table;
 
 pub use table::Table;
+
+/// Run configuration shared by every experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunCfg {
+    /// Shrink instance sizes for CI-speed runs.
+    pub quick: bool,
+    /// Base seed; each experiment derives its own stream from it, so the
+    /// default (`0`) reproduces the historical per-experiment seeds 1–8.
+    pub seed: u64,
+}
+
+impl RunCfg {
+    /// The quick (CI) configuration with the default seed.
+    pub fn quick() -> Self {
+        RunCfg {
+            quick: true,
+            seed: 0,
+        }
+    }
+
+    /// The PRNG seed for experiment number `k` under this base seed.
+    pub fn seed_for(&self, k: u64) -> u64 {
+        self.seed.wrapping_add(k)
+    }
+}
 
 /// Workload description shared by several experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

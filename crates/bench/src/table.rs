@@ -37,6 +37,27 @@ impl Table {
         self.notes.push(s.into());
     }
 
+    /// Renders the table as a JSON object (title, headers, rows, notes).
+    pub fn to_json(&self) -> twx_obs::json::Json {
+        use twx_obs::json::Json;
+        let headers: Vec<Json> = self
+            .headers
+            .iter()
+            .map(|h| Json::from(h.as_str()))
+            .collect();
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| Json::Arr(r.iter().map(|c| Json::from(c.as_str())).collect()))
+            .collect();
+        let notes: Vec<Json> = self.notes.iter().map(|n| Json::from(n.as_str())).collect();
+        Json::obj()
+            .field("title", self.title.as_str())
+            .field("headers", Json::Arr(headers))
+            .field("rows", Json::Arr(rows))
+            .field("notes", Json::Arr(notes))
+    }
+
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();

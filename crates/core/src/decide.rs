@@ -45,12 +45,7 @@ impl BoundedVerdict {
 
 /// Checks equivalence of two path expressions on every tree with at most
 /// `max_nodes` nodes over `labels` labels.
-pub fn path_equiv_bounded(
-    p: &RPath,
-    q: &RPath,
-    max_nodes: usize,
-    labels: usize,
-) -> BoundedVerdict {
+pub fn path_equiv_bounded(p: &RPath, q: &RPath, max_nodes: usize, labels: usize) -> BoundedVerdict {
     for t in enumerate_trees_up_to(max_nodes, labels) {
         let rp = twx_regxpath::eval_rel(&t, p);
         let rq = twx_regxpath::eval_rel(&t, q);
@@ -74,12 +69,7 @@ pub fn path_equiv_bounded(
 
 /// Checks equivalence of two node expressions on every tree with at most
 /// `max_nodes` nodes over `labels` labels.
-pub fn node_equiv_bounded(
-    f: &RNode,
-    g: &RNode,
-    max_nodes: usize,
-    labels: usize,
-) -> BoundedVerdict {
+pub fn node_equiv_bounded(f: &RNode, g: &RNode, max_nodes: usize, labels: usize) -> BoundedVerdict {
     for t in enumerate_trees_up_to(max_nodes, labels) {
         let sf = twx_regxpath::eval_node(&t, f);
         let sg = twx_regxpath::eval_node(&t, g);
@@ -153,8 +143,13 @@ mod tests {
         // with filters the variants differ: ↓[p]/↓⁺ vs ↓⁺[p]/↓ test the
         // label at different depths
         let p = RNode::Label(Label(0));
-        let e1 = RPath::Axis(Axis::Down).filter(p.clone()).seq(RPath::Axis(Axis::Down).plus());
-        let e2 = RPath::Axis(Axis::Down).plus().filter(p).seq(RPath::Axis(Axis::Down));
+        let e1 = RPath::Axis(Axis::Down)
+            .filter(p.clone())
+            .seq(RPath::Axis(Axis::Down).plus());
+        let e2 = RPath::Axis(Axis::Down)
+            .plus()
+            .filter(p)
+            .seq(RPath::Axis(Axis::Down));
         let v = path_equiv_bounded(&e1, &e2, 4, 2);
         assert!(!v.is_equivalent());
     }

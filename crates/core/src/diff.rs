@@ -63,7 +63,10 @@ pub struct Mismatch {
 
 /// Evaluates every rendition of `q` on every tree of `corpus`; returns the
 /// first disagreement, or `None` if the triangle commutes on the corpus.
-pub fn check_tri<'a, I: IntoIterator<Item = &'a Tree>>(q: &TriQuery, corpus: I) -> Option<Mismatch> {
+pub fn check_tri<'a, I: IntoIterator<Item = &'a Tree>>(
+    q: &TriQuery,
+    corpus: I,
+) -> Option<Mismatch> {
     for t in corpus {
         let reference = twx_regxpath::eval_rel(t, &q.xpath);
         if eval_binary(t, &q.logic, 0, 1) != reference {
@@ -98,9 +101,13 @@ pub fn check_tri<'a, I: IntoIterator<Item = &'a Tree>>(q: &TriQuery, corpus: I) 
 
 /// The standard corpus: every tree with at most `exhaustive_n` nodes over
 /// `labels` labels, plus `random_n` random trees of each workload family.
-pub fn standard_corpus(exhaustive_n: usize, labels: usize, random_n: usize, seed: u64) -> Vec<Tree> {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+pub fn standard_corpus(
+    exhaustive_n: usize,
+    labels: usize,
+    random_n: usize,
+    seed: u64,
+) -> Vec<Tree> {
+    use twx_xtree::rng::SplitMix64 as StdRng;
     let mut corpus = enumerate_trees_up_to(exhaustive_n, labels);
     let mut rng = StdRng::seed_from_u64(seed);
     for shape in [
@@ -120,9 +127,8 @@ pub fn standard_corpus(exhaustive_n: usize, labels: usize, random_n: usize, seed
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_regxpath::generate::{random_rpath, RGenConfig};
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     /// E4 in miniature: the triangle commutes for a fuzzed corpus of
     /// queries on the standard tree corpus.

@@ -40,10 +40,9 @@ pub fn core_node_to_regular(f: &NodeExpr) -> RNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_corexpath::generate::{random_node_expr, random_path_expr, GenConfig};
     use twx_xtree::generate::{enumerate_trees_up_to, random_tree, Shape};
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     /// The embedding preserves semantics on bounded domains and on random
     /// trees — the Core XPath ⊆ Regular XPath inclusion, machine-checked.

@@ -201,11 +201,10 @@ pub fn unary_to_rnode(psi: &Formula, x: Var) -> Result<RNode, NotGuarded> {
 mod tests {
     use super::*;
     use crate::to_fotc::{rnode_to_formula, rpath_to_formula};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_fotc::eval::{eval_binary, eval_unary};
     use twx_regxpath::generate::{random_rpath, RGenConfig};
     use twx_xtree::generate::enumerate_trees_up_to;
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     #[test]
     fn atoms_translate() {
@@ -297,7 +296,10 @@ mod tests {
                 );
             }
         }
-        assert!(translated >= 20, "only {translated} round trips landed in the fragment");
+        assert!(
+            translated >= 20,
+            "only {translated} round trips landed in the fragment"
+        );
     }
 
     #[test]
@@ -324,6 +326,9 @@ mod tests {
                 );
             }
         }
-        assert!(translated >= 15, "only {translated} node round trips landed");
+        assert!(
+            translated >= 15,
+            "only {translated} node round trips landed"
+        );
     }
 }

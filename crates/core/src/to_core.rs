@@ -84,11 +84,10 @@ pub fn is_core_expressible(p: &RPath) -> bool {
 mod tests {
     use super::*;
     use crate::from_core::core_path_to_regular;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_corexpath::generate::{random_path_expr, GenConfig};
     use twx_regxpath::ast::Axis;
     use twx_xtree::generate::enumerate_trees_up_to;
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     /// Round trip from the Core side: embed, lower, compare semantics.
     #[test]

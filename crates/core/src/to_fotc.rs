@@ -16,6 +16,7 @@
 //! domains by this module's tests (and E4/E5).
 
 use twx_fotc::ast::{Formula, Var};
+use twx_obs::{self as obs, Counter};
 use twx_regxpath::ast::Axis;
 use twx_regxpath::{RNode, RPath};
 
@@ -46,13 +47,17 @@ impl Fresh {
 /// ```
 pub fn rpath_to_formula(p: &RPath, x: Var, y: Var, first_fresh: Var) -> Formula {
     let mut fresh = Fresh { next: first_fresh };
-    tr_path(p, x, y, &mut fresh)
+    let f = tr_path(p, x, y, &mut fresh);
+    obs::add(Counter::CompiledFormulaSize, f.size() as u64);
+    f
 }
 
 /// Translates a node expression into a formula with free variable `x`.
 pub fn rnode_to_formula(f: &RNode, x: Var, first_fresh: Var) -> Formula {
     let mut fresh = Fresh { next: first_fresh };
-    tr_node(f, x, &mut fresh)
+    let out = tr_node(f, x, &mut fresh);
+    obs::add(Counter::CompiledFormulaSize, out.size() as u64);
+    out
 }
 
 fn tr_path(p: &RPath, x: Var, y: Var, fresh: &mut Fresh) -> Formula {
@@ -120,7 +125,13 @@ fn relativize(f: &Formula, root: Var, fresh: &mut Fresh) -> Formula {
             let body = relativize(g, root, fresh);
             in_subtree(root, *v, fresh).implies(body).forall(*v)
         }
-        Formula::Tc { x, y, phi, from, to } => {
+        Formula::Tc {
+            x,
+            y,
+            phi,
+            from,
+            to,
+        } => {
             let step = relativize(phi, root, fresh);
             let bounded = in_subtree(root, *x, fresh)
                 .and(in_subtree(root, *y, fresh))
@@ -140,11 +151,10 @@ fn in_subtree(root: Var, v: Var, fresh: &mut Fresh) -> Formula {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_fotc::eval::{eval_binary, eval_unary};
     use twx_regxpath::generate::{random_rnode, random_rpath, RGenConfig};
     use twx_xtree::generate::{enumerate_trees_up_to, random_tree, Shape};
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     /// Theorem (Regular XPath(W) ⊆ FO(MTC)): the translated formula
     /// defines exactly the same relation/set — exhaustively on trees ≤ 4
@@ -197,10 +207,7 @@ mod tests {
         let p = RPath::Axis(Axis::Down).star();
         let f = rpath_to_formula(&p, 0, 1, 2);
         assert_eq!(f.tc_depth(), 1);
-        assert_eq!(
-            f.free_vars().into_iter().collect::<Vec<_>>(),
-            vec![0, 1]
-        );
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]

@@ -29,10 +29,12 @@ fn move_expr(mv: Move) -> RPath {
         Move::Stay => RPath::Eps,
         Move::Up => RPath::Axis(Axis::Up),
         Move::AnyChild => RPath::Axis(Axis::Down),
-        Move::FirstChild => RPath::Axis(Axis::Down)
-            .seq(RPath::test(RNode::some(RPath::Axis(Axis::Left)).not())),
-        Move::LastChild => RPath::Axis(Axis::Down)
-            .seq(RPath::test(RNode::some(RPath::Axis(Axis::Right)).not())),
+        Move::FirstChild => {
+            RPath::Axis(Axis::Down).seq(RPath::test(RNode::some(RPath::Axis(Axis::Left)).not()))
+        }
+        Move::LastChild => {
+            RPath::Axis(Axis::Down).seq(RPath::test(RNode::some(RPath::Axis(Axis::Right)).not()))
+        }
         Move::NextSib => RPath::Axis(Axis::Right),
         Move::PrevSib => RPath::Axis(Axis::Left),
     }
@@ -174,13 +176,12 @@ pub fn ntwa_to_rpath(a: &Ntwa) -> RPath {
 mod tests {
     use super::*;
     use crate::to_twa::rpath_to_ntwa;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_regxpath::generate::{random_rpath, RGenConfig};
     use twx_twa::eval::eval_rel;
     use twx_twa::generate::{random_ntwa, TGenConfig};
     use twx_twa::machine::{Transition, Twa};
     use twx_xtree::generate::{enumerate_trees_up_to, random_tree, Shape};
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     /// Theorem (NTWA ⊆ Regular XPath(W)), machine-checked on random
     /// automata: the Kleene translation yields the same relation.

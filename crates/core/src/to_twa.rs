@@ -14,6 +14,7 @@
 //! so the nesting depth of the automaton equals the test-nesting depth of
 //! the expression.
 
+use twx_obs::{self as obs, Counter};
 use twx_regxpath::ast::Axis;
 use twx_regxpath::{RNode, RPath};
 use twx_twa::machine::{Move, Ntwa, Scope, TestAtom, Transition, Twa};
@@ -188,6 +189,11 @@ pub fn rpath_to_ntwa(p: &RPath) -> Ntwa {
         subs: Vec::new(),
     };
     let (s, f) = b.go(p);
+    // Each (recursive) call accounts for its own top-level layer, so the
+    // sums over a whole compilation equal total_states() / subtest count
+    // of the final artifact without double counting.
+    obs::add(Counter::CompiledNtwaStates, b.next_state as u64);
+    obs::add(Counter::CompiledNtwaSubtests, b.subs.len() as u64);
     Ntwa {
         top: Twa {
             n_states: b.next_state,
@@ -207,7 +213,18 @@ pub fn rnode_to_ntwa(f: &RNode) -> Ntwa {
         // ⟨A⟩ is the domain of A: the path automaton itself works
         RNode::Some(a) => rpath_to_ntwa(a),
         // φ ∨ ψ: union of test automata
-        RNode::Or(g, h) => ops::union(&rnode_to_ntwa(g), &rnode_to_ntwa(h)),
+        RNode::Or(g, h) => {
+            let ga = rnode_to_ntwa(g);
+            let ha = rnode_to_ntwa(h);
+            let u = ops::union(&ga, &ha);
+            // count only the glue the union adds; operands counted themselves
+            obs::add(
+                Counter::CompiledNtwaStates,
+                u.total_states()
+                    .saturating_sub(ga.total_states() + ha.total_states()) as u64,
+            );
+            u
+        }
         // everything else: a single Stay transition guarded appropriately
         other => {
             let mut b = Builder {
@@ -219,6 +236,8 @@ pub fn rnode_to_ntwa(f: &RNode) -> Ntwa {
             let f2 = b.fresh();
             let guard = b.node_guard(other);
             b.edge(s, guard, Move::Stay, f2);
+            obs::add(Counter::CompiledNtwaStates, b.next_state as u64);
+            obs::add(Counter::CompiledNtwaSubtests, b.subs.len() as u64);
             Ntwa {
                 top: Twa {
                     n_states: b.next_state,
@@ -235,11 +254,10 @@ pub fn rnode_to_ntwa(f: &RNode) -> Ntwa {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_regxpath::generate::{random_rnode, random_rpath, RGenConfig};
     use twx_twa::eval::{accepts_from, eval_rel};
     use twx_xtree::generate::{enumerate_trees_up_to, random_tree, Shape};
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     /// Theorem (Regular XPath(W) ⊆ NTWA), machine-checked: the compiled
     /// automaton computes the same relation on every bounded-domain tree.

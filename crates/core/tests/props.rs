@@ -1,119 +1,120 @@
 //! Property-based tests for the translation triangle: every translation
-//! preserves semantics on random trees, for proptest-generated queries.
+//! preserves semantics on random trees, for randomly generated queries.
+//!
+//! Queries come from the workspace's own generators
+//! ([`twx_regxpath::generate`]) driven by the deterministic in-tree PRNG,
+//! so every failure reproduces from the seed in the test.
 
-use proptest::prelude::*;
 use twx_core::{ntwa_to_rpath, rnode_to_formula, rnode_to_ntwa, rpath_to_formula, rpath_to_ntwa};
 use twx_fotc::eval::{eval_binary, eval_unary};
-use twx_regxpath::ast::{Axis, RNode, RPath};
+use twx_regxpath::generate::{random_rnode, random_rpath, RGenConfig};
 use twx_twa::eval::{accepts_from, eval_rel as twa_rel};
 use twx_xtree::generate::from_parent_vec;
+use twx_xtree::rng::{Rng, SplitMix64};
 use twx_xtree::{Label, Tree};
 
-fn arb_axis() -> impl Strategy<Value = Axis> {
-    prop_oneof![
-        Just(Axis::Down),
-        Just(Axis::Up),
-        Just(Axis::Left),
-        Just(Axis::Right),
-    ]
+fn rand_tree(rng: &mut SplitMix64, max_n: usize) -> Tree {
+    let n = rng.gen_range(1..max_n + 1);
+    let mut parents = vec![0u32; n];
+    for (i, p) in parents.iter_mut().enumerate().skip(1) {
+        *p = rng.gen_range(0..i as u32);
+    }
+    let ls: Vec<Label> = (0..n).map(|_| Label(rng.gen_range(0..2u32))).collect();
+    from_parent_vec(&parents, &ls)
 }
 
-fn arb_rpath() -> impl Strategy<Value = RPath> {
-    let leaf = prop_oneof![
-        arb_axis().prop_map(RPath::Axis),
-        Just(RPath::Eps),
-        (0u32..2).prop_map(|l| RPath::test(RNode::Label(Label(l)))),
-    ];
-    leaf.prop_recursive(3, 14, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.seq(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
-            inner.clone().prop_map(|a| a.star()),
-            (inner.clone(), arb_rnode_from(inner)).prop_map(|(a, f)| a.filter(f)),
-        ]
-    })
-}
+const ROUNDS: usize = 32;
 
-fn arb_rnode_from(paths: impl Strategy<Value = RPath> + Clone + 'static) -> BoxedStrategy<RNode> {
-    let leaf = prop_oneof![
-        Just(RNode::True),
-        (0u32..2).prop_map(|l| RNode::Label(Label(l))),
-    ];
-    leaf.prop_recursive(2, 8, 2, move |inner| {
-        prop_oneof![
-            paths.clone().prop_map(RNode::some),
-            inner.clone().prop_map(|f| f.not()),
-            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.and(g)),
-            inner.clone().prop_map(|f| f.within()),
-        ]
-    })
-    .boxed()
-}
-
-fn arb_rnode() -> impl Strategy<Value = RNode> {
-    arb_rnode_from(arb_rpath().boxed())
-}
-
-fn arb_tree(max_n: usize) -> impl Strategy<Value = Tree> {
-    (1..=max_n).prop_flat_map(|n| {
-        let parents = (1..n).map(|i| 0..i as u32).collect::<Vec<_>>().prop_map(|mut ps| {
-            ps.insert(0, 0);
-            ps
-        });
-        let labels = proptest::collection::vec(0u32..2, n);
-        (parents, labels).prop_map(|(ps, ls)| {
-            let ls: Vec<Label> = ls.into_iter().map(Label).collect();
-            from_parent_vec(&ps, &ls)
-        })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Regular XPath(W) → FO(MTC) preserves binary relations.
-    #[test]
-    fn logic_translation_exact(p in arb_rpath(), t in arb_tree(6)) {
+/// Regular XPath(W) → FO(MTC) preserves binary relations.
+#[test]
+fn logic_translation_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0x109c);
+    let cfg = RGenConfig::default();
+    for _ in 0..ROUNDS {
+        let p = random_rpath(&cfg, 3, &mut rng);
+        let t = rand_tree(&mut rng, 6);
         let f = rpath_to_formula(&p, 0, 1, 2);
-        prop_assert_eq!(twx_regxpath::eval_rel(&t, &p), eval_binary(&t, &f, 0, 1));
-    }
-
-    /// … and node sets.
-    #[test]
-    fn logic_node_translation_exact(g in arb_rnode(), t in arb_tree(6)) {
-        let f = rnode_to_formula(&g, 0, 1);
-        prop_assert_eq!(twx_regxpath::eval_node(&t, &g), eval_unary(&t, &f, 0));
-    }
-
-    /// Regular XPath(W) → NTWA preserves binary relations.
-    #[test]
-    fn thompson_exact(p in arb_rpath(), t in arb_tree(7)) {
-        let a = rpath_to_ntwa(&p);
-        prop_assert!(a.validate().is_ok());
-        prop_assert_eq!(twx_regxpath::eval_rel(&t, &p), twa_rel(&t, &a));
-    }
-
-    /// Node compilation preserves acceptance sets.
-    #[test]
-    fn thompson_node_exact(g in arb_rnode(), t in arb_tree(6)) {
-        let a = rnode_to_ntwa(&g);
-        prop_assert_eq!(twx_regxpath::eval_node(&t, &g), accepts_from(&t, &a));
-    }
-
-    /// The Kleene round trip is the identity up to semantics.
-    #[test]
-    fn kleene_roundtrip_exact(p in arb_rpath(), t in arb_tree(6)) {
-        let back = ntwa_to_rpath(&rpath_to_ntwa(&p));
-        prop_assert_eq!(
+        assert_eq!(
             twx_regxpath::eval_rel(&t, &p),
-            twx_regxpath::eval_rel(&t, &back)
+            eval_binary(&t, &f, 0, 1),
+            "{p:?}"
         );
     }
+}
 
-    /// Thompson state count is linear in expression size.
-    #[test]
-    fn thompson_linear(p in arb_rpath()) {
+/// … and node sets.
+#[test]
+fn logic_node_translation_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0x109d);
+    let cfg = RGenConfig::default();
+    for _ in 0..ROUNDS {
+        let g = random_rnode(&cfg, 3, &mut rng);
+        let t = rand_tree(&mut rng, 6);
+        let f = rnode_to_formula(&g, 0, 1);
+        assert_eq!(
+            twx_regxpath::eval_node(&t, &g),
+            eval_unary(&t, &f, 0),
+            "{g:?}"
+        );
+    }
+}
+
+/// Regular XPath(W) → NTWA preserves binary relations.
+#[test]
+fn thompson_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0x7503);
+    let cfg = RGenConfig::default();
+    for _ in 0..ROUNDS {
+        let p = random_rpath(&cfg, 3, &mut rng);
+        let t = rand_tree(&mut rng, 7);
         let a = rpath_to_ntwa(&p);
-        prop_assert!(a.total_states() <= 2 * p.size());
+        assert!(a.validate().is_ok());
+        assert_eq!(twx_regxpath::eval_rel(&t, &p), twa_rel(&t, &a), "{p:?}");
+    }
+}
+
+/// Node compilation preserves acceptance sets.
+#[test]
+fn thompson_node_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0x7504);
+    let cfg = RGenConfig::default();
+    for _ in 0..ROUNDS {
+        let g = random_rnode(&cfg, 3, &mut rng);
+        let t = rand_tree(&mut rng, 6);
+        let a = rnode_to_ntwa(&g);
+        assert_eq!(
+            twx_regxpath::eval_node(&t, &g),
+            accepts_from(&t, &a),
+            "{g:?}"
+        );
+    }
+}
+
+/// The Kleene round trip is the identity up to semantics.
+#[test]
+fn kleene_roundtrip_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0x6133);
+    let cfg = RGenConfig::default();
+    for _ in 0..ROUNDS {
+        let p = random_rpath(&cfg, 2, &mut rng);
+        let t = rand_tree(&mut rng, 6);
+        let back = ntwa_to_rpath(&rpath_to_ntwa(&p));
+        assert_eq!(
+            twx_regxpath::eval_rel(&t, &p),
+            twx_regxpath::eval_rel(&t, &back),
+            "{p:?}"
+        );
+    }
+}
+
+/// Thompson state count is linear in expression size.
+#[test]
+fn thompson_linear() {
+    let mut rng = SplitMix64::seed_from_u64(0x7511);
+    let cfg = RGenConfig::default();
+    for _ in 0..200 {
+        let p = random_rpath(&cfg, 4, &mut rng);
+        let a = rpath_to_ntwa(&p);
+        assert!(a.total_states() <= 2 * p.size(), "{p:?}");
     }
 }

@@ -87,9 +87,11 @@ impl AbbrevParser<'_> {
     fn name(&mut self) -> Result<String, SyntaxError> {
         self.skip_ws();
         let start = self.pos;
-        while self.input.get(self.pos).is_some_and(|&c| {
-            c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'@' | b'=')
-        }) {
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|&c| c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'@' | b'='))
+        {
             self.pos += 1;
         }
         if self.pos == start {

@@ -77,7 +77,12 @@ pub fn all_axioms() -> Vec<Axiom> {
             name: "ISAx2",
             group: "semiring",
             statement: "A ∪ B ≡ B ∪ A",
-            instantiate: |i| Path(i.a.clone().union(i.b.clone()), i.b.clone().union(i.a.clone())),
+            instantiate: |i| {
+                Path(
+                    i.a.clone().union(i.b.clone()),
+                    i.b.clone().union(i.a.clone()),
+                )
+            },
         },
         Axiom {
             name: "ISAx3",
@@ -115,7 +120,9 @@ pub fn all_axioms() -> Vec<Axiom> {
             instantiate: |i| {
                 Path(
                     i.a.clone().seq(i.b.clone().union(i.c.clone())),
-                    i.a.clone().seq(i.b.clone()).union(i.a.clone().seq(i.c.clone())),
+                    i.a.clone()
+                        .seq(i.b.clone())
+                        .union(i.a.clone().seq(i.c.clone())),
                 )
             },
         },
@@ -126,7 +133,9 @@ pub fn all_axioms() -> Vec<Axiom> {
             instantiate: |i| {
                 Path(
                     i.a.clone().union(i.b.clone()).seq(i.c.clone()),
-                    i.a.clone().seq(i.c.clone()).union(i.b.clone().seq(i.c.clone())),
+                    i.a.clone()
+                        .seq(i.c.clone())
+                        .union(i.b.clone().seq(i.c.clone())),
                 )
             },
         },
@@ -187,11 +196,11 @@ pub fn all_axioms() -> Vec<Axiom> {
                 let phi = i.phi.clone();
                 let psi = i.psi.clone();
                 Node(
-                    phi.clone()
+                    phi.clone().not().or(psi.clone()).not().or(phi
+                        .clone()
                         .not()
-                        .or(psi.clone())
-                        .not()
-                        .or(phi.clone().not().or(psi.not()).not()),
+                        .or(psi.not())
+                        .not()),
                     phi,
                 )
             },
@@ -376,9 +385,7 @@ pub fn all_axioms() -> Vec<Axiom> {
 /// Checks one instance on one tree.
 pub fn holds_on(instance: &AxiomInstance, t: &twx_xtree::Tree) -> bool {
     match instance {
-        AxiomInstance::Path(l, r) => {
-            crate::eval_path_rel(t, l) == crate::eval_path_rel(t, r)
-        }
+        AxiomInstance::Path(l, r) => crate::eval_path_rel(t, l) == crate::eval_path_rel(t, r),
         AxiomInstance::Node(l, r) => crate::eval_node(t, l) == crate::eval_node(t, r),
     }
 }
@@ -387,9 +394,8 @@ pub fn holds_on(instance: &AxiomInstance, t: &twx_xtree::Tree) -> bool {
 mod tests {
     use super::*;
     use crate::generate::{random_node_expr, random_path_expr, GenConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_xtree::generate::enumerate_trees_up_to;
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     fn random_instantiation(rng: &mut StdRng) -> Instantiation {
         let cfg = GenConfig {
@@ -450,7 +456,14 @@ mod tests {
         let groups: std::collections::BTreeSet<_> = axioms.iter().map(|a| a.group).collect();
         assert_eq!(
             groups.into_iter().collect::<Vec<_>>(),
-            vec!["boolean", "linear", "predicates", "semiring", "transitive", "tree"]
+            vec![
+                "boolean",
+                "linear",
+                "predicates",
+                "semiring",
+                "transitive",
+                "tree"
+            ]
         );
     }
 }

@@ -60,9 +60,8 @@ pub fn to_root() -> PathExpr {
 mod tests {
     use super::*;
     use crate::eval_naive::eval_path_rel;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_xtree::generate::{random_tree, Shape};
+    use twx_xtree::rng::SplitMix64 as StdRng;
     use twx_xtree::traverse;
 
     #[test]
@@ -97,7 +96,9 @@ mod tests {
 
     #[test]
     fn siblings_axis() {
-        let t = twx_xtree::parse::parse_sexp("(a (b d e) (c f))").unwrap().tree;
+        let t = twx_xtree::parse::parse_sexp("(a (b d e) (c f))")
+            .unwrap()
+            .tree;
         let sib = eval_path_rel(&t, &self_or_sibling());
         use twx_xtree::NodeId;
         assert!(sib.get(NodeId(1), NodeId(4)));

@@ -6,6 +6,7 @@
 //! `O(|Q| · |T|)` — the bound that motivated the isolation of Core XPath.
 
 use crate::ast::{Axis, NodeExpr, PathExpr, Step};
+use twx_obs::{self as obs, Counter};
 use twx_xtree::{NodeId, NodeSet, Tree};
 
 /// The image of `s` under one step: `{ y | ∃x ∈ s. (x,y) ∈ [[step]] }`.
@@ -23,6 +24,8 @@ use twx_xtree::{NodeId, NodeSet, Tree};
 pub fn step_image(t: &Tree, step: Step, s: &NodeSet) -> NodeSet {
     let n = t.len();
     debug_assert_eq!(s.universe(), n);
+    obs::incr(Counter::CoreStepImages);
+    obs::add(Counter::CoreNodesScanned, n as u64);
     let mut out = NodeSet::empty(n);
     match (step.axis, step.closure) {
         (Axis::Down, false) => {

@@ -74,9 +74,7 @@ pub fn eval_node_naive(t: &Tree, phi: &NodeExpr) -> NodeSet {
     let n = t.len();
     match phi {
         NodeExpr::True => NodeSet::full(n),
-        NodeExpr::Label(l) => {
-            NodeSet::from_iter(n, t.nodes().filter(|&v| t.label(v) == *l))
-        }
+        NodeExpr::Label(l) => NodeSet::from_iter(n, t.nodes().filter(|&v| t.label(v) == *l)),
         NodeExpr::Some(a) => eval_path_rel(t, a).domain(),
         NodeExpr::Not(f) => {
             let mut s = eval_node_naive(t, f);
@@ -138,9 +136,8 @@ mod tests {
     #[test]
     fn agrees_with_linear_evaluator() {
         use crate::generate::{random_node_expr, random_path_expr, GenConfig};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
         use twx_xtree::generate::{random_tree, Shape};
+        use twx_xtree::rng::SplitMix64 as StdRng;
 
         let mut rng = StdRng::seed_from_u64(2008);
         let cfg = GenConfig::default();

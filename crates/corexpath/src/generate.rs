@@ -1,7 +1,7 @@
 //! Random expression generators (fuzzing + differential tests + benches).
 
 use crate::ast::{Axis, NodeExpr, PathExpr, Step};
-use rand::Rng;
+use twx_xtree::rng::Rng;
 use twx_xtree::Label;
 
 /// Configuration for random expression generation.
@@ -82,8 +82,7 @@ pub fn random_node_expr<R: Rng>(cfg: &GenConfig, depth: usize, rng: &mut R) -> N
 mod tests {
     use super::*;
     use crate::fragment::axes_of_path;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     #[test]
     fn respects_axis_restriction() {

@@ -42,8 +42,8 @@ pub mod parser;
 pub mod print;
 pub mod rewrite;
 
+pub use abbrev::parse_abbrev;
 pub use ast::{Axis, NodeExpr, PathExpr, Step};
 pub use eval::{eval_node, eval_path_image, eval_path_preimage, query};
 pub use eval_naive::{eval_node_naive, eval_path_rel};
-pub use abbrev::parse_abbrev;
 pub use parser::{parse_node_expr, parse_path_expr};

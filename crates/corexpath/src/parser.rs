@@ -96,11 +96,9 @@ impl<'a> Lexer<'a> {
             b'.' => Tok::Dot,
             b'+' => Tok::Plus,
             c if c.is_ascii_alphanumeric() || c == b'_' || c == b'@' => {
-                while self
-                    .input
-                    .get(self.pos)
-                    .is_some_and(|&c| c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'@' | b'='))
-                {
+                while self.input.get(self.pos).is_some_and(|&c| {
+                    c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'@' | b'=')
+                }) {
                     self.pos += 1;
                 }
                 Tok::Ident(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())

@@ -121,8 +121,7 @@ mod tests {
     use super::*;
     use crate::generate::{random_node_expr, random_path_expr, GenConfig};
     use crate::parser::{parse_node_expr, parse_path_expr};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     #[test]
     fn simple_forms() {

@@ -257,9 +257,8 @@ mod tests {
     use crate::ast::Axis;
     use crate::eval::{eval_node, eval_path_image};
     use crate::generate::{random_node_expr, random_path_expr, GenConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_xtree::generate::enumerate_trees_up_to;
+    use twx_xtree::rng::SplitMix64 as StdRng;
     use twx_xtree::{Label, NodeSet};
 
     #[test]
@@ -295,8 +294,14 @@ mod tests {
         assert_eq!(simplify_node(&p.clone().not().not()), p);
         assert_eq!(simplify_node(&p.clone().and(NodeExpr::True)), p);
         assert_eq!(simplify_node(&p.clone().or(NodeExpr::fals())), p);
-        assert_eq!(simplify_node(&p.clone().and(p.clone().not())), NodeExpr::fals());
-        assert_eq!(simplify_node(&p.clone().or(p.clone().not())), NodeExpr::True);
+        assert_eq!(
+            simplify_node(&p.clone().and(p.clone().not())),
+            NodeExpr::fals()
+        );
+        assert_eq!(
+            simplify_node(&p.clone().or(p.clone().not())),
+            NodeExpr::True
+        );
         assert_eq!(
             simplify_node(&NodeExpr::some(PathExpr::Slf)),
             NodeExpr::True

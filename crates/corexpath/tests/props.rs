@@ -1,159 +1,167 @@
 //! Property-based tests for Core XPath: parser/printer inversion,
 //! evaluator agreement, rewrite soundness, semantic laws.
+//!
+//! Instances come from the crate's own expression generators driven by
+//! the deterministic in-tree PRNG (no `proptest`, offline build).
 
-use proptest::prelude::*;
 use twx_corexpath::ast::{Axis, NodeExpr, PathExpr, Step};
 use twx_corexpath::eval::{eval_node, eval_path_image, eval_path_preimage};
 use twx_corexpath::eval_naive::{eval_node_naive, eval_path_rel};
+use twx_corexpath::generate::{random_node_expr, random_path_expr, GenConfig};
 use twx_corexpath::parser::{parse_node_expr, parse_path_expr};
 use twx_corexpath::print::{node_to_string, path_to_string};
 use twx_corexpath::rewrite::{simplify_node, simplify_path};
 use twx_xtree::generate::from_parent_vec;
+use twx_xtree::rng::{Rng, SplitMix64};
 use twx_xtree::{Alphabet, Label, NodeSet, Tree};
 
-fn arb_axis() -> impl Strategy<Value = Axis> {
-    prop_oneof![
-        Just(Axis::Down),
-        Just(Axis::Up),
-        Just(Axis::Left),
-        Just(Axis::Right),
-    ]
+fn rand_tree(rng: &mut SplitMix64, max_n: usize) -> Tree {
+    let n = rng.gen_range(1..max_n + 1);
+    let mut parents = vec![0u32; n];
+    for (i, p) in parents.iter_mut().enumerate().skip(1) {
+        *p = rng.gen_range(0..i as u32);
+    }
+    let ls: Vec<Label> = (0..n).map(|_| Label(rng.gen_range(0..3u32))).collect();
+    from_parent_vec(&parents, &ls)
 }
 
-fn arb_path() -> impl Strategy<Value = PathExpr> {
-    let leaf = prop_oneof![
-        (arb_axis(), any::<bool>()).prop_map(|(axis, closure)| PathExpr::Step(Step { axis, closure })),
-        Just(PathExpr::Slf),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.seq(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
-            (inner.clone(), arb_node_from(inner)).prop_map(|(a, f)| a.filter(f)),
-        ]
-    })
+fn rand_path(rng: &mut SplitMix64, depth: usize) -> PathExpr {
+    random_path_expr(&GenConfig::default(), depth, rng)
 }
 
-fn arb_node_from(paths: impl Strategy<Value = PathExpr> + Clone + 'static) -> BoxedStrategy<NodeExpr> {
-    let leaf = prop_oneof![
-        Just(NodeExpr::True),
-        (0u32..3).prop_map(|l| NodeExpr::Label(Label(l))),
-    ];
-    leaf.prop_recursive(3, 16, 2, move |inner| {
-        prop_oneof![
-            paths.clone().prop_map(NodeExpr::some),
-            inner.clone().prop_map(|f| f.not()),
-            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.and(g)),
-            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.or(g)),
-        ]
-    })
-    .boxed()
-}
-
-fn arb_node() -> impl Strategy<Value = NodeExpr> {
-    arb_node_from(arb_path().boxed())
-}
-
-fn arb_tree(max_n: usize) -> impl Strategy<Value = Tree> {
-    (1..=max_n).prop_flat_map(|n| {
-        let parents = (1..n).map(|i| 0..i as u32).collect::<Vec<_>>().prop_map(|mut ps| {
-            ps.insert(0, 0);
-            ps
-        });
-        let labels = proptest::collection::vec(0u32..3, n);
-        (parents, labels).prop_map(|(ps, ls)| {
-            let ls: Vec<Label> = ls.into_iter().map(Label).collect();
-            from_parent_vec(&ps, &ls)
-        })
-    })
+fn rand_node(rng: &mut SplitMix64, depth: usize) -> NodeExpr {
+    random_node_expr(&GenConfig::default(), depth, rng)
 }
 
 fn test_alphabet() -> Alphabet {
     Alphabet::from_names(["l0", "l1", "l2"])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const ROUNDS: usize = 64;
 
-    /// print ∘ parse = id on path expressions.
-    #[test]
-    fn path_print_parse_roundtrip(p in arb_path()) {
+/// print ∘ parse = id on path expressions.
+#[test]
+fn path_print_parse_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0a1);
+    for _ in 0..ROUNDS {
+        let p = rand_path(&mut rng, 4);
         let mut ab = test_alphabet();
         let s = path_to_string(&p, &ab);
         let back = parse_path_expr(&s, &mut ab).expect("reparse");
-        prop_assert_eq!(back, p, "via '{}'", s);
+        assert_eq!(back, p, "via '{s}'");
     }
+}
 
-    /// print ∘ parse = id on node expressions.
-    #[test]
-    fn node_print_parse_roundtrip(f in arb_node()) {
+/// print ∘ parse = id on node expressions.
+#[test]
+fn node_print_parse_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0a2);
+    for _ in 0..ROUNDS {
+        let f = rand_node(&mut rng, 4);
         let mut ab = test_alphabet();
         let s = node_to_string(&f, &ab);
         let back = parse_node_expr(&s, &mut ab).expect("reparse");
-        prop_assert_eq!(back, f, "via '{}'", s);
+        assert_eq!(back, f, "via '{s}'");
     }
+}
 
-    /// The linear evaluator agrees with the relational semantics, for
-    /// images and preimages from every singleton context.
-    #[test]
-    fn evaluators_agree(p in arb_path(), t in arb_tree(10)) {
+/// The linear evaluator agrees with the relational semantics, for
+/// images and preimages from every singleton context.
+#[test]
+fn evaluators_agree() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0a3);
+    for _ in 0..ROUNDS {
+        let p = rand_path(&mut rng, 3);
+        let t = rand_tree(&mut rng, 10);
         let rel = eval_path_rel(&t, &p);
         let relt = rel.transpose();
         for v in t.nodes() {
             let ctx = NodeSet::singleton(t.len(), v);
-            prop_assert_eq!(eval_path_image(&t, &p, &ctx), rel.image(&ctx));
-            prop_assert_eq!(eval_path_preimage(&t, &p, &ctx), relt.image(&ctx));
+            assert_eq!(eval_path_image(&t, &p, &ctx), rel.image(&ctx), "{p:?}");
+            assert_eq!(eval_path_preimage(&t, &p, &ctx), relt.image(&ctx), "{p:?}");
         }
     }
+}
 
-    /// Node evaluators agree.
-    #[test]
-    fn node_evaluators_agree(f in arb_node(), t in arb_tree(10)) {
-        prop_assert_eq!(eval_node(&t, &f), eval_node_naive(&t, &f));
+/// Node evaluators agree.
+#[test]
+fn node_evaluators_agree() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0a4);
+    for _ in 0..ROUNDS {
+        let f = rand_node(&mut rng, 3);
+        let t = rand_tree(&mut rng, 10);
+        assert_eq!(eval_node(&t, &f), eval_node_naive(&t, &f), "{f:?}");
     }
+}
 
-    /// Rewriting never grows expressions and never changes semantics.
-    #[test]
-    fn simplify_sound_and_nonincreasing(p in arb_path(), t in arb_tree(8)) {
+/// Rewriting never grows expressions and never changes semantics.
+#[test]
+fn simplify_sound_and_nonincreasing() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0a5);
+    for _ in 0..ROUNDS {
+        let p = rand_path(&mut rng, 3);
+        let t = rand_tree(&mut rng, 8);
         let sp = simplify_path(&p);
-        prop_assert!(sp.size() <= p.size());
-        prop_assert_eq!(eval_path_rel(&t, &p), eval_path_rel(&t, &sp));
+        assert!(sp.size() <= p.size());
+        assert_eq!(eval_path_rel(&t, &p), eval_path_rel(&t, &sp), "{p:?}");
     }
+}
 
-    /// Same for node expressions.
-    #[test]
-    fn simplify_node_sound(f in arb_node(), t in arb_tree(8)) {
+/// Same for node expressions.
+#[test]
+fn simplify_node_sound() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0a6);
+    for _ in 0..ROUNDS {
+        let f = rand_node(&mut rng, 3);
+        let t = rand_tree(&mut rng, 8);
         let sf = simplify_node(&f);
-        prop_assert!(sf.size() <= f.size());
-        prop_assert_eq!(eval_node(&t, &f), eval_node(&t, &sf));
+        assert!(sf.size() <= f.size());
+        assert_eq!(eval_node(&t, &f), eval_node(&t, &sf), "{f:?}");
     }
+}
 
-    /// Semantic law: the image under `A/B` equals composing images.
-    #[test]
-    fn composition_law(a in arb_path(), b in arb_path(), t in arb_tree(8)) {
+/// Semantic law: the image under `A/B` equals composing images.
+#[test]
+fn composition_law() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0a7);
+    for _ in 0..ROUNDS {
+        let a = rand_path(&mut rng, 3);
+        let b = rand_path(&mut rng, 3);
+        let t = rand_tree(&mut rng, 8);
         let seq = a.clone().seq(b.clone());
         for v in t.nodes() {
             let ctx = NodeSet::singleton(t.len(), v);
             let via_seq = eval_path_image(&t, &seq, &ctx);
             let mid = eval_path_image(&t, &a, &ctx);
             let via_steps = eval_path_image(&t, &b, &mid);
-            prop_assert_eq!(via_seq, via_steps);
+            assert_eq!(via_seq, via_steps);
         }
     }
+}
 
-    /// Semantic law: ⟨A⟩ is the domain of [[A]].
-    #[test]
-    fn diamond_is_domain(a in arb_path(), t in arb_tree(8)) {
+/// Semantic law: ⟨A⟩ is the domain of [[A]].
+#[test]
+fn diamond_is_domain() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0a8);
+    for _ in 0..ROUNDS {
+        let a = rand_path(&mut rng, 3);
+        let t = rand_tree(&mut rng, 8);
         let dom = eval_path_rel(&t, &a).domain();
-        prop_assert_eq!(eval_node(&t, &NodeExpr::some(a)), dom);
+        assert_eq!(eval_node(&t, &NodeExpr::some(a)), dom);
     }
+}
 
-    /// Semantic law: steps and their inverses are converse relations.
-    #[test]
-    fn step_inverse_is_converse(axis in arb_axis(), closure in any::<bool>(), t in arb_tree(10)) {
+/// Semantic law: steps and their inverses are converse relations.
+#[test]
+fn step_inverse_is_converse() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0a9);
+    for _ in 0..ROUNDS {
+        let axis = *rng.choose(&Axis::ALL);
+        let closure = rng.gen_bool(0.5);
+        let t = rand_tree(&mut rng, 10);
         let step = Step { axis, closure };
         let fwd = eval_path_rel(&t, &PathExpr::Step(step));
         let bwd = eval_path_rel(&t, &PathExpr::Step(step.inverse()));
-        prop_assert_eq!(fwd.transpose(), bwd);
+        assert_eq!(fwd.transpose(), bwd);
     }
 }

@@ -129,7 +129,13 @@ impl Formula {
                 inner.remove(v);
                 out.extend(inner);
             }
-            Formula::Tc { x, y, phi, from, to } => {
+            Formula::Tc {
+                x,
+                y,
+                phi,
+                from,
+                to,
+            } => {
                 let mut inner = BTreeSet::new();
                 phi.collect_free(&mut inner);
                 inner.remove(x);
@@ -170,9 +176,13 @@ impl Formula {
             Formula::Not(f) => f.max_var(),
             Formula::And(f, g) | Formula::Or(f, g) => f.max_var().max(g.max_var()),
             Formula::Exists(v, f) | Formula::Forall(v, f) => (*v).max(f.max_var()),
-            Formula::Tc { x, y, phi, from, to } => {
-                (*x).max(*y).max(*from).max(*to).max(phi.max_var())
-            }
+            Formula::Tc {
+                x,
+                y,
+                phi,
+                from,
+                to,
+            } => (*x).max(*y).max(*from).max(*to).max(phi.max_var()),
         }
     }
 }
@@ -207,6 +217,12 @@ mod tests {
         assert_eq!(d.free_vars().into_iter().collect::<Vec<_>>(), [0, 1]);
         let r = Formula::root(0, 9);
         assert_eq!(r.free_vars().into_iter().collect::<Vec<_>>(), [0]);
-        assert_eq!(Formula::leaf(3, 9).free_vars().into_iter().collect::<Vec<_>>(), [3]);
+        assert_eq!(
+            Formula::leaf(3, 9)
+                .free_vars()
+                .into_iter()
+                .collect::<Vec<_>>(),
+            [3]
+        );
     }
 }

@@ -120,7 +120,9 @@ mod tests {
     use twx_xtree::{NodeId, Tree};
 
     fn sample() -> Tree {
-        twx_xtree::parse::parse_sexp("(a (b d e) (c f))").unwrap().tree
+        twx_xtree::parse::parse_sexp("(a (b d e) (c f))")
+            .unwrap()
+            .tree
     }
 
     #[test]
@@ -162,8 +164,7 @@ mod tests {
 
     #[test]
     fn document_order_on_random_trees() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use twx_xtree::rng::SplitMix64 as StdRng;
         let mut rng = StdRng::seed_from_u64(17);
         for _ in 0..5 {
             let t = random_tree(Shape::Recursive, 9, 2, &mut rng);

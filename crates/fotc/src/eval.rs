@@ -8,6 +8,7 @@
 //! decided by recursive evaluation on demand.
 
 use crate::ast::{Formula, Var};
+use twx_obs::{self as obs, Counter};
 use twx_xtree::{BitMatrix, NodeId, NodeSet, Tree};
 
 /// A variable assignment (dense, indexed by variable name).
@@ -53,6 +54,7 @@ impl Assignment {
 
 /// Evaluates `phi` on `t` under `env`.
 pub fn eval(t: &Tree, phi: &Formula, env: &mut Assignment) -> bool {
+    obs::incr(Counter::FoEvalSteps);
     match phi {
         Formula::Label(l, x) => t.label(env.get(*x)) == *l,
         Formula::Eq(x, y) => env.get(*x) == env.get(*y),
@@ -62,18 +64,26 @@ pub fn eval(t: &Tree, phi: &Formula, env: &mut Assignment) -> bool {
         Formula::And(f, g) => eval(t, f, env) && eval(t, g, env),
         Formula::Or(f, g) => eval(t, f, env) || eval(t, g, env),
         Formula::Exists(v, f) => t.nodes().any(|n| {
+            obs::incr(Counter::FoQuantifierBindings);
             let old = env.set(*v, n);
             let r = eval(t, f, env);
             env.restore(*v, old);
             r
         }),
         Formula::Forall(v, f) => t.nodes().all(|n| {
+            obs::incr(Counter::FoQuantifierBindings);
             let old = env.set(*v, n);
             let r = eval(t, f, env);
             env.restore(*v, old);
             r
         }),
-        Formula::Tc { x, y, phi, from, to } => {
+        Formula::Tc {
+            x,
+            y,
+            phi,
+            from,
+            to,
+        } => {
             let src = env.get(*from);
             let dst = env.get(*to);
             if src == dst {
@@ -84,10 +94,12 @@ pub fn eval(t: &Tree, phi: &Formula, env: &mut Assignment) -> bool {
             let mut seen = NodeSet::singleton(n, src);
             let mut frontier = vec![src];
             while let Some(a) = frontier.pop() {
+                obs::incr(Counter::TcIterations);
                 for b in t.nodes() {
                     if seen.contains(b) {
                         continue;
                     }
+                    obs::incr(Counter::TcEdgeTests);
                     let oldx = env.set(*x, a);
                     let oldy = env.set(*y, b);
                     let step = eval(t, phi, env);
@@ -143,6 +155,7 @@ pub fn eval_binary(t: &Tree, phi: &Formula, x: Var, y: Var) -> BitMatrix {
         for b in t.nodes() {
             env.set(y, b);
             if eval(t, phi, &mut env) {
+                obs::incr(Counter::BitMatrixCells);
                 out.set(a, b);
             }
         }

@@ -2,7 +2,7 @@
 //! FO ↔ XPath translations).
 
 use crate::ast::{Formula, Var};
-use rand::Rng;
+use twx_xtree::rng::Rng;
 use twx_xtree::Label;
 
 /// Configuration for random formula generation.
@@ -56,10 +56,20 @@ pub fn random_formula<R: Rng>(
         }
         2 => Formula::Child(pick(rng), pick(rng)),
         3 => random_formula(cfg, depth - 1, free, next_var, rng).not(),
-        4 => random_formula(cfg, depth - 1, free, next_var, rng)
-            .and(random_formula(cfg, depth - 1, free, next_var, rng)),
-        5 => random_formula(cfg, depth - 1, free, next_var, rng)
-            .or(random_formula(cfg, depth - 1, free, next_var, rng)),
+        4 => random_formula(cfg, depth - 1, free, next_var, rng).and(random_formula(
+            cfg,
+            depth - 1,
+            free,
+            next_var,
+            rng,
+        )),
+        5 => random_formula(cfg, depth - 1, free, next_var, rng).or(random_formula(
+            cfg,
+            depth - 1,
+            free,
+            next_var,
+            rng,
+        )),
         6 | 7 if cfg.quantifiers => {
             let v = next_var;
             let mut scope: Vec<Var> = free.to_vec();
@@ -87,8 +97,7 @@ pub fn random_formula<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     #[test]
     fn free_vars_stay_in_scope() {

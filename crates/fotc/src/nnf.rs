@@ -51,7 +51,13 @@ fn nnf(f: &Formula, negated: bool) -> Formula {
                 nnf(g, false).forall(*v)
             }
         }
-        Formula::Tc { x, y, phi, from, to } => {
+        Formula::Tc {
+            x,
+            y,
+            phi,
+            from,
+            to,
+        } => {
             // normalise inside the TC step, keep the (possibly negated)
             // TC itself as a literal
             let inner = nnf(phi, false).tc(*x, *y, *from, *to);
@@ -69,18 +75,20 @@ fn nnf(f: &Formula, negated: bool) -> Formula {
 pub fn is_nnf(f: &Formula) -> bool {
     match f {
         Formula::Label(..) | Formula::Eq(..) | Formula::Child(..) | Formula::NextSib(..) => true,
-        Formula::Not(g) => matches!(
-            **g,
-            Formula::Label(..)
-                | Formula::Eq(..)
-                | Formula::Child(..)
-                | Formula::NextSib(..)
-                | Formula::Tc { .. }
-        ) && if let Formula::Tc { phi, .. } = &**g {
-            is_nnf(phi)
-        } else {
-            true
-        },
+        Formula::Not(g) => {
+            matches!(
+                **g,
+                Formula::Label(..)
+                    | Formula::Eq(..)
+                    | Formula::Child(..)
+                    | Formula::NextSib(..)
+                    | Formula::Tc { .. }
+            ) && if let Formula::Tc { phi, .. } = &**g {
+                is_nnf(phi)
+            } else {
+                true
+            }
+        }
         Formula::And(g, h) | Formula::Or(g, h) => is_nnf(g) && is_nnf(h),
         Formula::Exists(_, g) | Formula::Forall(_, g) => is_nnf(g),
         Formula::Tc { phi, .. } => is_nnf(phi),
@@ -92,9 +100,8 @@ mod tests {
     use super::*;
     use crate::eval::eval_unary;
     use crate::generate::{random_formula, FGenConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_xtree::generate::{random_tree, Shape};
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     #[test]
     fn classic_dualities() {

@@ -78,7 +78,13 @@ fn write_formula(f: &Formula, ab: &Alphabet, prec: u8, out: &mut String) {
             let _ = write!(out, "forall x{v}. ");
             write_formula(g, ab, 2, out);
         }
-        Formula::Tc { x, y, phi, from, to } => {
+        Formula::Tc {
+            x,
+            y,
+            phi,
+            from,
+            to,
+        } => {
             let _ = write!(out, "[TC_{{x{x},x{y}}} ");
             write_formula(phi, ab, 0, out);
             let _ = write!(out, "](x{from}, x{to})");

@@ -1,75 +1,81 @@
 //! Property-based tests for FO(MTC): logical laws of the model checker,
 //! NNF invariants, TC fixpoint characterisation.
+//!
+//! Instances come from a small recursive formula sampler driven by the
+//! deterministic in-tree PRNG (no `proptest`, offline build).
 
-use proptest::prelude::*;
 use twx_fotc::ast::Formula;
 use twx_fotc::eval::{eval_binary, eval_unary};
 use twx_fotc::nnf::{is_nnf, to_nnf};
 use twx_xtree::generate::from_parent_vec;
+use twx_xtree::rng::{Rng, SplitMix64};
 use twx_xtree::{Label, Tree};
 
-fn arb_tree(max_n: usize) -> impl Strategy<Value = Tree> {
-    (1..=max_n).prop_flat_map(|n| {
-        let parents = (1..n).map(|i| 0..i as u32).collect::<Vec<_>>().prop_map(|mut ps| {
-            ps.insert(0, 0);
-            ps
-        });
-        let labels = proptest::collection::vec(0u32..2, n);
-        (parents, labels).prop_map(|(ps, ls)| {
-            let ls: Vec<Label> = ls.into_iter().map(Label).collect();
-            from_parent_vec(&ps, &ls)
-        })
-    })
+fn rand_tree(rng: &mut SplitMix64, max_n: usize) -> Tree {
+    let n = rng.gen_range(1..max_n + 1);
+    let mut parents = vec![0u32; n];
+    for (i, p) in parents.iter_mut().enumerate().skip(1) {
+        *p = rng.gen_range(0..i as u32);
+    }
+    let ls: Vec<Label> = (0..n).map(|_| Label(rng.gen_range(0..2u32))).collect();
+    from_parent_vec(&parents, &ls)
 }
 
 /// Formulas with free variables ⊆ {0} (unary), bound vars from 1.
-fn arb_unary() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        (0u32..2).prop_map(|l| Formula::Label(Label(l), 0)),
-        Just(Formula::Eq(0, 0)),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| f.not()),
-            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.and(g)),
-            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.or(g)),
-            // ∃1. child(0,1) ∧ shifted — keep it simple: guard on a child
-            inner
-                .clone()
-                .prop_map(|f| Formula::Child(0, 1).and(rename_0_to(&f, 1)).exists(1)),
-            // a TC reachability guard
-            inner.clone().prop_map(|f| {
-                Formula::Child(2, 3)
-                    .tc(2, 3, 0, 1)
-                    .and(rename_0_to(&f, 1))
-                    .exists(1)
-            }),
-        ]
-    })
+///
+/// Mirrors the shapes of the original proptest strategy: atoms on
+/// variable 0, boolean combinations, a child-guarded ∃, and a TC
+/// reachability guard.
+fn rand_unary(rng: &mut SplitMix64, depth: usize) -> Formula {
+    if depth == 0 {
+        return match rng.gen_range(0..3) {
+            0 => Formula::Label(Label(0), 0),
+            1 => Formula::Label(Label(1), 0),
+            _ => Formula::Eq(0, 0),
+        };
+    }
+    match rng.gen_range(0..6) {
+        0 => rand_unary(rng, depth - 1).not(),
+        1 => rand_unary(rng, depth - 1).and(rand_unary(rng, depth - 1)),
+        2 => rand_unary(rng, depth - 1).or(rand_unary(rng, depth - 1)),
+        // ∃1. child(0,1) ∧ shifted — guard on a child
+        3 => Formula::Child(0, 1)
+            .and(rename_0_to(&rand_unary(rng, depth - 1), 1))
+            .exists(1),
+        // a TC reachability guard
+        4 => Formula::Child(2, 3)
+            .tc(2, 3, 0, 1)
+            .and(rename_0_to(&rand_unary(rng, depth - 1), 1))
+            .exists(1),
+        _ => rand_unary(rng, depth - 1),
+    }
 }
 
 /// Renames free variable 0 to `v` (formulas built above never bind 0).
 fn rename_0_to(f: &Formula, v: u32) -> Formula {
     match f {
         Formula::Label(l, x) => Formula::Label(*l, if *x == 0 { v } else { *x }),
-        Formula::Eq(a, b) => Formula::Eq(
-            if *a == 0 { v } else { *a },
-            if *b == 0 { v } else { *b },
-        ),
-        Formula::Child(a, b) => Formula::Child(
-            if *a == 0 { v } else { *a },
-            if *b == 0 { v } else { *b },
-        ),
-        Formula::NextSib(a, b) => Formula::NextSib(
-            if *a == 0 { v } else { *a },
-            if *b == 0 { v } else { *b },
-        ),
+        Formula::Eq(a, b) => {
+            Formula::Eq(if *a == 0 { v } else { *a }, if *b == 0 { v } else { *b })
+        }
+        Formula::Child(a, b) => {
+            Formula::Child(if *a == 0 { v } else { *a }, if *b == 0 { v } else { *b })
+        }
+        Formula::NextSib(a, b) => {
+            Formula::NextSib(if *a == 0 { v } else { *a }, if *b == 0 { v } else { *b })
+        }
         Formula::Not(g) => rename_0_to(g, v).not(),
         Formula::And(g, h) => rename_0_to(g, v).and(rename_0_to(h, v)),
         Formula::Or(g, h) => rename_0_to(g, v).or(rename_0_to(h, v)),
         Formula::Exists(x, g) => rename_0_to(g, v).exists(*x),
         Formula::Forall(x, g) => rename_0_to(g, v).forall(*x),
-        Formula::Tc { x, y, phi, from, to } => rename_0_to(phi, v).tc(
+        Formula::Tc {
+            x,
+            y,
+            phi,
+            from,
+            to,
+        } => rename_0_to(phi, v).tc(
             *x,
             *y,
             if *from == 0 { v } else { *from },
@@ -78,71 +84,92 @@ fn rename_0_to(f: &Formula, v: u32) -> Formula {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const ROUNDS: usize = 48;
 
-    /// Excluded middle and non-contradiction hold pointwise.
-    #[test]
-    fn boolean_laws(f in arb_unary(), t in arb_tree(7)) {
+/// Excluded middle and non-contradiction hold pointwise.
+#[test]
+fn boolean_laws() {
+    let mut rng = SplitMix64::seed_from_u64(0xb001);
+    for _ in 0..ROUNDS {
+        let f = rand_unary(&mut rng, 3);
+        let t = rand_tree(&mut rng, 7);
         let pos = eval_unary(&t, &f, 0);
         let neg = eval_unary(&t, &f.clone().not(), 0);
         let mut union = pos.clone();
         union.union_with(&neg);
-        prop_assert_eq!(union.count(), t.len());
+        assert_eq!(union.count(), t.len());
         let mut inter = pos;
         inter.intersect_with(&neg);
-        prop_assert!(inter.is_empty());
+        assert!(inter.is_empty());
     }
+}
 
-    /// NNF preserves semantics and produces NNF.
-    #[test]
-    fn nnf_correct(f in arb_unary(), t in arb_tree(6)) {
+/// NNF preserves semantics and produces NNF.
+#[test]
+fn nnf_correct() {
+    let mut rng = SplitMix64::seed_from_u64(0x27f1);
+    for _ in 0..ROUNDS {
+        let f = rand_unary(&mut rng, 3);
+        let t = rand_tree(&mut rng, 6);
         let n = to_nnf(&f);
-        prop_assert!(is_nnf(&n));
-        prop_assert_eq!(eval_unary(&t, &f, 0), eval_unary(&t, &n, 0));
+        assert!(is_nnf(&n));
+        assert_eq!(eval_unary(&t, &f, 0), eval_unary(&t, &n, 0), "{f:?}");
     }
+}
 
-    /// NNF preserves free variables.
-    #[test]
-    fn nnf_preserves_free_vars(f in arb_unary()) {
-        prop_assert_eq!(to_nnf(&f).free_vars(), f.free_vars());
+/// NNF preserves free variables.
+#[test]
+fn nnf_preserves_free_vars() {
+    let mut rng = SplitMix64::seed_from_u64(0x27f2);
+    for _ in 0..200 {
+        let f = rand_unary(&mut rng, 4);
+        assert_eq!(to_nnf(&f).free_vars(), f.free_vars(), "{f:?}");
     }
+}
 
-    /// TC is the least reflexive-transitive fixpoint: TC(φ) = TC(TC(φ))
-    /// and φ ⊆ TC(φ) (as relations), and TC is monotone in the step.
-    #[test]
-    fn tc_fixpoint_laws(t in arb_tree(6)) {
+/// TC is the least reflexive-transitive fixpoint: TC(φ) = TC(TC(φ))
+/// and φ ⊆ TC(φ) (as relations), and TC is reflexive.
+#[test]
+fn tc_fixpoint_laws() {
+    let mut rng = SplitMix64::seed_from_u64(0x7cf1);
+    for _ in 0..ROUNDS {
+        let t = rand_tree(&mut rng, 6);
         // step relation: child
         let step = Formula::Child(0, 1);
         let tc = step.clone().tc(0, 1, 2, 3);
         let rel_tc = eval_binary(&t, &tc, 2, 3);
         // idempotence: closing the closure changes nothing
         let tc_tc = tc.clone().tc(2, 3, 4, 5);
-        prop_assert_eq!(eval_binary(&t, &tc_tc, 4, 5), rel_tc.clone());
+        assert_eq!(eval_binary(&t, &tc_tc, 4, 5), rel_tc.clone());
         // extensivity: step ⊆ closure
         let rel_step = eval_binary(&t, &step, 0, 1);
         for x in t.nodes() {
             for y in t.nodes() {
                 if rel_step.get(x, y) {
-                    prop_assert!(rel_tc.get(x, y));
+                    assert!(rel_tc.get(x, y));
                 }
                 if x == y {
-                    prop_assert!(rel_tc.get(x, y)); // reflexivity
+                    assert!(rel_tc.get(x, y)); // reflexivity
                 }
             }
         }
     }
+}
 
-    /// Quantifier dualities at the evaluator level.
-    #[test]
-    fn quantifier_duality(f in arb_unary(), t in arb_tree(6)) {
+/// Quantifier dualities at the evaluator level.
+#[test]
+fn quantifier_duality() {
+    let mut rng = SplitMix64::seed_from_u64(0x40a1);
+    for _ in 0..ROUNDS {
+        let f = rand_unary(&mut rng, 3);
+        let t = rand_tree(&mut rng, 6);
         // ∃x.¬f ≡ ¬∀x.f, as sentences over the one free var closed here
         let ex = rename_0_to(&f, 9).not().exists(9);
         let fa = rename_0_to(&f, 9).forall(9).not();
-        // both are 0-ary given f's frees were {0}; close by renaming
-        prop_assert_eq!(
+        assert_eq!(
             twx_fotc::eval_sentence(&t, &ex),
-            twx_fotc::eval_sentence(&t, &fa)
+            twx_fotc::eval_sentence(&t, &fa),
+            "{f:?}"
         );
     }
 }

@@ -1,0 +1,342 @@
+//! # twx-obs — zero-dependency observability for the treewalk workspace
+//!
+//! The paper's contribution is an *effective* equivalence triangle
+//! (Regular XPath(W) ≡ FO(MTC) ≡ nested TWA), and the repository's
+//! experiments compare the **cost profiles** of the three pipelines.
+//! Wall-clock alone cannot explain those costs; this crate provides the
+//! structural metrics: how many product configurations an NFA run
+//! expanded, how many fixpoint iterations a `TC` evaluation needed, how
+//! many nested sub-automaton tests an NTWA run triggered, and how large
+//! each compiled artifact (NFA, formula, automaton) came out.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero external dependencies** — the build environment is offline;
+//!    `tracing`/`metrics` are not options. Everything here is `std`.
+//! 2. **Feature-gated to nothing** — with the `enabled` feature off (the
+//!    default is on), [`incr`]/[`add`] are empty `#[inline(always)]`
+//!    functions and [`Span`] is a zero-sized type, so instrumented hot
+//!    loops compile to exactly the uninstrumented code.
+//! 3. **Cheap when on** — counters are thread-local `Cell<u64>` slots
+//!    (no atomics on the hot path, no cross-test interference when the
+//!    test harness runs threads in parallel).
+//!
+//! The usage pattern is *snapshot–run–delta*:
+//!
+//! ```
+//! use twx_obs::{add, delta_since, snapshot, Counter};
+//! let before = snapshot();
+//! add(Counter::ProductConfigs, 3); // evaluator hot loop does this
+//! let counters = delta_since(&before);
+//! #[cfg(feature = "enabled")]
+//! assert_eq!(counters.get(Counter::ProductConfigs), 3);
+//! ```
+
+pub mod json;
+pub mod profile;
+
+pub use profile::{CompiledSizes, QueryProfile};
+
+#[cfg(feature = "enabled")]
+use std::cell::Cell;
+
+/// Whether instrumentation is compiled in.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $variant:ident => $name:literal,)*) => {
+        /// Every structural metric the workspace records.
+        ///
+        /// The taxonomy follows the paper's constructions — see the
+        /// variant docs and `DESIGN.md` ("Counter taxonomy") for what
+        /// each one measures.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        #[repr(usize)]
+        pub enum Counter {
+            $($(#[$doc])* $variant,)*
+        }
+
+        /// Number of counter slots.
+        pub const N_COUNTERS: usize = [$(Counter::$variant),*].len();
+
+        /// All counters, in slot order.
+        pub const ALL_COUNTERS: [Counter; N_COUNTERS] = [$(Counter::$variant),*];
+
+        impl Counter {
+            /// The stable snake_case name used in text and JSON exports.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Counter::$variant => $name,)*
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Product configurations `(node, NFA state)` newly expanded by the
+    /// Regular XPath(W) product evaluator (the `O(|T|·|A|)` bound of the
+    /// paper is a bound on exactly this number).
+    ProductConfigs => "product_configs",
+    /// Node-set materialisations of NFA test labels (one per distinct
+    /// test per evaluation).
+    ProductTestEvals => "product_test_evals",
+    /// Single-pass axis image/preimage computations in the Core XPath
+    /// evaluator (each is one `O(|T|)` scan).
+    CoreStepImages => "core_step_images",
+    /// Nodes scanned by those Core XPath passes.
+    CoreNodesScanned => "core_nodes_scanned",
+    /// Subformula evaluations performed by the FO(MTC) model checker.
+    FoEvalSteps => "fo_eval_steps",
+    /// Nodes bound by `∃`/`∀` during FO(MTC) evaluation (the `O(n^k)`
+    /// quantifier cost).
+    FoQuantifierBindings => "fo_quantifier_bindings",
+    /// Frontier nodes popped by the `TC` fixpoint search.
+    TcIterations => "tc_iterations",
+    /// Candidate edges `(a, b)` decided (by recursive evaluation) inside
+    /// `TC` fixpoints.
+    TcEdgeTests => "tc_edge_tests",
+    /// NTWA configurations `(node, state)` newly expanded by the walking
+    /// evaluator.
+    TwaSteps => "twa_steps",
+    /// Nested sub-automaton acceptance evaluations (the "nested" in
+    /// nested TWA: one per sub-automaton per scope actually resolved).
+    TwaSubtestInvocations => "twa_subtest_invocations",
+    /// Subtree copies extracted for `W` (within) semantics or
+    /// subtree-scoped nested tests.
+    SubtreeExtractions => "subtree_extractions",
+    /// `BitMatrix` cells written while materialising binary relations.
+    BitMatrixCells => "bitmatrix_cells",
+    /// Compiled-artifact cache hits (e.g. a `Prepared` query reusing its
+    /// compiled NFA/automaton/formula).
+    MemoHits => "memo_hits",
+    /// Compiled-artifact cache misses (compilations actually performed).
+    MemoMisses => "memo_misses",
+    /// NFA states produced by Regular XPath(W) → NFA compilation.
+    CompiledNfaStates => "compiled_nfa_states",
+    /// FO(MTC) formula size produced by the logic translation.
+    CompiledFormulaSize => "compiled_formula_size",
+    /// Total NTWA states (top + nested) produced by the automaton
+    /// translation.
+    CompiledNtwaStates => "compiled_ntwa_states",
+    /// Nested sub-automata produced by the automaton translation.
+    CompiledNtwaSubtests => "compiled_ntwa_subtests",
+    /// Nanoseconds spent evaluating (span timer).
+    EvalNanos => "eval_nanos",
+    /// Nanoseconds spent compiling/translating (span timer).
+    CompileNanos => "compile_nanos",
+}
+
+#[cfg(feature = "enabled")]
+thread_local! {
+    static COUNTERS: [Cell<u64>; N_COUNTERS] =
+        std::array::from_fn(|_| Cell::new(0));
+}
+
+/// Adds `n` to a counter. No-op without the `enabled` feature.
+#[inline(always)]
+pub fn add(c: Counter, n: u64) {
+    #[cfg(feature = "enabled")]
+    COUNTERS.with(|s| {
+        let cell = &s[c as usize];
+        cell.set(cell.get().wrapping_add(n));
+    });
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (c, n);
+    }
+}
+
+/// Increments a counter by one. No-op without the `enabled` feature.
+#[inline(always)]
+pub fn incr(c: Counter) {
+    add(c, 1);
+}
+
+/// A point-in-time copy of this thread's counters.
+///
+/// Without the `enabled` feature this is a zero-sized token and every
+/// delta is all-zero.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    #[cfg(feature = "enabled")]
+    values: [u64; N_COUNTERS],
+}
+
+/// Captures the current counter values of this thread.
+#[inline]
+pub fn snapshot() -> Snapshot {
+    #[cfg(feature = "enabled")]
+    {
+        Snapshot {
+            values: COUNTERS.with(|s| std::array::from_fn(|i| s[i].get())),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    Snapshot::default()
+}
+
+/// The counters accumulated since `before` was taken (on this thread).
+#[inline]
+pub fn delta_since(before: &Snapshot) -> Counters {
+    #[cfg(feature = "enabled")]
+    {
+        let now = snapshot();
+        Counters {
+            values: std::array::from_fn(|i| now.values[i].wrapping_sub(before.values[i])),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = before;
+        Counters::default()
+    }
+}
+
+/// An immutable bundle of counter values (a delta or an absolute view).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: [u64; N_COUNTERS],
+}
+
+impl Counters {
+    /// The value of one counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.values[c as usize]
+    }
+
+    /// Sets one counter (used by collectors that post-process deltas).
+    pub fn set(&mut self, c: Counter, v: u64) {
+        self.values[c as usize] = v;
+    }
+
+    /// Iterates `(name, value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        ALL_COUNTERS.iter().map(|&c| (c.name(), self.get(c)))
+    }
+
+    /// True iff every slot is zero.
+    pub fn is_zero(&self) -> bool {
+        self.values.iter().all(|&v| v == 0)
+    }
+
+    /// Slot-wise sum (for aggregating across runs).
+    pub fn merge(&mut self, other: &Counters) {
+        for i in 0..N_COUNTERS {
+            self.values[i] = self.values[i].wrapping_add(other.values[i]);
+        }
+    }
+}
+
+/// An RAII span timer: adds elapsed nanoseconds to `counter` on drop.
+///
+/// Without the `enabled` feature this is a zero-sized no-op.
+#[must_use = "a span records time only while it is alive"]
+pub struct Span {
+    #[cfg(feature = "enabled")]
+    counter: Counter,
+    #[cfg(feature = "enabled")]
+    start: std::time::Instant,
+}
+
+/// Starts a span accumulating into `counter`.
+#[inline(always)]
+pub fn span(counter: Counter) -> Span {
+    #[cfg(feature = "enabled")]
+    {
+        Span {
+            counter,
+            start: std::time::Instant::now(),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = counter;
+        Span {}
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        add(self.counter, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let mut names: Vec<&str> = ALL_COUNTERS.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate counter names");
+        for name in names {
+            assert!(
+                name.chars()
+                    .all(|ch| ch.is_ascii_lowercase() || ch == '_' || ch.is_ascii_digit()),
+                "{name} not snake_case"
+            );
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn deltas_are_isolated_per_snapshot() {
+        let s0 = snapshot();
+        add(Counter::TcIterations, 5);
+        let s1 = snapshot();
+        incr(Counter::TcIterations);
+        assert_eq!(delta_since(&s0).get(Counter::TcIterations), 6);
+        assert_eq!(delta_since(&s1).get(Counter::TcIterations), 1);
+        assert_eq!(delta_since(&s1).get(Counter::TwaSteps), 0);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn counters_are_thread_local() {
+        let s0 = snapshot();
+        std::thread::spawn(|| add(Counter::FoEvalSteps, 100))
+            .join()
+            .unwrap();
+        assert_eq!(delta_since(&s0).get(Counter::FoEvalSteps), 0);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn spans_accumulate_time() {
+        let s0 = snapshot();
+        {
+            let _g = span(Counter::EvalNanos);
+            std::hint::black_box((0..10_000).sum::<u64>());
+        }
+        assert!(delta_since(&s0).get(Counter::EvalNanos) > 0);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_is_zero_sized_and_silent() {
+        // compile-time guarantee: the disabled Span carries no data
+        assert_eq!(std::mem::size_of::<Span>(), 0);
+        assert_eq!(std::mem::size_of::<Snapshot>(), 0);
+        let s0 = snapshot();
+        add(Counter::TcIterations, 5);
+        assert!(delta_since(&s0).is_zero());
+    }
+
+    #[test]
+    fn merge_sums_slotwise() {
+        let mut a = Counters::default();
+        a.set(Counter::TwaSteps, 2);
+        let mut b = Counters::default();
+        b.set(Counter::TwaSteps, 3);
+        b.set(Counter::MemoHits, 1);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::TwaSteps), 5);
+        assert_eq!(a.get(Counter::MemoHits), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-query EXPLAIN profiles.
+//!
+//! A [`QueryProfile`] is the structural answer to "what did this
+//! evaluation cost?": which backend ran, how big the compiled artifact
+//! was, and every counter the evaluator incremented while it ran. The
+//! facade engine's `Engine::explain` produces one per query per backend,
+//! so the three pipelines of the equivalence triangle can be compared
+//! on state expansions and fixpoint iterations instead of wall-clock
+//! noise.
+
+use crate::json::Json;
+use crate::{Counter, Counters};
+use std::fmt;
+
+/// Sizes of the compiled artifacts a backend evaluates.
+///
+/// Fields are zero when the backend does not produce that artifact
+/// (e.g. only the logic backend has a formula size).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompiledSizes {
+    /// Size of the parsed query expression (AST nodes).
+    pub query_size: usize,
+    /// NFA states after Regular XPath(W) → NFA compilation.
+    pub nfa_states: usize,
+    /// FO(MTC) formula size after the logic translation.
+    pub formula_size: usize,
+    /// Total NTWA states (top-level + nested).
+    pub ntwa_states: usize,
+    /// Number of nested sub-automata.
+    pub ntwa_subtests: usize,
+}
+
+impl CompiledSizes {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("query_size", self.query_size)
+            .field("nfa_states", self.nfa_states)
+            .field("formula_size", self.formula_size)
+            .field("ntwa_states", self.ntwa_states)
+            .field("ntwa_subtests", self.ntwa_subtests)
+    }
+}
+
+/// The full cost profile of one query evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct QueryProfile {
+    /// The query text as given to the engine.
+    pub query: String,
+    /// Which backend evaluated it (`"product"`, `"automaton"`, `"logic"`).
+    pub backend: String,
+    /// Nodes in the evaluated tree.
+    pub tree_size: usize,
+    /// Nodes in the answer set.
+    pub result_count: usize,
+    /// Wall-clock nanoseconds of the evaluation (0 if obs is disabled).
+    pub eval_nanos: u64,
+    /// Wall-clock nanoseconds of compilation/translation (0 if disabled).
+    pub compile_nanos: u64,
+    /// Compiled-artifact sizes.
+    pub compiled: CompiledSizes,
+    /// Counter deltas recorded during compilation + evaluation.
+    pub counters: Counters,
+}
+
+impl QueryProfile {
+    /// The counters that were actually non-zero, `(name, value)` pairs.
+    pub fn active_counters(&self) -> Vec<(&'static str, u64)> {
+        self.counters.iter().filter(|&(_, v)| v > 0).collect()
+    }
+
+    /// A single headline number: total structural steps taken by the
+    /// evaluator (product configs + automaton steps + FO eval steps).
+    /// Comparable across backends as "how much work happened".
+    pub fn total_steps(&self) -> u64 {
+        self.counters.get(Counter::ProductConfigs)
+            + self.counters.get(Counter::TwaSteps)
+            + self.counters.get(Counter::FoEvalSteps)
+            + self.counters.get(Counter::CoreStepImages)
+    }
+
+    /// Renders the profile as an indented text block (the EXPLAIN view).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "EXPLAIN {} [backend={}]", self.query, self.backend);
+        let _ = writeln!(
+            out,
+            "  tree={} nodes  result={} nodes  steps={}",
+            self.tree_size,
+            self.result_count,
+            self.total_steps()
+        );
+        let _ = writeln!(
+            out,
+            "  compiled: query_size={} nfa_states={} formula_size={} ntwa_states={} ntwa_subtests={}",
+            self.compiled.query_size,
+            self.compiled.nfa_states,
+            self.compiled.formula_size,
+            self.compiled.ntwa_states,
+            self.compiled.ntwa_subtests,
+        );
+        if self.eval_nanos > 0 || self.compile_nanos > 0 {
+            let _ = writeln!(
+                out,
+                "  time: compile={:.1}µs eval={:.1}µs",
+                self.compile_nanos as f64 / 1_000.0,
+                self.eval_nanos as f64 / 1_000.0
+            );
+        }
+        let active = self.active_counters();
+        if active.is_empty() {
+            let _ = writeln!(out, "  counters: (none — obs disabled?)");
+        } else {
+            for (name, value) in active {
+                let _ = writeln!(out, "  {name:<24} {value}");
+            }
+        }
+        out
+    }
+
+    /// Renders the profile as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, value) in self.counters.iter() {
+            counters = counters.field(name, value);
+        }
+        Json::obj()
+            .field("query", self.query.as_str())
+            .field("backend", self.backend.as_str())
+            .field("tree_size", self.tree_size)
+            .field("result_count", self.result_count)
+            .field("total_steps", self.total_steps())
+            .field("eval_nanos", self.eval_nanos)
+            .field("compile_nanos", self.compile_nanos)
+            .field("compiled", self.compiled.to_json())
+            .field("counters", counters)
+    }
+}
+
+impl fmt::Display for QueryProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryProfile {
+        let mut counters = Counters::default();
+        counters.set(Counter::ProductConfigs, 12);
+        counters.set(Counter::CompiledNfaStates, 5);
+        QueryProfile {
+            query: "down*[b]".into(),
+            backend: "product".into(),
+            tree_size: 6,
+            result_count: 2,
+            eval_nanos: 1500,
+            compile_nanos: 300,
+            compiled: CompiledSizes {
+                query_size: 4,
+                nfa_states: 5,
+                ..CompiledSizes::default()
+            },
+            counters,
+        }
+    }
+
+    #[test]
+    fn text_export_lists_active_counters() {
+        let text = sample().to_text();
+        assert!(text.contains("EXPLAIN down*[b] [backend=product]"));
+        assert!(text.contains("product_configs"));
+        assert!(text.contains("12"));
+        assert!(!text.contains("tc_iterations"), "zero counters omitted");
+    }
+
+    #[test]
+    fn json_export_parses_and_has_all_counters() {
+        let j = sample().to_json().render();
+        let parsed = crate::json::parse(&j).unwrap();
+        let Json::Obj(fields) = parsed else {
+            panic!("not an object")
+        };
+        let counters = fields
+            .iter()
+            .find(|(k, _)| k == "counters")
+            .map(|(_, v)| v)
+            .unwrap();
+        let Json::Obj(cs) = counters else {
+            panic!("counters not an object")
+        };
+        assert_eq!(cs.len(), crate::N_COUNTERS, "all counters exported");
+    }
+
+    #[test]
+    fn total_steps_sums_backend_step_counters() {
+        assert_eq!(sample().total_steps(), 12);
+    }
+}

@@ -14,6 +14,7 @@
 
 use crate::ast::{Axis, RNode, RPath};
 use crate::nfa::{compile, MoveLabel, PathNfa};
+use twx_obs::{self as obs, Counter};
 use twx_xtree::{BitMatrix, NodeId, NodeSet, Tree};
 
 /// A path expression compiled for repeated evaluation.
@@ -39,6 +40,7 @@ impl Compiled {
     /// Compiles `path` once; reuse across trees and context sets.
     pub fn new(path: &RPath) -> Compiled {
         let pnfa = compile(path);
+        obs::add(Counter::CompiledNfaStates, pnfa.nfa.n_states as u64);
         let fwd = pnfa.nfa.forward_adj();
         let bwd = pnfa.nfa.backward_adj();
         Compiled { pnfa, fwd, bwd }
@@ -50,6 +52,7 @@ impl Compiled {
     }
 
     fn test_sets(&self, t: &Tree) -> Vec<NodeSet> {
+        obs::add(Counter::ProductTestEvals, self.pnfa.tests.len() as u64);
         self.pnfa.tests.iter().map(|f| eval_node(t, f)).collect()
     }
 
@@ -66,11 +69,7 @@ impl Compiled {
         let mut work: Vec<(u32, u32)> = Vec::new();
         let start = self.pnfa.nfa.start;
         for v in ctx.iter() {
-            let idx = v.index() * m + start as usize;
-            if !visited[idx] {
-                visited[idx] = true;
-                work.push((v.0, start));
-            }
+            push(&mut visited, &mut work, m, v.0, start);
         }
         let mut out = NodeSet::empty(n);
         let accept = self.pnfa.nfa.accept;
@@ -111,11 +110,7 @@ impl Compiled {
         let mut work: Vec<(u32, u32)> = Vec::new();
         let accept = self.pnfa.nfa.accept;
         for v in targets.iter() {
-            let idx = v.index() * m + accept as usize;
-            if !visited[idx] {
-                visited[idx] = true;
-                work.push((v.0, accept));
-            }
+            push(&mut visited, &mut work, m, v.0, accept);
         }
         let mut out = NodeSet::empty(n);
         let start = self.pnfa.nfa.start;
@@ -159,6 +154,7 @@ impl Compiled {
         for v in t.nodes() {
             let img = self.image_with_tests(t, &NodeSet::singleton(n, v), &tests);
             for u in img.iter() {
+                obs::incr(Counter::BitMatrixCells);
                 out.set(v, u);
             }
         }
@@ -171,6 +167,7 @@ fn push(visited: &mut [bool], work: &mut Vec<(u32, u32)>, m: usize, v: u32, q: u
     let idx = v as usize * m + q as usize;
     if !visited[idx] {
         visited[idx] = true;
+        obs::incr(Counter::ProductConfigs);
         work.push((v, q));
     }
 }
@@ -230,6 +227,7 @@ pub fn eval_node(t: &Tree, phi: &RNode) -> NodeSet {
             // Wφ at v  ⇔  φ at the root of subtree(v)
             let mut s = NodeSet::empty(n);
             for v in t.nodes() {
+                obs::incr(Counter::SubtreeExtractions);
                 let sub = t.subtree(v);
                 if eval_node(&sub, f).contains(sub.root()) {
                     s.insert(v);
@@ -317,11 +315,7 @@ mod tests {
         let rel = eval_rel(&t, &p);
         for v in t.nodes() {
             let pre = eval_preimage(&t, &p, &NodeSet::singleton(6, v));
-            let expect: Vec<u32> = t
-                .nodes()
-                .filter(|&x| rel.get(x, v))
-                .map(|x| x.0)
-                .collect();
+            let expect: Vec<u32> = t.nodes().filter(|&x| rel.get(x, v)).map(|x| x.0).collect();
             assert_eq!(ids(&pre), expect, "preimage of {v:?}");
         }
     }
@@ -346,7 +340,11 @@ mod tests {
             Vec::<u32>::new()
         );
         // W⟨↓⁺[d-label]⟩: the subtree below contains a d — true at a and b
-        let has_d = RNode::some(RPath::Axis(Axis::Down).plus().filter(RNode::Label(Label(2))));
+        let has_d = RNode::some(
+            RPath::Axis(Axis::Down)
+                .plus()
+                .filter(RNode::Label(Label(2))),
+        );
         assert_eq!(ids(&eval_node(&t, &has_d.clone().within())), [0, 1]);
         // without W it is the same here (descendants stay in the subtree)
         assert_eq!(ids(&eval_node(&t, &has_d)), [0, 1]);
@@ -360,9 +358,7 @@ mod tests {
         // φ = ⟨↑/↓[b-label]⟩: parent has a b-child — true at a(1), b(3)...
         // within the subtree of each node, the parent does not exist.
         let b_label = RNode::Label(Label(3)); // labels: r=0,a=1,x=2,b=3,y=4
-        let phi = RNode::some(
-            RPath::Axis(Axis::Up).seq(RPath::Axis(Axis::Down).filter(b_label)),
-        );
+        let phi = RNode::some(RPath::Axis(Axis::Up).seq(RPath::Axis(Axis::Down).filter(b_label)));
         let global = eval_node(&t, &phi);
         assert_eq!(ids(&global), [1, 3]);
         let within = eval_node(&t, &phi.within());

@@ -70,10 +70,9 @@ mod tests {
     use crate::ast::Axis;
     use crate::eval::{eval_node, eval_rel};
     use crate::generate::{random_rnode, random_rpath, RGenConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_xtree::generate::{random_tree, Shape};
     use twx_xtree::parse::parse_sexp;
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     #[test]
     fn star_is_reflexive_transitive() {

@@ -1,7 +1,7 @@
 //! Random Regular XPath(W) expression generators.
 
 use crate::ast::{Axis, RNode, RPath};
-use rand::Rng;
+use twx_xtree::rng::Rng;
 use twx_xtree::Label;
 
 /// Configuration for random generation.
@@ -70,8 +70,7 @@ pub fn random_rnode<R: Rng>(cfg: &RGenConfig, depth: usize, rng: &mut R) -> RNod
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     #[test]
     fn respects_flags() {

@@ -210,8 +210,14 @@ mod tests {
             .count();
         assert_eq!(axis_edges, 1);
         let fwd = c.nfa.forward_adj();
-        assert_eq!(fwd.iter().map(|v| v.len()).sum::<usize>(), c.nfa.transitions.len());
+        assert_eq!(
+            fwd.iter().map(|v| v.len()).sum::<usize>(),
+            c.nfa.transitions.len()
+        );
         let bwd = c.nfa.backward_adj();
-        assert_eq!(bwd.iter().map(|v| v.len()).sum::<usize>(), c.nfa.transitions.len());
+        assert_eq!(
+            bwd.iter().map(|v| v.len()).sum::<usize>(),
+            c.nfa.transitions.len()
+        );
     }
 }

@@ -353,10 +353,7 @@ mod tests {
         let mut ab = Alphabet::new();
         let p = parse_rpath("?(a)/down", &mut ab).unwrap();
         let a = ab.lookup("a").unwrap();
-        assert_eq!(
-            p,
-            RPath::test(RNode::Label(a)).seq(RPath::Axis(Axis::Down))
-        );
+        assert_eq!(p, RPath::test(RNode::Label(a)).seq(RPath::Axis(Axis::Down)));
         let f = parse_rnode("W(<down+[b]>)", &mut ab).unwrap();
         let b = ab.lookup("b").unwrap();
         assert_eq!(

@@ -130,8 +130,7 @@ mod tests {
     use super::*;
     use crate::generate::{random_rnode, random_rpath, RGenConfig};
     use crate::parser::{parse_rnode, parse_rpath};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     #[test]
     fn examples() {

@@ -105,9 +105,7 @@ fn simp_path(p: &RPath) -> RPath {
             simplified.sort();
             simplified.dedup();
             // ε ∪ A* = A*
-            if simplified.len() > 1
-                && simplified.iter().any(|m| matches!(m, RPath::Star(_)))
-            {
+            if simplified.len() > 1 && simplified.iter().any(|m| matches!(m, RPath::Star(_))) {
                 simplified.retain(|m| *m != RPath::Eps);
             }
             match simplified.len() {
@@ -239,31 +237,21 @@ mod tests {
     use crate::ast::Axis;
     use crate::eval::{eval_node, eval_rel};
     use crate::generate::{random_rnode, random_rpath, RGenConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_xtree::generate::enumerate_trees_up_to;
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     #[test]
     fn unit_and_star_laws() {
         let d = RPath::Axis(Axis::Down);
         assert_eq!(simplify_rpath(&RPath::Eps.seq(d.clone())), d);
         assert_eq!(simplify_rpath(&RPath::Eps.star()), RPath::Eps);
-        assert_eq!(
-            simplify_rpath(&d.clone().star().star()),
-            d.clone().star()
-        );
+        assert_eq!(simplify_rpath(&d.clone().star().star()), d.clone().star());
         assert_eq!(
             simplify_rpath(&RPath::Eps.union(d.clone()).star()),
             d.clone().star()
         );
-        assert_eq!(
-            simplify_rpath(&d.clone().union(d.clone())),
-            d.clone()
-        );
-        assert_eq!(
-            simplify_rpath(&RPath::test(RNode::True).seq(d.clone())),
-            d
-        );
+        assert_eq!(simplify_rpath(&d.clone().union(d.clone())), d.clone());
+        assert_eq!(simplify_rpath(&RPath::test(RNode::True).seq(d.clone())), d);
     }
 
     #[test]
@@ -275,10 +263,7 @@ mod tests {
     #[test]
     fn within_of_boolean_collapses() {
         assert_eq!(simplify_rnode(&RNode::True.within()), RNode::True);
-        assert_eq!(
-            simplify_rnode(&RNode::True.within().within()),
-            RNode::True
-        );
+        assert_eq!(simplify_rnode(&RNode::True.within().within()), RNode::True);
         let l = RNode::Label(twx_xtree::Label(0));
         assert_eq!(simplify_rnode(&l.clone().within()), l);
     }

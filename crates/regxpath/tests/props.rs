@@ -1,157 +1,163 @@
 //! Property-based tests for Regular XPath(W): Kleene-algebra laws,
 //! evaluator agreement, printer inversion, simplifier soundness.
+//!
+//! Instances are drawn from the workspace's own expression generators
+//! with the deterministic in-tree PRNG (no `proptest`, offline build).
 
-use proptest::prelude::*;
-use twx_regxpath::ast::{Axis, RNode, RPath};
+use twx_regxpath::ast::{RNode, RPath};
 use twx_regxpath::eval::{eval_node, eval_rel};
 use twx_regxpath::eval_naive::{eval_node_naive, eval_rel_naive};
+use twx_regxpath::generate::{random_rnode, random_rpath, RGenConfig};
 use twx_regxpath::parser::{parse_rnode, parse_rpath};
 use twx_regxpath::print::{rnode_to_string, rpath_to_string};
 use twx_regxpath::simplify::{simplify_rnode, simplify_rpath};
 use twx_xtree::generate::from_parent_vec;
+use twx_xtree::rng::{Rng, SplitMix64};
 use twx_xtree::{Alphabet, Label, Tree};
 
-fn arb_axis() -> impl Strategy<Value = Axis> {
-    prop_oneof![
-        Just(Axis::Down),
-        Just(Axis::Up),
-        Just(Axis::Left),
-        Just(Axis::Right),
-    ]
+fn rand_tree(rng: &mut SplitMix64, max_n: usize) -> Tree {
+    let n = rng.gen_range(1..max_n + 1);
+    let mut parents = vec![0u32; n];
+    for (i, p) in parents.iter_mut().enumerate().skip(1) {
+        *p = rng.gen_range(0..i as u32);
+    }
+    let ls: Vec<Label> = (0..n).map(|_| Label(rng.gen_range(0..2u32))).collect();
+    from_parent_vec(&parents, &ls)
 }
 
-fn arb_rpath() -> impl Strategy<Value = RPath> {
-    let leaf = prop_oneof![
-        arb_axis().prop_map(RPath::Axis),
-        Just(RPath::Eps),
-        (0u32..2).prop_map(|l| RPath::test(RNode::Label(Label(l)))),
-    ];
-    leaf.prop_recursive(4, 20, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.seq(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
-            inner.clone().prop_map(|a| a.star()),
-            (inner.clone(), arb_rnode_from(inner)).prop_map(|(a, f)| a.filter(f)),
-        ]
-    })
+fn rand_rpath(rng: &mut SplitMix64, depth: usize) -> RPath {
+    random_rpath(&RGenConfig::default(), depth, rng)
 }
 
-fn arb_rnode_from(paths: impl Strategy<Value = RPath> + Clone + 'static) -> BoxedStrategy<RNode> {
-    let leaf = prop_oneof![
-        Just(RNode::True),
-        (0u32..2).prop_map(|l| RNode::Label(Label(l))),
-    ];
-    leaf.prop_recursive(3, 12, 2, move |inner| {
-        prop_oneof![
-            paths.clone().prop_map(RNode::some),
-            inner.clone().prop_map(|f| f.not()),
-            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.and(g)),
-            inner.clone().prop_map(|f| f.within()),
-        ]
-    })
-    .boxed()
+fn rand_rnode(rng: &mut SplitMix64, depth: usize) -> RNode {
+    random_rnode(&RGenConfig::default(), depth, rng)
 }
 
-fn arb_rnode() -> impl Strategy<Value = RNode> {
-    arb_rnode_from(arb_rpath().boxed())
-}
+const ROUNDS: usize = 48;
 
-fn arb_tree(max_n: usize) -> impl Strategy<Value = Tree> {
-    (1..=max_n).prop_flat_map(|n| {
-        let parents = (1..n).map(|i| 0..i as u32).collect::<Vec<_>>().prop_map(|mut ps| {
-            ps.insert(0, 0);
-            ps
-        });
-        let labels = proptest::collection::vec(0u32..2, n);
-        (parents, labels).prop_map(|(ps, ls)| {
-            let ls: Vec<Label> = ls.into_iter().map(Label).collect();
-            from_parent_vec(&ps, &ls)
-        })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// print ∘ parse = id.
-    #[test]
-    fn rpath_print_parse_roundtrip(p in arb_rpath()) {
+/// print ∘ parse = id.
+#[test]
+fn rpath_print_parse_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0x9a12);
+    for _ in 0..ROUNDS {
+        let p = rand_rpath(&mut rng, 4);
         let mut ab = Alphabet::from_names(["l0", "l1"]);
         let s = rpath_to_string(&p, &ab);
-        prop_assert_eq!(parse_rpath(&s, &mut ab).expect("reparse"), p, "via '{}'", s);
+        assert_eq!(parse_rpath(&s, &mut ab).expect("reparse"), p, "via '{s}'");
     }
+}
 
-    #[test]
-    fn rnode_print_parse_roundtrip(f in arb_rnode()) {
+#[test]
+fn rnode_print_parse_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0x9a13);
+    for _ in 0..ROUNDS {
+        let f = rand_rnode(&mut rng, 4);
         let mut ab = Alphabet::from_names(["l0", "l1"]);
         let s = rnode_to_string(&f, &ab);
-        prop_assert_eq!(parse_rnode(&s, &mut ab).expect("reparse"), f, "via '{}'", s);
+        assert_eq!(parse_rnode(&s, &mut ab).expect("reparse"), f, "via '{s}'");
     }
+}
 
-    /// Product evaluator ≡ relational semantics.
-    #[test]
-    fn evaluators_agree(p in arb_rpath(), t in arb_tree(8)) {
-        prop_assert_eq!(eval_rel(&t, &p), eval_rel_naive(&t, &p));
+/// Product evaluator ≡ relational semantics.
+#[test]
+fn evaluators_agree() {
+    let mut rng = SplitMix64::seed_from_u64(0xe7a1);
+    for _ in 0..ROUNDS {
+        let p = rand_rpath(&mut rng, 3);
+        let t = rand_tree(&mut rng, 8);
+        assert_eq!(eval_rel(&t, &p), eval_rel_naive(&t, &p), "{p:?}");
     }
+}
 
-    #[test]
-    fn node_evaluators_agree(f in arb_rnode(), t in arb_tree(7)) {
-        prop_assert_eq!(eval_node(&t, &f), eval_node_naive(&t, &f));
+#[test]
+fn node_evaluators_agree() {
+    let mut rng = SplitMix64::seed_from_u64(0xe7a2);
+    for _ in 0..ROUNDS {
+        let f = rand_rnode(&mut rng, 3);
+        let t = rand_tree(&mut rng, 7);
+        assert_eq!(eval_node(&t, &f), eval_node_naive(&t, &f), "{f:?}");
     }
+}
 
-    /// Simplification is sound and size-non-increasing.
-    #[test]
-    fn simplify_sound(p in arb_rpath(), t in arb_tree(7)) {
+/// Simplification is sound and size-non-increasing.
+#[test]
+fn simplify_sound() {
+    let mut rng = SplitMix64::seed_from_u64(0x51a9);
+    for _ in 0..ROUNDS {
+        let p = rand_rpath(&mut rng, 3);
+        let t = rand_tree(&mut rng, 7);
         let sp = simplify_rpath(&p);
-        prop_assert!(sp.size() <= p.size(), "{:?} grew to {:?}", p, sp);
-        prop_assert_eq!(eval_rel(&t, &p), eval_rel(&t, &sp));
+        assert!(sp.size() <= p.size(), "{p:?} grew to {sp:?}");
+        assert_eq!(eval_rel(&t, &p), eval_rel(&t, &sp), "{p:?}");
     }
+}
 
-    #[test]
-    fn simplify_node_sound(f in arb_rnode(), t in arb_tree(6)) {
+#[test]
+fn simplify_node_sound() {
+    let mut rng = SplitMix64::seed_from_u64(0x51aa);
+    for _ in 0..ROUNDS {
+        let f = rand_rnode(&mut rng, 3);
+        let t = rand_tree(&mut rng, 6);
         let sf = simplify_rnode(&f);
-        prop_assert!(sf.size() <= f.size());
-        prop_assert_eq!(eval_node(&t, &f), eval_node(&t, &sf));
+        assert!(sf.size() <= f.size());
+        assert_eq!(eval_node(&t, &f), eval_node(&t, &sf), "{f:?}");
     }
+}
 
-    /// Kleene-algebra laws, checked semantically:
-    /// A* = ε ∪ A/A*, (A ∪ B)* = (A*/B*)*, A*/A* = A*.
-    #[test]
-    fn kleene_laws(a in arb_rpath(), b in arb_rpath(), t in arb_tree(6)) {
+/// Kleene-algebra laws, checked semantically:
+/// A* = ε ∪ A/A*, (A ∪ B)* = (A*/B*)*, A*/A* = A*.
+#[test]
+fn kleene_laws() {
+    let mut rng = SplitMix64::seed_from_u64(0x61ee);
+    for _ in 0..ROUNDS {
+        let a = rand_rpath(&mut rng, 3);
+        let b = rand_rpath(&mut rng, 3);
+        let t = rand_tree(&mut rng, 6);
         let star = eval_rel(&t, &a.clone().star());
         // unfolding
         let unfold = eval_rel(&t, &RPath::Eps.union(a.clone().seq(a.clone().star())));
-        prop_assert_eq!(&star, &unfold);
+        assert_eq!(&star, &unfold);
         // denesting
         let lhs = eval_rel(&t, &a.clone().union(b.clone()).star());
         let rhs = eval_rel(&t, &a.clone().star().seq(b.clone().star()).star());
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
         // idempotence of star composition
         let ss = eval_rel(&t, &a.clone().star().seq(a.clone().star()));
-        prop_assert_eq!(ss, star);
+        assert_eq!(ss, star);
     }
+}
 
-    /// W is monotone with respect to subtree restriction: `W φ` at `v`
-    /// equals `φ` at the root of the extracted subtree.
-    #[test]
-    fn within_definition(f in arb_rnode(), t in arb_tree(7)) {
+/// W is monotone with respect to subtree restriction: `W φ` at `v`
+/// equals `φ` at the root of the extracted subtree.
+#[test]
+fn within_definition() {
+    let mut rng = SplitMix64::seed_from_u64(0x3417);
+    for _ in 0..ROUNDS {
+        let f = rand_rnode(&mut rng, 3);
+        let t = rand_tree(&mut rng, 7);
         let wf = eval_node(&t, &f.clone().within());
         for v in t.nodes() {
             let sub = t.subtree(v);
             let direct = eval_node(&sub, &f).contains(sub.root());
-            prop_assert_eq!(wf.contains(v), direct, "at {:?}", v);
+            assert_eq!(wf.contains(v), direct, "at {v:?}");
         }
     }
+}
 
-    /// The domain of a filter is bounded by the domain of its base.
-    #[test]
-    fn filter_shrinks_relation(a in arb_rpath(), f in arb_rnode(), t in arb_tree(7)) {
+/// The domain of a filter is bounded by the domain of its base.
+#[test]
+fn filter_shrinks_relation() {
+    let mut rng = SplitMix64::seed_from_u64(0xf1e7);
+    for _ in 0..ROUNDS {
+        let a = rand_rpath(&mut rng, 3);
+        let f = rand_rnode(&mut rng, 3);
+        let t = rand_tree(&mut rng, 7);
         let base = eval_rel(&t, &a);
         let filtered = eval_rel(&t, &a.clone().filter(f));
         for x in t.nodes() {
             for y in t.nodes() {
                 if filtered.get(x, y) {
-                    prop_assert!(base.get(x, y));
+                    assert!(base.get(x, y));
                 }
             }
         }

@@ -36,9 +36,9 @@ pub fn true_circuits() -> Nfta {
         .collect();
     // leaves: one/zero with no children; chain info starts at this node
     for (lab, v) in [(2u32, true), (3u32, false)] {
-        for right in std::iter::once(None).chain(states.iter().map(|&(rv, rc, rd)| {
-            Some((rv, rc, rd))
-        })) {
+        for right in
+            std::iter::once(None).chain(states.iter().map(|&(rv, rc, rd)| Some((rv, rc, rd))))
+        {
             let (conj, disj) = match right {
                 None => (v, v),
                 Some((_, rc, rd)) => (v && rc, v || rd),

@@ -132,10 +132,7 @@ mod tests {
         let t = parse_sexp("(a (b c) d)").unwrap().tree;
         let m = mark_tree(&t, NodeId(2));
         assert_eq!(m.len(), t.len());
-        let marked: Vec<NodeId> = m
-            .nodes()
-            .filter(|&v| unmark_label(m.label(v)).1)
-            .collect();
+        let marked: Vec<NodeId> = m.nodes().filter(|&v| unmark_label(m.label(v)).1).collect();
         assert_eq!(marked, vec![NodeId(2)]);
         // structure preserved
         assert_eq!(m.parent(NodeId(2)), t.parent(NodeId(2)));

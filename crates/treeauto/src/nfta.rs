@@ -451,9 +451,7 @@ mod tests {
         for (lab, self_has) in [(0u32, false), (1u32, true)] {
             for left in [None, Some(0), Some(1)] {
                 for right in [None, Some(0), Some(1)] {
-                    let has = self_has
-                        || left == Some(1)
-                        || right == Some(1);
+                    let has = self_has || left == Some(1) || right == Some(1);
                     rules.push(Rule {
                         left,
                         right,

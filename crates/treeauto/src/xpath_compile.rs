@@ -67,10 +67,7 @@ pub fn to_simple(f: &NodeExpr) -> Result<Simple, NotDownward> {
             Box::new(to_simple(g)?),
             Box::new(to_simple(h)?),
         )),
-        NodeExpr::Or(g, h) => Ok(Simple::Or(
-            Box::new(to_simple(g)?),
-            Box::new(to_simple(h)?),
-        )),
+        NodeExpr::Or(g, h) => Ok(Simple::Or(Box::new(to_simple(g)?), Box::new(to_simple(h)?))),
     }
 }
 

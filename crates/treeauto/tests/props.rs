@@ -1,119 +1,156 @@
 //! Property-based tests for the bottom-up automata algebra: the boolean
 //! operations must match membership semantics on random trees, for random
 //! automata.
+//!
+//! Instances are drawn with the deterministic in-tree PRNG (no
+//! `proptest`, offline build), so failures reproduce from the seed.
 
-use proptest::prelude::*;
 use twx_treeauto::reduce::trim;
 use twx_treeauto::{Nfta, Rule};
 use twx_xtree::generate::from_parent_vec;
+use twx_xtree::rng::{Rng, SplitMix64};
 use twx_xtree::{Label, Tree};
 
 const LABELS: u32 = 2;
 
-fn arb_nfta(max_states: u32, max_rules: usize) -> impl Strategy<Value = Nfta> {
-    (1..=max_states).prop_flat_map(move |n| {
-        let rule = (
-            prop_oneof![Just(None), (0..n).prop_map(Some)],
-            prop_oneof![Just(None), (0..n).prop_map(Some)],
-            0..LABELS,
-            0..n,
-        )
-            .prop_map(|(left, right, lab, state)| Rule {
-                left,
-                right,
-                label: Label(lab),
-                state,
-            });
-        let rules = proptest::collection::vec(rule, 1..=max_rules);
-        let finals = proptest::collection::vec(0..n, 1..=(n as usize));
-        (rules, finals).prop_map(move |(rules, mut finals)| {
-            finals.sort_unstable();
-            finals.dedup();
-            Nfta {
-                n_states: n,
-                n_labels: LABELS,
-                rules,
-                finals,
-            }
-        })
-    })
+fn maybe_state(rng: &mut SplitMix64, n: u32) -> Option<u32> {
+    if rng.gen_bool(0.5) {
+        None
+    } else {
+        Some(rng.gen_range(0..n))
+    }
 }
 
-fn arb_tree(max_n: usize) -> impl Strategy<Value = Tree> {
-    (1..=max_n).prop_flat_map(|n| {
-        let parents = (1..n).map(|i| 0..i as u32).collect::<Vec<_>>().prop_map(|mut ps| {
-            ps.insert(0, 0);
-            ps
-        });
-        let labels = proptest::collection::vec(0..LABELS, n);
-        (parents, labels).prop_map(|(ps, ls)| {
-            let ls: Vec<Label> = ls.into_iter().map(Label).collect();
-            from_parent_vec(&ps, &ls)
+fn rand_nfta(rng: &mut SplitMix64, max_states: u32, max_rules: usize) -> Nfta {
+    let n = rng.gen_range(1..max_states + 1);
+    let n_rules = rng.gen_range(1..max_rules + 1);
+    let rules = (0..n_rules)
+        .map(|_| Rule {
+            left: maybe_state(rng, n),
+            right: maybe_state(rng, n),
+            label: Label(rng.gen_range(0..LABELS)),
+            state: rng.gen_range(0..n),
         })
-    })
+        .collect();
+    let mut finals: Vec<u32> = (0..rng.gen_range(1..n as usize + 1))
+        .map(|_| rng.gen_range(0..n))
+        .collect();
+    finals.sort_unstable();
+    finals.dedup();
+    Nfta {
+        n_states: n,
+        n_labels: LABELS,
+        rules,
+        finals,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn rand_tree(rng: &mut SplitMix64, max_n: usize) -> Tree {
+    let n = rng.gen_range(1..max_n + 1);
+    let mut parents = vec![0u32; n];
+    for (i, p) in parents.iter_mut().enumerate().skip(1) {
+        *p = rng.gen_range(0..i as u32);
+    }
+    let ls: Vec<Label> = (0..n).map(|_| Label(rng.gen_range(0..LABELS))).collect();
+    from_parent_vec(&parents, &ls)
+}
 
-    /// Union accepts iff either automaton accepts.
-    #[test]
-    fn union_semantics(a in arb_nfta(3, 10), b in arb_nfta(3, 10), t in arb_tree(6)) {
+const ROUNDS: usize = 48;
+
+/// Union accepts iff either automaton accepts.
+#[test]
+fn union_semantics() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a01);
+    for _ in 0..ROUNDS {
+        let a = rand_nfta(&mut rng, 3, 10);
+        let b = rand_nfta(&mut rng, 3, 10);
+        let t = rand_tree(&mut rng, 6);
         let u = a.union(&b);
-        prop_assert!(u.validate().is_ok());
-        prop_assert_eq!(u.accepts(&t), a.accepts(&t) || b.accepts(&t));
+        assert!(u.validate().is_ok());
+        assert_eq!(u.accepts(&t), a.accepts(&t) || b.accepts(&t));
     }
+}
 
-    /// Intersection accepts iff both do.
-    #[test]
-    fn intersection_semantics(a in arb_nfta(3, 10), b in arb_nfta(3, 10), t in arb_tree(6)) {
+/// Intersection accepts iff both do.
+#[test]
+fn intersection_semantics() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a02);
+    for _ in 0..ROUNDS {
+        let a = rand_nfta(&mut rng, 3, 10);
+        let b = rand_nfta(&mut rng, 3, 10);
+        let t = rand_tree(&mut rng, 6);
         let i = a.intersect(&b);
-        prop_assert!(i.validate().is_ok());
-        prop_assert_eq!(i.accepts(&t), a.accepts(&t) && b.accepts(&t));
+        assert!(i.validate().is_ok());
+        assert_eq!(i.accepts(&t), a.accepts(&t) && b.accepts(&t));
     }
+}
 
-    /// Determinization preserves the language.
-    #[test]
-    fn determinize_semantics(a in arb_nfta(3, 8), t in arb_tree(6)) {
+/// Determinization preserves the language.
+#[test]
+fn determinize_semantics() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a03);
+    for _ in 0..ROUNDS {
+        let a = rand_nfta(&mut rng, 3, 8);
+        let t = rand_tree(&mut rng, 6);
         let d = a.determinize();
-        prop_assert_eq!(d.accepts(&t), a.accepts(&t));
+        assert_eq!(d.accepts(&t), a.accepts(&t));
     }
+}
 
-    /// Complement flips membership.
-    #[test]
-    fn complement_semantics(a in arb_nfta(3, 8), t in arb_tree(6)) {
+/// Complement flips membership.
+#[test]
+fn complement_semantics() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a04);
+    for _ in 0..ROUNDS {
+        let a = rand_nfta(&mut rng, 3, 8);
+        let t = rand_tree(&mut rng, 6);
         let c = a.complement();
-        prop_assert_eq!(c.accepts(&t), !a.accepts(&t));
+        assert_eq!(c.accepts(&t), !a.accepts(&t));
     }
+}
 
-    /// Trimming preserves the language and never grows the automaton.
-    #[test]
-    fn trim_semantics(a in arb_nfta(4, 12), t in arb_tree(6)) {
+/// Trimming preserves the language and never grows the automaton.
+#[test]
+fn trim_semantics() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a05);
+    for _ in 0..ROUNDS {
+        let a = rand_nfta(&mut rng, 4, 12);
+        let t = rand_tree(&mut rng, 6);
         let r = trim(&a);
-        prop_assert!(r.n_states <= a.n_states);
-        prop_assert!(r.validate().is_ok());
-        prop_assert_eq!(r.accepts(&t), a.accepts(&t));
+        assert!(r.n_states <= a.n_states);
+        assert!(r.validate().is_ok());
+        assert_eq!(r.accepts(&t), a.accepts(&t));
     }
+}
 
-    /// Emptiness with witness: a returned witness is accepted; `None`
-    /// means no tree up to a modest bound is accepted.
-    #[test]
-    fn emptiness_witness_correct(a in arb_nfta(3, 10)) {
+/// Emptiness with witness: a returned witness is accepted; `None` means
+/// no tree up to a modest bound is accepted.
+#[test]
+fn emptiness_witness_correct() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a06);
+    for _ in 0..ROUNDS {
+        let a = rand_nfta(&mut rng, 3, 10);
         match a.tree_emptiness_witness() {
-            Some(w) => prop_assert!(a.accepts(&w), "witness rejected"),
+            Some(w) => assert!(a.accepts(&w), "witness rejected"),
             None => {
                 for t in twx_xtree::generate::enumerate_trees_up_to(4, LABELS as usize) {
-                    prop_assert!(!a.accepts(&t), "claimed empty but accepts {t:?}");
+                    assert!(!a.accepts(&t), "claimed empty but accepts {t:?}");
                 }
             }
         }
     }
+}
 
-    /// Inclusion is consistent with pointwise membership.
-    #[test]
-    fn inclusion_sound(a in arb_nfta(2, 6), b in arb_nfta(2, 6), t in arb_tree(5)) {
+/// Inclusion is consistent with pointwise membership.
+#[test]
+fn inclusion_sound() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a07);
+    for _ in 0..ROUNDS {
+        let a = rand_nfta(&mut rng, 2, 6);
+        let b = rand_nfta(&mut rng, 2, 6);
+        let t = rand_tree(&mut rng, 5);
         if a.included_in(&b) && a.accepts(&t) {
-            prop_assert!(b.accepts(&t), "inclusion violated on {t:?}");
+            assert!(b.accepts(&t), "inclusion violated on {t:?}");
         }
     }
 }

@@ -43,7 +43,12 @@ pub fn dfs_tour() -> Ntwa {
             // accepting in state 1 via the ε-move below; the sibling and
             // up moves model the *interior* of the walk)
             t(1, vec![TestAtom::Last(false)], Move::NextSib, 0),
-            t(1, vec![TestAtom::Last(true), TestAtom::Root(false)], Move::Up, 1),
+            t(
+                1,
+                vec![TestAtom::Last(true), TestAtom::Root(false)],
+                Move::Up,
+                1,
+            ),
             t(1, vec![], Move::Stay, 2),
         ],
     })
@@ -168,17 +173,22 @@ mod tests {
         for t in enumerate_trees_up_to(6, 2) {
             let walked = accepts_from(&t, &walker).contains(t.root());
             // reference: count directly
-            let count = t.nodes().filter(|&v| t.label(v) == twx_xtree::Label(0)).count();
+            let count = t
+                .nodes()
+                .filter(|&v| t.label(v) == twx_xtree::Label(0))
+                .count();
             assert_eq!(walked, count % 2 == 0, "{t:?}");
         }
         // and on bigger random trees
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use twx_xtree::rng::SplitMix64 as StdRng;
         let mut rng = StdRng::seed_from_u64(60);
         for _ in 0..20 {
             let t = random_tree(Shape::Recursive, 60, 2, &mut rng);
             let walked = accepts_from(&t, &walker).contains(t.root());
-            let count = t.nodes().filter(|&v| t.label(v) == twx_xtree::Label(0)).count();
+            let count = t
+                .nodes()
+                .filter(|&v| t.label(v) == twx_xtree::Label(0))
+                .count();
             assert_eq!(walked, count % 2 == 0);
         }
     }

@@ -7,6 +7,7 @@
 //! predicates. Cost `O(|T| · |A| · depth)` overall.
 
 use crate::machine::{Ntwa, Scope, TestAtom, Transition};
+use twx_obs::{self as obs, Counter};
 use twx_xtree::{BitMatrix, NodeId, NodeSet, Tree};
 
 /// Precomputed per-transition guard sets for one tree.
@@ -31,6 +32,7 @@ fn guard_sets(t: &Tree, a: &Ntwa) -> GuardSets {
         .enumerate()
         .map(|(i, s)| {
             if needs_global[i] {
+                obs::incr(Counter::TwaSubtestInvocations);
                 accepts_from(t, s)
             } else {
                 NodeSet::empty(n)
@@ -45,6 +47,8 @@ fn guard_sets(t: &Tree, a: &Ntwa) -> GuardSets {
             let mut out = NodeSet::empty(n);
             if needs_subtree[i] {
                 for v in t.nodes() {
+                    obs::incr(Counter::TwaSubtestInvocations);
+                    obs::incr(Counter::SubtreeExtractions);
                     let sub = t.subtree(v);
                     if accepts_from(&sub, s).contains(sub.root()) {
                         out.insert(v);
@@ -109,6 +113,7 @@ fn push(visited: &mut [bool], work: &mut Vec<(u32, u32)>, m: usize, v: u32, q: u
     let idx = v as usize * m + q as usize;
     if !visited[idx] {
         visited[idx] = true;
+        obs::incr(Counter::TwaSteps);
         work.push((v, q));
     }
 }
@@ -149,8 +154,9 @@ pub fn eval_image(t: &Tree, a: &Ntwa, ctx: &NodeSet) -> NodeSet {
         for &ti in &adj[q as usize] {
             let tr: &Transition = &a.top.transitions[ti];
             if guards.sets[ti].contains(NodeId(v)) {
-                tr.mv
-                    .apply(t, NodeId(v), |u| push(&mut visited, &mut work, m, u.0, tr.to));
+                tr.mv.apply(t, NodeId(v), |u| {
+                    push(&mut visited, &mut work, m, u.0, tr.to)
+                });
             }
         }
     }
@@ -213,13 +219,15 @@ pub fn eval_rel(t: &Tree, a: &Ntwa) -> BitMatrix {
         push(&mut visited, &mut work, m, start.0, a.top.initial);
         while let Some((v, q)) = work.pop() {
             if a.top.is_accepting(q) {
+                obs::incr(Counter::BitMatrixCells);
                 out.set(start, NodeId(v));
             }
             for &ti in &adj[q as usize] {
                 let tr = &a.top.transitions[ti];
                 if guards.sets[ti].contains(NodeId(v)) {
-                    tr.mv
-                        .apply(t, NodeId(v), |u| push(&mut visited, &mut work, m, u.0, tr.to));
+                    tr.mv.apply(t, NodeId(v), |u| {
+                        push(&mut visited, &mut work, m, u.0, tr.to)
+                    });
                 }
             }
         }

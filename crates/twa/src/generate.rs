@@ -2,7 +2,7 @@
 //! evaluators).
 
 use crate::machine::{Move, Ntwa, Scope, TestAtom, Transition, Twa};
-use rand::Rng;
+use twx_xtree::rng::Rng;
 use twx_xtree::Label;
 
 /// Configuration for random automaton generation.
@@ -110,9 +110,8 @@ pub fn random_ntwa<R: Rng>(cfg: &TGenConfig, rng: &mut R) -> Ntwa {
 mod tests {
     use super::*;
     use crate::eval::eval_rel;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use twx_xtree::generate::{random_tree, Shape};
+    use twx_xtree::rng::SplitMix64 as StdRng;
 
     #[test]
     fn generated_automata_are_valid_and_run() {

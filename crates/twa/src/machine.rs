@@ -304,8 +304,12 @@ impl Ntwa {
     /// contain directly contradicting local atoms).
     pub fn is_deterministic(&self) -> bool {
         for q in 0..self.top.n_states {
-            let outs: Vec<&Transition> =
-                self.top.transitions.iter().filter(|t| t.from == q).collect();
+            let outs: Vec<&Transition> = self
+                .top
+                .transitions
+                .iter()
+                .filter(|t| t.from == q)
+                .collect();
             for i in 0..outs.len() {
                 for j in i + 1..outs.len() {
                     if guards_compatible(&outs[i].guard, &outs[j].guard) {

@@ -181,7 +181,8 @@ mod tests {
         let t = parse_sexp("(a (b d e) (c f))").unwrap().tree;
         let c = concat(&step(Move::AnyChild), &step(Move::NextSib));
         let rel = eval_rel(&t, &c);
-        let expect = eval_rel(&t, &step(Move::AnyChild)).compose(&eval_rel(&t, &step(Move::NextSib)));
+        let expect =
+            eval_rel(&t, &step(Move::AnyChild)).compose(&eval_rel(&t, &step(Move::NextSib)));
         assert_eq!(rel, expect);
     }
 

@@ -117,9 +117,7 @@ impl<'a> Cursor<'a> {
 
     /// Walks a label path (`child_labelled` repeatedly).
     pub fn descend_path(self, labels: &[Label]) -> Option<Cursor<'a>> {
-        labels
-            .iter()
-            .try_fold(self, |c, &l| c.child_labelled(l))
+        labels.iter().try_fold(self, |c, &l| c.child_labelled(l))
     }
 }
 
@@ -149,7 +147,11 @@ mod tests {
         assert!(c.child(2).is_none());
         assert!(c.up().is_none());
         assert_eq!(
-            Cursor::at(t, NodeId(5)).up().and_then(Cursor::up).unwrap().node(),
+            Cursor::at(t, NodeId(5))
+                .up()
+                .and_then(Cursor::up)
+                .unwrap()
+                .node(),
             NodeId(0)
         );
     }

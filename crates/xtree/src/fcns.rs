@@ -161,7 +161,13 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        for s in ["x", "(a b)", "(a (b d e) c)", "(a (a (a (a))))", "(r a b c d e)"] {
+        for s in [
+            "x",
+            "(a b)",
+            "(a (b d e) c)",
+            "(a (a (a (a))))",
+            "(r a b c d e)",
+        ] {
             let doc = parse_sexp(s).unwrap();
             let bt = BinTree::encode(&doc.tree);
             let back = bt.decode();

@@ -7,9 +7,8 @@
 
 use crate::alphabet::Label;
 use crate::builder::TreeBuilder;
+use crate::rng::Rng;
 use crate::tree::Tree;
-use rand::distributions::{Distribution, WeightedIndex};
-use rand::Rng;
 
 /// A random-tree workload family.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,8 +93,9 @@ pub fn random_tree<R: Rng>(shape: Shape, n: usize, k: usize, rng: &mut R) -> Tre
     // Label distribution.
     let labels: Vec<Label> = if matches!(shape, Shape::DocumentLike) {
         let weights: Vec<f64> = (1..=k).map(|r| 1.0 / r as f64).collect();
-        let dist = WeightedIndex::new(&weights).expect("valid weights");
-        (0..n).map(|_| Label(dist.sample(rng) as u32)).collect()
+        (0..n)
+            .map(|_| Label(rng.gen_weighted(&weights) as u32))
+            .collect()
     } else {
         (0..n).map(|_| Label(rng.gen_range(0..k) as u32)).collect()
     };
@@ -208,8 +208,7 @@ fn enumerate_shapes(n: usize) -> Vec<Vec<u32>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::SplitMix64 as StdRng;
 
     #[test]
     fn shapes_count_is_catalan() {

@@ -22,7 +22,8 @@
 //! * the first-child/next-sibling binary encoding ([`fcns`]) used by
 //!   bottom-up tree automata;
 //! * random tree generators for six workload families and an exhaustive
-//!   enumerator of all trees of a given size ([`generate`]);
+//!   enumerator of all trees of a given size ([`generate`]), driven by the
+//!   dependency-free deterministic PRNG in [`rng`];
 //! * dense [`NodeSet`] bitsets and [`BitMatrix`] binary relations used by
 //!   every evaluator in the workspace ([`nodeset`]).
 
@@ -33,6 +34,7 @@ pub mod fcns;
 pub mod generate;
 pub mod nodeset;
 pub mod parse;
+pub mod rng;
 pub mod serialize;
 pub mod stats;
 pub mod traverse;

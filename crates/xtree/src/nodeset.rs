@@ -290,7 +290,9 @@ impl BitMatrix {
     #[inline]
     pub fn get(&self, x: NodeId, y: NodeId) -> bool {
         let (i, j) = (x.index(), y.index());
-        i < self.n && j < self.n && self.bits[i * self.row_words + j / WORD] & (1u64 << (j % WORD)) != 0
+        i < self.n
+            && j < self.n
+            && self.bits[i * self.row_words + j / WORD] & (1u64 << (j % WORD)) != 0
     }
 
     #[inline]

@@ -177,8 +177,7 @@ impl XmlParser<'_> {
                     if self.peek() != Some(quote) {
                         return err(self.pos, "unterminated attribute value");
                     }
-                    let value =
-                        String::from_utf8_lossy(&self.input[vstart..self.pos]).into_owned();
+                    let value = String::from_utf8_lossy(&self.input[vstart..self.pos]).into_owned();
                     self.pos += 1;
                     if self.options.attributes_as_children {
                         let l = self.alphabet.intern(&format!("@{attr}={value}"));

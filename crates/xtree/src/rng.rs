@@ -1,0 +1,261 @@
+//! A tiny, deterministic, dependency-free PRNG.
+//!
+//! The build environment is offline, so the workspace cannot depend on the
+//! `rand` crate. Everything random in this repository — workload
+//! generators, fuzzers, the experiment harness — draws from this module
+//! instead. The generator is SplitMix64 (Steele, Lea & Flood 2014): a
+//! 64-bit state advanced by a Weyl sequence and finalised with a
+//! murmur-style mixer. It is statistically solid for workload generation
+//! (passes BigCrush when used as a stream), trivially seedable, and — the
+//! property we actually care about — *reproducible across platforms and
+//! toolchain versions*, which `rand::StdRng` explicitly does not promise.
+//!
+//! The [`Rng`] trait mirrors the subset of `rand::Rng` the workspace used
+//! (`gen_range` over half-open integer ranges, `gen_bool`), so generator
+//! code is written against the same API shape.
+
+use std::ops::Range;
+
+/// SplitMix64: the 64-bit finalising mixer.
+#[inline]
+fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A seedable SplitMix64 generator.
+///
+/// ```
+/// use twx_xtree::rng::{Rng, SplitMix64};
+/// let mut a = SplitMix64::seed_from_u64(7);
+/// let mut b = SplitMix64::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// let x = a.gen_range(0..10usize);
+/// assert!(x < 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Every seed is valid and
+    /// gives an independent-looking stream.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derives an independent child generator (for splitting streams
+    /// across parallel workers without sharing state).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64 {
+            state: self.next_u64() ^ 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+///
+/// `to_u64`/`from_u64` form an order-preserving bijection into `u64`
+/// (identity for unsigned types, a sign-bit flip for signed ones), so
+/// range arithmetic can happen in one unsigned domain.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Order-preserving map into `u64`.
+    fn to_u64(self) -> u64;
+    /// Inverse of [`UniformInt::to_u64`].
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_uint!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn to_u64(self) -> u64 {
+                (self as i64 as u64) ^ (1 << 63)
+            }
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                (v ^ (1 << 63)) as i64 as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(isize, i64, i32, i16, i8);
+
+/// The random-source trait: one required method, everything else derived.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from a half-open range.
+    ///
+    /// Uses Lemire's multiply-shift rejection method — unbiased, and one
+    /// multiplication in the common (non-rejecting) case.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    #[inline]
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "gen_range on empty range");
+        let span = hi - lo;
+        // Lemire rejection: accept unless the low product word falls in the
+        // biased zone [0, 2^64 mod span).
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                low = m as u64;
+            }
+        }
+        T::from_u64(lo + (m >> 64) as u64)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        self.gen_f64() < p
+    }
+
+    /// A uniform float in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples an index with probability proportional to `weights[i]`
+    /// (replacement for `rand::distributions::WeightedIndex`).
+    ///
+    /// # Panics
+    /// If `weights` is empty or sums to a non-positive/non-finite value.
+    fn gen_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "gen_weighted needs a positive finite total weight"
+        );
+        let mut target = self.gen_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        // float round-off: fall back to the last positive weight
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("some positive weight")
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    /// If `items` is empty.
+    fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.gen_range(0..items.len())]
+    }
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        splitmix64_mix(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector() {
+        // SplitMix64 reference outputs for seed 1234567 (from the public
+        // domain reference implementation by Sebastiano Vigna).
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+        assert_eq!(r.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn ranges_are_in_bounds_and_cover() {
+        let mut r = SplitMix64::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = r.gen_range(3..10usize);
+            assert!((3..10).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all values of 3..10 appear");
+        // u32 ranges too (automata generators use them)
+        let v = r.gen_range(0..4u32);
+        assert!(v < 4);
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut r = SplitMix64::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn weighted_sampling_skews() {
+        let mut r = SplitMix64::seed_from_u64(5);
+        let w = [8.0, 1.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[r.gen_weighted(&w)] += 1;
+        }
+        assert!(counts[0] > counts[1] * 4);
+        assert!(counts[0] > counts[2] * 4);
+        assert!(counts[1] > 0 && counts[2] > 0);
+    }
+
+    #[test]
+    fn split_streams_diverge() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = a.split();
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SplitMix64::seed_from_u64(0).gen_range(5..5usize);
+    }
+}

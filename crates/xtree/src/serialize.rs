@@ -54,12 +54,7 @@ fn sexp_node(t: &Tree, ab: &Alphabet, v: NodeId, out: &mut String, is_root: bool
 pub fn to_dot(t: &Tree, alphabet: &Alphabet) -> String {
     let mut out = String::from("digraph tree {\n  node [shape=circle];\n");
     for v in t.nodes() {
-        let _ = writeln!(
-            out,
-            "  n{} [label=\"{}\"];",
-            v.0,
-            alphabet.name(t.label(v))
-        );
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", v.0, alphabet.name(t.label(v)));
     }
     for v in t.nodes() {
         if let Some(c) = t.first_child(v) {
@@ -68,7 +63,11 @@ pub fn to_dot(t: &Tree, alphabet: &Alphabet) -> String {
             let mut prev = c;
             while let Some(u) = s {
                 let _ = writeln!(out, "  n{} -> n{};", v.0, u.0);
-                let _ = writeln!(out, "  n{} -> n{} [style=dashed, constraint=false];", prev.0, u.0);
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [style=dashed, constraint=false];",
+                    prev.0, u.0
+                );
                 prev = u;
                 s = t.next_sibling(u);
             }

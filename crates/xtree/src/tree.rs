@@ -257,7 +257,15 @@ impl Tree {
             prev_sib.push(remap(self.prev_sib[i]));
             depth.push(self.depth[i] - base_depth);
         }
-        Tree::from_parts(labels, parent, first_child, last_child, next_sib, prev_sib, depth)
+        Tree::from_parts(
+            labels,
+            parent,
+            first_child,
+            last_child,
+            next_sib,
+            prev_sib,
+            depth,
+        )
     }
 
     /// Checks all arena invariants; returns a description of the first
@@ -338,7 +346,9 @@ impl Tree {
                     return Err(format!("siblings {v:?},{s:?} have different parents"));
                 }
                 if s.0 != self.subtree_end(v) {
-                    return Err(format!("next sibling of {v:?} is not subtree_end (not preorder)"));
+                    return Err(format!(
+                        "next sibling of {v:?} is not subtree_end (not preorder)"
+                    ));
                 }
             }
         }

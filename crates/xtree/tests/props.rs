@@ -1,79 +1,91 @@
 //! Property-based tests for the tree substrate.
+//!
+//! Seeded randomised properties: each test draws a few hundred instances
+//! from the in-tree deterministic PRNG ([`twx_xtree::rng`]) and asserts
+//! a law on every one. Deterministic across runs and platforms (the
+//! offline build has no `proptest`), so a failure is always reproducible
+//! from the seed embedded in the test.
 
-use proptest::prelude::*;
 use twx_xtree::fcns::BinTree;
 use twx_xtree::generate::from_parent_vec;
 use twx_xtree::nodeset::{BitMatrix, NodeSet};
+use twx_xtree::rng::{Rng, SplitMix64};
 use twx_xtree::traverse;
 use twx_xtree::{Label, NodeId, Tree};
 
-/// Strategy: a random tree with 1..=max_n nodes over `labels` labels,
-/// built from a random parent vector (parents[i] < i guarantees a valid
+/// A random tree with `1..=max_n` nodes over `labels` labels, from a
+/// random parent vector (`parents[i] < i` guarantees a valid
 /// preorder-ish shape after normalisation by `from_parent_vec`).
-fn arb_tree(max_n: usize, labels: u32) -> impl Strategy<Value = Tree> {
-    (1..=max_n).prop_flat_map(move |n| {
-        let parents = (1..n)
-            .map(|i| 0..(i as u32).max(1))
-            .collect::<Vec<_>>()
-            .prop_map(move |mut ps| {
-                ps.insert(0, 0);
-                ps
-            });
-        let labels = proptest::collection::vec(0..labels, n);
-        (parents, labels).prop_map(|(ps, ls)| {
-            let ls: Vec<Label> = ls.into_iter().map(Label).collect();
-            from_parent_vec(&ps, &ls)
-        })
-    })
+fn rand_tree(rng: &mut SplitMix64, max_n: usize, labels: u32) -> Tree {
+    let n = rng.gen_range(1..max_n + 1);
+    let mut parents = vec![0u32; n];
+    for (i, p) in parents.iter_mut().enumerate().skip(1) {
+        *p = rng.gen_range(0..i as u32);
+    }
+    let ls: Vec<Label> = (0..n).map(|_| Label(rng.gen_range(0..labels))).collect();
+    from_parent_vec(&parents, &ls)
 }
 
-proptest! {
-    /// Every generated tree satisfies the full arena invariant.
-    #[test]
-    fn generated_trees_validate(t in arb_tree(40, 3)) {
-        prop_assert!(t.validate().is_ok());
+#[test]
+fn generated_trees_validate() {
+    let mut rng = SplitMix64::seed_from_u64(0xbead);
+    for _ in 0..300 {
+        let t = rand_tree(&mut rng, 40, 3);
+        assert!(t.validate().is_ok());
     }
+}
 
-    /// FCNS encode/decode is the identity.
-    #[test]
-    fn fcns_roundtrip(t in arb_tree(40, 3)) {
+#[test]
+fn fcns_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0xfc25);
+    for _ in 0..300 {
+        let t = rand_tree(&mut rng, 40, 3);
         let bt = BinTree::encode(&t);
-        prop_assert_eq!(bt.decode(), t);
+        assert_eq!(bt.decode(), t);
     }
+}
 
-    /// `subtree_end` delimits exactly the descendants-or-self.
-    #[test]
-    fn subtree_range_is_descendants(t in arb_tree(30, 2)) {
+#[test]
+fn subtree_range_is_descendants() {
+    let mut rng = SplitMix64::seed_from_u64(0x5b7e);
+    for _ in 0..120 {
+        let t = rand_tree(&mut rng, 30, 2);
         for v in t.nodes() {
             let range: Vec<NodeId> = traverse::descendants_or_self(&t, v).collect();
             for u in t.nodes() {
                 let inside = u == v || t.is_ancestor(v, u);
-                prop_assert_eq!(range.contains(&u), inside);
+                assert_eq!(range.contains(&u), inside);
             }
         }
     }
+}
 
-    /// Extracted subtrees validate and have the right size and labels.
-    #[test]
-    fn subtree_extraction(t in arb_tree(30, 3)) {
+#[test]
+fn subtree_extraction() {
+    let mut rng = SplitMix64::seed_from_u64(0x50b7);
+    for _ in 0..120 {
+        let t = rand_tree(&mut rng, 30, 3);
         for v in t.nodes() {
             let sub = t.subtree(v);
-            prop_assert!(sub.validate().is_ok());
-            prop_assert_eq!(sub.len() as u32, t.subtree_end(v) - v.0);
-            prop_assert_eq!(sub.label(sub.root()), t.label(v));
+            assert!(sub.validate().is_ok());
+            assert_eq!(sub.len() as u32, t.subtree_end(v) - v.0);
+            assert_eq!(sub.label(sub.root()), t.label(v));
         }
     }
+}
 
-    /// Preorder and postorder are permutations of the node set.
-    #[test]
-    fn orders_are_permutations(t in arb_tree(40, 2)) {
+#[test]
+fn orders_are_permutations() {
+    let mut rng = SplitMix64::seed_from_u64(0x04d5);
+    for _ in 0..200 {
+        let t = rand_tree(&mut rng, 40, 2);
         let pre: Vec<_> = traverse::preorder(&t).collect();
         let post: Vec<_> = traverse::postorder(&t).collect();
-        prop_assert_eq!(pre.len(), t.len());
-        prop_assert_eq!(post.len(), t.len());
+        assert_eq!(pre.len(), t.len());
+        assert_eq!(post.len(), t.len());
         let mut seen = vec![false; t.len()];
         for v in &post {
-            prop_assert!(!seen[v.index()]);
+            assert!(!seen[v.index()]);
             seen[v.index()] = true;
         }
         // postorder: every node after all its children
@@ -83,33 +95,42 @@ proptest! {
         }
         for v in t.nodes() {
             if let Some(p) = t.parent(v) {
-                prop_assert!(pos[v.index()] < pos[p.index()]);
+                assert!(pos[v.index()] < pos[p.index()]);
             }
         }
     }
+}
 
-    /// following/preceding partition the document order around a node.
-    #[test]
-    fn following_preceding_partition(t in arb_tree(25, 2)) {
+#[test]
+fn following_preceding_partition() {
+    let mut rng = SplitMix64::seed_from_u64(0xf011);
+    for _ in 0..120 {
+        let t = rand_tree(&mut rng, 25, 2);
         for v in t.nodes() {
             let following: Vec<_> = traverse::following(&t, v).collect();
             let preceding: Vec<_> = traverse::preceding(&t, v).collect();
             let ancestors: Vec<_> = traverse::ancestors(&t, v).collect();
             let descendants: Vec<_> = traverse::descendants(&t, v).collect();
             let total = 1 + following.len() + preceding.len() + ancestors.len() + descendants.len();
-            prop_assert_eq!(total, t.len(), "partition failed at {:?}", v);
+            assert_eq!(total, t.len(), "partition failed at {v:?}");
         }
     }
+}
 
-    /// Set algebra laws: De Morgan, double complement, absorption.
-    #[test]
-    fn nodeset_boolean_laws(
-        n in 1usize..200,
-        xs in proptest::collection::vec(0u32..200, 0..40),
-        ys in proptest::collection::vec(0u32..200, 0..40),
-    ) {
-        let a = NodeSet::from_iter(n, xs.into_iter().filter(|&x| (x as usize) < n).map(NodeId));
-        let b = NodeSet::from_iter(n, ys.into_iter().filter(|&y| (y as usize) < n).map(NodeId));
+/// A random node set over universe `n` with roughly `fill` members.
+fn rand_set(rng: &mut SplitMix64, n: usize, fill: usize) -> NodeSet {
+    NodeSet::from_iter(n, (0..fill).map(|_| NodeId(rng.gen_range(0..n as u32))))
+}
+
+#[test]
+fn nodeset_boolean_laws() {
+    let mut rng = SplitMix64::seed_from_u64(0xb001);
+    for _ in 0..300 {
+        let n = rng.gen_range(1..200usize);
+        let fill_a = rng.gen_range(0..40usize);
+        let a = rand_set(&mut rng, n, fill_a);
+        let fill_b = rng.gen_range(0..40usize);
+        let b = rand_set(&mut rng, n, fill_b);
         // ¬(a ∪ b) = ¬a ∩ ¬b
         let mut lhs = a.clone();
         lhs.union_with(&b);
@@ -119,48 +140,47 @@ proptest! {
         let mut nb = b.clone();
         nb.complement();
         rhs.intersect_with(&nb);
-        prop_assert_eq!(&lhs, &rhs);
+        assert_eq!(&lhs, &rhs);
         // double complement
         let mut dc = a.clone();
         dc.complement();
         dc.complement();
-        prop_assert_eq!(&dc, &a);
+        assert_eq!(&dc, &a);
         // a \ b = a ∩ ¬b
         let mut diff = a.clone();
         diff.difference_with(&b);
         let mut expect = a.clone();
         expect.intersect_with(&nb);
-        prop_assert_eq!(diff, expect);
+        assert_eq!(diff, expect);
     }
+}
 
-    /// Relation algebra laws: composition associativity, star fixpoint,
-    /// transpose anti-homomorphism.
-    #[test]
-    fn bitmatrix_relation_laws(
-        n in 1usize..24,
-        edges in proptest::collection::vec((0u32..24, 0u32..24), 0..40),
-    ) {
+#[test]
+fn bitmatrix_relation_laws() {
+    let mut rng = SplitMix64::seed_from_u64(0xb12a);
+    for _ in 0..200 {
+        let n = rng.gen_range(1..24usize);
         let mut r = BitMatrix::empty(n);
         let mut s = BitMatrix::empty(n);
-        for (i, &(a, b)) in edges.iter().enumerate() {
-            if (a as usize) < n && (b as usize) < n {
-                if i % 2 == 0 {
-                    r.set(NodeId(a), NodeId(b));
-                } else {
-                    s.set(NodeId(a), NodeId(b));
-                }
+        for i in 0..rng.gen_range(0..40usize) {
+            let a = NodeId(rng.gen_range(0..n as u32));
+            let b = NodeId(rng.gen_range(0..n as u32));
+            if i % 2 == 0 {
+                r.set(a, b);
+            } else {
+                s.set(a, b);
             }
         }
         // (r;s)ᵀ = sᵀ;rᵀ
         let lhs = r.compose(&s).transpose();
         let rhs = s.transpose().compose(&r.transpose());
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
         // star: r* = id ∪ r;r*
         let star = r.star();
         let mut expect = r.compose(&star);
         expect.union_with(&BitMatrix::identity(n));
-        prop_assert_eq!(&star, &expect);
+        assert_eq!(&star, &expect);
         // star is idempotent
-        prop_assert_eq!(star.star(), star);
+        assert_eq!(star.star(), star);
     }
 }

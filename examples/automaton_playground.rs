@@ -64,11 +64,7 @@ fn main() {
     };
     walker.validate().expect("well-formed automaton");
 
-    let t = parse_sexp_with(
-        "(ok (ok ok (ok stop)) (ok ok) (stop ok))",
-        &mut ab,
-    )
-    .unwrap();
+    let t = parse_sexp_with("(ok (ok ok (ok stop)) (ok ok) (stop ok))", &mut ab).unwrap();
     println!("tree: {}", to_sexp(&t, &ab));
 
     // The guard is tested at the source of each move: from the root
@@ -79,7 +75,10 @@ fn main() {
         "\nreachable from the root (its subtree has a stop): {:?}",
         reach.to_vec()
     );
-    let clean = t.first_child(t.root()).and_then(|c| t.next_sibling(c)).unwrap();
+    let clean = t
+        .first_child(t.root())
+        .and_then(|c| t.next_sibling(c))
+        .unwrap();
     let reach = eval_image(&t, &walker, &NodeSet::singleton(t.len(), clean));
     println!(
         "reachable from node {} (stop-free subtree): {:?}",

@@ -43,7 +43,9 @@ fn main() {
             "guarded-fragment translation back from the logic:\n  {}\n",
             rpath_to_string(q, &ab)
         ),
-        None => println!("logic image outside the guarded fragment (uses W) — validated semantically instead\n"),
+        None => println!(
+            "logic image outside the guarded fragment (uses W) — validated semantically instead\n"
+        ),
     }
 
     let corpus = standard_corpus(4, 2, 5, 2008);

@@ -1,0 +1,39 @@
+//! EXPLAIN: profile the same query through all three evaluation
+//! backends and compare their cost structures.
+//!
+//! ```sh
+//! cargo run --release --example explain
+//! cargo run --release --no-default-features --example explain  # no-op counters
+//! ```
+
+use treewalk::xtree::parse::parse_xml;
+use treewalk::{Backend, Engine};
+
+fn main() {
+    let xml = "<lib><shelf><book/><zine/></shelf><shelf><book><errata/></book></shelf></lib>";
+    let query = "down*[book]";
+
+    println!(
+        "instrumentation {} (rebuild with --no-default-features to disable)\n",
+        if treewalk::obs::ENABLED {
+            "enabled"
+        } else {
+            "disabled"
+        }
+    );
+
+    for backend in [Backend::Product, Backend::Automaton, Backend::Logic] {
+        let mut doc = parse_xml(xml).expect("well-formed example document");
+        let root = doc.tree.root();
+        let profile = Engine::with_backend(backend)
+            .explain(&mut doc, query, root)
+            .expect("well-formed example query");
+        println!("{profile}");
+    }
+
+    // the same profile, machine-readable
+    let mut doc = parse_xml(xml).expect("well-formed example document");
+    let root = doc.tree.root();
+    let profile = Engine::new().explain(&mut doc, query, root).expect("query");
+    println!("as JSON:\n{}", profile.to_json().render());
+}

@@ -18,10 +18,9 @@ use treewalk::corexpath::print::path_to_string;
 use treewalk::xtree::parse::parse_xml;
 
 fn main() {
-    let mut doc = parse_xml(
-        "<library><shelf><book/><book/></shelf><shelf><book/></shelf></library>",
-    )
-    .unwrap();
+    let mut doc =
+        parse_xml("<library><shelf><book/><book/></shelf><shelf><book/></shelf></library>")
+            .unwrap();
 
     println!("== fragment classification ==");
     let queries = [

@@ -97,15 +97,11 @@ fn main() {
 
     // ---- 3. the payoff: rewriting changes evaluation time ---------------
     println!("\n== evaluation-time effect of a rewrite ==");
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use twx_xtree::rng::SplitMix64 as StdRng;
     let mut rng = StdRng::seed_from_u64(42);
     let t = random_tree(Shape::DocumentLike, 50_000, 2, &mut rng);
-    let verbose = parse_path_expr(
-        "./down[true]/./down[true][true]/. | down/down",
-        &mut ab,
-    )
-    .unwrap();
+    let verbose =
+        parse_path_expr("./down[true]/./down[true][true]/. | down/down", &mut ab).unwrap();
     let tidy = simplify_path(&verbose);
     println!(
         "  query: {}  ->  {}",

@@ -8,9 +8,14 @@
 //! (and so the equivalence is a one-liner to demonstrate).
 
 use std::fmt;
+use std::sync::OnceLock;
 use twx_core::{rpath_to_formula, rpath_to_ntwa};
+use twx_fotc::ast::Formula;
+use twx_obs::{self as obs, CompiledSizes, Counter, QueryProfile};
+use twx_regxpath::eval::Compiled;
 use twx_regxpath::parser::parse_rpath;
 use twx_regxpath::RPath;
+use twx_twa::machine::Ntwa;
 use twx_xtree::{Document, NodeId, NodeSet};
 
 /// Which evaluation pipeline to use.
@@ -24,6 +29,17 @@ pub enum Backend {
     /// Translate to FO(MTC) and model-check (`twx-fotc`) — the slow,
     /// declarative reference.
     Logic,
+}
+
+impl Backend {
+    /// The stable lowercase name used in profiles and JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Product => "product",
+            Backend::Automaton => "automaton",
+            Backend::Logic => "logic",
+        }
+    }
 }
 
 /// An error from [`Engine::query`].
@@ -45,32 +61,127 @@ impl std::error::Error for EngineError {}
 
 /// A compiled query, reusable across context nodes and documents sharing
 /// the alphabet.
+///
+/// The backend artifact (product NFA, nested automaton, or FO(MTC)
+/// formula) is compiled once on first use and memoised for the lifetime
+/// of the `Prepared` value; repeat evaluations register as
+/// `memo_hits` in [`explain`](Prepared::explain) profiles.
 pub struct Prepared {
+    text: String,
     path: RPath,
     backend: Backend,
+    product: OnceLock<Compiled>,
+    automaton: OnceLock<Ntwa>,
+    formula: OnceLock<Formula>,
+}
+
+/// Nested sub-automata at every nesting level.
+fn ntwa_subtests(a: &Ntwa) -> usize {
+    a.subs.len() + a.subs.iter().map(ntwa_subtests).sum::<usize>()
 }
 
 impl Prepared {
+    fn product(&self) -> &Compiled {
+        if let Some(c) = self.product.get() {
+            obs::incr(Counter::MemoHits);
+            return c;
+        }
+        obs::incr(Counter::MemoMisses);
+        let _t = obs::span(Counter::CompileNanos);
+        self.product.get_or_init(|| Compiled::new(&self.path))
+    }
+
+    fn automaton(&self) -> &Ntwa {
+        if let Some(a) = self.automaton.get() {
+            obs::incr(Counter::MemoHits);
+            return a;
+        }
+        obs::incr(Counter::MemoMisses);
+        let _t = obs::span(Counter::CompileNanos);
+        self.automaton.get_or_init(|| rpath_to_ntwa(&self.path))
+    }
+
+    fn formula(&self) -> &Formula {
+        if let Some(f) = self.formula.get() {
+            obs::incr(Counter::MemoHits);
+            return f;
+        }
+        obs::incr(Counter::MemoMisses);
+        let _t = obs::span(Counter::CompileNanos);
+        self.formula
+            .get_or_init(|| rpath_to_formula(&self.path, 0, 1, 2))
+    }
+
     /// Evaluates from a single context node.
     pub fn eval(&self, doc: &Document, ctx: NodeId) -> NodeSet {
         let t = &doc.tree;
         let ctx_set = NodeSet::singleton(t.len(), ctx);
         match self.backend {
-            Backend::Product => twx_regxpath::eval_image(t, &self.path, &ctx_set),
+            Backend::Product => {
+                let c = self.product();
+                let _t = obs::span(Counter::EvalNanos);
+                c.image(t, &ctx_set)
+            }
             Backend::Automaton => {
-                let auto = rpath_to_ntwa(&self.path);
-                twx_twa::eval_image(t, &auto, &ctx_set)
+                let a = self.automaton();
+                let _t = obs::span(Counter::EvalNanos);
+                twx_twa::eval_image(t, a, &ctx_set)
             }
             Backend::Logic => {
-                let f = rpath_to_formula(&self.path, 0, 1, 2);
-                twx_fotc::eval_binary(t, &f, 0, 1).image(&ctx_set)
+                let f = self.formula();
+                let _t = obs::span(Counter::EvalNanos);
+                twx_fotc::eval_binary(t, f, 0, 1).image(&ctx_set)
             }
+        }
+    }
+
+    /// Evaluates from `ctx` and returns the full cost profile of doing so
+    /// (the EXPLAIN view), including the answer size, compiled-artifact
+    /// sizes, and every counter the backend incremented.
+    ///
+    /// Counters are thread-local; the profile reflects only this
+    /// evaluation. With the `obs` feature disabled the structural
+    /// counters are all zero but artifact sizes are still reported.
+    pub fn explain(&self, doc: &Document, ctx: NodeId) -> QueryProfile {
+        let before = obs::snapshot();
+        let result = self.eval(doc, ctx);
+        let counters = obs::delta_since(&before);
+        let mut compiled = CompiledSizes {
+            query_size: self.path.size(),
+            ..CompiledSizes::default()
+        };
+        match self.backend {
+            Backend::Product => {
+                compiled.nfa_states = self.product.get().map_or(0, |c| c.n_states() as usize)
+            }
+            Backend::Automaton => {
+                if let Some(a) = self.automaton.get() {
+                    compiled.ntwa_states = a.total_states();
+                    compiled.ntwa_subtests = ntwa_subtests(a);
+                }
+            }
+            Backend::Logic => compiled.formula_size = self.formula.get().map_or(0, Formula::size),
+        }
+        QueryProfile {
+            query: self.text.clone(),
+            backend: self.backend.name().to_string(),
+            tree_size: doc.tree.len(),
+            result_count: result.count(),
+            eval_nanos: counters.get(Counter::EvalNanos),
+            compile_nanos: counters.get(Counter::CompileNanos),
+            compiled,
+            counters,
         }
     }
 
     /// The parsed query.
     pub fn path(&self) -> &RPath {
         &self.path
+    }
+
+    /// The original query text.
+    pub fn text(&self) -> &str {
+        &self.text
     }
 }
 
@@ -95,8 +206,12 @@ impl Engine {
     pub fn prepare(&self, doc: &mut Document, query: &str) -> Result<Prepared, EngineError> {
         let path = parse_rpath(query, &mut doc.alphabet).map_err(EngineError::Syntax)?;
         Ok(Prepared {
+            text: query.to_string(),
             path,
             backend: self.backend,
+            product: OnceLock::new(),
+            automaton: OnceLock::new(),
+            formula: OnceLock::new(),
         })
     }
 
@@ -109,6 +224,31 @@ impl Engine {
     ) -> Result<NodeSet, EngineError> {
         let prepared = self.prepare(doc, query)?;
         Ok(prepared.eval(doc, ctx))
+    }
+
+    /// Parses, evaluates, and profiles a query in one step: the EXPLAIN
+    /// entry point.
+    ///
+    /// ```
+    /// use treewalk::{Backend, Engine};
+    /// use twx_xtree::parse::parse_xml;
+    ///
+    /// let mut doc = parse_xml("<a><b><c/></b><c/></a>").unwrap();
+    /// let root = doc.tree.root();
+    /// let profile = Engine::with_backend(Backend::Product)
+    ///     .explain(&mut doc, "down*[c]", root)
+    ///     .unwrap();
+    /// assert_eq!(profile.result_count, 2);
+    /// println!("{profile}"); // the text EXPLAIN view
+    /// ```
+    pub fn explain(
+        &self,
+        doc: &mut Document,
+        query: &str,
+        ctx: NodeId,
+    ) -> Result<QueryProfile, EngineError> {
+        let prepared = self.prepare(doc, query)?;
+        Ok(prepared.explain(doc, ctx))
     }
 }
 

@@ -10,14 +10,18 @@
 //! * [`twa`] — (nested) tree walking automata;
 //! * [`treeauto`] — bottom-up tree automata (the MSO/regular yardstick);
 //! * [`core`] — the effective equivalence triangle between the three
-//!   formalisms, plus deciders and differential-testing harnesses.
+//!   formalisms, plus deciders and differential-testing harnesses;
+//! * [`obs`] — zero-dependency counters, span timers, and the per-query
+//!   EXPLAIN profiles surfaced through [`Engine::explain`].
 
 pub mod engine;
 
-pub use engine::{Backend, Engine};
+pub use engine::{Backend, Engine, Prepared};
 pub use twx_core as core;
 pub use twx_corexpath as corexpath;
 pub use twx_fotc as fotc;
+pub use twx_obs as obs;
+pub use twx_obs::QueryProfile;
 pub use twx_regxpath as regxpath;
 pub use twx_treeauto as treeauto;
 pub use twx_twa as twa;

@@ -3,13 +3,12 @@
 //! embedding into Regular XPath and compiling to nested tree walking
 //! automata. Axioms are the contract of the whole stack.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use treewalk::core::from_core::core_path_to_regular;
 use treewalk::core::rpath_to_ntwa;
 use treewalk::corexpath::axioms::{all_axioms, AxiomInstance, Instantiation};
 use treewalk::corexpath::generate::{random_node_expr, random_path_expr, GenConfig};
 use treewalk::xtree::generate::enumerate_trees_up_to;
+use twx_xtree::rng::SplitMix64 as StdRng;
 
 fn random_instantiation(rng: &mut StdRng) -> Instantiation {
     let cfg = GenConfig {

@@ -86,7 +86,10 @@ fn attributes_as_children_are_queryable() {
     let p = parse_path_expr("down+[@uni=Leicester]", &mut ab).unwrap();
     let hits = treewalk::corexpath::query(&t, &p, t.root());
     assert_eq!(hits.count(), 1);
-    assert_eq!(to_sexp(&t, &ab), "(talk @date=15-Dec-2010 (speaker @uni=Leicester))");
+    assert_eq!(
+        to_sexp(&t, &ab),
+        "(talk @date=15-Dec-2010 (speaker @uni=Leicester))"
+    );
 }
 
 #[test]

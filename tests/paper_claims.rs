@@ -46,9 +46,8 @@ fn claim_within_changes_semantics() {
 /// semantics and runs on a 100k-node tree in well under a second.
 #[test]
 fn claim_polynomial_evaluation() {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use treewalk::xtree::generate::{random_tree, Shape};
+    use twx_xtree::rng::SplitMix64 as StdRng;
     let mut alphabet = ab();
     let p = parse_rpath("(down[!a] | right)*[b]", &mut alphabet).unwrap();
     let mut rng = StdRng::seed_from_u64(9);

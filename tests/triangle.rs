@@ -46,7 +46,11 @@ fn double_roundtrip_is_stable() {
         for t in &corpus {
             let r0 = treewalk::regxpath::eval_rel(t, &p0);
             assert_eq!(r0, treewalk::regxpath::eval_rel(t, &p1), "{src} first trip");
-            assert_eq!(r0, treewalk::regxpath::eval_rel(t, &p2), "{src} second trip");
+            assert_eq!(
+                r0,
+                treewalk::regxpath::eval_rel(t, &p2),
+                "{src} second trip"
+            );
         }
     }
 }
