@@ -18,8 +18,14 @@ cargo build --release --workspace
 say "release build (instrumentation disabled)"
 cargo build --release --no-default-features
 
+say "docs (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 say "test suite"
 cargo test -q --workspace
+
+say "test suite (release)"
+cargo test -q --release --workspace
 
 say "harness smoke run"
 out="$(mktemp -t bench_harness.XXXXXX.json)"
@@ -30,12 +36,15 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "twx-bench/1", doc.get("schema")
 assert doc["obs_enabled"] is True
-assert len(doc["experiments"]) == 8, len(doc["experiments"])
+assert len(doc["experiments"]) == 9, len(doc["experiments"])
 assert len(doc["quickstart_profiles"]) == 3
 for p in doc["quickstart_profiles"]:
     assert p["result_count"] == 2, p
+    assert p["counters"]["plan_cache_misses"] == 1, p
+cache = doc["plan_cache"]
+assert cache["misses"] == 3 and cache["hits"] == 3, cache
 print("BENCH_HARNESS.json: schema ok,", len(doc["experiments"]), "experiments,",
-      len(doc["quickstart_profiles"]), "profiles")
+      len(doc["quickstart_profiles"]), "profiles, plan cache", cache)
 EOF
 
 say "all checks passed"

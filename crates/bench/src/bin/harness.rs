@@ -4,7 +4,7 @@
 //! ```sh
 //! cargo run --release -p twx-bench --bin harness              # full run
 //! cargo run --release -p twx-bench --bin harness -- --quick   # smaller sizes
-//! cargo run --release -p twx-bench --bin harness -- e3 e4     # selected
+//! cargo run --release -p twx-bench --bin harness -- e3 e9     # selected
 //! cargo run --release -p twx-bench --bin harness -- --seed 7  # reseed
 //! cargo run --release -p twx-bench --bin harness -- --json out.json
 //! ```
@@ -54,30 +54,44 @@ fn parse_args() -> Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("harness: {msg}");
-    eprintln!("usage: harness [--quick] [--seed <u64>] [--json <path>] [e1 .. e8]");
+    eprintln!("usage: harness [--quick] [--seed <u64>] [--json <path>] [e1 .. e9]");
     std::process::exit(2)
 }
 
 /// EXPLAIN the quickstart query on each backend; the three profiles land
-/// in the JSON export so runs can be compared structurally.
-fn quickstart_profiles() -> Vec<Json> {
+/// in the JSON export so runs can be compared structurally. The document
+/// is immutable — queries resolve against its alphabet without interning.
+/// The second return value is the serve-side plan-cache statistics
+/// (explain twice per backend: one miss, one hit).
+fn quickstart_profiles() -> (Vec<Json>, Json) {
     const QUERY: &str = "down*[c]";
+    let doc = parse_xml("<a><b><c/></b><c><b/></c></a>").expect("quickstart doc");
+    let root = doc.tree.root();
     let mut out = Vec::new();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut evictions = 0u64;
     for backend in [Backend::Product, Backend::Automaton, Backend::Logic] {
-        let mut doc = parse_xml("<a><b><c/></b><c><b/></c></a>").expect("quickstart doc");
-        let root = doc.tree.root();
-        let profile = Engine::with_backend(backend)
-            .explain(&mut doc, QUERY, root)
-            .expect("quickstart query");
+        let engine = Engine::with_backend(backend);
+        let profile = engine.explain(&doc, QUERY, root).expect("quickstart query");
+        let _served_again = engine.explain(&doc, QUERY, root).expect("quickstart query");
         println!("{profile}");
         out.push(profile.to_json());
+        let stats = engine.cache_stats();
+        hits += stats.hits;
+        misses += stats.misses;
+        evictions += stats.evictions;
     }
-    out
+    let cache = Json::obj()
+        .field("hits", hits)
+        .field("misses", misses)
+        .field("evictions", evictions);
+    (out, cache)
 }
 
 fn main() {
     let args = parse_args();
-    let runners: [(&str, Runner); 8] = [
+    let runners: [(&str, Runner); 9] = [
         ("e1", experiments::e1_core_eval::run),
         ("e2", experiments::e2_regxpath_eval::run),
         ("e3", experiments::e3_translations::run),
@@ -86,6 +100,7 @@ fn main() {
         ("e6", experiments::e6_satisfiability::run),
         ("e7", experiments::e7_closure::run),
         ("e8", experiments::e8_separation::run),
+        ("e9", experiments::e9_plan_cache::run),
     ];
 
     for sel in &args.selected {
@@ -118,14 +133,15 @@ fn main() {
         );
     }
 
-    let profiles = quickstart_profiles();
+    let (profiles, plan_cache) = quickstart_profiles();
     let doc = Json::obj()
         .field("schema", "twx-bench/1")
         .field("mode", if args.cfg.quick { "quick" } else { "full" })
         .field("seed", args.cfg.seed)
         .field("obs_enabled", twx_obs::ENABLED)
         .field("experiments", Json::Arr(exported))
-        .field("quickstart_profiles", Json::Arr(profiles));
+        .field("quickstart_profiles", Json::Arr(profiles))
+        .field("plan_cache", plan_cache);
     let rendered = doc.render();
     // the export must always be machine-readable: re-parse before writing
     twx_obs::json::parse(&rendered).expect("harness JSON round-trips");

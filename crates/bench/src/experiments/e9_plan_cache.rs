@@ -1,0 +1,125 @@
+//! E9 — the staged compile pipeline: cold compiles vs cached serves over
+//! a corpus of catalog-shared documents, plus `query_batch` fan-out.
+//!
+//! Documents are generated from one shared [`Catalog`], so a single
+//! compiled plan (keyed on the simplified AST + backend) is exact for the
+//! whole corpus; the experiment measures what the plan cache buys when a
+//! query is served many times, and what `std::thread::scope` fan-out buys
+//! over a sequential loop.
+
+use crate::experiments::time_us;
+use crate::table::{fmt_micros, Table};
+use crate::RunCfg;
+use treewalk::{Backend, Engine};
+use twx_xtree::generate::{random_document_in, Shape};
+use twx_xtree::rng::SplitMix64 as StdRng;
+use twx_xtree::{Catalog, Document, NodeId};
+
+/// The query mix: compile cost dominated (`within`), eval dominated
+/// (`zigzag`), and a cheap common case.
+const QUERIES: [(&str, &str); 3] = [
+    ("desc-star", "down*[p0]"),
+    ("zigzag", "(down/right | up)*[p0]"),
+    ("within", "down*[W(<down*[p1]>)]"),
+];
+
+/// Runs E9 and renders its table.
+pub fn run(cfg: &RunCfg) -> Table {
+    let catalog = Catalog::from_names(["p0", "p1", "p2"]);
+    let mut rng = StdRng::seed_from_u64(cfg.seed_for(9));
+
+    let mut table = Table::new(
+        "E9: plan cache — cold compile vs cached serve over catalog-shared documents",
+        &[
+            "backend",
+            "query",
+            "serves",
+            "cold",
+            "cached",
+            "speedup",
+            "cache h/m",
+        ],
+    );
+
+    for backend in [Backend::Product, Backend::Automaton, Backend::Logic] {
+        // The logic backend model-checks an n×n relation per serve, so it
+        // gets the E5-scale corpus; the other backends run linear-time
+        // evaluators and get documents an order of magnitude larger.
+        let (n_docs, doc_size, serves) = match (backend, cfg.quick) {
+            (Backend::Logic, true) => (4, 16, 4),
+            (Backend::Logic, false) => (8, 48, 16),
+            (_, true) => (8, 150, 16),
+            (_, false) => (32, 600, 128),
+        };
+        let docs: Vec<Document> = (0..n_docs)
+            .map(|_| random_document_in(Shape::DocumentLike, doc_size, &catalog, &mut rng))
+            .collect();
+        for (name, q) in QUERIES {
+            // cold: a fresh engine (empty cache) for every serve
+            let (_, cold_us) = time_us(|| {
+                for i in 0..serves {
+                    let engine = Engine::with_backend(backend);
+                    let p = engine.prepare_in(&catalog, q).expect("query compiles");
+                    let d = &docs[i % docs.len()];
+                    std::hint::black_box(p.eval(d, d.tree.root()));
+                }
+            });
+            // cached: one engine, every re-prepare after the first hits
+            let engine = Engine::with_backend(backend);
+            let (_, cached_us) = time_us(|| {
+                for i in 0..serves {
+                    let p = engine.prepare_in(&catalog, q).expect("query compiles");
+                    let d = &docs[i % docs.len()];
+                    std::hint::black_box(p.eval(d, d.tree.root()));
+                }
+            });
+            let stats = engine.cache_stats();
+            table.row(vec![
+                backend.name().into(),
+                name.into(),
+                serves.to_string(),
+                fmt_micros(cold_us),
+                fmt_micros(cached_us),
+                format!("{:.1}x", cold_us / cached_us.max(0.01)),
+                format!("{}/{}", stats.hits, stats.misses),
+            ]);
+        }
+
+        // fan-out: query_batch across all documents vs a sequential loop
+        let engine = Engine::with_backend(backend);
+        let jobs: Vec<(&Document, NodeId)> = docs.iter().map(|d| (d, d.tree.root())).collect();
+        let q = "(down | right)*[p1]";
+        let (seq, seq_us) = time_us(|| {
+            jobs.iter()
+                .map(|(d, ctx)| engine.query(d, q, *ctx).unwrap())
+                .collect::<Vec<_>>()
+        });
+        let (par, par_us) = time_us(|| engine.query_batch(&jobs, q).unwrap());
+        assert_eq!(seq, par, "batch disagrees with sequential");
+        table.row(vec![
+            backend.name().into(),
+            "batch".into(),
+            jobs.len().to_string(),
+            fmt_micros(seq_us),
+            fmt_micros(par_us),
+            format!("{:.1}x", seq_us / par_us.max(0.01)),
+            "-".into(),
+        ]);
+    }
+
+    table.note("cold = fresh engine per serve (compile every time); cached = shared plan cache");
+    table
+        .note("batch rows compare a sequential serve loop to Engine::query_batch (scoped threads)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_table() {
+        let t = run(&RunCfg::quick());
+        assert_eq!(t.rows.len(), 3 * (QUERIES.len() + 1));
+    }
+}

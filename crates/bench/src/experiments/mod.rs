@@ -9,6 +9,7 @@ pub mod e5_logic_cost;
 pub mod e6_satisfiability;
 pub mod e7_closure;
 pub mod e8_separation;
+pub mod e9_plan_cache;
 
 use crate::{RunCfg, Table};
 
@@ -23,6 +24,7 @@ pub fn run_all(cfg: &RunCfg) -> Vec<Table> {
         e6_satisfiability::run(cfg),
         e7_closure::run(cfg),
         e8_separation::run(cfg),
+        e9_plan_cache::run(cfg),
     ]
 }
 

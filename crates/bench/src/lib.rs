@@ -2,7 +2,7 @@
 //!
 //! The paper is pure theory — it has no tables or figures — so, per the
 //! substitution recorded in `DESIGN.md`, this crate defines and runs the
-//! synthetic experimental programme E1–E8 of `EXPERIMENTS.md`:
+//! synthetic experimental programme E1–E9 of `EXPERIMENTS.md`:
 //!
 //! * E1/E2 — evaluation-complexity measurements (linear/product evaluators
 //!   vs naive relational baselines);
@@ -12,7 +12,9 @@
 //! * E6 — exact vs bounded satisfiability decision procedures;
 //! * E7 — automata closure operations (determinization/complement blowup);
 //! * E8 — the MSO separation targets (regular languages vs bounded search
-//!   over Regular XPath(W) candidates).
+//!   over Regular XPath(W) candidates);
+//! * E9 — the staged compile pipeline: cold compiles vs plan-cache serves
+//!   over catalog-shared documents, and `query_batch` thread fan-out.
 //!
 //! Each experiment is a function `fn(&RunCfg) -> Table`; the `harness`
 //! binary prints them all and exports every table plus per-backend

@@ -20,7 +20,7 @@
 
 use crate::ast::{Axis, NodeExpr, PathExpr};
 use crate::parser::SyntaxError;
-use twx_xtree::Alphabet;
+use twx_xtree::{Alphabet, Catalog};
 
 fn err<T>(offset: usize, message: impl Into<String>) -> Result<T, SyntaxError> {
     Err(SyntaxError {
@@ -51,6 +51,12 @@ pub fn parse_abbrev(input: &str, alphabet: &mut Alphabet) -> Result<PathExpr, Sy
         return err(p.pos, "trailing input");
     }
     Ok(e)
+}
+
+/// Parses an abbreviated XPath expression, interning label tests into a
+/// shared [`Catalog`].
+pub fn parse_abbrev_catalog(input: &str, catalog: &Catalog) -> Result<PathExpr, SyntaxError> {
+    catalog.with_write(|ab| parse_abbrev(input, ab))
 }
 
 struct AbbrevParser<'a> {

@@ -15,7 +15,7 @@
 //! denote node sets. This crate provides:
 //!
 //! * the two-sorted AST ([`ast`]) with surface parser ([`parser`]) and
-//!   pretty printer ([`print`]);
+//!   pretty printer ([`mod@print`]);
 //! * the **linear-time evaluator** ([`eval`]) in the style of
 //!   Gottlob–Koch–Pichler: `O(|Q| · |T|)` set-at-a-time evaluation using
 //!   per-axis image/preimage passes;
@@ -42,8 +42,10 @@ pub mod parser;
 pub mod print;
 pub mod rewrite;
 
-pub use abbrev::parse_abbrev;
+pub use abbrev::{parse_abbrev, parse_abbrev_catalog};
 pub use ast::{Axis, NodeExpr, PathExpr, Step};
 pub use eval::{eval_node, eval_path_image, eval_path_preimage, query};
 pub use eval_naive::{eval_node_naive, eval_path_rel};
-pub use parser::{parse_node_expr, parse_path_expr};
+pub use parser::{
+    parse_node_expr, parse_node_expr_catalog, parse_path_expr, parse_path_expr_catalog,
+};

@@ -21,7 +21,7 @@
 
 use crate::ast::{Axis, NodeExpr, PathExpr, Step};
 use std::fmt;
-use twx_xtree::Alphabet;
+use twx_xtree::{Alphabet, Catalog};
 
 /// A syntax error with character position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -315,6 +315,19 @@ pub fn parse_node_expr(input: &str, alphabet: &mut Alphabet) -> Result<NodeExpr,
         return Err(p.err(format!("trailing input: {:?}", p.tok)));
     }
     Ok(e)
+}
+
+/// Parses a path expression, interning label tests into a shared
+/// [`Catalog`] so the resulting AST is valid for every document built
+/// from the same catalog.
+pub fn parse_path_expr_catalog(input: &str, catalog: &Catalog) -> Result<PathExpr, SyntaxError> {
+    catalog.with_write(|ab| parse_path_expr(input, ab))
+}
+
+/// Parses a node expression, interning label tests into a shared
+/// [`Catalog`].
+pub fn parse_node_expr_catalog(input: &str, catalog: &Catalog) -> Result<NodeExpr, SyntaxError> {
+    catalog.with_write(|ab| parse_node_expr(input, ab))
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 //! and strictly weaker than MSO.
 //!
 //! This crate provides the syntax ([`ast`]), a model checker with on-demand
-//! TC search ([`eval`]), a printer ([`print`]), and formula generators
+//! TC search ([`eval`]), a printer ([`mod@print`]), and formula generators
 //! ([`generate`]). The translations connecting FO(MTC) to the other two
 //! formalisms live in `twx-core`.
 

@@ -4,13 +4,19 @@
 
 use crate::ast::Formula;
 use std::fmt::Write;
-use twx_xtree::Alphabet;
+use twx_xtree::{Alphabet, Catalog};
 
 /// Renders a formula in a conventional mathematical ASCII notation.
 pub fn formula_to_string(f: &Formula, alphabet: &Alphabet) -> String {
     let mut out = String::new();
     write_formula(f, alphabet, 0, &mut out);
     out
+}
+
+/// Renders a formula resolving label names through a shared [`Catalog`]
+/// (the names seen are those interned at call time).
+pub fn formula_to_string_catalog(f: &Formula, catalog: &Catalog) -> String {
+    catalog.with_read(|ab| formula_to_string(f, ab))
 }
 
 /// Precedence: 0 = or, 1 = and, 2 = unary/atom.

@@ -112,6 +112,19 @@ counters! {
     MemoHits => "memo_hits",
     /// Compiled-artifact cache misses (compilations actually performed).
     MemoMisses => "memo_misses",
+    /// Engine plan-cache lookups that found an already-compiled plan for
+    /// the `(canonical query, backend)` key.
+    PlanCacheHits => "plan_cache_hits",
+    /// Engine plan-cache lookups that had to compile a fresh plan.
+    PlanCacheMisses => "plan_cache_misses",
+    /// Plans evicted from the engine plan cache (FIFO, capacity bound).
+    PlanCacheEvictions => "plan_cache_evictions",
+    /// Fixpoint passes performed by the mandatory `simplify_rpath` /
+    /// `simplify_rnode` pipeline stage.
+    SimplifyPasses => "simplify_passes",
+    /// AST nodes removed by simplification (input size − output size;
+    /// the rules are size-non-increasing, so this never underflows).
+    SimplifyShrunkNodes => "simplify_shrunk_nodes",
     /// NFA states produced by Regular XPath(W) → NFA compilation.
     CompiledNfaStates => "compiled_nfa_states",
     /// FO(MTC) formula size produced by the logic translation.

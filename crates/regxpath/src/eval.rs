@@ -30,6 +30,7 @@ use twx_xtree::{BitMatrix, NodeId, NodeSet, Tree};
 /// let ctx = NodeSet::singleton(doc.tree.len(), doc.tree.root());
 /// assert_eq!(q.image(&doc.tree, &ctx).count(), 2); // both b nodes
 /// ```
+#[derive(Clone, Debug)]
 pub struct Compiled {
     pnfa: PathNfa,
     fwd: Vec<Vec<(MoveLabel, u32)>>,

@@ -18,7 +18,7 @@
 //!
 //! Provided here:
 //!
-//! * the AST ([`ast`]), surface parser ([`parser`]) and printer ([`print`]);
+//! * the AST ([`ast`]), surface parser ([`parser`]) and printer ([`mod@print`]);
 //! * Glushkov/Thompson-style compilation of path expressions to NFAs over
 //!   the *move alphabet* `{↓, ↑, ←, →} ∪ {?φ}` ([`nfa`]) — the word-shaped
 //!   view of tree walking that underlies both evaluation and the
@@ -42,5 +42,8 @@ pub use ast::{RNode, RPath};
 pub use eval::{eval_image, eval_node, eval_preimage, eval_rel, query};
 pub use eval_naive::{eval_node_naive, eval_rel_naive};
 pub use nfa::{Nfa, PathNfa};
-pub use parser::{parse_rnode, parse_rpath};
+pub use parser::{
+    parse_rnode, parse_rnode_catalog, parse_rnode_resolved, parse_rpath, parse_rpath_catalog,
+    parse_rpath_resolved, ResolveError,
+};
 pub use simplify::{simplify_rnode, simplify_rpath};

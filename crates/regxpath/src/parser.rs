@@ -21,7 +21,7 @@
 
 use crate::ast::{Axis, RNode, RPath};
 use std::fmt;
-use twx_xtree::Alphabet;
+use twx_xtree::{Alphabet, Catalog, Label};
 
 /// A syntax error with byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +39,53 @@ impl fmt::Display for SyntaxError {
 }
 
 impl std::error::Error for SyntaxError {}
+
+/// An error from the resolve-only entry points
+/// ([`parse_rpath_resolved`] / [`parse_rnode_resolved`]), which look
+/// labels up in a read-only label space instead of interning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The input did not parse.
+    Syntax(SyntaxError),
+    /// The input parsed but names a label the label space does not
+    /// contain — with `&mut` interning this would have silently created
+    /// a query-only label.
+    UnknownLabel {
+        /// The label name that failed to resolve.
+        label: String,
+        /// Byte offset of the label in the input.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Syntax(e) => e.fmt(f),
+            ResolveError::UnknownLabel { label, offset } => {
+                write!(f, "unknown label '{label}' at {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// How the parser maps label names to [`Label`]s: by interning into a
+/// mutable alphabet (the historical behaviour) or by read-only lookup.
+enum Labels<'a> {
+    Intern(&'a mut Alphabet),
+    Resolve(&'a Alphabet),
+}
+
+impl Labels<'_> {
+    fn get(&mut self, name: &str) -> Option<Label> {
+        match self {
+            Labels::Intern(ab) => Some(ab.intern(name)),
+            Labels::Resolve(ab) => ab.lookup(name),
+        }
+    }
+}
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Tok {
@@ -115,11 +162,14 @@ struct Parser<'a> {
     lexer: Lexer<'a>,
     tok: Tok,
     tok_pos: usize,
-    alphabet: &'a mut Alphabet,
+    labels: Labels<'a>,
+    /// Set when a label fails to resolve in [`Labels::Resolve`] mode, so
+    /// the resolve entry points can surface a typed error.
+    unknown: Option<String>,
 }
 
 impl<'a> Parser<'a> {
-    fn new(input: &'a str, alphabet: &'a mut Alphabet) -> Result<Self, SyntaxError> {
+    fn new(input: &'a str, labels: Labels<'a>) -> Result<Self, SyntaxError> {
         let mut lexer = Lexer {
             input: input.as_bytes(),
             pos: 0,
@@ -129,8 +179,30 @@ impl<'a> Parser<'a> {
             lexer,
             tok,
             tok_pos,
-            alphabet,
+            labels,
+            unknown: None,
         })
+    }
+
+    /// Requires the whole input to have been consumed.
+    fn eof(&mut self) -> Result<(), SyntaxError> {
+        if self.tok == Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input: {:?}", self.tok)))
+        }
+    }
+
+    /// Converts a syntax error into the resolve-mode error, promoting a
+    /// pending unknown-label record to the typed variant.
+    fn resolve_err(&mut self, e: SyntaxError) -> ResolveError {
+        match self.unknown.take() {
+            Some(label) => ResolveError::UnknownLabel {
+                label,
+                offset: e.offset,
+            },
+            None => ResolveError::Syntax(e),
+        }
     }
 
     fn bump(&mut self) -> Result<(), SyntaxError> {
@@ -302,35 +374,72 @@ impl<'a> Parser<'a> {
                     Ok(e.within())
                 }
                 "and" | "or" => Err(self.err(format!("'{name}' is a reserved word"))),
-                _ => {
-                    let l = self.alphabet.intern(&name);
-                    self.bump()?;
-                    Ok(RNode::Label(l))
-                }
+                _ => match self.labels.get(&name) {
+                    Some(l) => {
+                        self.bump()?;
+                        Ok(RNode::Label(l))
+                    }
+                    None => {
+                        let e = self.err(format!("unknown label '{name}'"));
+                        self.unknown = Some(name);
+                        Err(e)
+                    }
+                },
             },
             t => Err(self.err(format!("expected a node expression, found {t:?}"))),
         }
     }
 }
 
-/// Parses a Regular XPath(W) path expression.
+/// Parses a Regular XPath(W) path expression, interning labels.
 pub fn parse_rpath(input: &str, alphabet: &mut Alphabet) -> Result<RPath, SyntaxError> {
-    let mut p = Parser::new(input, alphabet)?;
+    let mut p = Parser::new(input, Labels::Intern(alphabet))?;
     let e = p.path()?;
-    if p.tok != Tok::Eof {
-        return Err(p.err(format!("trailing input: {:?}", p.tok)));
-    }
+    p.eof()?;
     Ok(e)
 }
 
-/// Parses a Regular XPath(W) node expression.
+/// Parses a Regular XPath(W) node expression, interning labels.
 pub fn parse_rnode(input: &str, alphabet: &mut Alphabet) -> Result<RNode, SyntaxError> {
-    let mut p = Parser::new(input, alphabet)?;
+    let mut p = Parser::new(input, Labels::Intern(alphabet))?;
     let e = p.node()?;
-    if p.tok != Tok::Eof {
-        return Err(p.err(format!("trailing input: {:?}", p.tok)));
-    }
+    p.eof()?;
     Ok(e)
+}
+
+/// Parses a path expression against a **read-only** label space: labels
+/// are resolved by lookup, and a name the space does not contain is a
+/// typed [`ResolveError::UnknownLabel`] instead of a silent intern.
+///
+/// This is the engine's parse stage for immutable documents.
+pub fn parse_rpath_resolved(input: &str, alphabet: &Alphabet) -> Result<RPath, ResolveError> {
+    let mut p = Parser::new(input, Labels::Resolve(alphabet)).map_err(ResolveError::Syntax)?;
+    match p.path().and_then(|e| p.eof().map(|()| e)) {
+        Ok(e) => Ok(e),
+        Err(se) => Err(p.resolve_err(se)),
+    }
+}
+
+/// Parses a node expression against a read-only label space (see
+/// [`parse_rpath_resolved`]).
+pub fn parse_rnode_resolved(input: &str, alphabet: &Alphabet) -> Result<RNode, ResolveError> {
+    let mut p = Parser::new(input, Labels::Resolve(alphabet)).map_err(ResolveError::Syntax)?;
+    match p.node().and_then(|e| p.eof().map(|()| e)) {
+        Ok(e) => Ok(e),
+        Err(se) => Err(p.resolve_err(se)),
+    }
+}
+
+/// Parses a path expression, interning labels into a shared [`Catalog`]
+/// (append-only, thread-safe): the entry point for compiling queries
+/// that will be served across every document sharing the catalog.
+pub fn parse_rpath_catalog(input: &str, catalog: &Catalog) -> Result<RPath, SyntaxError> {
+    catalog.with_write(|ab| parse_rpath(input, ab))
+}
+
+/// Parses a node expression, interning labels into a shared [`Catalog`].
+pub fn parse_rnode_catalog(input: &str, catalog: &Catalog) -> Result<RNode, SyntaxError> {
+    catalog.with_write(|ab| parse_rnode(input, ab))
 }
 
 #[cfg(test)]
@@ -399,5 +508,45 @@ mod tests {
         assert!(parse_rnode("W down", &mut ab).is_err());
         assert!(parse_rpath("", &mut ab).is_err());
         assert!(parse_rnode("", &mut ab).is_err());
+    }
+
+    #[test]
+    fn resolved_mode_rejects_unknown_labels_without_interning() {
+        let ab = Alphabet::from_names(["a"]);
+        let p = parse_rpath_resolved("down*[a]", &ab).unwrap();
+        assert_eq!(
+            p,
+            RPath::Axis(Axis::Down)
+                .star()
+                .filter(RNode::Label(ab.lookup("a").unwrap()))
+        );
+        match parse_rpath_resolved("down[zzz]", &ab) {
+            Err(ResolveError::UnknownLabel { label, .. }) => assert_eq!(label, "zzz"),
+            other => panic!("expected UnknownLabel, got {other:?}"),
+        }
+        assert_eq!(ab.len(), 1, "resolve mode must not intern");
+        // plain syntax errors still come out as Syntax
+        assert!(matches!(
+            parse_rnode_resolved("W down", &ab),
+            Err(ResolveError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn catalog_mode_interns_into_the_shared_space() {
+        let catalog = Catalog::new();
+        let p = parse_rpath_catalog("down[a]/down[b]", &catalog).unwrap();
+        assert_eq!(catalog.len(), 2);
+        let f = parse_rnode_catalog("a or b", &catalog).unwrap();
+        assert_eq!(catalog.len(), 2, "names reused, not re-interned");
+        let a = catalog.lookup("a").unwrap();
+        let b = catalog.lookup("b").unwrap();
+        assert_eq!(f, RNode::Label(a).or(RNode::Label(b)));
+        assert_eq!(
+            p,
+            RPath::Axis(Axis::Down)
+                .filter(RNode::Label(a))
+                .seq(RPath::Axis(Axis::Down).filter(RNode::Label(b)))
+        );
     }
 }

@@ -6,6 +6,7 @@
 //! soundness is machine-checked on bounded domains by the tests.
 
 use crate::ast::{RNode, RPath};
+use twx_obs::{self as obs, Counter};
 
 /// Whether a path expression denotes the empty relation on every tree
 /// (recognisable syntactically).
@@ -45,23 +46,40 @@ pub fn is_true(f: &RNode) -> bool {
 }
 
 /// Simplifies a path expression to a rewriting fixpoint.
+///
+/// This is the engine's mandatory simplify stage; it records one
+/// `simplify_passes` counter tick per fixpoint iteration and the total
+/// AST shrinkage as `simplify_shrunk_nodes`.
 pub fn simplify_rpath(p: &RPath) -> RPath {
+    let before = p.size();
     let mut cur = p.clone();
     loop {
+        obs::incr(Counter::SimplifyPasses);
         let next = simp_path(&cur);
         if next == cur {
+            obs::add(
+                Counter::SimplifyShrunkNodes,
+                before.saturating_sub(cur.size()) as u64,
+            );
             return cur;
         }
         cur = next;
     }
 }
 
-/// Simplifies a node expression to a rewriting fixpoint.
+/// Simplifies a node expression to a rewriting fixpoint (instrumented
+/// like [`simplify_rpath`]).
 pub fn simplify_rnode(f: &RNode) -> RNode {
+    let before = f.size();
     let mut cur = f.clone();
     loop {
+        obs::incr(Counter::SimplifyPasses);
         let next = simp_node(&cur);
         if next == cur {
+            obs::add(
+                Counter::SimplifyShrunkNodes,
+                before.saturating_sub(cur.size()) as u64,
+            );
             return cur;
         }
         cur = next;

@@ -2,7 +2,7 @@
 //!
 //! [`TreeBuilder`] assigns node ids in the order nodes are opened, which is
 //! exactly preorder — establishing the document-order invariant of
-//! [`Tree`](crate::Tree) by construction.
+//! [`Tree`] by construction.
 
 use crate::alphabet::Label;
 use crate::tree::Tree;

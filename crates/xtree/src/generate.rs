@@ -103,6 +103,26 @@ pub fn random_tree<R: Rng>(shape: Shape, n: usize, k: usize, rng: &mut R) -> Tre
     from_parent_vec(&parents, &labels)
 }
 
+/// Generates a random [`Document`](crate::Document) whose labels live in
+/// a shared [`Catalog`](crate::Catalog): the tree draws from every label
+/// currently interned, and the document carries a catalog snapshot, so
+/// query plans compiled against the catalog serve every document
+/// generated from it.
+///
+/// # Panics
+/// If the catalog is empty (there would be no labels to draw from).
+pub fn random_document_in<R: Rng>(
+    shape: Shape,
+    n: usize,
+    catalog: &crate::Catalog,
+    rng: &mut R,
+) -> crate::Document {
+    let k = catalog.len();
+    assert!(k > 0, "cannot generate from an empty catalog");
+    let tree = random_tree(shape, n, k, rng);
+    crate::Document::new(tree, catalog.snapshot())
+}
+
 /// Builds a tree from a parent vector (`parents[0]` ignored; `parents[i] <
 /// i`), with children ordered by id.
 pub fn from_parent_vec(parents: &[u32], labels: &[Label]) -> Tree {
@@ -241,6 +261,21 @@ mod tests {
                 assert_ne!(trees[i], trees[j], "duplicate trees at {i},{j}");
             }
         }
+    }
+
+    #[test]
+    fn random_documents_share_the_catalog_space() {
+        let catalog = crate::Catalog::from_names(["p0", "p1", "p2"]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let d1 = random_document_in(Shape::DocumentLike, 50, &catalog, &mut rng);
+        let d2 = random_document_in(Shape::Wide, 50, &catalog, &mut rng);
+        for d in [&d1, &d2] {
+            assert!(d.tree.validate().is_ok());
+            for v in d.tree.nodes() {
+                assert!(d.tree.label(v).index() < catalog.len());
+            }
+        }
+        assert_eq!(d1.alphabet.lookup("p1"), d2.alphabet.lookup("p1"));
     }
 
     #[test]

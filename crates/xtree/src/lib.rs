@@ -14,7 +14,9 @@
 //!
 //! * [`Tree`]: an arena (struct-of-arrays) representation with `u32` node
 //!   ids assigned in **document (preorder) order**;
-//! * [`Alphabet`]: a label interner shared between trees and queries;
+//! * [`Alphabet`]: a label interner shared between trees and queries, and
+//!   [`Catalog`]: its thread-safe, append-only, `Arc`-shareable form — the
+//!   label space many documents and compiled query plans share;
 //! * [`TreeBuilder`]: SAX-style open/close construction;
 //! * parsers for a subset of XML and for s-expressions ([`parse`]);
 //! * serializers to XML, s-expressions and Graphviz DOT ([`serialize`]);
@@ -29,6 +31,7 @@
 
 pub mod alphabet;
 pub mod builder;
+pub mod catalog;
 pub mod cursor;
 pub mod fcns;
 pub mod generate;
@@ -42,6 +45,7 @@ pub mod tree;
 
 pub use alphabet::{Alphabet, Label};
 pub use builder::TreeBuilder;
+pub use catalog::Catalog;
 pub use cursor::Cursor;
 pub use fcns::BinTree;
 pub use nodeset::{BitMatrix, NodeSet};

@@ -9,6 +9,7 @@
 
 use crate::alphabet::Alphabet;
 use crate::builder::TreeBuilder;
+use crate::catalog::Catalog;
 use crate::tree::{Document, Tree};
 use std::fmt;
 
@@ -49,6 +50,17 @@ pub fn parse_xml(input: &str) -> Result<Document, ParseError> {
     let mut alphabet = Alphabet::new();
     let tree = parse_xml_with(input, &mut alphabet, XmlOptions::default())?;
     Ok(Document::new(tree, alphabet))
+}
+
+/// Parses an XML document, interning labels into a shared [`Catalog`].
+///
+/// The returned [`Document`] carries a snapshot of the catalog, so its
+/// labels agree with every other document and query compiled against the
+/// same catalog — the unit of the engine's prepare-once/serve-many
+/// pattern.
+pub fn parse_xml_catalog(input: &str, catalog: &Catalog) -> Result<Document, ParseError> {
+    let tree = catalog.with_write(|ab| parse_xml_with(input, ab, XmlOptions::default()))?;
+    Ok(Document::new(tree, catalog.snapshot()))
 }
 
 /// Parses an XML document, interning labels into an existing alphabet.
@@ -248,6 +260,13 @@ pub fn parse_sexp(input: &str) -> Result<Document, ParseError> {
     Ok(Document::new(tree, alphabet))
 }
 
+/// Parses an s-expression tree, interning labels into a shared
+/// [`Catalog`] (see [`parse_xml_catalog`] for the sharing contract).
+pub fn parse_sexp_catalog(input: &str, catalog: &Catalog) -> Result<Document, ParseError> {
+    let tree = catalog.with_write(|ab| parse_sexp_with(input, ab))?;
+    Ok(Document::new(tree, catalog.snapshot()))
+}
+
 /// Parses an s-expression tree, interning labels into an existing alphabet.
 pub fn parse_sexp_with(input: &str, alphabet: &mut Alphabet) -> Result<Tree, ParseError> {
     let bytes = input.as_bytes();
@@ -392,6 +411,20 @@ mod tests {
         let doc = parse_sexp("  x  ").unwrap();
         assert_eq!(doc.tree.len(), 1);
         assert_eq!(doc.label_name(doc.tree.root()), "x");
+    }
+
+    #[test]
+    fn catalog_parsers_share_one_label_space() {
+        let catalog = Catalog::new();
+        let d1 = parse_xml_catalog("<a><b/></a>", &catalog).unwrap();
+        let d2 = parse_sexp_catalog("(b a)", &catalog).unwrap();
+        // same names → same labels across both documents
+        assert_eq!(
+            d1.tree.label(d1.tree.root()),
+            d2.tree.label(d2.tree.first_child(d2.tree.root()).unwrap()),
+        );
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(d1.alphabet.lookup("b"), d2.alphabet.lookup("b"));
     }
 
     #[test]

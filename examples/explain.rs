@@ -22,18 +22,25 @@ fn main() {
         }
     );
 
+    // the document is immutable: every backend explains the same value
+    let doc = parse_xml(xml).expect("well-formed example document");
+    let root = doc.tree.root();
     for backend in [Backend::Product, Backend::Automaton, Backend::Logic] {
-        let mut doc = parse_xml(xml).expect("well-formed example document");
-        let root = doc.tree.root();
         let profile = Engine::with_backend(backend)
-            .explain(&mut doc, query, root)
+            .explain(&doc, query, root)
             .expect("well-formed example query");
         println!("{profile}");
     }
 
-    // the same profile, machine-readable
-    let mut doc = parse_xml(xml).expect("well-formed example document");
-    let root = doc.tree.root();
-    let profile = Engine::new().explain(&mut doc, query, root).expect("query");
+    // the same profile, machine-readable; a second explain through the
+    // same engine serves the compiled plan from the cache
+    let engine = Engine::new();
+    engine.explain(&doc, query, root).expect("query");
+    let profile = engine.explain(&doc, query, root).expect("query");
     println!("as JSON:\n{}", profile.to_json().render());
+    let stats = engine.cache_stats();
+    println!(
+        "plan cache after two explains: {} hit(s), {} miss(es)",
+        stats.hits, stats.misses
+    );
 }

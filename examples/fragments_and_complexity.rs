@@ -10,17 +10,21 @@
 //! cargo run --example fragments_and_complexity
 //! ```
 
-use treewalk::corexpath::abbrev::parse_abbrev;
+use treewalk::corexpath::abbrev::parse_abbrev_catalog;
 use treewalk::corexpath::derived;
 use treewalk::corexpath::fragment::{axes_of_path, classify};
-use treewalk::corexpath::parser::parse_path_expr;
+use treewalk::corexpath::parser::parse_path_expr_catalog;
 use treewalk::corexpath::print::path_to_string;
-use treewalk::xtree::parse::parse_xml;
+use treewalk::xtree::parse::parse_xml_catalog;
+use treewalk::xtree::Catalog;
 
 fn main() {
-    let mut doc =
-        parse_xml("<library><shelf><book/><book/></shelf><shelf><book/></shelf></library>")
-            .unwrap();
+    let catalog = Catalog::new();
+    let doc = parse_xml_catalog(
+        "<library><shelf><book/><book/></shelf><shelf><book/></shelf></library>",
+        &catalog,
+    )
+    .unwrap();
 
     println!("== fragment classification ==");
     let queries = [
@@ -32,7 +36,7 @@ fn main() {
         "down+ | right+ | left+",
     ];
     for q in queries {
-        let p = parse_path_expr(q, &mut doc.alphabet).unwrap();
+        let p = parse_path_expr_catalog(q, &catalog).unwrap();
         let axes = axes_of_path(&p);
         let complexity = classify(&axes);
         println!("  {q:<28} axes {axes:?}  equivalence: {complexity:?}");
@@ -49,7 +53,7 @@ fn main() {
     }
 
     // document order from the second book: everything after it
-    let books = parse_abbrev("//book", &mut doc.alphabet).unwrap();
+    let books = parse_abbrev_catalog("//book", &catalog).unwrap();
     let all_books = treewalk::corexpath::query(&doc.tree, &books, doc.tree.root());
     let second = all_books.to_vec()[1];
     let after = treewalk::corexpath::query(&doc.tree, &derived::following(), second);
@@ -61,7 +65,7 @@ fn main() {
 
     println!("\n== abbreviated W3C syntax compiles to the logical core ==");
     for q in ["/shelf/book", "//book", "/shelf[book]/..", "shelf/*"] {
-        let p = parse_abbrev(q, &mut doc.alphabet).unwrap();
+        let p = parse_abbrev_catalog(q, &catalog).unwrap();
         let ans = treewalk::corexpath::query(&doc.tree, &p, doc.tree.root());
         println!(
             "  {q:<18} -> {:<55} answers {:?}",

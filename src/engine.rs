@@ -1,25 +1,37 @@
 //! A document-level query engine over the three equivalent back ends.
 //!
-//! [`Engine`] parses Regular XPath(W) queries and evaluates them through a
-//! selectable [`Backend`] — the NFA-product evaluator, the nested tree
-//! walking automaton, or the FO(MTC) model checker. Because the paper's
-//! translations are exact, all back ends return identical answers; the
-//! engine exists so downstream code can pick the cost profile it wants
-//! (and so the equivalence is a one-liner to demonstrate).
+//! [`Engine`] compiles Regular XPath(W) queries through a staged pipeline
+//! — parse → simplify → plan-cache lookup → backend compile — and
+//! evaluates them through a selectable [`Backend`]: the NFA-product
+//! evaluator, the nested tree walking automaton, or the FO(MTC) model
+//! checker. Because the paper's translations are exact, all back ends
+//! return identical answers; the engine exists so downstream code can pick
+//! the cost profile it wants (and so the equivalence is a one-liner to
+//! demonstrate).
+//!
+//! Compilation is decoupled from documents: queries resolve against a
+//! document's alphabet (or a shared, append-only
+//! [`Catalog`]) without mutating it, compiled plans
+//! live in a concurrent plan cache shared by every clone of the engine,
+//! and [`Engine`]/[`Prepared`] are `Send + Sync`, so one prepared query
+//! can serve many threads and many documents over the same label space.
 
+use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use twx_core::{rpath_to_formula, rpath_to_ntwa};
 use twx_fotc::ast::Formula;
 use twx_obs::{self as obs, CompiledSizes, Counter, QueryProfile};
 use twx_regxpath::eval::Compiled;
-use twx_regxpath::parser::parse_rpath;
-use twx_regxpath::RPath;
+use twx_regxpath::parser::{parse_rpath_catalog, parse_rpath_resolved, ResolveError};
+use twx_regxpath::{simplify_rpath, RPath};
 use twx_twa::machine::Ntwa;
-use twx_xtree::{Document, NodeId, NodeSet};
+use twx_xtree::{Catalog, Document, NodeId, NodeSet};
 
 /// Which evaluation pipeline to use.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Backend {
     /// The NFA × tree product evaluator (`twx-regxpath`) — the fast path.
     #[default]
@@ -47,32 +59,72 @@ impl Backend {
 pub enum EngineError {
     /// The query text did not parse.
     Syntax(twx_regxpath::parser::SyntaxError),
+    /// The query mentions a label that is not in the document's alphabet
+    /// (or shared catalog). Compilation never mutates the label space, so
+    /// unknown labels surface as typed errors instead of silent interns.
+    UnknownLabel {
+        /// The label name as written in the query.
+        label: String,
+    },
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Syntax(e) => write!(f, "{e}"),
+            EngineError::UnknownLabel { label } => {
+                write!(
+                    f,
+                    "unknown label '{label}': not in the document's label space"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
 
-/// A compiled query, reusable across context nodes and documents sharing
-/// the alphabet.
-///
-/// The backend artifact (product NFA, nested automaton, or FO(MTC)
-/// formula) is compiled once on first use and memoised for the lifetime
-/// of the `Prepared` value; repeat evaluations register as
-/// `memo_hits` in [`explain`](Prepared::explain) profiles.
-pub struct Prepared {
-    text: String,
-    path: RPath,
-    backend: Backend,
-    product: OnceLock<Compiled>,
-    automaton: OnceLock<Ntwa>,
-    formula: OnceLock<Formula>,
+impl From<ResolveError> for EngineError {
+    fn from(e: ResolveError) -> EngineError {
+        match e {
+            ResolveError::Syntax(e) => EngineError::Syntax(e),
+            ResolveError::UnknownLabel { label, .. } => EngineError::UnknownLabel { label },
+        }
+    }
+}
+
+/// A compiled backend artifact: exactly one of the three equivalent forms,
+/// matching the backend the plan was compiled for.
+#[derive(Debug)]
+enum Plan {
+    Product(Compiled),
+    Automaton(Ntwa),
+    Logic(Formula),
+}
+
+impl Plan {
+    fn compile(path: &RPath, backend: Backend) -> Plan {
+        match backend {
+            Backend::Product => Plan::Product(Compiled::new(path)),
+            Backend::Automaton => Plan::Automaton(rpath_to_ntwa(path)),
+            Backend::Logic => Plan::Logic(rpath_to_formula(path, 0, 1, 2)),
+        }
+    }
+}
+
+/// Point-in-time statistics of an engine's plan cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries displaced by the FIFO capacity bound.
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub entries: usize,
+    /// Maximum resident plans before eviction.
+    pub capacity: usize,
 }
 
 /// Nested sub-automata at every nesting level.
@@ -80,58 +132,129 @@ fn ntwa_subtests(a: &Ntwa) -> usize {
     a.subs.len() + a.subs.iter().map(ntwa_subtests).sum::<usize>()
 }
 
+/// Default number of resident plans before FIFO eviction.
+const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// A concurrent, bounded plan cache.
+///
+/// Keyed by the **simplified query AST** plus the backend. Labels inside
+/// the AST are numeric ids, so a cached plan is exact for any document
+/// whose alphabet assigns those ids the same way — i.e. documents sharing
+/// a [`Catalog`]. Artifacts are `Arc`-shared: an eviction never
+/// invalidates a live [`Prepared`].
+///
+/// Global hit/miss/eviction totals are kept in atomics (visible via
+/// [`Engine::cache_stats`]); the same events also tick the thread-local
+/// `plan_cache_*` observability counters so they appear in per-query
+/// EXPLAIN profiles.
+#[derive(Debug)]
+struct PlanCache {
+    inner: RwLock<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    map: HashMap<(RPath, Backend), Arc<Plan>>,
+    order: VecDeque<(RPath, Backend)>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: RwLock::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached plan for `(path, backend)`, compiling and
+    /// inserting it on a miss.
+    fn get_or_compile(&self, path: &RPath, backend: Backend) -> Arc<Plan> {
+        {
+            let inner = self.inner.read().expect("plan cache poisoned");
+            if let Some(plan) = inner.map.get(&(path.clone(), backend)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::incr(Counter::PlanCacheHits);
+                obs::incr(Counter::MemoHits);
+                return Arc::clone(plan);
+            }
+        }
+        // Compile outside any lock: concurrent misses on the same key may
+        // compile twice, but the translations are pure, so the duplicates
+        // are identical and the first insert wins.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::incr(Counter::PlanCacheMisses);
+        obs::incr(Counter::MemoMisses);
+        let plan = {
+            let _t = obs::span(Counter::CompileNanos);
+            Arc::new(Plan::compile(path, backend))
+        };
+        let key = (path.clone(), backend);
+        let mut inner = self.inner.write().expect("plan cache poisoned");
+        if let Some(existing) = inner.map.get(&key) {
+            return Arc::clone(existing);
+        }
+        inner.map.insert(key.clone(), Arc::clone(&plan));
+        inner.order.push_back(key);
+        while inner.map.len() > inner.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.map.remove(&old);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                obs::incr(Counter::PlanCacheEvictions);
+            } else {
+                break;
+            }
+        }
+        plan
+    }
+
+    fn stats(&self) -> CacheStats {
+        let inner = self.inner.read().expect("plan cache poisoned");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            capacity: inner.capacity,
+        }
+    }
+}
+
+/// A compiled query: the product of the full pipeline (parse → simplify →
+/// cached backend compile), reusable across context nodes, threads, and
+/// every document sharing the label space it was compiled against.
+///
+/// `Prepared` is `Send + Sync` and holds its artifact behind an [`Arc`],
+/// so it stays valid even after the plan is evicted from the engine's
+/// cache.
+#[derive(Debug)]
+pub struct Prepared {
+    text: String,
+    raw_size: usize,
+    path: RPath,
+    backend: Backend,
+    plan: Arc<Plan>,
+}
+
 impl Prepared {
-    fn product(&self) -> &Compiled {
-        if let Some(c) = self.product.get() {
-            obs::incr(Counter::MemoHits);
-            return c;
-        }
-        obs::incr(Counter::MemoMisses);
-        let _t = obs::span(Counter::CompileNanos);
-        self.product.get_or_init(|| Compiled::new(&self.path))
-    }
-
-    fn automaton(&self) -> &Ntwa {
-        if let Some(a) = self.automaton.get() {
-            obs::incr(Counter::MemoHits);
-            return a;
-        }
-        obs::incr(Counter::MemoMisses);
-        let _t = obs::span(Counter::CompileNanos);
-        self.automaton.get_or_init(|| rpath_to_ntwa(&self.path))
-    }
-
-    fn formula(&self) -> &Formula {
-        if let Some(f) = self.formula.get() {
-            obs::incr(Counter::MemoHits);
-            return f;
-        }
-        obs::incr(Counter::MemoMisses);
-        let _t = obs::span(Counter::CompileNanos);
-        self.formula
-            .get_or_init(|| rpath_to_formula(&self.path, 0, 1, 2))
-    }
-
     /// Evaluates from a single context node.
     pub fn eval(&self, doc: &Document, ctx: NodeId) -> NodeSet {
         let t = &doc.tree;
         let ctx_set = NodeSet::singleton(t.len(), ctx);
-        match self.backend {
-            Backend::Product => {
-                let c = self.product();
-                let _t = obs::span(Counter::EvalNanos);
-                c.image(t, &ctx_set)
-            }
-            Backend::Automaton => {
-                let a = self.automaton();
-                let _t = obs::span(Counter::EvalNanos);
-                twx_twa::eval_image(t, a, &ctx_set)
-            }
-            Backend::Logic => {
-                let f = self.formula();
-                let _t = obs::span(Counter::EvalNanos);
-                twx_fotc::eval_binary(t, f, 0, 1).image(&ctx_set)
-            }
+        let _t = obs::span(Counter::EvalNanos);
+        match &*self.plan {
+            Plan::Product(c) => c.image(t, &ctx_set),
+            Plan::Automaton(a) => twx_twa::eval_image(t, a, &ctx_set),
+            Plan::Logic(f) => twx_fotc::eval_binary(t, f, 0, 1).image(&ctx_set),
         }
     }
 
@@ -140,27 +263,29 @@ impl Prepared {
     /// sizes, and every counter the backend incremented.
     ///
     /// Counters are thread-local; the profile reflects only this
-    /// evaluation. With the `obs` feature disabled the structural
-    /// counters are all zero but artifact sizes are still reported.
+    /// evaluation (compilation happened at prepare time — use
+    /// [`Engine::explain`] for a profile that includes the compile stage).
+    /// With the `obs` feature disabled the structural counters are all
+    /// zero but artifact sizes are still reported.
     pub fn explain(&self, doc: &Document, ctx: NodeId) -> QueryProfile {
         let before = obs::snapshot();
         let result = self.eval(doc, ctx);
         let counters = obs::delta_since(&before);
+        self.profile(doc, &result, counters)
+    }
+
+    fn profile(&self, doc: &Document, result: &NodeSet, counters: obs::Counters) -> QueryProfile {
         let mut compiled = CompiledSizes {
             query_size: self.path.size(),
             ..CompiledSizes::default()
         };
-        match self.backend {
-            Backend::Product => {
-                compiled.nfa_states = self.product.get().map_or(0, |c| c.n_states() as usize)
+        match &*self.plan {
+            Plan::Product(c) => compiled.nfa_states = c.n_states() as usize,
+            Plan::Automaton(a) => {
+                compiled.ntwa_states = a.total_states();
+                compiled.ntwa_subtests = ntwa_subtests(a);
             }
-            Backend::Automaton => {
-                if let Some(a) = self.automaton.get() {
-                    compiled.ntwa_states = a.total_states();
-                    compiled.ntwa_subtests = ntwa_subtests(a);
-                }
-            }
-            Backend::Logic => compiled.formula_size = self.formula.get().map_or(0, Formula::size),
+            Plan::Logic(f) => compiled.formula_size = f.size(),
         }
         QueryProfile {
             query: self.text.clone(),
@@ -174,81 +299,180 @@ impl Prepared {
         }
     }
 
-    /// The parsed query.
+    /// The simplified query AST the plan was compiled from.
     pub fn path(&self) -> &RPath {
         &self.path
+    }
+
+    /// AST size as parsed, before the mandatory simplify stage.
+    pub fn raw_size(&self) -> usize {
+        self.raw_size
     }
 
     /// The original query text.
     pub fn text(&self) -> &str {
         &self.text
     }
+
+    /// The backend the plan targets.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
 }
 
-/// The query engine.
-#[derive(Clone, Copy, Debug, Default)]
+/// The query engine: a backend selection plus a shared, concurrent
+/// plan cache. Cloning is cheap and clones share the cache; the engine
+/// is `Send + Sync`.
+#[derive(Clone, Debug)]
 pub struct Engine {
     backend: Backend,
+    cache: Arc<PlanCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
 }
 
 impl Engine {
     /// An engine with the default (product) back end.
     pub fn new() -> Engine {
-        Engine::default()
+        Engine::with_backend(Backend::default())
     }
 
     /// Selects a back end.
     pub fn with_backend(backend: Backend) -> Engine {
-        Engine { backend }
+        Engine {
+            backend,
+            cache: Arc::new(PlanCache::new(DEFAULT_CACHE_CAPACITY)),
+        }
     }
 
-    /// Parses a query against the document's alphabet.
-    pub fn prepare(&self, doc: &mut Document, query: &str) -> Result<Prepared, EngineError> {
-        let path = parse_rpath(query, &mut doc.alphabet).map_err(EngineError::Syntax)?;
-        Ok(Prepared {
+    /// Bounds the plan cache to `capacity` resident plans (FIFO eviction).
+    pub fn with_cache_capacity(backend: Backend, capacity: usize) -> Engine {
+        Engine {
+            backend,
+            cache: Arc::new(PlanCache::new(capacity)),
+        }
+    }
+
+    /// Runs the full compile pipeline against the document's (immutable)
+    /// alphabet: parse, resolve labels, simplify, then fetch or compile
+    /// the backend plan through the shared cache.
+    ///
+    /// Labels the alphabet does not know yield
+    /// [`EngineError::UnknownLabel`]; the document is never mutated.
+    pub fn prepare(&self, doc: &Document, query: &str) -> Result<Prepared, EngineError> {
+        let path = parse_rpath_resolved(query, &doc.alphabet)?;
+        Ok(self.finish_pipeline(query, path))
+    }
+
+    /// Like [`prepare`](Engine::prepare), but resolves the query against a
+    /// shared [`Catalog`], **interning** any new labels into it. The plan
+    /// then serves every document built from the catalog.
+    pub fn prepare_in(&self, catalog: &Catalog, query: &str) -> Result<Prepared, EngineError> {
+        let path = parse_rpath_catalog(query, catalog).map_err(EngineError::Syntax)?;
+        Ok(self.finish_pipeline(query, path))
+    }
+
+    /// The shared simplify + cache + compile tail of the pipeline.
+    fn finish_pipeline(&self, query: &str, raw: RPath) -> Prepared {
+        let raw_size = raw.size();
+        let path = simplify_rpath(&raw);
+        let plan = self.cache.get_or_compile(&path, self.backend);
+        Prepared {
             text: query.to_string(),
+            raw_size,
             path,
             backend: self.backend,
-            product: OnceLock::new(),
-            automaton: OnceLock::new(),
-            formula: OnceLock::new(),
-        })
+            plan,
+        }
     }
 
-    /// Parses and evaluates in one step from `ctx`.
-    pub fn query(
-        &self,
-        doc: &mut Document,
-        query: &str,
-        ctx: NodeId,
-    ) -> Result<NodeSet, EngineError> {
+    /// Compiles and evaluates in one step from `ctx`.
+    pub fn query(&self, doc: &Document, query: &str, ctx: NodeId) -> Result<NodeSet, EngineError> {
         let prepared = self.prepare(doc, query)?;
         Ok(prepared.eval(doc, ctx))
     }
 
-    /// Parses, evaluates, and profiles a query in one step: the EXPLAIN
-    /// entry point.
+    /// Compiles once, then evaluates across all `(document, context)` jobs
+    /// concurrently with [`std::thread::scope`], returning answers in job
+    /// order. All documents must share the label space of `jobs[0].0`
+    /// (e.g. via a [`Catalog`]).
+    pub fn query_batch(
+        &self,
+        jobs: &[(&Document, NodeId)],
+        query: &str,
+    ) -> Result<Vec<NodeSet>, EngineError> {
+        let Some((first, _)) = jobs.first() else {
+            return Ok(Vec::new());
+        };
+        let prepared = self.prepare(first, query)?;
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(jobs.len());
+        let chunk = jobs.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(jobs.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk)
+                .map(|part| {
+                    let p = &prepared;
+                    s.spawn(move || {
+                        part.iter()
+                            .map(|(d, ctx)| p.eval(d, *ctx))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("batch worker panicked"));
+            }
+        });
+        Ok(out)
+    }
+
+    /// Compiles, evaluates, and profiles a query in one step: the EXPLAIN
+    /// entry point. The counter snapshot is taken **before** the pipeline
+    /// runs, so the profile includes compile time and the plan-cache
+    /// hit/miss for this query.
     ///
     /// ```
     /// use treewalk::{Backend, Engine};
     /// use twx_xtree::parse::parse_xml;
     ///
-    /// let mut doc = parse_xml("<a><b><c/></b><c/></a>").unwrap();
+    /// let doc = parse_xml("<a><b><c/></b><c/></a>").unwrap();
     /// let root = doc.tree.root();
     /// let profile = Engine::with_backend(Backend::Product)
-    ///     .explain(&mut doc, "down*[c]", root)
+    ///     .explain(&doc, "down*[c]", root)
     ///     .unwrap();
     /// assert_eq!(profile.result_count, 2);
     /// println!("{profile}"); // the text EXPLAIN view
     /// ```
     pub fn explain(
         &self,
-        doc: &mut Document,
+        doc: &Document,
         query: &str,
         ctx: NodeId,
     ) -> Result<QueryProfile, EngineError> {
+        let before = obs::snapshot();
         let prepared = self.prepare(doc, query)?;
-        Ok(prepared.explain(doc, ctx))
+        let result = prepared.eval(doc, ctx);
+        let counters = obs::delta_since(&before);
+        Ok(prepared.profile(doc, &result, counters))
+    }
+
+    /// Global statistics of the plan cache shared by all clones of this
+    /// engine.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The backend this engine compiles for.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 }
 
@@ -267,10 +491,10 @@ mod tests {
         for q in queries {
             let mut answers = Vec::new();
             for backend in [Backend::Product, Backend::Automaton, Backend::Logic] {
-                let mut d = doc();
+                let d = doc();
                 let engine = Engine::with_backend(backend);
                 let root = d.tree.root();
-                answers.push(engine.query(&mut d, q, root).unwrap());
+                answers.push(engine.query(&d, q, root).unwrap());
             }
             assert_eq!(answers[0], answers[1], "{q}: product vs automaton");
             assert_eq!(answers[0], answers[2], "{q}: product vs logic");
@@ -279,22 +503,83 @@ mod tests {
 
     #[test]
     fn prepared_queries_are_reusable() {
-        let mut d = doc();
+        let d = doc();
         let engine = Engine::new();
-        let p = engine.prepare(&mut d, "down+[b]").unwrap();
+        let p = engine.prepare(&d, "down+[b]").unwrap();
         let from_root = p.eval(&d, d.tree.root());
         assert_eq!(from_root.count(), 2);
         let from_c = p.eval(&d, twx_xtree::NodeId(3));
         assert_eq!(from_c.count(), 1);
         assert_eq!(p.path().size(), 6); // (down/down*)[b] after plus-desugaring
+        assert_eq!(p.raw_size(), 6);
     }
 
     #[test]
     fn syntax_errors_surface() {
-        let mut d = doc();
+        let d = doc();
         let root = d.tree.root();
-        let e = Engine::new().query(&mut d, "down[[", root);
+        let e = Engine::new().query(&d, "down[[", root);
         assert!(matches!(e, Err(EngineError::Syntax(_))));
         assert!(e.unwrap_err().to_string().contains("syntax error"));
+    }
+
+    #[test]
+    fn unknown_labels_surface_without_interning() {
+        let d = doc();
+        let before = d.alphabet.len();
+        let root = d.tree.root();
+        let e = Engine::new().query(&d, "down*[zzz]", root);
+        match e {
+            Err(EngineError::UnknownLabel { label }) => assert_eq!(label, "zzz"),
+            other => panic!("expected UnknownLabel, got {other:?}"),
+        }
+        assert_eq!(d.alphabet.len(), before);
+    }
+
+    #[test]
+    fn plan_cache_hits_across_documents_and_clones() {
+        let engine = Engine::new();
+        let d1 = doc();
+        let d2 = doc(); // same label space (same parse order)
+        let p1 = engine.prepare(&d1, "down*[c]").unwrap();
+        let clone = engine.clone();
+        let p2 = clone.prepare(&d2, "down*[c]").unwrap();
+        assert!(Arc::ptr_eq(&p1.plan, &p2.plan), "clones share the cache");
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+        assert_eq!(p1.eval(&d1, d1.tree.root()), p2.eval(&d2, d2.tree.root()));
+    }
+
+    #[test]
+    fn cache_evicts_fifo_at_capacity() {
+        let engine = Engine::with_cache_capacity(Backend::Product, 2);
+        let d = doc();
+        for q in ["down", "down/down", "down*"] {
+            engine.prepare(&d, q).unwrap();
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // the first plan was evicted; re-preparing it misses again
+        engine.prepare(&d, "down").unwrap();
+        assert_eq!(engine.cache_stats().misses, 4);
+        // evicted plans held by Prepared values stay usable (Arc-shared)
+        let held = engine.prepare(&d, "down*").unwrap();
+        engine.prepare(&d, "down/down/down").unwrap();
+        assert_eq!(held.eval(&d, d.tree.root()).count(), 5); // ε + 4 descendants
+    }
+
+    #[test]
+    fn query_batch_matches_sequential() {
+        let engine = Engine::new();
+        let docs: Vec<Document> = (0..8).map(|_| doc()).collect();
+        let jobs: Vec<(&Document, NodeId)> = docs.iter().map(|d| (d, d.tree.root())).collect();
+        let batch = engine.query_batch(&jobs, "down*[b]").unwrap();
+        assert_eq!(batch.len(), jobs.len());
+        for (i, (d, ctx)) in jobs.iter().enumerate() {
+            assert_eq!(batch[i], engine.query(d, "down*[b]", *ctx).unwrap());
+        }
+        assert!(engine.query_batch(&[], "down").unwrap().is_empty());
     }
 }

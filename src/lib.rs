@@ -16,7 +16,7 @@
 
 pub mod engine;
 
-pub use engine::{Backend, Engine, Prepared};
+pub use engine::{Backend, CacheStats, Engine, EngineError, Prepared};
 pub use twx_core as core;
 pub use twx_corexpath as corexpath;
 pub use twx_fotc as fotc;

@@ -31,10 +31,10 @@ fn backends_return_identical_nodesets() {
     for q in queries {
         let mut answers = Vec::new();
         for backend in ALL_BACKENDS {
-            let mut d = doc();
+            let d = doc();
             let root = d.tree.root();
             let ns = Engine::with_backend(backend)
-                .query(&mut d, q, root)
+                .query(&d, q, root)
                 .unwrap_or_else(|e| panic!("{q}: {e}"));
             answers.push((backend.name(), ns));
         }
@@ -53,10 +53,10 @@ fn backends_return_identical_nodesets() {
 #[test]
 fn explain_profiles_carry_backend_counters() {
     for backend in ALL_BACKENDS {
-        let mut d = doc();
+        let d = doc();
         let root = d.tree.root();
         let profile = Engine::with_backend(backend)
-            .explain(&mut d, "down*[c]", root)
+            .explain(&d, "down*[c]", root)
             .unwrap();
         assert_eq!(profile.backend, backend.name());
         assert_eq!(profile.tree_size, d.tree.len());
@@ -99,54 +99,66 @@ fn explain_profiles_carry_backend_counters() {
     }
 }
 
-/// A `Prepared` query compiles its backend artifact once: the second
-/// evaluation is a memo hit with no compile time.
+/// Compilation happens once, at prepare time, through the plan cache: the
+/// first prepare is a cache miss, repeat prepares are hits, and
+/// evaluations through a `Prepared` value never compile.
 #[test]
-fn repeat_evaluations_hit_the_memo() {
+fn repeat_preparations_hit_the_plan_cache() {
     if !obs::ENABLED {
         return;
     }
     for backend in ALL_BACKENDS {
-        let mut d = doc();
+        let d = doc();
         let root = d.tree.root();
-        let p = Engine::with_backend(backend)
-            .prepare(&mut d, "down+[b]")
-            .unwrap();
+        let engine = Engine::with_backend(backend);
 
+        let before = obs::snapshot();
+        let p = engine.prepare(&d, "down+[b]").unwrap();
+        let compile = obs::delta_since(&before);
+        assert_eq!(
+            compile.get(Counter::PlanCacheMisses),
+            1,
+            "{}",
+            backend.name()
+        );
+        assert_eq!(compile.get(Counter::MemoMisses), 1, "{}", backend.name());
+        assert_eq!(compile.get(Counter::PlanCacheHits), 0, "{}", backend.name());
+        assert!(compile.get(Counter::CompileNanos) > 0, "{}", backend.name());
+        assert!(
+            compile.get(Counter::SimplifyPasses) > 0,
+            "{}",
+            backend.name()
+        );
+
+        // evaluating a prepared plan never re-compiles
         let first = p.explain(&d, root);
         assert_eq!(
-            first.counters.get(Counter::MemoMisses),
-            1,
-            "{}",
-            backend.name()
-        );
-        assert_eq!(
-            first.counters.get(Counter::MemoHits),
+            first.counters.get(Counter::CompileNanos),
             0,
             "{}",
             backend.name()
         );
-
+        assert_eq!(
+            first.counters.get(Counter::PlanCacheMisses),
+            0,
+            "{}",
+            backend.name()
+        );
         let second = p.explain(&d, root);
-        assert_eq!(
-            second.counters.get(Counter::MemoMisses),
-            0,
-            "{}",
-            backend.name()
-        );
-        assert_eq!(
-            second.counters.get(Counter::MemoHits),
-            1,
-            "{}",
-            backend.name()
-        );
-        assert_eq!(
-            second.counters.get(Counter::CompileNanos),
-            0,
-            "{}",
-            backend.name()
-        );
         assert_eq!(first.result_count, second.result_count);
+
+        // a repeat prepare of the same query is a pure cache hit
+        let before = obs::snapshot();
+        let p2 = engine.prepare(&d, "down+[b]").unwrap();
+        let hit = obs::delta_since(&before);
+        assert_eq!(hit.get(Counter::PlanCacheHits), 1, "{}", backend.name());
+        assert_eq!(hit.get(Counter::MemoHits), 1, "{}", backend.name());
+        assert_eq!(hit.get(Counter::PlanCacheMisses), 0, "{}", backend.name());
+        assert_eq!(hit.get(Counter::CompileNanos), 0, "{}", backend.name());
+        assert_eq!(p2.eval(&d, root), p.eval(&d, root));
+
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1), "{}", backend.name());
     }
 }
 
@@ -159,17 +171,15 @@ fn profiles_are_thread_local() {
     }
     let noisy = std::thread::spawn(|| {
         for _ in 0..64 {
-            let mut d = doc();
+            let d = doc();
             let root = d.tree.root();
-            let _ = Engine::new()
-                .query(&mut d, "(down | right)*", root)
-                .unwrap();
+            let _ = Engine::new().query(&d, "(down | right)*", root).unwrap();
         }
     });
-    let mut d = doc();
+    let d = doc();
     let root = d.tree.root();
     let profile = Engine::with_backend(Backend::Product)
-        .explain(&mut d, "down[b]", root)
+        .explain(&d, "down[b]", root)
         .unwrap();
     noisy.join().unwrap();
     // a single `down[b]` on a 9-node tree visits a bounded config set;
@@ -185,9 +195,9 @@ fn profiles_are_thread_local() {
 /// full counter map.
 #[test]
 fn profile_json_round_trips() {
-    let mut d = doc();
+    let d = doc();
     let root = d.tree.root();
-    let profile = Engine::new().explain(&mut d, "down*[c]", root).unwrap();
+    let profile = Engine::new().explain(&d, "down*[c]", root).unwrap();
     let rendered = profile.to_json().render();
     let parsed = obs::json::parse(&rendered).expect("profile JSON parses");
     let obj = match parsed {

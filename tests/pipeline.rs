@@ -1,0 +1,159 @@
+//! Integration tests for the staged compile pipeline: the mandatory
+//! simplify stage, the shared plan cache, and the `Send + Sync`
+//! prepare-once/serve-many contract of [`Engine`] and [`Prepared`].
+
+use std::sync::Arc;
+use treewalk::obs;
+use treewalk::{Backend, Engine, EngineError, Prepared};
+use twx_core::{rpath_to_formula, rpath_to_ntwa};
+use twx_regxpath::eval::Compiled;
+use twx_regxpath::generate::{random_rpath, RGenConfig};
+use twx_regxpath::simplify_rpath;
+use twx_xtree::generate::{enumerate_trees_up_to, random_document_in, Shape};
+use twx_xtree::parse::{parse_xml, parse_xml_catalog};
+use twx_xtree::rng::SplitMix64;
+use twx_xtree::{Catalog, Document, NodeSet, Tree};
+
+const ALL_BACKENDS: [Backend; 3] = [Backend::Product, Backend::Automaton, Backend::Logic];
+
+/// Compile-time proof that the engine types cross threads: `Prepared`
+/// values are served from many threads, engines are cloned into them.
+#[test]
+fn engine_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<Prepared>();
+    assert_send_sync::<Catalog>();
+    assert_send_sync::<treewalk::CacheStats>();
+}
+
+fn eval_backend(t: &Tree, p: &twx_regxpath::RPath, backend: Backend, ctx: &NodeSet) -> NodeSet {
+    match backend {
+        Backend::Product => Compiled::new(p).image(t, ctx),
+        Backend::Automaton => twx_twa::eval_image(t, &rpath_to_ntwa(p), ctx),
+        Backend::Logic => twx_fotc::eval_binary(t, &rpath_to_formula(p, 0, 1, 2), 0, 1).image(ctx),
+    }
+}
+
+/// The simplify stage is semantics-preserving for every backend: a random
+/// path and its simplification compile to plans with identical answers on
+/// every tree of a bounded domain (seeded, deterministic).
+#[test]
+fn simplify_stage_preserves_semantics_on_all_backends() {
+    let trees = enumerate_trees_up_to(4, 2);
+    let mut rng = SplitMix64::seed_from_u64(2008);
+    let cfg = RGenConfig::default();
+    for _ in 0..12 {
+        let p = random_rpath(&cfg, 3, &mut rng);
+        let sp = simplify_rpath(&p);
+        for t in &trees {
+            let all = NodeSet::full(t.len());
+            for backend in ALL_BACKENDS {
+                assert_eq!(
+                    eval_backend(t, &p, backend, &all),
+                    eval_backend(t, &sp, backend, &all),
+                    "{}: {p:?} vs simplified {sp:?}",
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+/// One `Prepared` value hammered from 8 threads returns identical answers
+/// everywhere, and repeat prepares on those threads are all plan-cache
+/// hits.
+#[test]
+fn one_prepared_serves_eight_threads() {
+    let catalog = Catalog::new();
+    let doc = parse_xml_catalog("<a><b><c/><d/></b><c><b><d/></b></c><d/></a>", &catalog).unwrap();
+    let engine = Engine::new();
+    let prepared = Arc::new(engine.prepare(&doc, "(down | right)*[b]").unwrap());
+    let expected = prepared.eval(&doc, doc.tree.root());
+
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let p = Arc::clone(&prepared);
+            let engine = engine.clone();
+            let doc = &doc;
+            let expected = &expected;
+            s.spawn(move || {
+                for _ in 0..16 {
+                    assert_eq!(p.eval(doc, doc.tree.root()), *expected);
+                }
+                // the same query re-prepared on this thread is a cache hit
+                let again = engine.prepare(doc, "(down | right)*[b]").unwrap();
+                assert_eq!(again.eval(doc, doc.tree.root()), *expected);
+            });
+        }
+    });
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 1, "one cold compile");
+    assert_eq!(stats.hits, 8, "every thread re-prepare hit the cache");
+    assert_eq!(stats.entries, 1);
+}
+
+/// `query_batch` fans one plan across catalog-shared documents and agrees
+/// with sequential evaluation.
+#[test]
+fn query_batch_over_catalog_shared_documents() {
+    let catalog = Catalog::from_names(["a", "b", "c"]);
+    let mut rng = SplitMix64::seed_from_u64(77);
+    let docs: Vec<Document> = (0..16)
+        .map(|_| random_document_in(Shape::DocumentLike, 60, &catalog, &mut rng))
+        .collect();
+    let engine = Engine::new();
+    let prepared = engine.prepare_in(&catalog, "down*[b]").unwrap();
+    let jobs: Vec<(&Document, _)> = docs.iter().map(|d| (d, d.tree.root())).collect();
+    let batch = engine.query_batch(&jobs, "down*[b]").unwrap();
+    assert_eq!(batch.len(), docs.len());
+    for (i, d) in docs.iter().enumerate() {
+        assert_eq!(batch[i], prepared.eval(d, d.tree.root()), "doc {i}");
+    }
+}
+
+/// Unknown labels surface as a typed error against immutable documents,
+/// while `prepare_in` interns them into the shared catalog.
+#[test]
+fn unknown_labels_are_typed_errors_but_catalogs_intern() {
+    let doc = parse_xml("<a><b/></a>").unwrap();
+    let engine = Engine::new();
+    match engine.prepare(&doc, "down[ghost]") {
+        Err(EngineError::UnknownLabel { label }) => assert_eq!(label, "ghost"),
+        other => panic!("expected UnknownLabel, got {other:?}"),
+    }
+
+    let catalog = Catalog::from_names(["a", "b"]);
+    let doc2 = {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        random_document_in(Shape::Wide, 20, &catalog, &mut rng)
+    };
+    let p = engine.prepare_in(&catalog, "down[ghost]").unwrap();
+    assert!(catalog.lookup("ghost").is_some(), "prepare_in interns");
+    // `ghost` labels no node, so the filter selects nothing
+    assert_eq!(p.eval(&doc2, doc2.tree.root()).count(), 0);
+}
+
+/// The mandatory simplify stage is visible in EXPLAIN profiles: passes are
+/// counted and shrinkage is reported for a query with redundancy.
+#[test]
+fn explain_shows_simplify_and_cache_counters() {
+    if !obs::ENABLED {
+        return;
+    }
+    let doc = parse_xml("<a><b/><b/></a>").unwrap();
+    let engine = Engine::new();
+    let profile = engine
+        .explain(&doc, "(down | down)[b]", doc.tree.root())
+        .unwrap();
+    assert_eq!(profile.result_count, 2);
+    assert!(profile.counters.get(obs::Counter::SimplifyPasses) > 0);
+    assert!(profile.counters.get(obs::Counter::SimplifyShrunkNodes) > 0);
+    assert_eq!(profile.counters.get(obs::Counter::PlanCacheMisses), 1);
+    // `down|down` collapses to `down`: the cached plan is keyed on the
+    // simplified AST, so the plainly-written query now hits
+    let second = engine.explain(&doc, "down[b]", doc.tree.root()).unwrap();
+    assert_eq!(second.counters.get(obs::Counter::PlanCacheHits), 1);
+    assert_eq!(second.counters.get(obs::Counter::PlanCacheMisses), 0);
+}
