@@ -36,15 +36,63 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "twx-bench/1", doc.get("schema")
 assert doc["obs_enabled"] is True
-assert len(doc["experiments"]) == 9, len(doc["experiments"])
+assert len(doc["experiments"]) == 10, len(doc["experiments"])
 assert len(doc["quickstart_profiles"]) == 3
 for p in doc["quickstart_profiles"]:
     assert p["result_count"] == 2, p
     assert p["counters"]["plan_cache_misses"] == 1, p
 cache = doc["plan_cache"]
 assert cache["misses"] == 3 and cache["hits"] == 3, cache
+e10 = doc["e10"]
+assert len(e10["shards"]) >= 2, e10
+for point in e10["shards"]:
+    assert point["throughput_qps"] > 0, point
+    for field in ("p50_us", "p95_us", "p99_us"):
+        assert field in point, (field, point)
+sat = e10["saturation"]
+assert sat["rejected"] > 0, sat
+assert sat["admitted"] + sat["rejected"] == sat["submitted"], sat
 print("BENCH_HARNESS.json: schema ok,", len(doc["experiments"]), "experiments,",
       len(doc["quickstart_profiles"]), "profiles, plan cache", cache)
+print("e10:", len(e10["shards"]), "shard counts,",
+      sat["rejected"], "of", sat["submitted"], "burst requests rejected")
 EOF
+
+say "twx-serve round trip"
+cargo build --release -p twx-corpus --bin twx-serve
+serve_log="$(mktemp -t twx_serve.XXXXXX.log)"
+cargo run --release -p twx-corpus --bin twx-serve -- \
+  --port 0 --shards 2 --workers 2 --synthetic 6x40 --seed 1 > "$serve_log" 2>/dev/null &
+serve_pid=$!
+trap 'rm -f "$out" "$serve_log"; kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 300); do
+  grep -q "listening" "$serve_log" && break
+  sleep 0.1
+done
+port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$serve_log")"
+if [ -z "$port" ]; then
+  echo "twx-serve never reported a listening port:" >&2
+  cat "$serve_log" >&2
+  exit 1
+fi
+python3 - "$port" <<'EOF'
+import json, socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+f = s.makefile("rw")
+def rpc(req):
+    f.write(json.dumps(req) + "\n"); f.flush()
+    return json.loads(f.readline())
+r = rpc({"op": "query", "query": "down*[b]"})
+assert r["ok"] and r["matches"] > 0 and len(r["docs"]) == 6, r
+assert len(r["shards"]) == 2 and not r["timed_out"], r
+bad = rpc({"op": "query", "query": "down["})
+assert not bad["ok"] and bad["error"] == "engine", bad
+st = rpc({"op": "stats"})
+assert st["ok"] and st["completed"] == 1 and st["workers"] == 2, st
+bye = rpc({"op": "shutdown"})
+assert bye["ok"] and bye["shutting_down"], bye
+print("twx-serve: query/stats/shutdown round trip ok on port", sys.argv[1])
+EOF
+wait "$serve_pid"
 
 say "all checks passed"

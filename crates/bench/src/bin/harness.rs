@@ -54,7 +54,7 @@ fn parse_args() -> Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("harness: {msg}");
-    eprintln!("usage: harness [--quick] [--seed <u64>] [--json <path>] [e1 .. e9]");
+    eprintln!("usage: harness [--quick] [--seed <u64>] [--json <path>] [e1 .. e10]");
     std::process::exit(2)
 }
 
@@ -104,7 +104,7 @@ fn main() {
     ];
 
     for sel in &args.selected {
-        if !runners.iter().any(|(id, _)| id == sel) {
+        if sel != "e10" && !runners.iter().any(|(id, _)| id == sel) {
             die(&format!("unknown experiment id {sel}"));
         }
     }
@@ -133,6 +133,25 @@ fn main() {
         );
     }
 
+    // E10 runs outside the plain-table registry: its structured summary
+    // (per-shard throughput/percentiles + saturation counts) is exported
+    // as a top-level field so downstream checks don't parse table cells.
+    let mut e10_summary = Json::Null;
+    if args.selected.is_empty() || args.selected.iter().any(|s| s == "e10") {
+        let t0 = std::time::Instant::now();
+        let (table, summary) = experiments::e10_corpus_serve::run_full(&args.cfg);
+        let elapsed_us = t0.elapsed().as_secs_f64() * 1e6;
+        println!("{}", table.render());
+        println!("  [e10 completed in {:.2?}]\n", t0.elapsed());
+        exported.push(
+            Json::obj()
+                .field("id", "e10")
+                .field("elapsed_us", elapsed_us)
+                .field("table", table.to_json()),
+        );
+        e10_summary = summary;
+    }
+
     let (profiles, plan_cache) = quickstart_profiles();
     let doc = Json::obj()
         .field("schema", "twx-bench/1")
@@ -140,6 +159,7 @@ fn main() {
         .field("seed", args.cfg.seed)
         .field("obs_enabled", twx_obs::ENABLED)
         .field("experiments", Json::Arr(exported))
+        .field("e10", e10_summary)
         .field("quickstart_profiles", Json::Arr(profiles))
         .field("plan_cache", plan_cache);
     let rendered = doc.render();

@@ -1,0 +1,291 @@
+//! E10 — the serving layer: concurrent corpus queries through
+//! `twx-corpus::QueryService`, measured as a service would be.
+//!
+//! Two measurements:
+//!
+//! * **Throughput/latency sweep** — a fixed load-generator pool fires a
+//!   query mix at services over the same corpus sharded 1/2/4/8 ways,
+//!   recording sustained throughput and the p50/p95/p99 of the
+//!   submit-to-answer latency. More shards = more parallelism per
+//!   request but more queue traffic; the sweep shows where that trades
+//!   off for this corpus size.
+//! * **Saturation** — a deliberately under-provisioned service (one
+//!   worker, tiny admission queue) takes a burst of submissions; the
+//!   point is that overload shows up as *typed, counted rejections*
+//!   (`ServiceError::Overloaded`) while every admitted request still
+//!   completes exactly.
+//!
+//! [`run_full`] also returns the structured summary that the harness
+//! exports as the top-level `e10` field of `BENCH_HARNESS.json`.
+
+use crate::table::Table;
+use crate::RunCfg;
+use std::sync::Arc;
+use treewalk::{Backend, Engine};
+use twx_corpus::{Corpus, QueryService, ServiceConfig, ServiceError};
+use twx_obs::json::Json;
+use twx_xtree::generate::{random_document_in, Shape};
+use twx_xtree::rng::SplitMix64;
+use twx_xtree::Catalog;
+
+/// The serve mix: a cheap scan, a transitive-closure walk, and a
+/// filter-heavy query (all cached after their first compile).
+const QUERIES: [&str; 3] = [
+    "down*[a]",
+    "(down | right)*[b]",
+    "down*[<down[c]> or <down[d]>]",
+];
+
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn build_corpus(cfg: &RunCfg, n_shards: usize) -> Arc<Corpus> {
+    let (n_docs, doc_size) = if cfg.quick { (12, 60) } else { (48, 400) };
+    let catalog = Arc::new(Catalog::from_names(["a", "b", "c", "d"]));
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed_for(10));
+    let mut b = Corpus::builder(Arc::clone(&catalog), n_shards);
+    for _ in 0..n_docs {
+        b.add_document(random_document_in(
+            Shape::DocumentLike,
+            doc_size,
+            &catalog,
+            &mut rng,
+        ));
+    }
+    Arc::new(b.build())
+}
+
+struct SweepPoint {
+    n_shards: usize,
+    workers: usize,
+    requests: u64,
+    throughput_qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    timeouts: u64,
+}
+
+/// Fires `gen_threads × per_thread` queries at a service and collects
+/// the latency distribution.
+fn sweep(cfg: &RunCfg, n_shards: usize) -> SweepPoint {
+    let corpus = build_corpus(cfg, n_shards);
+    let workers = 4;
+    let service = QueryService::new(
+        corpus,
+        Engine::with_backend(Backend::Product),
+        ServiceConfig {
+            workers,
+            queue_capacity: 512,
+            default_timeout: None,
+        },
+    );
+    // warm the plan cache so the sweep measures serving, not compiling
+    for q in QUERIES {
+        service.query(q).expect("warmup");
+    }
+    let gen_threads = 4usize;
+    let per_thread = if cfg.quick { 12usize } else { 64 };
+    let t0 = std::time::Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..gen_threads)
+            .map(|g| {
+                let service = &service;
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_thread);
+                    for i in 0..per_thread {
+                        let q = QUERIES[(g + i) % QUERIES.len()];
+                        let answer = service.query(q).expect("sweep query");
+                        lat.push(answer.latency.as_secs_f64() * 1e6);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    let stats = service.shutdown();
+    SweepPoint {
+        n_shards,
+        workers,
+        requests: latencies.len() as u64,
+        throughput_qps: latencies.len() as f64 / wall.max(1e-9),
+        p50_us: percentile_us(&latencies, 0.50),
+        p95_us: percentile_us(&latencies, 0.95),
+        p99_us: percentile_us(&latencies, 0.99),
+        timeouts: stats.timeouts,
+    }
+}
+
+struct Saturation {
+    submitted: u64,
+    admitted: u64,
+    rejected: u64,
+    queue_capacity: usize,
+}
+
+/// Bursts submissions at a one-worker service with a tiny queue; counts
+/// the typed rejections and verifies every admitted request completes.
+///
+/// The work items must be much heavier than a (plan-cached) submission
+/// for the queue to fill: the corpus is full-sized regardless of
+/// `--quick` and the query is the transitive-closure zigzag, whose
+/// per-shard evaluation dwarfs the submit-side parse.
+fn saturate(cfg: &RunCfg) -> Saturation {
+    let heavy = RunCfg {
+        quick: false,
+        ..*cfg
+    };
+    let corpus = build_corpus(&heavy, 2);
+    let n_docs = corpus.n_docs();
+    let service = QueryService::new(
+        corpus,
+        Engine::with_backend(Backend::Product),
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 6,
+            default_timeout: None,
+        },
+    );
+    let zigzag = "(down/right | up)*[a]";
+    // warm the plan cache so every burst submission is a cheap cache hit
+    service.query(zigzag).expect("warmup");
+    let burst = if cfg.quick { 80u64 } else { 300 };
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..burst {
+        match service.submit(zigzag) {
+            Ok(t) => tickets.push(t),
+            Err(ServiceError::Overloaded { .. }) => rejected += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    let admitted = tickets.len() as u64;
+    let stats = service.shutdown();
+    for t in tickets {
+        let answer = t.wait();
+        assert_eq!(
+            answer.per_doc.len(),
+            n_docs,
+            "admitted requests complete exactly"
+        );
+    }
+    assert_eq!(stats.rejected, rejected);
+    Saturation {
+        submitted: burst,
+        admitted,
+        rejected,
+        queue_capacity: 6,
+    }
+}
+
+/// Runs E10, returning the rendered table and the structured summary
+/// exported as the `e10` field of `BENCH_HARNESS.json`.
+pub fn run_full(cfg: &RunCfg) -> (Table, Json) {
+    let mut table = Table::new(
+        "E10: corpus serving — throughput/latency by shard count, plus admission control",
+        &[
+            "shards", "workers", "requests", "qps", "p50", "p95", "p99", "timeouts",
+        ],
+    );
+    let shard_counts: &[usize] = if cfg.quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let mut shard_rows = Vec::new();
+    for &n in shard_counts {
+        let p = sweep(cfg, n);
+        table.row(vec![
+            p.n_shards.to_string(),
+            p.workers.to_string(),
+            p.requests.to_string(),
+            format!("{:.0}", p.throughput_qps),
+            format!("{:.0}us", p.p50_us),
+            format!("{:.0}us", p.p95_us),
+            format!("{:.0}us", p.p99_us),
+            p.timeouts.to_string(),
+        ]);
+        shard_rows.push(
+            Json::obj()
+                .field("n_shards", p.n_shards)
+                .field("workers", p.workers)
+                .field("requests", p.requests)
+                .field("throughput_qps", p.throughput_qps)
+                .field("p50_us", p.p50_us)
+                .field("p95_us", p.p95_us)
+                .field("p99_us", p.p99_us)
+                .field("timeouts", p.timeouts),
+        );
+    }
+    let sat = saturate(cfg);
+    table.row(vec![
+        "2".into(),
+        "1".into(),
+        sat.submitted.to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        format!("{} rejected", sat.rejected),
+    ]);
+    table.note(
+        "sweep rows: 4 generator threads over a shared-catalog corpus, Product backend, warm plan \
+         cache; percentiles of submit-to-answer latency",
+    );
+    table.note(
+        "last row: saturation burst at a 1-worker service with a 6-slot admission queue — \
+         overload is a typed Overloaded rejection, never silent queueing",
+    );
+    let summary = Json::obj().field("shards", Json::Arr(shard_rows)).field(
+        "saturation",
+        Json::obj()
+            .field("submitted", sat.submitted)
+            .field("admitted", sat.admitted)
+            .field("rejected", sat.rejected)
+            .field("queue_capacity", sat.queue_capacity),
+    );
+    (table, summary)
+}
+
+/// Table-only entry point (`run_all` and the experiment registry).
+pub fn run(cfg: &RunCfg) -> Table {
+    run_full(cfg).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_table_and_summary() {
+        let (t, summary) = run_full(&RunCfg::quick());
+        assert_eq!(t.rows.len(), 3 + 1, "3 sweep rows + saturation row");
+        let rendered = summary.render();
+        assert!(rendered.contains("p99_us"));
+        assert!(rendered.contains("saturation"));
+        // the burst against a 6-slot queue must actually overload it
+        match &summary {
+            Json::Obj(fields) => {
+                let sat = &fields.iter().find(|(k, _)| k == "saturation").unwrap().1;
+                match sat {
+                    Json::Obj(sf) => {
+                        let rejected = match &sf.iter().find(|(k, _)| k == "rejected").unwrap().1 {
+                            Json::Int(n) => *n,
+                            _ => panic!("rejected is an int"),
+                        };
+                        assert!(rejected > 0, "saturation produced no rejections");
+                    }
+                    _ => panic!("saturation is an object"),
+                }
+            }
+            _ => panic!("summary is an object"),
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The experiment programme (one module per experiment; see
 //! `EXPERIMENTS.md` for the index).
 
+pub mod e10_corpus_serve;
 pub mod e1_core_eval;
 pub mod e2_regxpath_eval;
 pub mod e3_translations;
@@ -25,6 +26,7 @@ pub fn run_all(cfg: &RunCfg) -> Vec<Table> {
         e7_closure::run(cfg),
         e8_separation::run(cfg),
         e9_plan_cache::run(cfg),
+        e10_corpus_serve::run(cfg),
     ]
 }
 

@@ -1,0 +1,327 @@
+//! `twx-serve` — a TCP front-end for the corpus query service.
+//!
+//! Newline-delimited JSON over a plain TCP socket (std-only; no HTTP
+//! stack). One request per line, one response per line:
+//!
+//! ```text
+//! -> {"op":"query","query":"down*[b]","timeout_ms":250}
+//! <- {"ok":true,"matches":2,"docs":[{"doc":0,"matches":1},...],
+//!     "timed_out":false,"latency_us":412,"shards":[...]}
+//! -> {"op":"stats"}
+//! <- {"ok":true,"submitted":3,"completed":3,"rejected":0,...}
+//! -> {"op":"shutdown"}
+//! <- {"ok":true,"shutting_down":true}
+//! ```
+//!
+//! Errors come back typed: `{"ok":false,"error":"overloaded",...}` with
+//! `error` one of `overloaded` | `shutdown` | `engine` | `protocol`.
+//!
+//! Usage:
+//!
+//! ```text
+//! twx-serve [--port P] [--shards N] [--workers N] [--queue N]
+//!           [--backend product|automaton|logic] [--timeout-ms MS]
+//!           [--synthetic DOCSxNODES [--seed S]] [FILE.xml|FILE.sexp ...]
+//! ```
+//!
+//! `--port 0` binds an ephemeral port; the chosen address is printed as
+//! `twx-serve listening on 127.0.0.1:PORT` so scripts can scrape it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+use treewalk::{Backend, Engine};
+use twx_corpus::{Corpus, CorpusAnswer, QueryService, ServiceConfig, ServiceError};
+use twx_obs::json::{parse as parse_json, Json};
+use twx_xtree::generate::{random_document_in, Shape};
+use twx_xtree::rng::SplitMix64;
+use twx_xtree::Catalog;
+
+struct Args {
+    port: u16,
+    shards: usize,
+    workers: usize,
+    queue: usize,
+    backend: Backend,
+    timeout: Option<Duration>,
+    synthetic: Option<(usize, usize)>,
+    seed: u64,
+    files: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: twx-serve [--port P] [--shards N] [--workers N] [--queue N] \
+         [--backend product|automaton|logic] [--timeout-ms MS] \
+         [--synthetic DOCSxNODES [--seed S]] [FILE.xml|FILE.sexp ...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        port: 7878,
+        shards: 4,
+        workers: 0, // 0 = auto below
+        queue: 256,
+        backend: Backend::Product,
+        timeout: None,
+        synthetic: None,
+        seed: 1,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--port" => args.port = val("--port").parse().unwrap_or_else(|_| usage()),
+            "--shards" => args.shards = val("--shards").parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = val("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => args.queue = val("--queue").parse().unwrap_or_else(|_| usage()),
+            "--backend" => {
+                args.backend = match val("--backend").as_str() {
+                    "product" => Backend::Product,
+                    "automaton" => Backend::Automaton,
+                    "logic" => Backend::Logic,
+                    _ => usage(),
+                }
+            }
+            "--timeout-ms" => {
+                let ms: u64 = val("--timeout-ms").parse().unwrap_or_else(|_| usage());
+                args.timeout = Some(Duration::from_millis(ms));
+            }
+            "--synthetic" => {
+                let spec = val("--synthetic");
+                let (d, n) = spec.split_once('x').unwrap_or_else(|| usage());
+                args.synthetic = Some((
+                    d.parse().unwrap_or_else(|_| usage()),
+                    n.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') => args.files.push(f.to_string()),
+            _ => usage(),
+        }
+    }
+    if args.workers == 0 {
+        args.workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+    }
+    args
+}
+
+fn build_corpus(args: &Args) -> Result<Corpus, String> {
+    let catalog = Arc::new(Catalog::from_names(["a", "b", "c", "d"]));
+    let mut b = Corpus::builder(Arc::clone(&catalog), args.shards);
+    for f in &args.files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        if f.ends_with(".xml") {
+            b.add_xml(&text).map_err(|e| format!("{f}: {e}"))?;
+        } else {
+            b.add_sexp(&text).map_err(|e| format!("{f}: {e}"))?;
+        }
+    }
+    if let Some((docs, nodes)) = args.synthetic {
+        let mut rng = SplitMix64::seed_from_u64(args.seed);
+        for _ in 0..docs {
+            b.add_document(random_document_in(
+                Shape::Recursive,
+                nodes,
+                &catalog,
+                &mut rng,
+            ));
+        }
+    }
+    let corpus = b.build();
+    if corpus.n_docs() == 0 {
+        return Err("empty corpus: pass FILEs and/or --synthetic DOCSxNODES".into());
+    }
+    Ok(corpus)
+}
+
+// -- tiny accessors over the hand-rolled Json enum --
+
+fn get<'a>(obj: &'a Json, key: &str) -> Option<&'a Json> {
+    match obj {
+        Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn get_str<'a>(obj: &'a Json, key: &str) -> Option<&'a str> {
+    match get(obj, key)? {
+        Json::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn get_u64(obj: &Json, key: &str) -> Option<u64> {
+    match get(obj, key)? {
+        Json::Int(n) => Some(*n),
+        Json::Num(x) if *x >= 0.0 => Some(*x as u64),
+        _ => None,
+    }
+}
+
+fn err_line(kind: &str, detail: &str) -> String {
+    Json::obj()
+        .field("ok", false)
+        .field("error", kind)
+        .field("detail", detail)
+        .render()
+}
+
+fn answer_line(a: &CorpusAnswer) -> String {
+    let docs: Vec<Json> = a
+        .per_doc
+        .iter()
+        .map(|(id, set)| Json::obj().field("doc", id.0).field("matches", set.count()))
+        .collect();
+    let shards: Vec<Json> = a
+        .shards
+        .iter()
+        .map(|t| {
+            Json::obj()
+                .field("shard", t.shard)
+                .field("docs", t.docs)
+                .field("skipped_docs", t.skipped_docs)
+                .field("queue_wait_us", t.queue_wait.as_micros() as u64)
+                .field("eval_us", t.eval.as_micros() as u64)
+                .field("timed_out", t.timed_out)
+        })
+        .collect();
+    Json::obj()
+        .field("ok", true)
+        .field("matches", a.total_matches)
+        .field("docs", docs)
+        .field("timed_out", a.timed_out)
+        .field("latency_us", a.latency.as_micros() as u64)
+        .field("shards", shards)
+        .render()
+}
+
+fn stats_line(service: &QueryService) -> String {
+    let s = service.stats();
+    let cache = service.cache_stats();
+    Json::obj()
+        .field("ok", true)
+        .field("submitted", s.submitted)
+        .field("completed", s.completed)
+        .field("rejected", s.rejected)
+        .field("timeouts", s.timeouts)
+        .field("queued", s.queued)
+        .field("queue_capacity", s.queue_capacity)
+        .field("workers", s.workers)
+        .field("plan_cache_hits", cache.hits)
+        .field("plan_cache_misses", cache.misses)
+        .render()
+}
+
+/// Serves one connection; returns `true` if a shutdown was requested.
+fn serve_conn(stream: TcpStream, service: &QueryService) -> std::io::Result<bool> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match parse_json(&line) {
+            Err(e) => err_line("protocol", &format!("bad json: {e}")),
+            Ok(req) => match get_str(&req, "op") {
+                Some("query") => match get_str(&req, "query") {
+                    None => err_line("protocol", "query op needs a `query` string"),
+                    Some(q) => {
+                        let timeout = get_u64(&req, "timeout_ms").map(Duration::from_millis);
+                        match service.query_with_timeout(q, timeout) {
+                            Ok(a) => answer_line(&a),
+                            Err(ServiceError::Overloaded { queued, capacity }) => Json::obj()
+                                .field("ok", false)
+                                .field("error", "overloaded")
+                                .field("queued", queued)
+                                .field("capacity", capacity)
+                                .render(),
+                            Err(ServiceError::ShutDown) => err_line("shutdown", "service closed"),
+                            Err(ServiceError::Engine(e)) => err_line("engine", &e.to_string()),
+                        }
+                    }
+                },
+                Some("stats") => stats_line(service),
+                Some("shutdown") => {
+                    let reply = Json::obj()
+                        .field("ok", true)
+                        .field("shutting_down", true)
+                        .render();
+                    writer.write_all(reply.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                    return Ok(true);
+                }
+                _ => err_line("protocol", "op must be query|stats|shutdown"),
+            },
+        };
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(false)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let corpus = match build_corpus(&args) {
+        Ok(c) => Arc::new(c),
+        Err(e) => {
+            eprintln!("twx-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let service = QueryService::new(
+        Arc::clone(&corpus),
+        Engine::with_backend(args.backend),
+        ServiceConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            default_timeout: args.timeout,
+        },
+    );
+    eprintln!(
+        "corpus: {} docs / {} nodes in {} shards; {} workers, backend {:?}",
+        corpus.n_docs(),
+        corpus.total_nodes(),
+        corpus.n_shards(),
+        args.workers,
+        args.backend,
+    );
+    let listener = match TcpListener::bind(("127.0.0.1", args.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("twx-serve: bind 127.0.0.1:{}: {e}", args.port);
+            return ExitCode::from(2);
+        }
+    };
+    let addr = listener.local_addr().expect("local addr");
+    // scraped by scripts — keep the format stable
+    println!("twx-serve listening on {addr}");
+    std::io::stdout().flush().ok();
+    for stream in listener.incoming() {
+        match stream {
+            Err(e) => eprintln!("twx-serve: accept: {e}"),
+            Ok(s) => match serve_conn(s, &service) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => eprintln!("twx-serve: connection: {e}"),
+            },
+        }
+    }
+    let final_stats = service.shutdown();
+    eprintln!(
+        "twx-serve: drained; {} submitted, {} completed, {} rejected, {} timeouts",
+        final_stats.submitted, final_stats.completed, final_stats.rejected, final_stats.timeouts,
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,475 @@
+//! The concurrent query service: a fixed worker pool executing
+//! `(prepared plan, shard)` work items with admission control, deadlines,
+//! and latency accounting.
+//!
+//! # Lifecycle of a request
+//!
+//! 1. [`QueryService::submit`] compiles the query once through
+//!    [`Engine::prepare_in`] against the corpus catalog — the plan cache
+//!    makes repeat queries a lookup — and fans the `Arc<Prepared>` plan
+//!    into one work item per shard.
+//! 2. **Admission** is all-or-nothing and non-blocking: if the bounded
+//!    queue cannot take the whole fan-out, the request is rejected with
+//!    [`ServiceError::Overloaded`] (counted as `corpus_rejected`) rather
+//!    than queueing without bound.
+//! 3. Workers pop items, evaluate the plan over every document of the
+//!    shard from its root, and check the request **deadline** between
+//!    documents: on expiry the rest of the shard is skipped and the
+//!    answer is marked partial (counted as `corpus_timeouts`).
+//! 4. The caller blocks on [`Ticket::wait`], which assembles the
+//!    [`CorpusAnswer`]: per-document node sets in `DocId` order,
+//!    per-shard timings (queue wait, eval time), and the merged
+//!    observability counters of every worker — drained on the worker
+//!    threads and folded into the waiting thread via
+//!    [`obs::merge_local`], so a `snapshot`/`delta_since` window around
+//!    a corpus query sees the whole distributed cost.
+//!
+//! **Shutdown** is graceful: [`QueryService::shutdown`] (or drop) closes
+//! the queue — further submissions fail with [`ServiceError::ShutDown`]
+//! — and joins the workers, which first drain every admitted item, so
+//! every issued [`Ticket`] still completes.
+
+use crate::queue::{BoundedQueue, PushError};
+use crate::store::{Corpus, DocId};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use treewalk::{Backend, Engine, EngineError, Prepared};
+use twx_obs::{self as obs, Counter, Counters};
+use twx_xtree::NodeSet;
+
+/// Tuning knobs for a [`QueryService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads. `0` is a test-only "manual" mode: submissions are
+    /// admitted (or rejected) but nothing executes, so tickets never
+    /// complete — useful for deterministic admission-control tests.
+    pub workers: usize,
+    /// Maximum queued work items (shard tasks, not requests). A request
+    /// over an `N`-shard corpus needs `N` free slots to be admitted, so
+    /// keep `queue_capacity >= n_shards`.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests submitted without an explicit
+    /// timeout. `None` means no deadline.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            queue_capacity: 256,
+            default_timeout: None,
+        }
+    }
+}
+
+/// An error from [`QueryService::submit`].
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Admission control refused the request: the queue cannot take the
+    /// request's shard fan-out. Back off and retry; nothing was queued.
+    Overloaded {
+        /// Work items queued at the time of refusal.
+        queued: usize,
+        /// The queue capacity bound.
+        capacity: usize,
+    },
+    /// The service is shutting down (or has shut down).
+    ShutDown,
+    /// The query did not compile.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { queued, capacity } => write!(
+                f,
+                "overloaded: admission queue at {queued}/{capacity} cannot take the request"
+            ),
+            ServiceError::ShutDown => write!(f, "service is shut down"),
+            ServiceError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> ServiceError {
+        ServiceError::Engine(e)
+    }
+}
+
+/// Where one shard's time went, as measured by the worker that ran it.
+#[derive(Clone, Debug)]
+pub struct ShardTiming {
+    /// Shard index.
+    pub shard: usize,
+    /// Documents evaluated (excludes documents skipped by the deadline).
+    pub docs: usize,
+    /// Documents skipped because the deadline expired.
+    pub skipped_docs: usize,
+    /// Time the work item sat in the queue before a worker picked it up.
+    pub queue_wait: Duration,
+    /// Time the worker spent evaluating the shard.
+    pub eval: Duration,
+    /// Whether the deadline expired inside this shard.
+    pub timed_out: bool,
+}
+
+/// The aggregated answer to a corpus query.
+#[derive(Debug)]
+pub struct CorpusAnswer {
+    /// The query text as submitted.
+    pub query: String,
+    /// The backend the plan was compiled for.
+    pub backend: Backend,
+    /// Per-document answers in `DocId` order. On a timed-out request
+    /// this holds only the documents evaluated before the deadline.
+    pub per_doc: Vec<(DocId, NodeSet)>,
+    /// Total matched nodes across all documents.
+    pub total_matches: u64,
+    /// Per-shard timings (index order).
+    pub shards: Vec<ShardTiming>,
+    /// Whether any shard hit the deadline (the answer is partial).
+    pub timed_out: bool,
+    /// Submit-to-completion latency as seen by the waiter.
+    pub latency: Duration,
+    /// Observability counters accumulated by the workers for this
+    /// request (also merged into the waiting thread's live counters).
+    pub counters: Counters,
+}
+
+/// Point-in-time service statistics (atomics, no locks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests submitted (admitted or not).
+    pub submitted: u64,
+    /// Requests fully aggregated by a waiter.
+    pub completed: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Requests that completed with a partial (timed-out) answer.
+    pub timeouts: u64,
+    /// Total submit-to-completion latency of completed requests, in
+    /// nanoseconds (divide by `completed` for the mean).
+    pub latency_nanos_total: u64,
+    /// Work items currently queued.
+    pub queued: usize,
+    /// The admission bound.
+    pub queue_capacity: usize,
+    /// Worker threads serving the queue.
+    pub workers: usize,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    timeouts: AtomicU64,
+    latency_nanos_total: AtomicU64,
+}
+
+/// What a worker produced for one shard.
+struct ShardOutcome {
+    per_doc: Vec<(DocId, NodeSet)>,
+    timing: ShardTiming,
+    counters: Counters,
+}
+
+struct RequestState {
+    remaining: usize,
+    outcomes: Vec<Option<ShardOutcome>>,
+}
+
+struct RequestShared {
+    state: Mutex<RequestState>,
+    done: Condvar,
+}
+
+impl RequestShared {
+    fn new(n_shards: usize) -> RequestShared {
+        RequestShared {
+            state: Mutex::new(RequestState {
+                remaining: n_shards,
+                outcomes: (0..n_shards).map(|_| None).collect(),
+            }),
+            done: Condvar::new(),
+        }
+    }
+}
+
+struct WorkItem {
+    prepared: Arc<Prepared>,
+    shard: usize,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    request: Arc<RequestShared>,
+}
+
+/// A handle to an admitted request; [`Ticket::wait`] blocks until every
+/// shard has reported and returns the aggregated answer.
+#[must_use = "an admitted request completes regardless; wait() collects it"]
+pub struct Ticket {
+    request: Arc<RequestShared>,
+    query: String,
+    backend: Backend,
+    submitted: Instant,
+    stats: Arc<StatsInner>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes and aggregates the answer.
+    pub fn wait(self) -> CorpusAnswer {
+        let mut st = self.request.state.lock().expect("request poisoned");
+        while st.remaining > 0 {
+            st = self.request.done.wait(st).expect("request poisoned");
+        }
+        let mut per_doc = Vec::new();
+        let mut shards = Vec::with_capacity(st.outcomes.len());
+        let mut counters = Counters::default();
+        let mut timed_out = false;
+        for outcome in st.outcomes.iter_mut() {
+            let o = outcome.take().expect("completed shard has an outcome");
+            per_doc.extend(o.per_doc);
+            counters.merge(&o.counters);
+            timed_out |= o.timing.timed_out;
+            shards.push(o.timing);
+        }
+        drop(st);
+        per_doc.sort_by_key(|(id, _)| *id);
+        shards.sort_by_key(|t| t.shard);
+        // fold worker costs into the waiting thread's live counters so
+        // they show up in any open snapshot window
+        obs::merge_local(&counters);
+        if timed_out {
+            obs::incr(Counter::CorpusTimeouts);
+            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        let latency = self.submitted.elapsed();
+        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .latency_nanos_total
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        CorpusAnswer {
+            query: self.query,
+            backend: self.backend,
+            total_matches: per_doc.iter().map(|(_, s)| s.count() as u64).sum(),
+            per_doc,
+            shards,
+            timed_out,
+            latency,
+            counters,
+        }
+    }
+}
+
+/// The concurrent corpus query service (see the [module docs](self)).
+pub struct QueryService {
+    corpus: Arc<Corpus>,
+    engine: Engine,
+    queue: Arc<BoundedQueue<WorkItem>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<StatsInner>,
+    config: ServiceConfig,
+}
+
+impl QueryService {
+    /// Starts a service over `corpus`, compiling through `engine` (which
+    /// fixes the backend and shares its plan cache).
+    pub fn new(corpus: Arc<Corpus>, engine: Engine, config: ServiceConfig) -> QueryService {
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let corpus = Arc::clone(&corpus);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("twx-corpus-worker-{i}"))
+                    .spawn(move || worker_loop(&corpus, &queue))
+                    .expect("spawn worker")
+            })
+            .collect();
+        QueryService {
+            corpus,
+            engine,
+            queue,
+            workers,
+            stats: Arc::new(StatsInner::default()),
+            config,
+        }
+    }
+
+    /// The corpus being served.
+    pub fn corpus(&self) -> &Arc<Corpus> {
+        &self.corpus
+    }
+
+    /// The backend requests compile for.
+    pub fn backend(&self) -> Backend {
+        self.engine.backend()
+    }
+
+    /// Submits a query with the configured default timeout.
+    pub fn submit(&self, query: &str) -> Result<Ticket, ServiceError> {
+        self.submit_with_timeout(query, self.config.default_timeout)
+    }
+
+    /// Submits a query with an explicit deadline (`None` = none),
+    /// returning a [`Ticket`] if admitted.
+    pub fn submit_with_timeout(
+        &self,
+        query: &str,
+        timeout: Option<Duration>,
+    ) -> Result<Ticket, ServiceError> {
+        obs::incr(Counter::CorpusRequests);
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let prepared = Arc::new(self.engine.prepare_in(self.corpus.catalog(), query)?);
+        let now = Instant::now();
+        let deadline = timeout.map(|t| now + t);
+        let n = self.corpus.n_shards();
+        let request = Arc::new(RequestShared::new(n));
+        let items: Vec<WorkItem> = (0..n)
+            .map(|shard| WorkItem {
+                prepared: Arc::clone(&prepared),
+                shard,
+                deadline,
+                enqueued: now,
+                request: Arc::clone(&request),
+            })
+            .collect();
+        match self.queue.try_push_all(items) {
+            Ok(()) => Ok(Ticket {
+                request,
+                query: query.to_string(),
+                backend: self.engine.backend(),
+                submitted: now,
+                stats: Arc::clone(&self.stats),
+            }),
+            Err((PushError::Full { queued, capacity }, _)) => {
+                obs::incr(Counter::CorpusRejected);
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Overloaded { queued, capacity })
+            }
+            Err((PushError::Closed, _)) => Err(ServiceError::ShutDown),
+        }
+    }
+
+    /// Submit + wait in one call.
+    pub fn query(&self, query: &str) -> Result<CorpusAnswer, ServiceError> {
+        Ok(self.submit(query)?.wait())
+    }
+
+    /// Submit + wait with an explicit deadline.
+    pub fn query_with_timeout(
+        &self,
+        query: &str,
+        timeout: Option<Duration>,
+    ) -> Result<CorpusAnswer, ServiceError> {
+        Ok(self.submit_with_timeout(query, timeout)?.wait())
+    }
+
+    /// Current service statistics.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.stats.submitted.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+            latency_nanos_total: self.stats.latency_nanos_total.load(Ordering::Relaxed),
+            queued: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            workers: self.workers.len(),
+        }
+    }
+
+    /// Plan-cache statistics of the engine the service compiles through.
+    pub fn cache_stats(&self) -> treewalk::CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// Graceful shutdown: refuses new submissions, lets the workers
+    /// drain every admitted work item, joins them, and returns the final
+    /// statistics. Every previously-issued [`Ticket`] completes.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.queue.close();
+        for h in self.workers.drain(..) {
+            h.join().expect("worker panicked");
+        }
+        self.stats()
+    }
+}
+
+impl Drop for QueryService {
+    /// Same contract as [`QueryService::shutdown`] (drop is idempotent
+    /// after an explicit shutdown).
+    fn drop(&mut self) {
+        self.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryService")
+            .field("shards", &self.corpus.n_shards())
+            .field("docs", &self.corpus.n_docs())
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.queue.capacity())
+            .field("backend", &self.engine.backend())
+            .finish()
+    }
+}
+
+/// The worker loop: pop → evaluate shard (deadline-checked per document)
+/// → drain thread-local counters into the outcome → report.
+fn worker_loop(corpus: &Corpus, queue: &BoundedQueue<WorkItem>) {
+    // stray counters from a previous item must not leak into this one
+    let _ = obs::drain();
+    while let Some(item) = queue.pop() {
+        let picked = Instant::now();
+        let queue_wait = picked.duration_since(item.enqueued);
+        obs::add(Counter::CorpusQueueWaitNanos, queue_wait.as_nanos() as u64);
+        let shard = corpus.shard(item.shard);
+        let mut per_doc = Vec::with_capacity(shard.len());
+        let mut timed_out = false;
+        {
+            let _span = obs::span(Counter::CorpusShardEvalNanos);
+            for entry in shard.entries() {
+                if item.deadline.is_some_and(|d| Instant::now() >= d) {
+                    timed_out = true;
+                    break;
+                }
+                let root = entry.doc.tree.root();
+                per_doc.push((entry.id, item.prepared.eval(&entry.doc, root)));
+            }
+        }
+        let timing = ShardTiming {
+            shard: item.shard,
+            docs: per_doc.len(),
+            skipped_docs: shard.len() - per_doc.len(),
+            queue_wait,
+            eval: picked.elapsed(),
+            timed_out,
+        };
+        let outcome = ShardOutcome {
+            per_doc,
+            timing,
+            counters: obs::drain(),
+        };
+        let mut st = item.request.state.lock().expect("request poisoned");
+        st.outcomes[item.shard] = Some(outcome);
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            item.request.done.notify_all();
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The sharded document store.
+//!
+//! A [`Corpus`] is an immutable collection of documents partitioned into
+//! `N` shards, all sharing one append-only
+//! [`Catalog`] — the label space against which
+//! query plans are compiled once and served everywhere. Shards are the
+//! unit of parallelism for the query service: one compiled plan × one
+//! shard is one work item.
+//!
+//! Ingestion goes through [`CorpusBuilder`]: XML or s-expression sources
+//! parse against the shared catalog ([`parse_xml_catalog`] /
+//! [`parse_sexp_catalog`]), and placement is round-robin by default or
+//! size-balanced (least-loaded shard by node count) on request.
+
+use std::fmt;
+use std::sync::Arc;
+use twx_xtree::parse::{parse_sexp_catalog, parse_xml_catalog, ParseError};
+use twx_xtree::{Catalog, Document};
+
+/// A corpus-wide document identifier (assigned in ingestion order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub u32);
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc{}", self.0)
+    }
+}
+
+/// How the builder assigns documents to shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Placement {
+    /// Document `k` goes to shard `k mod N` (the default).
+    #[default]
+    RoundRobin,
+    /// Each document goes to the shard with the fewest total nodes —
+    /// evens out skewed document sizes at ingestion time.
+    SizeBalanced,
+}
+
+/// A document plus its corpus-wide id.
+#[derive(Debug)]
+pub struct DocEntry {
+    /// The corpus-wide id.
+    pub id: DocId,
+    /// The document (immutable; carries a catalog snapshot).
+    pub doc: Document,
+}
+
+/// One shard: a slice of the corpus evaluated as a unit.
+#[derive(Debug, Default)]
+pub struct Shard {
+    entries: Vec<DocEntry>,
+    nodes: usize,
+}
+
+impl Shard {
+    /// The documents of this shard, in ingestion order.
+    pub fn entries(&self) -> &[DocEntry] {
+        &self.entries
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the shard holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total tree nodes across the shard's documents.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+}
+
+/// An immutable, sharded, catalog-shared document collection (see the
+/// [module docs](self)).
+#[derive(Debug)]
+pub struct Corpus {
+    catalog: Arc<Catalog>,
+    shards: Vec<Shard>,
+    // DocId → (shard, index-within-shard)
+    index: Vec<(u32, u32)>,
+}
+
+impl Corpus {
+    /// Starts building a corpus with `n_shards` shards over a shared
+    /// catalog.
+    pub fn builder(catalog: Arc<Catalog>, n_shards: usize) -> CorpusBuilder {
+        CorpusBuilder {
+            catalog,
+            placement: Placement::default(),
+            shards: (0..n_shards.max(1)).map(|_| Shard::default()).collect(),
+            index: Vec::new(),
+            round_robin_next: 0,
+        }
+    }
+
+    /// The shared label space.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of documents.
+    pub fn n_docs(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Total tree nodes across every shard.
+    pub fn total_nodes(&self) -> usize {
+        self.shards.iter().map(Shard::node_count).sum()
+    }
+
+    /// A shard by index.
+    ///
+    /// # Panics
+    /// If `i >= n_shards()`.
+    pub fn shard(&self, i: usize) -> &Shard {
+        &self.shards[i]
+    }
+
+    /// Looks up a document by id.
+    pub fn doc(&self, id: DocId) -> Option<&Document> {
+        let &(s, i) = self.index.get(id.0 as usize)?;
+        Some(&self.shards[s as usize].entries[i as usize].doc)
+    }
+
+    /// Iterates every document entry, shard by shard.
+    pub fn iter(&self) -> impl Iterator<Item = &DocEntry> + '_ {
+        self.shards.iter().flat_map(|s| s.entries.iter())
+    }
+}
+
+/// Builds a [`Corpus`] (see [`Corpus::builder`]).
+pub struct CorpusBuilder {
+    catalog: Arc<Catalog>,
+    placement: Placement,
+    shards: Vec<Shard>,
+    index: Vec<(u32, u32)>,
+    round_robin_next: usize,
+}
+
+impl CorpusBuilder {
+    /// Selects the placement policy.
+    pub fn placement(mut self, p: Placement) -> CorpusBuilder {
+        self.placement = p;
+        self
+    }
+
+    /// Parses and ingests an XML document (labels intern into the shared
+    /// catalog).
+    pub fn add_xml(&mut self, xml: &str) -> Result<DocId, ParseError> {
+        Ok(self.add_document(parse_xml_catalog(xml, &self.catalog)?))
+    }
+
+    /// Parses and ingests an s-expression document.
+    pub fn add_sexp(&mut self, sexp: &str) -> Result<DocId, ParseError> {
+        Ok(self.add_document(parse_sexp_catalog(sexp, &self.catalog)?))
+    }
+
+    /// Ingests an already-parsed document. The document must have been
+    /// built against this builder's catalog (e.g. via
+    /// `parse_*_catalog` or `random_document_in`) so that its label ids
+    /// agree with plans compiled against the catalog.
+    pub fn add_document(&mut self, doc: Document) -> DocId {
+        let id = DocId(self.index.len() as u32);
+        let shard = match self.placement {
+            Placement::RoundRobin => {
+                let s = self.round_robin_next;
+                self.round_robin_next = (s + 1) % self.shards.len();
+                s
+            }
+            Placement::SizeBalanced => {
+                let (s, _) = self
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, sh)| sh.nodes)
+                    .expect("at least one shard");
+                s
+            }
+        };
+        let sh = &mut self.shards[shard];
+        self.index.push((shard as u32, sh.entries.len() as u32));
+        sh.nodes += doc.tree.len();
+        sh.entries.push(DocEntry { id, doc });
+        id
+    }
+
+    /// Finishes the build; the corpus is immutable from here on.
+    pub fn build(self) -> Corpus {
+        Corpus {
+            catalog: self.catalog,
+            shards: self.shards,
+            index: self.index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twx_xtree::generate::random_document_in;
+    use twx_xtree::generate::Shape;
+    use twx_xtree::rng::SplitMix64;
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(Catalog::from_names(["a", "b", "c"]))
+    }
+
+    #[test]
+    fn round_robin_placement_cycles() {
+        let mut b = Corpus::builder(catalog(), 3);
+        for _ in 0..7 {
+            b.add_xml("<a><b/></a>").unwrap();
+        }
+        let c = b.build();
+        assert_eq!(c.n_docs(), 7);
+        let sizes: Vec<usize> = (0..3).map(|i| c.shard(i).len()).collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+        // ids and the index agree
+        for e in c.iter() {
+            assert_eq!(c.doc(e.id).unwrap().tree.len(), e.doc.tree.len());
+        }
+        assert!(c.doc(DocId(7)).is_none());
+    }
+
+    #[test]
+    fn size_balanced_placement_fills_the_lightest_shard() {
+        let cat = catalog();
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let mut b = Corpus::builder(Arc::clone(&cat), 2).placement(Placement::SizeBalanced);
+        // one big document, then several small ones: the small ones should
+        // all land on the other shard until the node counts even out
+        b.add_document(random_document_in(Shape::Wide, 120, &cat, &mut rng));
+        for _ in 0..6 {
+            b.add_document(random_document_in(Shape::Wide, 10, &cat, &mut rng));
+        }
+        let c = b.build();
+        let (a, b_) = (c.shard(0).node_count(), c.shard(1).node_count());
+        assert_eq!(a + b_, c.total_nodes());
+        assert_eq!(c.shard(0).len(), 1, "big doc alone on shard 0");
+        assert_eq!(c.shard(1).len(), 6);
+    }
+
+    #[test]
+    fn documents_share_the_catalog_label_space() {
+        let cat = catalog();
+        let mut b = Corpus::builder(Arc::clone(&cat), 2);
+        b.add_xml("<a><b/><d/></a>").unwrap(); // interns d
+        b.add_sexp("(a (d))").unwrap();
+        let c = b.build();
+        assert_eq!(c.n_docs(), 2);
+        assert!(cat.lookup("d").is_some());
+        let l = cat.lookup("d").unwrap();
+        for e in c.iter() {
+            // both documents resolve `d` to the same label id
+            assert_eq!(e.doc.alphabet.lookup("d"), Some(l));
+        }
+    }
+}

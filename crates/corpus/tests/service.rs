@@ -1,0 +1,249 @@
+//! End-to-end properties of the corpus query service.
+//!
+//! The load-bearing one: for every backend, a concurrent corpus query
+//! returns exactly what a sequential [`Engine::query`] returns per
+//! document — sharding, queueing, and worker scheduling are invisible in
+//! the answer. Plus the failure modes the service is specified to have:
+//! deadline expiry yields a *flagged, partial, still-correct* answer, a
+//! saturated admission queue yields a typed `Overloaded` rejection, and
+//! shutdown drains everything already admitted.
+
+use std::sync::Arc;
+use std::time::Duration;
+use treewalk::{Backend, Engine};
+use twx_corpus::{Corpus, Placement, QueryService, ServiceConfig, ServiceError};
+use twx_obs::{self as obs, Counter};
+use twx_xtree::generate::{random_document_in, Shape};
+use twx_xtree::rng::{Rng, SplitMix64};
+use twx_xtree::Catalog;
+
+const QUERIES: &[&str] = &[
+    "down*[b]",
+    "(down | right)*[c]",
+    "down[a]/down*[b]",
+    "down+[!a and !b]",
+    "?(a)/down/down",
+    "down*[<down[b]> or <down[c]>]",
+    ".",
+    "down*[W(<down+[d]>)]",
+];
+
+fn build_corpus(
+    seed: u64,
+    n_docs: usize,
+    max_extra_nodes: u64,
+    n_shards: usize,
+    placement: Placement,
+) -> Arc<Corpus> {
+    let catalog = Arc::new(Catalog::from_names(["a", "b", "c", "d"]));
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut b = Corpus::builder(Arc::clone(&catalog), n_shards).placement(placement);
+    let shapes = [Shape::Recursive, Shape::Deep(2), Shape::Bounded(3)];
+    for i in 0..n_docs {
+        let n = 5 + (rng.next_u64() % max_extra_nodes) as usize;
+        b.add_document(random_document_in(
+            shapes[i % shapes.len()],
+            n,
+            &catalog,
+            &mut rng,
+        ));
+    }
+    Arc::new(b.build())
+}
+
+/// Concurrent answers equal sequential per-document evaluation, for all
+/// three backends, both placements, and several shard counts.
+#[test]
+fn service_matches_sequential_engine_on_every_backend() {
+    for backend in [Backend::Product, Backend::Automaton, Backend::Logic] {
+        // the Logic backend is the slow declarative reference: keep its
+        // documents small so the sweep stays test-suite-sized
+        let (n_docs, max_extra) = match backend {
+            Backend::Product => (10, 60),
+            Backend::Automaton => (8, 28),
+            Backend::Logic => (6, 10),
+        };
+        for (n_shards, placement) in [
+            (1, Placement::RoundRobin),
+            (3, Placement::RoundRobin),
+            (4, Placement::SizeBalanced),
+        ] {
+            let corpus = build_corpus(
+                0xC0DE + n_shards as u64,
+                n_docs,
+                max_extra,
+                n_shards,
+                placement,
+            );
+            let engine = Engine::with_backend(backend);
+            let service = QueryService::new(
+                Arc::clone(&corpus),
+                engine.clone(),
+                ServiceConfig {
+                    workers: 3,
+                    queue_capacity: 64,
+                    default_timeout: None,
+                },
+            );
+            for q in QUERIES {
+                let answer = service.query(q).unwrap_or_else(|e| {
+                    panic!("{backend:?}/{n_shards} shards: query `{q}` failed: {e}")
+                });
+                assert!(!answer.timed_out);
+                assert_eq!(
+                    answer.per_doc.len(),
+                    corpus.n_docs(),
+                    "query `{q}` covers all docs"
+                );
+                assert_eq!(answer.shards.len(), n_shards);
+                let mut expected_total = 0u64;
+                for (id, set) in &answer.per_doc {
+                    let doc = corpus.doc(*id).expect("answer ids are corpus ids");
+                    let sequential = engine.query(doc, q, doc.tree.root()).unwrap();
+                    assert_eq!(
+                        *set, sequential,
+                        "{backend:?}/{n_shards} shards: `{q}` on {id} diverges from sequential"
+                    );
+                    expected_total += sequential.count() as u64;
+                }
+                assert_eq!(answer.total_matches, expected_total);
+            }
+            let stats = service.shutdown();
+            assert_eq!(stats.submitted, QUERIES.len() as u64);
+            assert_eq!(stats.completed, QUERIES.len() as u64);
+            assert_eq!(stats.rejected, 0);
+        }
+    }
+}
+
+/// An already-expired deadline yields a flagged, partial answer whose
+/// documents (if any) are still individually correct.
+#[test]
+fn expired_deadline_yields_flagged_partial_answer() {
+    let corpus = build_corpus(7, 12, 40, 3, Placement::RoundRobin);
+    let engine = Engine::with_backend(Backend::Product);
+    let service = QueryService::new(
+        Arc::clone(&corpus),
+        engine.clone(),
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_timeout: None,
+        },
+    );
+    let answer = service
+        .query_with_timeout("down*[b]", Some(Duration::ZERO))
+        .unwrap();
+    assert!(
+        answer.timed_out,
+        "a zero deadline cannot finish 12 documents"
+    );
+    assert!(answer.per_doc.len() < corpus.n_docs());
+    let skipped: usize = answer.shards.iter().map(|t| t.skipped_docs).sum();
+    assert_eq!(skipped + answer.per_doc.len(), corpus.n_docs());
+    for (id, set) in &answer.per_doc {
+        let doc = corpus.doc(*id).unwrap();
+        assert_eq!(
+            *set,
+            engine.query(doc, "down*[b]", doc.tree.root()).unwrap()
+        );
+    }
+    // an ample deadline on the same service completes fully
+    let full = service
+        .query_with_timeout("down*[b]", Some(Duration::from_secs(60)))
+        .unwrap();
+    assert!(!full.timed_out);
+    assert_eq!(full.per_doc.len(), corpus.n_docs());
+    let stats = service.shutdown();
+    assert_eq!(stats.timeouts, 1);
+    assert_eq!(stats.completed, 2);
+}
+
+/// With no workers draining, admission control fills deterministically
+/// and rejects with the typed `Overloaded` error; nothing is partially
+/// queued.
+#[test]
+fn saturated_queue_rejects_with_overloaded() {
+    let corpus = build_corpus(11, 6, 20, 2, Placement::RoundRobin);
+    let service = QueryService::new(
+        corpus,
+        Engine::with_backend(Backend::Product),
+        ServiceConfig {
+            workers: 0, // manual mode: nothing drains
+            queue_capacity: 5,
+            default_timeout: None,
+        },
+    );
+    // each request needs 2 slots; 2 requests fit (4/5), the third cannot
+    let _t1 = service.submit("down*[b]").unwrap();
+    let _t2 = service.submit("down*[b]").unwrap();
+    match service.submit("down*[b]") {
+        Err(ServiceError::Overloaded { queued, capacity }) => {
+            assert_eq!(queued, 4);
+            assert_eq!(capacity, 5);
+        }
+        other => panic!("expected Overloaded, got {other:?}", other = other.err()),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.submitted, 3);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.queued, 4, "the rejected fan-out left no residue");
+}
+
+/// Shutdown refuses new work but drains what was admitted: every ticket
+/// issued before the shutdown call still completes with a full answer.
+#[test]
+fn shutdown_drains_admitted_tickets() {
+    let corpus = build_corpus(13, 8, 20, 2, Placement::RoundRobin);
+    let service = QueryService::new(
+        Arc::clone(&corpus),
+        Engine::with_backend(Backend::Product),
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 64,
+            default_timeout: None,
+        },
+    );
+    let tickets: Vec<_> = (0..5)
+        .map(|_| service.submit("down*[c]").unwrap())
+        .collect();
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, 5);
+    for t in tickets {
+        let answer = t.wait();
+        assert!(!answer.timed_out);
+        assert_eq!(answer.per_doc.len(), corpus.n_docs());
+    }
+}
+
+/// Worker-side evaluation cost is not lost to worker-thread-local
+/// counters: it rides back in `CorpusAnswer::counters` and is merged
+/// into the waiting thread, so a snapshot window around a corpus query
+/// observes it.
+#[test]
+fn worker_counters_flow_back_to_the_waiting_thread() {
+    let corpus = build_corpus(17, 6, 20, 3, Placement::RoundRobin);
+    let service = QueryService::new(
+        corpus,
+        Engine::with_backend(Backend::Product),
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_timeout: None,
+        },
+    );
+    let before = obs::snapshot();
+    let answer = service.query("down*[b]").unwrap();
+    let delta = obs::delta_since(&before);
+    assert!(
+        answer.counters.get(Counter::EvalNanos) > 0,
+        "the answer carries the workers' evaluation time"
+    );
+    assert!(
+        delta.get(Counter::EvalNanos) >= answer.counters.get(Counter::EvalNanos),
+        "worker costs were merged into the waiter's thread-local window"
+    );
+    assert_eq!(delta.get(Counter::CorpusRequests), 1);
+    assert!(delta.get(Counter::CorpusShardEvalNanos) > 0);
+    service.shutdown();
+}

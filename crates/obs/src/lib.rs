@@ -125,6 +125,23 @@ counters! {
     /// AST nodes removed by simplification (input size − output size;
     /// the rules are size-non-increasing, so this never underflows).
     SimplifyShrunkNodes => "simplify_shrunk_nodes",
+    /// Downward-fragment filter subexpressions proved unsatisfiable by
+    /// the tree-automaton decision procedure and replaced with `⊥`
+    /// during the mandatory simplify stage.
+    SimplifyUnsatPruned => "simplify_unsat_pruned",
+    /// Corpus query requests submitted to a `QueryService`.
+    CorpusRequests => "corpus_requests",
+    /// Corpus requests rejected by admission control (`Overloaded`).
+    CorpusRejected => "corpus_rejected",
+    /// Corpus requests whose deadline expired before every shard
+    /// finished (the answer is partial).
+    CorpusTimeouts => "corpus_timeouts",
+    /// Nanoseconds service workers spent evaluating shard tasks (span
+    /// timer; merged into the requester's profile on aggregation).
+    CorpusShardEvalNanos => "corpus_shard_eval_nanos",
+    /// Nanoseconds shard tasks spent queued before a worker picked them
+    /// up (admission-to-execution wait).
+    CorpusQueueWaitNanos => "corpus_queue_wait_nanos",
     /// NFA states produced by Regular XPath(W) → NFA compilation.
     CompiledNfaStates => "compiled_nfa_states",
     /// FO(MTC) formula size produced by the logic translation.
@@ -203,6 +220,60 @@ pub fn delta_since(before: &Snapshot) -> Counters {
     {
         let _ = before;
         Counters::default()
+    }
+}
+
+/// Takes this thread's counters, **resetting them to zero**.
+///
+/// This is the worker-thread half of the cross-thread accounting
+/// protocol: counters are thread-local, so probes fired on a worker
+/// thread are invisible to the thread that spawned the work. A worker
+/// calls [`drain`] (or [`drain_into`]) when its unit of work completes
+/// and ships the bundle back with the result; the requester folds it
+/// into its own slots with [`merge_local`], making the worker's costs
+/// visible to `snapshot`/`delta_since` profiles on the requesting
+/// thread.
+///
+/// Returns an all-zero bundle without the `enabled` feature.
+#[inline]
+pub fn drain() -> Counters {
+    #[cfg(feature = "enabled")]
+    {
+        Counters {
+            values: COUNTERS.with(|s| {
+                std::array::from_fn(|i| {
+                    let v = s[i].get();
+                    s[i].set(0);
+                    v
+                })
+            }),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    Counters::default()
+}
+
+/// Drains this thread's counters into an accumulator (see [`drain`]).
+#[inline]
+pub fn drain_into(acc: &mut Counters) {
+    acc.merge(&drain());
+}
+
+/// Adds a counter bundle into **this thread's** live counters — the
+/// requester-side half of the protocol described on [`drain`]. After the
+/// merge, the bundle is part of any in-flight `snapshot`/`delta_since`
+/// window on this thread. No-op without the `enabled` feature.
+#[inline]
+pub fn merge_local(delta: &Counters) {
+    #[cfg(feature = "enabled")]
+    COUNTERS.with(|s| {
+        for (cell, add) in s.iter().zip(delta.values.iter()) {
+            cell.set(cell.get().wrapping_add(*add));
+        }
+    });
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = delta;
     }
 }
 
@@ -339,6 +410,41 @@ mod tests {
         let s0 = snapshot();
         add(Counter::TcIterations, 5);
         assert!(delta_since(&s0).is_zero());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn drain_and_merge_carry_counters_across_threads() {
+        let before = snapshot();
+        // a worker thread does instrumented work and drains its slots
+        let bundle = std::thread::spawn(|| {
+            add(Counter::TwaSteps, 7);
+            incr(Counter::CorpusRequests);
+            let b = drain();
+            // drain resets: a second drain on the same thread is empty
+            assert!(drain().is_zero());
+            b
+        })
+        .join()
+        .unwrap();
+        assert_eq!(bundle.get(Counter::TwaSteps), 7);
+        // the requester folds the bundle into its own live counters, so
+        // an open snapshot window sees the worker's costs
+        merge_local(&bundle);
+        let d = delta_since(&before);
+        assert_eq!(d.get(Counter::TwaSteps), 7);
+        assert_eq!(d.get(Counter::CorpusRequests), 1);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn drain_into_accumulates() {
+        let mut acc = Counters::default();
+        add(Counter::TcIterations, 2);
+        drain_into(&mut acc);
+        add(Counter::TcIterations, 3);
+        drain_into(&mut acc);
+        assert_eq!(acc.get(Counter::TcIterations), 5);
     }
 
     #[test]

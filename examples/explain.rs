@@ -43,4 +43,15 @@ fn main() {
         "plan cache after two explains: {} hit(s), {} miss(es)",
         stats.hits, stats.misses
     );
+
+    // the mandatory simplify stage also prunes provably-unsatisfiable
+    // downward filters (decided by type-automaton emptiness), visible as
+    // the simplify_unsat_pruned counter in the profile
+    let contradiction = "down*[book and !book]";
+    let profile = engine.explain(&doc, contradiction, root).expect("query");
+    println!(
+        "\n{contradiction}: {} answer(s); nonzero counters: {:?}",
+        profile.result_count,
+        profile.active_counters(),
+    );
 }

@@ -377,9 +377,22 @@ impl Engine {
     }
 
     /// The shared simplify + cache + compile tail of the pipeline.
+    ///
+    /// The simplify stage is two-phase: the syntactic rewriting fixpoint
+    /// of [`simplify_rpath`], then the automata-backed unsat-pruning
+    /// pass of [`crate::prune`], which replaces statically-unsatisfiable
+    /// downward filters with `⊥` (counted as `simplify_unsat_pruned`).
+    /// The plan cache is keyed on the fully-simplified AST, so a pruned
+    /// query and its hand-simplified form share one plan.
     fn finish_pipeline(&self, query: &str, raw: RPath) -> Prepared {
         let raw_size = raw.size();
         let path = simplify_rpath(&raw);
+        let pruned = crate::prune::prune_unsat_rpath(&path);
+        let path = if pruned == path {
+            path
+        } else {
+            simplify_rpath(&pruned)
+        };
         let plan = self.cache.get_or_compile(&path, self.backend);
         Prepared {
             text: query.to_string(),
@@ -400,6 +413,12 @@ impl Engine {
     /// concurrently with [`std::thread::scope`], returning answers in job
     /// order. All documents must share the label space of `jobs[0].0`
     /// (e.g. via a [`Catalog`]).
+    ///
+    /// Observability counters are thread-local, so each worker drains its
+    /// slots when its chunk completes and the deltas are merged back into
+    /// the calling thread ([`obs::merge_local`]): a `snapshot`/
+    /// `delta_since` window around this call sees the full fan-out cost,
+    /// not just the compile.
     pub fn query_batch(
         &self,
         jobs: &[(&Document, NodeId)],
@@ -421,14 +440,18 @@ impl Engine {
                 .map(|part| {
                     let p = &prepared;
                     s.spawn(move || {
-                        part.iter()
+                        let answers = part
+                            .iter()
                             .map(|(d, ctx)| p.eval(d, *ctx))
-                            .collect::<Vec<_>>()
+                            .collect::<Vec<_>>();
+                        (answers, obs::drain())
                     })
                 })
                 .collect();
             for h in handles {
-                out.extend(h.join().expect("batch worker panicked"));
+                let (answers, counters) = h.join().expect("batch worker panicked");
+                obs::merge_local(&counters);
+                out.extend(answers);
             }
         });
         Ok(out)

@@ -13,10 +13,16 @@
 //!   formalisms, plus deciders and differential-testing harnesses;
 //! * [`obs`] — zero-dependency counters, span timers, and the per-query
 //!   EXPLAIN profiles surfaced through [`Engine::explain`].
+//!
+//! The serving layer — sharded corpus store, concurrent query service
+//! with admission control, and the `twx-serve` TCP binary — lives in the
+//! `twx-corpus` crate, which builds *on top of* this facade.
 
 pub mod engine;
+pub mod prune;
 
 pub use engine::{Backend, CacheStats, Engine, EngineError, Prepared};
+pub use prune::prune_unsat_rpath;
 pub use twx_core as core;
 pub use twx_corexpath as corexpath;
 pub use twx_fotc as fotc;
