@@ -27,6 +27,25 @@ cargo test -q --workspace
 say "test suite (release)"
 cargo test -q --release --workspace
 
+say "conformance fuzz gate"
+cargo build --release -p twx-conform --bin twx-fuzz
+fuzz_out="$(mktemp -t twx_fuzz.XXXXXX.json)"
+./target/release/twx-fuzz --seed 42 --iters 300 \
+  --replay tests/corpus/regressions.jsonl > "$fuzz_out"
+python3 - "$fuzz_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "twx-fuzz/1", doc.get("schema")
+assert doc["iterations"] == 300, doc["iterations"]
+assert doc["divergences"] == 0, doc
+assert doc["replayed"] > 0, "golden corpus was not replayed"
+assert doc["replay_divergences"] == 0, doc
+assert len(doc["routes"]) == 9, [r["route"] for r in doc["routes"]]
+print("twx-fuzz: 300 iterations +", doc["replayed"],
+      "golden repros, 0 divergences across", len(doc["routes"]), "routes")
+EOF
+rm -f "$fuzz_out"
+
 say "harness smoke run"
 out="$(mktemp -t bench_harness.XXXXXX.json)"
 trap 'rm -f "$out"' EXIT

@@ -1,0 +1,196 @@
+//! The golden regression corpus: one JSON line per minimal repro.
+//!
+//! Format (`tests/corpus/regressions.jsonl` at the workspace root):
+//!
+//! ```text
+//! {"query":"down*[b]","doc":"(a (b a) b)","seed":42,"note":"why this line exists"}
+//! ```
+//!
+//! Blank lines and lines starting with `#` are ignored, so the file can
+//! carry commentary. Every line is replayed through the full cross-route
+//! check by `tests/conformance.rs` on every test run, and by
+//! `twx-fuzz --replay` in CI; once a bug's minimal repro lands here it is
+//! guarded forever.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+use twx_obs::json::{self, Json};
+use twx_regxpath::parser::parse_rpath_catalog;
+use twx_xtree::parse::parse_sexp_catalog;
+use twx_xtree::Catalog;
+
+use crate::{Conformer, Divergence};
+
+/// One regression-corpus entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Repro {
+    /// The query in surface syntax.
+    pub query: String,
+    /// The document as an s-expression.
+    pub doc: String,
+    /// The fuzzer seed that found it (0 for handcrafted entries).
+    pub seed: u64,
+    /// Why the line exists — shown when the replay fails.
+    pub note: String,
+}
+
+impl Repro {
+    /// Serialises to one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        Json::obj()
+            .field("query", self.query.as_str())
+            .field("doc", self.doc.as_str())
+            .field("seed", self.seed)
+            .field("note", self.note.as_str())
+            .render()
+    }
+
+    /// Parses one JSON line. `note` is optional; `query` and `doc` are
+    /// required strings, `seed` a required integer.
+    pub fn from_line(line: &str) -> Result<Repro, String> {
+        let v = json::parse(line).map_err(|e| format!("bad repro line: {e}"))?;
+        let Json::Obj(fields) = v else {
+            return Err("repro line is not a JSON object".to_string());
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let str_field = |key: &str| match get(key) {
+            Some(Json::Str(s)) => Ok(s.clone()),
+            Some(_) => Err(format!("repro field '{key}' is not a string")),
+            None => Err(format!("repro line missing '{key}'")),
+        };
+        let seed = match get("seed") {
+            Some(Json::Int(n)) => *n,
+            Some(_) => return Err("repro field 'seed' is not an integer".to_string()),
+            None => return Err("repro line missing 'seed'".to_string()),
+        };
+        Ok(Repro {
+            query: str_field("query")?,
+            doc: str_field("doc")?,
+            seed,
+            note: match get("note") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => String::new(),
+            },
+        })
+    }
+
+    /// Builds the repro recorded for a (usually minimised) divergence.
+    pub fn from_divergence(d: &Divergence, note: &str) -> Repro {
+        Repro {
+            query: d.query.clone(),
+            doc: d.doc_sexp.clone(),
+            seed: d.seed,
+            note: note.to_string(),
+        }
+    }
+
+    /// Replays this repro through a fresh [`Conformer`] over its own
+    /// catalog (query labels interned first, then document labels — the
+    /// same order the fuzzer saw them). Returns the divergence if the
+    /// repro still reproduces, `Ok(None)` if the routes now agree.
+    pub fn replay(&self) -> Result<Option<Divergence>, String> {
+        let catalog = Arc::new(Catalog::new());
+        parse_rpath_catalog(&self.query, &catalog)
+            .map_err(|e| format!("repro query `{}`: {e}", self.query))?;
+        let doc = parse_sexp_catalog(&self.doc, &catalog)
+            .map_err(|e| format!("repro doc `{}`: {e}", self.doc))?;
+        let mut conf = Conformer::new(catalog);
+        conf.check(&self.query, &doc, self.seed)
+    }
+}
+
+/// Loads every repro from a `.jsonl` file, skipping blank and `#` lines.
+/// A missing file is an empty corpus, not an error.
+pub fn load(path: &Path) -> Result<Vec<Repro>, String> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(Repro::from_line(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?);
+    }
+    Ok(out)
+}
+
+/// Appends one repro line to a `.jsonl` file, creating it (and its
+/// parent directory) if needed.
+pub fn append(path: &Path, repro: &Repro) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", repro.to_line())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_roundtrip() {
+        let r = Repro {
+            query: "down*[b and !a]".to_string(),
+            doc: "(a (b \"x y\") b)".to_string(),
+            seed: 99,
+            note: "quotes survive".to_string(),
+        };
+        assert_eq!(Repro::from_line(&r.to_line()).unwrap(), r);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(Repro::from_line("not json").is_err());
+        assert!(Repro::from_line("[1,2]").is_err());
+        assert!(Repro::from_line(r#"{"query":"down"}"#).is_err());
+        assert!(Repro::from_line(r#"{"query":"down","doc":"(a)","seed":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn replay_of_agreeing_repro_is_clean() {
+        let r = Repro {
+            query: "down*[b]".to_string(),
+            doc: "(a (b a) b)".to_string(),
+            seed: 0,
+            note: String::new(),
+        };
+        assert!(r.replay().unwrap().is_none());
+    }
+
+    #[test]
+    fn load_skips_comments_and_blanks() {
+        let dir = std::env::temp_dir().join("twx-conform-corpus-test");
+        let path = dir.join("r.jsonl");
+        let _ = fs::remove_file(&path);
+        let r = Repro {
+            query: ".".to_string(),
+            doc: "(a)".to_string(),
+            seed: 1,
+            note: String::new(),
+        };
+        append(&path, &r).unwrap();
+        let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f, "# a comment\n").unwrap();
+        append(&path, &r).unwrap();
+        assert_eq!(load(&path).unwrap(), vec![r.clone(), r]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_empty_corpus() {
+        assert!(load(Path::new("/nonexistent/definitely/absent.jsonl"))
+            .unwrap()
+            .is_empty());
+    }
+}

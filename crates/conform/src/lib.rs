@@ -1,0 +1,253 @@
+//! # twx-conform — differential conformance harness
+//!
+//! The paper's headline result is an *effective* equivalence triangle —
+//! Regular XPath(W) ≡ FO(MTC) ≡ NTWA — so the strongest executable
+//! correctness claim this workspace can make is that every evaluation
+//! route **never disagrees** on any query/document pair. This crate turns
+//! that claim into a continuously-checked property:
+//!
+//! * [`check::Conformer`] evaluates one `(query, document)` pair through
+//!   every route — the naive relational oracle, the raw (pipeline-off)
+//!   product evaluator, `Engine::query` on all three backends both
+//!   plan-cache-cold and -hot, and a sharded [`QueryService`] — and
+//!   reports any disagreement as a typed [`Divergence`] naming the odd
+//!   routes and their answers.
+//! * [`shrink::minimize`] greedily minimises a failing pair over both the
+//!   query AST (drop disjuncts, strip filters, shorten stars — see
+//!   [`twx_regxpath::shrink`]) and the document (delete subtrees — see
+//!   [`twx_xtree::shrink`]), re-checking the oracle at every step.
+//! * [`corpus`] reads and writes the golden-regression format: one JSON
+//!   line per repro (surface query + sexp document + seed), replayed
+//!   forever by `tests/conformance.rs` at the workspace root.
+//! * [`fuzz::run_fuzz`] is the seeded driver behind the `twx-fuzz`
+//!   binary, with per-route timing drawn from `twx-obs` counters.
+//!
+//! A test-only [`Fault`] hook mutates one route's answer post-hoc, so the
+//! harness can prove it *would* catch a broken backend and that the
+//! shrinker converges to a small repro.
+//!
+//! [`QueryService`]: twx_corpus::QueryService
+
+pub mod check;
+pub mod corpus;
+pub mod fuzz;
+pub mod shrink;
+
+pub use check::Conformer;
+pub use corpus::Repro;
+pub use fuzz::{run_fuzz, FuzzConfig, FuzzReport};
+pub use shrink::{minimize, ShrinkOutcome};
+
+use treewalk::Backend;
+
+/// The three engine backends in canonical order.
+pub const BACKENDS: [Backend; 3] = [Backend::Product, Backend::Automaton, Backend::Logic];
+
+/// One evaluation route through the system. Every route must produce the
+/// same answer set for the triangle (and the serving layer on top of it)
+/// to be correct.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RouteId {
+    /// `eval_rel_naive` on the raw parsed AST — the `n × n` bit-matrix
+    /// reference semantics, and the oracle every other route is compared
+    /// against.
+    Naive,
+    /// `Compiled::new` on the raw AST: the product evaluator with the
+    /// simplify/unsat-prune pipeline **off**.
+    RawProduct,
+    /// A fresh [`treewalk::Engine`] per trial (plan-cache cold), full
+    /// pipeline on.
+    Cold(Backend),
+    /// A persistent [`treewalk::Engine`] whose plan cache has already
+    /// seen the query (the answer comes from a guaranteed cache hit).
+    Hot(Backend),
+    /// A [`twx_corpus::QueryService`] over a 2-shard corpus holding two
+    /// copies of the document, checked for internal agreement and
+    /// compared against the sequential answer.
+    Service,
+}
+
+impl RouteId {
+    /// Every route, in the order answers are collected and reported.
+    pub const ALL: [RouteId; 9] = [
+        RouteId::Naive,
+        RouteId::RawProduct,
+        RouteId::Cold(Backend::Product),
+        RouteId::Cold(Backend::Automaton),
+        RouteId::Cold(Backend::Logic),
+        RouteId::Hot(Backend::Product),
+        RouteId::Hot(Backend::Automaton),
+        RouteId::Hot(Backend::Logic),
+        RouteId::Service,
+    ];
+
+    /// Stable name used in JSON summaries and `--fault` specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouteId::Naive => "naive",
+            RouteId::RawProduct => "raw-product",
+            RouteId::Cold(Backend::Product) => "cold:product",
+            RouteId::Cold(Backend::Automaton) => "cold:automaton",
+            RouteId::Cold(Backend::Logic) => "cold:logic",
+            RouteId::Hot(Backend::Product) => "hot:product",
+            RouteId::Hot(Backend::Automaton) => "hot:automaton",
+            RouteId::Hot(Backend::Logic) => "hot:logic",
+            RouteId::Service => "service",
+        }
+    }
+
+    /// Inverse of [`RouteId::name`].
+    pub fn parse(s: &str) -> Option<RouteId> {
+        RouteId::ALL.into_iter().find(|r| r.name() == s)
+    }
+
+    /// Position in [`RouteId::ALL`].
+    pub fn index(self) -> usize {
+        RouteId::ALL
+            .into_iter()
+            .position(|r| r == self)
+            .expect("route in ALL")
+    }
+}
+
+/// How a [`Fault`] corrupts an answer set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Remove the largest node id from the answer (a no-op on empty
+    /// answers, so the repro must keep the query *matching* something).
+    DropMax,
+    /// Insert the root (node 0) into the answer (a no-op when the root
+    /// already matches).
+    InsertRoot,
+}
+
+/// A test-only fault: mutate the named route's answer after evaluation.
+/// Used to prove the harness detects a broken backend and that the
+/// shrinker converges; never enabled in CI fuzzing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// The route whose answers are corrupted.
+    pub route: RouteId,
+    /// The corruption applied.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// Parses a `--fault` spec of the form `<route>=<kind>`, e.g.
+    /// `hot:automaton=drop-max` or `naive=insert-root`.
+    pub fn parse(spec: &str) -> Result<Fault, String> {
+        let (route, kind) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("fault spec '{spec}' is not <route>=<kind>"))?;
+        let route = RouteId::parse(route).ok_or_else(|| {
+            let names: Vec<&str> = RouteId::ALL.iter().map(|r| r.name()).collect();
+            format!("unknown route '{route}' (one of: {})", names.join(", "))
+        })?;
+        let kind = match kind {
+            "drop-max" => FaultKind::DropMax,
+            "insert-root" => FaultKind::InsertRoot,
+            other => return Err(format!("unknown fault kind '{other}'")),
+        };
+        Ok(Fault { route, kind })
+    }
+
+    /// Applies the corruption to a sorted answer vector.
+    pub fn apply(&self, answer: &mut Vec<u32>) {
+        match self.kind {
+            FaultKind::DropMax => {
+                answer.pop();
+            }
+            FaultKind::InsertRoot => {
+                if answer.first() != Some(&0) {
+                    answer.insert(0, 0);
+                }
+            }
+        }
+    }
+}
+
+/// A route's answer: the sorted matched node ids, or an error rendered as
+/// a string (an erroring route counts as divergent — routes must agree on
+/// *success*, too).
+pub type RouteAnswer = Result<Vec<u32>, String>;
+
+/// A disagreement between routes on one `(query, document)` pair.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// The query in surface syntax.
+    pub query: String,
+    /// The document as an s-expression.
+    pub doc_sexp: String,
+    /// The trial seed that produced the pair (0 for replays).
+    pub seed: u64,
+    /// The oracle's answer ([`RouteId::Naive`]).
+    pub reference: Vec<u32>,
+    /// Every route that disagreed with the oracle, with its answer.
+    pub disagreeing: Vec<(RouteId, RouteAnswer)>,
+}
+
+impl Divergence {
+    /// The names of the disagreeing routes (the odd-ones-out).
+    pub fn route_names(&self) -> Vec<&'static str> {
+        self.disagreeing.iter().map(|(r, _)| r.name()).collect()
+    }
+
+    /// One-line human summary.
+    pub fn describe(&self) -> String {
+        format!(
+            "query `{}` on {} : routes [{}] disagree with reference {:?}",
+            self.query,
+            self.doc_sexp,
+            self.route_names().join(", "),
+            self.reference,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_names_roundtrip() {
+        for r in RouteId::ALL {
+            assert_eq!(RouteId::parse(r.name()), Some(r));
+            assert_eq!(RouteId::ALL[r.index()], r);
+        }
+        assert_eq!(RouteId::parse("bogus"), None);
+    }
+
+    #[test]
+    fn fault_spec_parses() {
+        let f = Fault::parse("hot:automaton=drop-max").unwrap();
+        assert_eq!(f.route, RouteId::Hot(Backend::Automaton));
+        assert_eq!(f.kind, FaultKind::DropMax);
+        assert!(Fault::parse("naive").is_err());
+        assert!(Fault::parse("naive=weird").is_err());
+        assert!(Fault::parse("weird=drop-max").is_err());
+    }
+
+    #[test]
+    fn fault_apply() {
+        let f = Fault {
+            route: RouteId::Naive,
+            kind: FaultKind::DropMax,
+        };
+        let mut a = vec![1, 3];
+        f.apply(&mut a);
+        assert_eq!(a, vec![1]);
+        let mut empty: Vec<u32> = vec![];
+        f.apply(&mut empty);
+        assert!(empty.is_empty());
+
+        let g = Fault {
+            route: RouteId::Naive,
+            kind: FaultKind::InsertRoot,
+        };
+        let mut b = vec![2];
+        g.apply(&mut b);
+        assert_eq!(b, vec![0, 2]);
+        g.apply(&mut b);
+        assert_eq!(b, vec![0, 2], "idempotent when root present");
+    }
+}

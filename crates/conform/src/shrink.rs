@@ -1,0 +1,150 @@
+//! Greedy counterexample minimisation.
+//!
+//! Given a [`Divergence`], alternate a **query pass** (try every
+//! single-step AST shrink from [`twx_regxpath::shrink`]) and a
+//! **document pass** (try every subtree deletion from
+//! [`twx_xtree::shrink`]), re-running the full cross-route check at each
+//! candidate and accepting the first that still reproduces the
+//! divergence *on at least one of the originally-disagreeing routes*
+//! (so shrinking cannot wander to an unrelated failure). Every candidate
+//! is strictly smaller than its parent, so the loop terminates; both
+//! candidate generators order aggressive cuts first, so greedy
+//! first-accept descent converges in few steps.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use twx_obs::{self as obs, Counter};
+use twx_regxpath::parser::parse_rpath_catalog;
+use twx_regxpath::print::rpath_to_string;
+use twx_regxpath::shrink::shrink_rpath;
+use twx_regxpath::RPath;
+use twx_xtree::parse::parse_sexp_catalog;
+use twx_xtree::shrink::shrink_tree;
+use twx_xtree::{Catalog, Document, Tree};
+
+use crate::{Conformer, Divergence, RouteId};
+
+/// The result of [`minimize`]: the smallest still-diverging repro found.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The minimised divergence (query and document re-rendered).
+    pub divergence: Divergence,
+    /// Accepted shrink steps (query + document).
+    pub steps: u64,
+    /// AST size of the minimised query.
+    pub query_size: usize,
+    /// Node count of the minimised document.
+    pub doc_nodes: usize,
+}
+
+/// Greedily minimises `d` using `conf` as the oracle. Returns the
+/// smallest `(query, document)` pair on which at least one of the
+/// originally-disagreeing routes still disagrees.
+pub fn minimize(conf: &mut Conformer, d: &Divergence) -> Result<ShrinkOutcome, String> {
+    let catalog = Arc::clone(conf.catalog());
+    let mut q = parse_rpath_catalog(&d.query, &catalog)
+        .map_err(|e| format!("repro query does not parse: {e}"))?;
+    let mut t = parse_sexp_catalog(&d.doc_sexp, &catalog)
+        .map_err(|e| format!("repro document does not parse: {e}"))?
+        .tree;
+    let targets: HashSet<RouteId> = d.disagreeing.iter().map(|(r, _)| *r).collect();
+
+    let mut best = d.clone();
+    let mut steps = 0u64;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // query pass: restart after every acceptance (new candidate list)
+        'query: loop {
+            for c in shrink_rpath(&q) {
+                if let Some(div) = recheck(conf, &catalog, &c, &t, d.seed, &targets) {
+                    q = c;
+                    best = div;
+                    steps += 1;
+                    changed = true;
+                    obs::incr(Counter::ConformShrinkSteps);
+                    continue 'query;
+                }
+            }
+            break;
+        }
+        // document pass
+        'doc: loop {
+            for c in shrink_tree(&t) {
+                if let Some(div) = recheck(conf, &catalog, &q, &c, d.seed, &targets) {
+                    t = c;
+                    best = div;
+                    steps += 1;
+                    changed = true;
+                    obs::incr(Counter::ConformShrinkSteps);
+                    continue 'doc;
+                }
+            }
+            break;
+        }
+    }
+    Ok(ShrinkOutcome {
+        divergence: best,
+        steps,
+        query_size: q.size(),
+        doc_nodes: t.len(),
+    })
+}
+
+/// Re-runs the cross-route check on a candidate pair; `Some` iff it still
+/// diverges on one of the target routes.
+fn recheck(
+    conf: &mut Conformer,
+    catalog: &Catalog,
+    q: &RPath,
+    t: &Tree,
+    seed: u64,
+    targets: &HashSet<RouteId>,
+) -> Option<Divergence> {
+    let text = rpath_to_string(q, &catalog.snapshot());
+    let doc = Document::new(t.clone(), catalog.snapshot());
+    match conf.check(&text, &doc, seed) {
+        Ok(Some(div)) if div.disagreeing.iter().any(|(r, _)| targets.contains(r)) => Some(div),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fault, FaultKind};
+    use treewalk::Backend;
+
+    /// A faulty backend's divergence shrinks to a tiny repro: the issue's
+    /// acceptance bound is ≤ 6 query AST nodes and ≤ 8 document nodes.
+    #[test]
+    fn faulty_route_shrinks_to_tiny_repro() {
+        let catalog = Arc::new(Catalog::from_names(["a", "b"]));
+        let fault = Fault {
+            route: RouteId::Cold(Backend::Logic),
+            kind: FaultKind::DropMax,
+        };
+        let mut conf = Conformer::with_fault(Arc::clone(&catalog), Some(fault));
+        let doc = parse_sexp_catalog("(a (b a b) (a b) b)", &catalog).unwrap();
+        let div = conf
+            .check("down*[b or a]/down | .", &doc, 3)
+            .unwrap()
+            .expect("drop-max on a nonempty answer must diverge");
+        let out = minimize(&mut conf, &div).unwrap();
+        assert!(out.steps > 0, "shrinker accepted no step");
+        assert!(
+            out.query_size <= 6,
+            "query not minimal: {} ({})",
+            out.divergence.query,
+            out.query_size
+        );
+        assert!(
+            out.doc_nodes <= 8,
+            "document not minimal: {} ({} nodes)",
+            out.divergence.doc_sexp,
+            out.doc_nodes
+        );
+        assert_eq!(out.divergence.route_names(), vec!["cold:logic"]);
+    }
+}

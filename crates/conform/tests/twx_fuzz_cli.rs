@@ -1,0 +1,73 @@
+//! End-to-end tests of the `twx-fuzz` binary: flag parsing, the JSON
+//! summary contract, corpus replay, and exit codes (0 = agree,
+//! 1 = divergence, 2 = usage error).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn twx_fuzz(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_twx-fuzz"))
+        .args(args)
+        .output()
+        .expect("spawn twx-fuzz")
+}
+
+fn stdout_json(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf8 stdout")
+}
+
+#[test]
+fn clean_run_exits_zero_with_summary() {
+    let out = twx_fuzz(&["--seed", "42", "--iters", "60", "--max-doc-nodes", "8"]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let json = stdout_json(&out);
+    assert!(json.contains("\"schema\":\"twx-fuzz/1\""), "{json}");
+    assert!(json.contains("\"iterations\":60"), "{json}");
+    assert!(json.contains("\"divergences\":0"), "{json}");
+    assert!(json.contains("\"route\":\"hot:logic\""), "{json}");
+    assert!(json.contains("\"replayed\":0"), "{json}");
+}
+
+#[test]
+fn fault_run_exits_one_and_reports_minimal_repro() {
+    let out = twx_fuzz(&[
+        "--seed",
+        "42",
+        "--iters",
+        "40",
+        "--fault",
+        "cold:product=insert-root",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = stdout_json(&out);
+    assert!(json.contains("\"routes\":[\"cold:product\"]"), "{json}");
+}
+
+#[test]
+fn replay_catches_a_planted_regression() {
+    let dir = std::env::temp_dir().join(format!("twx-fuzz-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path: PathBuf = dir.join("regressions.jsonl");
+    // a healthy line and a structurally-broken one
+    std::fs::write(
+        &path,
+        "# golden corpus\n{\"query\":\"down*[b]\",\"doc\":\"(a (b a) b)\",\"seed\":1,\"note\":\"healthy\"}\n",
+    )
+    .unwrap();
+    let ok = twx_fuzz(&["--iters", "1", "--replay", path.to_str().unwrap()]);
+    assert!(ok.status.success());
+    assert!(stdout_json(&ok).contains("\"replayed\":1"));
+
+    std::fs::write(&path, "{\"query\":\"down[\",\"doc\":\"(a)\",\"seed\":1}\n").unwrap();
+    let bad = twx_fuzz(&["--iters", "1", "--replay", path.to_str().unwrap()]);
+    assert_eq!(bad.status.code(), Some(1), "unparseable repro must fail");
+    assert!(stdout_json(&bad).contains("\"replay_divergences\":1"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(twx_fuzz(&["--bogus"]).status.code(), Some(2));
+    assert_eq!(twx_fuzz(&["--seed"]).status.code(), Some(2));
+    assert_eq!(twx_fuzz(&["--fault", "nope"]).status.code(), Some(2));
+}

@@ -3,7 +3,8 @@
 //!
 //! Given a query in any of the three formalisms, [`TriQuery`] carries its
 //! images under the implemented translations; [`check_tri`] evaluates all
-//! of them on a tree corpus and reports the first disagreement.
+//! of them on a tree corpus and reports the first offending tree together
+//! with every rendition pair that disagrees on it.
 //! `twx-core`'s tests and the E4 harness both drive these functions; a
 //! translation bug anywhere in the triangle surfaces as a counterexample
 //! tree here.
@@ -55,45 +56,50 @@ impl TriQuery {
 /// A disagreement found by [`check_tri`].
 #[derive(Debug)]
 pub struct Mismatch {
-    /// Which pair of renditions disagreed.
-    pub what: &'static str,
+    /// Every rendition pair that disagreed on [`Mismatch::tree`] — all of
+    /// them, not just the first, so a harness can name the odd-one-out
+    /// route (e.g. only "xpath vs NTWA" failing fingers the automaton).
+    pub disagreeing: Vec<&'static str>,
     /// The offending tree.
     pub tree: Tree,
 }
 
+impl Mismatch {
+    /// Human-readable summary of the disagreeing routes.
+    pub fn describe(&self) -> String {
+        self.disagreeing.join(", ")
+    }
+}
+
 /// Evaluates every rendition of `q` on every tree of `corpus`; returns the
-/// first disagreement, or `None` if the triangle commutes on the corpus.
+/// first offending tree with **all** renditions that disagree on it, or
+/// `None` if the triangle commutes on the corpus.
 pub fn check_tri<'a, I: IntoIterator<Item = &'a Tree>>(
     q: &TriQuery,
     corpus: I,
 ) -> Option<Mismatch> {
     for t in corpus {
         let reference = twx_regxpath::eval_rel(t, &q.xpath);
+        let mut disagreeing = Vec::new();
         if eval_binary(t, &q.logic, 0, 1) != reference {
-            return Some(Mismatch {
-                what: "xpath vs FO(MTC)",
-                tree: t.clone(),
-            });
+            disagreeing.push("xpath vs FO(MTC)");
         }
         if twx_twa::eval::eval_rel(t, &q.automaton) != reference {
-            return Some(Mismatch {
-                what: "xpath vs NTWA",
-                tree: t.clone(),
-            });
+            disagreeing.push("xpath vs NTWA");
         }
         if twx_regxpath::eval_rel(t, &q.xpath_back) != reference {
-            return Some(Mismatch {
-                what: "xpath vs Kleene(Thompson(xpath))",
-                tree: t.clone(),
-            });
+            disagreeing.push("xpath vs Kleene(Thompson(xpath))");
         }
         if let Some(back) = &q.xpath_from_logic {
             if twx_regxpath::eval_rel(t, back) != reference {
-                return Some(Mismatch {
-                    what: "xpath vs guarded-FO round trip",
-                    tree: t.clone(),
-                });
+                disagreeing.push("xpath vs guarded-FO round trip");
             }
+        }
+        if !disagreeing.is_empty() {
+            return Some(Mismatch {
+                disagreeing,
+                tree: t.clone(),
+            });
         }
     }
     None
@@ -141,7 +147,11 @@ mod tests {
             let p = random_rpath(&cfg, 3, &mut rng);
             let q = TriQuery::from_xpath(&p);
             if let Some(m) = check_tri(&q, &corpus) {
-                panic!("triangle broken ({}) for {p:?} on {:?}", m.what, m.tree);
+                panic!(
+                    "triangle broken ({}) for {p:?} on {:?}",
+                    m.describe(),
+                    m.tree
+                );
             }
         }
     }

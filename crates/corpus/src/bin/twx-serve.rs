@@ -35,9 +35,10 @@ use std::time::Duration;
 use treewalk::{Backend, Engine};
 use twx_corpus::{Corpus, CorpusAnswer, QueryService, ServiceConfig, ServiceError};
 use twx_obs::json::{parse as parse_json, Json};
+use twx_regxpath::parser::parse_rpath_resolved;
 use twx_xtree::generate::{random_document_in, Shape};
 use twx_xtree::rng::SplitMix64;
-use twx_xtree::Catalog;
+use twx_xtree::{Alphabet, Catalog};
 
 struct Args {
     port: u16,
@@ -221,8 +222,23 @@ fn stats_line(service: &QueryService) -> String {
         .render()
 }
 
+/// Requests longer than this are refused with a typed `protocol` error
+/// (the connection stays open). Far above any legitimate query line, far
+/// below anything that could pressure memory.
+const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
 /// Serves one connection; returns `true` if a shutdown was requested.
-fn serve_conn(stream: TcpStream, service: &QueryService) -> std::io::Result<bool> {
+///
+/// `alphabet` is the corpus label space, used to validate queries
+/// **read-only** before submission: `prepare_in` would intern unknown
+/// labels into the shared catalog, and a network client must not be able
+/// to grow the server's label space — it gets a typed `engine` error
+/// instead.
+fn serve_conn(
+    stream: TcpStream,
+    service: &QueryService,
+    alphabet: &Alphabet,
+) -> std::io::Result<bool> {
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
@@ -230,25 +246,43 @@ fn serve_conn(stream: TcpStream, service: &QueryService) -> std::io::Result<bool
         if line.trim().is_empty() {
             continue;
         }
+        if line.len() > MAX_REQUEST_BYTES {
+            let reply = err_line(
+                "protocol",
+                &format!(
+                    "request of {} bytes exceeds the {MAX_REQUEST_BYTES}-byte limit",
+                    line.len()
+                ),
+            );
+            writer.write_all(reply.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            continue;
+        }
         let reply = match parse_json(&line) {
             Err(e) => err_line("protocol", &format!("bad json: {e}")),
             Ok(req) => match get_str(&req, "op") {
                 Some("query") => match get_str(&req, "query") {
                     None => err_line("protocol", "query op needs a `query` string"),
-                    Some(q) => {
-                        let timeout = get_u64(&req, "timeout_ms").map(Duration::from_millis);
-                        match service.query_with_timeout(q, timeout) {
-                            Ok(a) => answer_line(&a),
-                            Err(ServiceError::Overloaded { queued, capacity }) => Json::obj()
-                                .field("ok", false)
-                                .field("error", "overloaded")
-                                .field("queued", queued)
-                                .field("capacity", capacity)
-                                .render(),
-                            Err(ServiceError::ShutDown) => err_line("shutdown", "service closed"),
-                            Err(ServiceError::Engine(e)) => err_line("engine", &e.to_string()),
+                    Some(q) => match parse_rpath_resolved(q, alphabet) {
+                        Err(e) => err_line("engine", &e.to_string()),
+                        Ok(_) => {
+                            let timeout = get_u64(&req, "timeout_ms").map(Duration::from_millis);
+                            match service.query_with_timeout(q, timeout) {
+                                Ok(a) => answer_line(&a),
+                                Err(ServiceError::Overloaded { queued, capacity }) => Json::obj()
+                                    .field("ok", false)
+                                    .field("error", "overloaded")
+                                    .field("queued", queued)
+                                    .field("capacity", capacity)
+                                    .render(),
+                                Err(ServiceError::ShutDown) => {
+                                    err_line("shutdown", "service closed")
+                                }
+                                Err(ServiceError::Engine(e)) => err_line("engine", &e.to_string()),
+                            }
                         }
-                    }
+                    },
                 },
                 Some("stats") => stats_line(service),
                 Some("shutdown") => {
@@ -256,9 +290,12 @@ fn serve_conn(stream: TcpStream, service: &QueryService) -> std::io::Result<bool
                         .field("ok", true)
                         .field("shutting_down", true)
                         .render();
-                    writer.write_all(reply.as_bytes())?;
-                    writer.write_all(b"\n")?;
-                    writer.flush()?;
+                    // a client may hang up right after sending shutdown;
+                    // the intent still stands, so ignore reply failures
+                    let _ = writer
+                        .write_all(reply.as_bytes())
+                        .and_then(|_| writer.write_all(b"\n"))
+                        .and_then(|_| writer.flush());
                     return Ok(true);
                 }
                 _ => err_line("protocol", "op must be query|stats|shutdown"),
@@ -308,10 +345,11 @@ fn main() -> ExitCode {
     // scraped by scripts — keep the format stable
     println!("twx-serve listening on {addr}");
     std::io::stdout().flush().ok();
+    let alphabet = corpus.catalog().snapshot();
     for stream in listener.incoming() {
         match stream {
             Err(e) => eprintln!("twx-serve: accept: {e}"),
-            Ok(s) => match serve_conn(s, &service) {
+            Ok(s) => match serve_conn(s, &service, &alphabet) {
                 Ok(true) => break,
                 Ok(false) => {}
                 Err(e) => eprintln!("twx-serve: connection: {e}"),

@@ -1,0 +1,124 @@
+//! NDJSON protocol-error tests for the `twx-serve` binary: malformed
+//! JSON, unknown ops, missing fields, unknown labels, and oversized
+//! requests must each come back as a typed `{"ok":false,"error":...}`
+//! line **on the same connection** — the socket must survive every one
+//! of them and still serve a healthy query afterwards.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    /// Spawns `twx-serve` on an ephemeral port with a small synthetic
+    /// corpus and scrapes the bound address from its stdout.
+    fn spawn() -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_twx-serve"))
+            .args([
+                "--port",
+                "0",
+                "--shards",
+                "2",
+                "--workers",
+                "2",
+                "--synthetic",
+                "4x12",
+                "--seed",
+                "7",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn twx-serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut first = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut first)
+            .expect("read listen line");
+        let addr = first
+            .trim()
+            .strip_prefix("twx-serve listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {first:?}"))
+            .to_string();
+        Server { child, addr }
+    }
+
+    fn connect(&self) -> TcpStream {
+        TcpStream::connect(&self.addr).expect("connect")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // best effort: ask politely (reading the reply so the server's
+        // write cannot race our hangup), then make sure it is gone
+        if let Ok(mut s) = TcpStream::connect(&self.addr) {
+            if writeln!(s, r#"{{"op":"shutdown"}}"#).is_ok() {
+                let mut reply = String::new();
+                let _ = BufReader::new(&s).read_line(&mut reply);
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Sends one line, reads one reply line.
+fn roundtrip(stream: &mut TcpStream, line: &str) -> String {
+    writeln!(stream, "{line}").expect("send");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("reply");
+    assert!(reply.ends_with('\n'), "reply not newline-terminated");
+    reply.trim().to_string()
+}
+
+#[test]
+fn protocol_errors_are_typed_and_do_not_drop_the_connection() {
+    let server = Server::spawn();
+    let mut conn = server.connect();
+
+    // 1. malformed JSON
+    let r = roundtrip(&mut conn, "{this is not json");
+    assert!(r.contains(r#""ok":false"#), "{r}");
+    assert!(r.contains(r#""error":"protocol""#), "{r}");
+
+    // 2. valid JSON, unknown op
+    let r = roundtrip(&mut conn, r#"{"op":"frobnicate"}"#);
+    assert!(r.contains(r#""error":"protocol""#), "{r}");
+
+    // 3. query op missing the query string
+    let r = roundtrip(&mut conn, r#"{"op":"query"}"#);
+    assert!(r.contains(r#""error":"protocol""#), "{r}");
+
+    // 4. unknown label: a typed engine error, not a dropped socket
+    let r = roundtrip(&mut conn, r#"{"op":"query","query":"down[ghost]"}"#);
+    assert!(r.contains(r#""ok":false"#), "{r}");
+    assert!(r.contains(r#""error":"engine""#), "{r}");
+    assert!(r.contains("ghost"), "{r}");
+
+    // 5. oversized request: > 64 KiB on one line
+    let huge = format!(
+        r#"{{"op":"query","query":"down[{}]"}}"#,
+        "x".repeat(70 * 1024)
+    );
+    let r = roundtrip(&mut conn, &huge);
+    assert!(r.contains(r#""error":"protocol""#), "{r}");
+    assert!(r.contains("exceeds"), "{r}");
+
+    // after all five failures, the same connection still serves queries
+    let r = roundtrip(&mut conn, r#"{"op":"query","query":"down*[b]"}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+
+    // and only the one healthy query ever reached the service — the
+    // unknown-label request was refused before submission
+    let r = roundtrip(&mut conn, r#"{"op":"stats"}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    assert!(r.contains(r#""submitted":1"#), "{r}");
+}

@@ -151,6 +151,15 @@ counters! {
     CompiledNtwaStates => "compiled_ntwa_states",
     /// Nested sub-automata produced by the automaton translation.
     CompiledNtwaSubtests => "compiled_ntwa_subtests",
+    /// Query/document pairs checked by the differential conformance
+    /// harness (one per fuzz iteration, all routes).
+    ConformChecks => "conform_checks",
+    /// Divergences the conformance harness detected (routes disagreeing
+    /// on an answer set).
+    ConformDivergences => "conform_divergences",
+    /// Accepted shrink steps while minimising a divergent repro (query
+    /// and document steps both count).
+    ConformShrinkSteps => "conform_shrink_steps",
     /// Nanoseconds spent evaluating (span timer).
     EvalNanos => "eval_nanos",
     /// Nanoseconds spent compiling/translating (span timer).
@@ -187,10 +196,20 @@ pub fn incr(c: Counter) {
 ///
 /// Without the `enabled` feature this is a zero-sized token and every
 /// delta is all-zero.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Snapshot {
     #[cfg(feature = "enabled")]
     values: [u64; N_COUNTERS],
+}
+
+// `[u64; N]: Default` only holds for N ≤ 32, so spell it out.
+impl Default for Snapshot {
+    fn default() -> Snapshot {
+        Snapshot {
+            #[cfg(feature = "enabled")]
+            values: [0; N_COUNTERS],
+        }
+    }
 }
 
 /// Captures the current counter values of this thread.
@@ -278,9 +297,17 @@ pub fn merge_local(delta: &Counters) {
 }
 
 /// An immutable bundle of counter values (a delta or an absolute view).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Counters {
     values: [u64; N_COUNTERS],
+}
+
+impl Default for Counters {
+    fn default() -> Counters {
+        Counters {
+            values: [0; N_COUNTERS],
+        }
+    }
 }
 
 impl Counters {

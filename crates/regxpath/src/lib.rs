@@ -36,6 +36,7 @@ pub mod generate;
 pub mod nfa;
 pub mod parser;
 pub mod print;
+pub mod shrink;
 pub mod simplify;
 
 pub use ast::{RNode, RPath};

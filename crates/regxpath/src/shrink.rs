@@ -1,0 +1,204 @@
+//! Query shrinking for counterexample minimisation.
+//!
+//! Deterministic single-step shrink candidates for Regular XPath(W)
+//! ASTs, in the QuickCheck tradition: every candidate is **strictly
+//! smaller** (by [`RPath::size`] / [`RNode::size`]) than the input, so a
+//! greedy minimiser that accepts any candidate terminates. The moves are
+//! the ones a human uses to minimise an XPath repro by hand — take one
+//! branch of a union or composition, strip a filter, shorten a star to
+//! its body (or to `ε`), collapse a test — applied at every position.
+//!
+//! Candidates are returned **smallest-first**, so a first-accept greedy
+//! scan takes the most aggressive cut that still reproduces a failure.
+
+use crate::ast::{RNode, RPath};
+
+/// All single-step shrink candidates of a path expression, each strictly
+/// smaller than `p`, ordered by ascending size (then syntactically, for
+/// determinism).
+pub fn shrink_rpath(p: &RPath) -> Vec<RPath> {
+    let mut out = Vec::new();
+    path_candidates(p, &mut out);
+    let bound = p.size();
+    out.retain(|c| c.size() < bound);
+    out.sort_by(|a, b| a.size().cmp(&b.size()).then_with(|| a.cmp(b)));
+    out.dedup();
+    out
+}
+
+/// All single-step shrink candidates of a node expression (see
+/// [`shrink_rpath`]).
+pub fn shrink_rnode(f: &RNode) -> Vec<RNode> {
+    let mut out = Vec::new();
+    node_candidates(f, &mut out);
+    let bound = f.size();
+    out.retain(|c| c.size() < bound);
+    out.sort_by(|a, b| a.size().cmp(&b.size()).then_with(|| a.cmp(b)));
+    out.dedup();
+    out
+}
+
+fn path_candidates(p: &RPath, out: &mut Vec<RPath>) {
+    match p {
+        RPath::Axis(_) | RPath::Eps => {}
+        RPath::Test(f) => {
+            out.push(RPath::Eps);
+            for g in shrink_rnode(f) {
+                out.push(RPath::test(g));
+            }
+        }
+        RPath::Seq(a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            for x in shrink_rpath(a) {
+                out.push(x.seq((**b).clone()));
+            }
+            for y in shrink_rpath(b) {
+                out.push((**a).clone().seq(y));
+            }
+        }
+        RPath::Union(a, b) => {
+            // "drop a disjunct"
+            out.push((**a).clone());
+            out.push((**b).clone());
+            for x in shrink_rpath(a) {
+                out.push(x.union((**b).clone()));
+            }
+            for y in shrink_rpath(b) {
+                out.push((**a).clone().union(y));
+            }
+        }
+        RPath::Star(a) => {
+            // "shorten the star": ε (zero iterations) or the body (one)
+            out.push(RPath::Eps);
+            out.push((**a).clone());
+            for x in shrink_rpath(a) {
+                out.push(x.star());
+            }
+        }
+        RPath::Filter(a, f) => {
+            // "strip the filter"
+            out.push((**a).clone());
+            out.push(RPath::test((**f).clone()));
+            for x in shrink_rpath(a) {
+                out.push(x.filter((**f).clone()));
+            }
+            for g in shrink_rnode(f) {
+                out.push((**a).clone().filter(g));
+            }
+        }
+    }
+}
+
+fn node_candidates(f: &RNode, out: &mut Vec<RNode>) {
+    match f {
+        RNode::True | RNode::Label(_) => {}
+        RNode::Some(a) => {
+            out.push(RNode::True);
+            for x in shrink_rpath(a) {
+                out.push(RNode::some(x));
+            }
+        }
+        RNode::Not(g) => {
+            out.push((**g).clone());
+            out.push(RNode::True);
+            for h in shrink_rnode(g) {
+                out.push(h.not());
+            }
+        }
+        RNode::And(g, h) | RNode::Or(g, h) => {
+            out.push((**g).clone());
+            out.push((**h).clone());
+            let rebuild: fn(RNode, RNode) -> RNode = if matches!(f, RNode::And(_, _)) {
+                RNode::and
+            } else {
+                RNode::or
+            };
+            for x in shrink_rnode(g) {
+                out.push(rebuild(x, (**h).clone()));
+            }
+            for y in shrink_rnode(h) {
+                out.push(rebuild((**g).clone(), y));
+            }
+        }
+        RNode::Within(g) => {
+            out.push((**g).clone());
+            for h in shrink_rnode(g) {
+                out.push(h.within());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Axis;
+    use crate::generate::{random_rnode, random_rpath, RGenConfig};
+    use twx_xtree::rng::SplitMix64;
+
+    #[test]
+    fn atoms_have_no_candidates() {
+        assert!(shrink_rpath(&RPath::Eps).is_empty());
+        assert!(shrink_rpath(&RPath::Axis(Axis::Down)).is_empty());
+        assert!(shrink_rnode(&RNode::True).is_empty());
+    }
+
+    #[test]
+    fn structural_moves_present() {
+        let d = RPath::Axis(Axis::Down);
+        let u = RPath::Axis(Axis::Up);
+        let union = d.clone().union(u.clone());
+        let cands = shrink_rpath(&union);
+        assert!(cands.contains(&d), "drop right disjunct");
+        assert!(cands.contains(&u), "drop left disjunct");
+
+        let star = d.clone().star();
+        let cands = shrink_rpath(&star);
+        assert!(cands.contains(&RPath::Eps), "star → ε");
+        assert!(cands.contains(&d), "star → body");
+
+        let filt = d.clone().filter(RNode::Label(twx_xtree::Label(0)));
+        assert!(shrink_rpath(&filt).contains(&d), "strip filter");
+    }
+
+    /// Every candidate is strictly smaller, so greedy shrinking
+    /// terminates; candidate lists are deterministic and sorted.
+    #[test]
+    fn candidates_strictly_smaller_and_sorted() {
+        let mut rng = SplitMix64::seed_from_u64(77);
+        let cfg = RGenConfig::default();
+        for _ in 0..60 {
+            let p = random_rpath(&cfg, 4, &mut rng);
+            let cands = shrink_rpath(&p);
+            assert_eq!(cands, shrink_rpath(&p), "deterministic");
+            for (i, c) in cands.iter().enumerate() {
+                assert!(c.size() < p.size(), "{c:?} not smaller than {p:?}");
+                if i > 0 {
+                    assert!(cands[i - 1].size() <= c.size(), "not sorted");
+                }
+            }
+            let f = random_rnode(&cfg, 4, &mut rng);
+            for c in shrink_rnode(&f) {
+                assert!(c.size() < f.size());
+            }
+        }
+    }
+
+    /// Greedily descending through candidates always reaches an atom.
+    #[test]
+    fn greedy_descent_terminates_at_an_atom() {
+        let mut rng = SplitMix64::seed_from_u64(8);
+        let cfg = RGenConfig::default();
+        for _ in 0..20 {
+            let mut p = random_rpath(&cfg, 5, &mut rng);
+            let mut steps = 0usize;
+            while let Some(next) = shrink_rpath(&p).into_iter().next() {
+                p = next;
+                steps += 1;
+                assert!(steps < 10_000, "runaway shrink");
+            }
+            assert!(p.size() <= 2, "stuck at {p:?}");
+        }
+    }
+}

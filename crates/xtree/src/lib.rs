@@ -39,6 +39,7 @@ pub mod nodeset;
 pub mod parse;
 pub mod rng;
 pub mod serialize;
+pub mod shrink;
 pub mod stats;
 pub mod traverse;
 pub mod tree;

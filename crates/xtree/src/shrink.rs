@@ -1,0 +1,120 @@
+//! Document shrinking for counterexample minimisation.
+//!
+//! When a differential harness finds a `(query, document)` pair on which
+//! two evaluation routes disagree, the document half of the repro is
+//! minimised by repeatedly **deleting whole subtrees** and re-checking
+//! the oracle. This module provides the deterministic candidate
+//! generator that drives that loop: every candidate is a valid tree that
+//! is strictly smaller than the input, and candidates are ordered so a
+//! greedy first-accept scan deletes the largest subtree it can.
+
+use crate::builder::TreeBuilder;
+use crate::tree::{NodeId, Tree};
+
+/// Returns `t` with the subtree rooted at `v` removed.
+///
+/// Siblings of `v` keep their order; all other structure is untouched
+/// (node ids are re-assigned in preorder as always).
+///
+/// # Panics
+/// If `v` is the root (a tree cannot be empty) or out of range.
+pub fn delete_subtree(t: &Tree, v: NodeId) -> Tree {
+    assert!(!t.is_root(v), "cannot delete the root subtree");
+    let span = (t.subtree_end(v) - v.0) as usize;
+    let mut b = TreeBuilder::with_capacity(t.len() - span);
+    enum Ev {
+        Open(NodeId),
+        Close,
+    }
+    let mut stack = vec![Ev::Open(t.root())];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Open(u) => {
+                if u == v {
+                    continue; // skip the whole subtree
+                }
+                b.open(t.label(u));
+                stack.push(Ev::Close);
+                // push children in reverse so they pop in document order
+                let mut children = Vec::new();
+                let mut c = t.first_child(u);
+                while let Some(w) = c {
+                    children.push(w);
+                    c = t.next_sibling(w);
+                }
+                for &w in children.iter().rev() {
+                    stack.push(Ev::Open(w));
+                }
+            }
+            Ev::Close => b.close(),
+        }
+    }
+    b.finish()
+}
+
+/// All single-step shrink candidates of `t`: one tree per deletable
+/// (non-root) subtree, **ordered smallest-result-first** — i.e. the
+/// candidate that deleted the largest subtree comes first, so a greedy
+/// minimiser makes the biggest cut it can at every step.
+///
+/// Every candidate is strictly smaller than `t` and valid; a single-node
+/// tree has no candidates.
+pub fn shrink_tree(t: &Tree) -> Vec<Tree> {
+    let mut victims: Vec<NodeId> = t.nodes().filter(|&v| !t.is_root(v)).collect();
+    // biggest subtree first; ties broken by id for determinism
+    victims.sort_by_key(|&v| (t.len() - (t.subtree_end(v) - v.0) as usize, v.0));
+    victims.into_iter().map(|v| delete_subtree(t, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_sexp;
+    use crate::serialize::to_sexp;
+
+    fn tree(s: &str) -> (Tree, crate::Alphabet) {
+        let d = parse_sexp(s).unwrap();
+        (d.tree, d.alphabet)
+    }
+
+    #[test]
+    fn deletes_leaf_and_internal_subtrees() {
+        let (t, ab) = tree("(a (b d e) c)");
+        // node ids: a=0 b=1 d=2 e=3 c=4
+        let no_b = delete_subtree(&t, NodeId(1));
+        assert_eq!(to_sexp(&no_b, &ab), "(a c)");
+        let no_d = delete_subtree(&t, NodeId(2));
+        assert_eq!(to_sexp(&no_d, &ab), "(a (b e) c)");
+        let no_c = delete_subtree(&t, NodeId(4));
+        assert_eq!(to_sexp(&no_c, &ab), "(a (b d e))");
+        for s in [&no_b, &no_d, &no_c] {
+            assert!(s.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn candidates_shrink_and_cover_every_subtree() {
+        let (t, _) = tree("(a (b d) c)");
+        let cands = shrink_tree(&t);
+        assert_eq!(cands.len(), t.len() - 1);
+        for c in &cands {
+            assert!(c.len() < t.len());
+            assert!(c.validate().is_ok());
+        }
+        // greedy order: the largest deletion (subtree b: 2 nodes) first
+        assert_eq!(cands[0].len(), 2);
+    }
+
+    #[test]
+    fn singleton_has_no_candidates() {
+        let (t, _) = tree("x");
+        assert!(shrink_tree(&t).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot delete the root")]
+    fn deleting_the_root_panics() {
+        let (t, _) = tree("(a b)");
+        delete_subtree(&t, t.root());
+    }
+}

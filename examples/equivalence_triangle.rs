@@ -55,6 +55,6 @@ fn main() {
     );
     match check_tri(&tri, &corpus) {
         None => println!("✓ the equivalence triangle commutes on the whole corpus"),
-        Some(m) => println!("✗ MISMATCH ({}) on tree {:?}", m.what, m.tree),
+        Some(m) => println!("✗ MISMATCH ({}) on tree {:?}", m.describe(), m.tree),
     }
 }

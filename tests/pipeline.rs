@@ -8,6 +8,7 @@ use treewalk::{Backend, Engine, EngineError, Prepared};
 use twx_core::{rpath_to_formula, rpath_to_ntwa};
 use twx_regxpath::eval::Compiled;
 use twx_regxpath::generate::{random_rpath, RGenConfig};
+use twx_regxpath::print::rpath_to_string;
 use twx_regxpath::simplify_rpath;
 use twx_xtree::generate::{enumerate_trees_up_to, random_document_in, Shape};
 use twx_xtree::parse::{parse_xml, parse_xml_catalog};
@@ -133,6 +134,100 @@ fn unknown_labels_are_typed_errors_but_catalogs_intern() {
     assert!(catalog.lookup("ghost").is_some(), "prepare_in interns");
     // `ghost` labels no node, so the filter selects nothing
     assert_eq!(p.eval(&doc2, doc2.tree.root()).count(), 0);
+}
+
+/// The full simplify + unsat-prune stage is **idempotent** — feeding a
+/// pipeline's output query back through the pipeline changes nothing —
+/// and never grows the AST, across 500 random queries per backend.
+#[test]
+fn simplify_and_prune_are_idempotent_and_never_grow() {
+    let catalog = Catalog::from_names(["p0", "p1"]);
+    let mut rng = SplitMix64::seed_from_u64(500);
+    let cfg = RGenConfig::default();
+    for backend in ALL_BACKENDS {
+        let engine = Engine::with_backend(backend);
+        for i in 0..500 {
+            let p = random_rpath(&cfg, 4, &mut rng);
+            // the bare rewriting fixpoint is idempotent on its own…
+            let s = simplify_rpath(&p);
+            assert_eq!(simplify_rpath(&s), s, "simplify not a fixpoint: {p:?}");
+            assert!(s.size() <= p.size(), "simplify grew {p:?} -> {s:?}");
+
+            // …and so is the engine's full staged pipeline (simplify +
+            // unsat-prune + re-simplify), observed through `path()`.
+            let text = rpath_to_string(&p, &catalog.snapshot());
+            let prepared = engine.prepare_in(&catalog, &text).unwrap();
+            let once = prepared.path().clone();
+            assert!(
+                once.size() <= prepared.raw_size(),
+                "{} query {i}: pipeline grew {} -> {} ({text})",
+                backend.name(),
+                prepared.raw_size(),
+                once.size()
+            );
+            let again = engine
+                .prepare_in(&catalog, &rpath_to_string(&once, &catalog.snapshot()))
+                .unwrap();
+            assert_eq!(
+                *again.path(),
+                once,
+                "{} query {i}: pipeline not idempotent for {text}",
+                backend.name()
+            );
+        }
+    }
+}
+
+/// FIFO eviction under contention: 8 threads push 48 thread-disjoint
+/// distinct queries through a capacity-8 cache. Keys never collide across
+/// threads, so inserts == misses exactly, and the FIFO invariant
+/// `evictions == inserts − capacity` must hold; the scoped join doubles
+/// as the no-deadlock check.
+#[test]
+fn plan_cache_fifo_eviction_under_contention() {
+    const CAPACITY: usize = 8;
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 6;
+    let engine = Engine::with_cache_capacity(Backend::Product, CAPACITY);
+    let catalog = Catalog::from_names(["a"]);
+
+    std::thread::scope(|s| {
+        for i in 0..THREADS {
+            let engine = engine.clone();
+            let catalog = &catalog;
+            s.spawn(move || {
+                for j in 0..PER_THREAD {
+                    // a down-chain of thread-unique length: 48 distinct
+                    // simplified ASTs, so every lookup is a cold miss
+                    let len = i * PER_THREAD + j + 1;
+                    let q = vec!["down"; len].join("/");
+                    engine.prepare_in(catalog, &q).unwrap();
+                }
+            });
+        }
+    });
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.capacity, CAPACITY);
+    assert_eq!(stats.entries, CAPACITY, "cache must sit at capacity");
+    assert_eq!(stats.hits, 0, "disjoint keys cannot hit");
+    assert_eq!(stats.misses, (THREADS * PER_THREAD) as u64);
+    assert_eq!(
+        stats.evictions,
+        stats.misses - CAPACITY as u64,
+        "FIFO invariant: evictions == inserts − capacity"
+    );
+
+    // determinism coda: one more distinct query misses and evicts, its
+    // immediate re-prepare hits
+    let q = vec!["down"; THREADS * PER_THREAD + 1].join("/");
+    engine.prepare_in(&catalog, &q).unwrap();
+    engine.prepare_in(&catalog, &q).unwrap();
+    let after = engine.cache_stats();
+    assert_eq!(after.hits, 1);
+    assert_eq!(after.misses, stats.misses + 1);
+    assert_eq!(after.evictions, stats.evictions + 1);
+    assert_eq!(after.entries, CAPACITY);
 }
 
 /// The mandatory simplify stage is visible in EXPLAIN profiles: passes are

@@ -29,7 +29,11 @@ fn triangle_commutes_on_handcrafted_queries() {
         let p = parse_rpath(src, &mut ab).unwrap_or_else(|e| panic!("parse {src}: {e}"));
         let q = TriQuery::from_xpath(&p);
         if let Some(m) = check_tri(&q, &corpus) {
-            panic!("triangle broken ({}) for {src} on {:?}", m.what, m.tree);
+            panic!(
+                "triangle broken ({}) for {src} on {:?}",
+                m.describe(),
+                m.tree
+            );
         }
     }
 }
