@@ -22,7 +22,21 @@ say "docs (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 say "test suite"
-cargo test -q --workspace
+test_log="$(mktemp -t twx_tests.XXXXXX.log)"
+cargo test -q --workspace 2>&1 | tee "$test_log"
+
+say "test-count floor"
+# the suite only ever grows: 449 tests passed when the live-corpus PR
+# landed; a silent drop below that means tests were lost, not fixed
+python3 - "$test_log" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+passed = sum(int(m) for m in re.findall(r"(\d+) passed", text))
+assert "FAILED" not in text, "test suite reported failures"
+assert passed >= 449, f"test count regressed: {passed} < 449"
+print(f"test-count floor: {passed} tests passed (floor 449)")
+EOF
+rm -f "$test_log"
 
 say "test suite (release)"
 cargo test -q --release --workspace
@@ -46,6 +60,39 @@ print("twx-fuzz: 300 iterations +", doc["replayed"],
 EOF
 rm -f "$fuzz_out"
 
+say "mutation fuzz gate (live corpus + result cache)"
+mut_out="$(mktemp -t twx_mutate.XXXXXX.json)"
+./target/release/twx-fuzz --mutate --seed 42 --iters 300 > "$mut_out"
+python3 - "$mut_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "twx-fuzz-mutate/1", doc.get("schema")
+assert doc["iterations"] == 300, doc["iterations"]
+assert doc["divergences"] == 0, doc
+print("twx-fuzz --mutate: 300 edit scripts through the result cache,",
+      "0 divergences in", doc["elapsed_ms"], "ms")
+EOF
+rm -f "$mut_out"
+
+say "mutation fault self-test (cache=skip-invalidate must be caught)"
+fault_out="$(mktemp -t twx_mutate_fault.XXXXXX.json)"
+if ./target/release/twx-fuzz --mutate --seed 42 --iters 300 \
+    --fault cache=skip-invalidate > "$fault_out"; then
+  echo "unsound invalidation was NOT caught" >&2
+  exit 1
+fi
+python3 - "$fault_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["fault"] == "cache=skip-invalidate", doc.get("fault")
+assert doc["divergences"] > 0, "fault injected but no divergence found"
+for d in doc["found"]:
+    assert d["edits"] <= 6, f"shrunk repro still has {d['edits']} edits"
+print("fault self-test:", doc["divergences"], "divergences caught,",
+      "max", max(d["edits"] for d in doc["found"]), "edit(s) after shrinking")
+EOF
+rm -f "$fault_out"
+
 say "harness smoke run"
 out="$(mktemp -t bench_harness.XXXXXX.json)"
 trap 'rm -f "$out"' EXIT
@@ -55,7 +102,7 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "twx-bench/1", doc.get("schema")
 assert doc["obs_enabled"] is True
-assert len(doc["experiments"]) == 10, len(doc["experiments"])
+assert len(doc["experiments"]) == 11, len(doc["experiments"])
 assert len(doc["quickstart_profiles"]) == 3
 for p in doc["quickstart_profiles"]:
     assert p["result_count"] == 2, p
@@ -71,10 +118,20 @@ for point in e10["shards"]:
 sat = e10["saturation"]
 assert sat["rejected"] > 0, sat
 assert sat["admitted"] + sat["rejected"] == sat["submitted"], sat
+e11 = doc["e11"]
+assert e11["speedup"] >= 5, e11["speedup"]
+rc = e11["result_cache"]
+assert rc["hit_rate"] > 0.5, rc
+assert rc["carried"] > 0 and rc["invalidated"] > 0, rc
+prec = e11["precision"]
+assert prec["hit_after_disjoint_edit"] is True, prec
+assert prec["miss_after_overlapping_edit"] is True, prec
 print("BENCH_HARNESS.json: schema ok,", len(doc["experiments"]), "experiments,",
       len(doc["quickstart_profiles"]), "profiles, plan cache", cache)
 print("e10:", len(e10["shards"]), "shard counts,",
       sat["rejected"], "of", sat["submitted"], "burst requests rejected")
+print("e11: %.1fx speedup, %.0f%% hit rate, %d carried / %d invalidated"
+      % (e11["speedup"], 100 * rc["hit_rate"], rc["carried"], rc["invalidated"]))
 EOF
 
 say "twx-serve round trip"
@@ -104,13 +161,20 @@ def rpc(req):
 r = rpc({"op": "query", "query": "down*[b]"})
 assert r["ok"] and r["matches"] > 0 and len(r["docs"]) == 6, r
 assert len(r["shards"]) == 2 and not r["timed_out"], r
+up = rpc({"op": "update", "doc": 0,
+          "edit": {"op": "relabel", "node": 0, "label": "b"}})
+assert up["ok"] and up["version"] == 1 and up["seq"] == 1, up
+r2 = rpc({"op": "query", "query": "down*[b]"})
+assert r2["ok"], r2
+assert {"doc": 0, "version": 1} .items() <= r2["docs"][0].items(), r2["docs"][0]
 bad = rpc({"op": "query", "query": "down["})
 assert not bad["ok"] and bad["error"] == "engine", bad
 st = rpc({"op": "stats"})
-assert st["ok"] and st["completed"] == 1 and st["workers"] == 2, st
+assert st["ok"] and st["completed"] == 2 and st["workers"] == 2, st
+assert st["updates"] == 1, st
 bye = rpc({"op": "shutdown"})
 assert bye["ok"] and bye["shutting_down"], bye
-print("twx-serve: query/stats/shutdown round trip ok on port", sys.argv[1])
+print("twx-serve: query/update/stats/shutdown round trip ok on port", sys.argv[1])
 EOF
 wait "$serve_pid"
 

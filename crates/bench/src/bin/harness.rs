@@ -54,7 +54,7 @@ fn parse_args() -> Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("harness: {msg}");
-    eprintln!("usage: harness [--quick] [--seed <u64>] [--json <path>] [e1 .. e10]");
+    eprintln!("usage: harness [--quick] [--seed <u64>] [--json <path>] [e1 .. e11]");
     std::process::exit(2)
 }
 
@@ -103,8 +103,18 @@ fn main() {
         ("e9", experiments::e9_plan_cache::run),
     ];
 
+    // experiments with a structured summary exported as a top-level
+    // field (per-shard serving stats for e10, live-corpus cache stats
+    // for e11) run outside the plain-table registry
+    type FullRunner = fn(&RunCfg) -> (Table, Json);
+    let full_runners: [(&str, FullRunner); 2] = [
+        ("e10", experiments::e10_corpus_serve::run_full),
+        ("e11", experiments::e11_live_corpus::run_full),
+    ];
+
     for sel in &args.selected {
-        if sel != "e10" && !runners.iter().any(|(id, _)| id == sel) {
+        if !runners.iter().any(|(id, _)| id == sel) && !full_runners.iter().any(|(id, _)| id == sel)
+        {
             die(&format!("unknown experiment id {sel}"));
         }
     }
@@ -133,33 +143,37 @@ fn main() {
         );
     }
 
-    // E10 runs outside the plain-table registry: its structured summary
-    // (per-shard throughput/percentiles + saturation counts) is exported
-    // as a top-level field so downstream checks don't parse table cells.
-    let mut e10_summary = Json::Null;
-    if args.selected.is_empty() || args.selected.iter().any(|s| s == "e10") {
-        let t0 = std::time::Instant::now();
-        let (table, summary) = experiments::e10_corpus_serve::run_full(&args.cfg);
-        let elapsed_us = t0.elapsed().as_secs_f64() * 1e6;
-        println!("{}", table.render());
-        println!("  [e10 completed in {:.2?}]\n", t0.elapsed());
-        exported.push(
-            Json::obj()
-                .field("id", "e10")
-                .field("elapsed_us", elapsed_us)
-                .field("table", table.to_json()),
-        );
-        e10_summary = summary;
+    let mut summaries: Vec<(&str, Json)> = Vec::new();
+    for (id, run_full) in full_runners {
+        let mut summary = Json::Null;
+        if args.selected.is_empty() || args.selected.iter().any(|s| s == id) {
+            let t0 = std::time::Instant::now();
+            let (table, s) = run_full(&args.cfg);
+            let elapsed_us = t0.elapsed().as_secs_f64() * 1e6;
+            println!("{}", table.render());
+            println!("  [{id} completed in {:.2?}]\n", t0.elapsed());
+            exported.push(
+                Json::obj()
+                    .field("id", id)
+                    .field("elapsed_us", elapsed_us)
+                    .field("table", table.to_json()),
+            );
+            summary = s;
+        }
+        summaries.push((id, summary));
     }
 
     let (profiles, plan_cache) = quickstart_profiles();
-    let doc = Json::obj()
+    let mut doc = Json::obj()
         .field("schema", "twx-bench/1")
         .field("mode", if args.cfg.quick { "quick" } else { "full" })
         .field("seed", args.cfg.seed)
         .field("obs_enabled", twx_obs::ENABLED)
-        .field("experiments", Json::Arr(exported))
-        .field("e10", e10_summary)
+        .field("experiments", Json::Arr(exported));
+    for (id, summary) in summaries {
+        doc = doc.field(id, summary);
+    }
+    let doc = doc
         .field("quickstart_profiles", Json::Arr(profiles))
         .field("plan_cache", plan_cache);
     let rendered = doc.render();

@@ -2,6 +2,7 @@
 //! `EXPERIMENTS.md` for the index).
 
 pub mod e10_corpus_serve;
+pub mod e11_live_corpus;
 pub mod e1_core_eval;
 pub mod e2_regxpath_eval;
 pub mod e3_translations;
@@ -27,6 +28,7 @@ pub fn run_all(cfg: &RunCfg) -> Vec<Table> {
         e8_separation::run(cfg),
         e9_plan_cache::run(cfg),
         e10_corpus_serve::run(cfg),
+        e11_live_corpus::run(cfg),
     ]
 }
 

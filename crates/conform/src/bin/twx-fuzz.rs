@@ -3,7 +3,8 @@
 //! ```text
 //! twx-fuzz [--seed N] [--iters N] [--time-budget SECS] [--max-depth N]
 //!          [--max-doc-nodes N] [--labels N] [--replay PATH]
-//!          [--corpus PATH] [--fault ROUTE=KIND] [--no-shrink]
+//!          [--corpus PATH] [--fault ROUTE=KIND|cache=KIND] [--no-shrink]
+//!          [--mutate]
 //! ```
 //!
 //! Replays the regression corpus (if `--replay` is given), then runs the
@@ -12,24 +13,34 @@
 //! with `--corpus`, appended to the golden `.jsonl` file. Exit status:
 //! `0` all routes agreed everywhere, `1` any divergence (fuzzed or
 //! replayed), `2` usage error.
+//!
+//! With `--mutate` the loop instead interleaves random typed edits with
+//! queries on a live versioned document, checking the engine's result
+//! cache against a recompute-from-scratch oracle on every answer
+//! (`"schema":"twx-fuzz-mutate/1"`). In this mode `--fault` takes the
+//! `cache=skip-invalidate` form, which commits edits without telling the
+//! cache which span they touched — the self-test that proves a broken
+//! invalidation pass would be caught and shrunk.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use twx_conform::{corpus, run_fuzz, Fault, FuzzConfig, Repro};
+use twx_conform::{corpus, run_fuzz, run_mutation_fuzz, CacheFault, Fault, FuzzConfig, Repro};
 use twx_obs::json::Json;
 
 struct Args {
     cfg: FuzzConfig,
     replay: Option<PathBuf>,
     corpus: Option<PathBuf>,
+    mutate: bool,
+    cache_fault: Option<CacheFault>,
 }
 
 fn usage() -> String {
     "usage: twx-fuzz [--seed N] [--iters N] [--time-budget SECS] [--max-depth N] \
      [--max-doc-nodes N] [--labels N] [--replay PATH] [--corpus PATH] \
-     [--fault ROUTE=KIND] [--no-shrink]"
+     [--fault ROUTE=KIND|cache=KIND] [--no-shrink] [--mutate]"
         .to_string()
 }
 
@@ -38,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
         cfg: FuzzConfig::default(),
         replay: None,
         corpus: None,
+        mutate: false,
+        cache_fault: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,7 +74,15 @@ fn parse_args() -> Result<Args, String> {
             "--labels" => args.cfg.labels = parse_num(&value("--labels")?)? as usize,
             "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
             "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus")?)),
-            "--fault" => args.cfg.fault = Some(Fault::parse(&value("--fault")?)?),
+            "--fault" => {
+                let spec = value("--fault")?;
+                if spec.starts_with("cache=") {
+                    args.cache_fault = Some(CacheFault::parse(&spec)?);
+                } else {
+                    args.cfg.fault = Some(Fault::parse(&spec)?);
+                }
+            }
+            "--mutate" => args.mutate = true,
             "--no-shrink" => args.cfg.shrink = false,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -85,6 +106,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.cache_fault.is_some() && !args.mutate {
+        eprintln!("twx-fuzz: cache faults need --mutate\n{}", usage());
+        return ExitCode::from(2);
+    }
+    if args.mutate {
+        return run_mutate(&args);
+    }
 
     // Phase 1: replay the golden corpus.
     let mut replayed = 0u64;
@@ -145,6 +173,27 @@ fn main() -> ExitCode {
     println!("{}", summary.render());
 
     if report.divergences.is_empty() && replay_divergences == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// The `--mutate` mode: live-document edit/query fuzzing against the
+/// result cache, same corpus-append and exit-status conventions.
+fn run_mutate(args: &Args) -> ExitCode {
+    let report = run_mutation_fuzz(&args.cfg, args.cache_fault);
+    for d in &report.divergences {
+        eprintln!("twx-fuzz: CACHE DIVERGENCE {}", d.describe());
+        if let Some(path) = &args.corpus {
+            let repro = Repro::from_mutation(d, "found by twx-fuzz --mutate");
+            if let Err(e) = corpus::append(path, &repro) {
+                eprintln!("twx-fuzz: cannot append to {}: {e}", path.display());
+            }
+        }
+    }
+    println!("{}", report.to_json().render());
+    if report.divergences.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

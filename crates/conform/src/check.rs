@@ -164,7 +164,7 @@ impl Conformer {
         if answer.timed_out {
             return Err("service: timed out".to_string());
         }
-        let [(_, a), (_, b)] = &answer.per_doc[..] else {
+        let [(_, _, a), (_, _, b)] = &answer.per_doc[..] else {
             return Err(format!(
                 "service: expected 2 per-doc answers, got {}",
                 answer.per_doc.len()

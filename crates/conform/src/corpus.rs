@@ -22,9 +22,17 @@ use twx_regxpath::parser::parse_rpath_catalog;
 use twx_xtree::parse::parse_sexp_catalog;
 use twx_xtree::Catalog;
 
+use crate::mutate::{run_script, MutDivergence, ScriptOp};
 use crate::{Conformer, Divergence};
 
 /// One regression-corpus entry.
+///
+/// When `ops` is non-empty the entry is a **mutation** repro: `doc` is
+/// the base document and `ops` a [`ScriptOp`]
+/// script (edits interleaved with queries) replayed through the engine +
+/// result cache against the naive oracle; `query` then records the
+/// failing query for human readers. Plain entries leave `ops` empty and
+/// replay through the cross-route [`Conformer`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Repro {
     /// The query in surface syntax.
@@ -35,17 +43,28 @@ pub struct Repro {
     pub seed: u64,
     /// Why the line exists — shown when the replay fails.
     pub note: String,
+    /// Mutation script lines (empty for plain cross-route repros).
+    pub ops: Vec<String>,
 }
 
 impl Repro {
     /// Serialises to one JSON line (no trailing newline).
     pub fn to_line(&self) -> String {
-        Json::obj()
+        let mut j = Json::obj()
             .field("query", self.query.as_str())
             .field("doc", self.doc.as_str())
             .field("seed", self.seed)
-            .field("note", self.note.as_str())
-            .render()
+            .field("note", self.note.as_str());
+        if !self.ops.is_empty() {
+            j = j.field(
+                "ops",
+                self.ops
+                    .iter()
+                    .map(|o| Json::from(o.as_str()))
+                    .collect::<Vec<Json>>(),
+            );
+        }
+        j.render()
     }
 
     /// Parses one JSON line. `note` is optional; `query` and `doc` are
@@ -66,6 +85,20 @@ impl Repro {
             Some(_) => return Err("repro field 'seed' is not an integer".to_string()),
             None => return Err("repro line missing 'seed'".to_string()),
         };
+        let ops = match get("ops") {
+            Some(Json::Arr(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        Json::Str(s) => out.push(s.clone()),
+                        _ => return Err("repro field 'ops' holds a non-string".to_string()),
+                    }
+                }
+                out
+            }
+            Some(_) => return Err("repro field 'ops' is not an array".to_string()),
+            None => Vec::new(),
+        };
         Ok(Repro {
             query: str_field("query")?,
             doc: str_field("doc")?,
@@ -74,6 +107,7 @@ impl Repro {
                 Some(Json::Str(s)) => s.clone(),
                 _ => String::new(),
             },
+            ops,
         })
     }
 
@@ -84,14 +118,42 @@ impl Repro {
             doc: d.doc_sexp.clone(),
             seed: d.seed,
             note: note.to_string(),
+            ops: Vec::new(),
         }
     }
 
-    /// Replays this repro through a fresh [`Conformer`] over its own
-    /// catalog (query labels interned first, then document labels — the
-    /// same order the fuzzer saw them). Returns the divergence if the
-    /// repro still reproduces, `Ok(None)` if the routes now agree.
+    /// Builds the mutation repro recorded for a (usually shrunk) cache
+    /// divergence: base document + full op script + failing query.
+    pub fn from_mutation(d: &MutDivergence, note: &str) -> Repro {
+        Repro {
+            query: d.query().to_string(),
+            doc: d.doc_sexp.clone(),
+            seed: d.seed,
+            note: note.to_string(),
+            ops: d.ops.iter().map(ScriptOp::to_line).collect(),
+        }
+    }
+
+    /// Replays this repro. Plain entries go through a fresh cross-route
+    /// [`Conformer`] over their own catalog (query labels interned first,
+    /// then document labels — the same order the fuzzer saw them);
+    /// mutation entries re-execute their op script through the engine +
+    /// result cache via [`run_script`] with no fault. Returns the
+    /// divergence if the repro still reproduces, `Ok(None)` if the
+    /// routes (or the cache and the oracle) now agree.
     pub fn replay(&self) -> Result<Option<Divergence>, String> {
+        if !self.ops.is_empty() {
+            let ops = self
+                .ops
+                .iter()
+                .map(|l| ScriptOp::from_line(l))
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut div = run_script(&self.doc, &ops, None)?;
+            if let Some(d) = &mut div {
+                d.seed = self.seed;
+            }
+            return Ok(div.map(|d| d.to_divergence()));
+        }
         let catalog = Arc::new(Catalog::new());
         parse_rpath_catalog(&self.query, &catalog)
             .map_err(|e| format!("repro query `{}`: {e}", self.query))?;
@@ -145,8 +207,37 @@ mod tests {
             doc: "(a (b \"x y\") b)".to_string(),
             seed: 99,
             note: "quotes survive".to_string(),
+            ops: Vec::new(),
         };
         assert_eq!(Repro::from_line(&r.to_line()).unwrap(), r);
+        // ops extension survives the roundtrip, and stays off plain lines
+        assert!(!r.to_line().contains("\"ops\""));
+        let m = Repro {
+            ops: vec!["query 0 down".to_string(), "relabel 1 a".to_string()],
+            ..r
+        };
+        assert_eq!(Repro::from_line(&m.to_line()).unwrap(), m);
+    }
+
+    #[test]
+    fn mutation_repro_replays_through_the_cache() {
+        let clean = Repro {
+            query: "down*[b]".to_string(),
+            doc: "(a (b c) b)".to_string(),
+            seed: 5,
+            note: String::new(),
+            ops: vec![
+                "query 0 down*[b]".to_string(),
+                "relabel 1 a".to_string(),
+                "query 0 down*[b]".to_string(),
+            ],
+        };
+        assert!(clean.replay().unwrap().is_none());
+        let broken = Repro {
+            ops: vec!["query 0 bogus[".to_string()],
+            ..clean
+        };
+        assert!(broken.replay().is_err());
     }
 
     #[test]
@@ -164,6 +255,7 @@ mod tests {
             doc: "(a (b a) b)".to_string(),
             seed: 0,
             note: String::new(),
+            ops: Vec::new(),
         };
         assert!(r.replay().unwrap().is_none());
     }
@@ -178,6 +270,7 @@ mod tests {
             doc: "(a)".to_string(),
             seed: 1,
             note: String::new(),
+            ops: Vec::new(),
         };
         append(&path, &r).unwrap();
         let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();

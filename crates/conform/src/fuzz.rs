@@ -130,7 +130,7 @@ impl FuzzReport {
 }
 
 /// Label names `a`, `b`, …, `z`, `l26`, `l27`, … for the shared catalog.
-fn label_names(n: usize) -> Vec<String> {
+pub(crate) fn label_names(n: usize) -> Vec<String> {
     (0..n)
         .map(|i| {
             if i < 26 {
@@ -142,7 +142,7 @@ fn label_names(n: usize) -> Vec<String> {
         .collect()
 }
 
-const SHAPES: [Shape; 5] = [
+pub(crate) const SHAPES: [Shape; 5] = [
     Shape::Recursive,
     Shape::Deep(2),
     Shape::Bounded(3),

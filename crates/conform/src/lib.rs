@@ -21,6 +21,12 @@
 //!   forever by `tests/conformance.rs` at the workspace root.
 //! * [`fuzz::run_fuzz`] is the seeded driver behind the `twx-fuzz`
 //!   binary, with per-route timing drawn from `twx-obs` counters.
+//! * [`mutate::run_mutation_fuzz`] (`twx-fuzz --mutate`) interleaves
+//!   random typed edits with queries on a live versioned document,
+//!   checking the engine's result cache — with its precise,
+//!   affected-span invalidation — against a recompute-from-scratch
+//!   oracle on every answer, and shrinking any divergence over the edit
+//!   script as well as the query and the document.
 //!
 //! A test-only [`Fault`] hook mutates one route's answer post-hoc, so the
 //! harness can prove it *would* catch a broken backend and that the
@@ -31,11 +37,13 @@
 pub mod check;
 pub mod corpus;
 pub mod fuzz;
+pub mod mutate;
 pub mod shrink;
 
 pub use check::Conformer;
 pub use corpus::Repro;
 pub use fuzz::{run_fuzz, FuzzConfig, FuzzReport};
+pub use mutate::{run_mutation_fuzz, CacheFault, MutationReport, ScriptOp};
 pub use shrink::{minimize, ShrinkOutcome};
 
 use treewalk::Backend;

@@ -1,0 +1,702 @@
+//! Mutation fuzzing: random edit/query interleavings on a live document.
+//!
+//! Where [`crate::fuzz`] checks that every *route* agrees on a static
+//! `(query, document)` pair, this module checks that the **result cache
+//! with precise invalidation** stays correct while the document changes
+//! underneath it. Each trial generates a script of [`ScriptOp`]s — typed
+//! edits and queries — and executes it against a
+//! [`VersionedDocument`] fronted by an [`Engine`] and a [`ResultCache`];
+//! every query answer (cached or not) is compared against a
+//! recompute-from-scratch [`eval_rel_naive`] oracle on the pinned
+//! snapshot. A divergence is shrunk over the *edit script* as well as
+//! the query and the document, and serialises into the golden corpus via
+//! the `ops` extension of [`crate::Repro`].
+//!
+//! The test-only [`CacheFault::SkipInvalidate`] hook commits an edit but
+//! moves the cache's version forward **without** span filtering — the
+//! precise unsoundness a broken invalidation pass would introduce — so
+//! the harness can prove it would catch one.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use treewalk::{Backend, Engine, ResultCache};
+use twx_obs::json::Json;
+use twx_regxpath::eval_naive::eval_rel_naive;
+use twx_regxpath::generate::{random_rpath, RGenConfig};
+use twx_regxpath::parser::parse_rpath_catalog;
+use twx_regxpath::print::rpath_to_string;
+use twx_regxpath::shrink::shrink_rpath;
+use twx_xtree::edit::{apply_edit, random_edit, Edit};
+use twx_xtree::generate::random_document_in;
+use twx_xtree::parse::parse_sexp_catalog;
+use twx_xtree::rng::{Rng, SplitMix64};
+use twx_xtree::serialize::to_sexp;
+use twx_xtree::shrink::shrink_tree;
+use twx_xtree::{Catalog, NodeId, NodeSet, Tree, VersionedDocument};
+
+use crate::fuzz::{label_names, FuzzConfig, SHAPES};
+use crate::{Divergence, RouteId};
+
+/// A deliberate corruption of the edit→cache protocol, injected between
+/// committing an edit and telling the result cache about it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheFault {
+    /// Bump the cache's notion of the document version without filtering
+    /// entries against the affected span — every cached answer survives
+    /// an edit it may depend on.
+    SkipInvalidate,
+}
+
+impl CacheFault {
+    /// Parses the `cache=<kind>` form of a `--fault` spec.
+    pub fn parse(spec: &str) -> Result<CacheFault, String> {
+        match spec.strip_prefix("cache=") {
+            Some("skip-invalidate") => Ok(CacheFault::SkipInvalidate),
+            Some(other) => Err(format!("unknown cache fault kind '{other}'")),
+            None => Err(format!("cache fault spec '{spec}' is not cache=<kind>")),
+        }
+    }
+
+    /// Stable name for JSON summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheFault::SkipInvalidate => "cache=skip-invalidate",
+        }
+    }
+}
+
+/// One step of a mutation script. Labels are carried by *name* and node
+/// ids are pre-edit preorder ids, so a script is self-contained text —
+/// see [`ScriptOp::to_line`] / [`ScriptOp::from_line`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Evaluate `query` from context node `ctx` (clamped to the current
+    /// document length) through the engine + result cache, and check the
+    /// answer against the naive oracle on the same snapshot.
+    Query { ctx: u32, query: String },
+    /// Relabel node `node` to `label`.
+    Relabel { node: u32, label: String },
+    /// Insert a fresh `label` leaf as child `position` of `parent`.
+    Insert {
+        parent: u32,
+        position: u32,
+        label: String,
+    },
+    /// Remove the subtree rooted at `node`.
+    Remove { node: u32 },
+}
+
+impl ScriptOp {
+    /// Renders one op as a line of the script language:
+    /// `query <ctx> <query…>` | `relabel <node> <label>` |
+    /// `insert <parent> <position> <label>` | `remove <node>`.
+    pub fn to_line(&self) -> String {
+        match self {
+            ScriptOp::Query { ctx, query } => format!("query {ctx} {query}"),
+            ScriptOp::Relabel { node, label } => format!("relabel {node} {label}"),
+            ScriptOp::Insert {
+                parent,
+                position,
+                label,
+            } => format!("insert {parent} {position} {label}"),
+            ScriptOp::Remove { node } => format!("remove {node}"),
+        }
+    }
+
+    /// Inverse of [`ScriptOp::to_line`].
+    pub fn from_line(line: &str) -> Result<ScriptOp, String> {
+        let line = line.trim();
+        let (head, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("script op '{line}' has no operands"))?;
+        let num = |s: &str| -> Result<u32, String> {
+            s.parse()
+                .map_err(|e| format!("script op '{line}': bad number '{s}': {e}"))
+        };
+        match head {
+            "query" => {
+                let (ctx, query) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| format!("script op '{line}' needs a context and a query"))?;
+                Ok(ScriptOp::Query {
+                    ctx: num(ctx)?,
+                    query: query.to_string(),
+                })
+            }
+            "relabel" => {
+                let (node, label) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| format!("script op '{line}' needs a node and a label"))?;
+                Ok(ScriptOp::Relabel {
+                    node: num(node)?,
+                    label: label.trim().to_string(),
+                })
+            }
+            "insert" => {
+                let mut it = rest.split_whitespace();
+                let (Some(parent), Some(position), Some(label), None) =
+                    (it.next(), it.next(), it.next(), it.next())
+                else {
+                    return Err(format!(
+                        "script op '{line}' needs a parent, a position, and a label"
+                    ));
+                };
+                Ok(ScriptOp::Insert {
+                    parent: num(parent)?,
+                    position: num(position)?,
+                    label: label.to_string(),
+                })
+            }
+            "remove" => Ok(ScriptOp::Remove {
+                node: num(rest.trim())?,
+            }),
+            other => Err(format!(
+                "unknown script op '{other}' (one of: query, relabel, insert, remove)"
+            )),
+        }
+    }
+
+    fn is_edit(&self) -> bool {
+        !matches!(self, ScriptOp::Query { .. })
+    }
+}
+
+/// Count of edit (non-query) ops in a script.
+pub fn edit_count(ops: &[ScriptOp]) -> usize {
+    ops.iter().filter(|o| o.is_edit()).count()
+}
+
+/// A cached answer that disagreed with the recompute-from-scratch oracle.
+#[derive(Clone, Debug)]
+pub struct MutDivergence {
+    /// The base document (before any edit), as an s-expression.
+    pub doc_sexp: String,
+    /// The (possibly shrunk) script; the failing query is the op at
+    /// [`MutDivergence::fail_index`].
+    pub ops: Vec<ScriptOp>,
+    /// The trial seed that produced the script (0 for replays).
+    pub seed: u64,
+    /// Index of the failing [`ScriptOp::Query`] within `ops`.
+    pub fail_index: usize,
+    /// The oracle's answer on the pinned snapshot.
+    pub expected: Vec<u32>,
+    /// What the engine + result cache returned.
+    pub got: Vec<u32>,
+}
+
+impl MutDivergence {
+    /// The failing query's surface syntax.
+    pub fn query(&self) -> &str {
+        match &self.ops[self.fail_index] {
+            ScriptOp::Query { query, .. } => query,
+            _ => unreachable!("fail_index always names a query op"),
+        }
+    }
+
+    /// One-line human summary.
+    pub fn describe(&self) -> String {
+        format!(
+            "script [{}] on {} : cached answer {:?} disagrees with oracle {:?} at op {}",
+            self.ops
+                .iter()
+                .map(ScriptOp::to_line)
+                .collect::<Vec<_>>()
+                .join("; "),
+            self.doc_sexp,
+            self.got,
+            self.expected,
+            self.fail_index,
+        )
+    }
+
+    /// Projects onto the cross-route [`Divergence`] shape so mutation
+    /// repros flow through the same corpus/replay machinery. The
+    /// disagreeing route is the cached engine path — a hot
+    /// [`Backend::Product`] engine fronted by the result cache.
+    pub fn to_divergence(&self) -> Divergence {
+        Divergence {
+            query: self.query().to_string(),
+            doc_sexp: self.doc_sexp.clone(),
+            seed: self.seed,
+            reference: self.expected.clone(),
+            disagreeing: vec![(RouteId::Hot(Backend::Product), Ok(self.got.clone()))],
+        }
+    }
+}
+
+/// Executes `ops` against `doc_sexp` through an engine + result cache,
+/// checking every query against the naive oracle on the same snapshot.
+/// Returns the first divergence, `Ok(None)` on a clean run, and `Err`
+/// only if the document or a query fails to parse. Edits that no longer
+/// apply (e.g. after the document was shrunk) are skipped, keeping every
+/// script executable — the shrinker only accepts a candidate if the
+/// divergence *persists*, so skipping is sound.
+pub fn run_script(
+    doc_sexp: &str,
+    ops: &[ScriptOp],
+    fault: Option<CacheFault>,
+) -> Result<Option<MutDivergence>, String> {
+    let catalog = Arc::new(Catalog::new());
+    let base = parse_sexp_catalog(doc_sexp, &catalog)
+        .map_err(|e| format!("script doc `{doc_sexp}`: {e}"))?;
+    let mut vdoc = VersionedDocument::new(Arc::new(base));
+    let engine = Engine::with_backend(Backend::Product);
+    let cache = ResultCache::default();
+    const DOC_ID: u64 = 0;
+
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            ScriptOp::Query { ctx, query } => {
+                let raw = parse_rpath_catalog(query, &catalog)
+                    .map_err(|e| format!("script query `{query}`: {e}"))?;
+                let prepared = engine
+                    .prepare_in(&catalog, query)
+                    .map_err(|e| format!("script query `{query}`: {e}"))?;
+                let len = vdoc.doc.tree.len();
+                let ctx = NodeId((*ctx).min(len as u32 - 1));
+                let got: Vec<u32> = prepared
+                    .eval_cached(&cache, DOC_ID, vdoc.version, &vdoc.doc, ctx)
+                    .iter()
+                    .map(|v| v.0)
+                    .collect();
+                let expected: Vec<u32> = eval_rel_naive(&vdoc.doc.tree, &raw)
+                    .image(&NodeSet::singleton(len, ctx))
+                    .iter()
+                    .map(|v| v.0)
+                    .collect();
+                if got != expected {
+                    return Ok(Some(MutDivergence {
+                        doc_sexp: doc_sexp.to_string(),
+                        ops: ops.to_vec(),
+                        seed: 0,
+                        fail_index: i,
+                        expected,
+                        got,
+                    }));
+                }
+            }
+            edit_op => {
+                let edit = match edit_op {
+                    ScriptOp::Relabel { node, label } => Edit::Relabel {
+                        node: NodeId(*node),
+                        label: catalog.intern(label),
+                    },
+                    ScriptOp::Insert {
+                        parent,
+                        position,
+                        label,
+                    } => Edit::InsertChild {
+                        parent: NodeId(*parent),
+                        position: *position as usize,
+                        label: catalog.intern(label),
+                    },
+                    ScriptOp::Remove { node } => Edit::RemoveSubtree {
+                        node: NodeId(*node),
+                    },
+                    ScriptOp::Query { .. } => unreachable!(),
+                };
+                let Ok(receipt) = vdoc.apply(&edit) else {
+                    continue; // stale op after shrinking; skip
+                };
+                match fault {
+                    None => {
+                        cache.invalidate(DOC_ID, receipt.affected, receipt.version);
+                    }
+                    Some(CacheFault::SkipInvalidate) => {
+                        cache.skip_invalidate(DOC_ID, receipt.version);
+                    }
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// The outcome of a mutation-fuzzing run.
+#[derive(Clone, Debug)]
+pub struct MutationReport {
+    /// The master seed.
+    pub seed: u64,
+    /// Trials actually executed (≤ `iters` under a time budget).
+    pub iterations: u64,
+    /// Every divergence found, post-shrink, in discovery order.
+    pub divergences: Vec<MutDivergence>,
+    /// Total accepted shrink steps.
+    pub shrink_steps: u64,
+    /// The injected fault, if any.
+    pub fault: Option<CacheFault>,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl MutationReport {
+    /// The machine-readable summary printed by `twx-fuzz --mutate`.
+    pub fn to_json(&self) -> Json {
+        let found: Vec<Json> = self
+            .divergences
+            .iter()
+            .map(|d| {
+                Json::obj()
+                    .field("doc", d.doc_sexp.as_str())
+                    .field(
+                        "ops",
+                        d.ops
+                            .iter()
+                            .map(|o| Json::from(o.to_line()))
+                            .collect::<Vec<Json>>(),
+                    )
+                    .field("seed", d.seed)
+                    .field("query", d.query())
+                    .field("expected", render_ids(&d.expected))
+                    .field("got", render_ids(&d.got))
+                    .field("edits", edit_count(&d.ops))
+            })
+            .collect();
+        let mut j = Json::obj()
+            .field("schema", "twx-fuzz-mutate/1")
+            .field("seed", self.seed)
+            .field("iterations", self.iterations)
+            .field("divergences", self.divergences.len())
+            .field("shrink_steps", self.shrink_steps)
+            .field("elapsed_ms", self.elapsed.as_millis() as u64)
+            .field("found", Json::Arr(found));
+        if let Some(f) = self.fault {
+            j = j.field("fault", f.name());
+        }
+        j
+    }
+}
+
+fn render_ids(ids: &[u32]) -> Vec<Json> {
+    ids.iter().map(|&v| Json::from(v)).collect()
+}
+
+/// Runs the mutation fuzzer: `cfg.iters` deterministic trials, each a
+/// fresh random document plus a random edit/query script, executed by
+/// [`run_script`]. Divergences are shrunk (op drops, then document
+/// subtrees, then the failing query's AST) before reporting when
+/// `cfg.shrink` is set. `cfg.fault` (a *route* fault) is ignored here;
+/// the cache-protocol fault comes in through `fault`.
+pub fn run_mutation_fuzz(cfg: &FuzzConfig, fault: Option<CacheFault>) -> MutationReport {
+    let started = Instant::now();
+    let names = label_names(cfg.labels.max(1));
+    let catalog = Arc::new(Catalog::from_names(names.iter().map(String::as_str)));
+    let labels: Vec<_> = names.iter().map(|n| catalog.intern(n)).collect();
+    let gen_cfg = RGenConfig {
+        labels: cfg.labels.max(1),
+        ..RGenConfig::default()
+    };
+    let alphabet = catalog.snapshot();
+    let mut master = SplitMix64::seed_from_u64(cfg.seed);
+    let mut report = MutationReport {
+        seed: cfg.seed,
+        iterations: 0,
+        divergences: Vec::new(),
+        shrink_steps: 0,
+        fault,
+        elapsed: Duration::ZERO,
+    };
+
+    for _ in 0..cfg.iters {
+        if let Some(budget) = cfg.time_budget {
+            if started.elapsed() >= budget {
+                break;
+            }
+        }
+        let trial_seed = master.next_u64();
+        let mut rng = SplitMix64::seed_from_u64(trial_seed);
+        let n = rng.gen_range(1..cfg.max_doc_nodes.max(1) + 1);
+        let shape = SHAPES[rng.gen_range(0..SHAPES.len())];
+        let doc = random_document_in(shape, n, &catalog, &mut rng);
+        let doc_sexp = to_sexp(&doc.tree, &alphabet);
+
+        // Generate the script against a mirror of the evolving tree so
+        // every edit is valid at generation time, and queries reuse a
+        // small pool (same fingerprint + context ⇒ cache hits to check).
+        let mut cur: Tree = doc.tree.clone();
+        let mut pool: Vec<String> = Vec::new();
+        let mut ops: Vec<ScriptOp> = Vec::new();
+        let script_len = rng.gen_range(3..17);
+        for _ in 0..script_len {
+            if rng.gen_range(0..100u32) < 40 {
+                let edit = random_edit(&cur, &labels, &mut rng);
+                ops.push(match edit {
+                    Edit::Relabel { node, label } => ScriptOp::Relabel {
+                        node: node.0,
+                        label: catalog.name(label),
+                    },
+                    Edit::InsertChild {
+                        parent,
+                        position,
+                        label,
+                    } => ScriptOp::Insert {
+                        parent: parent.0,
+                        position: position as u32,
+                        label: catalog.name(label),
+                    },
+                    Edit::RemoveSubtree { node } => ScriptOp::Remove { node: node.0 },
+                });
+                let (next, _) = apply_edit(&cur, &edit).expect("random_edit is always valid");
+                cur = next;
+            } else {
+                let query = if !pool.is_empty() && rng.gen_range(0..100u32) < 50 {
+                    pool[rng.gen_range(0..pool.len())].clone()
+                } else {
+                    let depth = rng.gen_range(1..cfg.max_depth.max(1) + 1);
+                    let q = rpath_to_string(&random_rpath(&gen_cfg, depth, &mut rng), &alphabet);
+                    pool.push(q.clone());
+                    q
+                };
+                let ctx = if rng.gen_range(0..100u32) < 70 {
+                    0
+                } else {
+                    rng.gen_range(0..cur.len()) as u32
+                };
+                ops.push(ScriptOp::Query { ctx, query });
+            }
+        }
+
+        report.iterations += 1;
+        let div = run_script(&doc_sexp, &ops, fault).expect("generated script must replay");
+        let Some(mut div) = div else { continue };
+        div.seed = trial_seed;
+        if cfg.shrink {
+            let steps = shrink_script(&mut div, fault);
+            report.shrink_steps += steps;
+        }
+        report.divergences.push(div);
+    }
+
+    report.elapsed = started.elapsed();
+    report
+}
+
+/// Upper bound on script re-executions per shrink, so a pathological
+/// divergence cannot stall the fuzz loop.
+const SHRINK_RUN_CAP: u32 = 2_000;
+
+/// Greedily minimises a mutation divergence in place: drop script ops,
+/// then shrink the base document over subtree deletions, then shrink the
+/// failing query's AST — re-running the whole script after every
+/// candidate and keeping it only if *a* divergence persists. Returns the
+/// number of accepted steps.
+pub fn shrink_script(div: &mut MutDivergence, fault: Option<CacheFault>) -> u64 {
+    let mut steps = 0u64;
+    let runs = std::cell::Cell::new(0u32);
+    let try_candidate = |doc: &str, ops: &[ScriptOp]| -> Option<MutDivergence> {
+        if runs.get() >= SHRINK_RUN_CAP {
+            return None;
+        }
+        runs.set(runs.get() + 1);
+        match run_script(doc, ops, fault) {
+            Ok(Some(mut d)) => {
+                d.seed = 0;
+                Some(d)
+            }
+            _ => None,
+        }
+    };
+    let seed = div.seed;
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: drop ops, trailing first (ops after the failure are
+        // dead weight and always drop).
+        let mut i = div.ops.len();
+        while i > 0 {
+            i -= 1;
+            if div.ops.len() <= 1 {
+                break;
+            }
+            let mut candidate = div.ops.clone();
+            candidate.remove(i);
+            if let Some(d) = try_candidate(&div.doc_sexp, &candidate) {
+                *div = d;
+                improved = true;
+                steps += 1;
+                i = i.min(div.ops.len());
+            }
+        }
+
+        // Pass 2: shrink the base document by subtree deletion.
+        'doc: loop {
+            let catalog = Arc::new(Catalog::new());
+            let Ok(base) = parse_sexp_catalog(&div.doc_sexp, &catalog) else {
+                break;
+            };
+            for smaller in shrink_tree(&base.tree) {
+                let sexp = to_sexp(&smaller, &catalog.snapshot());
+                if let Some(d) = try_candidate(&sexp, &div.ops) {
+                    *div = d;
+                    improved = true;
+                    steps += 1;
+                    continue 'doc;
+                }
+            }
+            break;
+        }
+
+        // Pass 3: shrink the failing query's AST.
+        'query: loop {
+            let idx = div.fail_index;
+            let ScriptOp::Query { ctx, query } = div.ops[idx].clone() else {
+                break;
+            };
+            let catalog = Arc::new(Catalog::new());
+            let Ok(path) = parse_rpath_catalog(&query, &catalog) else {
+                break;
+            };
+            let alphabet = catalog.snapshot();
+            for smaller in shrink_rpath(&path) {
+                let mut candidate = div.ops.clone();
+                candidate[idx] = ScriptOp::Query {
+                    ctx,
+                    query: rpath_to_string(&smaller, &alphabet),
+                };
+                if let Some(d) = try_candidate(&div.doc_sexp, &candidate) {
+                    *div = d;
+                    improved = true;
+                    steps += 1;
+                    continue 'query;
+                }
+            }
+            break;
+        }
+
+        if !improved || runs.get() >= SHRINK_RUN_CAP {
+            break;
+        }
+    }
+    div.seed = seed;
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The CI gate in miniature: with sound invalidation, cached answers
+    /// never drift from the recompute-from-scratch oracle.
+    #[test]
+    fn clean_mutation_run_has_no_divergences() {
+        let report = run_mutation_fuzz(
+            &FuzzConfig {
+                seed: 42,
+                iters: 60,
+                ..FuzzConfig::default()
+            },
+            None,
+        );
+        assert_eq!(report.iterations, 60);
+        assert!(
+            report.divergences.is_empty(),
+            "divergence: {}",
+            report.divergences[0].describe()
+        );
+        let json = report.to_json().render();
+        assert!(json.contains("\"schema\":\"twx-fuzz-mutate/1\""));
+        assert!(json.contains("\"divergences\":0"));
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let cfg = FuzzConfig {
+            seed: 9,
+            iters: 25,
+            ..FuzzConfig::default()
+        };
+        let a = run_mutation_fuzz(&cfg, None);
+        let b = run_mutation_fuzz(&cfg, None);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.divergences.len(), b.divergences.len());
+    }
+
+    /// Acceptance criterion: skipping invalidation is caught, and the
+    /// repro shrinks to a script of at most 6 edits.
+    #[test]
+    fn skip_invalidate_fault_is_caught_and_shrunk() {
+        let report = run_mutation_fuzz(
+            &FuzzConfig {
+                seed: 42,
+                iters: 120,
+                ..FuzzConfig::default()
+            },
+            Some(CacheFault::SkipInvalidate),
+        );
+        assert!(
+            !report.divergences.is_empty(),
+            "skip-invalidate never diverged in {} iterations",
+            report.iterations
+        );
+        let d = &report.divergences[0];
+        assert!(
+            edit_count(&d.ops) <= 6,
+            "shrunk script has {} edits (> 6): {}",
+            edit_count(&d.ops),
+            d.describe()
+        );
+        // the shrunk script still reproduces, and is clean without the fault
+        assert!(
+            run_script(&d.doc_sexp, &d.ops, Some(CacheFault::SkipInvalidate))
+                .unwrap()
+                .is_some()
+        );
+        assert!(run_script(&d.doc_sexp, &d.ops, None).unwrap().is_none());
+    }
+
+    #[test]
+    fn script_op_lines_roundtrip() {
+        let ops = [
+            ScriptOp::Query {
+                ctx: 3,
+                query: "down*[b and !a] | up".to_string(),
+            },
+            ScriptOp::Relabel {
+                node: 2,
+                label: "b".to_string(),
+            },
+            ScriptOp::Insert {
+                parent: 0,
+                position: 1,
+                label: "a".to_string(),
+            },
+            ScriptOp::Remove { node: 4 },
+        ];
+        for op in &ops {
+            assert_eq!(&ScriptOp::from_line(&op.to_line()).unwrap(), op);
+        }
+        assert!(ScriptOp::from_line("query 0").is_err());
+        assert!(ScriptOp::from_line("relabel x a").is_err());
+        assert!(ScriptOp::from_line("teleport 1 2").is_err());
+    }
+
+    #[test]
+    fn cache_fault_spec_parses() {
+        assert_eq!(
+            CacheFault::parse("cache=skip-invalidate").unwrap(),
+            CacheFault::SkipInvalidate
+        );
+        assert!(CacheFault::parse("cache=weird").is_err());
+        assert!(CacheFault::parse("hot:product=drop-max").is_err());
+    }
+
+    /// A handcrafted script through the full stack: cache a downward
+    /// query, edit a disjoint subtree (the entry must be carried), then
+    /// edit inside its span (the entry must be invalidated) — the oracle
+    /// agrees throughout.
+    #[test]
+    fn handcrafted_script_is_clean_with_sound_invalidation() {
+        let ops = [
+            ScriptOp::from_line("query 0 down*[b]").unwrap(),
+            ScriptOp::from_line("relabel 4 a").unwrap(),
+            ScriptOp::from_line("query 0 down*[b]").unwrap(),
+            ScriptOp::from_line("relabel 1 a").unwrap(),
+            ScriptOp::from_line("query 0 down*[b]").unwrap(),
+            ScriptOp::from_line("remove 1").unwrap(),
+            ScriptOp::from_line("query 0 down*[b]").unwrap(),
+        ];
+        assert!(run_script("(a (b c) (c b))", &ops, None).unwrap().is_none());
+    }
+}

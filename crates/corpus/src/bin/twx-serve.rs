@@ -5,8 +5,10 @@
 //!
 //! ```text
 //! -> {"op":"query","query":"down*[b]","timeout_ms":250}
-//! <- {"ok":true,"matches":2,"docs":[{"doc":0,"matches":1},...],
+//! <- {"ok":true,"matches":2,"docs":[{"doc":0,"version":0,"matches":1},...],
 //!     "timed_out":false,"latency_us":412,"shards":[...]}
+//! -> {"op":"update","doc":0,"edit":{"op":"relabel","node":1,"label":"c"}}
+//! <- {"ok":true,"doc":0,"version":1,"affected":[1,2],"nodes":4,"seq":1}
 //! -> {"op":"stats"}
 //! <- {"ok":true,"submitted":3,"completed":3,"rejected":0,...}
 //! -> {"op":"shutdown"}
@@ -33,12 +35,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 use treewalk::{Backend, Engine};
-use twx_corpus::{Corpus, CorpusAnswer, QueryService, ServiceConfig, ServiceError};
+use twx_corpus::{Corpus, CorpusAnswer, DocId, QueryService, ServiceConfig, ServiceError};
 use twx_obs::json::{parse as parse_json, Json};
 use twx_regxpath::parser::parse_rpath_resolved;
+use twx_xtree::edit::Edit;
 use twx_xtree::generate::{random_document_in, Shape};
 use twx_xtree::rng::SplitMix64;
-use twx_xtree::{Alphabet, Catalog};
+use twx_xtree::{Alphabet, Catalog, NodeId};
 
 struct Args {
     port: u16,
@@ -180,7 +183,12 @@ fn answer_line(a: &CorpusAnswer) -> String {
     let docs: Vec<Json> = a
         .per_doc
         .iter()
-        .map(|(id, set)| Json::obj().field("doc", id.0).field("matches", set.count()))
+        .map(|(id, version, set)| {
+            Json::obj()
+                .field("doc", id.0)
+                .field("version", version.0)
+                .field("matches", set.count())
+        })
         .collect();
     let shards: Vec<Json> = a
         .shards
@@ -205,9 +213,69 @@ fn answer_line(a: &CorpusAnswer) -> String {
         .render()
 }
 
+/// Parses the `edit` object of an `update` request into a typed
+/// [`Edit`], resolving the label **read-only** against the corpus
+/// alphabet (unknown labels are an error, never an intern).
+fn parse_edit(req: &Json, alphabet: &Alphabet) -> Result<Edit, String> {
+    let edit = get(req, "edit").ok_or("update op needs an `edit` object")?;
+    let kind = get_str(edit, "op").ok_or("edit needs an `op` string")?;
+    let label = |e: &Json| -> Result<_, String> {
+        let name = get_str(e, "label").ok_or("edit needs a `label` string")?;
+        alphabet
+            .lookup(name)
+            .ok_or_else(|| format!("unknown label '{name}': not in the corpus label space"))
+    };
+    match kind {
+        "relabel" => Ok(Edit::Relabel {
+            node: NodeId(get_u64(edit, "node").ok_or("relabel needs a `node` id")? as u32),
+            label: label(edit)?,
+        }),
+        "insert-child" => Ok(Edit::InsertChild {
+            parent: NodeId(
+                get_u64(edit, "parent").ok_or("insert-child needs a `parent` id")? as u32,
+            ),
+            position: get_u64(edit, "position").unwrap_or(0) as usize,
+            label: label(edit)?,
+        }),
+        "remove-subtree" => Ok(Edit::RemoveSubtree {
+            node: NodeId(get_u64(edit, "node").ok_or("remove-subtree needs a `node` id")? as u32),
+        }),
+        other => Err(format!(
+            "edit op must be relabel|insert-child|remove-subtree, got '{other}'"
+        )),
+    }
+}
+
+/// Handles one `update` request line: parse → typed edit → commit →
+/// receipt (or a typed error that leaves the connection open).
+fn update_line(req: &Json, service: &QueryService, alphabet: &Alphabet) -> String {
+    let Some(doc) = get_u64(req, "doc") else {
+        return err_line("protocol", "update op needs a `doc` id");
+    };
+    let edit = match parse_edit(req, alphabet) {
+        Ok(e) => e,
+        Err(msg) => return err_line("protocol", &msg),
+    };
+    match service.update(DocId(doc as u32), &edit) {
+        Ok(r) => Json::obj()
+            .field("ok", true)
+            .field("doc", r.id.0)
+            .field("version", r.version.0)
+            .field(
+                "affected",
+                vec![Json::from(r.affected.start), Json::from(r.affected.end)],
+            )
+            .field("nodes", r.new_len)
+            .field("seq", r.seq)
+            .render(),
+        Err(e) => err_line("engine", &e.to_string()),
+    }
+}
+
 fn stats_line(service: &QueryService) -> String {
     let s = service.stats();
     let cache = service.cache_stats();
+    let results = service.result_cache_stats();
     Json::obj()
         .field("ok", true)
         .field("submitted", s.submitted)
@@ -219,6 +287,13 @@ fn stats_line(service: &QueryService) -> String {
         .field("workers", s.workers)
         .field("plan_cache_hits", cache.hits)
         .field("plan_cache_misses", cache.misses)
+        .field("updates", s.updates)
+        .field("stale_answers", s.stale_answers)
+        .field("result_cache_hits", results.hits)
+        .field("result_cache_misses", results.misses)
+        .field("result_cache_carried", results.carried)
+        .field("result_cache_invalidated", results.invalidated)
+        .field("result_cache_entries", results.entries)
         .render()
 }
 
@@ -284,6 +359,7 @@ fn serve_conn(
                         }
                     },
                 },
+                Some("update") => update_line(&req, service, alphabet),
                 Some("stats") => stats_line(service),
                 Some("shutdown") => {
                     let reply = Json::obj()
@@ -298,7 +374,7 @@ fn serve_conn(
                         .and_then(|_| writer.flush());
                     return Ok(true);
                 }
-                _ => err_line("protocol", "op must be query|stats|shutdown"),
+                _ => err_line("protocol", "op must be query|update|stats|shutdown"),
             },
         };
         writer.write_all(reply.as_bytes())?;

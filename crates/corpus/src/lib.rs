@@ -48,4 +48,7 @@ pub use queue::{BoundedQueue, PushError};
 pub use service::{
     CorpusAnswer, QueryService, ServiceConfig, ServiceError, ServiceStats, ShardTiming, Ticket,
 };
-pub use store::{Corpus, CorpusBuilder, DocEntry, DocId, Placement, Shard};
+pub use store::{
+    Corpus, CorpusBuilder, CorpusSnapshot, DocEntry, DocId, Placement, Shard, ShardState,
+    UpdateError, UpdateReceipt,
+};

@@ -30,14 +30,15 @@
 //! every issued [`Ticket`] still completes.
 
 use crate::queue::{BoundedQueue, PushError};
-use crate::store::{Corpus, DocId};
+use crate::store::{Corpus, CorpusSnapshot, DocId, UpdateError, UpdateReceipt};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use treewalk::{Backend, Engine, EngineError, Prepared};
+use treewalk::{Backend, Engine, EngineError, Prepared, ResultCache, ResultCacheStats};
 use twx_obs::{self as obs, Counter, Counters};
+use twx_xtree::edit::{DocVersion, Edit};
 use twx_xtree::NodeSet;
 
 /// Tuning knobs for a [`QueryService`].
@@ -130,15 +131,24 @@ pub struct CorpusAnswer {
     pub query: String,
     /// The backend the plan was compiled for.
     pub backend: Backend,
-    /// Per-document answers in `DocId` order. On a timed-out request
-    /// this holds only the documents evaluated before the deadline.
-    pub per_doc: Vec<(DocId, NodeSet)>,
+    /// Per-document answers in `DocId` order, each with the
+    /// [`DocVersion`] it was evaluated against (the version pinned in
+    /// the request's snapshot). On a timed-out request this holds only
+    /// the documents evaluated before the deadline.
+    pub per_doc: Vec<(DocId, DocVersion, NodeSet)>,
     /// Total matched nodes across all documents.
     pub total_matches: u64,
     /// Per-shard timings (index order).
     pub shards: Vec<ShardTiming>,
     /// Whether any shard hit the deadline (the answer is partial).
     pub timed_out: bool,
+    /// The commit sequence number of the snapshot this answer was
+    /// evaluated against.
+    pub snapshot_seq: u64,
+    /// **Stale**: at least one commit landed after this request pinned
+    /// its snapshot, so the answer — while exact for its snapshot — no
+    /// longer reflects the newest corpus state.
+    pub stale: bool,
     /// Submit-to-completion latency as seen by the waiter.
     pub latency: Duration,
     /// Observability counters accumulated by the workers for this
@@ -157,6 +167,10 @@ pub struct ServiceStats {
     pub rejected: u64,
     /// Requests that completed with a partial (timed-out) answer.
     pub timeouts: u64,
+    /// Edits committed through [`QueryService::update`].
+    pub updates: u64,
+    /// Answers flagged stale (a commit landed after their snapshot).
+    pub stale_answers: u64,
     /// Total submit-to-completion latency of completed requests, in
     /// nanoseconds (divide by `completed` for the mean).
     pub latency_nanos_total: u64,
@@ -174,12 +188,14 @@ struct StatsInner {
     completed: AtomicU64,
     rejected: AtomicU64,
     timeouts: AtomicU64,
+    updates: AtomicU64,
+    stale_answers: AtomicU64,
     latency_nanos_total: AtomicU64,
 }
 
 /// What a worker produced for one shard.
 struct ShardOutcome {
-    per_doc: Vec<(DocId, NodeSet)>,
+    per_doc: Vec<(DocId, DocVersion, NodeSet)>,
     timing: ShardTiming,
     counters: Counters,
 }
@@ -208,6 +224,9 @@ impl RequestShared {
 
 struct WorkItem {
     prepared: Arc<Prepared>,
+    // the consistent read view this request evaluates against — shared
+    // by every shard item of the request, pinned at submit time
+    snapshot: Arc<CorpusSnapshot>,
     shard: usize,
     deadline: Option<Instant>,
     enqueued: Instant,
@@ -223,6 +242,8 @@ pub struct Ticket {
     backend: Backend,
     submitted: Instant,
     stats: Arc<StatsInner>,
+    corpus: Arc<Corpus>,
+    snapshot_seq: u64,
 }
 
 impl Ticket {
@@ -244,7 +265,7 @@ impl Ticket {
             shards.push(o.timing);
         }
         drop(st);
-        per_doc.sort_by_key(|(id, _)| *id);
+        per_doc.sort_by_key(|(id, _, _)| *id);
         shards.sort_by_key(|t| t.shard);
         // fold worker costs into the waiting thread's live counters so
         // they show up in any open snapshot window
@@ -258,13 +279,22 @@ impl Ticket {
         self.stats
             .latency_nanos_total
             .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        // a commit after our pin makes this answer stale (still exact
+        // for the snapshot it was computed against)
+        let stale = self.corpus.seq() > self.snapshot_seq;
+        if stale {
+            obs::incr(Counter::CorpusStaleAnswers);
+            self.stats.stale_answers.fetch_add(1, Ordering::Relaxed);
+        }
         CorpusAnswer {
             query: self.query,
             backend: self.backend,
-            total_matches: per_doc.iter().map(|(_, s)| s.count() as u64).sum(),
+            total_matches: per_doc.iter().map(|(_, _, s)| s.count() as u64).sum(),
             per_doc,
             shards,
             timed_out,
+            snapshot_seq: self.snapshot_seq,
+            stale,
             latency,
             counters,
         }
@@ -275,6 +305,7 @@ impl Ticket {
 pub struct QueryService {
     corpus: Arc<Corpus>,
     engine: Engine,
+    results: Arc<ResultCache>,
     queue: Arc<BoundedQueue<WorkItem>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<StatsInner>,
@@ -286,19 +317,21 @@ impl QueryService {
     /// fixes the backend and shares its plan cache).
     pub fn new(corpus: Arc<Corpus>, engine: Engine, config: ServiceConfig) -> QueryService {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let results = Arc::new(ResultCache::default());
         let workers = (0..config.workers)
             .map(|i| {
-                let corpus = Arc::clone(&corpus);
                 let queue = Arc::clone(&queue);
+                let results = Arc::clone(&results);
                 std::thread::Builder::new()
                     .name(format!("twx-corpus-worker-{i}"))
-                    .spawn(move || worker_loop(&corpus, &queue))
+                    .spawn(move || worker_loop(&queue, &results))
                     .expect("spawn worker")
             })
             .collect();
         QueryService {
             corpus,
             engine,
+            results,
             queue,
             workers,
             stats: Arc::new(StatsInner::default()),
@@ -334,10 +367,15 @@ impl QueryService {
         let now = Instant::now();
         let deadline = timeout.map(|t| now + t);
         let n = self.corpus.n_shards();
+        // one consistent read view for the whole request: every shard
+        // item evaluates against this pin, never the live corpus
+        let snapshot = Arc::new(self.corpus.snapshot());
+        let snapshot_seq = snapshot.seq();
         let request = Arc::new(RequestShared::new(n));
         let items: Vec<WorkItem> = (0..n)
             .map(|shard| WorkItem {
                 prepared: Arc::clone(&prepared),
+                snapshot: Arc::clone(&snapshot),
                 shard,
                 deadline,
                 enqueued: now,
@@ -351,6 +389,8 @@ impl QueryService {
                 backend: self.engine.backend(),
                 submitted: now,
                 stats: Arc::clone(&self.stats),
+                corpus: Arc::clone(&self.corpus),
+                snapshot_seq,
             }),
             Err((PushError::Full { queued, capacity }, _)) => {
                 obs::incr(Counter::CorpusRejected);
@@ -359,6 +399,21 @@ impl QueryService {
             }
             Err((PushError::Closed, _)) => Err(ServiceError::ShutDown),
         }
+    }
+
+    /// Commits one typed edit to document `id` and invalidates the
+    /// result cache **precisely**: cached answers whose touched span is
+    /// disjoint from the edit's affected span survive into the new
+    /// version; overlapping ones are dropped. In-flight queries keep
+    /// reading their pinned snapshots; their answers come back flagged
+    /// [`CorpusAnswer::stale`].
+    pub fn update(&self, id: DocId, edit: &Edit) -> Result<UpdateReceipt, UpdateError> {
+        let receipt = self.corpus.update(id, edit)?;
+        self.results
+            .invalidate(u64::from(id.0), receipt.affected, receipt.version);
+        obs::incr(Counter::CorpusUpdates);
+        self.stats.updates.fetch_add(1, Ordering::Relaxed);
+        Ok(receipt)
     }
 
     /// Submit + wait in one call.
@@ -382,6 +437,8 @@ impl QueryService {
             completed: self.stats.completed.load(Ordering::Relaxed),
             rejected: self.stats.rejected.load(Ordering::Relaxed),
             timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+            updates: self.stats.updates.load(Ordering::Relaxed),
+            stale_answers: self.stats.stale_answers.load(Ordering::Relaxed),
             latency_nanos_total: self.stats.latency_nanos_total.load(Ordering::Relaxed),
             queued: self.queue.len(),
             queue_capacity: self.queue.capacity(),
@@ -392,6 +449,11 @@ impl QueryService {
     /// Plan-cache statistics of the engine the service compiles through.
     pub fn cache_stats(&self) -> treewalk::CacheStats {
         self.engine.cache_stats()
+    }
+
+    /// Statistics of the shared result cache the workers answer through.
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        self.results.stats()
     }
 
     /// Graceful shutdown: refuses new submissions, lets the workers
@@ -430,15 +492,16 @@ impl fmt::Debug for QueryService {
 }
 
 /// The worker loop: pop → evaluate shard (deadline-checked per document)
-/// → drain thread-local counters into the outcome → report.
-fn worker_loop(corpus: &Corpus, queue: &BoundedQueue<WorkItem>) {
+/// against the item's **pinned snapshot**, answering through the shared
+/// result cache → drain thread-local counters into the outcome → report.
+fn worker_loop(queue: &BoundedQueue<WorkItem>, results: &ResultCache) {
     // stray counters from a previous item must not leak into this one
     let _ = obs::drain();
     while let Some(item) = queue.pop() {
         let picked = Instant::now();
         let queue_wait = picked.duration_since(item.enqueued);
         obs::add(Counter::CorpusQueueWaitNanos, queue_wait.as_nanos() as u64);
-        let shard = corpus.shard(item.shard);
+        let shard = item.snapshot.shard(item.shard);
         let mut per_doc = Vec::with_capacity(shard.len());
         let mut timed_out = false;
         {
@@ -449,7 +512,14 @@ fn worker_loop(corpus: &Corpus, queue: &BoundedQueue<WorkItem>) {
                     break;
                 }
                 let root = entry.doc.tree.root();
-                per_doc.push((entry.id, item.prepared.eval(&entry.doc, root)));
+                let answer = item.prepared.eval_cached(
+                    results,
+                    u64::from(entry.id.0),
+                    entry.version,
+                    &entry.doc,
+                    root,
+                );
+                per_doc.push((entry.id, entry.version, (*answer).clone()));
             }
         }
         let timing = ShardTiming {

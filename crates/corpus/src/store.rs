@@ -1,19 +1,39 @@
-//! The sharded document store.
+//! The sharded, **versioned** document store.
 //!
-//! A [`Corpus`] is an immutable collection of documents partitioned into
-//! `N` shards, all sharing one append-only
+//! A [`Corpus`] is a collection of documents partitioned into `N` shards,
+//! all sharing one append-only
 //! [`Catalog`] — the label space against which
 //! query plans are compiled once and served everywhere. Shards are the
 //! unit of parallelism for the query service: one compiled plan × one
 //! shard is one work item.
 //!
-//! Ingestion goes through [`CorpusBuilder`]: XML or s-expression sources
-//! parse against the shared catalog ([`parse_xml_catalog`] /
-//! [`parse_sexp_catalog`]), and placement is round-robin by default or
-//! size-balanced (least-loaded shard by node count) on request.
+//! Since PR 5 the corpus is **live**: documents mutate through
+//! [`Corpus::update`] with the typed edits of [`twx_xtree::edit`]. The
+//! concurrency story is MVCC-by-snapshot:
+//!
+//! * Each shard's contents live behind an `RwLock<Arc<ShardState>>`.
+//!   A writer clones the entry vector (cheap — documents are
+//!   `Arc<Document>`), applies the edit to one entry, and swaps in a new
+//!   `Arc<ShardState>` under the write lock. **No document is ever
+//!   mutated in place**, so a reader can never observe a half-applied
+//!   edit.
+//! * Readers call [`Corpus::snapshot`] to pin every shard's current
+//!   `Arc<ShardState>` plus the global commit sequence number. The
+//!   snapshot stays exactly as it was pinned no matter how many commits
+//!   land afterwards.
+//! * Every commit bumps a global sequence counter ([`Corpus::seq`]);
+//!   comparing a pinned snapshot's sequence against the live counter is
+//!   how the query service detects (and flags) stale answers.
+//!
+//! Ingestion still goes through [`CorpusBuilder`]: XML or s-expression
+//! sources parse against the shared catalog, and placement is
+//! round-robin by default or size-balanced on request. Ingested
+//! documents start at [`DocVersion`] 0.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use twx_xtree::edit::{apply_edit, DocVersion, Edit, EditError, Span};
 use twx_xtree::parse::{parse_sexp_catalog, parse_xml_catalog, ParseError};
 use twx_xtree::{Catalog, Document};
 
@@ -38,23 +58,26 @@ pub enum Placement {
     SizeBalanced,
 }
 
-/// A document plus its corpus-wide id.
-#[derive(Debug)]
+/// A document plus its corpus-wide id and current version.
+#[derive(Clone, Debug)]
 pub struct DocEntry {
     /// The corpus-wide id.
     pub id: DocId,
-    /// The document (immutable; carries a catalog snapshot).
-    pub doc: Document,
+    /// The entry's version: 0 at ingest, +1 per applied edit.
+    pub version: DocVersion,
+    /// The document snapshot (shared, never mutated in place).
+    pub doc: Arc<Document>,
 }
 
-/// One shard: a slice of the corpus evaluated as a unit.
+/// One shard's pinned contents: the unit readers snapshot and workers
+/// evaluate.
 #[derive(Debug, Default)]
-pub struct Shard {
+pub struct ShardState {
     entries: Vec<DocEntry>,
     nodes: usize,
 }
 
-impl Shard {
+impl ShardState {
     /// The documents of this shard, in ingestion order.
     pub fn entries(&self) -> &[DocEntry] {
         &self.entries
@@ -76,14 +99,122 @@ impl Shard {
     }
 }
 
-/// An immutable, sharded, catalog-shared document collection (see the
+/// One shard: a versioned slot holding the current [`ShardState`].
+#[derive(Debug, Default)]
+pub struct Shard {
+    state: RwLock<Arc<ShardState>>,
+}
+
+impl Shard {
+    /// Pins the shard's current contents. The returned state never
+    /// changes; later commits swap in a fresh one.
+    pub fn snapshot(&self) -> Arc<ShardState> {
+        Arc::clone(&self.state.read().expect("shard poisoned"))
+    }
+
+    /// Number of documents (of the current state).
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// Whether the shard holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().is_empty()
+    }
+
+    /// Total tree nodes (of the current state).
+    pub fn node_count(&self) -> usize {
+        self.snapshot().node_count()
+    }
+}
+
+/// A consistent read view of the whole corpus: every shard's state plus
+/// the commit sequence number at pin time. In-flight queries evaluate
+/// against one of these and are immune to concurrent commits.
+#[derive(Clone, Debug)]
+pub struct CorpusSnapshot {
+    shards: Vec<Arc<ShardState>>,
+    index: Arc<Vec<(u32, u32)>>,
+    seq: u64,
+}
+
+impl CorpusSnapshot {
+    /// The pinned state of shard `i`.
+    pub fn shard(&self, i: usize) -> &ShardState {
+        &self.shards[i]
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The commit sequence number this snapshot was pinned at.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Looks up a document entry by id within this snapshot.
+    pub fn entry(&self, id: DocId) -> Option<&DocEntry> {
+        let &(s, i) = self.index.get(id.0 as usize)?;
+        self.shards[s as usize].entries.get(i as usize)
+    }
+}
+
+/// Why a [`Corpus::update`] failed. Nothing changes on error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateError {
+    /// No document has this id.
+    UnknownDoc(DocId),
+    /// The edit itself was invalid for the document's current tree.
+    Edit(EditError),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::UnknownDoc(id) => write!(f, "unknown document {id}"),
+            UpdateError::Edit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<EditError> for UpdateError {
+    fn from(e: EditError) -> UpdateError {
+        UpdateError::Edit(e)
+    }
+}
+
+/// What a successful [`Corpus::update`] reports: everything a cache
+/// invalidation or a test oracle needs to know about the commit.
+#[derive(Clone, Debug)]
+pub struct UpdateReceipt {
+    /// The edited document.
+    pub id: DocId,
+    /// The version the edit produced.
+    pub version: DocVersion,
+    /// Affected preorder span, in the pre-edit numbering.
+    pub affected: Span,
+    /// Node count after the edit.
+    pub new_len: usize,
+    /// The global commit sequence number of this commit (1-based).
+    pub seq: u64,
+    /// The post-edit document, for oracles that want to pin it.
+    pub doc: Arc<Document>,
+}
+
+/// A sharded, catalog-shared, **versioned** document collection (see the
 /// [module docs](self)).
 #[derive(Debug)]
 pub struct Corpus {
     catalog: Arc<Catalog>,
     shards: Vec<Shard>,
-    // DocId → (shard, index-within-shard)
-    index: Vec<(u32, u32)>,
+    // DocId → (shard, index-within-shard); never changes after build
+    index: Arc<Vec<(u32, u32)>>,
+    // commits applied so far; bumped after each successful swap
+    seq: AtomicU64,
 }
 
 impl Corpus {
@@ -93,7 +224,9 @@ impl Corpus {
         CorpusBuilder {
             catalog,
             placement: Placement::default(),
-            shards: (0..n_shards.max(1)).map(|_| Shard::default()).collect(),
+            shards: (0..n_shards.max(1))
+                .map(|_| ShardState::default())
+                .collect(),
             index: Vec::new(),
             round_robin_next: 0,
         }
@@ -114,7 +247,7 @@ impl Corpus {
         self.index.len()
     }
 
-    /// Total tree nodes across every shard.
+    /// Total tree nodes across every shard (of the current states).
     pub fn total_nodes(&self) -> usize {
         self.shards.iter().map(Shard::node_count).sum()
     }
@@ -127,15 +260,90 @@ impl Corpus {
         &self.shards[i]
     }
 
-    /// Looks up a document by id.
-    pub fn doc(&self, id: DocId) -> Option<&Document> {
-        let &(s, i) = self.index.get(id.0 as usize)?;
-        Some(&self.shards[s as usize].entries[i as usize].doc)
+    /// Commits applied to this corpus so far. Compare against a pinned
+    /// [`CorpusSnapshot::seq`] to detect staleness.
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
     }
 
-    /// Iterates every document entry, shard by shard.
-    pub fn iter(&self) -> impl Iterator<Item = &DocEntry> + '_ {
-        self.shards.iter().flat_map(|s| s.entries.iter())
+    /// Pins a consistent snapshot of every shard plus the commit
+    /// sequence number.
+    ///
+    /// Shards are pinned one by one, so a commit racing this call may
+    /// land between two shards — each *shard* is still internally
+    /// consistent (the swap is atomic under the write lock), and the
+    /// per-document versions in the snapshot say exactly what was
+    /// pinned. The sequence number is read **before** the shards: if it
+    /// equals the live [`Corpus::seq`] afterwards, no commit raced at
+    /// all.
+    pub fn snapshot(&self) -> CorpusSnapshot {
+        let seq = self.seq();
+        CorpusSnapshot {
+            shards: self.shards.iter().map(Shard::snapshot).collect(),
+            index: Arc::clone(&self.index),
+            seq,
+        }
+    }
+
+    /// Looks up a document by id (its current version).
+    pub fn doc(&self, id: DocId) -> Option<Arc<Document>> {
+        self.entry(id).map(|e| e.doc)
+    }
+
+    /// Looks up a document entry (id, version, document) by id.
+    pub fn entry(&self, id: DocId) -> Option<DocEntry> {
+        let &(s, i) = self.index.get(id.0 as usize)?;
+        self.shards[s as usize]
+            .snapshot()
+            .entries
+            .get(i as usize)
+            .cloned()
+    }
+
+    /// Applies one typed edit to document `id`, committing a fresh
+    /// `Arc<Document>` into the owning shard and bumping the global
+    /// commit sequence. Readers holding a pinned snapshot keep reading
+    /// the old version; on error nothing changes anywhere.
+    pub fn update(&self, id: DocId, edit: &Edit) -> Result<UpdateReceipt, UpdateError> {
+        let &(s, i) = self
+            .index
+            .get(id.0 as usize)
+            .ok_or(UpdateError::UnknownDoc(id))?;
+        let shard = &self.shards[s as usize];
+        let mut slot = shard.state.write().expect("shard poisoned");
+        let old = &slot.entries[i as usize];
+        let (tree, affected) = apply_edit(&old.doc.tree, edit)?;
+        let new_len = tree.len();
+        let doc = Arc::new(Document::new(tree, old.doc.alphabet.clone()));
+        let version = old.version.bump();
+        // copy-on-write: entry vec clone is Arc-shallow
+        let mut entries = slot.entries.clone();
+        let nodes = slot.nodes - old.doc.tree.len() + new_len;
+        entries[i as usize] = DocEntry {
+            id,
+            version,
+            doc: Arc::clone(&doc),
+        };
+        *slot = Arc::new(ShardState { entries, nodes });
+        // bump the commit counter while still holding the write lock so
+        // per-shard commit order and sequence order agree
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
+        drop(slot);
+        Ok(UpdateReceipt {
+            id,
+            version,
+            affected,
+            new_len,
+            seq,
+            doc,
+        })
+    }
+
+    /// Iterates every document entry (current versions), shard by shard.
+    pub fn iter(&self) -> impl Iterator<Item = DocEntry> + '_ {
+        self.shards
+            .iter()
+            .flat_map(|s| s.snapshot().entries.clone())
     }
 }
 
@@ -143,7 +351,7 @@ impl Corpus {
 pub struct CorpusBuilder {
     catalog: Arc<Catalog>,
     placement: Placement,
-    shards: Vec<Shard>,
+    shards: Vec<ShardState>,
     index: Vec<(u32, u32)>,
     round_robin_next: usize,
 }
@@ -191,16 +399,29 @@ impl CorpusBuilder {
         let sh = &mut self.shards[shard];
         self.index.push((shard as u32, sh.entries.len() as u32));
         sh.nodes += doc.tree.len();
-        sh.entries.push(DocEntry { id, doc });
+        sh.entries.push(DocEntry {
+            id,
+            version: DocVersion(0),
+            doc: Arc::new(doc),
+        });
         id
     }
 
-    /// Finishes the build; the corpus is immutable from here on.
+    /// Finishes the build. Documents keep mutating through
+    /// [`Corpus::update`]; the *set* of documents (and their shard
+    /// placement) is fixed from here on.
     pub fn build(self) -> Corpus {
         Corpus {
             catalog: self.catalog,
-            shards: self.shards,
-            index: self.index,
+            shards: self
+                .shards
+                .into_iter()
+                .map(|state| Shard {
+                    state: RwLock::new(Arc::new(state)),
+                })
+                .collect(),
+            index: Arc::new(self.index),
+            seq: AtomicU64::new(0),
         }
     }
 }
@@ -211,6 +432,8 @@ mod tests {
     use twx_xtree::generate::random_document_in;
     use twx_xtree::generate::Shape;
     use twx_xtree::rng::SplitMix64;
+    use twx_xtree::serialize::to_sexp;
+    use twx_xtree::NodeId;
 
     fn catalog() -> Arc<Catalog> {
         Arc::new(Catalog::from_names(["a", "b", "c"]))
@@ -229,6 +452,7 @@ mod tests {
         // ids and the index agree
         for e in c.iter() {
             assert_eq!(c.doc(e.id).unwrap().tree.len(), e.doc.tree.len());
+            assert_eq!(e.version, DocVersion(0));
         }
         assert!(c.doc(DocId(7)).is_none());
     }
@@ -265,5 +489,73 @@ mod tests {
             // both documents resolve `d` to the same label id
             assert_eq!(e.doc.alphabet.lookup("d"), Some(l));
         }
+    }
+
+    #[test]
+    fn update_commits_new_version_and_preserves_pinned_snapshots() {
+        let cat = catalog();
+        let mut b = Corpus::builder(Arc::clone(&cat), 2);
+        let id0 = b.add_sexp("(a (b) (c))").unwrap();
+        let id1 = b.add_sexp("(a b)").unwrap();
+        let c = b.build();
+        assert_eq!(c.seq(), 0);
+        let pinned = c.snapshot();
+
+        let label_c = cat.lookup("c").unwrap();
+        let r = c
+            .update(
+                id0,
+                &Edit::Relabel {
+                    node: NodeId(1),
+                    label: label_c,
+                },
+            )
+            .unwrap();
+        assert_eq!(r.version, DocVersion(1));
+        assert_eq!(r.seq, 1);
+        assert_eq!(c.seq(), 1);
+        assert_eq!(r.affected, Span { start: 1, end: 2 });
+
+        // live view sees the edit; the pinned snapshot does not
+        let alphabet = c.doc(id0).unwrap().alphabet.clone();
+        assert_eq!(to_sexp(&c.doc(id0).unwrap().tree, &alphabet), "(a c c)");
+        let old = pinned.entry(id0).unwrap();
+        assert_eq!(old.version, DocVersion(0));
+        assert_eq!(to_sexp(&old.doc.tree, &alphabet), "(a b c)");
+        assert_eq!(pinned.seq(), 0);
+
+        // other documents are untouched, node accounting follows edits
+        assert_eq!(c.entry(id1).unwrap().version, DocVersion(0));
+        let before_nodes = c.total_nodes();
+        c.update(id0, &Edit::RemoveSubtree { node: NodeId(2) })
+            .unwrap();
+        assert_eq!(c.total_nodes(), before_nodes - 1);
+        assert_eq!(c.entry(id0).unwrap().version, DocVersion(2));
+        assert_eq!(c.seq(), 2);
+    }
+
+    #[test]
+    fn update_errors_are_typed_and_change_nothing() {
+        let cat = catalog();
+        let mut b = Corpus::builder(Arc::clone(&cat), 1);
+        let id = b.add_sexp("(a b)").unwrap();
+        let c = b.build();
+        let label = cat.lookup("a").unwrap();
+        assert!(matches!(
+            c.update(
+                DocId(9),
+                &Edit::Relabel {
+                    node: NodeId(0),
+                    label
+                }
+            ),
+            Err(UpdateError::UnknownDoc(DocId(9)))
+        ));
+        assert!(matches!(
+            c.update(id, &Edit::RemoveSubtree { node: NodeId(0) }),
+            Err(UpdateError::Edit(EditError::CannotRemoveRoot))
+        ));
+        assert_eq!(c.seq(), 0);
+        assert_eq!(c.entry(id).unwrap().version, DocVersion(0));
     }
 }

@@ -122,3 +122,72 @@ fn protocol_errors_are_typed_and_do_not_drop_the_connection() {
     assert!(r.contains(r#""ok":true"#), "{r}");
     assert!(r.contains(r#""submitted":1"#), "{r}");
 }
+
+#[test]
+fn update_errors_are_typed_and_a_commit_is_visible_on_the_same_connection() {
+    let server = Server::spawn();
+    let mut conn = server.connect();
+
+    // 1. update without a doc id
+    let r = roundtrip(&mut conn, r#"{"op":"update"}"#);
+    assert!(r.contains(r#""error":"protocol""#), "{r}");
+    assert!(r.contains("doc"), "{r}");
+
+    // 2. doc but no edit object
+    let r = roundtrip(&mut conn, r#"{"op":"update","doc":0}"#);
+    assert!(r.contains(r#""error":"protocol""#), "{r}");
+    assert!(r.contains("edit"), "{r}");
+
+    // 3. unknown edit op
+    let r = roundtrip(
+        &mut conn,
+        r#"{"op":"update","doc":0,"edit":{"op":"swap","node":1}}"#,
+    );
+    assert!(r.contains(r#""error":"protocol""#), "{r}");
+    assert!(r.contains("relabel|insert-child|remove-subtree"), "{r}");
+
+    // 4. unknown label: refused read-only, never interned into the
+    //    corpus alphabet
+    let r = roundtrip(
+        &mut conn,
+        r#"{"op":"update","doc":0,"edit":{"op":"relabel","node":1,"label":"ghost"}}"#,
+    );
+    assert!(r.contains(r#""error":"protocol""#), "{r}");
+    assert!(r.contains("ghost"), "{r}");
+
+    // 5. well-formed edit against a document that does not exist
+    let r = roundtrip(
+        &mut conn,
+        r#"{"op":"update","doc":99,"edit":{"op":"relabel","node":0,"label":"b"}}"#,
+    );
+    assert!(r.contains(r#""error":"engine""#), "{r}");
+
+    // 6. well-formed edit against a node outside the document
+    let r = roundtrip(
+        &mut conn,
+        r#"{"op":"update","doc":0,"edit":{"op":"relabel","node":10000,"label":"b"}}"#,
+    );
+    assert!(r.contains(r#""error":"engine""#), "{r}");
+
+    // after six failures the connection still commits a real edit, and
+    // the receipt names the bumped version
+    let r = roundtrip(
+        &mut conn,
+        r#"{"op":"update","doc":0,"edit":{"op":"relabel","node":0,"label":"b"}}"#,
+    );
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    assert!(r.contains(r#""version":1"#), "{r}");
+    assert!(r.contains(r#""seq":1"#), "{r}");
+    assert!(r.contains(r#""affected":[0,1]"#), "{r}");
+
+    // a query on the same connection reads the new version: the per-doc
+    // breakdown pins doc 0 at version 1 and the others at version 0
+    let r = roundtrip(&mut conn, r#"{"op":"query","query":"down*[b]"}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    assert!(r.contains(r#""doc":0,"version":1"#), "{r}");
+    assert!(r.contains(r#""doc":1,"version":0"#), "{r}");
+
+    // none of the six rejected updates reached the service
+    let r = roundtrip(&mut conn, r#"{"op":"stats"}"#);
+    assert!(r.contains(r#""updates":1"#), "{r}");
+}

@@ -97,9 +97,9 @@ fn service_matches_sequential_engine_on_every_backend() {
                 );
                 assert_eq!(answer.shards.len(), n_shards);
                 let mut expected_total = 0u64;
-                for (id, set) in &answer.per_doc {
+                for (id, _version, set) in &answer.per_doc {
                     let doc = corpus.doc(*id).expect("answer ids are corpus ids");
-                    let sequential = engine.query(doc, q, doc.tree.root()).unwrap();
+                    let sequential = engine.query(&doc, q, doc.tree.root()).unwrap();
                     assert_eq!(
                         *set, sequential,
                         "{backend:?}/{n_shards} shards: `{q}` on {id} diverges from sequential"
@@ -141,11 +141,11 @@ fn expired_deadline_yields_flagged_partial_answer() {
     assert!(answer.per_doc.len() < corpus.n_docs());
     let skipped: usize = answer.shards.iter().map(|t| t.skipped_docs).sum();
     assert_eq!(skipped + answer.per_doc.len(), corpus.n_docs());
-    for (id, set) in &answer.per_doc {
+    for (id, _version, set) in &answer.per_doc {
         let doc = corpus.doc(*id).unwrap();
         assert_eq!(
             *set,
-            engine.query(doc, "down*[b]", doc.tree.root()).unwrap()
+            engine.query(&doc, "down*[b]", doc.tree.root()).unwrap()
         );
     }
     // an ample deadline on the same service completes fully

@@ -160,6 +160,25 @@ counters! {
     /// Accepted shrink steps while minimising a divergent repro (query
     /// and document steps both count).
     ConformShrinkSteps => "conform_shrink_steps",
+    /// Result-cache lookups answered from a cached node set.
+    ResultCacheHits => "result_cache_hits",
+    /// Result-cache lookups that had to evaluate.
+    ResultCacheMisses => "result_cache_misses",
+    /// Result-cache entries inserted after an evaluation.
+    ResultCacheInsertions => "result_cache_insertions",
+    /// Cached entries carried across an edit because their touched span
+    /// was disjoint from the edit's affected span (precision wins).
+    ResultCacheCarried => "result_cache_carried",
+    /// Cached entries evicted because an edit's affected span overlapped
+    /// their touched span.
+    ResultCacheInvalidated => "result_cache_invalidated",
+    /// Result-cache entries evicted by the capacity bound.
+    ResultCacheEvictions => "result_cache_evictions",
+    /// Edits committed to a corpus (`Corpus::update`).
+    CorpusUpdates => "corpus_updates",
+    /// Corpus answers flagged stale (a commit landed after the answer's
+    /// snapshot was pinned).
+    CorpusStaleAnswers => "corpus_stale_answers",
     /// Nanoseconds spent evaluating (span timer).
     EvalNanos => "eval_nanos",
     /// Nanoseconds spent compiling/translating (span timer).

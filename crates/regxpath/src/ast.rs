@@ -108,6 +108,25 @@ impl RPath {
             RPath::Filter(a, f) => a.uses_within() || f.uses_within(),
         }
     }
+
+    /// Whether every axis occurring anywhere in this expression —
+    /// including inside tests and filters, at any nesting depth — is
+    /// [`Axis::Down`]. Such a path is **subtree-local**: evaluated from a
+    /// context node `c`, every node it can visit (and hence its full
+    /// answer) lies inside `c`'s subtree, so the answer is unaffected by
+    /// any edit strictly outside `[c, subtree_end(c))`. `Up`, `Left`, or
+    /// `Right` anywhere breaks locality (the walk can escape the
+    /// subtree); `W` is harmless (it only restricts further).
+    pub fn is_downward(&self) -> bool {
+        match self {
+            RPath::Axis(a) => *a == Axis::Down,
+            RPath::Eps => true,
+            RPath::Test(f) => f.is_downward(),
+            RPath::Seq(a, b) | RPath::Union(a, b) => a.is_downward() && b.is_downward(),
+            RPath::Star(a) => a.is_downward(),
+            RPath::Filter(a, f) => a.is_downward() && f.is_downward(),
+        }
+    }
 }
 
 impl RNode {
@@ -182,6 +201,18 @@ impl RNode {
             RNode::And(f, g) | RNode::Or(f, g) => f.uses_within() || g.uses_within(),
         }
     }
+
+    /// Node-expression half of [`RPath::is_downward`]: true iff every
+    /// embedded path uses only [`Axis::Down`]. Evaluated at a node `x`,
+    /// such a test depends only on `x`'s subtree.
+    pub fn is_downward(&self) -> bool {
+        match self {
+            RNode::True | RNode::Label(_) => true,
+            RNode::Some(a) => a.is_downward(),
+            RNode::Not(f) | RNode::Within(f) => f.is_downward(),
+            RNode::And(f, g) | RNode::Or(f, g) => f.is_downward() && g.is_downward(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -204,5 +235,22 @@ mod tests {
         assert!(!e.uses_within());
         let w = RPath::test(RNode::True.within());
         assert!(w.uses_within());
+    }
+
+    #[test]
+    fn downward_detection() {
+        let down = RPath::Axis(Axis::Down);
+        assert!(down
+            .clone()
+            .star()
+            .filter(RNode::some(RPath::Axis(Axis::Down)))
+            .is_downward());
+        assert!(RPath::Eps.is_downward());
+        assert!(!RPath::Axis(Axis::Up).is_downward());
+        assert!(!down
+            .seq(RPath::test(RNode::some(RPath::Axis(Axis::Left))))
+            .is_downward());
+        assert!(RPath::test(RNode::True.within()).is_downward()); // W stays local
+        assert!(!RPath::test(RNode::root()).is_downward()); // root = ¬⟨↑⟩ mentions up
     }
 }

@@ -1,0 +1,512 @@
+//! Typed document edits with affected-span reporting.
+//!
+//! Three primitive edits cover the mutations a live XML corpus sees:
+//! relabel a node, insert a fresh leaf child, remove a whole subtree.
+//! Each application returns the new tree **and the half-open preorder
+//! span of node ids whose answers may have changed** — the contract the
+//! result cache's precise invalidation rests on (see `DESIGN.md`).
+//!
+//! Span soundness. Node ids are preorder positions, so an edit at
+//! preorder position `p` can only change the ids, labels, or structural
+//! relations of nodes at positions `>= p` *in the old numbering*, plus
+//! the edited node's ancestors' **subtree contents**. A cached answer is
+//! keyed by a context node `c` and covers the subtree `[c, end)`; it
+//! survives an edit with span `[s, _)` iff `end <= s` — the cached
+//! subtree then sits entirely before the edit in preorder, is not an
+//! ancestor of the edit point, and keeps both its ids and its answers.
+//! To make that test sound each span starts at:
+//!
+//! * `Relabel v` — `[v, v+1)`: nothing moves, only `v`'s label.
+//! * `InsertChild { parent: u, .. }` — `[u, old_len)`: the span is
+//!   anchored at the **parent**, not the insertion point, because `u`
+//!   itself changes (it gains a child: leaf-ness, arity, `last_child`),
+//!   and every node at or after `u` may shift or gain structure.
+//! * `RemoveSubtree v` — `[v, old_len)`: ids at and after `v` shift
+//!   down; `v`'s ancestors lose a descendant, but any cached subtree
+//!   containing the parent of `v` also contains `v`, so anchoring at
+//!   `v` is sound.
+
+use crate::alphabet::Label;
+use crate::builder::TreeBuilder;
+use crate::rng::Rng;
+use crate::tree::{Document, NodeId, Tree};
+use std::fmt;
+use std::sync::Arc;
+
+/// A monotonically increasing per-document version number. Fresh
+/// documents start at version 0; every applied edit bumps it by one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DocVersion(pub u64);
+
+impl fmt::Display for DocVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl DocVersion {
+    /// The next version.
+    pub fn bump(self) -> DocVersion {
+        DocVersion(self.0 + 1)
+    }
+}
+
+/// A half-open preorder id range `[start, end)` in the *pre-edit*
+/// numbering: the nodes an edit may have affected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// First affected preorder id.
+    pub start: u32,
+    /// One past the last affected preorder id.
+    pub end: u32,
+}
+
+impl Span {
+    /// True iff the two half-open ranges share at least one id.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Number of ids covered.
+    pub fn len(&self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True iff the span covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// One typed document edit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Edit {
+    /// Insert a fresh leaf labelled `label` as the `position`-th child
+    /// of `parent` (`position == arity` appends).
+    InsertChild {
+        /// The node gaining a child.
+        parent: NodeId,
+        /// Index among `parent`'s children, `0..=arity`.
+        position: usize,
+        /// Label of the new leaf.
+        label: Label,
+    },
+    /// Remove the whole subtree rooted at `node` (never the root).
+    RemoveSubtree {
+        /// Root of the doomed subtree.
+        node: NodeId,
+    },
+    /// Replace `node`'s label with `label`.
+    Relabel {
+        /// The node to relabel.
+        node: NodeId,
+        /// Its new label.
+        label: Label,
+    },
+}
+
+/// Why an [`Edit`] could not be applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditError {
+    /// The named node id is not in the tree.
+    NodeOutOfRange {
+        /// The offending id.
+        node: NodeId,
+        /// Tree size at application time.
+        len: usize,
+    },
+    /// `InsertChild` position exceeds the parent's arity.
+    PositionOutOfRange {
+        /// Requested child index.
+        position: usize,
+        /// The parent's arity.
+        arity: usize,
+    },
+    /// `RemoveSubtree` targeted the root (a tree cannot be empty).
+    CannotRemoveRoot,
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::NodeOutOfRange { node, len } => {
+                write!(f, "node {} out of range (tree has {} nodes)", node.0, len)
+            }
+            EditError::PositionOutOfRange { position, arity } => {
+                write!(f, "child position {position} out of range (arity {arity})")
+            }
+            EditError::CannotRemoveRoot => write!(f, "cannot remove the root subtree"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+fn check_node(t: &Tree, v: NodeId) -> Result<(), EditError> {
+    if (v.0 as usize) < t.len() {
+        Ok(())
+    } else {
+        Err(EditError::NodeOutOfRange {
+            node: v,
+            len: t.len(),
+        })
+    }
+}
+
+/// Applies `edit` to `t`, returning the new tree and the affected span
+/// (in `t`'s pre-edit preorder numbering; see the module docs for the
+/// span contract). `t` is not modified.
+pub fn apply_edit(t: &Tree, edit: &Edit) -> Result<(Tree, Span), EditError> {
+    let old_len = t.len() as u32;
+    match *edit {
+        Edit::Relabel { node, label } => {
+            check_node(t, node)?;
+            let mut out = t.clone();
+            out.set_label(node, label);
+            Ok((
+                out,
+                Span {
+                    start: node.0,
+                    end: node.0 + 1,
+                },
+            ))
+        }
+        Edit::RemoveSubtree { node } => {
+            check_node(t, node)?;
+            if t.is_root(node) {
+                return Err(EditError::CannotRemoveRoot);
+            }
+            let out = rebuild(t, None, Some(node));
+            Ok((
+                out,
+                Span {
+                    start: node.0,
+                    end: old_len,
+                },
+            ))
+        }
+        Edit::InsertChild {
+            parent,
+            position,
+            label,
+        } => {
+            check_node(t, parent)?;
+            let arity = t.arity(parent);
+            if position > arity {
+                return Err(EditError::PositionOutOfRange { position, arity });
+            }
+            let out = rebuild(t, Some((parent, position, label)), None);
+            Ok((
+                out,
+                Span {
+                    start: parent.0,
+                    end: old_len,
+                },
+            ))
+        }
+    }
+}
+
+/// Rebuilds `t` in one preorder pass, optionally skipping the subtree at
+/// `skip` and optionally inserting a leaf under `insert.0` at child
+/// index `insert.1` (the two are never both set by callers, but the
+/// walk handles either).
+fn rebuild(t: &Tree, insert: Option<(NodeId, usize, Label)>, skip: Option<NodeId>) -> Tree {
+    let cap = t.len() + usize::from(insert.is_some() && skip.is_none());
+    let mut b = TreeBuilder::with_capacity(cap);
+    enum Ev {
+        Open(NodeId),
+        Leaf(Label),
+        Close,
+    }
+    let mut stack = vec![Ev::Open(t.root())];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Open(u) => {
+                if skip == Some(u) {
+                    continue;
+                }
+                b.open(t.label(u));
+                stack.push(Ev::Close);
+                let mut children = Vec::new();
+                let mut c = t.first_child(u);
+                while let Some(w) = c {
+                    children.push(w);
+                    c = t.next_sibling(w);
+                }
+                // push in reverse so they pop in document order,
+                // splicing the inserted leaf at its child index
+                let insert_here = match insert {
+                    Some((p, pos, l)) if p == u => Some((pos, l)),
+                    _ => None,
+                };
+                if let Some((pos, l)) = insert_here {
+                    if pos >= children.len() {
+                        stack.push(Ev::Leaf(l));
+                    }
+                }
+                for (i, &w) in children.iter().enumerate().rev() {
+                    stack.push(Ev::Open(w));
+                    if let Some((pos, l)) = insert_here {
+                        if pos == i {
+                            stack.push(Ev::Leaf(l));
+                        }
+                    }
+                }
+            }
+            Ev::Leaf(l) => {
+                b.leaf(l);
+            }
+            Ev::Close => b.close(),
+        }
+    }
+    b.finish()
+}
+
+/// A [`Document`] paired with its [`DocVersion`]. Applying an edit
+/// produces a **new** `Arc<Document>` (the old one stays valid for any
+/// reader still holding it — the MVCC building block) plus a receipt.
+#[derive(Clone, Debug)]
+pub struct VersionedDocument {
+    /// The current document snapshot.
+    pub doc: Arc<Document>,
+    /// Its version (0 at ingest).
+    pub version: DocVersion,
+}
+
+/// What [`VersionedDocument::apply`] reports back.
+#[derive(Clone, Debug)]
+pub struct EditReceipt {
+    /// The version the edit produced.
+    pub version: DocVersion,
+    /// Affected span in the pre-edit numbering.
+    pub affected: Span,
+    /// Node count after the edit.
+    pub new_len: usize,
+}
+
+impl VersionedDocument {
+    /// Wraps a freshly ingested document at version 0.
+    pub fn new(doc: Arc<Document>) -> VersionedDocument {
+        VersionedDocument {
+            doc,
+            version: DocVersion(0),
+        }
+    }
+
+    /// Applies `edit`, swapping in the new document and bumping the
+    /// version. On error nothing changes.
+    pub fn apply(&mut self, edit: &Edit) -> Result<EditReceipt, EditError> {
+        let (tree, affected) = apply_edit(&self.doc.tree, edit)?;
+        let new_len = tree.len();
+        self.doc = Arc::new(Document::new(tree, self.doc.alphabet.clone()));
+        self.version = self.version.bump();
+        Ok(EditReceipt {
+            version: self.version,
+            affected,
+            new_len,
+        })
+    }
+}
+
+/// Draws a random applicable edit for `t` over `labels` (which must be
+/// non-empty). Removal is only drawn when the tree has a non-root node;
+/// the mix is roughly 40% relabel / 35% insert / 25% remove.
+pub fn random_edit<R: Rng>(t: &Tree, labels: &[Label], rng: &mut R) -> Edit {
+    assert!(!labels.is_empty(), "random_edit needs at least one label");
+    let label = labels[rng.gen_range(0..labels.len())];
+    let roll = rng.gen_range(0..100u32);
+    if roll < 40 || (t.len() == 1 && roll >= 75) {
+        let node = NodeId(rng.gen_range(0..t.len() as u32));
+        Edit::Relabel { node, label }
+    } else if roll < 75 {
+        let parent = NodeId(rng.gen_range(0..t.len() as u32));
+        let position = rng.gen_range(0..t.arity(parent) + 1);
+        Edit::InsertChild {
+            parent,
+            position,
+            label,
+        }
+    } else {
+        // any non-root node; t.len() > 1 here
+        let node = NodeId(rng.gen_range(1..t.len() as u32));
+        Edit::RemoveSubtree { node }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_sexp;
+    use crate::rng::SplitMix64;
+    use crate::serialize::to_sexp;
+
+    fn tree(s: &str) -> (Tree, crate::Alphabet) {
+        let d = parse_sexp(s).unwrap();
+        (d.tree, d.alphabet)
+    }
+
+    #[test]
+    fn relabel_changes_one_label_and_nothing_else() {
+        let (t, al) = tree("(a (b c) b)");
+        let l_a = al.lookup("a").unwrap();
+        let (t2, span) = apply_edit(
+            &t,
+            &Edit::Relabel {
+                node: NodeId(1),
+                label: l_a,
+            },
+        )
+        .unwrap();
+        assert_eq!(to_sexp(&t2, &al), "(a (a c) b)");
+        assert_eq!(span, Span { start: 1, end: 2 });
+        assert_eq!(t2.len(), t.len());
+        t2.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_child_at_every_position() {
+        let (t, al) = tree("(a b c)");
+        let l = al.lookup("c").unwrap();
+        for (pos, want) in [(0, "(a c b c)"), (1, "(a b c c)"), (2, "(a b c c)")] {
+            let (t2, span) = apply_edit(
+                &t,
+                &Edit::InsertChild {
+                    parent: NodeId(0),
+                    position: pos,
+                    label: l,
+                },
+            )
+            .unwrap();
+            assert_eq!(to_sexp(&t2, &al), want, "position {pos}");
+            assert_eq!(span, Span { start: 0, end: 3 });
+            t2.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn insert_under_leaf_makes_it_internal() {
+        let (t, al) = tree("(a b)");
+        let l = al.lookup("a").unwrap();
+        let (t2, span) = apply_edit(
+            &t,
+            &Edit::InsertChild {
+                parent: NodeId(1),
+                position: 0,
+                label: l,
+            },
+        )
+        .unwrap();
+        assert_eq!(to_sexp(&t2, &al), "(a (b a))");
+        assert_eq!(span, Span { start: 1, end: 2 });
+        t2.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_subtree_matches_delete_subtree() {
+        let (t, al) = tree("(a (b c c) b)");
+        let (t2, span) = apply_edit(&t, &Edit::RemoveSubtree { node: NodeId(1) }).unwrap();
+        assert_eq!(to_sexp(&t2, &al), "(a b)");
+        assert_eq!(span, Span { start: 1, end: 5 });
+        assert_eq!(
+            to_sexp(&t2, &al),
+            to_sexp(&crate::shrink::delete_subtree(&t, NodeId(1)), &al)
+        );
+        t2.validate().unwrap();
+    }
+
+    #[test]
+    fn edit_errors_are_typed() {
+        let (t, al) = tree("(a b)");
+        let l = al.lookup("a").unwrap();
+        assert_eq!(
+            apply_edit(
+                &t,
+                &Edit::Relabel {
+                    node: NodeId(9),
+                    label: l
+                }
+            ),
+            Err(EditError::NodeOutOfRange {
+                node: NodeId(9),
+                len: 2
+            })
+        );
+        assert_eq!(
+            apply_edit(&t, &Edit::RemoveSubtree { node: NodeId(0) }),
+            Err(EditError::CannotRemoveRoot)
+        );
+        assert_eq!(
+            apply_edit(
+                &t,
+                &Edit::InsertChild {
+                    parent: NodeId(0),
+                    position: 2,
+                    label: l
+                }
+            ),
+            Err(EditError::PositionOutOfRange {
+                position: 2,
+                arity: 1
+            })
+        );
+    }
+
+    #[test]
+    fn versioned_document_bumps_and_keeps_old_snapshot() {
+        let d = parse_sexp("(a b)").unwrap();
+        let alphabet = d.alphabet.clone();
+        let l = alphabet.lookup("a").unwrap();
+        let mut vd = VersionedDocument::new(Arc::new(d));
+        let old = Arc::clone(&vd.doc);
+        assert_eq!(vd.version, DocVersion(0));
+        let r = vd
+            .apply(&Edit::Relabel {
+                node: NodeId(1),
+                label: l,
+            })
+            .unwrap();
+        assert_eq!(r.version, DocVersion(1));
+        assert_eq!(vd.version, DocVersion(1));
+        // the pinned snapshot is untouched
+        assert_eq!(to_sexp(&old.tree, &old.alphabet), "(a b)");
+        assert_eq!(to_sexp(&vd.doc.tree, &vd.doc.alphabet), "(a a)");
+        // a failing edit changes nothing
+        assert!(vd.apply(&Edit::RemoveSubtree { node: NodeId(0) }).is_err());
+        assert_eq!(vd.version, DocVersion(1));
+    }
+
+    #[test]
+    fn random_edits_always_apply_and_stay_valid() {
+        let mut rng = SplitMix64::seed_from_u64(99);
+        let (mut t, al) = tree("(a (b c) (c b (a c)))");
+        let labels: Vec<Label> = al.labels().collect();
+        for i in 0..500 {
+            let e = random_edit(&t, &labels, &mut rng);
+            let (t2, span) = apply_edit(&t, &e).unwrap_or_else(|err| {
+                panic!("step {i}: edit {e:?} on {} failed: {err}", to_sexp(&t, &al))
+            });
+            assert!(span.start < t.len() as u32, "span starts in the old tree");
+            t2.validate().unwrap();
+            t = t2;
+        }
+    }
+
+    #[test]
+    fn span_overlap_is_symmetric_and_respects_boundaries() {
+        let a = Span { start: 2, end: 5 };
+        assert!(a.overlaps(&Span { start: 4, end: 9 }));
+        assert!(!a.overlaps(&Span { start: 5, end: 9 }));
+        assert!(!a.overlaps(&Span { start: 0, end: 2 }));
+        assert!(Span { start: 0, end: 2 }.overlaps(&a) == a.overlaps(&Span { start: 0, end: 2 }));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span { start: 3, end: 3 }.is_empty());
+    }
+}

@@ -33,6 +33,7 @@ pub mod alphabet;
 pub mod builder;
 pub mod catalog;
 pub mod cursor;
+pub mod edit;
 pub mod fcns;
 pub mod generate;
 pub mod nodeset;
@@ -48,6 +49,7 @@ pub use alphabet::{Alphabet, Label};
 pub use builder::TreeBuilder;
 pub use catalog::Catalog;
 pub use cursor::Cursor;
+pub use edit::{apply_edit, DocVersion, Edit, EditError, EditReceipt, Span, VersionedDocument};
 pub use fcns::BinTree;
 pub use nodeset::{BitMatrix, NodeSet};
 pub use tree::{Document, NodeId, Tree};

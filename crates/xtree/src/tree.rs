@@ -119,6 +119,14 @@ impl Tree {
         self.labels[v.index()]
     }
 
+    /// Overwrites the label of `v`. Crate-internal: the only structural
+    /// mutation a `Tree` admits in place (everything else rebuilds), used
+    /// by `edit::apply_edit` for `Relabel`.
+    #[inline]
+    pub(crate) fn set_label(&mut self, v: NodeId, l: Label) {
+        self.labels[v.index()] = l;
+    }
+
     /// The parent of `v`, if any.
     #[inline]
     pub fn parent(&self, v: NodeId) -> Option<NodeId> {

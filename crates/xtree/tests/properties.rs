@@ -1,0 +1,158 @@
+//! Seeded algebraic property suite for the set/relation substrate.
+//!
+//! 500 random instances per law, drawn from the in-tree deterministic
+//! PRNG ([`twx_xtree::rng`]) — no external property-testing dependency,
+//! and every failure reproduces from the seed literal in the test.
+//! Complements `props.rs`, which checks traversal/partition laws; this
+//! file pins the Boolean algebra of [`NodeSet`], the relation algebra
+//! of [`BitMatrix`] (the naive evaluator's semantic domain), and the
+//! first-child/next-sibling encoding on generator-produced documents.
+
+use twx_xtree::fcns::BinTree;
+use twx_xtree::generate::{random_document_in, Shape};
+use twx_xtree::nodeset::{BitMatrix, NodeSet};
+use twx_xtree::rng::{Rng, SplitMix64};
+use twx_xtree::{Catalog, NodeId};
+
+const CASES: usize = 500;
+
+fn rand_set(rng: &mut SplitMix64, n: usize) -> NodeSet {
+    let fill = rng.gen_range(0..2 * n + 1);
+    NodeSet::from_iter(n, (0..fill).map(|_| NodeId(rng.gen_range(0..n as u32))))
+}
+
+fn rand_rel(rng: &mut SplitMix64, n: usize) -> BitMatrix {
+    let mut r = BitMatrix::empty(n);
+    for _ in 0..rng.gen_range(0..3 * n + 1) {
+        r.set(
+            NodeId(rng.gen_range(0..n as u32)),
+            NodeId(rng.gen_range(0..n as u32)),
+        );
+    }
+    r
+}
+
+/// De Morgan, both directions: ¬(a ∪ b) = ¬a ∩ ¬b and ¬(a ∩ b) = ¬a ∪ ¬b.
+#[test]
+fn nodeset_de_morgan() {
+    let mut rng = SplitMix64::seed_from_u64(0xde3049a1);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..257usize);
+        let a = rand_set(&mut rng, n);
+        let b = rand_set(&mut rng, n);
+        let mut na = a.clone();
+        na.complement();
+        let mut nb = b.clone();
+        nb.complement();
+
+        let mut not_union = a.clone();
+        not_union.union_with(&b);
+        not_union.complement();
+        let mut meet = na.clone();
+        meet.intersect_with(&nb);
+        assert_eq!(not_union, meet, "¬(a ∪ b) ≠ ¬a ∩ ¬b at n={n}");
+
+        let mut not_meet = a.clone();
+        not_meet.intersect_with(&b);
+        not_meet.complement();
+        let mut join = na.clone();
+        join.union_with(&nb);
+        assert_eq!(not_meet, join, "¬(a ∩ b) ≠ ¬a ∪ ¬b at n={n}");
+    }
+}
+
+/// ¬¬a = a, and the complement actually flips membership (against the
+/// trim at the universe boundary).
+#[test]
+fn nodeset_complement_involution() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0417e);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..257usize);
+        let a = rand_set(&mut rng, n);
+        let mut na = a.clone();
+        na.complement();
+        assert_eq!(a.count() + na.count(), n, "complement miscounts at n={n}");
+        for v in a.iter() {
+            assert!(!na.contains(v));
+        }
+        let mut back = na;
+        back.complement();
+        assert_eq!(back, a, "¬¬a ≠ a at n={n}");
+    }
+}
+
+/// (rᵀ)ᵀ = r, and transpose is a relation isomorphism: membership flips
+/// pairwise and the domain/codomain swap.
+#[test]
+fn bitmatrix_transpose_involution() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a4502);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..33usize);
+        let r = rand_rel(&mut rng, n);
+        let rt = r.transpose();
+        assert_eq!(rt.transpose(), r, "(rᵀ)ᵀ ≠ r at n={n}");
+        assert_eq!(rt.domain().to_vec(), r.codomain().to_vec());
+        assert_eq!(rt.codomain().to_vec(), r.domain().to_vec());
+        for x in 0..n as u32 {
+            for y in 0..n as u32 {
+                assert_eq!(r.get(NodeId(x), NodeId(y)), rt.get(NodeId(y), NodeId(x)));
+            }
+        }
+    }
+}
+
+/// The reflexive-transitive closure is a closure operator: idempotent
+/// ((r*)* = r*), extensive (r ∪ id ⊆ r*), and monotone
+/// (r ⊆ s ⇒ r* ⊆ s*). Subset is tested via union-absorption.
+#[test]
+fn bitmatrix_star_is_a_closure_operator() {
+    let mut rng = SplitMix64::seed_from_u64(0x57a127);
+    let subset = |small: &BitMatrix, big: &BitMatrix| {
+        let mut u = big.clone();
+        u.union_with(small);
+        &u == big
+    };
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..25usize);
+        let r = rand_rel(&mut rng, n);
+        let star = r.star();
+        assert_eq!(star.star(), star, "(r*)* ≠ r* at n={n}");
+        assert!(subset(&r, &star), "r ⊄ r* at n={n}");
+        assert!(subset(&BitMatrix::identity(n), &star), "id ⊄ r* at n={n}");
+        // grow r by one random extra pair: closure must not shrink
+        let mut s = r.clone();
+        s.set(
+            NodeId(rng.gen_range(0..n as u32)),
+            NodeId(rng.gen_range(0..n as u32)),
+        );
+        assert!(subset(&star, &s.star()), "star not monotone at n={n}");
+    }
+}
+
+/// FCNS round-trip on generator-produced documents of every shape: the
+/// binary encoding decodes back to the identical tree.
+#[test]
+fn fcns_roundtrip_on_random_documents() {
+    const SHAPES: [Shape; 5] = [
+        Shape::Recursive,
+        Shape::Deep(2),
+        Shape::Bounded(3),
+        Shape::Wide,
+        Shape::DocumentLike,
+    ];
+    let catalog = Catalog::from_names(["a", "b", "c"]);
+    let mut rng = SplitMix64::seed_from_u64(0xfc2500d0);
+    for i in 0..CASES {
+        let n = rng.gen_range(1..60usize);
+        let shape = SHAPES[i % SHAPES.len()];
+        let doc = random_document_in(shape, n, &catalog, &mut rng);
+        let bt = BinTree::encode(&doc.tree);
+        assert_eq!(bt.len(), doc.tree.len());
+        assert_eq!(
+            bt.decode(),
+            doc.tree,
+            "fcns round-trip failed on a {shape:?} document of {} nodes",
+            doc.tree.len()
+        );
+    }
+}

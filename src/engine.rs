@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use twx_core::{rpath_to_formula, rpath_to_ntwa};
@@ -28,6 +29,7 @@ use twx_regxpath::eval::Compiled;
 use twx_regxpath::parser::{parse_rpath_catalog, parse_rpath_resolved, ResolveError};
 use twx_regxpath::{simplify_rpath, RPath};
 use twx_twa::machine::Ntwa;
+use twx_xtree::edit::{DocVersion, Span};
 use twx_xtree::{Catalog, Document, NodeId, NodeSet};
 
 /// Which evaluation pipeline to use.
@@ -229,6 +231,268 @@ impl PlanCache {
     }
 }
 
+/// Default number of resident answers before the result cache evicts.
+const DEFAULT_RESULT_CACHE_CAPACITY: usize = 1024;
+
+/// Point-in-time statistics of a [`ResultCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Lookups answered from a cached node set.
+    pub hits: u64,
+    /// Lookups that found nothing (or a stale version).
+    pub misses: u64,
+    /// Answers inserted after an evaluation.
+    pub insertions: u64,
+    /// Entries kept across an edit (touched span disjoint from the
+    /// edit's affected span).
+    pub carried: u64,
+    /// Entries dropped by an edit (spans overlapped).
+    pub invalidated: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Answers currently resident (across all documents).
+    pub entries: usize,
+    /// Maximum resident answers before eviction.
+    pub capacity: usize,
+}
+
+/// One cached answer: the node set, the preorder span the query actually
+/// depends on, and an insertion tick for capacity eviction.
+#[derive(Debug)]
+struct CachedAnswer {
+    touched: Span,
+    result: Arc<NodeSet>,
+    tick: u64,
+}
+
+/// Per-document slice of the result cache. All resident answers for a
+/// document are for **one** version — its latest seen — so the version
+/// lives here rather than in every key.
+#[derive(Debug, Default)]
+struct DocResults {
+    version: DocVersion,
+    answers: HashMap<u64, CachedAnswer>,
+}
+
+#[derive(Debug)]
+struct ResultInner {
+    docs: HashMap<u64, DocResults>,
+    len: usize,
+    tick: u64,
+    capacity: usize,
+}
+
+/// A concurrent, bounded cache of **evaluated answers**, keyed by
+/// `(plan-and-context fingerprint, document id, DocVersion)`.
+///
+/// The cache is the read-side half of the live-corpus story: queries on
+/// unchanged documents are answered without touching the tree, and edits
+/// invalidate **precisely** — [`ResultCache::invalidate`] is told the
+/// edit's affected span (from [`twx_xtree::edit::apply_edit`]) and keeps
+/// every entry whose touched span ends before it. Subtree-local queries
+/// (see [`RPath::is_downward`]) record a touched span of just their
+/// context subtree, so edits elsewhere in the document carry them across
+/// versions; everything else records the whole document and drops on any
+/// edit.
+///
+/// Capacity eviction removes the globally oldest entry (smallest
+/// insertion tick). Totals are kept in atomics and mirrored to the
+/// thread-local `result_cache_*` observability counters.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: RwLock<ResultInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    carried: AtomicU64,
+    invalidated: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> ResultCache {
+        ResultCache::new(DEFAULT_RESULT_CACHE_CAPACITY)
+    }
+}
+
+impl ResultCache {
+    /// A cache bounded to `capacity` resident answers (min 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: RwLock::new(ResultInner {
+                docs: HashMap::new(),
+                len: 0,
+                tick: 0,
+                capacity: capacity.max(1),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            carried: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a cached answer. A hit requires the document slice to be
+    /// at exactly `version` — answers cached against other versions never
+    /// leak across.
+    pub fn get(&self, fingerprint: u64, doc: u64, version: DocVersion) -> Option<Arc<NodeSet>> {
+        let inner = self.inner.read().expect("result cache poisoned");
+        let hit = inner
+            .docs
+            .get(&doc)
+            .filter(|d| d.version == version)
+            .and_then(|d| d.answers.get(&fingerprint))
+            .map(|a| Arc::clone(&a.result));
+        drop(inner);
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::incr(Counter::ResultCacheHits);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            obs::incr(Counter::ResultCacheMisses);
+        }
+        hit
+    }
+
+    /// Inserts an evaluated answer with the span it depends on. An
+    /// answer computed against an **older** version than the cache has
+    /// seen for the document (a reader on a pinned snapshot racing a
+    /// writer) is silently dropped; a **newer** version resets the
+    /// document's slice first.
+    pub fn insert(
+        &self,
+        fingerprint: u64,
+        doc: u64,
+        version: DocVersion,
+        touched: Span,
+        result: Arc<NodeSet>,
+    ) {
+        let mut inner = self.inner.write().expect("result cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let (dropped, fresh) = {
+            let slice = inner.docs.entry(doc).or_default();
+            if slice.version > version {
+                return; // stale snapshot's answer; don't pollute
+            }
+            let dropped = if slice.version != version {
+                let d = slice.answers.len();
+                slice.answers.clear();
+                slice.version = version;
+                d
+            } else {
+                0
+            };
+            let fresh = slice
+                .answers
+                .insert(
+                    fingerprint,
+                    CachedAnswer {
+                        touched,
+                        result,
+                        tick,
+                    },
+                )
+                .is_none();
+            (dropped, fresh)
+        };
+        inner.len -= dropped;
+        inner.len += usize::from(fresh);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        obs::incr(Counter::ResultCacheInsertions);
+        while inner.len > inner.capacity {
+            // Evict the globally oldest entry. O(n) scan: invalidation
+            // re-homes surviving entries under new versions, which would
+            // orphan any FIFO queue of keys, and n is small.
+            let victim = inner
+                .docs
+                .iter()
+                .flat_map(|(d, s)| s.answers.iter().map(move |(f, a)| (a.tick, *d, *f)))
+                .min()
+                .map(|(_, d, f)| (d, f));
+            let Some((d, f)) = victim else { break };
+            if let Some(slice) = inner.docs.get_mut(&d) {
+                slice.answers.remove(&f);
+            }
+            inner.len -= 1;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            obs::incr(Counter::ResultCacheEvictions);
+        }
+    }
+
+    /// Applies an edit to the cache: document `doc` moved to
+    /// `new_version` with `affected` as the edit's span (in the pre-edit
+    /// numbering). Entries whose touched span ends at or before
+    /// `affected.start` are **carried** to the new version — nodes
+    /// strictly before the edit point keep their preorder ids and their
+    /// subtrees are untouched, so the cached answers remain exact.
+    /// Overlapping entries are dropped. Returns `(carried, invalidated)`.
+    pub fn invalidate(&self, doc: u64, affected: Span, new_version: DocVersion) -> (u64, u64) {
+        let mut inner = self.inner.write().expect("result cache poisoned");
+        let (carried, invalidated) = {
+            let Some(slice) = inner.docs.get_mut(&doc) else {
+                return (0, 0);
+            };
+            let before = slice.answers.len();
+            if slice.version.bump() == new_version {
+                slice.answers.retain(|_, a| a.touched.end <= affected.start);
+            } else {
+                // Not the edit immediately following the cached version
+                // (e.g. racing writers delivered invalidations out of
+                // order): carrying anything would skip an edit's span
+                // check, so drop the whole slice.
+                slice.answers.clear();
+            }
+            let kept = slice.answers.len();
+            slice.version = new_version;
+            (kept as u64, (before - kept) as u64)
+        };
+        inner.len -= invalidated as usize;
+        self.carried.fetch_add(carried, Ordering::Relaxed);
+        self.invalidated.fetch_add(invalidated, Ordering::Relaxed);
+        obs::add(Counter::ResultCacheCarried, carried);
+        obs::add(Counter::ResultCacheInvalidated, invalidated);
+        (carried, invalidated)
+    }
+
+    /// **Deliberately unsound** fault-injection hook: moves a document
+    /// slice to `new_version` while keeping every entry, skipping the
+    /// span check entirely. Exists so the mutation fuzzer's
+    /// `--fault cache=skip-invalidate` self-test can prove the harness
+    /// detects a broken invalidation path; never call it otherwise.
+    pub fn skip_invalidate(&self, doc: u64, new_version: DocVersion) {
+        let mut inner = self.inner.write().expect("result cache poisoned");
+        if let Some(slice) = inner.docs.get_mut(&doc) {
+            slice.version = new_version;
+        }
+    }
+
+    /// Drops every cached answer for `doc` (e.g. on document removal).
+    pub fn purge_doc(&self, doc: u64) {
+        let mut inner = self.inner.write().expect("result cache poisoned");
+        if let Some(slice) = inner.docs.remove(&doc) {
+            inner.len -= slice.answers.len();
+        }
+    }
+
+    /// Point-in-time totals.
+    pub fn stats(&self) -> ResultCacheStats {
+        let inner = self.inner.read().expect("result cache poisoned");
+        ResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            carried: self.carried.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.len,
+            capacity: inner.capacity,
+        }
+    }
+}
+
 /// A compiled query: the product of the full pipeline (parse → simplify →
 /// cached backend compile), reusable across context nodes, threads, and
 /// every document sharing the label space it was compiled against.
@@ -256,6 +520,90 @@ impl Prepared {
             Plan::Automaton(a) => twx_twa::eval_image(t, a, &ctx_set),
             Plan::Logic(f) => twx_fotc::eval_binary(t, f, 0, 1).image(&ctx_set),
         }
+    }
+
+    /// A stable-within-this-process fingerprint of the compiled plan:
+    /// the simplified AST plus the backend. Two `Prepared` values that
+    /// would answer identically over the same label space fingerprint
+    /// identically.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.path.hash(&mut h);
+        self.backend.name().hash(&mut h);
+        h.finish()
+    }
+
+    /// The preorder span of `doc` this query's answer from `ctx` can
+    /// depend on: the context subtree for subtree-local (downward-only)
+    /// queries, the whole document otherwise. This is the span recorded
+    /// with cached answers and tested against edit spans at
+    /// invalidation.
+    pub fn touched_span(&self, doc: &Document, ctx: NodeId) -> Span {
+        if self.path.is_downward() {
+            Span {
+                start: ctx.0,
+                end: doc.tree.subtree_end(ctx),
+            }
+        } else {
+            Span {
+                start: 0,
+                end: doc.tree.len() as u32,
+            }
+        }
+    }
+
+    /// Evaluates through a [`ResultCache`]: answers from the cache when
+    /// it holds this `(plan, ctx)` on this exact `(doc_id, version)`,
+    /// evaluating and inserting otherwise.
+    ///
+    /// A carried entry may predate structural edits elsewhere in the
+    /// document, leaving its node-set **universe** (bit width) at the
+    /// old document length even though every id in it is still exact; in
+    /// that case the set is re-based onto the current length before
+    /// being returned.
+    pub fn eval_cached(
+        &self,
+        cache: &ResultCache,
+        doc_id: u64,
+        version: DocVersion,
+        doc: &Document,
+        ctx: NodeId,
+    ) -> Arc<NodeSet> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.fingerprint().hash(&mut h);
+        ctx.0.hash(&mut h);
+        let key = h.finish();
+        if let Some(hit) = cache.get(key, doc_id, version) {
+            if hit.universe() == doc.tree.len() {
+                return hit;
+            }
+            // Ids at or past the current length can only appear when an
+            // invalidation was (deliberately, in tests) skipped after a
+            // shrinking edit; dropping them keeps the rebase total.
+            let len = doc.tree.len();
+            let rebased = Arc::new(NodeSet::from_iter(
+                len,
+                hit.iter().filter(|v| (v.0 as usize) < len),
+            ));
+            // re-insert at the current width so later hits skip the remap
+            cache.insert(
+                key,
+                doc_id,
+                version,
+                self.touched_span(doc, ctx),
+                Arc::clone(&rebased),
+            );
+            return rebased;
+        }
+        let result = Arc::new(self.eval(doc, ctx));
+        cache.insert(
+            key,
+            doc_id,
+            version,
+            self.touched_span(doc, ctx),
+            Arc::clone(&result),
+        );
+        result
     }
 
     /// Evaluates from `ctx` and returns the full cost profile of doing so
@@ -591,6 +939,159 @@ mod tests {
         let held = engine.prepare(&d, "down*").unwrap();
         engine.prepare(&d, "down/down/down").unwrap();
         assert_eq!(held.eval(&d, d.tree.root()).count(), 5); // ε + 4 descendants
+    }
+
+    #[test]
+    fn result_cache_hits_and_versions() {
+        use twx_xtree::edit::{apply_edit, Edit};
+        let d = doc();
+        let engine = Engine::new();
+        let cache = ResultCache::new(64);
+        let p = engine.prepare(&d, "down*[c]").unwrap();
+        let root = d.tree.root();
+        let v0 = DocVersion(0);
+        let a = p.eval_cached(&cache, 7, v0, &d, root);
+        let b = p.eval_cached(&cache, 7, v0, &d, root);
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup is a cache hit");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        // a different version misses
+        let label = d.alphabet.lookup("b").unwrap();
+        let (t2, affected) = apply_edit(
+            &d.tree,
+            &Edit::Relabel {
+                node: NodeId(3),
+                label,
+            },
+        )
+        .unwrap();
+        let d2 = Document::new(t2, d.alphabet.clone());
+        let v1 = v0.bump();
+        cache.invalidate(7, affected, v1);
+        let c = p.eval_cached(&cache, 7, v1, &d2, root);
+        assert_eq!(c.count(), 1, "relabeled c is gone from the answer");
+        assert_ne!(a.to_vec(), c.to_vec());
+    }
+
+    #[test]
+    fn result_cache_precise_invalidation_carries_disjoint_entries() {
+        use twx_xtree::edit::{apply_edit, Edit};
+        // (a (b (c)) (c (b))): subtree of node 1 is [1,3); node 3's is [3,5)
+        let d = doc();
+        let engine = Engine::new();
+        let cache = ResultCache::new(64);
+        let p = engine.prepare(&d, "down*[c]").unwrap();
+        assert!(p.path().is_downward());
+        // cache an answer scoped to the first subtree
+        let early = p.eval_cached(&cache, 1, DocVersion(0), &d, NodeId(1));
+        assert_eq!(p.touched_span(&d, NodeId(1)), Span { start: 1, end: 3 });
+        // edit inside the *second* subtree: disjoint, entry must carry
+        let label = d.alphabet.lookup("c").unwrap();
+        let (t2, affected) = apply_edit(
+            &d.tree,
+            &Edit::Relabel {
+                node: NodeId(4),
+                label,
+            },
+        )
+        .unwrap();
+        assert_eq!(affected, Span { start: 4, end: 5 });
+        let (carried, invalidated) = cache.invalidate(1, affected, DocVersion(1));
+        assert_eq!((carried, invalidated), (1, 0));
+        let d2 = Document::new(t2, d.alphabet.clone());
+        let hit = p.eval_cached(&cache, 1, DocVersion(1), &d2, NodeId(1));
+        assert!(Arc::ptr_eq(&early, &hit), "carried entry answers the hit");
+        assert_eq!(hit.to_vec(), p.eval(&d2, NodeId(1)).to_vec());
+        // an edit overlapping the cached subtree evicts it
+        let (_, affected) = apply_edit(
+            &d2.tree,
+            &Edit::Relabel {
+                node: NodeId(2),
+                label,
+            },
+        )
+        .unwrap();
+        let (carried, invalidated) = cache.invalidate(1, affected, DocVersion(2));
+        assert_eq!((carried, invalidated), (0, 1));
+        let s = cache.stats();
+        assert_eq!((s.carried, s.invalidated), (1, 1));
+    }
+
+    #[test]
+    fn result_cache_rebases_universe_after_structural_carry() {
+        use twx_xtree::edit::{apply_edit, Edit};
+        let d = doc();
+        let engine = Engine::new();
+        let cache = ResultCache::new(64);
+        let p = engine.prepare(&d, "down*[c]").unwrap();
+        let cached = p.eval_cached(&cache, 1, DocVersion(0), &d, NodeId(1));
+        assert_eq!(cached.universe(), 5);
+        // append a leaf under the *last* subtree root (node 3): span [3,5)
+        let label = d.alphabet.lookup("c").unwrap();
+        let (t2, affected) = apply_edit(
+            &d.tree,
+            &Edit::InsertChild {
+                parent: NodeId(3),
+                position: 1,
+                label,
+            },
+        )
+        .unwrap();
+        assert_eq!(affected, Span { start: 3, end: 5 });
+        assert_eq!(cache.invalidate(1, affected, DocVersion(1)), (1, 0));
+        let d2 = Document::new(t2, d.alphabet.clone());
+        let hit = p.eval_cached(&cache, 1, DocVersion(1), &d2, NodeId(1));
+        assert_eq!(hit.universe(), 6, "carried answer re-based to new width");
+        assert_eq!(hit.to_vec(), p.eval(&d2, NodeId(1)).to_vec());
+    }
+
+    #[test]
+    fn result_cache_capacity_evicts_oldest() {
+        let d = doc();
+        let engine = Engine::new();
+        let cache = ResultCache::new(2);
+        let root = d.tree.root();
+        for (i, q) in ["down", "down/down", "down*"].iter().enumerate() {
+            let p = engine.prepare(&d, q).unwrap();
+            p.eval_cached(&cache, i as u64, DocVersion(0), &d, root);
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        // the oldest (doc 0) was evicted; the newest still hits
+        let p = engine.prepare(&d, "down*").unwrap();
+        p.eval_cached(&cache, 2, DocVersion(0), &d, root);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn skip_invalidate_serves_stale_answers() {
+        use twx_xtree::edit::{apply_edit, Edit};
+        let d = doc();
+        let engine = Engine::new();
+        let cache = ResultCache::new(64);
+        let p = engine.prepare(&d, "down*[c]").unwrap();
+        let root = d.tree.root();
+        let stale = p.eval_cached(&cache, 3, DocVersion(0), &d, root);
+        let label = d.alphabet.lookup("c").unwrap();
+        let (t2, _) = apply_edit(
+            &d.tree,
+            &Edit::Relabel {
+                node: NodeId(4),
+                label,
+            },
+        )
+        .unwrap();
+        let d2 = Document::new(t2, d.alphabet.clone());
+        cache.skip_invalidate(3, DocVersion(1)); // the injected fault
+        let answer = p.eval_cached(&cache, 3, DocVersion(1), &d2, root);
+        assert_eq!(answer.to_vec(), stale.to_vec());
+        assert_ne!(
+            answer.to_vec(),
+            p.eval(&d2, root).to_vec(),
+            "the fault visibly corrupts answers — what the mutation fuzzer must catch"
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@
 pub mod engine;
 pub mod prune;
 
-pub use engine::{Backend, CacheStats, Engine, EngineError, Prepared};
+pub use engine::{
+    Backend, CacheStats, Engine, EngineError, Prepared, ResultCache, ResultCacheStats,
+};
 pub use prune::prune_unsat_rpath;
 pub use twx_core as core;
 pub use twx_corexpath as corexpath;
