@@ -134,6 +134,27 @@ print("e11: %.1fx speedup, %.0f%% hit rate, %d carried / %d invalidated"
       % (e11["speedup"], 100 * rc["hit_rate"], rc["carried"], rc["invalidated"]))
 EOF
 
+say "observability overhead gate (enabled vs disabled, <=1.05x)"
+probe_on="$(mktemp -t twx_probe_on.XXXXXX.json)"
+probe_off="$(mktemp -t twx_probe_off.XXXXXX.json)"
+cargo run --release --example overhead_probe > "$probe_on"
+cargo run --release --no-default-features --example overhead_probe > "$probe_off"
+python3 - "$probe_on" "$probe_off" <<'EOF'
+import json, sys
+on = json.load(open(sys.argv[1]))
+off = json.load(open(sys.argv[2]))
+assert on["schema"] == off["schema"] == "twx-overhead/1", (on, off)
+assert on["obs_enabled"] is True and off["obs_enabled"] is False, (on, off)
+assert on["matches_per_round"] == off["matches_per_round"], "probes did different work"
+ratio = on["min_round_ns"] / off["min_round_ns"]
+assert ratio <= 1.05, (
+    f"instrumentation overhead {ratio:.3f}x exceeds 1.05x "
+    f"({on['min_round_ns']}ns enabled vs {off['min_round_ns']}ns disabled)")
+print(f"overhead: {ratio:.3f}x (enabled {on['min_round_ns']}ns, "
+      f"disabled {off['min_round_ns']}ns, min of {on['rounds']} rounds)")
+EOF
+rm -f "$probe_on" "$probe_off"
+
 say "twx-serve round trip"
 cargo build --release -p twx-corpus --bin twx-serve
 serve_log="$(mktemp -t twx_serve.XXXXXX.log)"
@@ -172,9 +193,51 @@ assert not bad["ok"] and bad["error"] == "engine", bad
 st = rpc({"op": "stats"})
 assert st["ok"] and st["completed"] == 2 and st["workers"] == 2, st
 assert st["updates"] == 1, st
+# stats carries uptime, connection count, and latency percentiles
+for key in ("uptime_s", "connections", "latency_p50_us", "latency_p90_us",
+            "latency_p99_us", "latency_p999_us", "latency_count"):
+    assert key in st, (key, st)
+assert st["latency_count"] == 2 and st["connections"] >= 1, st
+assert st["latency_p50_us"] <= st["latency_p99_us"], st
+# a trace-flagged query returns the same answer plus an inline span tree
+tr = rpc({"op": "query", "query": "down*[b]", "trace": True})
+assert tr["ok"] and tr["matches"] == r2["matches"], (tr, r2)
+assert "trace_id" in tr and len(tr["trace_id"]) == 16, tr
+tree = tr["trace"]
+assert tree["trace_id"] == tr["trace_id"], tree
+root = tree["root"]
+assert root["name"] == "request" and root["dur_ns"] > 0, root
+stages = [c["name"] for c in root["children"]]
+assert stages[0] == "prepare" and stages[-1] == "merge", stages
+assert sum(s.startswith("shard") for s in stages) == 2, stages
+# the metrics op ships a Prometheus text exposition; smoke-parse it
+mx = rpc({"op": "metrics"})
+assert mx["ok"], mx
+seen = set()
+for line in mx["metrics"].splitlines():
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split()
+        assert kind in ("gauge", "histogram"), line
+        seen.add(name)
+    else:
+        sample, value = line.rsplit(" ", 1)
+        float(value)
+        assert any(sample.startswith(n) for n in seen), line
+assert {"twx_service_request_ns", "twx_service_queue_wait_ns",
+        "twx_service_shard_eval_ns", "twx_serve_uptime_seconds",
+        "twx_serve_connections_total"} <= seen, seen
+assert 'le="+Inf"} 3' in mx["metrics"], "request histogram count"
+# the slow log retains every request so far, slowest first, with profiles
+sl = rpc({"op": "slowlog"})
+assert sl["ok"] and len(sl["entries"]) == 3, sl
+lats = [e["latency_us"] for e in sl["entries"]]
+assert lats == sorted(lats, reverse=True), lats
+assert any(e["trace_id"] == tr["trace_id"] for e in sl["entries"]), sl
+assert all("profile" in e and e["query"] for e in sl["entries"]), sl
 bye = rpc({"op": "shutdown"})
 assert bye["ok"] and bye["shutting_down"], bye
-print("twx-serve: query/update/stats/shutdown round trip ok on port", sys.argv[1])
+print("twx-serve: query/update/stats/trace/metrics/slowlog/shutdown",
+      "round trip ok on port", sys.argv[1])
 EOF
 wait "$serve_pid"
 

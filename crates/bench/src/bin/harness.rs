@@ -175,7 +175,13 @@ fn main() {
     }
     let doc = doc
         .field("quickstart_profiles", Json::Arr(profiles))
-        .field("plan_cache", plan_cache);
+        .field("plan_cache", plan_cache)
+        // every histogram the run registered process-wide (engine
+        // per-backend eval series, service latency series, …)
+        .field(
+            "histograms",
+            twx_obs::metrics::global().histograms_to_json(),
+        );
     let rendered = doc.render();
     // the export must always be machine-readable: re-parse before writing
     twx_obs::json::parse(&rendered).expect("harness JSON round-trips");

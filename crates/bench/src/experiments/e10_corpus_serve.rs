@@ -24,6 +24,7 @@ use std::sync::Arc;
 use treewalk::{Backend, Engine};
 use twx_corpus::{Corpus, QueryService, ServiceConfig, ServiceError};
 use twx_obs::json::Json;
+use twx_obs::Histogram;
 use twx_xtree::generate::{random_document_in, Shape};
 use twx_xtree::rng::SplitMix64;
 use twx_xtree::Catalog;
@@ -36,12 +37,8 @@ const QUERIES: [&str; 3] = [
     "down*[<down[c]> or <down[d]>]",
 ];
 
-fn percentile_us(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+fn ns_to_us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
 }
 
 fn build_corpus(cfg: &RunCfg, n_shards: usize) -> Arc<Corpus> {
@@ -66,8 +63,10 @@ struct SweepPoint {
     requests: u64,
     throughput_qps: f64,
     p50_us: f64,
+    p90_us: f64,
     p95_us: f64,
     p99_us: f64,
+    p999_us: f64,
     timeouts: u64,
 }
 
@@ -83,6 +82,7 @@ fn sweep(cfg: &RunCfg, n_shards: usize) -> SweepPoint {
             workers,
             queue_capacity: 512,
             default_timeout: None,
+            slowlog_capacity: 16,
         },
     );
     // warm the plan cache so the sweep measures serving, not compiling
@@ -92,37 +92,43 @@ fn sweep(cfg: &RunCfg, n_shards: usize) -> SweepPoint {
     let gen_threads = 4usize;
     let per_thread = if cfg.quick { 12usize } else { 64 };
     let t0 = std::time::Instant::now();
-    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+    // each generator records into its own histogram; the per-thread
+    // histograms merge into one distribution at the end (the same
+    // drain-and-merge shape the service uses for its counters)
+    let hist: Histogram = std::thread::scope(|s| {
         let handles: Vec<_> = (0..gen_threads)
             .map(|g| {
                 let service = &service;
                 s.spawn(move || {
-                    let mut lat = Vec::with_capacity(per_thread);
+                    let mut h = Histogram::default();
                     for i in 0..per_thread {
                         let q = QUERIES[(g + i) % QUERIES.len()];
                         let answer = service.query(q).expect("sweep query");
-                        lat.push(answer.latency.as_secs_f64() * 1e6);
+                        h.record(answer.latency.as_nanos() as u64);
                     }
-                    lat
+                    h
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect()
+            .fold(Histogram::default(), |mut acc, h| {
+                acc.merge(&h.join().unwrap());
+                acc
+            })
     });
     let wall = t0.elapsed().as_secs_f64();
-    latencies.sort_by(f64::total_cmp);
     let stats = service.shutdown();
     SweepPoint {
         n_shards,
         workers,
-        requests: latencies.len() as u64,
-        throughput_qps: latencies.len() as f64 / wall.max(1e-9),
-        p50_us: percentile_us(&latencies, 0.50),
-        p95_us: percentile_us(&latencies, 0.95),
-        p99_us: percentile_us(&latencies, 0.99),
+        requests: hist.count(),
+        throughput_qps: hist.count() as f64 / wall.max(1e-9),
+        p50_us: ns_to_us(hist.percentile(0.50)),
+        p90_us: ns_to_us(hist.percentile(0.90)),
+        p95_us: ns_to_us(hist.percentile(0.95)),
+        p99_us: ns_to_us(hist.percentile(0.99)),
+        p999_us: ns_to_us(hist.percentile(0.999)),
         timeouts: stats.timeouts,
     }
 }
@@ -155,6 +161,7 @@ fn saturate(cfg: &RunCfg) -> Saturation {
             workers: 1,
             queue_capacity: 6,
             default_timeout: None,
+            slowlog_capacity: 16,
         },
     );
     let zigzag = "(down/right | up)*[a]";
@@ -195,7 +202,7 @@ pub fn run_full(cfg: &RunCfg) -> (Table, Json) {
     let mut table = Table::new(
         "E10: corpus serving — throughput/latency by shard count, plus admission control",
         &[
-            "shards", "workers", "requests", "qps", "p50", "p95", "p99", "timeouts",
+            "shards", "workers", "requests", "qps", "p50", "p90", "p95", "p99", "p999", "timeouts",
         ],
     );
     let shard_counts: &[usize] = if cfg.quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
@@ -208,8 +215,10 @@ pub fn run_full(cfg: &RunCfg) -> (Table, Json) {
             p.requests.to_string(),
             format!("{:.0}", p.throughput_qps),
             format!("{:.0}us", p.p50_us),
+            format!("{:.0}us", p.p90_us),
             format!("{:.0}us", p.p95_us),
             format!("{:.0}us", p.p99_us),
+            format!("{:.0}us", p.p999_us),
             p.timeouts.to_string(),
         ]);
         shard_rows.push(
@@ -219,8 +228,10 @@ pub fn run_full(cfg: &RunCfg) -> (Table, Json) {
                 .field("requests", p.requests)
                 .field("throughput_qps", p.throughput_qps)
                 .field("p50_us", p.p50_us)
+                .field("p90_us", p.p90_us)
                 .field("p95_us", p.p95_us)
                 .field("p99_us", p.p99_us)
+                .field("p999_us", p.p999_us)
                 .field("timeouts", p.timeouts),
         );
     }
@@ -233,11 +244,14 @@ pub fn run_full(cfg: &RunCfg) -> (Table, Json) {
         "-".into(),
         "-".into(),
         "-".into(),
+        "-".into(),
+        "-".into(),
         format!("{} rejected", sat.rejected),
     ]);
     table.note(
         "sweep rows: 4 generator threads over a shared-catalog corpus, Product backend, warm plan \
-         cache; percentiles of submit-to-answer latency",
+         cache; log-bucketed histogram percentiles of submit-to-answer latency (per-thread \
+         histograms merged)",
     );
     table.note(
         "last row: saturation burst at a 1-worker service with a 6-slot admission queue — \

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use treewalk::{Backend, Engine, ResultCache};
 use twx_corpus::Corpus;
 use twx_obs::json::Json;
+use twx_obs::Histogram;
 use twx_xtree::edit::random_edit;
 use twx_xtree::generate::{random_document_in, Shape};
 use twx_xtree::rng::{Rng, SplitMix64};
@@ -110,6 +111,9 @@ struct LiveRun {
     misses: u64,
     carried: u64,
     invalidated: u64,
+    /// Latency distribution of each *query op* (one pool query swept
+    /// across the whole corpus), log-bucketed.
+    query_hist: Histogram,
 }
 
 /// The live regime: versioned documents + hot engine + result cache,
@@ -126,6 +130,7 @@ fn run_live(catalog: &Arc<Catalog>, docs: &[Document], ops: &[MixOp]) -> LiveRun
     let engine = Engine::with_backend(Backend::Product);
     let cache = ResultCache::default();
     let mut matches = 0u64;
+    let mut query_hist = Histogram::default();
     let t0 = std::time::Instant::now();
     // one compile per pool query, inside the timed region — the serving
     // posture (QueryService compiles once and fans the plan out)
@@ -137,12 +142,14 @@ fn run_live(catalog: &Arc<Catalog>, docs: &[Document], ops: &[MixOp]) -> LiveRun
         match op {
             MixOp::Query { query, ctx } => {
                 let prepared = &pool[*query];
+                let q0 = std::time::Instant::now();
                 for (i, vdoc) in live.iter().enumerate() {
                     let ctx = NodeId((*ctx).min(vdoc.doc.tree.len() as u32 - 1));
                     let answer =
                         prepared.eval_cached(&cache, i as u64, vdoc.version, &vdoc.doc, ctx);
                     matches += answer.count() as u64;
                 }
+                query_hist.record(q0.elapsed().as_nanos() as u64);
             }
             MixOp::Edit { doc, pick } => {
                 let vdoc = &mut live[*doc];
@@ -162,6 +169,7 @@ fn run_live(catalog: &Arc<Catalog>, docs: &[Document], ops: &[MixOp]) -> LiveRun
         misses: stats.misses,
         carried: stats.carried,
         invalidated: stats.invalidated,
+        query_hist,
     }
 }
 
@@ -337,6 +345,14 @@ pub fn run_full(cfg: &RunCfg) -> (Table, Json) {
         "precision probe: a subtree-local cached answer survives a disjoint edit (hit) and dies \
          to an overlapping one (miss) — counts in the JSON summary",
     );
+    let q = live.query_hist.quantiles();
+    table.note(format!(
+        "live query-op latency (one pool query over the whole corpus, log-bucketed): {}",
+        q.iter()
+            .map(|(name, ns)| format!("{name}={:.0}us", *ns as f64 / 1_000.0))
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
 
     let summary = Json::obj()
         .field(
@@ -351,6 +367,7 @@ pub fn run_full(cfg: &RunCfg) -> (Table, Json) {
         .field("live_ms", live.elapsed_ms)
         .field("baseline_ms", baseline_ms)
         .field("speedup", speedup)
+        .field("query_op_ns", live.query_hist.to_json())
         .field(
             "result_cache",
             Json::obj()

@@ -157,6 +157,7 @@ impl Conformer {
                 workers: 2,
                 queue_capacity: 8,
                 default_timeout: Some(Duration::from_secs(30)),
+                slowlog_capacity: 16,
             },
         );
         let answer = service.query(query).map_err(|e| format!("service: {e}"))?;

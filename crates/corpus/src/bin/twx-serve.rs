@@ -6,11 +6,19 @@
 //! ```text
 //! -> {"op":"query","query":"down*[b]","timeout_ms":250}
 //! <- {"ok":true,"matches":2,"docs":[{"doc":0,"version":0,"matches":1},...],
-//!     "timed_out":false,"latency_us":412,"shards":[...]}
+//!     "timed_out":false,"latency_us":412,"trace_id":"…","shards":[...]}
+//! -> {"op":"query","query":"down*[b]","trace":true}
+//! <- {"ok":true,...,"trace":{"trace_id":"…","root":{...span tree...}}}
 //! -> {"op":"update","doc":0,"edit":{"op":"relabel","node":1,"label":"c"}}
 //! <- {"ok":true,"doc":0,"version":1,"affected":[1,2],"nodes":4,"seq":1}
 //! -> {"op":"stats"}
-//! <- {"ok":true,"submitted":3,"completed":3,"rejected":0,...}
+//! <- {"ok":true,"submitted":3,...,"uptime_s":12,"connections":3,
+//!     "latency_p50_us":211,"latency_p99_us":733,...}
+//! -> {"op":"metrics"}
+//! <- {"ok":true,"metrics":"# TYPE twx_engine_eval_ns histogram\n..."}
+//! -> {"op":"slowlog"}
+//! <- {"ok":true,"entries":[{"trace_id":"…","query":"…","latency_us":…,
+//!     "profile":{...}},...]}
 //! -> {"op":"shutdown"}
 //! <- {"ok":true,"shutting_down":true}
 //! ```
@@ -23,7 +31,8 @@
 //! ```text
 //! twx-serve [--port P] [--shards N] [--workers N] [--queue N]
 //!           [--backend product|automaton|logic] [--timeout-ms MS]
-//!           [--synthetic DOCSxNODES [--seed S]] [FILE.xml|FILE.sexp ...]
+//!           [--slowlog N] [--synthetic DOCSxNODES [--seed S]]
+//!           [FILE.xml|FILE.sexp ...]
 //! ```
 //!
 //! `--port 0` binds an ephemeral port; the chosen address is printed as
@@ -33,10 +42,11 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use treewalk::{Backend, Engine};
 use twx_corpus::{Corpus, CorpusAnswer, DocId, QueryService, ServiceConfig, ServiceError};
 use twx_obs::json::{parse as parse_json, Json};
+use twx_obs::metrics::Gauge;
 use twx_regxpath::parser::parse_rpath_resolved;
 use twx_xtree::edit::Edit;
 use twx_xtree::generate::{random_document_in, Shape};
@@ -50,6 +60,7 @@ struct Args {
     queue: usize,
     backend: Backend,
     timeout: Option<Duration>,
+    slowlog: usize,
     synthetic: Option<(usize, usize)>,
     seed: u64,
     files: Vec<String>,
@@ -58,7 +69,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: twx-serve [--port P] [--shards N] [--workers N] [--queue N] \
-         [--backend product|automaton|logic] [--timeout-ms MS] \
+         [--backend product|automaton|logic] [--timeout-ms MS] [--slowlog N] \
          [--synthetic DOCSxNODES [--seed S]] [FILE.xml|FILE.sexp ...]"
     );
     std::process::exit(2);
@@ -72,6 +83,7 @@ fn parse_args() -> Args {
         queue: 256,
         backend: Backend::Product,
         timeout: None,
+        slowlog: 16,
         synthetic: None,
         seed: 1,
         files: Vec::new(),
@@ -96,6 +108,7 @@ fn parse_args() -> Args {
                 let ms: u64 = val("--timeout-ms").parse().unwrap_or_else(|_| usage());
                 args.timeout = Some(Duration::from_millis(ms));
             }
+            "--slowlog" => args.slowlog = val("--slowlog").parse().unwrap_or_else(|_| usage()),
             "--synthetic" => {
                 let spec = val("--synthetic");
                 let (d, n) = spec.split_once('x').unwrap_or_else(|| usage());
@@ -171,6 +184,10 @@ fn get_u64(obj: &Json, key: &str) -> Option<u64> {
     }
 }
 
+fn get_bool(obj: &Json, key: &str) -> bool {
+    matches!(get(obj, key), Some(Json::Bool(true)))
+}
+
 fn err_line(kind: &str, detail: &str) -> String {
     Json::obj()
         .field("ok", false)
@@ -203,14 +220,18 @@ fn answer_line(a: &CorpusAnswer) -> String {
                 .field("timed_out", t.timed_out)
         })
         .collect();
-    Json::obj()
+    let mut reply = Json::obj()
         .field("ok", true)
         .field("matches", a.total_matches)
         .field("docs", docs)
         .field("timed_out", a.timed_out)
         .field("latency_us", a.latency.as_micros() as u64)
-        .field("shards", shards)
-        .render()
+        .field("trace_id", a.trace_id.to_hex())
+        .field("shards", shards);
+    if let Some(tree) = &a.trace {
+        reply = reply.field("trace", tree.to_json());
+    }
+    reply.render()
 }
 
 /// Parses the `edit` object of an `update` request into a typed
@@ -272,12 +293,50 @@ fn update_line(req: &Json, service: &QueryService, alphabet: &Alphabet) -> Strin
     }
 }
 
-fn stats_line(service: &QueryService) -> String {
+/// Process-level serving state alongside the query service: start time
+/// for uptime, a connection counter, and their registry gauges (so the
+/// `metrics` exposition carries them too).
+struct Server {
+    service: QueryService,
+    started: Instant,
+    connections: u64,
+    gauge_uptime: Arc<Gauge>,
+    gauge_connections: Arc<Gauge>,
+}
+
+impl Server {
+    fn new(service: QueryService) -> Server {
+        let reg = twx_obs::metrics::global();
+        Server {
+            service,
+            started: Instant::now(),
+            connections: 0,
+            gauge_uptime: reg.gauge("twx_serve_uptime_seconds", &[]),
+            gauge_connections: reg.gauge("twx_serve_connections_total", &[]),
+        }
+    }
+
+    fn on_connection(&mut self) {
+        self.connections += 1;
+        self.gauge_connections.set(self.connections);
+    }
+
+    fn uptime_s(&self) -> u64 {
+        let s = self.started.elapsed().as_secs();
+        self.gauge_uptime.set(s);
+        s
+    }
+}
+
+fn stats_line(server: &Server) -> String {
+    let service = &server.service;
     let s = service.stats();
     let cache = service.cache_stats();
     let results = service.result_cache_stats();
-    Json::obj()
+    let mut reply = Json::obj()
         .field("ok", true)
+        .field("uptime_s", server.uptime_s())
+        .field("connections", server.connections)
         .field("submitted", s.submitted)
         .field("completed", s.completed)
         .field("rejected", s.rejected)
@@ -293,7 +352,30 @@ fn stats_line(service: &QueryService) -> String {
         .field("result_cache_misses", results.misses)
         .field("result_cache_carried", results.carried)
         .field("result_cache_invalidated", results.invalidated)
-        .field("result_cache_entries", results.entries)
+        .field("result_cache_entries", results.entries);
+    // end-to-end request latency percentiles, in microseconds
+    let hist = service.request_latency_histogram();
+    for (name, ns) in hist.quantiles() {
+        reply = reply.field(&format!("latency_{name}_us"), ns / 1_000);
+    }
+    reply
+        .field("latency_mean_us", (hist.mean() / 1_000.0) as u64)
+        .field("latency_count", hist.count())
+        .render()
+}
+
+fn metrics_line() -> String {
+    Json::obj()
+        .field("ok", true)
+        .field("metrics", twx_obs::metrics::global().render_prometheus())
+        .render()
+}
+
+fn slowlog_line(service: &QueryService) -> String {
+    let entries: Vec<Json> = service.slow_queries().iter().map(|e| e.to_json()).collect();
+    Json::obj()
+        .field("ok", true)
+        .field("entries", entries)
         .render()
 }
 
@@ -309,11 +391,8 @@ const MAX_REQUEST_BYTES: usize = 64 * 1024;
 /// labels into the shared catalog, and a network client must not be able
 /// to grow the server's label space — it gets a typed `engine` error
 /// instead.
-fn serve_conn(
-    stream: TcpStream,
-    service: &QueryService,
-    alphabet: &Alphabet,
-) -> std::io::Result<bool> {
+fn serve_conn(stream: TcpStream, server: &Server, alphabet: &Alphabet) -> std::io::Result<bool> {
+    let service = &server.service;
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
@@ -343,7 +422,12 @@ fn serve_conn(
                         Err(e) => err_line("engine", &e.to_string()),
                         Ok(_) => {
                             let timeout = get_u64(&req, "timeout_ms").map(Duration::from_millis);
-                            match service.query_with_timeout(q, timeout) {
+                            let outcome = if get_bool(&req, "trace") {
+                                service.query_traced_with_timeout(q, timeout)
+                            } else {
+                                service.query_with_timeout(q, timeout)
+                            };
+                            match outcome {
                                 Ok(a) => answer_line(&a),
                                 Err(ServiceError::Overloaded { queued, capacity }) => Json::obj()
                                     .field("ok", false)
@@ -360,7 +444,9 @@ fn serve_conn(
                     },
                 },
                 Some("update") => update_line(&req, service, alphabet),
-                Some("stats") => stats_line(service),
+                Some("stats") => stats_line(server),
+                Some("metrics") => metrics_line(),
+                Some("slowlog") => slowlog_line(service),
                 Some("shutdown") => {
                     let reply = Json::obj()
                         .field("ok", true)
@@ -374,7 +460,10 @@ fn serve_conn(
                         .and_then(|_| writer.flush());
                     return Ok(true);
                 }
-                _ => err_line("protocol", "op must be query|update|stats|shutdown"),
+                _ => err_line(
+                    "protocol",
+                    "op must be query|update|stats|metrics|slowlog|shutdown",
+                ),
             },
         };
         writer.write_all(reply.as_bytes())?;
@@ -400,8 +489,10 @@ fn main() -> ExitCode {
             workers: args.workers,
             queue_capacity: args.queue,
             default_timeout: args.timeout,
+            slowlog_capacity: args.slowlog,
         },
     );
+    let mut server = Server::new(service);
     eprintln!(
         "corpus: {} docs / {} nodes in {} shards; {} workers, backend {:?}",
         corpus.n_docs(),
@@ -425,14 +516,17 @@ fn main() -> ExitCode {
     for stream in listener.incoming() {
         match stream {
             Err(e) => eprintln!("twx-serve: accept: {e}"),
-            Ok(s) => match serve_conn(s, &service, &alphabet) {
-                Ok(true) => break,
-                Ok(false) => {}
-                Err(e) => eprintln!("twx-serve: connection: {e}"),
-            },
+            Ok(s) => {
+                server.on_connection();
+                match serve_conn(s, &server, &alphabet) {
+                    Ok(true) => break,
+                    Ok(false) => {}
+                    Err(e) => eprintln!("twx-serve: connection: {e}"),
+                }
+            }
         }
     }
-    let final_stats = service.shutdown();
+    let final_stats = server.service.shutdown();
     eprintln!(
         "twx-serve: drained; {} submitted, {} completed, {} rejected, {} timeouts",
         final_stats.submitted, final_stats.completed, final_stats.rejected, final_stats.timeouts,

@@ -42,12 +42,14 @@
 
 pub mod queue;
 pub mod service;
+pub mod slowlog;
 pub mod store;
 
 pub use queue::{BoundedQueue, PushError};
 pub use service::{
     CorpusAnswer, QueryService, ServiceConfig, ServiceError, ServiceStats, ShardTiming, Ticket,
 };
+pub use slowlog::{SlowLog, SlowLogEntry};
 pub use store::{
     Corpus, CorpusBuilder, CorpusSnapshot, DocEntry, DocId, Placement, Shard, ShardState,
     UpdateError, UpdateReceipt,

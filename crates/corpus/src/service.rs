@@ -30,6 +30,7 @@
 //! every issued [`Ticket`] still completes.
 
 use crate::queue::{BoundedQueue, PushError};
+use crate::slowlog::{SlowLog, SlowLogEntry};
 use crate::store::{Corpus, CorpusSnapshot, DocId, UpdateError, UpdateReceipt};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,7 +38,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use treewalk::{Backend, Engine, EngineError, Prepared, ResultCache, ResultCacheStats};
-use twx_obs::{self as obs, Counter, Counters};
+use twx_obs::{self as obs, AtomicHistogram, Counter, Counters, SpanNode, SpanTree, TraceId};
 use twx_xtree::edit::{DocVersion, Edit};
 use twx_xtree::NodeSet;
 
@@ -55,6 +56,8 @@ pub struct ServiceConfig {
     /// Deadline applied to requests submitted without an explicit
     /// timeout. `None` means no deadline.
     pub default_timeout: Option<Duration>,
+    /// Worst requests retained by the slow-query log (0 disables it).
+    pub slowlog_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +68,7 @@ impl Default for ServiceConfig {
                 .unwrap_or(2),
             queue_capacity: 256,
             default_timeout: None,
+            slowlog_capacity: 16,
         }
     }
 }
@@ -154,6 +158,13 @@ pub struct CorpusAnswer {
     /// Observability counters accumulated by the workers for this
     /// request (also merged into the waiting thread's live counters).
     pub counters: Counters,
+    /// The request's trace id — every answer carries one (it also tags
+    /// the slow-query log entry), whether or not a trace was collected.
+    pub trace_id: TraceId,
+    /// The span tree of the request, present only when submitted
+    /// through a traced entry point ([`QueryService::submit_traced`] /
+    /// [`QueryService::query_traced`]) with instrumentation enabled.
+    pub trace: Option<SpanTree>,
 }
 
 /// Point-in-time service statistics (atomics, no locks).
@@ -198,6 +209,8 @@ struct ShardOutcome {
     per_doc: Vec<(DocId, DocVersion, NodeSet)>,
     timing: ShardTiming,
     counters: Counters,
+    /// The worker's span subtree for this shard (traced requests only).
+    trace: Option<SpanNode>,
 }
 
 struct RequestState {
@@ -231,6 +244,11 @@ struct WorkItem {
     deadline: Option<Instant>,
     enqueued: Instant,
     request: Arc<RequestShared>,
+    /// `Some` iff the request wants a span tree: the worker collects a
+    /// per-shard trace rooted at the carried origin instant (the submit
+    /// time, so its offsets share the submit thread's clock) and ships
+    /// it back in the outcome.
+    trace: Option<(TraceId, Instant)>,
 }
 
 /// A handle to an admitted request; [`Ticket::wait`] blocks until every
@@ -244,18 +262,34 @@ pub struct Ticket {
     stats: Arc<StatsInner>,
     corpus: Arc<Corpus>,
     snapshot_seq: u64,
+    trace_id: TraceId,
+    /// The submit thread's compile-side span (`prepare` with its parse/
+    /// simplify/plan_cache children) — `Some` iff the request is traced
+    /// and instrumentation is on.
+    prepare_span: Option<SpanNode>,
+    traced: bool,
+    hist_request: Arc<AtomicHistogram>,
+    slowlog: Arc<SlowLog>,
 }
 
 impl Ticket {
+    /// The trace id the eventual [`CorpusAnswer`] will carry.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace_id
+    }
+
     /// Blocks until the request completes and aggregates the answer.
     pub fn wait(self) -> CorpusAnswer {
         let mut st = self.request.state.lock().expect("request poisoned");
         while st.remaining > 0 {
             st = self.request.done.wait(st).expect("request poisoned");
         }
+        let merge_started = self.submitted.elapsed().as_nanos() as u64;
+        let merge_clock = obs::Clock::start();
         let mut per_doc = Vec::new();
         let mut shards = Vec::with_capacity(st.outcomes.len());
         let mut counters = Counters::default();
+        let mut shard_traces = Vec::new();
         let mut timed_out = false;
         for outcome in st.outcomes.iter_mut() {
             let o = outcome.take().expect("completed shard has an outcome");
@@ -263,10 +297,12 @@ impl Ticket {
             counters.merge(&o.counters);
             timed_out |= o.timing.timed_out;
             shards.push(o.timing);
+            shard_traces.extend(o.trace);
         }
         drop(st);
         per_doc.sort_by_key(|(id, _, _)| *id);
         shards.sort_by_key(|t| t.shard);
+        shard_traces.sort_by_key(|n| n.start_ns);
         // fold worker costs into the waiting thread's live counters so
         // they show up in any open snapshot window
         obs::merge_local(&counters);
@@ -279,6 +315,7 @@ impl Ticket {
         self.stats
             .latency_nanos_total
             .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        self.hist_request.record(latency.as_nanos() as u64);
         // a commit after our pin makes this answer stale (still exact
         // for the snapshot it was computed against)
         let stale = self.corpus.seq() > self.snapshot_seq;
@@ -286,10 +323,45 @@ impl Ticket {
             obs::incr(Counter::CorpusStaleAnswers);
             self.stats.stale_answers.fetch_add(1, Ordering::Relaxed);
         }
+        let total_matches = per_doc.iter().map(|(_, _, s)| s.count() as u64).sum();
+        // the span tree: submit-side prepare, per-shard worker subtrees
+        // (all on the submit instant's clock), and this merge pass
+        let trace = if self.traced && obs::ENABLED {
+            let mut root = SpanNode {
+                name: "request".to_string(),
+                start_ns: 0,
+                dur_ns: latency.as_nanos() as u64,
+                counters: counters.clone(),
+                children: Vec::new(),
+            };
+            root.children.extend(self.prepare_span.clone());
+            root.children.extend(shard_traces);
+            root.push_child(SpanNode::leaf(
+                "merge",
+                merge_started,
+                merge_clock.elapsed_nanos(),
+            ));
+            Some(SpanTree {
+                trace_id: self.trace_id,
+                root,
+            })
+        } else {
+            None
+        };
+        self.slowlog.record(SlowLogEntry {
+            trace_id: self.trace_id,
+            query: self.query.clone(),
+            backend: self.backend,
+            latency,
+            timed_out,
+            stale,
+            total_matches,
+            counters: counters.clone(),
+        });
         CorpusAnswer {
             query: self.query,
             backend: self.backend,
-            total_matches: per_doc.iter().map(|(_, _, s)| s.count() as u64).sum(),
+            total_matches,
             per_doc,
             shards,
             timed_out,
@@ -297,6 +369,31 @@ impl Ticket {
             stale,
             latency,
             counters,
+            trace_id: self.trace_id,
+            trace,
+        }
+    }
+}
+
+/// The per-service latency series, shared by workers and waiters and
+/// registered in the global [`obs::metrics`] registry (a re-constructed
+/// service re-binds the registry keys to its fresh handles).
+struct LatencySeries {
+    /// Submit-to-completion, recorded by the waiter.
+    request: Arc<AtomicHistogram>,
+    /// Admission-to-pickup per shard item, recorded by workers.
+    queue_wait: Arc<AtomicHistogram>,
+    /// Per-shard evaluation time, recorded by workers.
+    shard_eval: Arc<AtomicHistogram>,
+}
+
+impl LatencySeries {
+    fn registered() -> LatencySeries {
+        let reg = obs::metrics::global();
+        LatencySeries {
+            request: reg.histogram("twx_service_request_ns", &[]),
+            queue_wait: reg.histogram("twx_service_queue_wait_ns", &[]),
+            shard_eval: reg.histogram("twx_service_shard_eval_ns", &[]),
         }
     }
 }
@@ -309,6 +406,8 @@ pub struct QueryService {
     queue: Arc<BoundedQueue<WorkItem>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<StatsInner>,
+    series: LatencySeries,
+    slowlog: Arc<SlowLog>,
     config: ServiceConfig,
 }
 
@@ -318,13 +417,17 @@ impl QueryService {
     pub fn new(corpus: Arc<Corpus>, engine: Engine, config: ServiceConfig) -> QueryService {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let results = Arc::new(ResultCache::default());
+        let series = LatencySeries::registered();
+        let slowlog = Arc::new(SlowLog::new(config.slowlog_capacity));
         let workers = (0..config.workers)
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let results = Arc::clone(&results);
+                let queue_wait = Arc::clone(&series.queue_wait);
+                let shard_eval = Arc::clone(&series.shard_eval);
                 std::thread::Builder::new()
                     .name(format!("twx-corpus-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &results))
+                    .spawn(move || worker_loop(&queue, &results, &queue_wait, &shard_eval))
                     .expect("spawn worker")
             })
             .collect();
@@ -335,6 +438,8 @@ impl QueryService {
             queue,
             workers,
             stats: Arc::new(StatsInner::default()),
+            series,
+            slowlog,
             config,
         }
     }
@@ -351,7 +456,7 @@ impl QueryService {
 
     /// Submits a query with the configured default timeout.
     pub fn submit(&self, query: &str) -> Result<Ticket, ServiceError> {
-        self.submit_with_timeout(query, self.config.default_timeout)
+        self.submit_inner(query, self.config.default_timeout, false)
     }
 
     /// Submits a query with an explicit deadline (`None` = none),
@@ -361,9 +466,53 @@ impl QueryService {
         query: &str,
         timeout: Option<Duration>,
     ) -> Result<Ticket, ServiceError> {
+        self.submit_inner(query, timeout, false)
+    }
+
+    /// Like [`submit`](Self::submit), but the answer carries a full
+    /// [`SpanTree`]: the submit thread's compile stages, each worker's
+    /// per-shard subtree, and the merge pass, all on one clock. The
+    /// answer's node sets are identical to an untraced submission.
+    pub fn submit_traced(&self, query: &str) -> Result<Ticket, ServiceError> {
+        self.submit_inner(query, self.config.default_timeout, true)
+    }
+
+    /// Traced submission with an explicit deadline (`None` = none).
+    pub fn submit_traced_with_timeout(
+        &self,
+        query: &str,
+        timeout: Option<Duration>,
+    ) -> Result<Ticket, ServiceError> {
+        self.submit_inner(query, timeout, true)
+    }
+
+    fn submit_inner(
+        &self,
+        query: &str,
+        timeout: Option<Duration>,
+        traced: bool,
+    ) -> Result<Ticket, ServiceError> {
         obs::incr(Counter::CorpusRequests);
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        let prepared = Arc::new(self.engine.prepare_in(self.corpus.catalog(), query)?);
+        let trace_id = TraceId::next();
+        // capture the compile side of the pipeline as its own subtree;
+        // its offsets (and the workers') are all relative to this instant
+        let submitted = Instant::now();
+        let collecting = traced && obs::trace::begin_at("prepare", trace_id, submitted);
+        let prepared = match self.engine.prepare_in(self.corpus.catalog(), query) {
+            Ok(p) => Arc::new(p),
+            Err(e) => {
+                if collecting {
+                    obs::trace::take();
+                }
+                return Err(ServiceError::Engine(e));
+            }
+        };
+        let prepare_span = if collecting {
+            obs::trace::take().map(|t| t.root)
+        } else {
+            None
+        };
         let now = Instant::now();
         let deadline = timeout.map(|t| now + t);
         let n = self.corpus.n_shards();
@@ -380,6 +529,7 @@ impl QueryService {
                 deadline,
                 enqueued: now,
                 request: Arc::clone(&request),
+                trace: traced.then_some((trace_id, submitted)),
             })
             .collect();
         match self.queue.try_push_all(items) {
@@ -387,10 +537,15 @@ impl QueryService {
                 request,
                 query: query.to_string(),
                 backend: self.engine.backend(),
-                submitted: now,
+                submitted,
                 stats: Arc::clone(&self.stats),
                 corpus: Arc::clone(&self.corpus),
                 snapshot_seq,
+                trace_id,
+                prepare_span,
+                traced,
+                hist_request: Arc::clone(&self.series.request),
+                slowlog: Arc::clone(&self.slowlog),
             }),
             Err((PushError::Full { queued, capacity }, _)) => {
                 obs::incr(Counter::CorpusRejected);
@@ -428,6 +583,44 @@ impl QueryService {
         timeout: Option<Duration>,
     ) -> Result<CorpusAnswer, ServiceError> {
         Ok(self.submit_with_timeout(query, timeout)?.wait())
+    }
+
+    /// Traced submit + wait in one call (see
+    /// [`submit_traced`](Self::submit_traced)).
+    pub fn query_traced(&self, query: &str) -> Result<CorpusAnswer, ServiceError> {
+        Ok(self.submit_traced(query)?.wait())
+    }
+
+    /// Traced submit + wait with an explicit deadline.
+    pub fn query_traced_with_timeout(
+        &self,
+        query: &str,
+        timeout: Option<Duration>,
+    ) -> Result<CorpusAnswer, ServiceError> {
+        Ok(self.submit_traced_with_timeout(query, timeout)?.wait())
+    }
+
+    /// Point-in-time view of the end-to-end request latency
+    /// distribution (submit to aggregation, nanoseconds).
+    pub fn request_latency_histogram(&self) -> obs::Histogram {
+        self.series.request.load()
+    }
+
+    /// Point-in-time view of the shard queue-wait distribution
+    /// (admission to worker pickup, nanoseconds).
+    pub fn queue_wait_histogram(&self) -> obs::Histogram {
+        self.series.queue_wait.load()
+    }
+
+    /// Point-in-time view of the per-shard evaluation latency
+    /// distribution (nanoseconds).
+    pub fn shard_eval_histogram(&self) -> obs::Histogram {
+        self.series.shard_eval.load()
+    }
+
+    /// The retained slow-query log entries, slowest first.
+    pub fn slow_queries(&self) -> Vec<SlowLogEntry> {
+        self.slowlog.snapshot()
     }
 
     /// Current service statistics.
@@ -494,18 +687,46 @@ impl fmt::Debug for QueryService {
 /// The worker loop: pop → evaluate shard (deadline-checked per document)
 /// against the item's **pinned snapshot**, answering through the shared
 /// result cache → drain thread-local counters into the outcome → report.
-fn worker_loop(queue: &BoundedQueue<WorkItem>, results: &ResultCache) {
+///
+/// Latency accounting per item: queue wait and shard eval go to the
+/// thread-local nanosecond counters (per-request profiles) *and* the
+/// service's shared histograms (the process-lifetime distributions the
+/// `metrics`/`stats` ops expose). Traced items additionally collect a
+/// per-shard span subtree on this thread and ship it in the outcome —
+/// the span-tree analogue of the counter drain.
+fn worker_loop(
+    queue: &BoundedQueue<WorkItem>,
+    results: &ResultCache,
+    hist_queue_wait: &AtomicHistogram,
+    hist_shard_eval: &AtomicHistogram,
+) {
     // stray counters from a previous item must not leak into this one
     let _ = obs::drain();
     while let Some(item) = queue.pop() {
         let picked = Instant::now();
         let queue_wait = picked.duration_since(item.enqueued);
         obs::add(Counter::CorpusQueueWaitNanos, queue_wait.as_nanos() as u64);
+        hist_queue_wait.record(queue_wait.as_nanos() as u64);
+        let tracing = item.trace.is_some_and(|(id, origin)| {
+            obs::trace::begin_at(&format!("shard{}", item.shard), id, origin)
+        });
+        if tracing {
+            // queue wait as an explicitly-timed leaf: it ended when this
+            // worker picked the item up
+            let end = picked.duration_since(item.trace.expect("tracing").1);
+            let wait = queue_wait.as_nanos() as u64;
+            obs::trace::attach(SpanNode::leaf(
+                "queue_wait",
+                (end.as_nanos() as u64).saturating_sub(wait),
+                wait,
+            ));
+        }
         let shard = item.snapshot.shard(item.shard);
         let mut per_doc = Vec::with_capacity(shard.len());
         let mut timed_out = false;
         {
             let _span = obs::span(Counter::CorpusShardEvalNanos);
+            let clock = obs::Clock::start();
             for entry in shard.entries() {
                 if item.deadline.is_some_and(|d| Instant::now() >= d) {
                     timed_out = true;
@@ -521,6 +742,7 @@ fn worker_loop(queue: &BoundedQueue<WorkItem>, results: &ResultCache) {
                 );
                 per_doc.push((entry.id, entry.version, (*answer).clone()));
             }
+            hist_shard_eval.record(clock.elapsed_nanos());
         }
         let timing = ShardTiming {
             shard: item.shard,
@@ -530,10 +752,16 @@ fn worker_loop(queue: &BoundedQueue<WorkItem>, results: &ResultCache) {
             eval: picked.elapsed(),
             timed_out,
         };
+        let trace = if tracing {
+            obs::trace::take().map(|t| t.root)
+        } else {
+            None
+        };
         let outcome = ShardOutcome {
             per_doc,
             timing,
             counters: obs::drain(),
+            trace,
         };
         let mut st = item.request.state.lock().expect("request poisoned");
         st.outcomes[item.shard] = Some(outcome);

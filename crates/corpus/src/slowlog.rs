@@ -1,0 +1,189 @@
+//! The slow-query log: a bounded, concurrent record of the worst
+//! requests a [`QueryService`](crate::QueryService) has completed.
+//!
+//! Percentile histograms say *that* a tail exists; the slow log says
+//! *which requests* are in it. Every completed request is offered to
+//! the log with its end-to-end latency; the log keeps the `capacity`
+//! slowest, each carrying everything needed to reproduce and explain
+//! it: the [`TraceId`] (joinable against traced replies and server
+//! logs), the query text, the backend, outcome flags, and the merged
+//! observability counters of every worker that touched the request —
+//! the same structural-cost evidence an EXPLAIN profile reports.
+//!
+//! The log is a min-threshold reservoir, not a ring of recent entries:
+//! a burst of fast requests can never wash out the record of a slow
+//! one. [`SlowLog::record`] is O(capacity) under a mutex, but it is
+//! called once per *request* (not per shard or per document), and
+//! capacity is small (default 16).
+
+use std::sync::Mutex;
+use std::time::Duration;
+use treewalk::Backend;
+use twx_obs::json::Json;
+use twx_obs::{Counters, TraceId};
+
+/// One retained slow request.
+#[derive(Clone, Debug)]
+pub struct SlowLogEntry {
+    /// The request's trace id (matches the id in its `CorpusAnswer`).
+    pub trace_id: TraceId,
+    /// The query text as submitted.
+    pub query: String,
+    /// The backend the plan was compiled for.
+    pub backend: Backend,
+    /// Submit-to-completion latency.
+    pub latency: Duration,
+    /// Whether the answer was partial (deadline expired).
+    pub timed_out: bool,
+    /// Whether the answer was stale (a commit landed after its pin).
+    pub stale: bool,
+    /// Total matched nodes.
+    pub total_matches: u64,
+    /// Merged worker counters — the request's cost profile.
+    pub counters: Counters,
+}
+
+impl SlowLogEntry {
+    /// JSON rendering: identity, outcome, and the non-zero counters
+    /// under `"profile"`.
+    pub fn to_json(&self) -> Json {
+        let mut profile = Json::obj();
+        for (name, v) in self.counters.iter() {
+            if v > 0 {
+                profile = profile.field(name, v);
+            }
+        }
+        Json::obj()
+            .field("trace_id", self.trace_id.to_hex())
+            .field("query", self.query.as_str())
+            .field("backend", self.backend.name())
+            .field("latency_us", self.latency.as_micros() as u64)
+            .field("timed_out", self.timed_out)
+            .field("stale", self.stale)
+            .field("total_matches", self.total_matches)
+            .field("profile", profile)
+    }
+}
+
+/// A bounded worst-N-by-latency log (see the [module docs](self)).
+#[derive(Debug)]
+pub struct SlowLog {
+    entries: Mutex<Vec<SlowLogEntry>>,
+    capacity: usize,
+}
+
+impl SlowLog {
+    /// A log retaining the `capacity` slowest requests (capacity 0
+    /// disables retention entirely).
+    pub fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            entries: Mutex::new(Vec::with_capacity(capacity.min(64))),
+            capacity,
+        }
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers a completed request. Kept iff the log has a free slot or
+    /// the entry is slower than the current fastest resident.
+    pub fn record(&self, entry: SlowLogEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("slow log poisoned");
+        // keep sorted slowest-first so the eviction victim is last
+        let at = entries.partition_point(|e| e.latency >= entry.latency);
+        if at >= self.capacity {
+            return; // faster than everything retained, and the log is full
+        }
+        entries.insert(at, entry);
+        entries.truncate(self.capacity);
+    }
+
+    /// The retained entries, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowLogEntry> {
+        self.entries.lock().expect("slow log poisoned").clone()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("slow log poisoned").len()
+    }
+
+    /// True iff nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(query: &str, micros: u64) -> SlowLogEntry {
+        SlowLogEntry {
+            trace_id: TraceId::next(),
+            query: query.to_string(),
+            backend: Backend::Product,
+            latency: Duration::from_micros(micros),
+            timed_out: false,
+            stale: false,
+            total_matches: 1,
+            counters: Counters::default(),
+        }
+    }
+
+    #[test]
+    fn retains_the_worst_n_sorted_slowest_first() {
+        let log = SlowLog::new(3);
+        for (q, us) in [("a", 10), ("b", 500), ("c", 40), ("d", 200), ("e", 1)] {
+            log.record(entry(q, us));
+        }
+        let kept: Vec<(String, u64)> = log
+            .snapshot()
+            .into_iter()
+            .map(|e| (e.query, e.latency.as_micros() as u64))
+            .collect();
+        assert_eq!(
+            kept,
+            [
+                ("b".to_string(), 500),
+                ("d".to_string(), 200),
+                ("c".to_string(), 40)
+            ]
+        );
+    }
+
+    #[test]
+    fn fast_bursts_never_wash_out_a_slow_entry() {
+        let log = SlowLog::new(2);
+        log.record(entry("slow", 10_000));
+        for _ in 0..100 {
+            log.record(entry("fast", 5));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.snapshot()[0].query, "slow");
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let log = SlowLog::new(0);
+        log.record(entry("a", 100));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn json_has_identity_and_profile() {
+        let mut e = entry("down*[b]", 123);
+        e.counters.set(twx_obs::Counter::TwaSteps, 9);
+        let rendered = e.to_json().render();
+        for key in ["trace_id", "query", "backend", "latency_us", "profile"] {
+            assert!(rendered.contains(key), "missing {key}: {rendered}");
+        }
+        assert!(rendered.contains("twa_steps"));
+        assert!(!rendered.contains("fo_eval_steps"), "zero counters omitted");
+    }
+}

@@ -67,6 +67,7 @@ fn concurrent_writers_and_readers_agree_with_per_version_oracles() {
             workers: 4,
             queue_capacity: 128,
             default_timeout: None,
+            slowlog_capacity: 16,
         },
     );
 

@@ -191,3 +191,80 @@ fn update_errors_are_typed_and_a_commit_is_visible_on_the_same_connection() {
     let r = roundtrip(&mut conn, r#"{"op":"stats"}"#);
     assert!(r.contains(r#""updates":1"#), "{r}");
 }
+
+#[test]
+fn observability_ops_expose_traces_histograms_and_the_slow_log() {
+    let server = Server::spawn();
+    let mut conn = server.connect();
+
+    // an untraced query is tagged with a trace id but carries no tree
+    let plain = roundtrip(&mut conn, r#"{"op":"query","query":"down*[b]"}"#);
+    assert!(plain.contains(r#""ok":true"#), "{plain}");
+    assert!(plain.contains(r#""trace_id":""#), "{plain}");
+    assert!(!plain.contains(r#""trace":{"#), "{plain}");
+
+    // the same query with "trace":true returns an inline span tree whose
+    // root is the request and whose answer matches the untraced one
+    let traced = roundtrip(
+        &mut conn,
+        r#"{"op":"query","query":"down*[b]","trace":true}"#,
+    );
+    assert!(traced.contains(r#""ok":true"#), "{traced}");
+    assert!(traced.contains(r#""trace":{"#), "{traced}");
+    assert!(traced.contains(r#""name":"request""#), "{traced}");
+    assert!(traced.contains(r#""name":"merge""#), "{traced}");
+    // first "matches" in the reply is the top-level total (per-doc
+    // entries repeat the key later)
+    let matches = |r: &str| {
+        let at = r.find(r#""matches":"#).expect("matches");
+        r[at + 10..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+    };
+    assert_eq!(matches(&plain), matches(&traced), "traced answer differs");
+
+    // stats now carries uptime, connection count, and latency percentiles
+    let r = roundtrip(&mut conn, r#"{"op":"stats"}"#);
+    assert!(r.contains(r#""uptime_s":"#), "{r}");
+    assert!(r.contains(r#""connections":"#), "{r}");
+    for key in [
+        "latency_p50_us",
+        "latency_p90_us",
+        "latency_p99_us",
+        "latency_p999_us",
+        "latency_mean_us",
+        "latency_count",
+    ] {
+        assert!(r.contains(&format!(r#""{key}":"#)), "missing {key}: {r}");
+    }
+    assert!(r.contains(r#""latency_count":2"#), "{r}");
+
+    // the metrics op renders a Prometheus text exposition with the
+    // service histograms and the server gauges
+    let r = roundtrip(&mut conn, r#"{"op":"metrics"}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    assert!(r.contains("# TYPE twx_service_request_ns histogram"), "{r}");
+    assert!(r.contains("twx_service_request_ns_count 2"), "{r}");
+    assert!(r.contains("le=\\\"+Inf\\\""), "{r}");
+    assert!(r.contains("twx_serve_connections_total"), "{r}");
+    assert!(r.contains("twx_serve_uptime_seconds"), "{r}");
+
+    // the slow log retains both requests, slowest first, and its trace
+    // ids join back to the replies above
+    let r = roundtrip(&mut conn, r#"{"op":"slowlog"}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    assert!(r.contains(r#""entries":["#), "{r}");
+    assert!(r.contains(r#""query":"down*[b]""#), "{r}");
+    assert!(r.contains(r#""latency_us":"#), "{r}");
+    assert!(r.contains(r#""profile":{"#), "{r}");
+    let id_of = |reply: &str| {
+        let at = reply.find(r#""trace_id":""#).expect("trace_id") + 12;
+        reply[at..at + 16].to_string()
+    };
+    assert!(r.contains(&id_of(&plain)), "slowlog missing plain id: {r}");
+    assert!(
+        r.contains(&id_of(&traced)),
+        "slowlog missing traced id: {r}"
+    );
+}

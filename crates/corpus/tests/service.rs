@@ -83,6 +83,7 @@ fn service_matches_sequential_engine_on_every_backend() {
                     workers: 3,
                     queue_capacity: 64,
                     default_timeout: None,
+                    slowlog_capacity: 16,
                 },
             );
             for q in QUERIES {
@@ -129,6 +130,7 @@ fn expired_deadline_yields_flagged_partial_answer() {
             workers: 2,
             queue_capacity: 64,
             default_timeout: None,
+            slowlog_capacity: 16,
         },
     );
     let answer = service
@@ -172,6 +174,7 @@ fn saturated_queue_rejects_with_overloaded() {
             workers: 0, // manual mode: nothing drains
             queue_capacity: 5,
             default_timeout: None,
+            slowlog_capacity: 16,
         },
     );
     // each request needs 2 slots; 2 requests fit (4/5), the third cannot
@@ -202,6 +205,7 @@ fn shutdown_drains_admitted_tickets() {
             workers: 1,
             queue_capacity: 64,
             default_timeout: None,
+            slowlog_capacity: 16,
         },
     );
     let tickets: Vec<_> = (0..5)
@@ -230,6 +234,7 @@ fn worker_counters_flow_back_to_the_waiting_thread() {
             workers: 2,
             queue_capacity: 64,
             default_timeout: None,
+            slowlog_capacity: 16,
         },
     );
     let before = obs::snapshot();
@@ -245,5 +250,107 @@ fn worker_counters_flow_back_to_the_waiting_thread() {
     );
     assert_eq!(delta.get(Counter::CorpusRequests), 1);
     assert!(delta.get(Counter::CorpusShardEvalNanos) > 0);
+    service.shutdown();
+}
+
+/// A traced query answers **identically** to an untraced one, and its
+/// span tree covers the whole distributed request: the submit thread's
+/// compile stages, one subtree per shard (with its queue wait), and the
+/// merge pass — all offsets on one clock.
+#[test]
+fn traced_queries_match_untraced_and_span_the_request() {
+    let corpus = build_corpus(19, 8, 30, 3, Placement::RoundRobin);
+    let service = QueryService::new(
+        Arc::clone(&corpus),
+        Engine::with_backend(Backend::Product),
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_timeout: None,
+            slowlog_capacity: 16,
+        },
+    );
+    let plain = service.query("down*[b]").unwrap();
+    let traced = service.query_traced("down*[b]").unwrap();
+    assert_eq!(plain.total_matches, traced.total_matches);
+    for ((id_a, _, set_a), (id_b, _, set_b)) in plain.per_doc.iter().zip(traced.per_doc.iter()) {
+        assert_eq!(id_a, id_b);
+        assert_eq!(set_a, set_b, "tracing perturbed the answer on {id_a}");
+    }
+    // every answer carries a distinct trace id, traced or not
+    assert_ne!(plain.trace_id, traced.trace_id);
+    assert!(plain.trace.is_none(), "untraced answers carry no span tree");
+    let tree = traced.trace.expect("traced answer carries a span tree");
+    assert_eq!(tree.trace_id, traced.trace_id);
+    assert_eq!(tree.root.name, "request");
+    let names: Vec<&str> = tree.root.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names[0], "prepare");
+    assert_eq!(*names.last().unwrap(), "merge");
+    let shard_nodes: Vec<&twx_obs::SpanNode> = tree
+        .root
+        .children
+        .iter()
+        .filter(|c| c.name.starts_with("shard"))
+        .collect();
+    assert_eq!(shard_nodes.len(), 3, "one subtree per shard");
+    for shard in &shard_nodes {
+        assert_eq!(shard.children[0].name, "queue_wait");
+        // the plain run warmed the result cache, so the traced run's
+        // shard work is cache lookups (misses would add `eval` spans)
+        assert!(
+            shard
+                .children
+                .iter()
+                .any(|c| c.name == "result_cache" || c.name == "eval"),
+            "shard subtree records per-document work spans"
+        );
+        // offsets share the request clock: no shard starts after the end
+        assert!(shard.start_ns <= tree.root.dur_ns);
+    }
+    // the compile side names the pipeline stages
+    let prepare = &tree.root.children[0];
+    let stage_names: Vec<&str> = prepare.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(stage_names, ["parse", "simplify", "plan_cache"]);
+    service.shutdown();
+}
+
+/// Every completed request lands in the latency histograms and the
+/// slow-query log, tagged with its trace id.
+#[test]
+fn latency_histograms_and_slowlog_record_requests() {
+    let corpus = build_corpus(23, 6, 20, 2, Placement::RoundRobin);
+    let service = QueryService::new(
+        corpus,
+        Engine::with_backend(Backend::Product),
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_timeout: None,
+            slowlog_capacity: 2,
+        },
+    );
+    let mut ids = Vec::new();
+    for q in ["down*[b]", "down*[c]", "down+[d]"] {
+        ids.push(service.query(q).unwrap().trace_id);
+    }
+    let request = service.request_latency_histogram();
+    assert_eq!(request.count(), 3, "one end-to-end sample per request");
+    assert!(request.percentile(0.5) <= request.percentile(0.99));
+    // 3 requests × 2 shards = 6 shard items through queue + eval
+    assert_eq!(service.queue_wait_histogram().count(), 6);
+    assert_eq!(service.shard_eval_histogram().count(), 6);
+    let slow = service.slow_queries();
+    assert_eq!(slow.len(), 2, "slowlog keeps its capacity bound");
+    assert!(
+        slow.windows(2).all(|w| w[0].latency >= w[1].latency),
+        "slowlog is sorted slowest first"
+    );
+    for entry in &slow {
+        assert!(
+            ids.contains(&entry.trace_id),
+            "slowlog entries join back to answers by trace id"
+        );
+        assert!(!entry.query.is_empty());
+    }
     service.shutdown();
 }

@@ -32,10 +32,15 @@
 //! assert_eq!(counters.get(Counter::ProductConfigs), 3);
 //! ```
 
+pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod profile;
+pub mod trace;
 
+pub use hist::{AtomicHistogram, Histogram};
 pub use profile::{CompiledSizes, QueryProfile};
+pub use trace::{SpanNode, SpanTree, TraceId};
 
 #[cfg(feature = "enabled")]
 use std::cell::Cell;
@@ -391,6 +396,41 @@ impl Drop for Span {
     fn drop(&mut self) {
         #[cfg(feature = "enabled")]
         add(self.counter, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// A manual stopwatch for code that needs one elapsed-time measurement
+/// feeding **several** sinks (e.g. a counter *and* a histogram) —
+/// [`Span`] can only feed one counter on drop.
+///
+/// Without the `enabled` feature this is a zero-sized type and
+/// [`elapsed_nanos`](Clock::elapsed_nanos) is always 0, so callers can
+/// unconditionally write `clock.elapsed_nanos()` into no-op sinks.
+#[derive(Clone, Copy, Debug)]
+pub struct Clock {
+    #[cfg(feature = "enabled")]
+    start: std::time::Instant,
+}
+
+impl Clock {
+    /// Starts the stopwatch.
+    #[inline(always)]
+    pub fn start() -> Clock {
+        Clock {
+            #[cfg(feature = "enabled")]
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since [`start`](Clock::start) (0 when disabled).
+    #[inline(always)]
+    pub fn elapsed_nanos(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.start.elapsed().as_nanos() as u64
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
     }
 }
 

@@ -1,0 +1,414 @@
+//! Process-wide metrics registry: named gauges and histograms behind
+//! atomics, with a Prometheus-style text exposition.
+//!
+//! Thread-local counters answer "what did *this* evaluation cost";
+//! a long-running server also needs process-lifetime series — queue
+//! depths, request-latency distributions — observable at any moment
+//! from any thread. The [`MetricsRegistry`] holds those: each metric is
+//! a `(name, labels)` key mapped to an [`Arc`]'d [`Gauge`] (one relaxed
+//! `AtomicU64`) or [`AtomicHistogram`]. Instrumented code registers a
+//! handle once (at service construction) and records through the `Arc`
+//! with no further registry involvement — the record path never takes
+//! the registry lock.
+//!
+//! [`render_prometheus`](MetricsRegistry::render_prometheus) serialises
+//! every registered series in the Prometheus text format (gauges as
+//! bare samples, histograms as cumulative `_bucket{le="…"}` samples
+//! plus `_sum`/`_count`), which is what `twx-serve`'s `metrics` op
+//! ships over the wire.
+//!
+//! Registry structure is always compiled (handles must exist so
+//! downstream code type-checks in both configurations); only the
+//! *recording* calls are feature-gated no-ops when `enabled` is off, so
+//! a disabled build exposes the metric names with permanently-zero
+//! values.
+
+use crate::hist::AtomicHistogram;
+use std::sync::atomic::AtomicU64;
+#[cfg(feature = "enabled")]
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A single-value metric behind one relaxed atomic.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge. No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn set(&self, v: u64) {
+        #[cfg(feature = "enabled")]
+        self.0.store(v, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = v;
+        }
+    }
+
+    /// Adds to the gauge (monotone-counter usage). No-op without the
+    /// `enabled` feature.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        self.0.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = n;
+        }
+    }
+
+    /// Increments the gauge by one. No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value (always 0 when recording is disabled, since
+    /// nothing ever stores).
+    pub fn get(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// A metric's identity: name plus `(label, value)` pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        MetricKey {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// `name{k="v",…}` — the Prometheus sample identity (bare name when
+    /// unlabelled). `extra` lets histogram rendering append `le`.
+    fn render(&self, extra: Option<(&str, &str)>) -> String {
+        let mut out = self.name.clone();
+        let labels: Vec<(&str, &str)> = self
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra)
+            .collect();
+        if !labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(k);
+                out.push_str("=\"");
+                // Prometheus label-value escaping
+                for ch in v.chars() {
+                    match ch {
+                        '\\' => out.push_str("\\\\"),
+                        '"' => out.push_str("\\\""),
+                        '\n' => out.push_str("\\n"),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out
+    }
+}
+
+enum Series {
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<AtomicHistogram>),
+}
+
+/// The process-wide registry (see the [module docs](self)).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    series: RwLock<Vec<(MetricKey, Series)>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (tests construct their own; production code
+    /// uses [`global`]).
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or re-registers) a gauge under `(name, labels)` and
+    /// returns its handle. Re-registering an existing key replaces the
+    /// stored series with the returned fresh handle — the latest
+    /// registrant wins, so a re-constructed service re-binds its
+    /// metrics instead of appending duplicates.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let handle = Arc::new(Gauge::new());
+        self.insert(
+            MetricKey::new(name, labels),
+            Series::Gauge(Arc::clone(&handle)),
+        );
+        handle
+    }
+
+    /// Registers (or re-registers) a histogram; same replacement
+    /// semantics as [`gauge`](Self::gauge).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<AtomicHistogram> {
+        let handle = Arc::new(AtomicHistogram::new());
+        self.insert(
+            MetricKey::new(name, labels),
+            Series::Histogram(Arc::clone(&handle)),
+        );
+        handle
+    }
+
+    fn insert(&self, key: MetricKey, series: Series) {
+        let mut slots = self.series.write().expect("metrics registry poisoned");
+        if let Some(slot) = slots.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = series;
+        } else {
+            slots.push((key, series));
+        }
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.series.read().expect("metrics registry poisoned").len()
+    }
+
+    /// True iff nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a registered histogram's point-in-time view (`None` if
+    /// the key is absent or bound to a gauge).
+    pub fn histogram_snapshot(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<crate::hist::Histogram> {
+        let key = MetricKey::new(name, labels);
+        let slots = self.series.read().expect("metrics registry poisoned");
+        slots.iter().find_map(|(k, s)| match s {
+            Series::Histogram(h) if *k == key => Some(h.load()),
+            _ => None,
+        })
+    }
+
+    /// Every registered histogram as a JSON array of
+    /// `{name, labels, count, sum, mean, max, p50…p999}` objects, in
+    /// registration order (what the bench harness exports). Gauges are
+    /// skipped — their single value belongs in whatever summary owns
+    /// them.
+    pub fn histograms_to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let slots = self.series.read().expect("metrics registry poisoned");
+        Json::Arr(
+            slots
+                .iter()
+                .filter_map(|(key, series)| match series {
+                    Series::Histogram(h) => {
+                        let mut labels = Json::obj();
+                        for (k, v) in &key.labels {
+                            labels = labels.field(k.as_str(), v.as_str());
+                        }
+                        Some(
+                            Json::obj()
+                                .field("name", key.name.as_str())
+                                .field("labels", labels)
+                                .field("hist", h.load().to_json()),
+                        )
+                    }
+                    Series::Gauge(_) => None,
+                })
+                .collect(),
+        )
+    }
+
+    /// Serialises every series in the Prometheus text exposition
+    /// format, in registration order. Gauges render as one sample;
+    /// histograms as cumulative `name_bucket{le="…"}` samples over the
+    /// non-empty log₂ bucket bounds (plus `le="+Inf"`), then `name_sum`
+    /// and `name_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let slots = self.series.read().expect("metrics registry poisoned");
+        for (key, series) in slots.iter() {
+            match series {
+                Series::Gauge(g) => {
+                    out.push_str(&format!(
+                        "# TYPE {} gauge\n{} {}\n",
+                        key.name,
+                        key.render(None),
+                        g.get()
+                    ));
+                }
+                Series::Histogram(h) => {
+                    let snap = h.load();
+                    out.push_str(&format!("# TYPE {} histogram\n", key.name));
+                    let mut cumulative = 0u64;
+                    for (i, &n) in snap.buckets().iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        cumulative += n;
+                        // log₂ bucket upper bound as the `le` bound
+                        let le = if i >= 63 {
+                            u64::MAX
+                        } else {
+                            (1u64 << (i + 1)) - 1
+                        };
+                        let bucket_key = MetricKey {
+                            name: format!("{}_bucket", key.name),
+                            labels: key.labels.clone(),
+                        };
+                        out.push_str(&format!(
+                            "{} {}\n",
+                            bucket_key.render(Some(("le", &le.to_string()))),
+                            cumulative
+                        ));
+                    }
+                    let bucket_key = MetricKey {
+                        name: format!("{}_bucket", key.name),
+                        labels: key.labels.clone(),
+                    };
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        bucket_key.render(Some(("le", "+Inf"))),
+                        snap.count()
+                    ));
+                    let sum_key = MetricKey {
+                        name: format!("{}_sum", key.name),
+                        labels: key.labels.clone(),
+                    };
+                    let count_key = MetricKey {
+                        name: format!("{}_count", key.name),
+                        labels: key.labels.clone(),
+                    };
+                    out.push_str(&format!("{} {}\n", sum_key.render(None), snap.sum()));
+                    out.push_str(&format!("{} {}\n", count_key.render(None), snap.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry instance.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_register_and_render() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("twx_queue_depth", &[]);
+        g.set(7);
+        g.add(3);
+        assert_eq!(g.get(), 10);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE twx_queue_depth gauge"));
+        assert!(text.contains("twx_queue_depth 10"));
+    }
+
+    #[test]
+    fn labels_render_and_escape() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("twx_evals", &[("backend", "product"), ("q", "a\"b")]);
+        g.incr();
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains(r#"twx_evals{backend="product",q="a\"b"} 1"#),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn reregistering_replaces_not_duplicates() {
+        let reg = MetricsRegistry::new();
+        let g1 = reg.gauge("twx_conns", &[]);
+        g1.set(5);
+        let g2 = reg.gauge("twx_conns", &[]);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(g2.get(), 0, "fresh handle starts at zero");
+        g2.set(9);
+        assert!(reg.render_prometheus().contains("twx_conns 9"));
+        // the replaced handle still works, it just isn't rendered
+        g1.set(100);
+        assert!(!reg.render_prometheus().contains("twx_conns 100"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("twx_latency_ns", &[("op", "query")]);
+        for v in [3u64, 3, 100, 5_000] {
+            h.record(v);
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE twx_latency_ns histogram"));
+        // 3 and 3 land in le="3"; cumulative counts grow monotonically
+        assert!(text.contains(r#"twx_latency_ns_bucket{op="query",le="3"} 2"#));
+        assert!(text.contains(r#"twx_latency_ns_bucket{op="query",le="127"} 3"#));
+        assert!(text.contains(r#"twx_latency_ns_bucket{op="query",le="8191"} 4"#));
+        assert!(text.contains(r#"twx_latency_ns_bucket{op="query",le="+Inf"} 4"#));
+        assert!(text.contains(r#"twx_latency_ns_sum{op="query"} 5106"#));
+        assert!(text.contains(r#"twx_latency_ns_count{op="query"} 4"#));
+    }
+
+    #[test]
+    fn histogram_snapshot_lookup() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("twx_eval_ns", &[("backend", "twa")]);
+        h.record(1000);
+        let snap = reg
+            .histogram_snapshot("twx_eval_ns", &[("backend", "twa")])
+            .expect("registered histogram");
+        assert_eq!(snap.count(), 1);
+        assert!(reg.histogram_snapshot("twx_eval_ns", &[]).is_none());
+        assert!(reg.histogram_snapshot("absent", &[]).is_none());
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global() as *const MetricsRegistry;
+        let b = global() as *const MetricsRegistry;
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(all(test, not(feature = "enabled")))]
+mod disabled_tests {
+    use super::*;
+
+    #[test]
+    fn disabled_metrics_register_but_stay_zero() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("twx_conns", &[]);
+        g.set(5);
+        g.incr();
+        assert_eq!(g.get(), 0);
+        let h = reg.histogram("twx_latency_ns", &[]);
+        h.record(42);
+        assert!(h.load().is_empty());
+        // exposition still lists the names, with zero values
+        let text = reg.render_prometheus();
+        assert!(text.contains("twx_conns 0"));
+        assert!(text.contains("twx_latency_ns_count 0"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Concurrency and property tests for the cross-thread accounting
+//! protocol: the counter drain/merge handshake hammered from many
+//! threads with exact expected totals, and the histogram laws the
+//! serving tier leans on (merge associativity/commutativity, percentile
+//! monotonicity and bucket agreement with the true quantile).
+//!
+//! Everything here exercises *recording*, which compiles to a no-op
+//! without the `enabled` feature — hence the crate-level gate.
+#![cfg(feature = "enabled")]
+
+use std::sync::mpsc;
+use twx_obs::{Counter, Counters, Histogram};
+
+/// Deterministic 64-bit generator (SplitMix64) so the property tests
+/// replay identically; no rand crate in this workspace.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+const THREADS: u64 = 8;
+const ROUNDS: u64 = 200;
+
+/// Eight workers each record a known quantity, drain, and ship the
+/// bundle through a channel; the collector merges every bundle locally
+/// and the totals must be *exact* — nothing lost, nothing double
+/// counted, and the workers' thread-local slots end at zero.
+#[test]
+fn eight_thread_drain_and_merge_accounts_exactly() {
+    let (tx, rx) = mpsc::channel::<Counters>();
+    let before = twx_obs::snapshot();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let tx = tx.clone();
+            s.spawn(move || {
+                for r in 0..ROUNDS {
+                    twx_obs::add(Counter::TwaSteps, t + 1);
+                    twx_obs::incr(Counter::ProductConfigs);
+                    if r % 2 == 0 {
+                        // alternate the two worker-side drain shapes
+                        tx.send(twx_obs::drain()).unwrap();
+                    } else {
+                        let mut acc = Counters::default();
+                        twx_obs::drain_into(&mut acc);
+                        tx.send(acc).unwrap();
+                    }
+                }
+                // every round drained: the thread ends empty
+                assert!(twx_obs::drain().is_zero(), "worker slots not empty");
+            });
+        }
+        drop(tx);
+        for bundle in rx {
+            twx_obs::merge_local(&bundle);
+        }
+    });
+    let total = twx_obs::delta_since(&before);
+    // sum over t of ROUNDS*(t+1) = ROUNDS * THREADS*(THREADS+1)/2
+    let expected_steps = ROUNDS * THREADS * (THREADS + 1) / 2;
+    assert_eq!(total.get(Counter::TwaSteps), expected_steps);
+    assert_eq!(total.get(Counter::ProductConfigs), THREADS * ROUNDS);
+}
+
+/// Partial drains interleave with live recording: `drain_into` one
+/// accumulator per worker, with recordings before and after the drain,
+/// and the (shipped + still-local) totals must cover every recording.
+#[test]
+fn drain_into_accumulates_across_rounds_without_loss() {
+    let (tx, rx) = mpsc::channel::<Counters>();
+    let before = twx_obs::snapshot();
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let tx = tx.clone();
+            s.spawn(move || {
+                let mut shipped = Counters::default();
+                for _ in 0..ROUNDS {
+                    twx_obs::add(Counter::TcEdgeTests, 3);
+                    twx_obs::drain_into(&mut shipped);
+                    // recorded after the drain: must ride the next one
+                    twx_obs::add(Counter::TcEdgeTests, 2);
+                }
+                twx_obs::drain_into(&mut shipped);
+                tx.send(shipped).unwrap();
+            });
+        }
+        drop(tx);
+        for bundle in rx {
+            twx_obs::merge_local(&bundle);
+        }
+    });
+    let total = twx_obs::delta_since(&before);
+    assert_eq!(total.get(Counter::TcEdgeTests), THREADS * ROUNDS * 5);
+}
+
+fn random_histogram(rng: &mut Rng, n: usize) -> Histogram {
+    let mut h = Histogram::default();
+    for _ in 0..n {
+        // span the full bucket range: random bit-lengths, not just
+        // uniform u64s (which would always land in the top buckets)
+        let bits = rng.next() % 64;
+        h.record(rng.next() >> bits);
+    }
+    h
+}
+
+/// Merge is associative and commutative: any grouping and order of
+/// per-thread histograms yields the identical distribution.
+#[test]
+fn histogram_merge_is_associative_and_commutative() {
+    let mut rng = Rng(0x5eed);
+    for _ in 0..50 {
+        let a = random_histogram(&mut rng, 40);
+        let b = random_histogram(&mut rng, 17);
+        let c = random_histogram(&mut rng, 63);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+
+        assert_eq!(ab_c, a_bc, "(a·b)·c != a·(b·c)");
+        assert_eq!(ab_c, cba, "merge is not commutative");
+    }
+}
+
+/// `percentile` is monotone in `p`, bounded by the observed max, and
+/// lands in the same log₂ bucket as the true (sorted-order) quantile.
+#[test]
+fn percentiles_are_monotone_and_bucket_exact() {
+    let mut rng = Rng(0x1157);
+    for round in 0..50 {
+        let n = 1 + (rng.next() % 400) as usize;
+        let mut values = Vec::with_capacity(n);
+        let mut h = Histogram::default();
+        for _ in 0..n {
+            let v = rng.next() >> (rng.next() % 64);
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_unstable();
+
+        let mut prev = 0u64;
+        for p in [0.0, 0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0] {
+            let got = h.percentile(p);
+            assert!(
+                got >= prev,
+                "round {round}: percentile not monotone at p={p}"
+            );
+            assert!(
+                got <= h.max(),
+                "round {round}: percentile above max at p={p}"
+            );
+            prev = got;
+
+            // same-bucket-as-true-quantile: compare log₂ buckets
+            let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+            let truth = values[rank - 1];
+            assert_eq!(
+                twx_obs::hist::bucket_of(got),
+                twx_obs::hist::bucket_of(truth),
+                "round {round}: p={p} estimate {got} not in the bucket of true quantile {truth}"
+            );
+        }
+        assert_eq!(h.percentile(1.0), h.max(), "p100 is the observed max");
+    }
+}
+
+/// The atomic histogram under 8-thread fire: the loaded view must agree
+/// exactly with a single-threaded histogram over the same values.
+#[test]
+fn atomic_histogram_matches_sequential_under_contention() {
+    let atomic = twx_obs::AtomicHistogram::new();
+    let mut expected = Histogram::default();
+    // values below 2^48 so the total fits u64: the atomic sum is a
+    // relaxed fetch_add (wrapping), the sequential sum saturates, and
+    // the two only agree while nothing overflows
+    let per_thread: Vec<Vec<u64>> = (0..THREADS)
+        .map(|t| {
+            let mut rng = Rng(t * 7 + 1);
+            (0..500)
+                .map(|_| rng.next() >> (16 + rng.next() % 48))
+                .collect()
+        })
+        .collect();
+    for vs in &per_thread {
+        for &v in vs {
+            expected.record(v);
+        }
+    }
+    std::thread::scope(|s| {
+        for vs in &per_thread {
+            let atomic = &atomic;
+            s.spawn(move || {
+                for &v in vs {
+                    atomic.record(v);
+                }
+            });
+        }
+    });
+    assert_eq!(atomic.load(), expected);
+}

@@ -68,9 +68,10 @@ impl Compiled {
         let m = self.pnfa.nfa.n_states as usize;
         let mut visited = vec![false; n * m];
         let mut work: Vec<(u32, u32)> = Vec::new();
+        let mut expanded = 0u64;
         let start = self.pnfa.nfa.start;
         for v in ctx.iter() {
-            push(&mut visited, &mut work, m, v.0, start);
+            push(&mut visited, &mut work, &mut expanded, m, v.0, start);
         }
         let mut out = NodeSet::empty(n);
         let accept = self.pnfa.nfa.accept;
@@ -80,20 +81,21 @@ impl Compiled {
             }
             for &(label, q2) in &self.fwd[q as usize] {
                 match label {
-                    MoveLabel::Eps => push(&mut visited, &mut work, m, v, q2),
+                    MoveLabel::Eps => push(&mut visited, &mut work, &mut expanded, m, v, q2),
                     MoveLabel::Test(i) => {
                         if tests[i as usize].contains(NodeId(v)) {
-                            push(&mut visited, &mut work, m, v, q2);
+                            push(&mut visited, &mut work, &mut expanded, m, v, q2);
                         }
                     }
                     MoveLabel::Axis(a) => {
                         for_each_move(t, NodeId(v), a, |u| {
-                            push(&mut visited, &mut work, m, u.0, q2)
+                            push(&mut visited, &mut work, &mut expanded, m, u.0, q2)
                         });
                     }
                 }
             }
         }
+        obs::add(Counter::ProductConfigs, expanded);
         out
     }
 
@@ -109,9 +111,10 @@ impl Compiled {
         let m = self.pnfa.nfa.n_states as usize;
         let mut visited = vec![false; n * m];
         let mut work: Vec<(u32, u32)> = Vec::new();
+        let mut expanded = 0u64;
         let accept = self.pnfa.nfa.accept;
         for v in targets.iter() {
-            push(&mut visited, &mut work, m, v.0, accept);
+            push(&mut visited, &mut work, &mut expanded, m, v.0, accept);
         }
         let mut out = NodeSet::empty(n);
         let start = self.pnfa.nfa.start;
@@ -123,21 +126,22 @@ impl Compiled {
             // walk was at (u, p) with u -label-> v in the tree
             for &(label, p) in &self.bwd[q as usize] {
                 match label {
-                    MoveLabel::Eps => push(&mut visited, &mut work, m, v, p),
+                    MoveLabel::Eps => push(&mut visited, &mut work, &mut expanded, m, v, p),
                     MoveLabel::Test(i) => {
                         if tests[i as usize].contains(NodeId(v)) {
-                            push(&mut visited, &mut work, m, v, p);
+                            push(&mut visited, &mut work, &mut expanded, m, v, p);
                         }
                     }
                     MoveLabel::Axis(a) => {
                         // predecessors of v under axis a = successors under a⁻¹
                         for_each_move(t, NodeId(v), a.inverse(), |u| {
-                            push(&mut visited, &mut work, m, u.0, p)
+                            push(&mut visited, &mut work, &mut expanded, m, u.0, p)
                         });
                     }
                 }
             }
         }
+        obs::add(Counter::ProductConfigs, expanded);
         out
     }
 
@@ -152,23 +156,36 @@ impl Compiled {
         let n = t.len();
         let tests = self.test_sets(t);
         let mut out = BitMatrix::empty(n);
+        let mut cells = 0u64;
         for v in t.nodes() {
             let img = self.image_with_tests(t, &NodeSet::singleton(n, v), &tests);
             for u in img.iter() {
-                obs::incr(Counter::BitMatrixCells);
+                cells += 1;
                 out.set(v, u);
             }
         }
+        obs::add(Counter::BitMatrixCells, cells);
         out
     }
 }
 
+/// Pushes `(v, q)` if unseen, counting expansions in `expanded` — a
+/// plain register increment, flushed to [`Counter::ProductConfigs`]
+/// once per search so the BFS inner loop never touches the
+/// thread-local counter slots.
 #[inline]
-fn push(visited: &mut [bool], work: &mut Vec<(u32, u32)>, m: usize, v: u32, q: u32) {
+fn push(
+    visited: &mut [bool],
+    work: &mut Vec<(u32, u32)>,
+    expanded: &mut u64,
+    m: usize,
+    v: u32,
+    q: u32,
+) {
     let idx = v as usize * m + q as usize;
     if !visited[idx] {
         visited[idx] = true;
-        obs::incr(Counter::ProductConfigs);
+        *expanded += 1;
         work.push((v, q));
     }
 }

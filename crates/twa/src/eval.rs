@@ -108,12 +108,22 @@ fn uses_scope(a: &Ntwa, idx: u32, scope: Scope) -> bool {
     })
 }
 
+/// Pushes `(v, q)` if unseen, counting expansions in `steps` — a plain
+/// register increment, flushed to [`Counter::TwaSteps`] once per search
+/// so the walking inner loop never touches the thread-local slots.
 #[inline]
-fn push(visited: &mut [bool], work: &mut Vec<(u32, u32)>, m: usize, v: u32, q: u32) {
+fn push(
+    visited: &mut [bool],
+    work: &mut Vec<(u32, u32)>,
+    steps: &mut u64,
+    m: usize,
+    v: u32,
+    q: u32,
+) {
     let idx = v as usize * m + q as usize;
     if !visited[idx] {
         visited[idx] = true;
-        obs::incr(Counter::TwaSteps);
+        *steps += 1;
         work.push((v, q));
     }
 }
@@ -143,8 +153,9 @@ pub fn eval_image(t: &Tree, a: &Ntwa, ctx: &NodeSet) -> NodeSet {
     let adj = forward_adj(a);
     let mut visited = vec![false; n * m];
     let mut work = Vec::new();
+    let mut steps = 0u64;
     for v in ctx.iter() {
-        push(&mut visited, &mut work, m, v.0, a.top.initial);
+        push(&mut visited, &mut work, &mut steps, m, v.0, a.top.initial);
     }
     let mut out = NodeSet::empty(n);
     while let Some((v, q)) = work.pop() {
@@ -155,11 +166,12 @@ pub fn eval_image(t: &Tree, a: &Ntwa, ctx: &NodeSet) -> NodeSet {
             let tr: &Transition = &a.top.transitions[ti];
             if guards.sets[ti].contains(NodeId(v)) {
                 tr.mv.apply(t, NodeId(v), |u| {
-                    push(&mut visited, &mut work, m, u.0, tr.to)
+                    push(&mut visited, &mut work, &mut steps, m, u.0, tr.to)
                 });
             }
         }
     }
+    obs::add(Counter::TwaSteps, steps);
     out
 }
 
@@ -172,9 +184,10 @@ pub fn eval_preimage(t: &Tree, a: &Ntwa, targets: &NodeSet) -> NodeSet {
     let adj = backward_adj(a);
     let mut visited = vec![false; n * m];
     let mut work = Vec::new();
+    let mut steps = 0u64;
     for v in targets.iter() {
         for &q in &a.top.accepting {
-            push(&mut visited, &mut work, m, v.0, q);
+            push(&mut visited, &mut work, &mut steps, m, v.0, q);
         }
     }
     let mut out = NodeSet::empty(n);
@@ -188,11 +201,12 @@ pub fn eval_preimage(t: &Tree, a: &Ntwa, targets: &NodeSet) -> NodeSet {
             // mv(u) ∋ v
             tr.mv.apply_reverse(t, NodeId(v), |u| {
                 if guards.sets[ti].contains(u) {
-                    push(&mut visited, &mut work, m, u.0, tr.from);
+                    push(&mut visited, &mut work, &mut steps, m, u.0, tr.from);
                 }
             });
         }
     }
+    obs::add(Counter::TwaSteps, steps);
     out
 }
 
@@ -213,25 +227,36 @@ pub fn eval_rel(t: &Tree, a: &Ntwa) -> BitMatrix {
     let adj = forward_adj(a);
     let mut visited = vec![false; n * m];
     let mut work: Vec<(u32, u32)> = Vec::new();
+    let mut steps = 0u64;
+    let mut cells = 0u64;
     for start in t.nodes() {
         visited.iter_mut().for_each(|b| *b = false);
         work.clear();
-        push(&mut visited, &mut work, m, start.0, a.top.initial);
+        push(
+            &mut visited,
+            &mut work,
+            &mut steps,
+            m,
+            start.0,
+            a.top.initial,
+        );
         while let Some((v, q)) = work.pop() {
             if a.top.is_accepting(q) {
-                obs::incr(Counter::BitMatrixCells);
+                cells += 1;
                 out.set(start, NodeId(v));
             }
             for &ti in &adj[q as usize] {
                 let tr = &a.top.transitions[ti];
                 if guards.sets[ti].contains(NodeId(v)) {
                     tr.mv.apply(t, NodeId(v), |u| {
-                        push(&mut visited, &mut work, m, u.0, tr.to)
+                        push(&mut visited, &mut work, &mut steps, m, u.0, tr.to)
                     });
                 }
             }
         }
     }
+    obs::add(Counter::TwaSteps, steps);
+    obs::add(Counter::BitMatrixCells, cells);
     out
 }
 

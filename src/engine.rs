@@ -21,10 +21,10 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use twx_core::{rpath_to_formula, rpath_to_ntwa};
 use twx_fotc::ast::Formula;
-use twx_obs::{self as obs, CompiledSizes, Counter, QueryProfile};
+use twx_obs::{self as obs, AtomicHistogram, CompiledSizes, Counter, QueryProfile, SpanTree};
 use twx_regxpath::eval::Compiled;
 use twx_regxpath::parser::{parse_rpath_catalog, parse_rpath_resolved, ResolveError};
 use twx_regxpath::{simplify_rpath, RPath};
@@ -54,6 +54,27 @@ impl Backend {
             Backend::Logic => "logic",
         }
     }
+}
+
+/// The process-wide eval-latency histogram for a backend, registered in
+/// the global [`obs::metrics`] registry as
+/// `twx_engine_eval_ns{backend="…"}`. One shared series per backend:
+/// every [`Prepared`] for that backend records into the same handle, so
+/// the `metrics` exposition shows the full eval-latency distribution
+/// per pipeline.
+fn eval_histogram(backend: Backend) -> Arc<AtomicHistogram> {
+    static HANDLES: OnceLock<[Arc<AtomicHistogram>; 3]> = OnceLock::new();
+    let handles = HANDLES.get_or_init(|| {
+        [Backend::Product, Backend::Automaton, Backend::Logic].map(|b| {
+            obs::metrics::global().histogram("twx_engine_eval_ns", &[("backend", b.name())])
+        })
+    });
+    let i = match backend {
+        Backend::Product => 0,
+        Backend::Automaton => 1,
+        Backend::Logic => 2,
+    };
+    Arc::clone(&handles[i])
 }
 
 /// An error from [`Engine::query`].
@@ -507,19 +528,32 @@ pub struct Prepared {
     path: RPath,
     backend: Backend,
     plan: Arc<Plan>,
+    /// The shared per-backend eval-latency series (resolved once at
+    /// prepare time so the eval hot path never touches the registry).
+    eval_hist: Arc<AtomicHistogram>,
 }
 
 impl Prepared {
     /// Evaluates from a single context node.
+    ///
+    /// One elapsed-time measurement feeds three sinks: the thread-local
+    /// `eval_nanos` counter (per-query profiles), the process-wide
+    /// per-backend latency histogram (the `metrics` exposition), and —
+    /// when a trace is being collected on this thread — an `eval` span.
     pub fn eval(&self, doc: &Document, ctx: NodeId) -> NodeSet {
         let t = &doc.tree;
         let ctx_set = NodeSet::singleton(t.len(), ctx);
-        let _t = obs::span(Counter::EvalNanos);
-        match &*self.plan {
+        let _stage = obs::trace::stage("eval");
+        let clock = obs::Clock::start();
+        let result = match &*self.plan {
             Plan::Product(c) => c.image(t, &ctx_set),
             Plan::Automaton(a) => twx_twa::eval_image(t, a, &ctx_set),
             Plan::Logic(f) => twx_fotc::eval_binary(t, f, 0, 1).image(&ctx_set),
-        }
+        };
+        let nanos = clock.elapsed_nanos();
+        obs::add(Counter::EvalNanos, nanos);
+        self.eval_hist.record(nanos);
+        result
     }
 
     /// A stable-within-this-process fingerprint of the compiled plan:
@@ -573,7 +607,11 @@ impl Prepared {
         self.fingerprint().hash(&mut h);
         ctx.0.hash(&mut h);
         let key = h.finish();
-        if let Some(hit) = cache.get(key, doc_id, version) {
+        let lookup = {
+            let _stage = obs::trace::stage("result_cache");
+            cache.get(key, doc_id, version)
+        };
+        if let Some(hit) = lookup {
             if hit.universe() == doc.tree.len() {
                 return hit;
             }
@@ -712,7 +750,10 @@ impl Engine {
     /// Labels the alphabet does not know yield
     /// [`EngineError::UnknownLabel`]; the document is never mutated.
     pub fn prepare(&self, doc: &Document, query: &str) -> Result<Prepared, EngineError> {
-        let path = parse_rpath_resolved(query, &doc.alphabet)?;
+        let path = {
+            let _stage = obs::trace::stage("parse");
+            parse_rpath_resolved(query, &doc.alphabet)?
+        };
         Ok(self.finish_pipeline(query, path))
     }
 
@@ -720,7 +761,10 @@ impl Engine {
     /// shared [`Catalog`], **interning** any new labels into it. The plan
     /// then serves every document built from the catalog.
     pub fn prepare_in(&self, catalog: &Catalog, query: &str) -> Result<Prepared, EngineError> {
-        let path = parse_rpath_catalog(query, catalog).map_err(EngineError::Syntax)?;
+        let path = {
+            let _stage = obs::trace::stage("parse");
+            parse_rpath_catalog(query, catalog).map_err(EngineError::Syntax)?
+        };
         Ok(self.finish_pipeline(query, path))
     }
 
@@ -734,20 +778,27 @@ impl Engine {
     /// query and its hand-simplified form share one plan.
     fn finish_pipeline(&self, query: &str, raw: RPath) -> Prepared {
         let raw_size = raw.size();
-        let path = simplify_rpath(&raw);
-        let pruned = crate::prune::prune_unsat_rpath(&path);
-        let path = if pruned == path {
-            path
-        } else {
-            simplify_rpath(&pruned)
+        let path = {
+            let _stage = obs::trace::stage("simplify");
+            let path = simplify_rpath(&raw);
+            let pruned = crate::prune::prune_unsat_rpath(&path);
+            if pruned == path {
+                path
+            } else {
+                simplify_rpath(&pruned)
+            }
         };
-        let plan = self.cache.get_or_compile(&path, self.backend);
+        let plan = {
+            let _stage = obs::trace::stage("plan_cache");
+            self.cache.get_or_compile(&path, self.backend)
+        };
         Prepared {
             text: query.to_string(),
             raw_size,
             path,
             backend: self.backend,
             plan,
+            eval_hist: eval_histogram(self.backend),
         }
     }
 
@@ -755,6 +806,29 @@ impl Engine {
     pub fn query(&self, doc: &Document, query: &str, ctx: NodeId) -> Result<NodeSet, EngineError> {
         let prepared = self.prepare(doc, query)?;
         Ok(prepared.eval(doc, ctx))
+    }
+
+    /// Like [`query`](Engine::query), but collects a span tree of the
+    /// pipeline (`parse` → `simplify` → `plan_cache` → `eval`, each with
+    /// nanosecond timings and counter deltas) alongside the answer.
+    ///
+    /// The answer is **identical** to an untraced [`query`](Engine::query) —
+    /// instrumentation never perturbs evaluation. The trace is `None`
+    /// when the `obs` feature is disabled, or when a trace is already
+    /// being collected on this thread (traces do not nest).
+    pub fn query_traced(
+        &self,
+        doc: &Document,
+        query: &str,
+        ctx: NodeId,
+    ) -> Result<(NodeSet, Option<SpanTree>), EngineError> {
+        let began = obs::trace::begin("query", obs::TraceId::next());
+        let result = (|| {
+            let prepared = self.prepare(doc, query)?;
+            Ok(prepared.eval(doc, ctx))
+        })();
+        let tree = if began { obs::trace::take() } else { None };
+        result.map(|r| (r, tree))
     }
 
     /// Compiles once, then evaluates across all `(document, context)` jobs
@@ -1092,6 +1166,54 @@ mod tests {
             p.eval(&d2, root).to_vec(),
             "the fault visibly corrupts answers — what the mutation fuzzer must catch"
         );
+    }
+
+    #[test]
+    fn query_traced_matches_untraced_and_names_stages() {
+        let d = doc();
+        let root = d.tree.root();
+        for backend in [Backend::Product, Backend::Automaton, Backend::Logic] {
+            let engine = Engine::with_backend(backend);
+            let plain = engine.query(&d, "down*[c]", root).unwrap();
+            let (traced, tree) = engine.query_traced(&d, "down*[c]", root).unwrap();
+            assert_eq!(plain, traced, "{backend:?}: tracing perturbed the answer");
+            #[cfg(feature = "obs")]
+            {
+                let tree = tree.expect("trace collected when obs is on");
+                assert_ne!(tree.trace_id.0, 0);
+                let names: Vec<&str> = tree.root.children.iter().map(|c| c.name.as_str()).collect();
+                assert_eq!(names, ["parse", "simplify", "plan_cache", "eval"]);
+            }
+            #[cfg(not(feature = "obs"))]
+            assert!(tree.is_none());
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn query_traced_cleans_up_on_error() {
+        let d = doc();
+        let root = d.tree.root();
+        let engine = Engine::new();
+        assert!(engine.query_traced(&d, "down[[", root).is_err());
+        assert!(!obs::trace::active(), "failed trace left a collector");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn eval_feeds_the_backend_latency_histogram() {
+        let d = doc();
+        let engine = Engine::with_backend(Backend::Automaton);
+        let p = engine.prepare(&d, "down*[b]").unwrap();
+        let before = eval_histogram(Backend::Automaton).load().count();
+        p.eval(&d, d.tree.root());
+        p.eval(&d, d.tree.root());
+        // >=: other tests run in parallel and share the global series
+        let after = eval_histogram(Backend::Automaton).load();
+        assert!(after.count() >= before + 2);
+        assert!(obs::metrics::global()
+            .histogram_snapshot("twx_engine_eval_ns", &[("backend", "automaton")])
+            .is_some());
     }
 
     #[test]

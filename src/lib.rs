@@ -29,7 +29,7 @@ pub use twx_core as core;
 pub use twx_corexpath as corexpath;
 pub use twx_fotc as fotc;
 pub use twx_obs as obs;
-pub use twx_obs::QueryProfile;
+pub use twx_obs::{Histogram, QueryProfile, SpanTree, TraceId};
 pub use twx_regxpath as regxpath;
 pub use twx_treeauto as treeauto;
 pub use twx_twa as twa;
