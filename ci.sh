@@ -26,15 +26,15 @@ test_log="$(mktemp -t twx_tests.XXXXXX.log)"
 cargo test -q --workspace 2>&1 | tee "$test_log"
 
 say "test-count floor"
-# the suite only ever grows: 449 tests passed when the live-corpus PR
+# the suite only ever grows: 503 tests passed when the bytecode-VM PR
 # landed; a silent drop below that means tests were lost, not fixed
 python3 - "$test_log" <<'EOF'
 import re, sys
 text = open(sys.argv[1]).read()
 passed = sum(int(m) for m in re.findall(r"(\d+) passed", text))
 assert "FAILED" not in text, "test suite reported failures"
-assert passed >= 449, f"test count regressed: {passed} < 449"
-print(f"test-count floor: {passed} tests passed (floor 449)")
+assert passed >= 503, f"test count regressed: {passed} < 503"
+print(f"test-count floor: {passed} tests passed (floor 503)")
 EOF
 rm -f "$test_log"
 
@@ -54,11 +54,33 @@ assert doc["iterations"] == 300, doc["iterations"]
 assert doc["divergences"] == 0, doc
 assert doc["replayed"] > 0, "golden corpus was not replayed"
 assert doc["replay_divergences"] == 0, doc
-assert len(doc["routes"]) == 9, [r["route"] for r in doc["routes"]]
+assert len(doc["routes"]) == 10, [r["route"] for r in doc["routes"]]
+assert any(r["route"] == "vm" for r in doc["routes"]), doc["routes"]
 print("twx-fuzz: 300 iterations +", doc["replayed"],
       "golden repros, 0 divergences across", len(doc["routes"]), "routes")
 EOF
 rm -f "$fuzz_out"
+
+say "vm fault self-test (vm=drop-max must be caught and shrunk)"
+vm_fault_out="$(mktemp -t twx_vm_fault.XXXXXX.json)"
+if ./target/release/twx-fuzz --seed 42 --iters 300 \
+    --fault vm=drop-max > "$vm_fault_out"; then
+  echo "a broken VM route was NOT caught" >&2
+  exit 1
+fi
+python3 - "$vm_fault_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["divergences"] > 0, "vm fault injected but no divergence found"
+for d in doc["found"]:
+    assert d["routes"] == ["vm"], d["routes"]
+    assert d["query_size"] <= 6, f"shrunk query still has {d['query_size']} AST nodes"
+    assert d["doc_nodes"] <= 8, f"shrunk document still has {d['doc_nodes']} nodes"
+print("vm fault self-test:", doc["divergences"], "divergences caught, repros",
+      "shrunk to <=", max(d["query_size"] for d in doc["found"]), "AST nodes /",
+      max(d["doc_nodes"] for d in doc["found"]), "doc nodes")
+EOF
+rm -f "$vm_fault_out"
 
 say "mutation fuzz gate (live corpus + result cache)"
 mut_out="$(mktemp -t twx_mutate.XXXXXX.json)"
@@ -102,13 +124,15 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "twx-bench/1", doc.get("schema")
 assert doc["obs_enabled"] is True
-assert len(doc["experiments"]) == 11, len(doc["experiments"])
-assert len(doc["quickstart_profiles"]) == 3
+assert len(doc["experiments"]) == 12, len(doc["experiments"])
+assert len(doc["quickstart_profiles"]) == 4
 for p in doc["quickstart_profiles"]:
     assert p["result_count"] == 2, p
     assert p["counters"]["plan_cache_misses"] == 1, p
+vm_profile = [p for p in doc["quickstart_profiles"] if p["backend"] == "vm"]
+assert len(vm_profile) == 1 and vm_profile[0]["compiled"]["vm_instrs"] > 0, vm_profile
 cache = doc["plan_cache"]
-assert cache["misses"] == 3 and cache["hits"] == 3, cache
+assert cache["misses"] == 4 and cache["hits"] == 4, cache
 e10 = doc["e10"]
 assert len(e10["shards"]) >= 2, e10
 for point in e10["shards"]:
@@ -126,12 +150,21 @@ assert rc["carried"] > 0 and rc["invalidated"] > 0, rc
 prec = e11["precision"]
 assert prec["hit_after_disjoint_edit"] is True, prec
 assert prec["miss_after_overlapping_edit"] is True, prec
+e12 = doc["e12"]
+assert e12["pool"] >= 5, e12["pool"]
+assert e12["geomean_speedup_hot"] >= 2, (
+    f"vm hot geomean speedup {e12['geomean_speedup_hot']:.2f}x below the 2x bar")
+vm_cache = e12["vm_plan_cache"]
+assert vm_cache["misses"] == e12["pool"], vm_cache
+assert vm_cache["hits"] >= e12["pool"], vm_cache
 print("BENCH_HARNESS.json: schema ok,", len(doc["experiments"]), "experiments,",
       len(doc["quickstart_profiles"]), "profiles, plan cache", cache)
 print("e10:", len(e10["shards"]), "shard counts,",
       sat["rejected"], "of", sat["submitted"], "burst requests rejected")
 print("e11: %.1fx speedup, %.0f%% hit rate, %d carried / %d invalidated"
       % (e11["speedup"], 100 * rc["hit_rate"], rc["carried"], rc["invalidated"]))
+print("e12: vm vs product geomean %.1fx hot / %.1fx cold over %d queries"
+      % (e12["geomean_speedup_hot"], e12["geomean_speedup_cold"], e12["pool"]))
 EOF
 
 say "observability overhead gate (enabled vs disabled, <=1.05x)"

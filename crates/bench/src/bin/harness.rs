@@ -11,7 +11,7 @@
 //!
 //! The JSON export carries every table (title/headers/rows/notes), the
 //! run configuration, and the EXPLAIN profiles of the quickstart query
-//! on all three engine backends.
+//! on all four engine backends.
 
 use treewalk::{Backend, Engine};
 use twx_bench::{experiments, RunCfg, Table};
@@ -54,11 +54,11 @@ fn parse_args() -> Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("harness: {msg}");
-    eprintln!("usage: harness [--quick] [--seed <u64>] [--json <path>] [e1 .. e11]");
+    eprintln!("usage: harness [--quick] [--seed <u64>] [--json <path>] [e1 .. e12]");
     std::process::exit(2)
 }
 
-/// EXPLAIN the quickstart query on each backend; the three profiles land
+/// EXPLAIN the quickstart query on each backend; the four profiles land
 /// in the JSON export so runs can be compared structurally. The document
 /// is immutable — queries resolve against its alphabet without interning.
 /// The second return value is the serve-side plan-cache statistics
@@ -71,7 +71,12 @@ fn quickstart_profiles() -> (Vec<Json>, Json) {
     let mut hits = 0u64;
     let mut misses = 0u64;
     let mut evictions = 0u64;
-    for backend in [Backend::Product, Backend::Automaton, Backend::Logic] {
+    for backend in [
+        Backend::Product,
+        Backend::Automaton,
+        Backend::Logic,
+        Backend::Vm,
+    ] {
         let engine = Engine::with_backend(backend);
         let profile = engine.explain(&doc, QUERY, root).expect("quickstart query");
         let _served_again = engine.explain(&doc, QUERY, root).expect("quickstart query");
@@ -107,9 +112,10 @@ fn main() {
     // field (per-shard serving stats for e10, live-corpus cache stats
     // for e11) run outside the plain-table registry
     type FullRunner = fn(&RunCfg) -> (Table, Json);
-    let full_runners: [(&str, FullRunner); 2] = [
+    let full_runners: [(&str, FullRunner); 3] = [
         ("e10", experiments::e10_corpus_serve::run_full),
         ("e11", experiments::e11_live_corpus::run_full),
+        ("e12", experiments::e12_vm::run_full),
     ];
 
     for sel in &args.selected {

@@ -3,6 +3,7 @@
 
 pub mod e10_corpus_serve;
 pub mod e11_live_corpus;
+pub mod e12_vm;
 pub mod e1_core_eval;
 pub mod e2_regxpath_eval;
 pub mod e3_translations;
@@ -29,6 +30,7 @@ pub fn run_all(cfg: &RunCfg) -> Vec<Table> {
         e9_plan_cache::run(cfg),
         e10_corpus_serve::run(cfg),
         e11_live_corpus::run(cfg),
+        e12_vm::run(cfg),
     ]
 }
 

@@ -2,7 +2,7 @@
 //!
 //! The paper is pure theory — it has no tables or figures — so, per the
 //! substitution recorded in `DESIGN.md`, this crate defines and runs the
-//! synthetic experimental programme E1–E10 of `EXPERIMENTS.md`:
+//! synthetic experimental programme E1–E12 of `EXPERIMENTS.md`:
 //!
 //! * E1/E2 — evaluation-complexity measurements (linear/product evaluators
 //!   vs naive relational baselines);
@@ -16,7 +16,12 @@
 //! * E9 — the staged compile pipeline: cold compiles vs plan-cache serves
 //!   over catalog-shared documents, and `query_batch` thread fan-out;
 //! * E10 — the serving layer: corpus-query throughput and p50/p95/p99
-//!   latency by shard count, plus admission-control saturation.
+//!   latency by shard count, plus admission-control saturation;
+//! * E11 — the live corpus: a mixed query/edit workload through the
+//!   result cache vs re-evaluation from scratch, plus an
+//!   invalidation-precision probe;
+//! * E12 — the bytecode VM backend vs the product backend on
+//!   deep/starred queries, cold and plan-cache-hot.
 //!
 //! Each experiment is a function `fn(&RunCfg) -> Table`; the `harness`
 //! binary prints them all and exports every table plus per-backend

@@ -25,6 +25,9 @@ use crate::{Divergence, Fault, RouteAnswer, RouteId, BACKENDS};
 pub struct Conformer {
     catalog: Arc<Catalog>,
     hot: Vec<Engine>,
+    /// The persistent VM engine behind [`RouteId::Vm`]: plan-cache-hot,
+    /// register arena warm — the production serving configuration.
+    vm: Engine,
     fault: Option<Fault>,
     route_nanos: [u64; RouteId::ALL.len()],
 }
@@ -40,6 +43,7 @@ impl Conformer {
         Conformer {
             catalog,
             hot: BACKENDS.iter().map(|&b| Engine::with_backend(b)).collect(),
+            vm: Engine::with_backend(Backend::Vm),
             fault,
             route_nanos: [0; RouteId::ALL.len()],
         }
@@ -94,6 +98,11 @@ impl Conformer {
                     // prime the plan cache, then answer from the hit
                     let _ = engine.prepare_in(&self.catalog, query);
                     self.engine_answer(engine, query, doc)
+                }
+                RouteId::Vm => {
+                    // prime the plan cache, then answer from the hit
+                    let _ = self.vm.prepare_in(&self.catalog, query);
+                    self.engine_answer(&self.vm, query, doc)
                 }
                 RouteId::Service => self.service_answer(query, doc),
             }

@@ -277,6 +277,31 @@ mod tests {
         assert!(d.doc_nodes <= 8, "doc_nodes {} > 8", d.doc_nodes);
     }
 
+    /// The `--fault vm=drop-max` self-test: a seeded bug in the VM route
+    /// is caught by the differential check and shrunk to a tiny repro —
+    /// proof the 10th route is actually guarded, not just present.
+    #[test]
+    fn vm_fault_is_caught_and_shrunk() {
+        let report = run_fuzz(&FuzzConfig {
+            seed: 42,
+            iters: 60,
+            fault: Some(Fault {
+                route: RouteId::Vm,
+                kind: FaultKind::DropMax,
+            }),
+            ..FuzzConfig::default()
+        });
+        assert!(
+            !report.divergences.is_empty(),
+            "vm fault never diverged in {} iterations",
+            report.iterations
+        );
+        let d = &report.divergences[0];
+        assert_eq!(d.minimized.route_names(), vec!["vm"]);
+        assert!(d.query_size <= 6, "query_size {} > 6", d.query_size);
+        assert!(d.doc_nodes <= 8, "doc_nodes {} > 8", d.doc_nodes);
+    }
+
     #[test]
     fn time_budget_cuts_the_run_short() {
         let report = run_fuzz(&FuzzConfig {

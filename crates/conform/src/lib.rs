@@ -8,10 +8,11 @@
 //!
 //! * [`check::Conformer`] evaluates one `(query, document)` pair through
 //!   every route — the naive relational oracle, the raw (pipeline-off)
-//!   product evaluator, `Engine::query` on all three backends both
-//!   plan-cache-cold and -hot, and a sharded [`QueryService`] — and
-//!   reports any disagreement as a typed [`Divergence`] naming the odd
-//!   routes and their answers.
+//!   product evaluator, `Engine::query` on the product/automaton/logic
+//!   backends both plan-cache-cold and -hot, the bytecode VM in its
+//!   production (hot, arena-recycled) configuration, and a sharded
+//!   [`QueryService`] — and reports any disagreement as a typed
+//!   [`Divergence`] naming the odd routes and their answers.
 //! * [`shrink::minimize`] greedily minimises a failing pair over both the
 //!   query AST (drop disjuncts, strip filters, shorten stars — see
 //!   [`twx_regxpath::shrink`]) and the document (delete subtrees — see
@@ -73,11 +74,16 @@ pub enum RouteId {
     /// copies of the document, checked for internal agreement and
     /// compared against the sequential answer.
     Service,
+    /// The bytecode VM in its production configuration: a persistent
+    /// `Backend::Vm` engine, plan-cache-hot, registers recycled through
+    /// the thread-local arena across checks. The route that must agree
+    /// node-for-node before the VM can become a default backend.
+    Vm,
 }
 
 impl RouteId {
     /// Every route, in the order answers are collected and reported.
-    pub const ALL: [RouteId; 9] = [
+    pub const ALL: [RouteId; 10] = [
         RouteId::Naive,
         RouteId::RawProduct,
         RouteId::Cold(Backend::Product),
@@ -86,6 +92,7 @@ impl RouteId {
         RouteId::Hot(Backend::Product),
         RouteId::Hot(Backend::Automaton),
         RouteId::Hot(Backend::Logic),
+        RouteId::Vm,
         RouteId::Service,
     ];
 
@@ -100,6 +107,11 @@ impl RouteId {
             RouteId::Hot(Backend::Product) => "hot:product",
             RouteId::Hot(Backend::Automaton) => "hot:automaton",
             RouteId::Hot(Backend::Logic) => "hot:logic",
+            // the VM rides as its own (hot) route; Cold/Hot(Vm) are
+            // representable but not part of ALL — named for completeness
+            RouteId::Cold(Backend::Vm) => "cold:vm",
+            RouteId::Hot(Backend::Vm) => "hot:vm",
+            RouteId::Vm => "vm",
             RouteId::Service => "service",
         }
     }

@@ -51,17 +51,23 @@ fn build_corpus(
     Arc::new(b.build())
 }
 
-/// Concurrent answers equal sequential per-document evaluation, for all
-/// three backends, both placements, and several shard counts.
+/// Concurrent answers equal sequential per-document evaluation, for
+/// every backend, both placements, and several shard counts.
 #[test]
 fn service_matches_sequential_engine_on_every_backend() {
-    for backend in [Backend::Product, Backend::Automaton, Backend::Logic] {
+    for backend in [
+        Backend::Product,
+        Backend::Automaton,
+        Backend::Logic,
+        Backend::Vm,
+    ] {
         // the Logic backend is the slow declarative reference: keep its
         // documents small so the sweep stays test-suite-sized
         let (n_docs, max_extra) = match backend {
             Backend::Product => (10, 60),
             Backend::Automaton => (8, 28),
             Backend::Logic => (6, 10),
+            Backend::Vm => (10, 60),
         };
         for (n_shards, placement) in [
             (1, Placement::RoundRobin),

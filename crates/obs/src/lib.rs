@@ -188,6 +188,18 @@ counters! {
     EvalNanos => "eval_nanos",
     /// Nanoseconds spent compiling/translating (span timer).
     CompileNanos => "compile_nanos",
+    /// Bytecode instructions dispatched by the twx-vm interpreter
+    /// (accumulated locally, flushed once per evaluation).
+    VmInstructions => "vm_instructions",
+    /// Kleene-closure loop iterations executed by the VM (one per
+    /// frontier pass, summed over every `Star` instruction).
+    VmClosureIters => "vm_closure_iters",
+    /// Register buffers the VM arena had to allocate fresh because the
+    /// thread-local pool was empty — zero in a warmed-up serving loop.
+    VmArenaAllocs => "vm_arena_allocs",
+    /// Instructions in compiled VM programs (compile-time size metric,
+    /// the VM analogue of `CompiledNfaStates`).
+    CompiledVmInstrs => "compiled_vm_instrs",
 }
 
 #[cfg(feature = "enabled")]

@@ -28,6 +28,11 @@ pub struct CompiledSizes {
     pub ntwa_states: usize,
     /// Number of nested sub-automata.
     pub ntwa_subtests: usize,
+    /// Bytecode instructions in a compiled VM program (all blocks and
+    /// nested sub-programs).
+    pub vm_instrs: usize,
+    /// Registers in the VM program's file (plus the widest nested file).
+    pub vm_regs: usize,
 }
 
 impl CompiledSizes {
@@ -38,6 +43,8 @@ impl CompiledSizes {
             .field("formula_size", self.formula_size)
             .field("ntwa_states", self.ntwa_states)
             .field("ntwa_subtests", self.ntwa_subtests)
+            .field("vm_instrs", self.vm_instrs)
+            .field("vm_regs", self.vm_regs)
     }
 }
 
@@ -69,13 +76,15 @@ impl QueryProfile {
     }
 
     /// A single headline number: total structural steps taken by the
-    /// evaluator (product configs + automaton steps + FO eval steps).
-    /// Comparable across backends as "how much work happened".
+    /// evaluator (product configs + automaton steps + FO eval steps +
+    /// VM instructions). Comparable across backends as "how much work
+    /// happened".
     pub fn total_steps(&self) -> u64 {
         self.counters.get(Counter::ProductConfigs)
             + self.counters.get(Counter::TwaSteps)
             + self.counters.get(Counter::FoEvalSteps)
             + self.counters.get(Counter::CoreStepImages)
+            + self.counters.get(Counter::VmInstructions)
     }
 
     /// Renders the profile as an indented text block (the EXPLAIN view).
@@ -92,12 +101,14 @@ impl QueryProfile {
         );
         let _ = writeln!(
             out,
-            "  compiled: query_size={} nfa_states={} formula_size={} ntwa_states={} ntwa_subtests={}",
+            "  compiled: query_size={} nfa_states={} formula_size={} ntwa_states={} ntwa_subtests={} vm_instrs={} vm_regs={}",
             self.compiled.query_size,
             self.compiled.nfa_states,
             self.compiled.formula_size,
             self.compiled.ntwa_states,
             self.compiled.ntwa_subtests,
+            self.compiled.vm_instrs,
+            self.compiled.vm_regs,
         );
         if self.eval_nanos > 0 || self.compile_nanos > 0 {
             let _ = writeln!(

@@ -1,0 +1,330 @@
+//! Interpreter: straight-line dispatch over arena-recycled set registers.
+//!
+//! A register file is a `Vec<NodeSet>` borrowed from a thread-local
+//! `Arena` and returned when evaluation finishes. [`twx_xtree::NodeSet::reset`]
+//! keeps the word buffers, so a hot `eval_cached` loop touches the
+//! allocator only when a document is larger than anything the thread has
+//! evaluated before.
+//!
+//! Dispatch counters are accumulated in a local `Stats` and flushed to
+//! the thread-local obs slots once per top-level evaluation, keeping the
+//! inner loop free of instrumentation cost (the overhead gate in ci.sh
+//! measures exactly this).
+
+use crate::{Instr, Program, Reg};
+use twx_obs::{self as obs, Counter};
+use twx_regxpath::ast::Axis;
+use twx_xtree::{NodeSet, Tree};
+
+/// A pool of recycled `NodeSet` registers.
+#[derive(Default)]
+pub struct Arena {
+    pool: Vec<NodeSet>,
+}
+
+impl Arena {
+    pub fn new() -> Arena {
+        Arena::default()
+    }
+
+    /// Number of pooled registers (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn file(&mut self, n_regs: usize, universe: usize, stats: &mut Stats) -> Vec<NodeSet> {
+        let mut file = Vec::with_capacity(n_regs);
+        for _ in 0..n_regs {
+            let mut s = self.pool.pop().unwrap_or_else(|| {
+                stats.arena_allocs += 1;
+                NodeSet::empty(0)
+            });
+            s.reset(universe);
+            file.push(s);
+        }
+        file
+    }
+
+    fn put_back(&mut self, file: Vec<NodeSet>) {
+        self.pool.extend(file);
+    }
+}
+
+thread_local! {
+    static ARENA: std::cell::RefCell<Arena> = std::cell::RefCell::new(Arena::new());
+}
+
+#[derive(Default)]
+struct Stats {
+    instrs: u64,
+    closure_iters: u64,
+    arena_allocs: u64,
+}
+
+impl Stats {
+    fn flush(&self) {
+        obs::add(Counter::VmInstructions, self.instrs);
+        obs::add(Counter::VmClosureIters, self.closure_iters);
+        obs::add(Counter::VmArenaAllocs, self.arena_allocs);
+    }
+}
+
+/// Runs a path program: the image of `ctx` under the compiled expression.
+pub fn eval_image(t: &Tree, prog: &Program, ctx: &NodeSet) -> NodeSet {
+    assert_eq!(ctx.universe(), t.len(), "context set universe mismatch");
+    let mut stats = Stats::default();
+    let out = ARENA.with(|a| run(prog, t, Some(ctx), &mut a.borrow_mut(), &mut stats));
+    stats.flush();
+    out
+}
+
+/// Runs a node-expression program: the set of nodes where `φ` holds.
+pub fn eval_node_set(t: &Tree, prog: &Program) -> NodeSet {
+    let mut stats = Stats::default();
+    let out = ARENA.with(|a| run(prog, t, None, &mut a.borrow_mut(), &mut stats));
+    stats.flush();
+    out
+}
+
+fn run(
+    prog: &Program,
+    t: &Tree,
+    ctx: Option<&NodeSet>,
+    arena: &mut Arena,
+    stats: &mut Stats,
+) -> NodeSet {
+    let mut regs = arena.file(prog.n_regs as usize, t.len(), stats);
+    exec_block(prog, 0, t, ctx, &mut regs, arena, stats);
+    let out = std::mem::replace(&mut regs[prog.out as usize], NodeSet::empty(0));
+    arena.put_back(regs);
+    out
+}
+
+fn exec_block(
+    prog: &Program,
+    block: usize,
+    t: &Tree,
+    ctx: Option<&NodeSet>,
+    regs: &mut [NodeSet],
+    arena: &mut Arena,
+    stats: &mut Stats,
+) {
+    let n = t.len();
+    for instr in &prog.blocks[block] {
+        stats.instrs += 1;
+        match *instr {
+            Instr::LoadEmpty { dst } => regs[dst as usize].reset(n),
+            Instr::LoadFull { dst } => {
+                let d = &mut regs[dst as usize];
+                d.reset(n);
+                d.set_full();
+            }
+            Instr::LoadLabel { dst, label } => {
+                let d = &mut regs[dst as usize];
+                d.reset(n);
+                for v in t.nodes() {
+                    if t.label(v) == label {
+                        d.insert(v);
+                    }
+                }
+            }
+            Instr::LoadCtx { dst } => {
+                let c = ctx.expect("vm: LoadCtx in a context-free (nested) program");
+                regs[dst as usize].copy_from(c);
+            }
+            Instr::Copy { dst, src } => {
+                let (d, s) = pair_mut(regs, dst, src);
+                d.copy_from(s);
+            }
+            Instr::Union { dst, src } => {
+                let (d, s) = pair_mut(regs, dst, src);
+                d.union_with(s);
+            }
+            Instr::Intersect { dst, src } => {
+                let (d, s) = pair_mut(regs, dst, src);
+                d.intersect_with(s);
+            }
+            Instr::Difference { dst, src } => {
+                let (d, s) = pair_mut(regs, dst, src);
+                d.difference_with(s);
+            }
+            Instr::Complement { dst } => regs[dst as usize].complement(),
+            Instr::AxisImage { dst, src, axis } => {
+                let (d, s) = pair_mut(regs, dst, src);
+                axis_image(t, axis, s, d);
+            }
+            Instr::FilterJoin { dst, test } => {
+                let (d, s) = pair_mut(regs, dst, test);
+                d.intersect_with(s);
+            }
+            Instr::Star {
+                dst,
+                src,
+                frontier,
+                step,
+                body,
+            } => {
+                {
+                    let (d, s) = pair_mut(regs, dst, src);
+                    d.copy_from(s);
+                }
+                {
+                    let (f, s) = pair_mut(regs, frontier, src);
+                    f.copy_from(s);
+                }
+                while !regs[frontier as usize].is_empty() {
+                    stats.closure_iters += 1;
+                    exec_block(prog, body as usize, t, ctx, regs, arena, stats);
+                    // fold the newly reached nodes into the accumulator;
+                    // the difference doubles as the fixpoint test
+                    {
+                        let (s, d) = pair_mut(regs, step, dst);
+                        s.difference_with(d);
+                    }
+                    if regs[step as usize].is_empty() {
+                        break;
+                    }
+                    {
+                        let (d, s) = pair_mut(regs, dst, step);
+                        d.union_with(s);
+                    }
+                    regs.swap(frontier as usize, step as usize);
+                }
+            }
+            Instr::Within { dst, sub } => {
+                let nested = &prog.subs[sub as usize];
+                let d = &mut regs[dst as usize];
+                d.reset(n);
+                for v in t.nodes() {
+                    obs::incr(Counter::SubtreeExtractions);
+                    let subtree = t.subtree(v);
+                    let set = run(nested, &subtree, None, arena, stats);
+                    if set.contains(subtree.root()) {
+                        d.insert(v);
+                    }
+                    arena.put_back(vec![set]);
+                }
+            }
+        }
+    }
+}
+
+/// `dst ← { u : ∃ v ∈ src, v -axis→ u }`, overwriting `dst`.
+fn axis_image(t: &Tree, axis: Axis, src: &NodeSet, dst: &mut NodeSet) {
+    dst.reset(t.len());
+    match axis {
+        Axis::Down => {
+            for v in src.iter() {
+                let mut c = t.first_child(v);
+                while let Some(u) = c {
+                    dst.insert(u);
+                    c = t.next_sibling(u);
+                }
+            }
+        }
+        Axis::Up => {
+            for v in src.iter() {
+                if let Some(p) = t.parent(v) {
+                    dst.insert(p);
+                }
+            }
+        }
+        Axis::Left => {
+            for v in src.iter() {
+                if let Some(p) = t.prev_sibling(v) {
+                    dst.insert(p);
+                }
+            }
+        }
+        Axis::Right => {
+            for v in src.iter() {
+                if let Some(s) = t.next_sibling(v) {
+                    dst.insert(s);
+                }
+            }
+        }
+    }
+}
+
+/// Disjoint mutable/shared access to two registers of the file.
+fn pair_mut(regs: &mut [NodeSet], a: Reg, b: Reg) -> (&mut NodeSet, &NodeSet) {
+    let (a, b) = (a as usize, b as usize);
+    debug_assert_ne!(a, b, "vm: aliased register operands");
+    if a < b {
+        let (lo, hi) = regs.split_at_mut(b);
+        (&mut lo[a], &hi[0])
+    } else {
+        let (lo, hi) = regs.split_at_mut(a);
+        (&mut hi[0], &lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_node, compile_path};
+    use twx_regxpath::parser::{parse_rnode, parse_rpath};
+    use twx_regxpath::{eval_image as product_image, eval_node};
+    use twx_xtree::parse::parse_sexp;
+    use twx_xtree::NodeId;
+
+    #[test]
+    fn vm_agrees_with_product_on_basics() {
+        let doc = parse_sexp("(a (b d e) (c f))").unwrap();
+        let t = &doc.tree;
+        let mut ab = doc.alphabet.clone();
+        for q in [
+            "down",
+            "down*",
+            "down/right",
+            "(up | down)*",
+            "down*[b]",
+            "down[<down>]*",
+            "(down[b] | down/down)*",
+        ] {
+            let p = parse_rpath(q, &mut ab).unwrap();
+            let prog = compile_path(&p);
+            for v in t.nodes() {
+                let ctx = NodeSet::singleton(t.len(), v);
+                assert_eq!(
+                    eval_image(t, &prog, &ctx),
+                    product_image(t, &p, &ctx),
+                    "query {q} from {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vm_node_programs_agree() {
+        let doc = parse_sexp("(a (b d e) (c f))").unwrap();
+        let t = &doc.tree;
+        let mut ab = doc.alphabet.clone();
+        for q in [
+            "b",
+            "<down*[d]>",
+            "!<up>",
+            "W(<up>)",
+            "<down> and !<down/down>",
+        ] {
+            let f = parse_rnode(q, &mut ab).unwrap();
+            let prog = compile_node(&f);
+            assert_eq!(eval_node_set(t, &prog), eval_node(t, &f), "node expr {q}");
+        }
+    }
+
+    #[test]
+    fn arena_reuses_registers_across_evals() {
+        let doc = parse_sexp("(a (b d e) (c f))").unwrap();
+        let t = &doc.tree;
+        let prog = compile_path(&parse_rpath("down*", &mut doc.alphabet.clone()).unwrap());
+        let ctx = NodeSet::singleton(t.len(), NodeId(0));
+        let _warm = eval_image(t, &prog, &ctx);
+        let pooled = ARENA.with(|a| a.borrow().pooled());
+        for _ in 0..10 {
+            let _ = eval_image(t, &prog, &ctx);
+        }
+        // steady state: the pool neither grows nor shrinks across evals
+        assert_eq!(ARENA.with(|a| a.borrow().pooled()), pooled);
+    }
+}

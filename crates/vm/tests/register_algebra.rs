@@ -1,0 +1,121 @@
+//! Seeded property suite: the compiled program's register algebra is
+//! exactly the `NodeSet` semantics.
+//!
+//! 500 cases, each drawing a random Regular XPath(W) path *and* node
+//! expression, a random tree, and a random context set, then checking
+//! the VM against the naive `n × n` relational oracle
+//! (`eval_rel_naive` / `eval_node_naive`):
+//!
+//! * every in-place register operation the compiler can emit — union,
+//!   intersect, complement, difference, filter joins, and the star
+//!   closure's frontier fixpoint — is exercised by the generator's
+//!   grammar (unions, filters, stars, negated tests, `W`);
+//! * context sets are drawn **sparse** (singletons and a few scattered
+//!   bits) and **dense** (full universes and full-minus-a-few), so both
+//!   the early-exit and saturated paths of the word loops run;
+//! * document sizes deliberately straddle the `u64` word boundary:
+//!   1-node trees, and 63/64/65-node trees where an off-by-one in the
+//!   last-word mask or the popcount fast path would surface.
+
+use twx_regxpath::eval_naive::{eval_node_naive, eval_rel_naive};
+use twx_regxpath::generate::{random_rnode, random_rpath, RGenConfig};
+use twx_vm::{compile_node, compile_path, eval_image, eval_node_set};
+use twx_xtree::generate::{random_tree, Shape};
+use twx_xtree::rng::{Rng, SplitMix64};
+use twx_xtree::{NodeId, NodeSet, Tree};
+
+/// Word-boundary sizes every run must cover, cycled through the cases
+/// alongside random sizes: the 1-node tree (no room for any step) and
+/// the 63/64/65 straddle of a single `u64` register word.
+const BOUNDARY_SIZES: [usize; 4] = [1, 63, 64, 65];
+
+const CASES: usize = 500;
+
+fn random_ctx(t: &Tree, rng: &mut SplitMix64) -> NodeSet {
+    let n = t.len();
+    match rng.gen_range(0..4u32) {
+        // sparse: a singleton
+        0 => NodeSet::singleton(n, NodeId(rng.gen_range(0..n) as u32)),
+        // sparse: a few scattered bits
+        1 => {
+            let mut s = NodeSet::empty(n);
+            for _ in 0..rng.gen_range(1..4usize) {
+                s.insert(NodeId(rng.gen_range(0..n) as u32));
+            }
+            s
+        }
+        // dense: the full universe
+        2 => NodeSet::full(n),
+        // dense: full minus a few bits
+        _ => {
+            let mut s = NodeSet::full(n);
+            for _ in 0..rng.gen_range(1..4usize) {
+                s.remove(NodeId(rng.gen_range(0..n) as u32));
+            }
+            s
+        }
+    }
+}
+
+#[test]
+fn vm_register_algebra_matches_nodeset_semantics() {
+    let cfg = RGenConfig::default();
+    let mut rng = SplitMix64::seed_from_u64(0x5e9a1);
+    let shapes = [
+        Shape::Recursive,
+        Shape::Deep(2),
+        Shape::Wide,
+        Shape::DocumentLike,
+    ];
+
+    for case in 0..CASES {
+        // every 4th case pins a word-boundary size; the rest draw freely
+        let n = if case % 4 == 0 {
+            BOUNDARY_SIZES[(case / 4) % BOUNDARY_SIZES.len()]
+        } else {
+            rng.gen_range(1..40usize)
+        };
+        let shape = shapes[rng.gen_range(0..shapes.len())];
+        let t = random_tree(shape, n, cfg.labels, &mut rng);
+        let depth = rng.gen_range(1..4usize);
+
+        // path programs: image through the VM vs the relational oracle
+        let p = random_rpath(&cfg, depth, &mut rng);
+        let ctx = random_ctx(&t, &mut rng);
+        let vm = eval_image(&t, &compile_path(&p), &ctx);
+        let oracle = eval_rel_naive(&t, &p).image(&ctx);
+        assert_eq!(
+            vm,
+            oracle,
+            "case {case}: path {p:?} on {} nodes, ctx {:?}",
+            t.len(),
+            ctx.to_vec()
+        );
+
+        // node programs: truth set through the VM vs the naive evaluator
+        let phi = random_rnode(&cfg, depth, &mut rng);
+        let vm = eval_node_set(&t, &compile_node(&phi));
+        let oracle = eval_node_naive(&t, &phi);
+        assert_eq!(
+            vm,
+            oracle,
+            "case {case}: node expr {phi:?} on {} nodes",
+            t.len()
+        );
+    }
+}
+
+/// The boundary sizes are genuinely exercised (the modular schedule
+/// above covers each at least `CASES / 16` times).
+#[test]
+fn boundary_schedule_covers_every_size() {
+    for size in BOUNDARY_SIZES {
+        let hits = (0..CASES)
+            .filter(|c| c % 4 == 0 && BOUNDARY_SIZES[(c / 4) % BOUNDARY_SIZES.len()] == size)
+            .count();
+        assert!(
+            hits >= CASES / 16,
+            "size {size} scheduled only {hits} times"
+        );
+    }
+}

@@ -62,6 +62,33 @@ impl NodeSet {
         self.universe
     }
 
+    /// Re-targets this set at a universe of `n` nodes, emptying it while
+    /// **keeping the word buffer's allocation**. This is the register
+    /// recycling primitive behind the `twx-vm` arena: a pooled register
+    /// is `reset` to the current document width instead of reallocated.
+    #[inline]
+    pub fn reset(&mut self, n: usize) {
+        self.universe = n;
+        self.bits.clear();
+        self.bits.resize(words_for(n), 0);
+    }
+
+    /// Overwrites this set with `other`'s contents, word for word, without
+    /// allocating. Panics if universes differ.
+    #[inline]
+    pub fn copy_from(&mut self, other: &NodeSet) {
+        assert_eq!(self.universe, other.universe);
+        self.bits.copy_from_slice(&other.bits);
+    }
+
+    /// Sets every bit of the universe in place (the `⊤` load).
+    pub fn set_full(&mut self) {
+        for w in &mut self.bits {
+            *w = !0;
+        }
+        self.trim();
+    }
+
     /// Clears excess bits beyond the universe.
     #[inline]
     fn trim(&mut self) {
@@ -103,9 +130,17 @@ impl NodeSet {
         i < self.universe && self.bits[i / WORD] & (1u64 << (i % WORD)) != 0
     }
 
-    /// Number of elements.
-    pub fn count(&self) -> usize {
+    /// Number of elements: the word-level popcount fast path. One
+    /// `count_ones` per 64-bit word — no per-element iteration.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of elements (alias of [`count_ones`](NodeSet::count_ones)).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count_ones()
     }
 
     /// Whether the set is empty.
@@ -126,6 +161,20 @@ impl NodeSet {
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= b;
         }
+    }
+
+    /// In-place union that reports whether any bit was **newly** set —
+    /// the fixpoint-detection primitive: closure loops terminate on
+    /// `!union_with_changed(..)` instead of cloning and comparing whole
+    /// sets per iteration. Panics if universes differ.
+    pub fn union_with_changed(&mut self, other: &NodeSet) -> bool {
+        assert_eq!(self.universe, other.universe);
+        let mut grew = 0u64;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            grew |= b & !*a;
+            *a |= b;
+        }
+        grew != 0
     }
 
     /// In-place intersection. Panics if universes differ.
@@ -318,6 +367,18 @@ impl BitMatrix {
         }
     }
 
+    /// In-place union that reports whether any cell was newly set (see
+    /// [`NodeSet::union_with_changed`]).
+    pub fn union_with_changed(&mut self, other: &BitMatrix) -> bool {
+        assert_eq!(self.n, other.n);
+        let mut grew = 0u64;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            grew |= b & !*a;
+            *a |= b;
+        }
+        grew != 0
+    }
+
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &BitMatrix) {
         assert_eq!(self.n, other.n);
@@ -353,18 +414,17 @@ impl BitMatrix {
     }
 
     /// Reflexive-transitive closure, computed by repeated squaring on top of
-    /// `self ∪ id` (O(n³/64 · log n)).
+    /// `self ∪ id` (O(n³/64 · log n)). The fixpoint test rides on the
+    /// change bit of the in-place union — no per-iteration clone/compare
+    /// temporaries.
     pub fn star(&self) -> BitMatrix {
         let mut r = self.clone();
         r.union_with(&BitMatrix::identity(self.n));
         loop {
             let r2 = r.compose(&r);
-            let mut merged = r.clone();
-            merged.union_with(&r2);
-            if merged == r {
+            if !r.union_with_changed(&r2) {
                 return r;
             }
-            r = merged;
         }
     }
 
@@ -545,6 +605,42 @@ mod tests {
         assert!(i.is_subset(&a));
         assert!(a.intersects(&b));
         assert!(!i.intersects(&d));
+    }
+
+    #[test]
+    fn in_place_word_level_api() {
+        // union_with_changed reports growth exactly once per new bit-run
+        let n = 130; // three words, last partial
+        let mut a = NodeSet::from_iter(n, [nid(0), nid(64)]);
+        let b = NodeSet::from_iter(n, [nid(64), nid(129)]);
+        assert!(a.union_with_changed(&b));
+        assert_eq!(a.count_ones(), 3);
+        assert!(!a.union_with_changed(&b), "second union is a fixpoint");
+
+        // reset recycles the allocation for a new universe
+        let cap_before = a.bits.capacity();
+        a.reset(70);
+        assert!(a.is_empty());
+        assert_eq!(a.universe(), 70);
+        a.set_full();
+        assert_eq!(a.count_ones(), 70);
+        a.reset(130);
+        assert!(a.bits.capacity() >= cap_before);
+
+        // copy_from overwrites without reallocating
+        a.copy_from(&b);
+        assert_eq!(a.to_vec(), vec![nid(64), nid(129)]);
+    }
+
+    #[test]
+    fn matrix_union_with_changed_fixpoint() {
+        let mut m = BitMatrix::empty(4);
+        m.set(nid(0), nid(1));
+        let mut n2 = BitMatrix::empty(4);
+        n2.set(nid(1), nid(2));
+        assert!(m.union_with_changed(&n2));
+        assert!(!m.union_with_changed(&n2));
+        assert_eq!(m.count(), 2);
     }
 
     #[test]

@@ -88,4 +88,24 @@ fn main() {
          (plan cache: {} hit(s), {} miss(es), {} eviction(s))",
         stats.hits, stats.misses, stats.evictions
     );
+
+    // --- the bytecode VM backend ------------------------------------------
+    // The same query compiled once to register bytecode over dense
+    // bitsets; repeat prepares hit the VM engine's plan cache and every
+    // eval recycles its registers through a thread-local arena.
+    let vm = Engine::with_backend(Backend::Vm);
+    let profile = vm
+        .explain(&doc, "down*[i]", doc.tree.root())
+        .expect("query compiles");
+    let _again = vm.prepare(&doc, "down*[i]").expect("cached");
+    let vm_stats = vm.cache_stats();
+    println!(
+        "vm backend: {} answer(s) from a {}-instruction program over {} register(s) \
+         (plan cache: {} hit(s), {} miss(es))",
+        profile.result_count,
+        profile.compiled.vm_instrs,
+        profile.compiled.vm_regs,
+        vm_stats.hits,
+        vm_stats.misses
+    );
 }

@@ -43,6 +43,9 @@ pub enum Backend {
     /// Translate to FO(MTC) and model-check (`twx-fotc`) — the slow,
     /// declarative reference.
     Logic,
+    /// Compile to register bytecode over dense bitsets and interpret it
+    /// with arena-recycled registers (`twx-vm`) — the serving hot path.
+    Vm,
 }
 
 impl Backend {
@@ -52,6 +55,7 @@ impl Backend {
             Backend::Product => "product",
             Backend::Automaton => "automaton",
             Backend::Logic => "logic",
+            Backend::Vm => "vm",
         }
     }
 }
@@ -63,16 +67,21 @@ impl Backend {
 /// the `metrics` exposition shows the full eval-latency distribution
 /// per pipeline.
 fn eval_histogram(backend: Backend) -> Arc<AtomicHistogram> {
-    static HANDLES: OnceLock<[Arc<AtomicHistogram>; 3]> = OnceLock::new();
+    static HANDLES: OnceLock<[Arc<AtomicHistogram>; 4]> = OnceLock::new();
     let handles = HANDLES.get_or_init(|| {
-        [Backend::Product, Backend::Automaton, Backend::Logic].map(|b| {
-            obs::metrics::global().histogram("twx_engine_eval_ns", &[("backend", b.name())])
-        })
+        [
+            Backend::Product,
+            Backend::Automaton,
+            Backend::Logic,
+            Backend::Vm,
+        ]
+        .map(|b| obs::metrics::global().histogram("twx_engine_eval_ns", &[("backend", b.name())]))
     });
     let i = match backend {
         Backend::Product => 0,
         Backend::Automaton => 1,
         Backend::Logic => 2,
+        Backend::Vm => 3,
     };
     Arc::clone(&handles[i])
 }
@@ -123,6 +132,7 @@ enum Plan {
     Product(Compiled),
     Automaton(Ntwa),
     Logic(Formula),
+    Vm(twx_vm::Program),
 }
 
 impl Plan {
@@ -131,6 +141,7 @@ impl Plan {
             Backend::Product => Plan::Product(Compiled::new(path)),
             Backend::Automaton => Plan::Automaton(rpath_to_ntwa(path)),
             Backend::Logic => Plan::Logic(rpath_to_formula(path, 0, 1, 2)),
+            Backend::Vm => Plan::Vm(twx_vm::compile_path(path)),
         }
     }
 }
@@ -549,6 +560,7 @@ impl Prepared {
             Plan::Product(c) => c.image(t, &ctx_set),
             Plan::Automaton(a) => twx_twa::eval_image(t, a, &ctx_set),
             Plan::Logic(f) => twx_fotc::eval_binary(t, f, 0, 1).image(&ctx_set),
+            Plan::Vm(p) => twx_vm::eval_image(t, p, &ctx_set),
         };
         let nanos = clock.elapsed_nanos();
         obs::add(Counter::EvalNanos, nanos);
@@ -564,6 +576,12 @@ impl Prepared {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.path.hash(&mut h);
         self.backend.name().hash(&mut h);
+        // VM programs carry their own process-independent instruction
+        // fingerprint; folding it in ties the cache key to the exact
+        // bytecode that will answer.
+        if let Plan::Vm(p) = &*self.plan {
+            p.fingerprint().hash(&mut h);
+        }
         h.finish()
     }
 
@@ -672,6 +690,10 @@ impl Prepared {
                 compiled.ntwa_subtests = ntwa_subtests(a);
             }
             Plan::Logic(f) => compiled.formula_size = f.size(),
+            Plan::Vm(p) => {
+                compiled.vm_instrs = p.n_instrs();
+                compiled.vm_regs = p.n_regs_total();
+            }
         }
         QueryProfile {
             query: self.text.clone(),
@@ -935,7 +957,12 @@ mod tests {
         let queries = ["down*[c]", "(down[b] | right)*", "down[<?(true)/down>]"];
         for q in queries {
             let mut answers = Vec::new();
-            for backend in [Backend::Product, Backend::Automaton, Backend::Logic] {
+            for backend in [
+                Backend::Product,
+                Backend::Automaton,
+                Backend::Logic,
+                Backend::Vm,
+            ] {
                 let d = doc();
                 let engine = Engine::with_backend(backend);
                 let root = d.tree.root();
@@ -943,7 +970,39 @@ mod tests {
             }
             assert_eq!(answers[0], answers[1], "{q}: product vs automaton");
             assert_eq!(answers[0], answers[2], "{q}: product vs logic");
+            assert_eq!(answers[0], answers[3], "{q}: product vs vm");
         }
+    }
+
+    #[test]
+    fn vm_backend_profiles_and_caches() {
+        let d = doc();
+        let engine = Engine::with_backend(Backend::Vm);
+        let root = d.tree.root();
+        let profile = engine.explain(&d, "down*[c]", root).unwrap();
+        assert_eq!(profile.backend, "vm");
+        assert_eq!(profile.result_count, 2);
+        assert!(profile.compiled.vm_instrs > 0, "vm sizes in the profile");
+        assert!(profile.compiled.vm_regs > 0);
+        assert_eq!(profile.compiled.nfa_states, 0);
+        // plan-cache round trip and the per-backend latency series
+        engine.explain(&d, "down*[c]", root).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        #[cfg(feature = "obs")]
+        {
+            assert!(profile.counters.get(Counter::VmInstructions) > 0);
+            assert!(obs::metrics::global()
+                .histogram_snapshot("twx_engine_eval_ns", &[("backend", "vm")])
+                .is_some());
+        }
+        // the result cache keys on the plan fingerprint: identical VM
+        // plans fingerprint identically, distinct programs differ
+        let p1 = engine.prepare(&d, "down*[c]").unwrap();
+        let p2 = engine.prepare(&d, "down*[c]").unwrap();
+        assert_eq!(p1.fingerprint(), p2.fingerprint());
+        let p3 = engine.prepare(&d, "down*[b]").unwrap();
+        assert_ne!(p1.fingerprint(), p3.fingerprint());
     }
 
     #[test]
@@ -1172,7 +1231,12 @@ mod tests {
     fn query_traced_matches_untraced_and_names_stages() {
         let d = doc();
         let root = d.tree.root();
-        for backend in [Backend::Product, Backend::Automaton, Backend::Logic] {
+        for backend in [
+            Backend::Product,
+            Backend::Automaton,
+            Backend::Logic,
+            Backend::Vm,
+        ] {
             let engine = Engine::with_backend(backend);
             let plain = engine.query(&d, "down*[c]", root).unwrap();
             let (traced, tree) = engine.query_traced(&d, "down*[c]", root).unwrap();

@@ -9,6 +9,8 @@
 //! * [`fotc`] — first-order logic with monadic transitive closure;
 //! * [`twa`] — (nested) tree walking automata;
 //! * [`treeauto`] — bottom-up tree automata (the MSO/regular yardstick);
+//! * [`vm`] — the bytecode VM: plans compiled to a register machine over
+//!   dense bitsets, the engine's serving-oriented fourth backend;
 //! * [`core`] — the effective equivalence triangle between the three
 //!   formalisms, plus deciders and differential-testing harnesses;
 //! * [`obs`] — zero-dependency counters, span timers, and the per-query
@@ -33,4 +35,5 @@ pub use twx_obs::{Histogram, QueryProfile, SpanTree, TraceId};
 pub use twx_regxpath as regxpath;
 pub use twx_treeauto as treeauto;
 pub use twx_twa as twa;
+pub use twx_vm as vm;
 pub use twx_xtree as xtree;

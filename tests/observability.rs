@@ -11,7 +11,12 @@ use treewalk::{Backend, Engine};
 use twx_xtree::parse::parse_xml;
 use twx_xtree::Document;
 
-const ALL_BACKENDS: [Backend; 3] = [Backend::Product, Backend::Automaton, Backend::Logic];
+const ALL_BACKENDS: [Backend; 4] = [
+    Backend::Product,
+    Backend::Automaton,
+    Backend::Logic,
+    Backend::Vm,
+];
 
 fn doc() -> Document {
     parse_xml("<a><b><c/><d/></b><c><b><d/></b></c><d/></a>").unwrap()
@@ -75,6 +80,7 @@ fn explain_profiles_carry_backend_counters() {
             Backend::Product => Counter::ProductConfigs,
             Backend::Automaton => Counter::TwaSteps,
             Backend::Logic => Counter::FoEvalSteps,
+            Backend::Vm => Counter::VmInstructions,
         };
         assert!(
             profile.counters.get(signature) > 0,
@@ -90,6 +96,7 @@ fn explain_profiles_carry_backend_counters() {
             Backend::Product => profile.compiled.nfa_states,
             Backend::Automaton => profile.compiled.ntwa_states,
             Backend::Logic => profile.compiled.formula_size,
+            Backend::Vm => profile.compiled.vm_instrs,
         };
         assert!(size > 0, "{}: compiled size missing", backend.name());
         assert!(profile.total_steps() > 0);

@@ -15,7 +15,12 @@ use twx_xtree::parse::{parse_xml, parse_xml_catalog};
 use twx_xtree::rng::SplitMix64;
 use twx_xtree::{Catalog, Document, NodeSet, Tree};
 
-const ALL_BACKENDS: [Backend; 3] = [Backend::Product, Backend::Automaton, Backend::Logic];
+const ALL_BACKENDS: [Backend; 4] = [
+    Backend::Product,
+    Backend::Automaton,
+    Backend::Logic,
+    Backend::Vm,
+];
 
 /// Compile-time proof that the engine types cross threads: `Prepared`
 /// values are served from many threads, engines are cloned into them.
@@ -33,6 +38,7 @@ fn eval_backend(t: &Tree, p: &twx_regxpath::RPath, backend: Backend, ctx: &NodeS
         Backend::Product => Compiled::new(p).image(t, ctx),
         Backend::Automaton => twx_twa::eval_image(t, &rpath_to_ntwa(p), ctx),
         Backend::Logic => twx_fotc::eval_binary(t, &rpath_to_formula(p, 0, 1, 2), 0, 1).image(ctx),
+        Backend::Vm => twx_vm::eval_image(t, &twx_vm::compile_path(p), ctx),
     }
 }
 
