@@ -26,15 +26,15 @@ test_log="$(mktemp -t twx_tests.XXXXXX.log)"
 cargo test -q --workspace 2>&1 | tee "$test_log"
 
 say "test-count floor"
-# the suite only ever grows: 503 tests passed when the bytecode-VM PR
-# landed; a silent drop below that means tests were lost, not fixed
+# the suite only ever grows: 547 tests passed when the durable-storage
+# PR landed; a silent drop below that means tests were lost, not fixed
 python3 - "$test_log" <<'EOF'
 import re, sys
 text = open(sys.argv[1]).read()
 passed = sum(int(m) for m in re.findall(r"(\d+) passed", text))
 assert "FAILED" not in text, "test suite reported failures"
-assert passed >= 503, f"test count regressed: {passed} < 503"
-print(f"test-count floor: {passed} tests passed (floor 503)")
+assert passed >= 547, f"test count regressed: {passed} < 547"
+print(f"test-count floor: {passed} tests passed (floor 547)")
 EOF
 rm -f "$test_log"
 
@@ -115,6 +115,39 @@ print("fault self-test:", doc["divergences"], "divergences caught,",
 EOF
 rm -f "$fault_out"
 
+say "crash-recovery fuzz gate (store-backed corpus killed and recovered)"
+crash_out="$(mktemp -t twx_crash.XXXXXX.json)"
+./target/release/twx-fuzz --crash --seed 42 --iters 300 > "$crash_out"
+python3 - "$crash_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "twx-fuzz-crash/1", doc.get("schema")
+assert doc["iterations"] == 300, doc["iterations"]
+assert doc["divergences"] == 0, doc
+print("twx-fuzz --crash: 300 corpora killed at arbitrary points,",
+      "0 recovery divergences in", doc["elapsed_ms"], "ms")
+EOF
+rm -f "$crash_out"
+
+say "crash fault self-test (store=skip-fsync must be caught and shrunk)"
+crash_fault_out="$(mktemp -t twx_crash_fault.XXXXXX.json)"
+if ./target/release/twx-fuzz --crash --seed 42 --iters 300 \
+    --fault store=skip-fsync > "$crash_fault_out"; then
+  echo "a store that lies about fsync was NOT caught" >&2
+  exit 1
+fi
+python3 - "$crash_fault_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["fault"] == "store=skip-fsync", doc.get("fault")
+assert doc["divergences"] > 0, "fault injected but no divergence found"
+for d in doc["found"]:
+    assert len(d["ops"]) <= 3, f"shrunk repro still has {len(d['ops'])} ops: {d}"
+print("crash fault self-test:", doc["divergences"], "divergences caught,",
+      "max", max(len(d["ops"]) for d in doc["found"]), "op(s) after shrinking")
+EOF
+rm -f "$crash_fault_out"
+
 say "harness smoke run"
 out="$(mktemp -t bench_harness.XXXXXX.json)"
 trap 'rm -f "$out"' EXIT
@@ -124,7 +157,7 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "twx-bench/1", doc.get("schema")
 assert doc["obs_enabled"] is True
-assert len(doc["experiments"]) == 12, len(doc["experiments"])
+assert len(doc["experiments"]) == 13, len(doc["experiments"])
 assert len(doc["quickstart_profiles"]) == 4
 for p in doc["quickstart_profiles"]:
     assert p["result_count"] == 2, p
@@ -157,6 +190,13 @@ assert e12["geomean_speedup_hot"] >= 2, (
 vm_cache = e12["vm_plan_cache"]
 assert vm_cache["misses"] == e12["pool"], vm_cache
 assert vm_cache["hits"] >= e12["pool"], vm_cache
+e13 = doc["e13"]
+assert e13["compression_ratio"] >= 4, (
+    f"snapshot encoding only {e13['compression_ratio']:.2f}x smaller than the arena (bar: 4x)")
+assert len(e13["recovery"]) == 4, e13["recovery"]
+assert all(p["recover_ms"] > 0 for p in e13["recovery"]), e13["recovery"]
+assert e13["snapshot"]["write_nodes_per_s"] > 0, e13["snapshot"]
+assert e13["snapshot"]["load_nodes_per_s"] > 0, e13["snapshot"]
 print("BENCH_HARNESS.json: schema ok,", len(doc["experiments"]), "experiments,",
       len(doc["quickstart_profiles"]), "profiles, plan cache", cache)
 print("e10:", len(e10["shards"]), "shard counts,",
@@ -165,6 +205,10 @@ print("e11: %.1fx speedup, %.0f%% hit rate, %d carried / %d invalidated"
       % (e11["speedup"], 100 * rc["hit_rate"], rc["carried"], rc["invalidated"]))
 print("e12: vm vs product geomean %.1fx hot / %.1fx cold over %d queries"
       % (e12["geomean_speedup_hot"], e12["geomean_speedup_cold"], e12["pool"]))
+print("e13: %.1fx compression (%.2f B/node on disk vs %d B arena), "
+      "load %.1fM nodes/s"
+      % (e13["compression_ratio"], e13["disk_bytes_per_node"],
+         e13["arena_bytes_per_node"], e13["snapshot"]["load_nodes_per_s"] / 1e6))
 EOF
 
 say "observability overhead gate (enabled vs disabled, <=1.05x)"
@@ -273,5 +317,78 @@ print("twx-serve: query/update/stats/trace/metrics/slowlog/shutdown",
       "round trip ok on port", sys.argv[1])
 EOF
 wait "$serve_pid"
+
+say "twx-serve kill -9 and restart (--store recovery round trip)"
+store_dir="$(mktemp -d -t twx_serve_store.XXXXXX)"
+rmdir "$store_dir" # twx-serve creates the store; mktemp only reserved a name
+answer_file="$(mktemp -t twx_serve_answer.XXXXXX.json)"
+serve2_log="$(mktemp -t twx_serve2.XXXXXX.log)"
+trap 'rm -rf "$out" "$serve_log" "$serve2_log" "$answer_file" "$store_dir";
+      kill "$serve_pid" 2>/dev/null || true;
+      kill "$serve2_pid" 2>/dev/null || true' EXIT
+./target/release/twx-serve \
+  --port 0 --shards 2 --workers 2 --synthetic 6x40 --seed 1 \
+  --store "$store_dir" > "$serve2_log" 2>/dev/null &
+serve2_pid=$!
+for _ in $(seq 1 300); do
+  grep -q "listening" "$serve2_log" && break
+  sleep 0.1
+done
+port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$serve2_log")"
+[ -n "$port" ] || { echo "store-backed twx-serve never listened" >&2; exit 1; }
+python3 - "$port" "$answer_file" <<'EOF'
+import json, socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+f = s.makefile("rw")
+def rpc(req):
+    f.write(json.dumps(req) + "\n"); f.flush()
+    return json.loads(f.readline())
+# two journalled edits, an explicit snapshot between them: recovery must
+# compose the snapshot generation with the journal tail
+up = rpc({"op": "update", "doc": 0,
+          "edit": {"op": "relabel", "node": 0, "label": "b"}})
+assert up["ok"] and up["seq"] == 1, up
+snap = rpc({"op": "snapshot"})
+assert snap["ok"] and snap["seq"] == 1 and snap["snapshot_bytes"] > 0, snap
+up2 = rpc({"op": "update", "doc": 1,
+           "edit": {"op": "relabel", "node": 0, "label": "b"}})
+assert up2["ok"] and up2["seq"] == 2, up2
+r = rpc({"op": "query", "query": "down*[b]"})
+assert r["ok"], r
+json.dump({"matches": r["matches"], "docs": r["docs"]}, open(sys.argv[2], "w"))
+EOF
+kill -9 "$serve2_pid"
+wait "$serve2_pid" 2>/dev/null || true
+: > "$serve2_log"
+./target/release/twx-serve \
+  --port 0 --shards 2 --workers 2 --synthetic 6x40 --seed 1 \
+  --store "$store_dir" > "$serve2_log" 2>/dev/null &
+serve2_pid=$!
+for _ in $(seq 1 300); do
+  grep -q "listening" "$serve2_log" && break
+  sleep 0.1
+done
+port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$serve2_log")"
+[ -n "$port" ] || { echo "twx-serve did not come back after kill -9" >&2; exit 1; }
+python3 - "$port" "$answer_file" <<'EOF'
+import json, socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+f = s.makefile("rw")
+def rpc(req):
+    f.write(json.dumps(req) + "\n"); f.flush()
+    return json.loads(f.readline())
+before = json.load(open(sys.argv[2]))
+r = rpc({"op": "query", "query": "down*[b]"})
+assert r["ok"], r
+got = {"matches": r["matches"], "docs": r["docs"]}
+assert got == before, f"recovered answers differ:\n  pre-kill {before}\n  post    {got}"
+# doc 1's edit lived only in the journal tail; its version must survive
+assert any(d["doc"] == 1 and d["version"] == 1 for d in r["docs"]), r["docs"]
+bye = rpc({"op": "shutdown"})
+assert bye["ok"], bye
+print("twx-serve --store: kill -9 mid-journal, restart, and every answer",
+      "matched node-for-node (snapshot + journal-tail replay)")
+EOF
+wait "$serve2_pid"
 
 say "all checks passed"

@@ -3,8 +3,8 @@
 //! ```text
 //! twx-fuzz [--seed N] [--iters N] [--time-budget SECS] [--max-depth N]
 //!          [--max-doc-nodes N] [--labels N] [--replay PATH]
-//!          [--corpus PATH] [--fault ROUTE=KIND|cache=KIND] [--no-shrink]
-//!          [--mutate]
+//!          [--corpus PATH] [--fault ROUTE=KIND|cache=KIND|store=KIND]
+//!          [--no-shrink] [--mutate] [--crash]
 //! ```
 //!
 //! Replays the regression corpus (if `--replay` is given), then runs the
@@ -21,12 +21,23 @@
 //! `cache=skip-invalidate` form, which commits edits without telling the
 //! cache which span they touched — the self-test that proves a broken
 //! invalidation pass would be caught and shrunk.
+//!
+//! With `--crash` the loop drives a store-backed corpus with random
+//! edit/snapshot scripts, simulates a crash with a torn journal tail,
+//! recovers from disk, and diffs the recovered corpus node-for-node
+//! against the acknowledged pre-crash state
+//! (`"schema":"twx-fuzz-crash/1"`). Here `--fault` takes the
+//! `store=skip-fsync` form — acknowledge appends without syncing them —
+//! the self-test that proves a silent durability bug would be caught.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use twx_conform::{corpus, run_fuzz, run_mutation_fuzz, CacheFault, Fault, FuzzConfig, Repro};
+use twx_conform::{
+    corpus, run_crash_fuzz, run_fuzz, run_mutation_fuzz, CacheFault, Fault, FuzzConfig, Repro,
+    StoreFault,
+};
 use twx_obs::json::Json;
 
 struct Args {
@@ -34,13 +45,15 @@ struct Args {
     replay: Option<PathBuf>,
     corpus: Option<PathBuf>,
     mutate: bool,
+    crash: bool,
     cache_fault: Option<CacheFault>,
+    store_fault: StoreFault,
 }
 
 fn usage() -> String {
     "usage: twx-fuzz [--seed N] [--iters N] [--time-budget SECS] [--max-depth N] \
      [--max-doc-nodes N] [--labels N] [--replay PATH] [--corpus PATH] \
-     [--fault ROUTE=KIND|cache=KIND] [--no-shrink] [--mutate]"
+     [--fault ROUTE=KIND|cache=KIND|store=KIND] [--no-shrink] [--mutate] [--crash]"
         .to_string()
 }
 
@@ -50,7 +63,9 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         corpus: None,
         mutate: false,
+        crash: false,
         cache_fault: None,
+        store_fault: StoreFault::None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -78,11 +93,15 @@ fn parse_args() -> Result<Args, String> {
                 let spec = value("--fault")?;
                 if spec.starts_with("cache=") {
                     args.cache_fault = Some(CacheFault::parse(&spec)?);
+                } else if spec.starts_with("store=") {
+                    args.store_fault = StoreFault::parse(&spec)
+                        .ok_or_else(|| format!("unknown store fault '{spec}'"))?;
                 } else {
                     args.cfg.fault = Some(Fault::parse(&spec)?);
                 }
             }
             "--mutate" => args.mutate = true,
+            "--crash" => args.crash = true,
             "--no-shrink" => args.cfg.shrink = false,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -109,6 +128,17 @@ fn main() -> ExitCode {
     if args.cache_fault.is_some() && !args.mutate {
         eprintln!("twx-fuzz: cache faults need --mutate\n{}", usage());
         return ExitCode::from(2);
+    }
+    if args.store_fault != StoreFault::None && !args.crash {
+        eprintln!("twx-fuzz: store faults need --crash\n{}", usage());
+        return ExitCode::from(2);
+    }
+    if args.mutate && args.crash {
+        eprintln!("twx-fuzz: --mutate and --crash are exclusive\n{}", usage());
+        return ExitCode::from(2);
+    }
+    if args.crash {
+        return run_crash(&args);
     }
     if args.mutate {
         return run_mutate(&args);
@@ -173,6 +203,23 @@ fn main() -> ExitCode {
     println!("{}", summary.render());
 
     if report.divergences.is_empty() && replay_divergences == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// The `--crash` mode: store-backed corpora killed at arbitrary points
+/// and recovered from disk; any recovered corpus that is not
+/// node-for-node identical to the acknowledged pre-crash state is a
+/// divergence. Same exit-status conventions as the other modes.
+fn run_crash(args: &Args) -> ExitCode {
+    let report = run_crash_fuzz(&args.cfg, args.store_fault);
+    for d in &report.divergences {
+        eprintln!("twx-fuzz: CRASH DIVERGENCE {}", d.describe());
+    }
+    println!("{}", report.to_json().render());
+    if report.divergences.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -1,0 +1,695 @@
+//! Crash-recovery fuzzing: kill a store-backed corpus at an arbitrary
+//! point and demand that recovery reproduces it node-for-node.
+//!
+//! Where [`crate::mutate`] checks the result cache against a recompute
+//! oracle while a document changes, this module checks the **durability
+//! contract** of `twx-store`: with `fsync_every = 1`, every edit the
+//! corpus acknowledged must survive a crash. Each trial builds a
+//! store-backed [`Corpus`] in a scratch directory, drives it with a
+//! script of typed edits and explicit `snapshot` (compaction) ops,
+//! simulates a crash — the journal is truncated to its fsync'd prefix
+//! plus a random partial tail, modelling a torn final write — and
+//! recovers from disk with [`Corpus::recover`]. The recovered corpus is
+//! diffed against the pre-crash in-memory state: document trees,
+//! versions, shard placement, and the global sequence number must all
+//! match exactly, and recovery itself must never fail.
+//!
+//! The test-only [`StoreFault::SkipFsync`] hook acknowledges journal
+//! appends without ever syncing them — the precise lie a broken
+//! group-commit would tell — so the harness can prove a durability bug
+//! would be caught and shrunk to a minimal script.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use twx_corpus::{Corpus, DocId, Placement, StoreConfig, StoreFault};
+use twx_obs::json::Json;
+use twx_xtree::edit::{apply_edit, random_edit, Edit};
+use twx_xtree::generate::random_document_in;
+use twx_xtree::parse::parse_sexp_catalog;
+use twx_xtree::rng::{Rng, SplitMix64};
+use twx_xtree::serialize::to_sexp;
+use twx_xtree::shrink::shrink_tree;
+use twx_xtree::{Catalog, NodeId, Tree};
+
+use crate::fuzz::{label_names, FuzzConfig, SHAPES};
+
+/// One step of a crash script. Labels are carried by *name* and node ids
+/// are pre-edit preorder ids, so a script is self-contained text — see
+/// [`CrashOp::to_line`] / [`CrashOp::from_line`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CrashOp {
+    /// Relabel `node` of document `doc` to `label`.
+    Relabel { doc: u32, node: u32, label: String },
+    /// Insert a fresh `label` leaf as child `position` of `parent` in
+    /// document `doc`.
+    Insert {
+        doc: u32,
+        parent: u32,
+        position: u32,
+        label: String,
+    },
+    /// Remove the subtree rooted at `node` of document `doc`.
+    Remove { doc: u32, node: u32 },
+    /// Take a full snapshot and compact the journal (the `snapshot`
+    /// serve op) — this durably captures everything acknowledged so
+    /// far, even under [`StoreFault::SkipFsync`].
+    Snapshot,
+}
+
+impl CrashOp {
+    /// Renders one op as a line of the script language:
+    /// `relabel <doc> <node> <label>` | `insert <doc> <parent>
+    /// <position> <label>` | `remove <doc> <node>` | `snapshot`.
+    pub fn to_line(&self) -> String {
+        match self {
+            CrashOp::Relabel { doc, node, label } => format!("relabel {doc} {node} {label}"),
+            CrashOp::Insert {
+                doc,
+                parent,
+                position,
+                label,
+            } => format!("insert {doc} {parent} {position} {label}"),
+            CrashOp::Remove { doc, node } => format!("remove {doc} {node}"),
+            CrashOp::Snapshot => "snapshot".to_string(),
+        }
+    }
+
+    /// Inverse of [`CrashOp::to_line`].
+    pub fn from_line(line: &str) -> Result<CrashOp, String> {
+        let line = line.trim();
+        if line == "snapshot" {
+            return Ok(CrashOp::Snapshot);
+        }
+        let (head, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("crash op '{line}' has no operands"))?;
+        let num = |s: &str| -> Result<u32, String> {
+            s.parse()
+                .map_err(|e| format!("crash op '{line}': bad number '{s}': {e}"))
+        };
+        let mut it = rest.split_whitespace();
+        match head {
+            "relabel" => {
+                let (Some(doc), Some(node), Some(label), None) =
+                    (it.next(), it.next(), it.next(), it.next())
+                else {
+                    return Err(format!(
+                        "crash op '{line}' needs a doc, a node, and a label"
+                    ));
+                };
+                Ok(CrashOp::Relabel {
+                    doc: num(doc)?,
+                    node: num(node)?,
+                    label: label.to_string(),
+                })
+            }
+            "insert" => {
+                let (Some(doc), Some(parent), Some(position), Some(label), None) =
+                    (it.next(), it.next(), it.next(), it.next(), it.next())
+                else {
+                    return Err(format!(
+                        "crash op '{line}' needs a doc, a parent, a position, and a label"
+                    ));
+                };
+                Ok(CrashOp::Insert {
+                    doc: num(doc)?,
+                    parent: num(parent)?,
+                    position: num(position)?,
+                    label: label.to_string(),
+                })
+            }
+            "remove" => {
+                let (Some(doc), Some(node), None) = (it.next(), it.next(), it.next()) else {
+                    return Err(format!("crash op '{line}' needs a doc and a node"));
+                };
+                Ok(CrashOp::Remove {
+                    doc: num(doc)?,
+                    node: num(node)?,
+                })
+            }
+            other => Err(format!(
+                "unknown crash op '{other}' (one of: relabel, insert, remove, snapshot)"
+            )),
+        }
+    }
+}
+
+/// A recovered corpus that did not match the acknowledged pre-crash
+/// state (or failed to recover at all).
+#[derive(Clone, Debug)]
+pub struct CrashDivergence {
+    /// The base documents, as s-expressions, in [`DocId`] order.
+    pub docs: Vec<String>,
+    /// The (possibly shrunk) script executed before the crash.
+    pub ops: Vec<CrashOp>,
+    /// The trial seed that produced the script (0 for replays).
+    pub seed: u64,
+    /// Unsynced journal bytes the simulated crash let survive — a torn
+    /// final write when it cuts a record in half.
+    pub keep_unsynced: u64,
+    /// What recovery got wrong, human-readable.
+    pub detail: String,
+}
+
+impl CrashDivergence {
+    /// One-line human summary.
+    pub fn describe(&self) -> String {
+        format!(
+            "script [{}] on docs [{}] (keep_unsynced={}) : {}",
+            self.ops
+                .iter()
+                .map(CrashOp::to_line)
+                .collect::<Vec<_>>()
+                .join("; "),
+            self.docs.join(", "),
+            self.keep_unsynced,
+            self.detail,
+        )
+    }
+}
+
+/// A process-unique scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Scratch {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("twx-crash-fuzz-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Builds a store-backed corpus from `docs`, executes `ops`, simulates a
+/// crash keeping `keep_unsynced` unsynced journal bytes, recovers, and
+/// diffs the recovered corpus against the acknowledged pre-crash state.
+/// Returns the first mismatch, `Ok(None)` on a faithful recovery, and
+/// `Err` only if the setup itself is broken (unparseable document,
+/// store creation failure). Ops that no longer apply (e.g. after the
+/// document was shrunk) are skipped — they were never acknowledged, so
+/// the oracle ignores them too.
+pub fn run_crash_script(
+    docs: &[String],
+    ops: &[CrashOp],
+    fault: StoreFault,
+    keep_unsynced: u64,
+) -> Result<Option<CrashDivergence>, String> {
+    let scratch = Scratch::new();
+    let catalog = Arc::new(Catalog::new());
+    let mut b = Corpus::builder(Arc::clone(&catalog), 2.min(docs.len().max(1)))
+        .placement(Placement::SizeBalanced);
+    for sexp in docs {
+        let doc = parse_sexp_catalog(sexp, &catalog).map_err(|e| format!("doc `{sexp}`: {e}"))?;
+        b.add_document(doc);
+    }
+    let corpus = b
+        .with_store(scratch.0.clone())
+        .store_config(StoreConfig {
+            fsync_every: 1,
+            fault,
+        })
+        .try_build()
+        .map_err(|e| format!("store build: {e}"))?;
+
+    let divergence = |detail: String| CrashDivergence {
+        docs: docs.to_vec(),
+        ops: ops.to_vec(),
+        seed: 0,
+        keep_unsynced,
+        detail,
+    };
+
+    for op in ops {
+        match op {
+            CrashOp::Snapshot => {
+                corpus.persist().map_err(|e| format!("persist: {e}"))?;
+            }
+            edit_op => {
+                let (doc, edit) = match edit_op {
+                    CrashOp::Relabel { doc, node, label } => (
+                        *doc,
+                        Edit::Relabel {
+                            node: NodeId(*node),
+                            label: catalog.intern(label),
+                        },
+                    ),
+                    CrashOp::Insert {
+                        doc,
+                        parent,
+                        position,
+                        label,
+                    } => (
+                        *doc,
+                        Edit::InsertChild {
+                            parent: NodeId(*parent),
+                            position: *position as usize,
+                            label: catalog.intern(label),
+                        },
+                    ),
+                    CrashOp::Remove { doc, node } => (
+                        *doc,
+                        Edit::RemoveSubtree {
+                            node: NodeId(*node),
+                        },
+                    ),
+                    CrashOp::Snapshot => unreachable!(),
+                };
+                // an unacknowledged edit (stale after shrinking) commits
+                // nothing, so the oracle — the corpus's own pre-crash
+                // state — ignores it with us
+                let _ = corpus.update(DocId(doc), &edit);
+            }
+        }
+    }
+
+    // the acknowledged state: everything `update` returned a receipt for
+    let expected_seq = corpus.seq();
+    let expected: Vec<_> = (0..corpus.n_docs() as u32)
+        .map(|i| {
+            let id = DocId(i);
+            let e = corpus.entry(id).expect("doc exists");
+            (e.version, e.doc.tree.clone(), corpus.placement(id))
+        })
+        .collect();
+
+    corpus
+        .store()
+        .expect("corpus has a store")
+        .simulate_crash(keep_unsynced)
+        .map_err(|e| format!("simulate_crash: {e}"))?;
+    drop(corpus);
+
+    let recovered = match Corpus::recover(&scratch.0, StoreConfig::default()) {
+        Ok((r, _report)) => r,
+        Err(e) => return Ok(Some(divergence(format!("recovery failed: {e}")))),
+    };
+
+    if recovered.n_docs() != expected.len() {
+        return Ok(Some(divergence(format!(
+            "recovered {} docs, expected {}",
+            recovered.n_docs(),
+            expected.len()
+        ))));
+    }
+    if recovered.seq() != expected_seq {
+        return Ok(Some(divergence(format!(
+            "recovered seq {}, acknowledged seq {}",
+            recovered.seq(),
+            expected_seq
+        ))));
+    }
+    for (i, (version, tree, placement)) in expected.iter().enumerate() {
+        let id = DocId(i as u32);
+        let got = recovered.entry(id).expect("doc count already checked");
+        if got.version != *version {
+            return Ok(Some(divergence(format!(
+                "doc {i}: recovered version {:?}, acknowledged {:?}",
+                got.version, version
+            ))));
+        }
+        if got.doc.tree != *tree {
+            return Ok(Some(divergence(format!(
+                "doc {i}: recovered tree differs from acknowledged tree at version {:?}",
+                version
+            ))));
+        }
+        if recovered.placement(id) != *placement {
+            return Ok(Some(divergence(format!(
+                "doc {i}: recovered placement {:?}, original {:?}",
+                recovered.placement(id),
+                placement
+            ))));
+        }
+    }
+    Ok(None)
+}
+
+/// The outcome of a crash-fuzzing run.
+#[derive(Clone, Debug)]
+pub struct CrashReport {
+    /// The master seed.
+    pub seed: u64,
+    /// Trials actually executed (≤ `iters` under a time budget).
+    pub iterations: u64,
+    /// Every divergence found, post-shrink, in discovery order.
+    pub divergences: Vec<CrashDivergence>,
+    /// Total accepted shrink steps.
+    pub shrink_steps: u64,
+    /// The injected fault ([`StoreFault::None`] in CI's clean gate).
+    pub fault: StoreFault,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl CrashReport {
+    /// The machine-readable summary printed by `twx-fuzz --crash`.
+    pub fn to_json(&self) -> Json {
+        let found: Vec<Json> = self
+            .divergences
+            .iter()
+            .map(|d| {
+                Json::obj()
+                    .field(
+                        "docs",
+                        d.docs
+                            .iter()
+                            .map(|s| Json::from(s.as_str()))
+                            .collect::<Vec<Json>>(),
+                    )
+                    .field(
+                        "ops",
+                        d.ops
+                            .iter()
+                            .map(|o| Json::from(o.to_line()))
+                            .collect::<Vec<Json>>(),
+                    )
+                    .field("seed", d.seed)
+                    .field("keep_unsynced", d.keep_unsynced)
+                    .field("detail", d.detail.as_str())
+            })
+            .collect();
+        let mut j = Json::obj()
+            .field("schema", "twx-fuzz-crash/1")
+            .field("seed", self.seed)
+            .field("iterations", self.iterations)
+            .field("divergences", self.divergences.len())
+            .field("shrink_steps", self.shrink_steps)
+            .field("elapsed_ms", self.elapsed.as_millis() as u64)
+            .field("found", Json::Arr(found));
+        if self.fault != StoreFault::None {
+            j = j.field("fault", self.fault.name());
+        }
+        j
+    }
+}
+
+/// Runs the crash fuzzer: `cfg.iters` deterministic trials, each a fresh
+/// batch of random documents plus a random edit/snapshot script executed
+/// and crashed by [`run_crash_script`]. Divergences are shrunk before
+/// reporting when `cfg.shrink` is set.
+pub fn run_crash_fuzz(cfg: &FuzzConfig, fault: StoreFault) -> CrashReport {
+    let started = Instant::now();
+    let names = label_names(cfg.labels.max(1));
+    let catalog = Arc::new(Catalog::from_names(names.iter().map(String::as_str)));
+    let labels: Vec<_> = names.iter().map(|n| catalog.intern(n)).collect();
+    let alphabet = catalog.snapshot();
+    let mut master = SplitMix64::seed_from_u64(cfg.seed);
+    let mut report = CrashReport {
+        seed: cfg.seed,
+        iterations: 0,
+        divergences: Vec::new(),
+        shrink_steps: 0,
+        fault,
+        elapsed: Duration::ZERO,
+    };
+
+    for _ in 0..cfg.iters {
+        if let Some(budget) = cfg.time_budget {
+            if started.elapsed() >= budget {
+                break;
+            }
+        }
+        let trial_seed = master.next_u64();
+        let mut rng = SplitMix64::seed_from_u64(trial_seed);
+
+        let n_docs = rng.gen_range(1..4usize);
+        let mut docs = Vec::with_capacity(n_docs);
+        let mut mirror: Vec<Tree> = Vec::with_capacity(n_docs);
+        for _ in 0..n_docs {
+            let n = rng.gen_range(1..cfg.max_doc_nodes.max(1) + 1);
+            let shape = SHAPES[rng.gen_range(0..SHAPES.len())];
+            let doc = random_document_in(shape, n, &catalog, &mut rng);
+            docs.push(to_sexp(&doc.tree, &alphabet));
+            mirror.push(doc.tree);
+        }
+
+        // generate against an evolving mirror so every edit is valid (and
+        // therefore acknowledged) at generation time
+        let script_len = rng.gen_range(1..14);
+        let mut ops = Vec::with_capacity(script_len);
+        for _ in 0..script_len {
+            if rng.gen_range(0..100u32) < 12 {
+                ops.push(CrashOp::Snapshot);
+                continue;
+            }
+            let d = rng.gen_range(0..n_docs);
+            let edit = random_edit(&mirror[d], &labels, &mut rng);
+            ops.push(match &edit {
+                Edit::Relabel { node, label } => CrashOp::Relabel {
+                    doc: d as u32,
+                    node: node.0,
+                    label: catalog.name(*label),
+                },
+                Edit::InsertChild {
+                    parent,
+                    position,
+                    label,
+                } => CrashOp::Insert {
+                    doc: d as u32,
+                    parent: parent.0,
+                    position: *position as u32,
+                    label: catalog.name(*label),
+                },
+                Edit::RemoveSubtree { node } => CrashOp::Remove {
+                    doc: d as u32,
+                    node: node.0,
+                },
+            });
+            let (next, _) = apply_edit(&mirror[d], &edit).expect("random_edit is always valid");
+            mirror[d] = next;
+        }
+        let keep_unsynced = rng.gen_range(0..48) as u64;
+
+        report.iterations += 1;
+        let div = run_crash_script(&docs, &ops, fault, keep_unsynced)
+            .expect("generated crash script must run");
+        let Some(mut div) = div else { continue };
+        div.seed = trial_seed;
+        if cfg.shrink {
+            report.shrink_steps += shrink_crash(&mut div, fault);
+        }
+        report.divergences.push(div);
+    }
+
+    report.elapsed = started.elapsed();
+    report
+}
+
+/// Upper bound on script re-executions per shrink: each run touches the
+/// filesystem (store create + fsyncs + recovery), so the cap is tighter
+/// than the in-memory shrinkers'.
+const SHRINK_RUN_CAP: u32 = 300;
+
+/// Greedily minimises a crash divergence in place: drop script ops
+/// (trailing first), zero the surviving unsynced tail, then shrink each
+/// base document over subtree deletions — re-running the whole
+/// crash/recover cycle after every candidate and keeping it only if *a*
+/// divergence persists. Returns the number of accepted steps.
+pub fn shrink_crash(div: &mut CrashDivergence, fault: StoreFault) -> u64 {
+    let mut steps = 0u64;
+    let runs = std::cell::Cell::new(0u32);
+    let try_candidate = |docs: &[String], ops: &[CrashOp], keep: u64| -> Option<CrashDivergence> {
+        if runs.get() >= SHRINK_RUN_CAP {
+            return None;
+        }
+        runs.set(runs.get() + 1);
+        match run_crash_script(docs, ops, fault, keep) {
+            Ok(Some(mut d)) => {
+                d.seed = 0;
+                Some(d)
+            }
+            _ => None,
+        }
+    };
+    let seed = div.seed;
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: drop ops, trailing first.
+        let mut i = div.ops.len();
+        while i > 0 {
+            i -= 1;
+            if div.ops.is_empty() {
+                break;
+            }
+            let mut candidate = div.ops.clone();
+            candidate.remove(i);
+            if let Some(d) = try_candidate(&div.docs, &candidate, div.keep_unsynced) {
+                *div = d;
+                improved = true;
+                steps += 1;
+                i = i.min(div.ops.len());
+            }
+        }
+
+        // Pass 2: a torn tail that isn't needed obscures the repro.
+        if div.keep_unsynced > 0 {
+            if let Some(d) = try_candidate(&div.docs, &div.ops, 0) {
+                *div = d;
+                improved = true;
+                steps += 1;
+            }
+        }
+
+        // Pass 3: shrink each base document by subtree deletion.
+        for doc_idx in 0..div.docs.len() {
+            'doc: loop {
+                let catalog = Arc::new(Catalog::new());
+                let Ok(base) = parse_sexp_catalog(&div.docs[doc_idx], &catalog) else {
+                    break;
+                };
+                for smaller in shrink_tree(&base.tree) {
+                    let sexp = to_sexp(&smaller, &catalog.snapshot());
+                    let mut candidate = div.docs.clone();
+                    candidate[doc_idx] = sexp;
+                    if let Some(d) = try_candidate(&candidate, &div.ops, div.keep_unsynced) {
+                        *div = d;
+                        improved = true;
+                        steps += 1;
+                        continue 'doc;
+                    }
+                }
+                break;
+            }
+        }
+
+        if !improved || runs.get() >= SHRINK_RUN_CAP {
+            break;
+        }
+    }
+    div.seed = seed;
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The CI gate in miniature: with honest per-edit fsync, recovery
+    /// after a crash at any point reproduces every acknowledged edit.
+    #[test]
+    fn clean_crash_run_has_no_divergences() {
+        let report = run_crash_fuzz(
+            &FuzzConfig {
+                seed: 42,
+                iters: 25,
+                ..FuzzConfig::default()
+            },
+            StoreFault::None,
+        );
+        assert_eq!(report.iterations, 25);
+        assert!(
+            report.divergences.is_empty(),
+            "divergence: {}",
+            report.divergences[0].describe()
+        );
+        let json = report.to_json().render();
+        assert!(json.contains("\"schema\":\"twx-fuzz-crash/1\""));
+        assert!(json.contains("\"divergences\":0"));
+        assert!(!json.contains("\"fault\""));
+    }
+
+    /// Acceptance criterion: skipping fsync loses acknowledged edits,
+    /// the harness catches it, and the repro shrinks to ≤ 3 ops.
+    #[test]
+    fn skip_fsync_fault_is_caught_and_shrunk() {
+        let report = run_crash_fuzz(
+            &FuzzConfig {
+                seed: 42,
+                iters: 30,
+                ..FuzzConfig::default()
+            },
+            StoreFault::SkipFsync,
+        );
+        assert!(
+            !report.divergences.is_empty(),
+            "skip-fsync never diverged in {} iterations",
+            report.iterations
+        );
+        let d = &report.divergences[0];
+        assert!(
+            d.ops.len() <= 3,
+            "shrunk script has {} ops (> 3): {}",
+            d.ops.len(),
+            d.describe()
+        );
+        // the shrunk script still reproduces, and is clean without the fault
+        assert!(
+            run_crash_script(&d.docs, &d.ops, StoreFault::SkipFsync, d.keep_unsynced)
+                .unwrap()
+                .is_some()
+        );
+        assert!(
+            run_crash_script(&d.docs, &d.ops, StoreFault::None, d.keep_unsynced)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let cfg = FuzzConfig {
+            seed: 9,
+            iters: 8,
+            ..FuzzConfig::default()
+        };
+        let a = run_crash_fuzz(&cfg, StoreFault::None);
+        let b = run_crash_fuzz(&cfg, StoreFault::None);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.divergences.len(), b.divergences.len());
+    }
+
+    #[test]
+    fn crash_op_lines_roundtrip() {
+        let ops = [
+            CrashOp::Relabel {
+                doc: 1,
+                node: 2,
+                label: "b".to_string(),
+            },
+            CrashOp::Insert {
+                doc: 0,
+                parent: 3,
+                position: 1,
+                label: "a".to_string(),
+            },
+            CrashOp::Remove { doc: 2, node: 4 },
+            CrashOp::Snapshot,
+        ];
+        for op in &ops {
+            assert_eq!(&CrashOp::from_line(&op.to_line()).unwrap(), op);
+        }
+        assert!(CrashOp::from_line("relabel 0 1").is_err());
+        assert!(CrashOp::from_line("insert 0 1 2").is_err());
+        assert!(CrashOp::from_line("remove 0").is_err());
+        assert!(CrashOp::from_line("teleport 1 2").is_err());
+    }
+
+    /// A handcrafted script through the full stack: edit, durably
+    /// snapshot, edit again, crash with a torn tail — all recovered.
+    #[test]
+    fn handcrafted_script_recovers_exactly() {
+        let docs = ["(a (b) (c))".to_string(), "(b (b b))".to_string()];
+        let ops = [
+            CrashOp::from_line("relabel 0 1 c").unwrap(),
+            CrashOp::from_line("insert 1 0 0 a").unwrap(),
+            CrashOp::from_line("snapshot").unwrap(),
+            CrashOp::from_line("remove 0 2").unwrap(),
+        ];
+        assert!(run_crash_script(&docs, &ops, StoreFault::None, 7)
+            .unwrap()
+            .is_none());
+    }
+}

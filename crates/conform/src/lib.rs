@@ -28,6 +28,13 @@
 //!   affected-span invalidation — against a recompute-from-scratch
 //!   oracle on every answer, and shrinking any divergence over the edit
 //!   script as well as the query and the document.
+//! * [`crash::run_crash_fuzz`] (`twx-fuzz --crash`) drives a
+//!   store-backed corpus with random edit/snapshot scripts, simulates a
+//!   crash with a torn journal tail, recovers from disk, and demands the
+//!   recovered corpus match the acknowledged pre-crash state
+//!   node-for-node — versions, placement, and sequence number included.
+//!   Its `--fault store=skip-fsync` hook proves a broken group-commit
+//!   would be caught and shrunk.
 //!
 //! A test-only [`Fault`] hook mutates one route's answer post-hoc, so the
 //! harness can prove it *would* catch a broken backend and that the
@@ -37,15 +44,18 @@
 
 pub mod check;
 pub mod corpus;
+pub mod crash;
 pub mod fuzz;
 pub mod mutate;
 pub mod shrink;
 
 pub use check::Conformer;
 pub use corpus::Repro;
+pub use crash::{run_crash_fuzz, CrashDivergence, CrashOp, CrashReport};
 pub use fuzz::{run_fuzz, FuzzConfig, FuzzReport};
 pub use mutate::{run_mutation_fuzz, CacheFault, MutationReport, ScriptOp};
 pub use shrink::{minimize, ShrinkOutcome};
+pub use twx_corpus::StoreFault;
 
 use treewalk::Backend;
 

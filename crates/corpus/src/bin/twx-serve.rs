@@ -19,6 +19,8 @@
 //! -> {"op":"slowlog"}
 //! <- {"ok":true,"entries":[{"trace_id":"…","query":"…","latency_us":…,
 //!     "profile":{...}},...]}
+//! -> {"op":"snapshot"}
+//! <- {"ok":true,"seq":7,"snapshot_bytes":412,"journal_reclaimed":230}
 //! -> {"op":"shutdown"}
 //! <- {"ok":true,"shutting_down":true}
 //! ```
@@ -32,11 +34,22 @@
 //! twx-serve [--port P] [--shards N] [--workers N] [--queue N]
 //!           [--backend product|automaton|logic] [--timeout-ms MS]
 //!           [--slowlog N] [--synthetic DOCSxNODES [--seed S]]
+//!           [--store DIR [--fsync-every N]]
 //!           [FILE.xml|FILE.sexp ...]
 //! ```
 //!
 //! `--port 0` binds an ephemeral port; the chosen address is printed as
 //! `twx-serve listening on 127.0.0.1:PORT` so scripts can scrape it.
+//!
+//! With `--store DIR` the corpus is **durable**: if `DIR` already holds
+//! a store the server recovers it on boot (ignoring FILEs and
+//! `--synthetic` — the store is the source of truth; `--shards` must
+//! then match the persisted shard count) and every committed update is
+//! journalled before it is acknowledged, so a kill-and-restart round
+//! trip preserves documents, versions, and the commit sequence exactly.
+//! The `snapshot` op (`{"op":"snapshot"}`) writes a fresh snapshot
+//! generation and compacts the journal; a background snapshotter does
+//! the same automatically once the journal passes 1 MiB.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -44,7 +57,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use treewalk::{Backend, Engine};
-use twx_corpus::{Corpus, CorpusAnswer, DocId, QueryService, ServiceConfig, ServiceError};
+use twx_corpus::{
+    Corpus, CorpusAnswer, DocId, QueryService, ServiceConfig, ServiceError, StoreConfig,
+};
 use twx_obs::json::{parse as parse_json, Json};
 use twx_obs::metrics::Gauge;
 use twx_regxpath::parser::parse_rpath_resolved;
@@ -63,6 +78,8 @@ struct Args {
     slowlog: usize,
     synthetic: Option<(usize, usize)>,
     seed: u64,
+    store: Option<String>,
+    fsync_every: u64,
     files: Vec<String>,
 }
 
@@ -70,7 +87,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: twx-serve [--port P] [--shards N] [--workers N] [--queue N] \
          [--backend product|automaton|logic] [--timeout-ms MS] [--slowlog N] \
-         [--synthetic DOCSxNODES [--seed S]] [FILE.xml|FILE.sexp ...]"
+         [--synthetic DOCSxNODES [--seed S]] [--store DIR [--fsync-every N]] \
+         [FILE.xml|FILE.sexp ...]"
     );
     std::process::exit(2);
 }
@@ -86,6 +104,8 @@ fn parse_args() -> Args {
         slowlog: 16,
         synthetic: None,
         seed: 1,
+        store: None,
+        fsync_every: 1,
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -118,6 +138,10 @@ fn parse_args() -> Args {
                 ));
             }
             "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--store" => args.store = Some(val("--store")),
+            "--fsync-every" => {
+                args.fsync_every = val("--fsync-every").parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') => args.files.push(f.to_string()),
             _ => usage(),
@@ -132,6 +156,28 @@ fn parse_args() -> Args {
 }
 
 fn build_corpus(args: &Args) -> Result<Corpus, String> {
+    let store_cfg = StoreConfig {
+        fsync_every: args.fsync_every.max(1),
+        ..StoreConfig::default()
+    };
+    // an existing store is the source of truth: recover it, ignore inputs
+    if let Some(dir) = &args.store {
+        if twx_store::Store::exists(dir) {
+            let (corpus, report) =
+                Corpus::recover(dir, store_cfg).map_err(|e| format!("recover {dir}: {e}"))?;
+            eprintln!(
+                "recovered store {dir}: seq {}, {} records replayed, {} skipped, \
+                 {} torn bytes truncated, {} stale snapshots skipped, {:.1} ms",
+                corpus.seq(),
+                report.records_replayed,
+                report.records_skipped,
+                report.truncated_bytes,
+                report.stale_snapshots_skipped,
+                report.recovery_ns as f64 / 1e6,
+            );
+            return Ok(corpus);
+        }
+    }
     let catalog = Arc::new(Catalog::from_names(["a", "b", "c", "d"]));
     let mut b = Corpus::builder(Arc::clone(&catalog), args.shards);
     for f in &args.files {
@@ -153,7 +199,10 @@ fn build_corpus(args: &Args) -> Result<Corpus, String> {
             ));
         }
     }
-    let corpus = b.build();
+    if let Some(dir) = &args.store {
+        b = b.with_store(dir).store_config(store_cfg);
+    }
+    let corpus = b.try_build().map_err(|e| format!("create store: {e}"))?;
     if corpus.n_docs() == 0 {
         return Err("empty corpus: pass FILEs and/or --synthetic DOCSxNODES".into());
     }
@@ -364,6 +413,22 @@ fn stats_line(server: &Server) -> String {
         .render()
 }
 
+/// Handles a `snapshot` request: write a fresh snapshot generation of
+/// every shard and compact the journal. Typed `engine` error when the
+/// server runs without `--store`.
+fn snapshot_line(corpus: &Corpus) -> String {
+    match corpus.persist() {
+        Ok(Some(r)) => Json::obj()
+            .field("ok", true)
+            .field("seq", r.seq)
+            .field("snapshot_bytes", r.snapshot_bytes)
+            .field("journal_reclaimed", r.journal_reclaimed)
+            .render(),
+        Ok(None) => err_line("engine", "server has no store (start with --store DIR)"),
+        Err(e) => err_line("engine", &format!("snapshot failed: {e}")),
+    }
+}
+
 fn metrics_line() -> String {
     Json::obj()
         .field("ok", true)
@@ -447,6 +512,7 @@ fn serve_conn(stream: TcpStream, server: &Server, alphabet: &Alphabet) -> std::i
                 Some("stats") => stats_line(server),
                 Some("metrics") => metrics_line(),
                 Some("slowlog") => slowlog_line(service),
+                Some("snapshot") => snapshot_line(service.corpus()),
                 Some("shutdown") => {
                     let reply = Json::obj()
                         .field("ok", true)
@@ -462,7 +528,7 @@ fn serve_conn(stream: TcpStream, server: &Server, alphabet: &Alphabet) -> std::i
                 }
                 _ => err_line(
                     "protocol",
-                    "op must be query|update|stats|metrics|slowlog|shutdown",
+                    "op must be query|update|stats|metrics|slowlog|snapshot|shutdown",
                 ),
             },
         };
@@ -493,13 +559,24 @@ fn main() -> ExitCode {
         },
     );
     let mut server = Server::new(service);
+    // with a store: compact the journal in the background once it
+    // passes 1 MiB (explicit `snapshot` ops still work at any time)
+    let _snapshotter = corpus
+        .store()
+        .is_some()
+        .then(|| corpus.spawn_snapshotter(1 << 20, Duration::from_millis(200)));
     eprintln!(
-        "corpus: {} docs / {} nodes in {} shards; {} workers, backend {:?}",
+        "corpus: {} docs / {} nodes in {} shards; {} workers, backend {:?}{}",
         corpus.n_docs(),
         corpus.total_nodes(),
         corpus.n_shards(),
         args.workers,
         args.backend,
+        if let Some(s) = corpus.store() {
+            format!("; store {}", s.dir().display())
+        } else {
+            String::new()
+        },
     );
     let listener = match TcpListener::bind(("127.0.0.1", args.port)) {
         Ok(l) => l,
@@ -527,6 +604,11 @@ fn main() -> ExitCode {
         }
     }
     let final_stats = server.service.shutdown();
+    // parting snapshot so the next boot replays an empty journal
+    match corpus.persist() {
+        Ok(_) => {}
+        Err(e) => eprintln!("twx-serve: final snapshot failed: {e}"),
+    }
     eprintln!(
         "twx-serve: drained; {} submitted, {} completed, {} rejected, {} timeouts",
         final_stats.submitted, final_stats.completed, final_stats.rejected, final_stats.timeouts,

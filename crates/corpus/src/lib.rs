@@ -51,6 +51,7 @@ pub use service::{
 };
 pub use slowlog::{SlowLog, SlowLogEntry};
 pub use store::{
-    Corpus, CorpusBuilder, CorpusSnapshot, DocEntry, DocId, Placement, Shard, ShardState,
-    UpdateError, UpdateReceipt,
+    Corpus, CorpusBuilder, CorpusSnapshot, DocEntry, DocId, PersistReceipt, Placement, Shard,
+    ShardState, Snapshotter, UpdateError, UpdateReceipt,
 };
+pub use twx_store::{RecoveryReport, StoreConfig, StoreError, StoreFault};

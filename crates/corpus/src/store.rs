@@ -31,8 +31,12 @@
 //! documents start at [`DocVersion`] 0.
 
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+use twx_store::journal::JournalRecord;
+use twx_store::{RecoveryReport, Store, StoreConfig, StoreError};
 use twx_xtree::edit::{apply_edit, DocVersion, Edit, EditError, Span};
 use twx_xtree::parse::{parse_sexp_catalog, parse_xml_catalog, ParseError};
 use twx_xtree::{Catalog, Document};
@@ -161,13 +165,18 @@ impl CorpusSnapshot {
     }
 }
 
-/// Why a [`Corpus::update`] failed. Nothing changes on error.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Why a [`Corpus::update`] failed. Nothing changes on error (a
+/// [`UpdateError::Store`] failure burns a sequence number but commits
+/// nothing, in memory or on disk).
+#[derive(Clone, Debug)]
 pub enum UpdateError {
     /// No document has this id.
     UnknownDoc(DocId),
     /// The edit itself was invalid for the document's current tree.
     Edit(EditError),
+    /// The durable store refused the journal append; the edit was NOT
+    /// committed (write-ahead rule: no ack without a journal record).
+    Store(Arc<StoreError>),
 }
 
 impl fmt::Display for UpdateError {
@@ -175,6 +184,7 @@ impl fmt::Display for UpdateError {
         match self {
             UpdateError::UnknownDoc(id) => write!(f, "unknown document {id}"),
             UpdateError::Edit(e) => write!(f, "{e}"),
+            UpdateError::Store(e) => write!(f, "journal append failed: {e}"),
         }
     }
 }
@@ -215,6 +225,8 @@ pub struct Corpus {
     index: Arc<Vec<(u32, u32)>>,
     // commits applied so far; bumped after each successful swap
     seq: AtomicU64,
+    // the durable store, when this corpus persists (see `twx-store`)
+    store: Option<Arc<Store>>,
 }
 
 impl Corpus {
@@ -229,7 +241,89 @@ impl Corpus {
                 .collect(),
             index: Vec::new(),
             round_robin_next: 0,
+            store_dir: None,
+            store_cfg: StoreConfig::default(),
         }
+    }
+
+    /// Recovers a corpus from a durable store directory: newest valid
+    /// snapshot per shard, torn journal tail truncated, journal replayed
+    /// — documents, versions, shard placement, and the commit sequence
+    /// come back exactly as persisted. The returned corpus keeps
+    /// journalling to the same store.
+    pub fn recover(
+        dir: impl Into<PathBuf>,
+        cfg: StoreConfig,
+    ) -> Result<(Corpus, RecoveryReport), StoreError> {
+        let store = Store::open(dir, cfg)?;
+        let recovered = store.recover()?;
+        let n_docs: usize = recovered.shards.iter().map(Vec::len).sum();
+        let mut index = vec![None; n_docs];
+        for (si, docs) in recovered.shards.iter().enumerate() {
+            for (di, d) in docs.iter().enumerate() {
+                let slot = index
+                    .get_mut(d.doc_id as usize)
+                    .ok_or_else(|| StoreError::Corrupt {
+                        what: "recovered placement",
+                        detail: format!("doc id {} outside 0..{n_docs}", d.doc_id),
+                    })?;
+                if slot.replace((si as u32, di as u32)).is_some() {
+                    return Err(StoreError::Corrupt {
+                        what: "recovered placement",
+                        detail: format!("doc id {} appears in two shards", d.doc_id),
+                    });
+                }
+            }
+        }
+        let index: Vec<(u32, u32)> = index
+            .into_iter()
+            .map(|s| {
+                s.ok_or(StoreError::Corrupt {
+                    what: "recovered placement",
+                    detail: "non-contiguous document ids".to_string(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let shards = recovered
+            .shards
+            .into_iter()
+            .map(|docs| {
+                let nodes = docs.iter().map(|d| d.doc.tree.len()).sum();
+                let entries = docs
+                    .into_iter()
+                    .map(|d| DocEntry {
+                        id: DocId(d.doc_id),
+                        version: DocVersion(d.version),
+                        doc: Arc::new(d.doc),
+                    })
+                    .collect();
+                Shard {
+                    state: RwLock::new(Arc::new(ShardState { entries, nodes })),
+                }
+            })
+            .collect();
+        Ok((
+            Corpus {
+                catalog: recovered.catalog,
+                shards,
+                index: Arc::new(index),
+                seq: AtomicU64::new(recovered.seq),
+                store: Some(Arc::new(store)),
+            },
+            recovered.report,
+        ))
+    }
+
+    /// The attached durable store, if this corpus persists.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// Where document `id` lives: `(shard, index-within-shard)`. The
+    /// placement is fixed at build time, persisted in snapshots, and
+    /// reproduced exactly by [`Corpus::recover`].
+    pub fn placement(&self, id: DocId) -> Option<(u32, u32)> {
+        self.index.get(id.0 as usize).copied()
     }
 
     /// The shared label space.
@@ -314,8 +408,33 @@ impl Corpus {
         let old = &slot.entries[i as usize];
         let (tree, affected) = apply_edit(&old.doc.tree, edit)?;
         let new_len = tree.len();
-        let doc = Arc::new(Document::new(tree, old.doc.alphabet.clone()));
+        // an edit may carry a label interned after this document's
+        // alphabet snapshot was taken; refresh the snapshot so the new
+        // document always covers its own labels (snapshot encoding and
+        // sexp rendering rely on that)
+        let alphabet = match edit {
+            Edit::Relabel { label, .. } | Edit::InsertChild { label, .. }
+                if label.index() >= old.doc.alphabet.len() =>
+            {
+                self.catalog.snapshot()
+            }
+            _ => old.doc.alphabet.clone(),
+        };
+        let doc = Arc::new(Document::new(tree, alphabet));
         let version = old.version.bump();
+        // the commit counter is claimed (and, with a store attached, the
+        // journal record appended) while still holding the write lock so
+        // per-shard commit order and sequence order agree
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
+        // write-ahead: the record must be journalled before the in-memory
+        // swap makes the edit visible — on append failure nothing commits
+        // (the claimed sequence number is burned, which recovery tolerates)
+        if let Some(store) = &self.store {
+            let rec = JournalRecord::from_edit(seq, id.0, version.0, edit, &self.catalog);
+            store
+                .append(&rec)
+                .map_err(|e| UpdateError::Store(Arc::new(e)))?;
+        }
         // copy-on-write: entry vec clone is Arc-shallow
         let mut entries = slot.entries.clone();
         let nodes = slot.nodes - old.doc.tree.len() + new_len;
@@ -325,9 +444,6 @@ impl Corpus {
             doc: Arc::clone(&doc),
         };
         *slot = Arc::new(ShardState { entries, nodes });
-        // bump the commit counter while still holding the write lock so
-        // per-shard commit order and sequence order agree
-        let seq = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
         drop(slot);
         Ok(UpdateReceipt {
             id,
@@ -345,6 +461,155 @@ impl Corpus {
             .iter()
             .flat_map(|s| s.snapshot().entries.clone())
     }
+
+    /// Writes a full snapshot generation of every shard at a pinned
+    /// commit sequence, then compacts the journal: records covered by
+    /// the new snapshots are dropped and older snapshot generations
+    /// removed. Returns `None` when no store is attached.
+    ///
+    /// Safe against concurrent commits: the pinned
+    /// [`CorpusSnapshot`] contains every commit with `seq <=`
+    /// [`CorpusSnapshot::seq`] (and possibly later ones, whose journal
+    /// records survive compaction and are skipped as already-contained
+    /// on replay).
+    pub fn persist(&self) -> Result<Option<PersistReceipt>, StoreError> {
+        let Some(store) = &self.store else {
+            return Ok(None);
+        };
+        let pinned = self.snapshot();
+        store.write_catalog(&self.catalog)?;
+        let mut snapshot_bytes = 0;
+        for (si, state) in pinned.shards.iter().enumerate() {
+            let docs: Vec<(u32, u64, &Document)> = state
+                .entries
+                .iter()
+                .map(|e| (e.id.0, e.version.0, &*e.doc))
+                .collect();
+            snapshot_bytes += store.write_snapshot(si as u32, pinned.seq(), &docs)?;
+        }
+        let journal_reclaimed = store.compact(pinned.seq())?;
+        Ok(Some(PersistReceipt {
+            seq: pinned.seq(),
+            snapshot_bytes,
+            journal_reclaimed,
+        }))
+    }
+
+    /// Spawns the background snapshotter: every `poll` it checks the
+    /// journal length and runs [`Corpus::persist`] once it exceeds
+    /// `journal_threshold_bytes` (compacting the journal after the
+    /// successful write). Returns a handle that stops the thread on
+    /// drop. No-op thread when the corpus has no store.
+    pub fn spawn_snapshotter(
+        self: &Arc<Corpus>,
+        journal_threshold_bytes: u64,
+        poll: Duration,
+    ) -> Snapshotter {
+        let corpus = Arc::clone(self);
+        let signal = Arc::new((Mutex::new(false), Condvar::new()));
+        let stats = Arc::new(SnapshotterStats::default());
+        let thread_signal = Arc::clone(&signal);
+        let thread_stats = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("twx-snapshotter".to_string())
+            .spawn(move || {
+                let (lock, cvar) = &*thread_signal;
+                let mut stopped = lock.lock().expect("snapshotter signal poisoned");
+                loop {
+                    let (guard, _timeout) = cvar
+                        .wait_timeout(stopped, poll)
+                        .expect("snapshotter signal poisoned");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    let due = corpus
+                        .store()
+                        .map(|s| s.journal_bytes() >= journal_threshold_bytes)
+                        .unwrap_or(false);
+                    if due {
+                        match corpus.persist() {
+                            Ok(_) => {
+                                thread_stats.persists.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                thread_stats.errors.fetch_add(1, Ordering::Relaxed);
+                                *thread_stats
+                                    .last_error
+                                    .lock()
+                                    .expect("snapshotter error slot poisoned") =
+                                    Some(e.to_string());
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn snapshotter thread");
+        Snapshotter {
+            signal,
+            stats,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// What [`Corpus::persist`] did.
+#[derive(Clone, Copy, Debug)]
+pub struct PersistReceipt {
+    /// The commit sequence the snapshots were taken at.
+    pub seq: u64,
+    /// Total bytes across the written shard snapshots.
+    pub snapshot_bytes: u64,
+    /// Journal bytes reclaimed by compaction.
+    pub journal_reclaimed: u64,
+}
+
+#[derive(Debug, Default)]
+struct SnapshotterStats {
+    persists: AtomicU64,
+    errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
+/// Handle on the background snapshotter thread (see
+/// [`Corpus::spawn_snapshotter`]). Dropping it stops the thread.
+#[derive(Debug)]
+pub struct Snapshotter {
+    signal: Arc<(Mutex<bool>, Condvar)>,
+    stats: Arc<SnapshotterStats>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Snapshotter {
+    /// Successful background persists so far.
+    pub fn persists(&self) -> u64 {
+        self.stats.persists.load(Ordering::Relaxed)
+    }
+
+    /// Failed background persists so far.
+    pub fn errors(&self) -> u64 {
+        self.stats.errors.load(Ordering::Relaxed)
+    }
+
+    /// The most recent persist error, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.stats
+            .last_error
+            .lock()
+            .expect("snapshotter error slot poisoned")
+            .clone()
+    }
+}
+
+impl Drop for Snapshotter {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.signal;
+        *lock.lock().expect("snapshotter signal poisoned") = true;
+        cvar.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 /// Builds a [`Corpus`] (see [`Corpus::builder`]).
@@ -354,12 +619,31 @@ pub struct CorpusBuilder {
     shards: Vec<ShardState>,
     index: Vec<(u32, u32)>,
     round_robin_next: usize,
+    store_dir: Option<PathBuf>,
+    store_cfg: StoreConfig,
 }
 
 impl CorpusBuilder {
     /// Selects the placement policy.
     pub fn placement(mut self, p: Placement) -> CorpusBuilder {
         self.placement = p;
+        self
+    }
+
+    /// Attaches a durable store: [`CorpusBuilder::try_build`] creates a
+    /// fresh store in `dir` (which must not already hold one — recover
+    /// an existing store with [`Corpus::recover`] instead), persists the
+    /// catalog plus an initial snapshot generation of every shard, and
+    /// the built corpus journals every [`Corpus::update`].
+    pub fn with_store(mut self, dir: impl Into<PathBuf>) -> CorpusBuilder {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Store tuning (group-commit interval, fault injection); only
+    /// meaningful together with [`CorpusBuilder::with_store`].
+    pub fn store_config(mut self, cfg: StoreConfig) -> CorpusBuilder {
+        self.store_cfg = cfg;
         self
     }
 
@@ -410,8 +694,31 @@ impl CorpusBuilder {
     /// Finishes the build. Documents keep mutating through
     /// [`Corpus::update`]; the *set* of documents (and their shard
     /// placement) is fixed from here on.
+    ///
+    /// # Panics
+    /// If a store was attached with [`CorpusBuilder::with_store`] and
+    /// persisting the initial state fails — use
+    /// [`CorpusBuilder::try_build`] for a typed error instead. Without
+    /// a store this never panics.
     pub fn build(self) -> Corpus {
-        Corpus {
+        self.try_build().expect("initial store persist failed")
+    }
+
+    /// Like [`CorpusBuilder::build`], with store creation failures as
+    /// typed errors. With a store attached, the store directory is
+    /// created, the catalog written, and every shard snapshotted at
+    /// sequence 0 before the corpus is returned — so a crash at any
+    /// later point recovers at least the ingested state.
+    pub fn try_build(self) -> Result<Corpus, StoreError> {
+        let store = match self.store_dir {
+            Some(dir) => Some(Arc::new(Store::create(
+                dir,
+                self.shards.len() as u32,
+                self.store_cfg,
+            )?)),
+            None => None,
+        };
+        let corpus = Corpus {
             catalog: self.catalog,
             shards: self
                 .shards
@@ -422,7 +729,10 @@ impl CorpusBuilder {
                 .collect(),
             index: Arc::new(self.index),
             seq: AtomicU64::new(0),
-        }
+            store,
+        };
+        corpus.persist()?;
+        Ok(corpus)
     }
 }
 

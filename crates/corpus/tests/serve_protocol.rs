@@ -17,6 +17,10 @@ impl Server {
     /// Spawns `twx-serve` on an ephemeral port with a small synthetic
     /// corpus and scrapes the bound address from its stdout.
     fn spawn() -> Server {
+        Server::spawn_with(&[])
+    }
+
+    fn spawn_with(extra: &[&str]) -> Server {
         let mut child = Command::new(env!("CARGO_BIN_EXE_twx-serve"))
             .args([
                 "--port",
@@ -30,6 +34,7 @@ impl Server {
                 "--seed",
                 "7",
             ])
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
             .spawn()
@@ -267,4 +272,59 @@ fn observability_ops_expose_traces_histograms_and_the_slow_log() {
         r.contains(&id_of(&traced)),
         "slowlog missing traced id: {r}"
     );
+}
+
+#[test]
+fn snapshot_op_requires_a_store_and_a_store_survives_a_kill() {
+    // storeless server: the op is understood but refused with a typed
+    // engine error, and the connection survives
+    let server = Server::spawn();
+    let mut conn = server.connect();
+    let r = roundtrip(&mut conn, r#"{"op":"snapshot"}"#);
+    assert!(r.contains(r#""ok":false"#), "{r}");
+    assert!(r.contains(r#""error":"engine""#), "{r}");
+    assert!(r.contains("--store"), "{r}");
+    let r = roundtrip(&mut conn, r#"{"op":"query","query":"down*[b]"}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    drop(conn);
+    drop(server);
+
+    // store-backed server: commit an edit, snapshot, note the answer,
+    // then kill -9 (no graceful shutdown) and restart on the same dir —
+    // the recovered corpus must answer identically
+    let dir = std::env::temp_dir().join(format!("twx-serve-test-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_str().unwrap().to_string();
+
+    let mut server = Server::spawn_with(&["--store", &dir_arg]);
+    let mut conn = server.connect();
+    let r = roundtrip(
+        &mut conn,
+        r#"{"op":"update","doc":0,"edit":{"op":"relabel","node":0,"label":"b"}}"#,
+    );
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    let r = roundtrip(&mut conn, r#"{"op":"snapshot"}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    assert!(r.contains(r#""seq":1"#), "{r}");
+    assert!(r.contains(r#""snapshot_bytes":"#), "{r}");
+    let before = roundtrip(&mut conn, r#"{"op":"query","query":"down*[b]"}"#);
+    assert!(before.contains(r#""ok":true"#), "{before}");
+    drop(conn);
+    server.child.kill().expect("kill");
+    server.child.wait().expect("wait");
+
+    let server = Server::spawn_with(&["--store", &dir_arg]);
+    let mut conn = server.connect();
+    let after = roundtrip(&mut conn, r#"{"op":"query","query":"down*[b]"}"#);
+    // the answer prefix (total matches + per-doc counts and versions) is
+    // deterministic; latency and trace id legitimately differ
+    let answer = |r: &str| r[..r.find(r#""timed_out""#).expect("timed_out")].to_string();
+    assert_eq!(
+        answer(&before),
+        answer(&after),
+        "recovered corpus answers differently"
+    );
+    drop(conn);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
 }

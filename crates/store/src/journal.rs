@@ -1,0 +1,363 @@
+//! The append-only edit journal.
+//!
+//! Each committed [`Edit`] becomes one
+//! length-prefixed, checksummed record:
+//!
+//! ```text
+//! len  4 B   u32 payload bytes
+//! fnv  8 B   FNV-1a over the payload
+//! payload:
+//!   seq          u64   global commit sequence of this edit
+//!   doc_id       u32
+//!   post_version u64   the document version the edit produced
+//!   kind         u8    0 = Relabel, 1 = InsertChild, 2 = RemoveSubtree
+//!   …kind-specific fields; labels travel as *names* (length-prefixed
+//!   UTF-8), not ids, so replay interns them idempotently against the
+//!   recovered catalog even when the edit introduced a label newer than
+//!   the last persisted catalog file.
+//! ```
+//!
+//! The reader accepts the longest **valid prefix**: it stops at the
+//! first record whose framing runs past end-of-file or whose checksum
+//! does not match, and reports exactly how many bytes it dropped — a
+//! torn tail after a crash is expected and truncated, never a panic and
+//! never silently mixed into replay.
+
+use crate::wire::{fnv1a, Dec, Enc};
+use crate::StoreError;
+use twx_xtree::edit::Edit;
+use twx_xtree::{Catalog, NodeId};
+
+/// One journalled edit, in catalog-independent form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Global commit sequence number of the edit (1-based).
+    pub seq: u64,
+    /// The edited document.
+    pub doc_id: u32,
+    /// The version the edit produced (pre-edit version + 1).
+    pub post_version: u64,
+    /// The edit itself, with labels by name.
+    pub op: JournalOp,
+}
+
+/// A catalog-independent [`Edit`]: labels are names, node ids are raw.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalOp {
+    /// `Edit::Relabel`.
+    Relabel {
+        /// The relabelled node.
+        node: u32,
+        /// The new label's name.
+        label: String,
+    },
+    /// `Edit::InsertChild`.
+    InsertChild {
+        /// The node gaining a child.
+        parent: u32,
+        /// Child index.
+        position: u32,
+        /// The new leaf's label name.
+        label: String,
+    },
+    /// `Edit::RemoveSubtree`.
+    RemoveSubtree {
+        /// Root of the removed subtree.
+        node: u32,
+    },
+}
+
+impl JournalRecord {
+    /// Captures a committed edit. `catalog` resolves label ids to names.
+    pub fn from_edit(
+        seq: u64,
+        doc_id: u32,
+        post_version: u64,
+        edit: &Edit,
+        catalog: &Catalog,
+    ) -> JournalRecord {
+        let op = match *edit {
+            Edit::Relabel { node, label } => JournalOp::Relabel {
+                node: node.0,
+                label: catalog.name(label),
+            },
+            Edit::InsertChild {
+                parent,
+                position,
+                label,
+            } => JournalOp::InsertChild {
+                parent: parent.0,
+                position: position as u32,
+                label: catalog.name(label),
+            },
+            Edit::RemoveSubtree { node } => JournalOp::RemoveSubtree { node: node.0 },
+        };
+        JournalRecord {
+            seq,
+            doc_id,
+            post_version,
+            op,
+        }
+    }
+
+    /// Rebuilds the typed [`Edit`], interning label names into `catalog`
+    /// (idempotent: an already-known name resolves to its existing id).
+    pub fn to_edit(&self, catalog: &Catalog) -> Edit {
+        match &self.op {
+            JournalOp::Relabel { node, label } => Edit::Relabel {
+                node: NodeId(*node),
+                label: catalog.intern(label),
+            },
+            JournalOp::InsertChild {
+                parent,
+                position,
+                label,
+            } => Edit::InsertChild {
+                parent: NodeId(*parent),
+                position: *position as usize,
+                label: catalog.intern(label),
+            },
+            JournalOp::RemoveSubtree { node } => Edit::RemoveSubtree {
+                node: NodeId(*node),
+            },
+        }
+    }
+
+    /// Encodes the record with its framing (len + fnv + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.seq);
+        e.u32(self.doc_id);
+        e.u64(self.post_version);
+        match &self.op {
+            JournalOp::Relabel { node, label } => {
+                e.u8(0);
+                e.u32(*node);
+                e.str(label);
+            }
+            JournalOp::InsertChild {
+                parent,
+                position,
+                label,
+            } => {
+                e.u8(1);
+                e.u32(*parent);
+                e.u32(*position);
+                e.str(label);
+            }
+            JournalOp::RemoveSubtree { node } => {
+                e.u8(2);
+                e.u32(*node);
+            }
+        }
+        let mut out = Vec::with_capacity(12 + e.0.len());
+        out.extend_from_slice(&(e.0.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&e.0).to_le_bytes());
+        out.extend_from_slice(&e.0);
+        out
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<JournalRecord, StoreError> {
+        let corrupt = |detail: String| StoreError::Corrupt {
+            what: "journal record",
+            detail,
+        };
+        let mut d = Dec::new(payload);
+        let mut err = |e: crate::wire::WireError| corrupt(e.to_string());
+        let seq = d.u64().map_err(&mut err)?;
+        let doc_id = d.u32().map_err(&mut err)?;
+        let post_version = d.u64().map_err(&mut err)?;
+        let kind = d.u8().map_err(&mut err)?;
+        let op = match kind {
+            0 => JournalOp::Relabel {
+                node: d.u32().map_err(&mut err)?,
+                label: d.str().map_err(&mut err)?,
+            },
+            1 => JournalOp::InsertChild {
+                parent: d.u32().map_err(&mut err)?,
+                position: d.u32().map_err(&mut err)?,
+                label: d.str().map_err(&mut err)?,
+            },
+            2 => JournalOp::RemoveSubtree {
+                node: d.u32().map_err(&mut err)?,
+            },
+            k => return Err(corrupt(format!("unknown record kind {k}"))),
+        };
+        if d.remaining() != 0 {
+            return Err(corrupt(format!("{} trailing payload bytes", d.remaining())));
+        }
+        Ok(JournalRecord {
+            seq,
+            doc_id,
+            post_version,
+            op,
+        })
+    }
+}
+
+/// The result of scanning a journal byte buffer: the longest valid
+/// record prefix plus what (if anything) had to be dropped.
+#[derive(Clone, Debug, Default)]
+pub struct JournalScan {
+    /// All records in the valid prefix, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Byte length of the valid prefix (truncate the file to this).
+    pub valid_len: u64,
+    /// Bytes past the valid prefix (0 when the journal is clean).
+    pub torn_bytes: u64,
+    /// Why the scan stopped early, if it did.
+    pub torn_reason: Option<String>,
+}
+
+/// Scans journal bytes into the longest valid record prefix. Framing
+/// errors and checksum mismatches stop the scan — they are reported in
+/// the result, not raised — so recovery after a torn append always
+/// lands on the newest consistent prefix.
+pub fn scan(bytes: &[u8]) -> JournalScan {
+    let mut out = JournalScan::default();
+    let mut pos = 0usize;
+    loop {
+        if pos == bytes.len() {
+            break;
+        }
+        if bytes.len() - pos < 12 {
+            out.torn_reason = Some("torn record framing at end of journal".to_string());
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let want = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        if bytes.len() - pos - 12 < len {
+            out.torn_reason = Some(format!(
+                "torn record payload: header says {len} bytes, {} remain",
+                bytes.len() - pos - 12
+            ));
+            break;
+        }
+        let payload = &bytes[pos + 12..pos + 12 + len];
+        if fnv1a(payload) != want {
+            out.torn_reason = Some("record checksum mismatch".to_string());
+            break;
+        }
+        match JournalRecord::decode_payload(payload) {
+            Ok(rec) => out.records.push(rec),
+            Err(e) => {
+                out.torn_reason = Some(e.to_string());
+                break;
+            }
+        }
+        pos += 12 + len;
+        out.valid_len = pos as u64;
+    }
+    out.torn_bytes = (bytes.len() as u64) - out.valid_len;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twx_xtree::Label;
+
+    fn sample() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord {
+                seq: 1,
+                doc_id: 0,
+                post_version: 1,
+                op: JournalOp::Relabel {
+                    node: 2,
+                    label: "b".to_string(),
+                },
+            },
+            JournalRecord {
+                seq: 2,
+                doc_id: 3,
+                post_version: 5,
+                op: JournalOp::InsertChild {
+                    parent: 0,
+                    position: 1,
+                    label: "zz".to_string(),
+                },
+            },
+            JournalRecord {
+                seq: 3,
+                doc_id: 0,
+                post_version: 2,
+                op: JournalOp::RemoveSubtree { node: 1 },
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_the_scanner() {
+        let mut bytes = Vec::new();
+        for r in sample() {
+            bytes.extend_from_slice(&r.encode());
+        }
+        let s = scan(&bytes);
+        assert_eq!(s.records, sample());
+        assert_eq!(s.valid_len, bytes.len() as u64);
+        assert_eq!(s.torn_bytes, 0);
+        assert!(s.torn_reason.is_none());
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_valid_prefix() {
+        let mut bytes = Vec::new();
+        let mut prefix_len = 0;
+        for (i, r) in sample().into_iter().enumerate() {
+            if i == 2 {
+                prefix_len = bytes.len();
+            }
+            bytes.extend_from_slice(&r.encode());
+        }
+        // cut the last record in half
+        let cut = prefix_len + (bytes.len() - prefix_len) / 2;
+        let s = scan(&bytes[..cut]);
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.valid_len, prefix_len as u64);
+        assert_eq!(s.torn_bytes, (cut - prefix_len) as u64);
+        assert!(s.torn_reason.is_some());
+    }
+
+    #[test]
+    fn checksum_flip_stops_the_scan_without_panicking() {
+        let mut bytes = Vec::new();
+        for r in sample() {
+            bytes.extend_from_slice(&r.encode());
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            let s = scan(&bad); // must not panic; prefix only
+            assert!(s.records.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn edits_convert_with_label_names_interned_on_replay() {
+        let cat = Catalog::from_names(["a"]);
+        let edit = Edit::Relabel {
+            node: NodeId(1),
+            label: cat.intern("fresh"),
+        };
+        let rec = JournalRecord::from_edit(7, 2, 3, &edit, &cat);
+        assert_eq!(
+            rec.op,
+            JournalOp::Relabel {
+                node: 1,
+                label: "fresh".to_string()
+            }
+        );
+        // replay against a catalog that has never seen "fresh"
+        let cat2 = Catalog::from_names(["a"]);
+        let back = rec.to_edit(&cat2);
+        assert_eq!(
+            back,
+            Edit::Relabel {
+                node: NodeId(1),
+                label: Label(1)
+            }
+        );
+        assert_eq!(cat2.lookup("fresh"), Some(Label(1)));
+    }
+}

@@ -1,0 +1,237 @@
+//! Little-endian byte codec shared by the snapshot and journal formats.
+//!
+//! Every multi-byte integer on disk is little-endian; every variable-size
+//! field is length-prefixed. Sections are guarded by 64-bit FNV-1a
+//! checksums computed over the *payload* bytes only, so a reader can
+//! reject a corrupt section without trusting anything inside it.
+
+/// 64-bit FNV-1a over a byte slice — the same hash the VM uses for plan
+/// fingerprints, chosen because it is dependency-free, fast, and good
+/// enough to catch torn writes and bit flips (we are not defending
+/// against adversarial collisions).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Append-only encoder: `put_*` push little-endian bytes onto a growing
+/// buffer.
+#[derive(Debug, Default)]
+pub struct Enc(pub Vec<u8>);
+
+impl Enc {
+    /// A fresh empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `u64` word array.
+    pub fn words(&mut self, ws: &[u64]) {
+        self.u32(ws.len() as u32);
+        for &w in ws {
+            self.u64(w);
+        }
+    }
+}
+
+/// A decode failure: the buffer ended early or held an impossible value.
+/// Carries the byte offset for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Offset at which decoding failed.
+    pub at: usize,
+    /// What the decoder was trying to read.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "truncated or invalid {} at byte {}", self.what, self.at)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Bounds-checked reader over a byte slice.
+#[derive(Clone, Copy, Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError { at: self.pos, what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let at = self.pos;
+        let n = self.u32()? as usize;
+        let b = self.take(n, "string body")?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError {
+            at,
+            what: "utf-8 string",
+        })
+    }
+
+    /// Reads a length-prefixed `u64` word array.
+    pub fn words(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.u32()? as usize;
+        // Guard the allocation against a corrupt length before reading.
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(WireError {
+                at: self.pos,
+                what: "word array",
+            });
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+}
+
+/// Packs `n` indices of `width` bits each (LSB-first) into `u64` words.
+/// `width == 0` (palette of ≤1 label) packs to nothing.
+pub fn pack_indices(indices: impl Iterator<Item = usize>, n: usize, width: usize) -> Vec<u64> {
+    if width == 0 {
+        return Vec::new();
+    }
+    let mut words = vec![0u64; (n * width).div_ceil(64)];
+    for (i, idx) in indices.enumerate() {
+        let bit = i * width;
+        let (w, off) = (bit / 64, bit % 64);
+        words[w] |= (idx as u64) << off;
+        if off + width > 64 {
+            words[w + 1] |= (idx as u64) >> (64 - off);
+        }
+    }
+    words
+}
+
+/// Reads index `i` of `width` bits back out of `words`.
+pub fn unpack_index(words: &[u64], i: usize, width: usize) -> usize {
+    if width == 0 {
+        return 0;
+    }
+    let bit = i * width;
+    let (w, off) = (bit / 64, bit % 64);
+    let mut v = words[w] >> off;
+    if off + width > 64 {
+        v |= words[w + 1] << (64 - off);
+    }
+    (v & ((1u64 << width) - 1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enc_dec_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xdead_beef);
+        e.u64(u64::MAX - 3);
+        e.str("héllo");
+        e.words(&[1, 2, 3]);
+        let mut d = Dec::new(&e.0);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.str().unwrap(), "héllo");
+        assert_eq!(d.words().unwrap(), vec![1, 2, 3]);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let mut e = Enc::new();
+        e.str("abcdef");
+        let mut d = Dec::new(&e.0[..6]);
+        assert!(d.str().is_err());
+        // corrupt word-array length does not trigger a huge allocation
+        let mut e2 = Enc::new();
+        e2.u32(u32::MAX);
+        assert!(Dec::new(&e2.0).words().is_err());
+    }
+
+    #[test]
+    fn fnv_differs_on_a_bit_flip() {
+        let a = b"the quick brown fox".to_vec();
+        let mut b = a.clone();
+        b[3] ^= 0x40;
+        assert_ne!(fnv1a(&a), fnv1a(&b));
+        assert_eq!(fnv1a(&a), fnv1a(&a));
+    }
+
+    #[test]
+    fn index_packing_round_trips_across_word_boundaries() {
+        for width in [1usize, 2, 3, 5, 8, 13] {
+            let n = 100;
+            let vals: Vec<usize> = (0..n).map(|i| (i * 7) % (1 << width)).collect();
+            let words = pack_indices(vals.iter().copied(), n, width);
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(unpack_index(&words, i, width), v, "width {width} idx {i}");
+            }
+        }
+        assert!(pack_indices(std::iter::repeat_n(0, 9), 9, 0).is_empty());
+    }
+}

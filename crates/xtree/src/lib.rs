@@ -23,6 +23,8 @@
 //! * traversal iterators covering all XPath axes ([`traverse`]);
 //! * the first-child/next-sibling binary encoding ([`fcns`]) used by
 //!   bottom-up tree automata;
+//! * the balanced-parentheses structure codec ([`bp`]): two bits of tree
+//!   shape per node, the compact layout of the `twx-store` snapshots;
 //! * random tree generators for six workload families and an exhaustive
 //!   enumerator of all trees of a given size ([`generate`]), driven by the
 //!   dependency-free deterministic PRNG in [`rng`];
@@ -30,6 +32,7 @@
 //!   every evaluator in the workspace ([`nodeset`]).
 
 pub mod alphabet;
+pub mod bp;
 pub mod builder;
 pub mod catalog;
 pub mod cursor;
@@ -46,6 +49,7 @@ pub mod traverse;
 pub mod tree;
 
 pub use alphabet::{Alphabet, Label};
+pub use bp::{BpError, StructureBits};
 pub use builder::TreeBuilder;
 pub use catalog::Catalog;
 pub use cursor::Cursor;

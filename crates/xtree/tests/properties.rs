@@ -156,3 +156,43 @@ fn fcns_roundtrip_on_random_documents() {
         );
     }
 }
+
+/// Balanced-parentheses round-trip: `structure_bits` + the label column
+/// reconstruct the exact tree, across all generator shapes and pinned
+/// word-boundary sizes (1-node and 63/64/65 nodes → 126/128/130 bits,
+/// straddling the 64-bit word edges of the structure bitvector).
+#[test]
+fn bp_roundtrip_on_random_documents() {
+    use twx_xtree::Tree;
+    const SHAPES: [Shape; 5] = [
+        Shape::Recursive,
+        Shape::Deep(2),
+        Shape::Bounded(3),
+        Shape::Wide,
+        Shape::DocumentLike,
+    ];
+    const PINNED: [usize; 4] = [1, 63, 64, 65];
+    let catalog = Catalog::from_names(["a", "b", "c"]);
+    let mut rng = SplitMix64::seed_from_u64(0xb9_2b175);
+    for i in 0..CASES {
+        // The first pass through each shape pins the word-boundary sizes.
+        let n = if i < SHAPES.len() * PINNED.len() {
+            PINNED[i / SHAPES.len()]
+        } else {
+            rng.gen_range(1..60usize)
+        };
+        let shape = SHAPES[i % SHAPES.len()];
+        let doc = random_document_in(shape, n, &catalog, &mut rng);
+        let bits = doc.tree.structure_bits();
+        assert_eq!(bits.len(), 2 * doc.tree.len(), "2 bits of shape per node");
+        assert_eq!(bits.count_ones(), doc.tree.len(), "one open paren per node");
+        let labels = doc.tree.label_column();
+        let back = Tree::from_structure_bits(&bits, &labels).expect("encoder output must decode");
+        assert_eq!(
+            back,
+            doc.tree,
+            "bp round-trip failed on a {shape:?} document of {} nodes",
+            doc.tree.len()
+        );
+    }
+}
