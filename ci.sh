@@ -21,25 +21,32 @@ cargo build --release --no-default-features
 say "docs (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+# the suite only ever grows: this many tests passed when the
+# frontier-parallel PR landed; a silent drop below the floor means tests
+# were lost, not fixed
+TEST_FLOOR=567
+
 say "test suite"
 test_log="$(mktemp -t twx_tests.XXXXXX.log)"
 cargo test -q --workspace 2>&1 | tee "$test_log"
 
 say "test-count floor"
-# the suite only ever grows: 547 tests passed when the durable-storage
-# PR landed; a silent drop below that means tests were lost, not fixed
-python3 - "$test_log" <<'EOF'
+python3 - "$test_log" "$TEST_FLOOR" <<'EOF'
 import re, sys
 text = open(sys.argv[1]).read()
+floor = int(sys.argv[2])
 passed = sum(int(m) for m in re.findall(r"(\d+) passed", text))
 assert "FAILED" not in text, "test suite reported failures"
-assert passed >= 547, f"test count regressed: {passed} < 547"
-print(f"test-count floor: {passed} tests passed (floor 547)")
+assert passed >= floor, f"test count regressed: {passed} < {floor}"
+print(f"test-count floor: {passed} tests passed (floor {floor})")
 EOF
 rm -f "$test_log"
 
-say "test suite (release)"
-cargo test -q --release --workspace
+say "test suite (release, 4 eval threads as the engine default)"
+# the whole suite again with frontier-parallel evaluation switched on by
+# default: every engine that does not pin parallelism explicitly now runs
+# the push/pull kernels, so any scheduling nondeterminism fails loudly
+TWX_EVAL_THREADS=4 cargo test -q --release --workspace
 
 say "conformance fuzz gate"
 cargo build --release -p twx-conform --bin twx-fuzz
@@ -54,8 +61,9 @@ assert doc["iterations"] == 300, doc["iterations"]
 assert doc["divergences"] == 0, doc
 assert doc["replayed"] > 0, "golden corpus was not replayed"
 assert doc["replay_divergences"] == 0, doc
-assert len(doc["routes"]) == 10, [r["route"] for r in doc["routes"]]
+assert len(doc["routes"]) == 11, [r["route"] for r in doc["routes"]]
 assert any(r["route"] == "vm" for r in doc["routes"]), doc["routes"]
+assert any(r["route"] == "parallel" for r in doc["routes"]), doc["routes"]
 print("twx-fuzz: 300 iterations +", doc["replayed"],
       "golden repros, 0 divergences across", len(doc["routes"]), "routes")
 EOF
@@ -81,6 +89,28 @@ print("vm fault self-test:", doc["divergences"], "divergences caught, repros",
       max(d["doc_nodes"] for d in doc["found"]), "doc nodes")
 EOF
 rm -f "$vm_fault_out"
+
+say "frontier fault self-test (frontier=drop-chunk must be caught and shrunk)"
+frontier_fault_out="$(mktemp -t twx_frontier_fault.XXXXXX.json)"
+if ./target/release/twx-fuzz --seed 42 --iters 300 \
+    --fault frontier=drop-chunk > "$frontier_fault_out"; then
+  echo "a parallel kernel dropping a chunk was NOT caught" >&2
+  exit 1
+fi
+python3 - "$frontier_fault_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["divergences"] > 0, "frontier fault injected but no divergence found"
+for d in doc["found"]:
+    assert d["routes"] == ["parallel"], d["routes"]
+    assert d["query_size"] <= 6, f"shrunk query still has {d['query_size']} AST nodes"
+    assert d["doc_nodes"] <= 8, f"shrunk document still has {d['doc_nodes']} nodes"
+print("frontier fault self-test:", doc["divergences"], "divergences caught,",
+      "only the parallel route blamed, repros shrunk to <=",
+      max(d["query_size"] for d in doc["found"]), "AST nodes /",
+      max(d["doc_nodes"] for d in doc["found"]), "doc nodes")
+EOF
+rm -f "$frontier_fault_out"
 
 say "mutation fuzz gate (live corpus + result cache)"
 mut_out="$(mktemp -t twx_mutate.XXXXXX.json)"
@@ -157,7 +187,7 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "twx-bench/1", doc.get("schema")
 assert doc["obs_enabled"] is True
-assert len(doc["experiments"]) == 13, len(doc["experiments"])
+assert len(doc["experiments"]) == 14, len(doc["experiments"])
 assert len(doc["quickstart_profiles"]) == 4
 for p in doc["quickstart_profiles"]:
     assert p["result_count"] == 2, p
@@ -197,6 +227,13 @@ assert len(e13["recovery"]) == 4, e13["recovery"]
 assert all(p["recover_ms"] > 0 for p in e13["recovery"]), e13["recovery"]
 assert e13["snapshot"]["write_nodes_per_s"] > 0, e13["snapshot"]
 assert e13["snapshot"]["load_nodes_per_s"] > 0, e13["snapshot"]
+e14 = doc["e14"]
+assert e14["host_threads"] >= 1, e14
+assert e14["pool"] >= 4, e14
+for q in e14["queries"]:
+    for key in ("us_1t", "us_2t", "us_4t", "us_8t"):
+        assert q[key] > 0, (key, q)
+assert e14["geomean_speedup_4t"] > 0, e14
 print("BENCH_HARNESS.json: schema ok,", len(doc["experiments"]), "experiments,",
       len(doc["quickstart_profiles"]), "profiles, plan cache", cache)
 print("e10:", len(e10["shards"]), "shard counts,",
@@ -209,7 +246,33 @@ print("e13: %.1fx compression (%.2f B/node on disk vs %d B arena), "
       "load %.1fM nodes/s"
       % (e13["compression_ratio"], e13["disk_bytes_per_node"],
          e13["arena_bytes_per_node"], e13["snapshot"]["load_nodes_per_s"] / 1e6))
+print("e14: %.1fx geomean at 4 threads on %d-node doc (host has %d thread(s))"
+      % (e14["geomean_speedup_4t"], e14["doc_size"], e14["host_threads"]))
 EOF
+
+say "E14 strong-scaling gate (>=2x at 4 threads on a 1M-node doc)"
+# strong scaling needs cores: the gate only binds on hosts with >= 4
+# hardware threads — elsewhere the quick-mode determinism checks above
+# already exercised the parallel kernels
+host_cores="$(nproc 2>/dev/null || echo 1)"
+if [ "$host_cores" -ge 4 ]; then
+  e14_out="$(mktemp -t twx_e14.XXXXXX.json)"
+  cargo run --release -p twx-bench --bin harness -- e14 --json "$e14_out" > /dev/null
+  python3 - "$e14_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+e14 = doc["e14"]
+assert e14["doc_size"] >= 1_000_000, e14["doc_size"]
+assert e14["geomean_speedup_4t"] >= 2, (
+    f"4-thread geomean speedup {e14['geomean_speedup_4t']:.2f}x below the 2x bar "
+    f"on a {e14['doc_size']}-node doc ({e14['host_threads']} host threads)")
+print("e14 gate: %.1fx geomean at 4 threads on %d-node doc"
+      % (e14["geomean_speedup_4t"], e14["doc_size"]))
+EOF
+  rm -f "$e14_out"
+else
+  echo "skipped: host has $host_cores core(s), gate needs >= 4"
+fi
 
 say "observability overhead gate (enabled vs disabled, <=1.05x)"
 probe_on="$(mktemp -t twx_probe_on.XXXXXX.json)"

@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use treewalk::{Backend, Engine};
 use twx_corpus::{Corpus, QueryService, ServiceConfig};
+use twx_frontier::FrontierFault;
 use twx_obs::{self as obs, Counter};
 use twx_regxpath::eval::Compiled;
 use twx_regxpath::eval_naive::eval_rel_naive;
@@ -28,7 +29,13 @@ pub struct Conformer {
     /// The persistent VM engine behind [`RouteId::Vm`]: plan-cache-hot,
     /// register arena warm — the production serving configuration.
     vm: Engine,
+    /// The persistent frontier-parallel engine behind
+    /// [`RouteId::Parallel`]: the VM backend at `parallelism = 2`.
+    par: Engine,
     fault: Option<Fault>,
+    /// Test-only corruption of the parallel kernels, armed only around
+    /// the [`RouteId::Parallel`] evaluations.
+    frontier_fault: Option<FrontierFault>,
     route_nanos: [u64; RouteId::ALL.len()],
 }
 
@@ -40,11 +47,24 @@ impl Conformer {
 
     /// A checker that corrupts one route's answers (see [`Fault`]).
     pub fn with_fault(catalog: Arc<Catalog>, fault: Option<Fault>) -> Conformer {
+        Conformer::with_faults(catalog, fault, None)
+    }
+
+    /// A checker with both fault hooks: post-hoc answer corruption
+    /// ([`Fault`]) and in-kernel chunk corruption ([`FrontierFault`],
+    /// applied only to the [`RouteId::Parallel`] route).
+    pub fn with_faults(
+        catalog: Arc<Catalog>,
+        fault: Option<Fault>,
+        frontier_fault: Option<FrontierFault>,
+    ) -> Conformer {
         Conformer {
             catalog,
             hot: BACKENDS.iter().map(|&b| Engine::with_backend(b)).collect(),
             vm: Engine::with_backend(Backend::Vm),
+            par: Engine::with_backend(Backend::Vm).with_parallelism(2),
             fault,
+            frontier_fault,
             route_nanos: [0; RouteId::ALL.len()],
         }
     }
@@ -103,6 +123,16 @@ impl Conformer {
                     // prime the plan cache, then answer from the hit
                     let _ = self.vm.prepare_in(&self.catalog, query);
                     self.engine_answer(&self.vm, query, doc)
+                }
+                RouteId::Parallel => {
+                    // prime the plan cache, then answer from the hit —
+                    // with the kernel fault (if any) armed only while
+                    // this route evaluates
+                    let _ = self.par.prepare_in(&self.catalog, query);
+                    twx_frontier::set_fault(self.frontier_fault);
+                    let answer = self.engine_answer(&self.par, query, doc);
+                    twx_frontier::set_fault(None);
+                    answer
                 }
                 RouteId::Service => self.service_answer(query, doc),
             }

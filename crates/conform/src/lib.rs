@@ -10,7 +10,9 @@
 //!   every route — the naive relational oracle, the raw (pipeline-off)
 //!   product evaluator, `Engine::query` on the product/automaton/logic
 //!   backends both plan-cache-cold and -hot, the bytecode VM in its
-//!   production (hot, arena-recycled) configuration, and a sharded
+//!   production (hot, arena-recycled) configuration, the
+//!   frontier-parallel VM (`parallelism = 2`, every evaluation through
+//!   the `twx-frontier` push/pull kernels), and a sharded
 //!   [`QueryService`] — and reports any disagreement as a typed
 //!   [`Divergence`] naming the odd routes and their answers.
 //! * [`shrink::minimize`] greedily minimises a failing pair over both the
@@ -56,6 +58,7 @@ pub use fuzz::{run_fuzz, FuzzConfig, FuzzReport};
 pub use mutate::{run_mutation_fuzz, CacheFault, MutationReport, ScriptOp};
 pub use shrink::{minimize, ShrinkOutcome};
 pub use twx_corpus::StoreFault;
+pub use twx_frontier::FrontierFault;
 
 use treewalk::Backend;
 
@@ -89,11 +92,17 @@ pub enum RouteId {
     /// the thread-local arena across checks. The route that must agree
     /// node-for-node before the VM can become a default backend.
     Vm,
+    /// The frontier-parallel evaluator: a persistent `Backend::Vm`
+    /// engine, plan-cache-hot, with `parallelism = 2` so every
+    /// evaluation takes the `twx-frontier` push/pull kernel paths. The
+    /// route that must agree node-for-node before parallel evaluation
+    /// can be switched on in production.
+    Parallel,
 }
 
 impl RouteId {
     /// Every route, in the order answers are collected and reported.
-    pub const ALL: [RouteId; 10] = [
+    pub const ALL: [RouteId; 11] = [
         RouteId::Naive,
         RouteId::RawProduct,
         RouteId::Cold(Backend::Product),
@@ -103,6 +112,7 @@ impl RouteId {
         RouteId::Hot(Backend::Automaton),
         RouteId::Hot(Backend::Logic),
         RouteId::Vm,
+        RouteId::Parallel,
         RouteId::Service,
     ];
 
@@ -122,6 +132,7 @@ impl RouteId {
             RouteId::Cold(Backend::Vm) => "cold:vm",
             RouteId::Hot(Backend::Vm) => "hot:vm",
             RouteId::Vm => "vm",
+            RouteId::Parallel => "parallel",
             RouteId::Service => "service",
         }
     }

@@ -32,7 +32,8 @@
 //!
 //! ```text
 //! twx-serve [--port P] [--shards N] [--workers N] [--queue N]
-//!           [--backend product|automaton|logic] [--timeout-ms MS]
+//!           [--backend product|automaton|logic|vm] [--eval-threads N]
+//!           [--timeout-ms MS]
 //!           [--slowlog N] [--synthetic DOCSxNODES [--seed S]]
 //!           [--store DIR [--fsync-every N]]
 //!           [FILE.xml|FILE.sexp ...]
@@ -74,6 +75,7 @@ struct Args {
     workers: usize,
     queue: usize,
     backend: Backend,
+    eval_threads: usize,
     timeout: Option<Duration>,
     slowlog: usize,
     synthetic: Option<(usize, usize)>,
@@ -86,7 +88,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: twx-serve [--port P] [--shards N] [--workers N] [--queue N] \
-         [--backend product|automaton|logic] [--timeout-ms MS] [--slowlog N] \
+         [--backend product|automaton|logic|vm] [--eval-threads N] \
+         [--timeout-ms MS] [--slowlog N] \
          [--synthetic DOCSxNODES [--seed S]] [--store DIR [--fsync-every N]] \
          [FILE.xml|FILE.sexp ...]"
     );
@@ -100,6 +103,7 @@ fn parse_args() -> Args {
         workers: 0, // 0 = auto below
         queue: 256,
         backend: Backend::Product,
+        eval_threads: 1,
         timeout: None,
         slowlog: 16,
         synthetic: None,
@@ -116,11 +120,18 @@ fn parse_args() -> Args {
             "--shards" => args.shards = val("--shards").parse().unwrap_or_else(|_| usage()),
             "--workers" => args.workers = val("--workers").parse().unwrap_or_else(|_| usage()),
             "--queue" => args.queue = val("--queue").parse().unwrap_or_else(|_| usage()),
+            "--eval-threads" => {
+                args.eval_threads = val("--eval-threads").parse().unwrap_or_else(|_| usage());
+                if args.eval_threads == 0 {
+                    usage();
+                }
+            }
             "--backend" => {
                 args.backend = match val("--backend").as_str() {
                     "product" => Backend::Product,
                     "automaton" => Backend::Automaton,
                     "logic" => Backend::Logic,
+                    "vm" => Backend::Vm,
                     _ => usage(),
                 }
             }
@@ -393,6 +404,7 @@ fn stats_line(server: &Server) -> String {
         .field("queued", s.queued)
         .field("queue_capacity", s.queue_capacity)
         .field("workers", s.workers)
+        .field("eval_threads", s.eval_threads)
         .field("plan_cache_hits", cache.hits)
         .field("plan_cache_misses", cache.misses)
         .field("updates", s.updates)
@@ -550,7 +562,7 @@ fn main() -> ExitCode {
     };
     let service = QueryService::new(
         Arc::clone(&corpus),
-        Engine::with_backend(args.backend),
+        Engine::with_backend(args.backend).with_parallelism(args.eval_threads),
         ServiceConfig {
             workers: args.workers,
             queue_capacity: args.queue,

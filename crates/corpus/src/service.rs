@@ -191,6 +191,10 @@ pub struct ServiceStats {
     pub queue_capacity: usize,
     /// Worker threads serving the queue.
     pub workers: usize,
+    /// Per-evaluation worker-thread bound of the engine
+    /// ([`treewalk::Engine::parallelism`]) — intra-query parallelism,
+    /// multiplying on top of the worker pool.
+    pub eval_threads: usize,
 }
 
 #[derive(Default)]
@@ -636,6 +640,7 @@ impl QueryService {
             queued: self.queue.len(),
             queue_capacity: self.queue.capacity(),
             workers: self.workers.len(),
+            eval_threads: self.engine.parallelism(),
         }
     }
 

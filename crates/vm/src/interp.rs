@@ -69,19 +69,56 @@ impl Stats {
     }
 }
 
+/// Evaluation options: how many scoped worker threads one evaluation
+/// may use. `threads == 1` (the default) takes the original sequential
+/// code path instruction for instruction; above 1 the `AxisImage`,
+/// `Star` and `FilterJoin` instructions dispatch to the `twx-frontier`
+/// parallel kernels, which still collapse to inline execution below
+/// their work grains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalOpts {
+    /// Upper bound on scoped worker threads per evaluation.
+    pub threads: usize,
+}
+
+impl Default for EvalOpts {
+    fn default() -> Self {
+        EvalOpts { threads: 1 }
+    }
+}
+
+impl EvalOpts {
+    /// Options for an explicit thread count (0 is clamped to 1).
+    pub fn with_threads(threads: usize) -> EvalOpts {
+        EvalOpts {
+            threads: threads.max(1),
+        }
+    }
+}
+
 /// Runs a path program: the image of `ctx` under the compiled expression.
 pub fn eval_image(t: &Tree, prog: &Program, ctx: &NodeSet) -> NodeSet {
+    eval_image_opts(t, prog, ctx, EvalOpts::default())
+}
+
+/// [`eval_image`] with explicit [`EvalOpts`].
+pub fn eval_image_opts(t: &Tree, prog: &Program, ctx: &NodeSet, opts: EvalOpts) -> NodeSet {
     assert_eq!(ctx.universe(), t.len(), "context set universe mismatch");
     let mut stats = Stats::default();
-    let out = ARENA.with(|a| run(prog, t, Some(ctx), &mut a.borrow_mut(), &mut stats));
+    let out = ARENA.with(|a| run(prog, t, Some(ctx), &mut a.borrow_mut(), &mut stats, opts));
     stats.flush();
     out
 }
 
 /// Runs a node-expression program: the set of nodes where `φ` holds.
 pub fn eval_node_set(t: &Tree, prog: &Program) -> NodeSet {
+    eval_node_set_opts(t, prog, EvalOpts::default())
+}
+
+/// [`eval_node_set`] with explicit [`EvalOpts`].
+pub fn eval_node_set_opts(t: &Tree, prog: &Program, opts: EvalOpts) -> NodeSet {
     let mut stats = Stats::default();
-    let out = ARENA.with(|a| run(prog, t, None, &mut a.borrow_mut(), &mut stats));
+    let out = ARENA.with(|a| run(prog, t, None, &mut a.borrow_mut(), &mut stats, opts));
     stats.flush();
     out
 }
@@ -92,14 +129,16 @@ fn run(
     ctx: Option<&NodeSet>,
     arena: &mut Arena,
     stats: &mut Stats,
+    opts: EvalOpts,
 ) -> NodeSet {
     let mut regs = arena.file(prog.n_regs as usize, t.len(), stats);
-    exec_block(prog, 0, t, ctx, &mut regs, arena, stats);
+    exec_block(prog, 0, t, ctx, &mut regs, arena, stats, opts);
     let out = std::mem::replace(&mut regs[prog.out as usize], NodeSet::empty(0));
     arena.put_back(regs);
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_block(
     prog: &Program,
     block: usize,
@@ -108,6 +147,7 @@ fn exec_block(
     regs: &mut [NodeSet],
     arena: &mut Arena,
     stats: &mut Stats,
+    opts: EvalOpts,
 ) {
     let n = t.len();
     for instr in &prog.blocks[block] {
@@ -151,11 +191,19 @@ fn exec_block(
             Instr::Complement { dst } => regs[dst as usize].complement(),
             Instr::AxisImage { dst, src, axis } => {
                 let (d, s) = pair_mut(regs, dst, src);
-                axis_image(t, axis, s, d);
+                if opts.threads > 1 {
+                    twx_frontier::axis_image_into(t, step_of(axis), s, d, opts.threads);
+                } else {
+                    axis_image(t, axis, s, d);
+                }
             }
             Instr::FilterJoin { dst, test } => {
                 let (d, s) = pair_mut(regs, dst, test);
-                d.intersect_with(s);
+                if opts.threads > 1 {
+                    twx_frontier::par_intersect(d, s, opts.threads);
+                } else {
+                    d.intersect_with(s);
+                }
             }
             Instr::Star {
                 dst,
@@ -164,6 +212,33 @@ fn exec_block(
                 step,
                 body,
             } => {
+                // Single-axis closures (`a*` bodies compile to exactly
+                // one AxisImage) dispatch to the frontier fixpoint
+                // kernel when parallel: a hybrid sparse/dense frontier
+                // carried across iterations instead of dense passes.
+                // Counter accounting matches the generic loop: one
+                // closure iteration and one body instruction per pass.
+                if opts.threads > 1 {
+                    if let [Instr::AxisImage {
+                        dst: bd,
+                        src: bs,
+                        axis,
+                    }] = prog.blocks[body as usize][..]
+                    {
+                        if bd == step && bs == frontier {
+                            let (out, iters) = twx_frontier::star(
+                                t,
+                                step_of(axis),
+                                &regs[src as usize],
+                                opts.threads,
+                            );
+                            regs[dst as usize] = out;
+                            stats.closure_iters += iters;
+                            stats.instrs += iters;
+                            continue;
+                        }
+                    }
+                }
                 {
                     let (d, s) = pair_mut(regs, dst, src);
                     d.copy_from(s);
@@ -174,7 +249,7 @@ fn exec_block(
                 }
                 while !regs[frontier as usize].is_empty() {
                     stats.closure_iters += 1;
-                    exec_block(prog, body as usize, t, ctx, regs, arena, stats);
+                    exec_block(prog, body as usize, t, ctx, regs, arena, stats, opts);
                     // fold the newly reached nodes into the accumulator;
                     // the difference doubles as the fixpoint test
                     {
@@ -198,7 +273,7 @@ fn exec_block(
                 for v in t.nodes() {
                     obs::incr(Counter::SubtreeExtractions);
                     let subtree = t.subtree(v);
-                    let set = run(nested, &subtree, None, arena, stats);
+                    let set = run(nested, &subtree, None, arena, stats, opts);
                     if set.contains(subtree.root()) {
                         d.insert(v);
                     }
@@ -206,6 +281,17 @@ fn exec_block(
                 }
             }
         }
+    }
+}
+
+/// Maps a query axis onto the tree-substrate step the frontier kernels
+/// speak (`twx-xtree` cannot depend on the query AST).
+fn step_of(axis: Axis) -> twx_frontier::Step {
+    match axis {
+        Axis::Down => twx_frontier::Step::Down,
+        Axis::Up => twx_frontier::Step::Up,
+        Axis::Left => twx_frontier::Step::Left,
+        Axis::Right => twx_frontier::Step::Right,
     }
 }
 
@@ -310,6 +396,32 @@ mod tests {
             let f = parse_rnode(q, &mut ab).unwrap();
             let prog = compile_node(&f);
             assert_eq!(eval_node_set(t, &prog), eval_node(t, &f), "node expr {q}");
+        }
+    }
+
+    #[test]
+    fn parallel_eval_matches_sequential() {
+        let doc = parse_sexp("(a (b d e (a b)) (c f (b (c d) e)))").unwrap();
+        let t = &doc.tree;
+        let mut ab = doc.alphabet.clone();
+        for q in [
+            "down*",
+            "(up | down)*",
+            "down*[b]/right*",
+            "(down[b] | down/down)*",
+        ] {
+            let prog = compile_path(&parse_rpath(q, &mut ab).unwrap());
+            for v in t.nodes() {
+                let ctx = NodeSet::singleton(t.len(), v);
+                let seq = eval_image(t, &prog, &ctx);
+                for threads in [2, 4, 8] {
+                    assert_eq!(
+                        eval_image_opts(t, &prog, &ctx, EvalOpts::with_threads(threads)),
+                        seq,
+                        "query {q} from {v:?} at {threads} threads"
+                    );
+                }
+            }
         }
     }
 

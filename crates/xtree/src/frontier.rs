@@ -1,0 +1,684 @@
+//! Hybrid sparse/dense frontiers over preorder node ids.
+//!
+//! The paper reduces Regular XPath(W) evaluation to iterated images of
+//! the four step relations, and a Kleene-star closure is exactly a
+//! breadth-first frontier fixpoint over those images. Following the
+//! Ligra push/pull pattern, a [`Frontier`] holds an intermediate node
+//! set either as a **sparse** sorted id vector (cheap to iterate when
+//! few nodes are live) or as a **dense** word bitmap (cheap set algebra
+//! when many are), switching automatically by cardinality with
+//! hysteresis so a frontier oscillating around the threshold does not
+//! thrash between representations.
+//!
+//! This module also provides the *sequential, single-chunk* push and
+//! pull image primitives over an explicit id range. The parallel
+//! drivers that split the preorder id space into chunks and run these
+//! primitives under `std::thread::scope` live in the `twx-frontier`
+//! crate; keeping the per-chunk kernels here means the property tests
+//! in `tests/frontier.rs` can pin their semantics against [`BitMatrix`]
+//! reference relations without any threading in the loop.
+//!
+//! [`BitMatrix`]: crate::nodeset::BitMatrix
+
+use crate::nodeset::NodeSet;
+use crate::tree::{NodeId, Tree};
+use std::ops::Range;
+
+/// One primitive step relation of the tree. Mirrors the four axes of
+/// Regular XPath (`twx_regxpath::ast::Axis`), but lives here so the
+/// zero-dependency tree substrate can name them: `Down` = child,
+/// `Up` = parent, `Left` = previous sibling, `Right` = next sibling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// To children.
+    Down,
+    /// To the parent.
+    Up,
+    /// To the previous sibling.
+    Left,
+    /// To the next sibling.
+    Right,
+}
+
+impl Step {
+    /// All four steps, in canonical order.
+    pub const ALL: [Step; 4] = [Step::Down, Step::Up, Step::Left, Step::Right];
+
+    /// The converse relation: `u -step→ v` iff `v -inverse→ u`.
+    pub fn inverse(self) -> Step {
+        match self {
+            Step::Down => Step::Up,
+            Step::Up => Step::Down,
+            Step::Left => Step::Right,
+            Step::Right => Step::Left,
+        }
+    }
+
+    /// Stable lower-case name (diagnostics and bench labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Step::Down => "down",
+            Step::Up => "up",
+            Step::Left => "left",
+            Step::Right => "right",
+        }
+    }
+}
+
+/// Cardinality above which a sparse frontier is promoted to dense.
+#[inline]
+pub fn dense_threshold(universe: usize) -> usize {
+    universe / 16
+}
+
+/// Cardinality below which a dense frontier is demoted to sparse. Kept
+/// strictly under [`dense_threshold`] so the two switches have a
+/// hysteresis band: a frontier whose size wanders inside
+/// `[universe/32, universe/16]` keeps whatever representation it has.
+#[inline]
+pub fn sparse_threshold(universe: usize) -> usize {
+    universe / 32
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Repr {
+    /// Sorted, deduplicated ids.
+    Sparse(Vec<NodeId>),
+    Dense(NodeSet),
+}
+
+/// A hybrid sparse/dense node set over a fixed universe.
+///
+/// Semantically identical to a [`NodeSet`] (the property suite checks
+/// every operation against one); representationally it is either a
+/// sorted id vector or a bitmap, chosen by cardinality.
+#[derive(Clone, Debug)]
+pub struct Frontier {
+    universe: usize,
+    repr: Repr,
+}
+
+impl PartialEq for Frontier {
+    /// Representation-independent set equality.
+    fn eq(&self, other: &Frontier) -> bool {
+        self.universe == other.universe && self.to_nodeset() == other.to_nodeset()
+    }
+}
+impl Eq for Frontier {}
+
+impl Frontier {
+    /// The empty frontier (always sparse).
+    pub fn empty(universe: usize) -> Frontier {
+        Frontier {
+            universe,
+            repr: Repr::Sparse(Vec::new()),
+        }
+    }
+
+    /// A one-node frontier.
+    pub fn singleton(universe: usize, v: NodeId) -> Frontier {
+        Frontier {
+            universe,
+            repr: Repr::Sparse(vec![v]),
+        }
+    }
+
+    /// Builds from a dense set, choosing the representation by
+    /// cardinality (dense iff strictly above [`dense_threshold`]).
+    pub fn from_nodeset(s: &NodeSet) -> Frontier {
+        let universe = s.universe();
+        if s.count_ones() > dense_threshold(universe) {
+            Frontier {
+                universe,
+                repr: Repr::Dense(s.clone()),
+            }
+        } else {
+            Frontier {
+                universe,
+                repr: Repr::Sparse(s.iter().collect()),
+            }
+        }
+    }
+
+    /// Builds from a dense set, but applies the hysteresis rule against
+    /// the representation of a *previous* frontier: inside the band
+    /// between the two thresholds, the old representation is kept. This
+    /// is what the star fixpoint uses between iterations.
+    pub fn from_nodeset_with_hysteresis(s: &NodeSet, prev_dense: bool) -> Frontier {
+        let universe = s.universe();
+        let card = s.count_ones();
+        let dense = if card > dense_threshold(universe) {
+            true
+        } else if card < sparse_threshold(universe) {
+            false
+        } else {
+            prev_dense
+        };
+        if dense {
+            Frontier {
+                universe,
+                repr: Repr::Dense(s.clone()),
+            }
+        } else {
+            Frontier {
+                universe,
+                repr: Repr::Sparse(s.iter().collect()),
+            }
+        }
+    }
+
+    /// Builds from a sorted, deduplicated id vector.
+    pub fn from_sorted_ids(universe: usize, ids: Vec<NodeId>) -> Frontier {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids sorted + dedup");
+        debug_assert!(ids.iter().all(|v| v.index() < universe));
+        let mut f = Frontier {
+            universe,
+            repr: Repr::Sparse(ids),
+        };
+        f.normalize();
+        f
+    }
+
+    /// Converts to a plain dense set.
+    pub fn to_nodeset(&self) -> NodeSet {
+        match &self.repr {
+            Repr::Sparse(ids) => NodeSet::from_iter(self.universe, ids.iter().copied()),
+            Repr::Dense(s) => s.clone(),
+        }
+    }
+
+    /// The universe size.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of nodes in the frontier.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.len(),
+            Repr::Dense(s) => s.count_ones(),
+        }
+    }
+
+    /// Whether the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.is_empty(),
+            Repr::Dense(s) => s.is_empty(),
+        }
+    }
+
+    /// Whether the current representation is the dense bitmap.
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+
+    /// Membership test: binary search when sparse, bit probe when dense.
+    pub fn contains(&self, v: NodeId) -> bool {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.binary_search(&v).is_ok(),
+            Repr::Dense(s) => s.contains(v),
+        }
+    }
+
+    /// The sparse ids, when sparse (the parallel push driver chunks
+    /// this slice by node count).
+    pub fn sparse_ids(&self) -> Option<&[NodeId]> {
+        match &self.repr {
+            Repr::Sparse(ids) => Some(ids),
+            Repr::Dense(_) => None,
+        }
+    }
+
+    /// The dense bitmap, when dense.
+    pub fn dense_set(&self) -> Option<&NodeSet> {
+        match &self.repr {
+            Repr::Dense(s) => Some(s),
+            Repr::Sparse(_) => None,
+        }
+    }
+
+    /// Inserts a node; returns whether it was new. May switch the
+    /// representation (hysteresis rule).
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        debug_assert!(v.index() < self.universe);
+        let fresh = match &mut self.repr {
+            Repr::Sparse(ids) => match ids.binary_search(&v) {
+                Ok(_) => false,
+                Err(i) => {
+                    ids.insert(i, v);
+                    true
+                }
+            },
+            Repr::Dense(s) => s.insert(v),
+        };
+        self.normalize();
+        fresh
+    }
+
+    /// Removes a node; returns whether it was present.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let had = match &mut self.repr {
+            Repr::Sparse(ids) => match ids.binary_search(&v) {
+                Ok(i) => {
+                    ids.remove(i);
+                    true
+                }
+                Err(_) => false,
+            },
+            Repr::Dense(s) => s.remove(v),
+        };
+        self.normalize();
+        had
+    }
+
+    /// `self ∪= other`.
+    pub fn union_with(&mut self, other: &Frontier) {
+        assert_eq!(self.universe, other.universe);
+        match (&mut self.repr, &other.repr) {
+            (Repr::Sparse(a), Repr::Sparse(b)) => {
+                *a = merge_sorted(a, b);
+            }
+            (Repr::Dense(a), Repr::Dense(b)) => a.union_with(b),
+            (Repr::Dense(a), Repr::Sparse(b)) => {
+                for &v in b {
+                    a.insert(v);
+                }
+            }
+            (Repr::Sparse(_), Repr::Dense(b)) => {
+                let mut d = b.clone();
+                if let Repr::Sparse(a) = &self.repr {
+                    for &v in a {
+                        d.insert(v);
+                    }
+                }
+                self.repr = Repr::Dense(d);
+            }
+        }
+        self.normalize();
+    }
+
+    /// `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &Frontier) {
+        assert_eq!(self.universe, other.universe);
+        match (&mut self.repr, &other.repr) {
+            (Repr::Sparse(a), _) => a.retain(|&v| other.contains(v)),
+            (Repr::Dense(a), Repr::Dense(b)) => a.intersect_with(b),
+            (Repr::Dense(a), Repr::Sparse(b)) => {
+                let kept: Vec<NodeId> = b.iter().copied().filter(|&v| a.contains(v)).collect();
+                self.repr = Repr::Sparse(kept);
+            }
+        }
+        self.normalize();
+    }
+
+    /// `self \= other`.
+    pub fn difference_with(&mut self, other: &Frontier) {
+        assert_eq!(self.universe, other.universe);
+        match (&mut self.repr, &other.repr) {
+            (Repr::Sparse(a), _) => a.retain(|&v| !other.contains(v)),
+            (Repr::Dense(a), Repr::Dense(b)) => a.difference_with(b),
+            (Repr::Dense(a), Repr::Sparse(b)) => {
+                for &v in b {
+                    a.remove(v);
+                }
+            }
+        }
+        self.normalize();
+    }
+
+    /// Complements within the universe.
+    pub fn complement(&mut self) {
+        let mut s = self.to_nodeset();
+        s.complement();
+        *self = Frontier::from_nodeset_with_hysteresis(&s, self.is_dense());
+    }
+
+    /// Sorted id vector of the contents (tests and diagnostics).
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.clone(),
+            Repr::Dense(s) => s.to_vec(),
+        }
+    }
+
+    /// Calls `f` for every member in increasing id order.
+    pub fn for_each(&self, mut f: impl FnMut(NodeId)) {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.iter().copied().for_each(&mut f),
+            Repr::Dense(s) => s.iter().for_each(&mut f),
+        }
+    }
+
+    /// Applies the hysteresis switching rule to the *current*
+    /// representation; returns whether a switch happened.
+    pub fn normalize(&mut self) -> bool {
+        let card = self.len();
+        match &self.repr {
+            Repr::Sparse(_) if card > dense_threshold(self.universe) => {
+                self.repr = Repr::Dense(self.to_nodeset());
+                true
+            }
+            Repr::Dense(s) if card < sparse_threshold(self.universe) => {
+                self.repr = Repr::Sparse(s.iter().collect());
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+fn merge_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Per-chunk image primitives (sequential; the parallel drivers live in
+// `twx-frontier`).
+// ---------------------------------------------------------------------
+
+/// **Push** direction, sparse source: for every `v` in `ids`, inserts
+/// every `u` with `v -step→ u` into `out`. `out` must already range
+/// over the tree's universe; it is *not* cleared (workers accumulate).
+pub fn push_image_ids(t: &Tree, step: Step, ids: &[NodeId], out: &mut NodeSet) {
+    for &v in ids {
+        push_one(t, step, v, out);
+    }
+}
+
+/// **Push** direction, dense source restricted to an id range: pushes
+/// from every member of `src` with id in `ids` (the range lets the
+/// parallel driver hand each worker a slice of the bitmap).
+pub fn push_image_set_range(
+    t: &Tree,
+    step: Step,
+    src: &NodeSet,
+    ids: Range<usize>,
+    out: &mut NodeSet,
+) {
+    let words = src.as_words();
+    let (w0, w1) = (ids.start / 64, ids.end.div_ceil(64));
+    let end = w1.min(words.len());
+    for (wi, &word) in words.iter().enumerate().take(end).skip(w0) {
+        let mut w = word;
+        // mask off ids outside the range in the boundary words
+        if wi == ids.start / 64 {
+            let lo = ids.start % 64;
+            w &= !0u64 << lo;
+        }
+        if (wi + 1) * 64 > ids.end {
+            let hi = ids.end - wi * 64;
+            if hi < 64 {
+                w &= (1u64 << hi) - 1;
+            }
+        }
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            push_one(t, step, NodeId((wi * 64 + bit) as u32), out);
+            w &= w - 1;
+        }
+    }
+}
+
+#[inline]
+fn push_one(t: &Tree, step: Step, v: NodeId, out: &mut NodeSet) {
+    match step {
+        Step::Down => {
+            let mut c = t.first_child(v);
+            while let Some(u) = c {
+                out.insert(u);
+                c = t.next_sibling(u);
+            }
+        }
+        Step::Up => {
+            if let Some(p) = t.parent(v) {
+                out.insert(p);
+            }
+        }
+        Step::Left => {
+            if let Some(p) = t.prev_sibling(v) {
+                out.insert(p);
+            }
+        }
+        Step::Right => {
+            if let Some(s) = t.next_sibling(v) {
+                out.insert(s);
+            }
+        }
+    }
+}
+
+/// **Pull** direction over a word-aligned id range: for every candidate
+/// `u` in `ids`, sets `u`'s bit in `words` iff some predecessor of `u`
+/// under `step` satisfies `in_src`. `words` is the destination
+/// sub-slice covering exactly `ids` (so `words[0]` holds id
+/// `ids.start`, which must be word-aligned); parallel workers therefore
+/// write disjoint words.
+///
+/// The pull formulation of each step image: `u` is in the image of
+/// `src` under `Down` iff `parent(u) ∈ src`; under `Up` iff some child
+/// of `u` is in `src` (early-exits on the first hit); under `Left` iff
+/// `next_sibling(u) ∈ src`; under `Right` iff `prev_sibling(u) ∈ src`.
+pub fn pull_image_words<F: Fn(NodeId) -> bool>(
+    t: &Tree,
+    step: Step,
+    in_src: F,
+    ids: Range<usize>,
+    words: &mut [u64],
+) {
+    debug_assert_eq!(ids.start % 64, 0, "pull chunk must be word-aligned");
+    debug_assert!(words.len() >= (ids.end - ids.start).div_ceil(64));
+    for u in ids.clone() {
+        let u = NodeId(u as u32);
+        let hit = match step {
+            Step::Down => t.parent(u).is_some_and(&in_src),
+            Step::Up => {
+                let mut c = t.first_child(u);
+                let mut any = false;
+                while let Some(v) = c {
+                    if in_src(v) {
+                        any = true;
+                        break;
+                    }
+                    c = t.next_sibling(v);
+                }
+                any
+            }
+            Step::Left => t.next_sibling(u).is_some_and(&in_src),
+            Step::Right => t.prev_sibling(u).is_some_and(&in_src),
+        };
+        if hit {
+            let off = u.index() - ids.start;
+            words[off / 64] |= 1u64 << (off % 64);
+        }
+    }
+}
+
+/// Sequential pull image over an id range into a full-universe set
+/// (reference form used by the property tests; the parallel driver uses
+/// [`pull_image_words`] on disjoint sub-slices instead).
+pub fn pull_image_range(
+    t: &Tree,
+    step: Step,
+    src: &Frontier,
+    ids: Range<usize>,
+    out: &mut NodeSet,
+) {
+    assert_eq!(out.universe(), t.len());
+    let aligned = Range {
+        start: ids.start,
+        end: ids.end,
+    };
+    assert_eq!(aligned.start % 64, 0, "pull chunk must be word-aligned");
+    let w0 = aligned.start / 64;
+    let w1 = aligned.end.div_ceil(64);
+    let words = &mut out.words_mut()[w0..w1];
+    pull_image_words(t, step, |v| src.contains(v), aligned, words);
+}
+
+/// Sequential whole-universe reference image (push over everything).
+pub fn axis_image_seq(t: &Tree, step: Step, src: &Frontier) -> NodeSet {
+    let mut out = NodeSet::empty(t.len());
+    match src.sparse_ids() {
+        Some(ids) => push_image_ids(t, step, ids, &mut out),
+        None => {
+            let s = src.dense_set().expect("dense when not sparse");
+            push_image_set_range(t, step, s, 0..t.len(), &mut out);
+        }
+    }
+    out
+}
+
+/// Splits `0..universe` into at most `chunks` word-aligned id ranges of
+/// near-equal length (the pull driver's partition: work is split by
+/// node count, so every range covers `⌈universe/chunks⌉` ids rounded up
+/// to a word boundary).
+pub fn word_chunks(universe: usize, chunks: usize) -> Vec<Range<usize>> {
+    if universe == 0 || chunks <= 1 {
+        return std::iter::once(0..universe).collect();
+    }
+    let per = universe.div_ceil(chunks).div_ceil(64) * 64;
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < universe {
+        let end = (start + per).min(universe);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Splits a dense source into at most `chunks` id ranges carrying a
+/// near-equal number of *set bits* (the push driver's partition for
+/// dense frontiers: work is split by frontier node count, not by id
+/// span). Ranges are word-aligned and cover the whole universe.
+pub fn balanced_cuts(src: &NodeSet, chunks: usize) -> Vec<Range<usize>> {
+    let n = src.universe();
+    if n == 0 || chunks <= 1 {
+        return std::iter::once(0..n).collect();
+    }
+    let total = src.count_ones();
+    if total == 0 {
+        return std::iter::once(0..n).collect();
+    }
+    let quota = total.div_ceil(chunks);
+    let words = src.as_words();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (wi, w) in words.iter().enumerate() {
+        acc += w.count_ones() as usize;
+        let end = ((wi + 1) * 64).min(n);
+        if acc >= quota && end < n {
+            out.push(start..end);
+            start = end;
+            acc = 0;
+        }
+    }
+    out.push(start..n);
+    while out.len() > chunks {
+        let tail = out.pop().expect("nonempty");
+        out.last_mut().expect("nonempty").end = tail.end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_sexp;
+
+    #[test]
+    fn step_inverse_involutive() {
+        for s in Step::ALL {
+            assert_eq!(s.inverse().inverse(), s);
+        }
+    }
+
+    #[test]
+    fn frontier_roundtrip_and_switching() {
+        let n = 1000;
+        let mut f = Frontier::empty(n);
+        assert!(!f.is_dense());
+        // dense_threshold(1000) = 62: inserting 63 ids promotes
+        for i in 0..=dense_threshold(n) {
+            f.insert(NodeId(i as u32));
+        }
+        assert!(f.is_dense());
+        // hysteresis: removing back below 62 but above 31 keeps dense
+        while f.len() >= sparse_threshold(n) {
+            let v = f.to_vec()[0];
+            f.remove(v);
+        }
+        assert!(!f.is_dense(), "demoted strictly below sparse_threshold");
+        let s = f.to_nodeset();
+        assert_eq!(Frontier::from_nodeset(&s).to_vec(), f.to_vec());
+    }
+
+    #[test]
+    fn push_equals_pull_on_a_small_doc() {
+        let doc = parse_sexp("(a (b d e) (c f (g h)))").unwrap();
+        let t = &doc.tree;
+        let src = Frontier::from_sorted_ids(t.len(), vec![NodeId(0), NodeId(2), NodeId(5)]);
+        for step in Step::ALL {
+            let push = axis_image_seq(t, step, &src);
+            let mut pull = NodeSet::empty(t.len());
+            pull_image_range(t, step, &src, 0..t.len(), &mut pull);
+            assert_eq!(push, pull, "step {}", step.name());
+        }
+    }
+
+    #[test]
+    fn word_chunks_cover_and_align() {
+        for n in [0, 1, 63, 64, 65, 1000, 4096] {
+            for k in [1, 2, 3, 8] {
+                let ranges = word_chunks(n, k);
+                assert_eq!(ranges.first().map(|r| r.start), Some(0));
+                assert_eq!(ranges.last().map(|r| r.end), Some(n));
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                    assert_eq!(w[0].end % 64, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_cuts_cover() {
+        let mut s = NodeSet::empty(1000);
+        for i in (0..1000).step_by(3) {
+            s.insert(NodeId(i as u32));
+        }
+        let cuts = balanced_cuts(&s, 4);
+        assert_eq!(cuts.first().unwrap().start, 0);
+        assert_eq!(cuts.last().unwrap().end, 1000);
+        for w in cuts.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert_eq!(w[0].end % 64, 0);
+        }
+        assert!(cuts.len() <= 4);
+    }
+}

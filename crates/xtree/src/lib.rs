@@ -29,7 +29,10 @@
 //!   enumerator of all trees of a given size ([`generate`]), driven by the
 //!   dependency-free deterministic PRNG in [`rng`];
 //! * dense [`NodeSet`] bitsets and [`BitMatrix`] binary relations used by
-//!   every evaluator in the workspace ([`nodeset`]).
+//!   every evaluator in the workspace ([`nodeset`]);
+//! * hybrid sparse/dense [`Frontier`] node sets with the per-chunk
+//!   push/pull step-image primitives behind the frontier-parallel
+//!   evaluator ([`frontier`]).
 
 pub mod alphabet;
 pub mod bp;
@@ -38,6 +41,7 @@ pub mod catalog;
 pub mod cursor;
 pub mod edit;
 pub mod fcns;
+pub mod frontier;
 pub mod generate;
 pub mod nodeset;
 pub mod parse;
@@ -55,5 +59,6 @@ pub use catalog::Catalog;
 pub use cursor::Cursor;
 pub use edit::{apply_edit, DocVersion, Edit, EditError, EditReceipt, Span, VersionedDocument};
 pub use fcns::BinTree;
+pub use frontier::{Frontier, Step};
 pub use nodeset::{BitMatrix, NodeSet};
 pub use tree::{Document, NodeId, Tree};

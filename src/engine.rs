@@ -542,6 +542,10 @@ pub struct Prepared {
     /// The shared per-backend eval-latency series (resolved once at
     /// prepare time so the eval hot path never touches the registry).
     eval_hist: Arc<AtomicHistogram>,
+    /// Worker-thread bound inherited from the engine's `parallelism`
+    /// knob; only the VM backend consults it (the other plans are
+    /// sequential artifacts).
+    threads: usize,
 }
 
 impl Prepared {
@@ -560,7 +564,12 @@ impl Prepared {
             Plan::Product(c) => c.image(t, &ctx_set),
             Plan::Automaton(a) => twx_twa::eval_image(t, a, &ctx_set),
             Plan::Logic(f) => twx_fotc::eval_binary(t, f, 0, 1).image(&ctx_set),
-            Plan::Vm(p) => twx_vm::eval_image(t, p, &ctx_set),
+            Plan::Vm(p) => twx_vm::eval_image_opts(
+                t,
+                p,
+                &ctx_set,
+                twx_vm::EvalOpts::with_threads(self.threads),
+            ),
         };
         let nanos = clock.elapsed_nanos();
         obs::add(Counter::EvalNanos, nanos);
@@ -726,6 +735,12 @@ impl Prepared {
     pub fn backend(&self) -> Backend {
         self.backend
     }
+
+    /// The per-evaluation worker-thread bound this plan was prepared
+    /// with (1 = fully sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
 }
 
 /// The query engine: a backend selection plus a shared, concurrent
@@ -735,6 +750,25 @@ impl Prepared {
 pub struct Engine {
     backend: Backend,
     cache: Arc<PlanCache>,
+    /// Upper bound on scoped worker threads one evaluation may use.
+    /// Defaults to `TWX_EVAL_THREADS` (read once per process) or 1;
+    /// request-level parallelism (`query_batch`, the service worker
+    /// pool) multiplies on top of this per-query bound.
+    parallelism: usize,
+}
+
+/// The process-wide default for [`Engine::parallelism`]: the
+/// `TWX_EVAL_THREADS` environment variable, read once, clamped to at
+/// least 1. Unset or unparsable means sequential evaluation.
+fn default_parallelism() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("TWX_EVAL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1)
+    })
 }
 
 impl Default for Engine {
@@ -754,6 +788,7 @@ impl Engine {
         Engine {
             backend,
             cache: Arc::new(PlanCache::new(DEFAULT_CACHE_CAPACITY)),
+            parallelism: default_parallelism(),
         }
     }
 
@@ -762,7 +797,24 @@ impl Engine {
         Engine {
             backend,
             cache: Arc::new(PlanCache::new(capacity)),
+            parallelism: default_parallelism(),
         }
+    }
+
+    /// Sets the per-evaluation worker-thread bound (0 is clamped to 1).
+    /// At 1 every evaluation is byte-for-byte the sequential code path;
+    /// above 1 the VM backend splits axis images, star fixpoints and
+    /// filter joins across scoped workers. Answers are identical at any
+    /// setting — the conformance route 11 and `tests/parallel.rs` hold
+    /// that line.
+    pub fn with_parallelism(mut self, threads: usize) -> Engine {
+        self.parallelism = threads.max(1);
+        self
+    }
+
+    /// The per-evaluation worker-thread bound.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Runs the full compile pipeline against the document's (immutable)
@@ -821,6 +873,7 @@ impl Engine {
             backend: self.backend,
             plan,
             eval_hist: eval_histogram(self.backend),
+            threads: self.parallelism,
         }
     }
 
