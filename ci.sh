@@ -21,10 +21,10 @@ cargo build --release --no-default-features
 say "docs (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-# the suite only ever grows: this many tests passed when the
-# frontier-parallel PR landed; a silent drop below the floor means tests
-# were lost, not fixed
-TEST_FLOOR=567
+# the suite only ever grows: this many tests passed when the event-loop
+# serving PR landed; a silent drop below the floor means tests were
+# lost, not fixed
+TEST_FLOOR=592
 
 say "test suite"
 test_log="$(mktemp -t twx_tests.XXXXXX.log)"
@@ -205,6 +205,16 @@ for point in e10["shards"]:
 sat = e10["saturation"]
 assert sat["rejected"] > 0, sat
 assert sat["admitted"] + sat["rejected"] == sat["submitted"], sat
+cs = e10["conn_sweep"]
+assert len(cs) == 6 and {p["framing"] for p in cs} == {"ndjson", "binary"}, cs
+for p in cs:
+    assert p["accept_failures"] == 0 and p["io_errors"] == 0, p
+    assert p["requests"] > 0 and p["throughput_qps"] > 0, p
+    assert p["connect_p99_us"] > 0 and p["p99_us"] > 0, p
+adm = e10["admission"]
+assert adm["rejected"] > 0, adm
+assert adm["admitted"] + adm["rejected"] == adm["attempted"], adm
+assert adm["rejected"] == adm["server_rejected"], adm
 e11 = doc["e11"]
 assert e11["speedup"] >= 5, e11["speedup"]
 rc = e11["result_cache"]
@@ -238,6 +248,9 @@ print("BENCH_HARNESS.json: schema ok,", len(doc["experiments"]), "experiments,",
       len(doc["quickstart_profiles"]), "profiles, plan cache", cache)
 print("e10:", len(e10["shards"]), "shard counts,",
       sat["rejected"], "of", sat["submitted"], "burst requests rejected")
+print("e10 conn sweep: up to", max(p["conns"] for p in cs), "clients per framing,",
+      "0 accept failures;", "admission:", adm["rejected"], "of",
+      adm["attempted"], "typed-overloaded at cap", adm["max_conns"])
 print("e11: %.1fx speedup, %.0f%% hit rate, %d carried / %d invalidated"
       % (e11["speedup"], 100 * rc["hit_rate"], rc["carried"], rc["invalidated"]))
 print("e12: vm vs product geomean %.1fx hot / %.1fx cold over %d queries"
@@ -381,7 +394,80 @@ print("twx-serve: query/update/stats/trace/metrics/slowlog/shutdown",
 EOF
 wait "$serve_pid"
 
-say "twx-serve kill -9 and restart (--store recovery round trip)"
+say "twx-serve 1k-connection soak (--max-conns admission at scale)"
+soak_log="$(mktemp -t twx_soak.XXXXXX.log)"
+trap 'rm -f "$out" "$serve_log" "$soak_log"; kill "$soak_pid" 2>/dev/null || true' EXIT
+./target/release/twx-serve \
+  --port 0 --shards 2 --workers 2 --synthetic 6x40 --seed 1 \
+  --max-conns 900 > "$soak_log" 2>/dev/null &
+soak_pid=$!
+for _ in $(seq 1 300); do
+  grep -q "listening" "$soak_log" && break
+  sleep 0.1
+done
+port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$soak_log")"
+[ -n "$port" ] || { echo "soak twx-serve never listened" >&2; exit 1; }
+python3 - "$port" <<'EOF'
+import json, resource, selectors, socket, sys, time
+soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+resource.setrlimit(resource.RLIMIT_NOFILE, (min(hard, 4096), hard))
+port = int(sys.argv[1])
+N, CAP = 1000, 900
+socks = [socket.create_connection(("127.0.0.1", port), timeout=10)
+         for _ in range(N)]
+# admission is decided at accept time: a rejected connection is sent one
+# typed line and closed, an admitted one stays silently open — so the
+# readable sockets are exactly the rejected ones
+sel = selectors.DefaultSelector()
+for s in socks:
+    s.setblocking(False)
+    sel.register(s, selectors.EVENT_READ)
+rejected = 0
+deadline = time.time() + 30
+while rejected < N - CAP and time.time() < deadline:
+    for key, _ in sel.select(timeout=1):
+        data = key.fileobj.recv(4096)
+        assert data, "an admitted connection was closed by the server"
+        line = json.loads(data.decode())
+        assert line["error"] == "overloaded" and line["max_conns"] == CAP, line
+        rejected += 1
+        sel.unregister(key.fileobj)
+        key.fileobj.close()
+assert rejected == N - CAP, f"expected {N-CAP} typed rejections, saw {rejected}"
+alive = [s for s in socks if s.fileno() != -1]
+assert len(alive) == CAP, len(alive)
+# the admitted connections are all live: query over a sample of them
+for s in alive[::45]:
+    s.setblocking(True)
+    f = s.makefile("rw")
+    f.write(json.dumps({"op": "query", "query": "down*[b]"}) + "\n"); f.flush()
+    r = json.loads(f.readline())
+    assert r["ok"] and r["matches"] > 0, r
+for s in alive:
+    s.close()
+# the server reaps the hangups asynchronously; retry until a fresh
+# connection is admitted again, then check the counters and shut down
+st = None
+for _ in range(100):
+    s = socket.create_connection(("127.0.0.1", port), timeout=10)
+    f = s.makefile("rw")
+    f.write(json.dumps({"op": "stats"}) + "\n"); f.flush()
+    reply = json.loads(f.readline())
+    if reply.get("error") == "overloaded":
+        s.close(); time.sleep(0.1); continue
+    st = reply
+    break
+assert st is not None, "server never had room again after the soak closed"
+assert st["conns_rejected"] == N - CAP, st["conns_rejected"]
+assert st["max_conns"] == CAP and st["conns_open"] == 1, st
+f.write(json.dumps({"op": "shutdown"}) + "\n"); f.flush()
+assert json.loads(f.readline())["ok"]
+print(f"soak: {N} clients against --max-conns {CAP}: {CAP} held open,",
+      f"{N-CAP} typed overloaded rejections, sampled queries all answered")
+EOF
+wait "$soak_pid"
+
+say "twx-serve kill -9 and restart (--store recovery over binary frames)"
 store_dir="$(mktemp -d -t twx_serve_store.XXXXXX)"
 rmdir "$store_dir" # twx-serve creates the store; mktemp only reserved a name
 answer_file="$(mktemp -t twx_serve_answer.XXXXXX.json)"
@@ -400,12 +486,22 @@ done
 port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$serve2_log")"
 [ -n "$port" ] || { echo "store-backed twx-serve never listened" >&2; exit 1; }
 python3 - "$port" "$answer_file" <<'EOF'
-import json, socket, sys
+import json, socket, struct, sys
+MAGIC = b"\xf7TW\x01"
 s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
-f = s.makefile("rw")
+def recv_exact(n):
+    buf = b""
+    while len(buf) < n:
+        chunk = s.recv(n - len(buf))
+        assert chunk, "server closed mid-frame"
+        buf += chunk
+    return buf
 def rpc(req):
-    f.write(json.dumps(req) + "\n"); f.flush()
-    return json.loads(f.readline())
+    payload = json.dumps(req).encode()
+    s.sendall(MAGIC + struct.pack("<I", len(payload)) + payload)
+    hdr = recv_exact(8)
+    assert hdr[:4] == MAGIC, hdr
+    return json.loads(recv_exact(struct.unpack("<I", hdr[4:])[0]))
 # two journalled edits, an explicit snapshot between them: recovery must
 # compose the snapshot generation with the journal tail
 up = rpc({"op": "update", "doc": 0,
@@ -434,12 +530,22 @@ done
 port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$serve2_log")"
 [ -n "$port" ] || { echo "twx-serve did not come back after kill -9" >&2; exit 1; }
 python3 - "$port" "$answer_file" <<'EOF'
-import json, socket, sys
+import json, socket, struct, sys
+MAGIC = b"\xf7TW\x01"
 s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
-f = s.makefile("rw")
+def recv_exact(n):
+    buf = b""
+    while len(buf) < n:
+        chunk = s.recv(n - len(buf))
+        assert chunk, "server closed mid-frame"
+        buf += chunk
+    return buf
 def rpc(req):
-    f.write(json.dumps(req) + "\n"); f.flush()
-    return json.loads(f.readline())
+    payload = json.dumps(req).encode()
+    s.sendall(MAGIC + struct.pack("<I", len(payload)) + payload)
+    hdr = recv_exact(8)
+    assert hdr[:4] == MAGIC, hdr
+    return json.loads(recv_exact(struct.unpack("<I", hdr[4:])[0]))
 before = json.load(open(sys.argv[2]))
 r = rpc({"op": "query", "query": "down*[b]"})
 assert r["ok"], r
@@ -449,8 +555,8 @@ assert got == before, f"recovered answers differ:\n  pre-kill {before}\n  post  
 assert any(d["doc"] == 1 and d["version"] == 1 for d in r["docs"]), r["docs"]
 bye = rpc({"op": "shutdown"})
 assert bye["ok"], bye
-print("twx-serve --store: kill -9 mid-journal, restart, and every answer",
-      "matched node-for-node (snapshot + journal-tail replay)")
+print("twx-serve --store: kill -9 mid-journal, restart over binary frames,",
+      "and every answer matched node-for-node (snapshot + journal-tail replay)")
 EOF
 wait "$serve2_pid"
 

@@ -1,7 +1,20 @@
-//! `twx-serve` — a TCP front-end for the corpus query service.
+//! `twx-serve` — a TCP front-end for the corpus query service, built on
+//! the `twx-netio` event loop.
 //!
-//! Newline-delimited JSON over a plain TCP socket (std-only; no HTTP
-//! stack). One request per line, one response per line:
+//! One readiness-loop thread owns every socket (epoll, nonblocking);
+//! requests dispatch into the query service's worker pool. Two framings
+//! share the port, negotiated by the first byte of each connection:
+//!
+//! * **NDJSON** — one request per line, one response per line (any
+//!   first byte other than `0xF7`).
+//! * **Binary frames** — `F7 54 57 01` magic + u32 LE payload length +
+//!   JSON payload, both directions (first byte `0xF7`, which cannot
+//!   begin UTF-8 text).
+//!
+//! Requests may be **pipelined**: a client can write any number of
+//! requests before reading a reply; replies come back in request order.
+//! A connection that stops reading its replies is parked (write
+//! backpressure) without affecting other connections.
 //!
 //! ```text
 //! -> {"op":"query","query":"down*[b]","timeout_ms":250}
@@ -13,6 +26,7 @@
 //! <- {"ok":true,"doc":0,"version":1,"affected":[1,2],"nodes":4,"seq":1}
 //! -> {"op":"stats"}
 //! <- {"ok":true,"submitted":3,...,"uptime_s":12,"connections":3,
+//!     "conns_open":1,"frames_rx":4,"backpressure_stalls":0,
 //!     "latency_p50_us":211,"latency_p99_us":733,...}
 //! -> {"op":"metrics"}
 //! <- {"ok":true,"metrics":"# TYPE twx_engine_eval_ns histogram\n..."}
@@ -27,17 +41,24 @@
 //!
 //! Errors come back typed: `{"ok":false,"error":"overloaded",...}` with
 //! `error` one of `overloaded` | `shutdown` | `engine` | `protocol`.
+//! Past `--max-conns` open connections, an accept is answered with one
+//! typed `overloaded` line and closed.
 //!
 //! Usage:
 //!
 //! ```text
 //! twx-serve [--port P] [--shards N] [--workers N] [--queue N]
 //!           [--backend product|automaton|logic|vm] [--eval-threads N]
-//!           [--timeout-ms MS]
+//!           [--timeout-ms MS] [--max-conns N] [--dispatchers N]
+//!           [--backpressure-bytes N]
 //!           [--slowlog N] [--synthetic DOCSxNODES [--seed S]]
 //!           [--store DIR [--fsync-every N]]
 //!           [FILE.xml|FILE.sexp ...]
 //! ```
+//!
+//! `--eval-threads 0` (the default) auto-sizes intra-query parallelism
+//! to `host cores / workers` so concurrent shard evaluations share the
+//! machine instead of oversubscribing it.
 //!
 //! `--port 0` binds an ephemeral port; the chosen address is printed as
 //! `twx-serve listening on 127.0.0.1:PORT` so scripts can scrape it.
@@ -52,22 +73,19 @@
 //! generation and compacts the journal; a background snapshotter does
 //! the same automatically once the journal passes 1 MiB.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::Write;
+use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use treewalk::{Backend, Engine};
-use twx_corpus::{
-    Corpus, CorpusAnswer, DocId, QueryService, ServiceConfig, ServiceError, StoreConfig,
-};
-use twx_obs::json::{parse as parse_json, Json};
-use twx_obs::metrics::Gauge;
-use twx_regxpath::parser::parse_rpath_resolved;
-use twx_xtree::edit::Edit;
+use twx_corpus::proto::{ProtoHandler, MAX_REQUEST_BYTES};
+use twx_corpus::service::default_eval_threads;
+use twx_corpus::{Corpus, QueryService, ServiceConfig, StoreConfig};
+use twx_netio::{NetStats, ServerConfig};
 use twx_xtree::generate::{random_document_in, Shape};
 use twx_xtree::rng::SplitMix64;
-use twx_xtree::{Alphabet, Catalog, NodeId};
+use twx_xtree::Catalog;
 
 struct Args {
     port: u16,
@@ -78,6 +96,9 @@ struct Args {
     eval_threads: usize,
     timeout: Option<Duration>,
     slowlog: usize,
+    max_conns: usize,
+    dispatchers: usize,
+    backpressure_bytes: usize,
     synthetic: Option<(usize, usize)>,
     seed: u64,
     store: Option<String>,
@@ -89,7 +110,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: twx-serve [--port P] [--shards N] [--workers N] [--queue N] \
          [--backend product|automaton|logic|vm] [--eval-threads N] \
-         [--timeout-ms MS] [--slowlog N] \
+         [--timeout-ms MS] [--max-conns N] [--dispatchers N] \
+         [--backpressure-bytes N] [--slowlog N] \
          [--synthetic DOCSxNODES [--seed S]] [--store DIR [--fsync-every N]] \
          [FILE.xml|FILE.sexp ...]"
     );
@@ -103,9 +125,12 @@ fn parse_args() -> Args {
         workers: 0, // 0 = auto below
         queue: 256,
         backend: Backend::Product,
-        eval_threads: 1,
+        eval_threads: 0, // 0 = auto: host cores / workers
         timeout: None,
         slowlog: 16,
+        max_conns: 10_000,
+        dispatchers: 0, // 0 = auto: match the worker pool
+        backpressure_bytes: 256 * 1024,
         synthetic: None,
         seed: 1,
         store: None,
@@ -122,9 +147,6 @@ fn parse_args() -> Args {
             "--queue" => args.queue = val("--queue").parse().unwrap_or_else(|_| usage()),
             "--eval-threads" => {
                 args.eval_threads = val("--eval-threads").parse().unwrap_or_else(|_| usage());
-                if args.eval_threads == 0 {
-                    usage();
-                }
             }
             "--backend" => {
                 args.backend = match val("--backend").as_str() {
@@ -140,6 +162,23 @@ fn parse_args() -> Args {
                 args.timeout = Some(Duration::from_millis(ms));
             }
             "--slowlog" => args.slowlog = val("--slowlog").parse().unwrap_or_else(|_| usage()),
+            "--max-conns" => {
+                args.max_conns = val("--max-conns").parse().unwrap_or_else(|_| usage());
+                if args.max_conns == 0 {
+                    usage();
+                }
+            }
+            "--dispatchers" => {
+                args.dispatchers = val("--dispatchers").parse().unwrap_or_else(|_| usage());
+            }
+            "--backpressure-bytes" => {
+                args.backpressure_bytes = val("--backpressure-bytes")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if args.backpressure_bytes == 0 {
+                    usage();
+                }
+            }
             "--synthetic" => {
                 let spec = val("--synthetic");
                 let (d, n) = spec.split_once('x').unwrap_or_else(|| usage());
@@ -162,6 +201,15 @@ fn parse_args() -> Args {
         args.workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(2);
+    }
+    if args.eval_threads == 0 {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        args.eval_threads = default_eval_threads(cores, args.workers);
+    }
+    if args.dispatchers == 0 {
+        args.dispatchers = args.workers;
     }
     args
 }
@@ -220,337 +268,6 @@ fn build_corpus(args: &Args) -> Result<Corpus, String> {
     Ok(corpus)
 }
 
-// -- tiny accessors over the hand-rolled Json enum --
-
-fn get<'a>(obj: &'a Json, key: &str) -> Option<&'a Json> {
-    match obj {
-        Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-        _ => None,
-    }
-}
-
-fn get_str<'a>(obj: &'a Json, key: &str) -> Option<&'a str> {
-    match get(obj, key)? {
-        Json::Str(s) => Some(s),
-        _ => None,
-    }
-}
-
-fn get_u64(obj: &Json, key: &str) -> Option<u64> {
-    match get(obj, key)? {
-        Json::Int(n) => Some(*n),
-        Json::Num(x) if *x >= 0.0 => Some(*x as u64),
-        _ => None,
-    }
-}
-
-fn get_bool(obj: &Json, key: &str) -> bool {
-    matches!(get(obj, key), Some(Json::Bool(true)))
-}
-
-fn err_line(kind: &str, detail: &str) -> String {
-    Json::obj()
-        .field("ok", false)
-        .field("error", kind)
-        .field("detail", detail)
-        .render()
-}
-
-fn answer_line(a: &CorpusAnswer) -> String {
-    let docs: Vec<Json> = a
-        .per_doc
-        .iter()
-        .map(|(id, version, set)| {
-            Json::obj()
-                .field("doc", id.0)
-                .field("version", version.0)
-                .field("matches", set.count())
-        })
-        .collect();
-    let shards: Vec<Json> = a
-        .shards
-        .iter()
-        .map(|t| {
-            Json::obj()
-                .field("shard", t.shard)
-                .field("docs", t.docs)
-                .field("skipped_docs", t.skipped_docs)
-                .field("queue_wait_us", t.queue_wait.as_micros() as u64)
-                .field("eval_us", t.eval.as_micros() as u64)
-                .field("timed_out", t.timed_out)
-        })
-        .collect();
-    let mut reply = Json::obj()
-        .field("ok", true)
-        .field("matches", a.total_matches)
-        .field("docs", docs)
-        .field("timed_out", a.timed_out)
-        .field("latency_us", a.latency.as_micros() as u64)
-        .field("trace_id", a.trace_id.to_hex())
-        .field("shards", shards);
-    if let Some(tree) = &a.trace {
-        reply = reply.field("trace", tree.to_json());
-    }
-    reply.render()
-}
-
-/// Parses the `edit` object of an `update` request into a typed
-/// [`Edit`], resolving the label **read-only** against the corpus
-/// alphabet (unknown labels are an error, never an intern).
-fn parse_edit(req: &Json, alphabet: &Alphabet) -> Result<Edit, String> {
-    let edit = get(req, "edit").ok_or("update op needs an `edit` object")?;
-    let kind = get_str(edit, "op").ok_or("edit needs an `op` string")?;
-    let label = |e: &Json| -> Result<_, String> {
-        let name = get_str(e, "label").ok_or("edit needs a `label` string")?;
-        alphabet
-            .lookup(name)
-            .ok_or_else(|| format!("unknown label '{name}': not in the corpus label space"))
-    };
-    match kind {
-        "relabel" => Ok(Edit::Relabel {
-            node: NodeId(get_u64(edit, "node").ok_or("relabel needs a `node` id")? as u32),
-            label: label(edit)?,
-        }),
-        "insert-child" => Ok(Edit::InsertChild {
-            parent: NodeId(
-                get_u64(edit, "parent").ok_or("insert-child needs a `parent` id")? as u32,
-            ),
-            position: get_u64(edit, "position").unwrap_or(0) as usize,
-            label: label(edit)?,
-        }),
-        "remove-subtree" => Ok(Edit::RemoveSubtree {
-            node: NodeId(get_u64(edit, "node").ok_or("remove-subtree needs a `node` id")? as u32),
-        }),
-        other => Err(format!(
-            "edit op must be relabel|insert-child|remove-subtree, got '{other}'"
-        )),
-    }
-}
-
-/// Handles one `update` request line: parse → typed edit → commit →
-/// receipt (or a typed error that leaves the connection open).
-fn update_line(req: &Json, service: &QueryService, alphabet: &Alphabet) -> String {
-    let Some(doc) = get_u64(req, "doc") else {
-        return err_line("protocol", "update op needs a `doc` id");
-    };
-    let edit = match parse_edit(req, alphabet) {
-        Ok(e) => e,
-        Err(msg) => return err_line("protocol", &msg),
-    };
-    match service.update(DocId(doc as u32), &edit) {
-        Ok(r) => Json::obj()
-            .field("ok", true)
-            .field("doc", r.id.0)
-            .field("version", r.version.0)
-            .field(
-                "affected",
-                vec![Json::from(r.affected.start), Json::from(r.affected.end)],
-            )
-            .field("nodes", r.new_len)
-            .field("seq", r.seq)
-            .render(),
-        Err(e) => err_line("engine", &e.to_string()),
-    }
-}
-
-/// Process-level serving state alongside the query service: start time
-/// for uptime, a connection counter, and their registry gauges (so the
-/// `metrics` exposition carries them too).
-struct Server {
-    service: QueryService,
-    started: Instant,
-    connections: u64,
-    gauge_uptime: Arc<Gauge>,
-    gauge_connections: Arc<Gauge>,
-}
-
-impl Server {
-    fn new(service: QueryService) -> Server {
-        let reg = twx_obs::metrics::global();
-        Server {
-            service,
-            started: Instant::now(),
-            connections: 0,
-            gauge_uptime: reg.gauge("twx_serve_uptime_seconds", &[]),
-            gauge_connections: reg.gauge("twx_serve_connections_total", &[]),
-        }
-    }
-
-    fn on_connection(&mut self) {
-        self.connections += 1;
-        self.gauge_connections.set(self.connections);
-    }
-
-    fn uptime_s(&self) -> u64 {
-        let s = self.started.elapsed().as_secs();
-        self.gauge_uptime.set(s);
-        s
-    }
-}
-
-fn stats_line(server: &Server) -> String {
-    let service = &server.service;
-    let s = service.stats();
-    let cache = service.cache_stats();
-    let results = service.result_cache_stats();
-    let mut reply = Json::obj()
-        .field("ok", true)
-        .field("uptime_s", server.uptime_s())
-        .field("connections", server.connections)
-        .field("submitted", s.submitted)
-        .field("completed", s.completed)
-        .field("rejected", s.rejected)
-        .field("timeouts", s.timeouts)
-        .field("queued", s.queued)
-        .field("queue_capacity", s.queue_capacity)
-        .field("workers", s.workers)
-        .field("eval_threads", s.eval_threads)
-        .field("plan_cache_hits", cache.hits)
-        .field("plan_cache_misses", cache.misses)
-        .field("updates", s.updates)
-        .field("stale_answers", s.stale_answers)
-        .field("result_cache_hits", results.hits)
-        .field("result_cache_misses", results.misses)
-        .field("result_cache_carried", results.carried)
-        .field("result_cache_invalidated", results.invalidated)
-        .field("result_cache_entries", results.entries);
-    // end-to-end request latency percentiles, in microseconds
-    let hist = service.request_latency_histogram();
-    for (name, ns) in hist.quantiles() {
-        reply = reply.field(&format!("latency_{name}_us"), ns / 1_000);
-    }
-    reply
-        .field("latency_mean_us", (hist.mean() / 1_000.0) as u64)
-        .field("latency_count", hist.count())
-        .render()
-}
-
-/// Handles a `snapshot` request: write a fresh snapshot generation of
-/// every shard and compact the journal. Typed `engine` error when the
-/// server runs without `--store`.
-fn snapshot_line(corpus: &Corpus) -> String {
-    match corpus.persist() {
-        Ok(Some(r)) => Json::obj()
-            .field("ok", true)
-            .field("seq", r.seq)
-            .field("snapshot_bytes", r.snapshot_bytes)
-            .field("journal_reclaimed", r.journal_reclaimed)
-            .render(),
-        Ok(None) => err_line("engine", "server has no store (start with --store DIR)"),
-        Err(e) => err_line("engine", &format!("snapshot failed: {e}")),
-    }
-}
-
-fn metrics_line() -> String {
-    Json::obj()
-        .field("ok", true)
-        .field("metrics", twx_obs::metrics::global().render_prometheus())
-        .render()
-}
-
-fn slowlog_line(service: &QueryService) -> String {
-    let entries: Vec<Json> = service.slow_queries().iter().map(|e| e.to_json()).collect();
-    Json::obj()
-        .field("ok", true)
-        .field("entries", entries)
-        .render()
-}
-
-/// Requests longer than this are refused with a typed `protocol` error
-/// (the connection stays open). Far above any legitimate query line, far
-/// below anything that could pressure memory.
-const MAX_REQUEST_BYTES: usize = 64 * 1024;
-
-/// Serves one connection; returns `true` if a shutdown was requested.
-///
-/// `alphabet` is the corpus label space, used to validate queries
-/// **read-only** before submission: `prepare_in` would intern unknown
-/// labels into the shared catalog, and a network client must not be able
-/// to grow the server's label space — it gets a typed `engine` error
-/// instead.
-fn serve_conn(stream: TcpStream, server: &Server, alphabet: &Alphabet) -> std::io::Result<bool> {
-    let service = &server.service;
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        if line.len() > MAX_REQUEST_BYTES {
-            let reply = err_line(
-                "protocol",
-                &format!(
-                    "request of {} bytes exceeds the {MAX_REQUEST_BYTES}-byte limit",
-                    line.len()
-                ),
-            );
-            writer.write_all(reply.as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
-            continue;
-        }
-        let reply = match parse_json(&line) {
-            Err(e) => err_line("protocol", &format!("bad json: {e}")),
-            Ok(req) => match get_str(&req, "op") {
-                Some("query") => match get_str(&req, "query") {
-                    None => err_line("protocol", "query op needs a `query` string"),
-                    Some(q) => match parse_rpath_resolved(q, alphabet) {
-                        Err(e) => err_line("engine", &e.to_string()),
-                        Ok(_) => {
-                            let timeout = get_u64(&req, "timeout_ms").map(Duration::from_millis);
-                            let outcome = if get_bool(&req, "trace") {
-                                service.query_traced_with_timeout(q, timeout)
-                            } else {
-                                service.query_with_timeout(q, timeout)
-                            };
-                            match outcome {
-                                Ok(a) => answer_line(&a),
-                                Err(ServiceError::Overloaded { queued, capacity }) => Json::obj()
-                                    .field("ok", false)
-                                    .field("error", "overloaded")
-                                    .field("queued", queued)
-                                    .field("capacity", capacity)
-                                    .render(),
-                                Err(ServiceError::ShutDown) => {
-                                    err_line("shutdown", "service closed")
-                                }
-                                Err(ServiceError::Engine(e)) => err_line("engine", &e.to_string()),
-                            }
-                        }
-                    },
-                },
-                Some("update") => update_line(&req, service, alphabet),
-                Some("stats") => stats_line(server),
-                Some("metrics") => metrics_line(),
-                Some("slowlog") => slowlog_line(service),
-                Some("snapshot") => snapshot_line(service.corpus()),
-                Some("shutdown") => {
-                    let reply = Json::obj()
-                        .field("ok", true)
-                        .field("shutting_down", true)
-                        .render();
-                    // a client may hang up right after sending shutdown;
-                    // the intent still stands, so ignore reply failures
-                    let _ = writer
-                        .write_all(reply.as_bytes())
-                        .and_then(|_| writer.write_all(b"\n"))
-                        .and_then(|_| writer.flush());
-                    return Ok(true);
-                }
-                _ => err_line(
-                    "protocol",
-                    "op must be query|update|stats|metrics|slowlog|snapshot|shutdown",
-                ),
-            },
-        };
-        writer.write_all(reply.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-    }
-    Ok(false)
-}
-
 fn main() -> ExitCode {
     let args = parse_args();
     let corpus = match build_corpus(&args) {
@@ -570,7 +287,6 @@ fn main() -> ExitCode {
             slowlog_capacity: args.slowlog,
         },
     );
-    let mut server = Server::new(service);
     // with a store: compact the journal in the background once it
     // passes 1 MiB (explicit `snapshot` ops still work at any time)
     let _snapshotter = corpus
@@ -578,18 +294,25 @@ fn main() -> ExitCode {
         .is_some()
         .then(|| corpus.spawn_snapshotter(1 << 20, Duration::from_millis(200)));
     eprintln!(
-        "corpus: {} docs / {} nodes in {} shards; {} workers, backend {:?}{}",
+        "corpus: {} docs / {} nodes in {} shards; {} workers, {} dispatchers, \
+         {} eval threads, backend {:?}, max {} conns{}",
         corpus.n_docs(),
         corpus.total_nodes(),
         corpus.n_shards(),
         args.workers,
+        args.dispatchers,
+        args.eval_threads,
         args.backend,
+        args.max_conns,
         if let Some(s) = corpus.store() {
             format!("; store {}", s.dir().display())
         } else {
             String::new()
         },
     );
+    // each connection costs one descriptor; leave headroom for the
+    // store, epoll, eventfd, and stdio
+    twx_netio::raise_nofile_limit(args.max_conns as u64 + 128);
     let listener = match TcpListener::bind(("127.0.0.1", args.port)) {
         Ok(l) => l,
         Err(e) => {
@@ -601,29 +324,40 @@ fn main() -> ExitCode {
     // scraped by scripts — keep the format stable
     println!("twx-serve listening on {addr}");
     std::io::stdout().flush().ok();
-    let alphabet = corpus.catalog().snapshot();
-    for stream in listener.incoming() {
-        match stream {
-            Err(e) => eprintln!("twx-serve: accept: {e}"),
-            Ok(s) => {
-                server.on_connection();
-                match serve_conn(s, &server, &alphabet) {
-                    Ok(true) => break,
-                    Ok(false) => {}
-                    Err(e) => eprintln!("twx-serve: connection: {e}"),
-                }
-            }
-        }
+    let net = Arc::new(NetStats::default());
+    let handler = Arc::new(ProtoHandler::new(service, Arc::clone(&net), args.max_conns));
+    let cfg = ServerConfig {
+        max_conns: args.max_conns,
+        dispatchers: args.dispatchers,
+        max_request_bytes: MAX_REQUEST_BYTES,
+        outbuf_hiwat: args.backpressure_bytes,
+        ..ServerConfig::default()
+    };
+    if let Err(e) = twx_netio::serve(listener, Arc::clone(&handler), cfg, Arc::clone(&net)) {
+        eprintln!("twx-serve: event loop: {e}");
     }
-    let final_stats = server.service.shutdown();
-    // parting snapshot so the next boot replays an empty journal
+    // the loop has exited and its dispatchers are joined, so this is the
+    // last Arc: tear the service down and write the parting snapshot
+    let handler = Arc::try_unwrap(handler)
+        .unwrap_or_else(|_| unreachable!("event loop dropped its handler refs"));
+    let final_stats = handler.finish();
     match corpus.persist() {
         Ok(_) => {}
         Err(e) => eprintln!("twx-serve: final snapshot failed: {e}"),
     }
+    let n = net.snapshot();
     eprintln!(
-        "twx-serve: drained; {} submitted, {} completed, {} rejected, {} timeouts",
-        final_stats.submitted, final_stats.completed, final_stats.rejected, final_stats.timeouts,
+        "twx-serve: drained; {} submitted, {} completed, {} rejected, {} timeouts; \
+         {} conns ({} refused), {} frames in / {} out, {} backpressure stalls",
+        final_stats.submitted,
+        final_stats.completed,
+        final_stats.rejected,
+        final_stats.timeouts,
+        n.conns_total,
+        n.conns_rejected,
+        n.frames_rx,
+        n.frames_tx,
+        n.backpressure_stalls,
     );
     ExitCode::SUCCESS
 }

@@ -40,6 +40,7 @@
 //! The `twx-serve` binary in this crate exposes a service over TCP with
 //! a newline-delimited JSON protocol; see the repository README.
 
+pub mod proto;
 pub mod queue;
 pub mod service;
 pub mod slowlog;

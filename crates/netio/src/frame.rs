@@ -1,0 +1,193 @@
+//! The length-prefixed binary frame codec, negotiated beside NDJSON.
+//!
+//! # Bytes on the wire
+//!
+//! ```text
+//! offset 0..4   magic  F7 54 57 01           ("÷TW" + version 1)
+//! offset 4..8   payload length, u32 little-endian (<= max_payload)
+//! offset 8..    payload bytes (a JSON document, no trailing newline)
+//! ```
+//!
+//! Every frame carries the magic, not just the first one: the decoder
+//! can resynchronise after garbage by scanning for the next `0xF7`.
+//! `0xF7` can never begin well-formed UTF-8 text (RFC 3629 stops lead
+//! bytes at `0xF4`), so the first byte of a connection cleanly selects
+//! the framing — magic means binary frames, anything else means NDJSON.
+//!
+//! # Decoder contract
+//!
+//! [`FrameDecoder`] is incremental: feed it arbitrary byte slices
+//! ([`FrameDecoder::extend`]), pull [`DecodeStep`]s until `NeedMore`.
+//! Three properties the protocol tests pin down:
+//!
+//! * **Torn frames resume at every byte boundary** — a frame split at
+//!   any position decodes identically once the rest arrives.
+//! * **Oversize frames are rejected, not fatal** — a declared length
+//!   over the cap yields [`DecodeStep::Oversize`]; the decoder then
+//!   discards exactly the declared payload (when it is sane enough to
+//!   trust, see [`MAX_DISCARD`]) and resumes at the next frame.
+//! * **Garbage prefixes are skipped, not fatal** — bytes before the
+//!   next magic yield one [`DecodeStep::Garbage`] per run, and decoding
+//!   continues with the frame that follows.
+
+/// Frame magic: an invalid-UTF-8 lead byte, "TW", and the codec version.
+pub const MAGIC: [u8; 4] = [0xF7, b'T', b'W', 0x01];
+
+/// Fixed header size: magic plus the little-endian payload length.
+pub const HEADER_BYTES: usize = 8;
+
+/// An oversize frame whose declared length is at most this is skipped
+/// exactly (clean resync at the next frame). Beyond it the length word
+/// itself is presumed corrupt and the decoder falls back to scanning
+/// for the next magic instead of trusting a multi-gigabyte skip.
+pub const MAX_DISCARD: usize = 16 * 1024 * 1024;
+
+/// Encodes one payload into a framed byte vector.
+///
+/// # Panics
+/// If `payload` exceeds `u32::MAX` bytes (far beyond any request cap).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("frame payload fits u32");
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One step of incremental decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeStep {
+    /// A complete frame's payload.
+    Frame(Vec<u8>),
+    /// A frame declared `len` bytes of payload, over the decoder's cap.
+    /// The payload is being discarded; the connection survives.
+    Oversize { len: usize },
+    /// `skipped` bytes that belonged to no frame were dropped before
+    /// the decoder found (or is still seeking) the next magic.
+    Garbage { skipped: usize },
+    /// No complete item in the buffer; feed more bytes.
+    NeedMore,
+}
+
+enum Mode {
+    /// Normal operation: expect a header at the buffer start.
+    Frames,
+    /// Discarding the remainder of an oversize-but-sane frame.
+    Discard { remaining: usize },
+}
+
+/// The incremental binary-frame decoder (one per connection).
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max_payload: usize,
+    mode: Mode,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_payload` bytes per frame.
+    pub fn new(max_payload: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            max_payload,
+            mode: Mode::Frames,
+        }
+    }
+
+    /// Appends raw bytes from the wire.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pulls the next decode step. Call until it returns
+    /// [`DecodeStep::NeedMore`].
+    pub fn next_step(&mut self) -> DecodeStep {
+        if let Mode::Discard { remaining } = &mut self.mode {
+            let take = (*remaining).min(self.buf.len());
+            self.buf.drain(..take);
+            *remaining -= take;
+            if *remaining > 0 {
+                return DecodeStep::NeedMore;
+            }
+            self.mode = Mode::Frames;
+        }
+        // resynchronise: drop everything before the next possible magic
+        if !self.buf.is_empty() && self.buf[0] != MAGIC[0] {
+            let skipped = self
+                .buf
+                .iter()
+                .position(|&b| b == MAGIC[0])
+                .unwrap_or(self.buf.len());
+            self.buf.drain(..skipped);
+            return DecodeStep::Garbage { skipped };
+        }
+        // a first byte that matches but a prefix that diverges is garbage
+        let check = self.buf.len().min(MAGIC.len());
+        if self.buf[..check] != MAGIC[..check] {
+            self.buf.drain(..1);
+            return DecodeStep::Garbage { skipped: 1 };
+        }
+        if self.buf.len() < HEADER_BYTES {
+            return DecodeStep::NeedMore; // torn header
+        }
+        let len = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes")) as usize;
+        if len > self.max_payload {
+            self.buf.drain(..HEADER_BYTES);
+            if len <= MAX_DISCARD {
+                self.mode = Mode::Discard { remaining: len };
+            }
+            // beyond MAX_DISCARD the length itself is garbage: stay in
+            // Frames mode and let magic-scanning find the next frame
+            return DecodeStep::Oversize { len };
+        }
+        if self.buf.len() < HEADER_BYTES + len {
+            return DecodeStep::NeedMore; // torn payload
+        }
+        let payload = self.buf[HEADER_BYTES..HEADER_BYTES + len].to_vec();
+        self.buf.drain(..HEADER_BYTES + len);
+        DecodeStep::Frame(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_one_frame() {
+        let mut d = FrameDecoder::new(1024);
+        d.extend(&encode_frame(b"hello"));
+        assert_eq!(d.next_step(), DecodeStep::Frame(b"hello".to_vec()));
+        assert_eq!(d.next_step(), DecodeStep::NeedMore);
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let mut d = FrameDecoder::new(1024);
+        d.extend(&encode_frame(b""));
+        assert_eq!(d.next_step(), DecodeStep::Frame(Vec::new()));
+    }
+
+    #[test]
+    fn oversize_then_healthy() {
+        let mut d = FrameDecoder::new(8);
+        d.extend(&encode_frame(b"way too large"));
+        d.extend(&encode_frame(b"ok"));
+        assert_eq!(d.next_step(), DecodeStep::Oversize { len: 13 });
+        assert_eq!(d.next_step(), DecodeStep::Frame(b"ok".to_vec()));
+    }
+
+    #[test]
+    fn garbage_then_frame() {
+        let mut d = FrameDecoder::new(1024);
+        d.extend(b"junk");
+        d.extend(&encode_frame(b"x"));
+        assert_eq!(d.next_step(), DecodeStep::Garbage { skipped: 4 });
+        assert_eq!(d.next_step(), DecodeStep::Frame(b"x".to_vec()));
+    }
+}

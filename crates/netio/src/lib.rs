@@ -1,0 +1,54 @@
+//! `twx-netio`: the zero-dependency nonblocking socket tier behind
+//! `twx-serve`.
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`sys`] — a tiny `extern "C"` shim over what `std` does not
+//!   expose: epoll, `eventfd`, backlog widening, socket-buffer/linger
+//!   tuning, and the open-file rlimit.
+//! * [`poller`] — [`Poller`]/[`Waker`]: level-triggered readiness with
+//!   `u64` tokens.
+//! * [`frame`] — the length-prefixed binary frame codec
+//!   ([`encode_frame`]/[`FrameDecoder`]) negotiated beside NDJSON by a
+//!   connection's first byte.
+//! * [`server`] — [`serve`]: the event loop itself — pipelined
+//!   per-connection state machines, write backpressure, a `max_conns`
+//!   admission cap, and a dispatcher pool running the supplied
+//!   [`Handler`].
+
+pub mod frame;
+pub mod poller;
+pub mod server;
+pub mod sys;
+
+pub use frame::{encode_frame, DecodeStep, FrameDecoder, HEADER_BYTES, MAGIC, MAX_DISCARD};
+pub use poller::{Event, Interest, Poller, Waker};
+pub use server::{serve, Handler, NetStats, NetStatsSnapshot, Reply, ServerConfig};
+pub use sys::raise_nofile_limit;
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+
+/// Widens the accept backlog of a bound listener (see
+/// [`sys::widen_backlog`]).
+pub fn widen_backlog(listener: &TcpListener, backlog: i32) -> io::Result<()> {
+    sys::widen_backlog(listener.as_raw_fd(), backlog)
+}
+
+/// Shrinks (or grows) a stream's kernel receive buffer — makes
+/// slow-reader backpressure reproducible in tests.
+pub fn set_recv_buffer(stream: &TcpStream, bytes: usize) -> io::Result<()> {
+    sys::set_recv_buffer(stream.as_raw_fd(), bytes)
+}
+
+/// Shrinks (or grows) a stream's kernel send buffer.
+pub fn set_send_buffer(stream: &TcpStream, bytes: usize) -> io::Result<()> {
+    sys::set_send_buffer(stream.as_raw_fd(), bytes)
+}
+
+/// Makes `close` abortive (RST, no TIME_WAIT) — connection-scale
+/// benches need this to keep the ephemeral-port range alive.
+pub fn set_linger_abort(stream: &TcpStream) -> io::Result<()> {
+    sys::set_linger_abort(stream.as_raw_fd())
+}

@@ -1,0 +1,146 @@
+//! A minimal epoll wrapper: register file descriptors under `u64`
+//! tokens, wait for readiness, get `(token, readable, writable,
+//! hangup)` records back.
+//!
+//! Level-triggered on purpose: the event loop re-attempts reads and
+//! writes until `WouldBlock` anyway, and level semantics make parking a
+//! connection (deregistering read interest under backpressure) trivially
+//! correct — whatever is still buffered in the kernel re-fires the
+//! moment interest is restored.
+
+use crate::sys::{self, EpollEvent};
+use std::io;
+use std::os::fd::RawFd;
+
+/// One readiness record from [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable (or a peer half-close — data may still be buffered).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup: the connection is beyond saving.
+    pub hangup: bool,
+}
+
+/// Interest set for a registered fd.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+
+    fn bits(self) -> u32 {
+        let mut e = sys::EPOLLRDHUP;
+        if self.readable {
+            e |= sys::EPOLLIN;
+        }
+        if self.writable {
+            e |= sys::EPOLLOUT;
+        }
+        e
+    }
+}
+
+/// An epoll instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::sys_epoll_create1()?,
+        })
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, interest.bits(), token)
+    }
+
+    /// Replaces the interest set of a registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_MOD, fd, interest.bits(), token)
+    }
+
+    /// Deregisters a fd (safe to call right before closing it).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` (`-1` = forever) and appends readiness
+    /// records to `out`. Returns the number appended.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        let mut raw = [EpollEvent { events: 0, data: 0 }; 256];
+        let n = sys::sys_epoll_wait(self.epfd, &mut raw, timeout_ms)?;
+        for ev in raw.iter().take(n) {
+            // copy out of the (possibly packed) kernel struct first
+            let bits = { ev.events };
+            let token = { ev.data };
+            out.push(Event {
+                token,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::sys_close(self.epfd);
+    }
+}
+
+/// A cross-thread wakeup channel for the event loop: any thread calls
+/// [`Waker::wake`], the loop sees a readable event on the waker token
+/// and calls [`Waker::drain`].
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker {
+            fd: sys::sys_eventfd()?,
+        })
+    }
+
+    /// Registers the waker with a poller under `token`.
+    pub fn register(&self, poller: &Poller, token: u64) -> io::Result<()> {
+        poller.add(self.fd, token, Interest::READ)
+    }
+
+    /// Posts a wakeup (callable from any thread, nonblocking).
+    pub fn wake(&self) {
+        sys::sys_eventfd_wake(self.fd);
+    }
+
+    /// Clears pending wakeups (loop side).
+    pub fn drain(&self) {
+        sys::sys_eventfd_drain(self.fd);
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::sys_close(self.fd);
+    }
+}

@@ -1,0 +1,840 @@
+//! The event-loop server: one readiness-loop thread owning every
+//! socket, a small dispatcher pool executing requests, and per-
+//! connection state machines in between.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            epoll                 bounded by max_pipeline
+//!   sockets ──────► readiness loop ────► job queue ────► dispatchers
+//!      ▲                 │  ▲                               │
+//!      │   framed reply  │  │ eventfd wake + done list      │
+//!      └─────────────────┘  └───────────────────────────────┘
+//! ```
+//!
+//! * The **loop thread** accepts, reads, decodes (NDJSON lines or
+//!   binary frames, negotiated by the first byte of each connection),
+//!   writes replies, and never blocks on a socket or a query.
+//! * **Dispatchers** run [`Handler::handle`] — which may block on the
+//!   query service's worker pool — and post the reply through the done
+//!   list + [`Waker`].
+//! * **Pipelining** is per-connection FIFO: any number of requests may
+//!   arrive before the first reply is read (up to
+//!   [`ServerConfig::max_pipeline`]), and replies always come back in
+//!   request order because a connection has at most one request in a
+//!   dispatcher at a time. Distinct connections proceed independently.
+//! * **Backpressure**: a connection whose buffered replies pass
+//!   [`ServerConfig::outbuf_hiwat`] (or whose pipeline fills) is
+//!   *parked* — read interest is dropped until the peer drains its
+//!   replies — so a slow reader costs one connection's buffers, never
+//!   the loop. Each park is counted in
+//!   [`NetStats::backpressure_stalls`].
+//! * **Admission**: past [`ServerConfig::max_conns`] open connections,
+//!   an accept is answered with [`Handler::overloaded`] (one NDJSON
+//!   line — framing is negotiated by the *client's* first byte, which
+//!   a rejected connection never gets to send) and closed, counted in
+//!   [`NetStats::conns_rejected`].
+//! * **Decode errors stay in-band**: oversize or garbage input becomes
+//!   a [`Handler::protocol_error`] reply queued *in order* with the
+//!   requests around it, and the connection lives on.
+//!
+//! Shutdown: when a handler reply carries [`Reply::shutdown`], the loop
+//! stops accepting, flushes that reply (tolerating a client that hangs
+//! up without reading it), and returns.
+
+use crate::frame::{encode_frame, DecodeStep, FrameDecoder};
+use crate::poller::{Event, Interest, Poller, Waker};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`serve`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Open-connection cap; accepts past it are answered with
+    /// [`Handler::overloaded`] and closed.
+    pub max_conns: usize,
+    /// Threads executing [`Handler::handle`] (each may block on the
+    /// downstream service).
+    pub dispatchers: usize,
+    /// Per-request byte cap, applied to NDJSON lines and binary frame
+    /// payloads alike.
+    pub max_request_bytes: usize,
+    /// Park a connection's reads once this many reply bytes are
+    /// buffered for it (resume at half).
+    pub outbuf_hiwat: usize,
+    /// Decoded-but-unanswered requests a connection may pipeline before
+    /// its reads are parked.
+    pub max_pipeline: usize,
+    /// Accept backlog re-armed on the listener (see
+    /// [`crate::widen_backlog`]).
+    pub listen_backlog: i32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_conns: 10_000,
+            dispatchers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            max_request_bytes: 64 * 1024,
+            outbuf_hiwat: 256 * 1024,
+            max_pipeline: 128,
+            listen_backlog: 4096,
+        }
+    }
+}
+
+/// Shared connection-tier counters, readable from any thread (the
+/// serving binary mirrors them into the metrics registry).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Connections currently open.
+    pub conns_open: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub conns_total: AtomicU64,
+    /// Connections refused at the `max_conns` cap.
+    pub conns_rejected: AtomicU64,
+    /// Requests decoded (NDJSON lines and binary frames both count).
+    pub frames_rx: AtomicU64,
+    /// Replies written (either framing).
+    pub frames_tx: AtomicU64,
+    /// Times a connection's reads were parked for backpressure.
+    pub backpressure_stalls: AtomicU64,
+}
+
+impl NetStats {
+    fn load(v: &AtomicU64) -> u64 {
+        v.load(Ordering::Relaxed)
+    }
+
+    /// A plain-value snapshot `(open, total, rejected, rx, tx, stalls)`.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            conns_open: Self::load(&self.conns_open),
+            conns_total: Self::load(&self.conns_total),
+            conns_rejected: Self::load(&self.conns_rejected),
+            frames_rx: Self::load(&self.frames_rx),
+            frames_tx: Self::load(&self.frames_tx),
+            backpressure_stalls: Self::load(&self.backpressure_stalls),
+        }
+    }
+}
+
+/// Plain-value view of [`NetStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    pub conns_open: u64,
+    pub conns_total: u64,
+    pub conns_rejected: u64,
+    pub frames_rx: u64,
+    pub frames_tx: u64,
+    pub backpressure_stalls: u64,
+}
+
+/// What a [`Handler`] returns for one request payload.
+pub struct Reply {
+    /// The reply payload (framed by the loop per the connection's
+    /// negotiated framing).
+    pub payload: Vec<u8>,
+    /// Flush this reply, then shut the server down.
+    pub shutdown: bool,
+}
+
+impl Reply {
+    /// An ordinary reply.
+    pub fn send(payload: Vec<u8>) -> Reply {
+        Reply {
+            payload,
+            shutdown: false,
+        }
+    }
+}
+
+/// The application protocol behind the socket tier. Implementations are
+/// called from dispatcher threads and may block.
+pub trait Handler: Send + Sync + 'static {
+    /// Handles one request payload (one NDJSON line without its
+    /// newline, or one binary frame payload) and produces the reply.
+    fn handle(&self, payload: &[u8]) -> Reply;
+
+    /// The typed reply for a transport-level protocol error (oversize
+    /// request, garbage on the wire). Queued in-band on the connection.
+    fn protocol_error(&self, detail: &str) -> Vec<u8>;
+
+    /// The typed reply for an accept refused at the connection cap.
+    fn overloaded(&self, open: usize, max_conns: usize) -> Vec<u8>;
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Framing {
+    Ndjson,
+    Binary,
+}
+
+enum Work {
+    /// A decoded request awaiting its turn in the dispatcher.
+    Request(Vec<u8>),
+    /// An already-rendered error reply keeping its place in line.
+    Error(Vec<u8>),
+}
+
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    framing: Option<Framing>,
+    /// Binary-framing decoder (allocated lazily — NDJSON conns never
+    /// touch it beyond construction; it holds no buffer until fed).
+    decoder: FrameDecoder,
+    /// NDJSON line assembly.
+    line_buf: Vec<u8>,
+    /// Discarding the tail of an over-cap NDJSON line.
+    skipping_line: bool,
+    /// Decoded work in arrival order.
+    pending: VecDeque<Work>,
+    /// A request of this connection is in (or queued for) a dispatcher.
+    inflight: bool,
+    /// Framed reply bytes not yet written, with the write cursor.
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    interest: Interest,
+    /// Reads parked for backpressure.
+    parked: bool,
+    /// Peer sent EOF; finish writing, then close.
+    peer_closed: bool,
+    /// Unrecoverable (I/O error); close as soon as control returns.
+    dead: bool,
+    /// Flush the pending reply, then stop the server.
+    shutdown_after_flush: bool,
+}
+
+impl Conn {
+    fn buffered_out(&self) -> usize {
+        self.outbuf.len() - self.out_pos
+    }
+}
+
+struct Job {
+    token: u64,
+    payload: Vec<u8>,
+}
+
+struct Done {
+    token: u64,
+    payload: Vec<u8>,
+    shutdown: bool,
+}
+
+/// State shared between the loop thread and the dispatcher pool.
+struct Shared {
+    jobs: Mutex<(VecDeque<Job>, bool)>,
+    jobs_cv: Condvar,
+    done: Mutex<Vec<Done>>,
+    waker: Waker,
+}
+
+impl Shared {
+    fn push_job(&self, job: Job) {
+        let mut q = self.jobs.lock().expect("jobs poisoned");
+        q.0.push_back(job);
+        drop(q);
+        self.jobs_cv.notify_one();
+    }
+
+    fn close_jobs(&self) {
+        self.jobs.lock().expect("jobs poisoned").1 = true;
+        self.jobs_cv.notify_all();
+    }
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_BASE: u64 = 2;
+
+fn conn_token(slot: usize, generation: u32) -> u64 {
+    ((generation as u64) << 32) | (slot as u64 + TOKEN_BASE)
+}
+
+fn token_slot(token: u64) -> usize {
+    ((token & 0xffff_ffff) - TOKEN_BASE) as usize
+}
+
+struct EventLoop<H: Handler> {
+    listener: TcpListener,
+    poller: Poller,
+    handler: Arc<H>,
+    shared: Arc<Shared>,
+    stats: Arc<NetStats>,
+    cfg: ServerConfig,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    open: usize,
+    generation: u32,
+    /// Accepts paused until this instant (fd exhaustion recovery).
+    accept_paused_until: Option<Instant>,
+    shutting_down: bool,
+    shutdown_flushed: bool,
+}
+
+/// Runs the event loop over `listener` until a handler reply requests
+/// shutdown. The listener is switched to nonblocking and its backlog
+/// widened to [`ServerConfig::listen_backlog`].
+pub fn serve<H: Handler>(
+    listener: TcpListener,
+    handler: Arc<H>,
+    cfg: ServerConfig,
+    stats: Arc<NetStats>,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    // best effort: a listener that cannot widen its backlog still works
+    let _ = crate::sys::widen_backlog(listener.as_raw_fd(), cfg.listen_backlog);
+    let poller = Poller::new()?;
+    let shared = Arc::new(Shared {
+        jobs: Mutex::new((VecDeque::new(), false)),
+        jobs_cv: Condvar::new(),
+        done: Mutex::new(Vec::new()),
+        waker: Waker::new()?,
+    });
+    poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+    shared.waker.register(&poller, TOKEN_WAKER)?;
+    let dispatchers: Vec<_> = (0..cfg.dispatchers.max(1))
+        .map(|i| {
+            let handler = Arc::clone(&handler);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("twx-netio-dispatch-{i}"))
+                .spawn(move || dispatcher_loop(&*handler, &shared))
+                .expect("spawn dispatcher")
+        })
+        .collect();
+    let mut el = EventLoop {
+        listener,
+        poller,
+        handler,
+        shared,
+        stats,
+        cfg,
+        conns: Vec::new(),
+        free: Vec::new(),
+        open: 0,
+        generation: 0,
+        accept_paused_until: None,
+        shutting_down: false,
+        shutdown_flushed: false,
+    };
+    let result = el.run();
+    el.shared.close_jobs();
+    for d in dispatchers {
+        let _ = d.join();
+    }
+    result
+}
+
+fn dispatcher_loop<H: Handler>(handler: &H, shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.jobs.lock().expect("jobs poisoned");
+            loop {
+                if let Some(job) = q.0.pop_front() {
+                    break job;
+                }
+                if q.1 {
+                    return;
+                }
+                q = shared.jobs_cv.wait(q).expect("jobs poisoned");
+            }
+        };
+        let reply = handler.handle(&job.payload);
+        shared.done.lock().expect("done poisoned").push(Done {
+            token: job.token,
+            payload: reply.payload,
+            shutdown: reply.shutdown,
+        });
+        shared.waker.wake();
+    }
+}
+
+impl<H: Handler> EventLoop<H> {
+    fn run(&mut self) -> io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let timeout = match self.accept_paused_until {
+                Some(_) => 50,
+                None => -1,
+            };
+            events.clear();
+            self.poller.wait(&mut events, timeout)?;
+            if let Some(t) = self.accept_paused_until {
+                if Instant::now() >= t {
+                    self.accept_paused_until = None;
+                    self.poller.modify(
+                        self.listener.as_raw_fd(),
+                        TOKEN_LISTENER,
+                        Interest::READ,
+                    )?;
+                }
+            }
+            for &ev in events.iter() {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.shared.waker.drain(),
+                    token => self.conn_ready(token, ev),
+                }
+            }
+            self.drain_completions();
+            if self.shutting_down && self.shutdown_flushed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shutting_down {
+                        continue; // dropped: the server is on its way out
+                    }
+                    if self.open >= self.cfg.max_conns {
+                        self.reject(stream);
+                        continue;
+                    }
+                    self.admit(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) if e.raw_os_error() == Some(24) || e.raw_os_error() == Some(23) => {
+                    // EMFILE/ENFILE: out of descriptors. Pause accepting
+                    // briefly instead of spinning on a level-triggered
+                    // listener; existing connections keep draining and
+                    // freeing descriptors.
+                    self.accept_paused_until = Some(Instant::now() + Duration::from_millis(100));
+                    let _ = self.poller.modify(
+                        self.listener.as_raw_fd(),
+                        TOKEN_LISTENER,
+                        Interest {
+                            readable: false,
+                            writable: false,
+                        },
+                    );
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Typed refusal at the connection cap: one best-effort NDJSON
+    /// error line, then close.
+    fn reject(&mut self, stream: TcpStream) {
+        self.stats.conns_rejected.fetch_add(1, Ordering::Relaxed);
+        let mut line = self.handler.overloaded(self.open, self.cfg.max_conns);
+        line.push(b'\n');
+        let _ = stream.set_nonblocking(true);
+        let mut s = stream;
+        let _ = s.write(&line);
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        self.generation = self.generation.wrapping_add(1);
+        let token = conn_token(slot, self.generation);
+        if self
+            .poller
+            .add(stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        self.conns[slot] = Some(Conn {
+            stream,
+            token,
+            framing: None,
+            decoder: FrameDecoder::new(self.cfg.max_request_bytes),
+            line_buf: Vec::new(),
+            skipping_line: false,
+            pending: VecDeque::new(),
+            inflight: false,
+            outbuf: Vec::new(),
+            out_pos: 0,
+            interest: Interest::READ,
+            parked: false,
+            peer_closed: false,
+            dead: false,
+            shutdown_after_flush: false,
+        });
+        self.open += 1;
+        self.stats
+            .conns_open
+            .store(self.open as u64, Ordering::Relaxed);
+        self.stats.conns_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Looks a token up, guarding against slots recycled to a newer
+    /// connection while an event or completion was in flight.
+    fn live_slot(&self, token: u64) -> Option<usize> {
+        let slot = token_slot(token);
+        match self.conns.get(slot) {
+            Some(Some(c)) if c.token == token => Some(slot),
+            _ => None,
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, ev: Event) {
+        let Some(slot) = self.live_slot(token) else {
+            return;
+        };
+        if ev.hangup {
+            let c = self.conns[slot].as_mut().expect("live slot");
+            c.dead = true;
+        } else {
+            if ev.readable {
+                self.read_conn(slot);
+            }
+            if ev.writable {
+                let c = self.conns[slot].as_mut().expect("live slot");
+                flush_conn(c);
+            }
+        }
+        self.pump(slot);
+    }
+
+    fn read_conn(&mut self, slot: usize) {
+        let mut buf = [0u8; 16384];
+        loop {
+            let c = self.conns[slot].as_mut().expect("live slot");
+            if c.parked || c.peer_closed || c.dead || c.shutdown_after_flush {
+                break;
+            }
+            match c.stream.read(&mut buf) {
+                Ok(0) => {
+                    c.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.ingest(slot, &buf[..n]);
+                    // decoded work may already warrant parking; stop
+                    // pulling more bytes until pump() re-evaluates
+                    let c = self.conns[slot].as_ref().expect("live slot");
+                    if c.pending.len() >= self.cfg.max_pipeline
+                        || c.buffered_out() > self.cfg.outbuf_hiwat
+                    {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    c.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Feeds raw bytes through the connection's (possibly still
+    /// undetermined) framing, queueing requests and in-band errors.
+    fn ingest(&mut self, slot: usize, mut bytes: &[u8]) {
+        if self.conns[slot]
+            .as_ref()
+            .expect("live slot")
+            .framing
+            .is_none()
+        {
+            // the first non-whitespace byte picks the framing: the
+            // frame magic's 0xF7 lead byte cannot open NDJSON text
+            while let Some((&b, rest)) = bytes.split_first() {
+                if b == b'\n' || b == b'\r' || b == b' ' || b == b'\t' {
+                    bytes = rest;
+                    continue;
+                }
+                let framing = if b == crate::frame::MAGIC[0] {
+                    Framing::Binary
+                } else {
+                    Framing::Ndjson
+                };
+                self.conns[slot].as_mut().expect("live slot").framing = Some(framing);
+                break;
+            }
+            if bytes.is_empty() {
+                return;
+            }
+        }
+        match self.conns[slot].as_ref().expect("live slot").framing {
+            Some(Framing::Ndjson) => self.ingest_ndjson(slot, bytes),
+            Some(Framing::Binary) => self.ingest_binary(slot, bytes),
+            None => unreachable!("framing set above"),
+        }
+    }
+
+    fn push_request(&mut self, slot: usize, payload: Vec<u8>) {
+        self.stats.frames_rx.fetch_add(1, Ordering::Relaxed);
+        self.conns[slot]
+            .as_mut()
+            .expect("live slot")
+            .pending
+            .push_back(Work::Request(payload));
+    }
+
+    fn push_error(&mut self, slot: usize, detail: &str) {
+        let reply = self.handler.protocol_error(detail);
+        self.conns[slot]
+            .as_mut()
+            .expect("live slot")
+            .pending
+            .push_back(Work::Error(reply));
+    }
+
+    fn ingest_ndjson(&mut self, slot: usize, bytes: &[u8]) {
+        let max = self.cfg.max_request_bytes;
+        let mut rest = bytes;
+        loop {
+            let c = self.conns[slot].as_mut().expect("live slot");
+            if c.skipping_line {
+                match rest.iter().position(|&b| b == b'\n') {
+                    Some(nl) => {
+                        c.skipping_line = false;
+                        rest = &rest[nl + 1..];
+                    }
+                    None => return, // still inside the oversize line
+                }
+                continue;
+            }
+            match rest.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    let mut line = std::mem::take(&mut c.line_buf);
+                    line.extend_from_slice(&rest[..nl]);
+                    rest = &rest[nl + 1..];
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    if line.iter().all(|b| b.is_ascii_whitespace()) {
+                        continue;
+                    }
+                    if line.len() > max {
+                        let n = line.len();
+                        self.push_error(
+                            slot,
+                            &format!("request of {n} bytes exceeds the {max}-byte limit"),
+                        );
+                    } else {
+                        self.push_request(slot, line);
+                    }
+                }
+                None => {
+                    c.line_buf.extend_from_slice(rest);
+                    if c.line_buf.len() > max {
+                        let n = c.line_buf.len();
+                        c.line_buf = Vec::new();
+                        c.skipping_line = true;
+                        self.push_error(
+                            slot,
+                            &format!(
+                                "request exceeds the {max}-byte limit ({n}+ bytes and no newline)"
+                            ),
+                        );
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn ingest_binary(&mut self, slot: usize, bytes: &[u8]) {
+        let max = self.cfg.max_request_bytes;
+        self.conns[slot]
+            .as_mut()
+            .expect("live slot")
+            .decoder
+            .extend(bytes);
+        // consecutive Garbage steps coalesce into one in-band error
+        let mut garbage_run = 0usize;
+        loop {
+            let step = self.conns[slot]
+                .as_mut()
+                .expect("live slot")
+                .decoder
+                .next_step();
+            if garbage_run > 0 && !matches!(step, DecodeStep::Garbage { .. }) {
+                self.push_error(
+                    slot,
+                    &format!("garbage on the wire: {garbage_run} bytes skipped before a frame"),
+                );
+                garbage_run = 0;
+            }
+            match step {
+                DecodeStep::Frame(payload) => self.push_request(slot, payload),
+                DecodeStep::Oversize { len } => {
+                    self.push_error(
+                        slot,
+                        &format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                    );
+                }
+                DecodeStep::Garbage { skipped } => garbage_run += skipped,
+                DecodeStep::NeedMore => break,
+            }
+        }
+    }
+
+    /// Advances a connection's state machine: emit due replies, hand
+    /// the next request to the dispatchers, flush, re-park or resume
+    /// reads, and close if the connection is finished.
+    fn pump(&mut self, slot: usize) {
+        let hiwat = self.cfg.outbuf_hiwat;
+        loop {
+            let c = self.conns[slot].as_mut().expect("live slot");
+            if c.dead || c.buffered_out() > hiwat {
+                break;
+            }
+            match c.pending.front() {
+                Some(Work::Error(_)) => {
+                    let Some(Work::Error(reply)) = c.pending.pop_front() else {
+                        unreachable!()
+                    };
+                    enqueue_reply(c, &reply, &self.stats);
+                }
+                Some(Work::Request(_)) if !c.inflight => {
+                    let Some(Work::Request(payload)) = c.pending.pop_front() else {
+                        unreachable!()
+                    };
+                    c.inflight = true;
+                    let token = c.token;
+                    self.shared.push_job(Job { token, payload });
+                }
+                _ => break,
+            }
+        }
+        let c = self.conns[slot].as_mut().expect("live slot");
+        flush_conn(c);
+        if c.shutdown_after_flush && (c.dead || c.buffered_out() == 0) {
+            // the goodbye is out (or the client hung up first — the
+            // intent stands either way)
+            self.shutdown_flushed = true;
+            self.close_conn(slot);
+            return;
+        }
+        if c.dead || (c.peer_closed && c.buffered_out() == 0 && c.pending.is_empty() && !c.inflight)
+        {
+            self.close_conn(slot);
+            return;
+        }
+        self.update_interest(slot);
+    }
+
+    /// Applies the park/resume hysteresis and the epoll interest set.
+    fn update_interest(&mut self, slot: usize) {
+        let hiwat = self.cfg.outbuf_hiwat;
+        let max_pipeline = self.cfg.max_pipeline;
+        let stats = &self.stats;
+        let c = self.conns[slot].as_mut().expect("live slot");
+        let over = c.buffered_out() > hiwat || c.pending.len() >= max_pipeline;
+        let under = c.buffered_out() <= hiwat / 2 && c.pending.len() < max_pipeline;
+        if !c.parked && over {
+            c.parked = true;
+            stats.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
+        } else if c.parked && under {
+            c.parked = false;
+        }
+        let want = Interest {
+            readable: !c.parked && !c.peer_closed && !c.shutdown_after_flush,
+            writable: c.buffered_out() > 0,
+        };
+        if want != c.interest {
+            let token = c.token;
+            if self
+                .poller
+                .modify(c.stream.as_raw_fd(), token, want)
+                .is_ok()
+            {
+                let c = self.conns[slot].as_mut().expect("live slot");
+                c.interest = want;
+            }
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        let c = self.conns[slot].take().expect("live slot");
+        let _ = self.poller.delete(c.stream.as_raw_fd());
+        drop(c);
+        self.free.push(slot);
+        self.open -= 1;
+        self.stats
+            .conns_open
+            .store(self.open as u64, Ordering::Relaxed);
+    }
+
+    fn drain_completions(&mut self) {
+        let done: Vec<Done> = {
+            let mut d = self.shared.done.lock().expect("done poisoned");
+            std::mem::take(&mut *d)
+        };
+        for done in done {
+            if done.shutdown {
+                self.shutting_down = true;
+            }
+            let Some(slot) = self.live_slot(done.token) else {
+                // the connection died while its request ran; a shutdown
+                // intent still stands with nothing left to flush
+                if done.shutdown {
+                    self.shutdown_flushed = true;
+                }
+                continue;
+            };
+            let c = self.conns[slot].as_mut().expect("live slot");
+            c.inflight = false;
+            enqueue_reply(c, &done.payload, &self.stats);
+            if done.shutdown {
+                c.shutdown_after_flush = true;
+            }
+            self.pump(slot);
+        }
+    }
+}
+
+/// Frames one reply payload onto a connection's output buffer.
+fn enqueue_reply(c: &mut Conn, payload: &[u8], stats: &NetStats) {
+    match c.framing.unwrap_or(Framing::Ndjson) {
+        Framing::Ndjson => {
+            c.outbuf.extend_from_slice(payload);
+            c.outbuf.push(b'\n');
+        }
+        Framing::Binary => c.outbuf.extend_from_slice(&encode_frame(payload)),
+    }
+    stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Writes as much buffered output as the socket accepts right now.
+fn flush_conn(c: &mut Conn) {
+    while c.out_pos < c.outbuf.len() {
+        match c.stream.write(&c.outbuf[c.out_pos..]) {
+            Ok(0) => {
+                c.dead = true;
+                break;
+            }
+            Ok(n) => c.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                c.dead = true;
+                break;
+            }
+        }
+    }
+    if c.out_pos == c.outbuf.len() && c.out_pos > 0 {
+        c.outbuf.clear();
+        c.out_pos = 0;
+    }
+}

@@ -1,0 +1,212 @@
+//! The raw syscall shim: `extern "C"` declarations against the platform
+//! C library that `std` already links, so the crate needs no external
+//! `libc` dependency.
+//!
+//! Only what the event loop actually uses is declared: epoll (readiness
+//! notification), `eventfd` (cross-thread wakeups), `listen` (to widen
+//! the accept backlog of a bound `std` listener — Linux allows calling
+//! `listen` again with a larger backlog), `setsockopt` (socket-buffer
+//! and linger tuning for tests and benches), and `getrlimit`/`setrlimit`
+//! (raising the open-file soft limit to the hard cap before a
+//! many-thousand-connection run). Sockets themselves stay `std`
+//! (`TcpListener`/`TcpStream` with `set_nonblocking`); the shim covers
+//! only what `std` does not expose.
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+
+/// One epoll readiness record. On x86-64 the kernel ABI packs this
+/// struct (no padding between `events` and `data`); other architectures
+/// use natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+pub const SOL_SOCKET: c_int = 1;
+pub const SO_SNDBUF: c_int = 7;
+pub const SO_RCVBUF: c_int = 8;
+pub const SO_LINGER: c_int = 13;
+
+const RLIMIT_NOFILE: c_int = 7;
+
+#[repr(C)]
+struct Rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+#[repr(C)]
+struct Linger {
+    l_onoff: c_int,
+    l_linger: c_int,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn listen(sockfd: c_int, backlog: c_int) -> c_int;
+    fn setsockopt(
+        sockfd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+pub fn sys_epoll_create1() -> io::Result<c_int> {
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+pub fn sys_epoll_ctl(epfd: c_int, op: c_int, fd: c_int, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
+}
+
+/// Waits for readiness; retries `EINTR` internally. Returns the number
+/// of records written into `events`.
+pub fn sys_epoll_wait(
+    epfd: c_int,
+    events: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    loop {
+        let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+pub fn sys_eventfd() -> io::Result<c_int> {
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+/// Reads and discards the eventfd counter (drains a pending wakeup).
+pub fn sys_eventfd_drain(fd: c_int) {
+    let mut buf = [0u8; 8];
+    unsafe { read(fd, buf.as_mut_ptr().cast(), 8) };
+}
+
+/// Adds 1 to the eventfd counter (posts a wakeup). Infallible in
+/// practice: the counter only overflows at `u64::MAX - 1`.
+pub fn sys_eventfd_wake(fd: c_int) {
+    let one = 1u64.to_ne_bytes();
+    unsafe { write(fd, one.as_ptr().cast(), 8) };
+}
+
+pub fn sys_close(fd: c_int) {
+    unsafe { close(fd) };
+}
+
+/// Re-issues `listen` on an already-listening socket to widen its
+/// accept backlog (`std::net::TcpListener` hard-codes a small one).
+pub fn widen_backlog(fd: c_int, backlog: i32) -> io::Result<()> {
+    cvt(unsafe { listen(fd, backlog) }).map(|_| ())
+}
+
+fn set_buf_size(fd: c_int, opt: c_int, bytes: usize) -> io::Result<()> {
+    let v = bytes as c_int;
+    cvt(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            opt,
+            (&v as *const c_int).cast(),
+            std::mem::size_of::<c_int>() as u32,
+        )
+    })
+    .map(|_| ())
+}
+
+/// Shrinks (or grows) the kernel receive buffer of a socket — test and
+/// bench helper for making backpressure reproducible.
+pub fn set_recv_buffer(fd: c_int, bytes: usize) -> io::Result<()> {
+    set_buf_size(fd, SO_RCVBUF, bytes)
+}
+
+/// Shrinks (or grows) the kernel send buffer of a socket.
+pub fn set_send_buffer(fd: c_int, bytes: usize) -> io::Result<()> {
+    set_buf_size(fd, SO_SNDBUF, bytes)
+}
+
+/// Arms `SO_LINGER` with a zero timeout: closing the socket sends RST
+/// instead of FIN, leaving no TIME_WAIT entry behind. Connection-scale
+/// benches tearing down tens of thousands of sockets need this to keep
+/// the ephemeral-port range from filling with corpses.
+pub fn set_linger_abort(fd: c_int) -> io::Result<()> {
+    let l = Linger {
+        l_onoff: 1,
+        l_linger: 0,
+    };
+    cvt(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_LINGER,
+            (&l as *const Linger).cast(),
+            std::mem::size_of::<Linger>() as u32,
+        )
+    })
+    .map(|_| ())
+}
+
+/// Raises the soft open-file limit to `min(desired, hard cap)` and
+/// returns the resulting soft limit. Never fails the caller: on any
+/// error the current (unchanged) soft limit is returned.
+pub fn raise_nofile_limit(desired: u64) -> u64 {
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 1024;
+    }
+    let want = desired.min(lim.rlim_max);
+    if want > lim.rlim_cur {
+        let new = Rlimit {
+            rlim_cur: want,
+            rlim_max: lim.rlim_max,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &new) } == 0 {
+            return want;
+        }
+    }
+    lim.rlim_cur
+}

@@ -1,0 +1,245 @@
+//! Seeded property suite for the binary frame codec: round-trips under
+//! arbitrary chunking, torn-frame resumption at every byte boundary,
+//! oversize rejection at the serving tier's 64 KiB cap, and garbage
+//! recovery — the decoder must never lose a healthy frame and never
+//! kill the stream.
+
+use twx_netio::frame::{encode_frame, DecodeStep, FrameDecoder, HEADER_BYTES, MAGIC};
+use twx_xtree::rng::{Rng, SplitMix64};
+
+/// The per-request cap `twx-serve` enforces on both framings.
+const SERVE_CAP: usize = 64 * 1024;
+
+fn random_payload(rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len).map(|_| rng.gen_range(0..256u64) as u8).collect()
+}
+
+/// Drains every currently decodable step, appending recovered frames.
+fn drain(d: &mut FrameDecoder, frames: &mut Vec<Vec<u8>>) {
+    loop {
+        match d.next_step() {
+            DecodeStep::Frame(p) => frames.push(p),
+            DecodeStep::Oversize { .. } | DecodeStep::Garbage { .. } => {}
+            DecodeStep::NeedMore => return,
+        }
+    }
+}
+
+#[test]
+fn roundtrip_random_payloads_random_chunking() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xF7A0 + seed);
+        let n_frames = rng.gen_range(1..12usize);
+        let payloads: Vec<Vec<u8>> = (0..n_frames)
+            .map(|_| random_payload(&mut rng, 2000))
+            .collect();
+        let mut wire = Vec::new();
+        for p in &payloads {
+            wire.extend_from_slice(&encode_frame(p));
+        }
+        // feed the concatenated stream in random-size slices
+        let mut d = FrameDecoder::new(4096);
+        let mut frames = Vec::new();
+        let mut off = 0;
+        while off < wire.len() {
+            let take = rng.gen_range(1..64usize).min(wire.len() - off);
+            d.extend(&wire[off..off + take]);
+            off += take;
+            drain(&mut d, &mut frames);
+        }
+        assert_eq!(frames, payloads, "seed {seed}");
+        assert_eq!(d.buffered(), 0, "seed {seed}: leftover bytes");
+    }
+}
+
+#[test]
+fn torn_frame_resumes_at_every_byte_boundary() {
+    let payload = b"{\"op\":\"stats\"} torn-frame probe \xF7\xF7".to_vec();
+    let wire = encode_frame(&payload);
+    for split in 0..=wire.len() {
+        let mut d = FrameDecoder::new(SERVE_CAP);
+        d.extend(&wire[..split]);
+        // an incomplete healthy frame must never yield anything but
+        // NeedMore — no phantom garbage, no partial frame
+        if split < wire.len() {
+            assert_eq!(
+                d.next_step(),
+                DecodeStep::NeedMore,
+                "split at {split}: decoder jumped the gun"
+            );
+        }
+        d.extend(&wire[split..]);
+        assert_eq!(
+            d.next_step(),
+            DecodeStep::Frame(payload.clone()),
+            "split at {split}: frame lost"
+        );
+        assert_eq!(d.next_step(), DecodeStep::NeedMore);
+    }
+}
+
+#[test]
+fn torn_delivery_byte_by_byte() {
+    let payloads: Vec<Vec<u8>> = vec![b"x".to_vec(), Vec::new(), b"{\"op\":\"stats\"}".to_vec()];
+    let mut wire = Vec::new();
+    for p in &payloads {
+        wire.extend_from_slice(&encode_frame(p));
+    }
+    let mut d = FrameDecoder::new(SERVE_CAP);
+    let mut frames = Vec::new();
+    for &b in &wire {
+        d.extend(&[b]);
+        drain(&mut d, &mut frames);
+    }
+    assert_eq!(frames, payloads);
+}
+
+#[test]
+fn oversize_rejected_at_serve_cap_and_stream_survives() {
+    let mut d = FrameDecoder::new(SERVE_CAP);
+    // exactly at the cap: fine
+    let at_cap = vec![7u8; SERVE_CAP];
+    d.extend(&encode_frame(&at_cap));
+    assert_eq!(d.next_step(), DecodeStep::Frame(at_cap));
+    // one past the cap: rejected, then the next frame still decodes
+    let over = vec![9u8; SERVE_CAP + 1];
+    d.extend(&encode_frame(&over));
+    d.extend(&encode_frame(b"still alive"));
+    assert_eq!(d.next_step(), DecodeStep::Oversize { len: SERVE_CAP + 1 });
+    assert_eq!(d.next_step(), DecodeStep::Frame(b"still alive".to_vec()));
+    assert_eq!(d.next_step(), DecodeStep::NeedMore);
+}
+
+#[test]
+fn oversize_payload_delivered_in_chunks_is_fully_discarded() {
+    let mut rng = SplitMix64::seed_from_u64(0xBEEF);
+    let over = rng.gen_range(SERVE_CAP + 1..3 * SERVE_CAP);
+    let wire = encode_frame(&vec![1u8; over]);
+    let mut d = FrameDecoder::new(SERVE_CAP);
+    let mut frames = Vec::new();
+    let mut saw_oversize = false;
+    let mut off = 0;
+    while off < wire.len() {
+        let take = rng.gen_range(1..1000usize).min(wire.len() - off);
+        d.extend(&wire[off..off + take]);
+        off += take;
+        loop {
+            match d.next_step() {
+                DecodeStep::Oversize { len } => {
+                    assert_eq!(len, over);
+                    saw_oversize = true;
+                }
+                DecodeStep::Frame(p) => frames.push(p),
+                DecodeStep::Garbage { .. } => panic!("oversize payload misread as garbage"),
+                DecodeStep::NeedMore => break,
+            }
+        }
+    }
+    assert!(saw_oversize);
+    d.extend(&encode_frame(b"after"));
+    assert_eq!(d.next_step(), DecodeStep::Frame(b"after".to_vec()));
+    assert!(frames.is_empty(), "oversize payload leaked as frames");
+}
+
+#[test]
+fn garbage_prefix_skipped_exactly_then_frame_recovered() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x6A3B + seed);
+        // garbage free of the magic lead byte: must be skipped in full,
+        // in one reported run, with the following frame intact
+        let glen = rng.gen_range(1..300usize);
+        let garbage: Vec<u8> = (0..glen)
+            .map(|_| loop {
+                let b = rng.gen_range(0..256u64) as u8;
+                if b != MAGIC[0] {
+                    break b;
+                }
+            })
+            .collect();
+        let mut d = FrameDecoder::new(SERVE_CAP);
+        d.extend(&garbage);
+        d.extend(&encode_frame(b"recovered"));
+        assert_eq!(
+            d.next_step(),
+            DecodeStep::Garbage { skipped: glen },
+            "seed {seed}"
+        );
+        assert_eq!(d.next_step(), DecodeStep::Frame(b"recovered".to_vec()));
+        assert_eq!(d.next_step(), DecodeStep::NeedMore);
+    }
+}
+
+#[test]
+fn partial_magic_impostors_recovered() {
+    // prefixes that *start* like the magic but diverge: the decoder must
+    // shed them byte by byte and still find the real frame
+    let impostors: Vec<Vec<u8>> = vec![
+        vec![MAGIC[0]],
+        vec![MAGIC[0], MAGIC[1]],
+        vec![MAGIC[0], MAGIC[1], MAGIC[2]],
+        vec![MAGIC[0], b'X'],
+        vec![MAGIC[0], MAGIC[1], b'X'],
+        vec![MAGIC[0], MAGIC[1], MAGIC[2], 0x02], // wrong version
+    ];
+    for imp in impostors {
+        let mut d = FrameDecoder::new(SERVE_CAP);
+        d.extend(&imp);
+        d.extend(&encode_frame(b"real"));
+        let mut frames = Vec::new();
+        drain(&mut d, &mut frames);
+        assert_eq!(frames, vec![b"real".to_vec()], "impostor {imp:?}");
+    }
+}
+
+#[test]
+fn interleaved_garbage_oversize_and_frames() {
+    // a hostile stream mixing every failure mode: every healthy frame
+    // must still come out, in order
+    let mut rng = SplitMix64::seed_from_u64(0xD15EA5E);
+    for round in 0..16u64 {
+        let mut wire = Vec::new();
+        let mut expect = Vec::new();
+        for i in 0..rng.gen_range(2..8usize) {
+            match rng.gen_range(0..3u32) {
+                0 => {
+                    let glen = rng.gen_range(1..40usize);
+                    wire.extend((0..glen).map(|_| loop {
+                        let b = rng.gen_range(0..256u64) as u8;
+                        if b != MAGIC[0] {
+                            break b;
+                        }
+                    }));
+                }
+                1 => wire.extend_from_slice(&encode_frame(&vec![0xAB; SERVE_CAP + 7])),
+                _ => {
+                    let p = format!("round {round} frame {i}").into_bytes();
+                    wire.extend_from_slice(&encode_frame(&p));
+                    expect.push(p);
+                }
+            }
+        }
+        // always end healthy so the tail garbage cannot eat a frame
+        wire.extend_from_slice(&encode_frame(b"tail"));
+        expect.push(b"tail".to_vec());
+        let mut d = FrameDecoder::new(SERVE_CAP);
+        let mut frames = Vec::new();
+        let mut off = 0;
+        while off < wire.len() {
+            let take = rng.gen_range(1..200usize).min(wire.len() - off);
+            d.extend(&wire[off..off + take]);
+            off += take;
+            drain(&mut d, &mut frames);
+        }
+        assert_eq!(frames, expect, "round {round}");
+    }
+}
+
+#[test]
+fn header_constants_are_wire_stable() {
+    // bytes-on-the-wire pin: magic, little-endian length, 8-byte header
+    let w = encode_frame(b"ab");
+    assert_eq!(&w[..4], &[0xF7, b'T', b'W', 0x01]);
+    assert_eq!(&w[4..8], &[2, 0, 0, 0]);
+    assert_eq!(w.len(), HEADER_BYTES + 2);
+}
